@@ -1,0 +1,151 @@
+// E8 — google-benchmark micro suite for the relational substrate: the
+// operator throughputs that the cost model abstracts (scan+filter, hash
+// join, disjunctive outer join, sort, wire serialization, end-to-end plan
+// execution). Context for interpreting the experiment tables.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "bench/bench_util.h"
+#include "engine/executor.h"
+#include "engine/tuple_stream.h"
+#include "silkroute/partition.h"
+#include "silkroute/publisher.h"
+#include "silkroute/queries.h"
+
+using namespace silkroute;
+using namespace silkroute::core;
+
+namespace {
+
+Database* SharedDb() {
+  static Database* db = bench::MakeDatabase(0.01).release();
+  return db;
+}
+
+void BM_SeqScanFilter(benchmark::State& state) {
+  engine::QueryExecutor exec(SharedDb());
+  for (auto _ : state) {
+    auto r = exec.ExecuteSql(
+        "select l.orderkey from LineItem l where l.qty < 10");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SeqScanFilter);
+
+void BM_HashJoin(benchmark::State& state) {
+  engine::QueryExecutor exec(SharedDb());
+  for (auto _ : state) {
+    auto r = exec.ExecuteSql(
+        "select l.orderkey, o.custkey from LineItem l, Orders o "
+        "where l.orderkey = o.orderkey");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_HashJoin);
+
+void BM_ChainJoin4Way(benchmark::State& state) {
+  engine::QueryExecutor exec(SharedDb());
+  for (auto _ : state) {
+    auto r = exec.ExecuteSql(
+        "select s.name, p.name from Supplier s, PartSupp ps, Part p, "
+        "LineItem l where s.suppkey = ps.suppkey and ps.partkey = p.partkey "
+        "and l.partkey = ps.partkey and l.suppkey = ps.suppkey");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ChainJoin4Way);
+
+void BM_DisjunctiveOuterJoin(benchmark::State& state) {
+  engine::QueryExecutor exec(SharedDb());
+  for (auto _ : state) {
+    auto r = exec.ExecuteSql(
+        "select s.suppkey, Q.v from Supplier s left outer join "
+        "((select 1 as t, n.nationkey as k, n.name as v from Nation n) union "
+        " (select 2 as t, ps.suppkey as k, null as v from PartSupp ps)) as Q "
+        "on (Q.t = 1 and s.nationkey = Q.k) or (Q.t = 2 and s.suppkey = Q.k)");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DisjunctiveOuterJoin);
+
+void BM_FilteredScanNoIndex(benchmark::State& state) {
+  engine::QueryExecutor exec(SharedDb());
+  for (auto _ : state) {
+    auto r = exec.ExecuteSql(
+        "select o.custkey from Orders o where o.orderkey = 42");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_FilteredScanNoIndex);
+
+void BM_IndexProbe(benchmark::State& state) {
+  static bool indexed = [] {
+    auto table = SharedDb()->GetTable("Orders");
+    return table.ok() && (*table)->CreateIndex("orderkey").ok();
+  }();
+  benchmark::DoNotOptimize(indexed);
+  engine::QueryExecutor exec(SharedDb());
+  for (auto _ : state) {
+    auto r = exec.ExecuteSql(
+        "select o.custkey from Orders o where o.orderkey = 42");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_IndexProbe);
+
+void BM_SortWideRelation(benchmark::State& state) {
+  engine::QueryExecutor exec(SharedDb());
+  for (auto _ : state) {
+    auto r = exec.ExecuteSql(
+        "select l.orderkey, l.partkey, l.suppkey, l.qty, l.prc "
+        "from LineItem l order by l.partkey, l.orderkey");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SortWideRelation);
+
+void BM_WireSerialization(benchmark::State& state) {
+  engine::QueryExecutor exec(SharedDb());
+  auto rel = exec.ExecuteSql("select * from Orders");
+  for (auto _ : state) {
+    engine::Relation copy = *rel;
+    engine::TupleStream stream(std::move(copy));
+    size_t rows = 0;
+    while (stream.Next().has_value()) ++rows;
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_WireSerialization);
+
+void BM_PublishOptimalPlan(benchmark::State& state) {
+  static Publisher* publisher = new Publisher(SharedDb());
+  static ViewTree* tree =
+      new ViewTree(publisher->BuildViewTree(Query1Rxl()).value());
+  PublishOptions opt;
+  opt.collect_sql = false;
+  for (auto _ : state) {
+    std::ostringstream sink;
+    auto m = publisher->ExecutePlan(*tree, 0x1E8, opt, &sink);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_PublishOptimalPlan);
+
+void BM_PublishUnifiedPlan(benchmark::State& state) {
+  static Publisher* publisher = new Publisher(SharedDb());
+  static ViewTree* tree =
+      new ViewTree(publisher->BuildViewTree(Query1Rxl()).value());
+  PublishOptions opt;
+  opt.collect_sql = false;
+  for (auto _ : state) {
+    std::ostringstream sink;
+    auto m = publisher->ExecutePlan(*tree, 0x1FF, opt, &sink);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_PublishUnifiedPlan);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,10 @@
+// E2 — Fig. 13: Query 1 (orders nested under parts), Config A, execution
+// times of all 512 plans: (a) query time non-reduced, (b) query time with
+// view-tree reduction, (c) total time with reduction.
+#include "bench/exhaustive_common.h"
+#include "silkroute/queries.h"
+
+int main() {
+  return silkroute::bench::RunExhaustive(silkroute::core::Query1Rxl(),
+                                         "E2 / Fig. 13", "Query 1");
+}

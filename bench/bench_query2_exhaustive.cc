@@ -1,0 +1,9 @@
+// E3 — Fig. 14: Query 2 (orders parallel to parts: unions of outer joins
+// instead of nested outer joins), Config A, all 512 plans.
+#include "bench/exhaustive_common.h"
+#include "silkroute/queries.h"
+
+int main() {
+  return silkroute::bench::RunExhaustive(silkroute::core::Query2Rxl(),
+                                         "E3 / Fig. 14", "Query 2");
+}

@@ -1,0 +1,96 @@
+// E9 (ablation, paper Sec. 7): "the outer-union plan may also be
+// appropriate when a user query requests only a subset of the XML view,
+// and the result document is small. In this scenario, the outer-union
+// strategy should work well, because the resulting SQL query is usually
+// simple."
+//
+// We materialize three views — the full Query 1 view and two increasingly
+// selective subviews — under the unified outer-union plan and the greedy
+// plan, and report the ratio. The paper's prediction: the outer-union
+// penalty shrinks toward 1x as the fragment gets smaller.
+#include <cstdio>
+#include <sstream>
+
+#include "bench/bench_util.h"
+#include "rxl/parser.h"
+#include "silkroute/publisher.h"
+#include "silkroute/queries.h"
+#include "silkroute/subview.h"
+
+using namespace silkroute;
+using namespace silkroute::core;
+
+int main() {
+  const double scale = bench::EnvScale("SILK_SCALE_A", 0.025);
+  auto db = bench::MakeDatabase(scale);
+  std::printf("%s", bench::Header(
+                        "E9 — Sec. 7 ablation: outer-union on small "
+                        "subview results"));
+  std::printf("database bytes: %zu (scale %.3f)\n\n", db->TotalByteSize(),
+              scale);
+  Publisher publisher(db.get());
+
+  struct Case {
+    const char* label;
+    const char* path;  // nullptr = whole view
+  };
+  const Case cases[] = {
+      {"full view", nullptr},
+      {"/supplier[nation='FRANCE']", "/supplier[nation='FRANCE']"},
+      {"/supplier/part/order[orderkey=7]",
+       "/supplier/part/order[orderkey=7]"},
+  };
+
+  std::printf("%-38s %10s %12s %12s %8s %12s\n", "view", "tuples",
+              "outer-union", "greedy", "ratio", "penalty");
+  for (const Case& c : cases) {
+    auto view = rxl::ParseRxl(Query1Rxl());
+    if (!view.ok()) return 1;
+    std::string rxl_text;
+    if (c.path == nullptr) {
+      rxl_text = Query1Rxl();
+    } else {
+      auto composed = ComposeSubview(*view, c.path);
+      if (!composed.ok()) {
+        std::fprintf(stderr, "%s\n", composed.status().ToString().c_str());
+        return 1;
+      }
+      rxl_text = composed->ToString();
+    }
+
+    PublishOptions ou;
+    ou.strategy = PlanStrategy::kUnified;
+    ou.style = SqlGenStyle::kOuterUnion;
+    ou.reduce = false;
+    ou.collect_sql = false;
+    ou.document_element = "result";
+    std::ostringstream sink1;
+    auto mu = publisher.Publish(rxl_text, ou, &sink1);
+    if (!mu.ok()) {
+      std::fprintf(stderr, "%s\n", mu.status().ToString().c_str());
+      return 1;
+    }
+
+    PublishOptions greedy;
+    greedy.collect_sql = false;
+    greedy.document_element = "result";
+    std::ostringstream sink2;
+    auto mg = publisher.Publish(rxl_text, greedy, &sink2);
+    if (!mg.ok()) {
+      std::fprintf(stderr, "%s\n", mg.status().ToString().c_str());
+      return 1;
+    }
+
+    std::printf("%-38s %10zu %9.1f ms %9.1f ms %7.2fx %9.1f ms\n", c.label,
+                mu->metrics.rows, mu->metrics.total_ms(),
+                mg->metrics.total_ms(),
+                mu->metrics.total_ms() / mg->metrics.total_ms(),
+                mu->metrics.total_ms() - mg->metrics.total_ms());
+  }
+  std::printf(
+      "\nexpected shape: for small fragments the absolute penalty of the\n"
+      "simple outer-union strategy (last column) collapses to a few ms —\n"
+      "the Sec. 7 observation that it \"should work well\" for virtual-view\n"
+      "queries, where plan generation effort is not worth spending.\n");
+  return 0;
+}

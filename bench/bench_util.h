@@ -1,0 +1,80 @@
+// Shared harness for the experiment benchmarks. Each bench binary
+// regenerates one table or figure of the paper; see EXPERIMENTS.md for the
+// index. Scales are configurable through environment variables:
+//   SILK_SCALE_A  -- "Config A" database scale (default 0.025, ~1 MB)
+//   SILK_SCALE_B  -- "Config B" database scale (default 0.25, ~10 MB)
+//   SILK_REPEAT   -- repetitions per measured plan (default 1)
+#ifndef SILKROUTE_BENCH_BENCH_UTIL_H_
+#define SILKROUTE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "relational/database.h"
+#include "silkroute/publisher.h"
+#include "tpch/generator.h"
+
+namespace silkroute::bench {
+
+inline double EnvScale(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  return std::atof(value);
+}
+
+inline int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  return std::atoi(value);
+}
+
+inline std::unique_ptr<Database> MakeDatabase(double scale) {
+  auto db = std::make_unique<Database>();
+  tpch::TpchConfig config;
+  config.scale_factor = scale;
+  Status s = tpch::GenerateTpch(config, db.get());
+  if (!s.ok()) {
+    std::fprintf(stderr, "TPC-H generation failed: %s\n",
+                 s.ToString().c_str());
+    std::exit(1);
+  }
+  return db;
+}
+
+/// Executes one plan and returns its metrics (XML discarded). Repeats
+/// SILK_REPEAT times and keeps the fastest run (steady-state behaviour).
+inline core::PlanMetrics MeasurePlan(core::Publisher& publisher,
+                                     const core::ViewTree& tree,
+                                     uint64_t mask,
+                                     const core::PublishOptions& options,
+                                     int repeat = 0) {
+  if (repeat <= 0) repeat = EnvInt("SILK_REPEAT", 1);
+  core::PlanMetrics best;
+  for (int i = 0; i < repeat; ++i) {
+    std::ostringstream sink;
+    auto metrics = publisher.ExecutePlan(tree, mask, options, &sink);
+    if (!metrics.ok()) {
+      std::fprintf(stderr, "plan %llu failed: %s\n",
+                   static_cast<unsigned long long>(mask),
+                   metrics.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (i == 0 || metrics->total_ms() < best.total_ms()) {
+      best = std::move(metrics).value();
+    }
+  }
+  return best;
+}
+
+inline const char* Header(const std::string& title) {
+  static std::string buffer;
+  buffer = "\n=== " + title + " ===\n";
+  return buffer.c_str();
+}
+
+}  // namespace silkroute::bench
+
+#endif  // SILKROUTE_BENCH_BENCH_UTIL_H_

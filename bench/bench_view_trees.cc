@@ -1,0 +1,74 @@
+// E7 — structural figures: the view trees of Fig. 4 (query fragment),
+// Fig. 6 (Query 1) and Fig. 12 (Query 2) with their multiplicity labels,
+// the Fig. 11 reduction classes, and the generated SQL of Sec. 3.4 for the
+// fragment's four plans (Fig. 5).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "silkroute/partition.h"
+#include "silkroute/queries.h"
+#include "silkroute/sqlgen.h"
+
+using namespace silkroute;
+using namespace silkroute::core;
+
+int main() {
+  auto db = bench::MakeDatabase(0.001);
+  Publisher publisher(db.get());
+
+  std::printf("%s", bench::Header("E7 — view trees and generated SQL"));
+
+  {
+    auto tree = publisher.BuildViewTree(QueryFragmentRxl());
+    if (!tree.ok()) return 1;
+    std::printf("\nFig. 4 — view tree of the query fragment:\n%s",
+                tree->ToString().c_str());
+    std::printf("\nFig. 5 — the %zu plans of the fragment:\n",
+                size_t{1} << tree->num_edges());
+    for (uint64_t mask = 0; mask < (uint64_t{1} << tree->num_edges());
+         ++mask) {
+      auto plan = Partition::FromMask(*tree, mask);
+      if (!plan.ok()) return 1;
+      std::printf("  plan %llu: %s\n",
+                  static_cast<unsigned long long>(mask),
+                  plan->ToString().c_str());
+    }
+    std::printf("\nSec. 3.4 — unified outer-join SQL for the fragment:\n");
+    SqlGenerator gen(&*tree, SqlGenStyle::kOuterJoin, false);
+    auto spec = gen.GenerateComponent(Partition::Unified(*tree).components()[0].nodes);
+    if (!spec.ok()) return 1;
+    std::printf("  %s\n", spec->sql.c_str());
+  }
+
+  {
+    auto tree = publisher.BuildViewTree(Query1Rxl());
+    if (!tree.ok()) return 1;
+    std::printf("\nFig. 6 — labeled view tree of Query 1 "
+                "(%zu nodes, %zu edges, %llu plans):\n%s",
+                tree->num_nodes(), tree->num_edges(),
+                static_cast<unsigned long long>(uint64_t{1}
+                                                << tree->num_edges()),
+                tree->ToString().c_str());
+    auto exec = BuildExecComponent(
+        *tree, Partition::Unified(*tree).components()[0], /*reduce=*/true);
+    if (!exec.ok()) return 1;
+    std::printf("\nFig. 11 — reduction classes of the unified plan:\n");
+    for (const auto& cls : exec->nodes) {
+      std::printf("  class headed by %s covers {",
+                  tree->node(cls.head).skolem_name.c_str());
+      for (size_t i = 0; i < cls.covered.size(); ++i) {
+        std::printf("%s%s", i ? ", " : "",
+                    tree->node(cls.covered[i]).skolem_name.c_str());
+      }
+      std::printf("}\n");
+    }
+  }
+
+  {
+    auto tree = publisher.BuildViewTree(Query2Rxl());
+    if (!tree.ok()) return 1;
+    std::printf("\nFig. 12 — labeled view tree of Query 2:\n%s",
+                tree->ToString().c_str());
+  }
+  return 0;
+}

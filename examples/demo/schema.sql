@@ -1,0 +1,12 @@
+CREATE TABLE Team (
+  teamkey BIGINT PRIMARY KEY,
+  name VARCHAR(30),
+  city VARCHAR(30)
+);
+CREATE TABLE Player (
+  playerkey BIGINT PRIMARY KEY,
+  teamkey BIGINT,
+  name VARCHAR(30),
+  goals INT,
+  FOREIGN KEY (teamkey) REFERENCES Team(teamkey)
+);

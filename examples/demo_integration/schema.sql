@@ -1,0 +1,20 @@
+-- Two-source staff directory: employees and external consultants are
+-- integrated into one <person> list per branch (Skolem fusion).
+CREATE TABLE Branch (
+  branchkey BIGINT PRIMARY KEY,
+  city      VARCHAR(30)
+);
+CREATE TABLE Employee (
+  empkey    BIGINT PRIMARY KEY,
+  branchkey BIGINT,
+  name      VARCHAR(30),
+  phone     VARCHAR(20),
+  FOREIGN KEY (branchkey) REFERENCES Branch(branchkey)
+);
+CREATE TABLE Consultant (
+  conskey   BIGINT PRIMARY KEY,
+  branchkey BIGINT,
+  name      VARCHAR(30),
+  agency    VARCHAR(30),
+  FOREIGN KEY (branchkey) REFERENCES Branch(branchkey)
+);

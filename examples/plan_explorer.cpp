@@ -1,0 +1,85 @@
+// Plan explorer: an EXPLAIN-style tool for the middle-ware. Shows, for one
+// of the paper's queries, the labeled view tree, the SQL generated for a
+// few representative plans with the optimizer's estimates, and the greedy
+// algorithm's choice.
+//
+// Usage: plan_explorer [1|2] [scale]
+#include <cstdio>
+#include <cstdlib>
+
+#include "silkroute/greedy.h"
+#include "silkroute/partition.h"
+#include "silkroute/publisher.h"
+#include "silkroute/queries.h"
+#include "tpch/generator.h"
+
+using namespace silkroute;
+using namespace silkroute::core;
+
+int main(int argc, char** argv) {
+  const int query = argc > 1 ? std::atoi(argv[1]) : 1;
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.01;
+
+  Database db;
+  tpch::TpchConfig config;
+  config.scale_factor = scale;
+  if (!tpch::GenerateTpch(config, &db).ok()) return 1;
+
+  Publisher publisher(&db);
+  auto tree =
+      publisher.BuildViewTree(query == 2 ? Query2Rxl() : Query1Rxl());
+  if (!tree.ok()) {
+    std::fprintf(stderr, "%s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Query %d view tree (labels in brackets):\n%s\n", query,
+              tree->ToString().c_str());
+  std::printf("%llu possible plans (2^%zu edges)\n\n",
+              static_cast<unsigned long long>(uint64_t{1}
+                                              << tree->num_edges()),
+              tree->num_edges());
+
+  // Explain three canonical plans.
+  struct Candidate {
+    const char* name;
+    uint64_t mask;
+  };
+  const Candidate candidates[] = {
+      {"fully partitioned", 0},
+      {"unified", (uint64_t{1} << tree->num_edges()) - 1},
+      {"greedy-selected", 0},  // filled below
+  };
+
+  GreedyParams params;
+  auto greedy = GeneratePlanGreedy(*tree, publisher.estimator(), params);
+  if (!greedy.ok()) {
+    std::fprintf(stderr, "%s\n", greedy.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("greedy algorithm: %s\n\n", greedy->ToString(*tree).c_str());
+
+  SqlGenerator gen(&*tree, SqlGenStyle::kOuterJoin, /*reduce=*/true);
+  for (const Candidate& c : candidates) {
+    uint64_t mask =
+        std::string(c.name) == "greedy-selected" ? greedy->FullMask() : c.mask;
+    auto plan = Partition::FromMask(*tree, mask);
+    if (!plan.ok()) return 1;
+    std::printf("--- %s (mask %llu): %zu stream(s) ---\n", c.name,
+                static_cast<unsigned long long>(mask), plan->num_streams());
+    std::printf("components: %s\n", plan->ToString().c_str());
+    auto specs = gen.GeneratePlan(*plan);
+    if (!specs.ok()) return 1;
+    double total_cost = 0;
+    for (const auto& spec : *specs) {
+      auto est = publisher.estimator()->EstimateSql(spec.sql);
+      if (!est.ok()) return 1;
+      total_cost += est->cost;
+      std::printf("  [rows~%.0f cost~%.0f width~%.0fB] %.120s%s\n",
+                  est->rows, est->cost, est->width_bytes, spec.sql.c_str(),
+                  spec.sql.size() > 120 ? "..." : "");
+    }
+    std::printf("  estimated total evaluation cost: %.0f\n\n", total_cost);
+  }
+  return 0;
+}

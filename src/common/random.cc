@@ -1,0 +1,14 @@
+#include "common/random.h"
+
+namespace silkroute {
+
+std::string Random::NextString(size_t length) {
+  std::string out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    out.push_back(static_cast<char>('a' + Next() % 26));
+  }
+  return out;
+}
+
+}  // namespace silkroute

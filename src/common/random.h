@@ -1,0 +1,46 @@
+// Deterministic pseudo-random generator (xorshift64*), used by the TPC-H
+// generator and property tests so runs are reproducible across platforms.
+#ifndef SILKROUTE_COMMON_RANDOM_H_
+#define SILKROUTE_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace silkroute {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed == 0 ? 0x9E3779B97F4A7C15ull : seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % range);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Random lowercase ASCII string of the given length.
+  std::string NextString(size_t length);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace silkroute
+
+#endif  // SILKROUTE_COMMON_RANDOM_H_

@@ -1,0 +1,80 @@
+// Result<T>: a value-or-Status, in the style of absl::StatusOr / arrow::Result.
+#ifndef SILKROUTE_COMMON_RESULT_H_
+#define SILKROUTE_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace silkroute {
+
+/// Holds either a T or a non-OK Status. Accessing the value of an error
+/// Result aborts the process (programming error, like absl::StatusOr).
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      std::cerr << "Result constructed from OK status without value\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const {
+    static const Status* const kOk = new Status();
+    return ok() ? *kOk : status_;
+  }
+
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::cerr << "Accessed value of error Result: " << status_.ToString()
+                << "\n";
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace silkroute
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define SILK_ASSIGN_OR_RETURN(lhs, rexpr)                     \
+  SILK_ASSIGN_OR_RETURN_IMPL_(                                \
+      SILK_MACRO_CONCAT_(_silk_result, __LINE__), lhs, rexpr)
+
+#define SILK_MACRO_CONCAT_INNER_(x, y) x##y
+#define SILK_MACRO_CONCAT_(x, y) SILK_MACRO_CONCAT_INNER_(x, y)
+
+#define SILK_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                \
+  if (!result.ok()) return result.status();             \
+  lhs = std::move(result).value();
+
+#endif  // SILKROUTE_COMMON_RESULT_H_

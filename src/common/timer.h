@@ -1,0 +1,34 @@
+// Wall-clock timer used by the benchmark harness.
+#ifndef SILKROUTE_COMMON_TIMER_H_
+#define SILKROUTE_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace silkroute {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/restart, in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace silkroute
+
+#endif  // SILKROUTE_COMMON_TIMER_H_

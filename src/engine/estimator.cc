@@ -1,0 +1,259 @@
+#include "engine/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sql/parser.h"
+
+namespace silkroute::engine {
+
+namespace {
+
+using sql::BinaryOp;
+using sql::Expr;
+
+constexpr double kDefaultDistinct = 10.0;
+constexpr double kDefaultWidth = 8.0;
+constexpr double kMiscSelectivity = 1.0 / 3.0;
+
+double SortCost(double rows, double width) {
+  if (rows < 2) return 0;
+  return rows * std::log2(rows) * (width / 64.0);
+}
+
+}  // namespace
+
+Result<QueryEstimate> CostEstimator::EstimateSql(std::string_view sql_text) {
+  SILK_ASSIGN_OR_RETURN(sql::QueryPtr q, sql::ParseQuery(sql_text));
+  return Estimate(*q);
+}
+
+Result<QueryEstimate> CostEstimator::Estimate(const sql::Query& query) {
+  ++num_requests_;
+  SILK_ASSIGN_OR_RETURN(EstRel rel, EstimateQueryRel(query));
+  QueryEstimate out;
+  out.rows = rel.rows;
+  out.cost = rel.cost;
+  out.width_bytes = rel.width;
+  return out;
+}
+
+Result<CostEstimator::EstRel> CostEstimator::EstimateQueryRel(
+    const sql::Query& query) {
+  if (query.cores.empty()) {
+    return Status::InvalidArgument("query has no SELECT cores");
+  }
+  EstRel total;
+  bool first = true;
+  for (const auto& core : query.cores) {
+    SILK_ASSIGN_OR_RETURN(EstRel part, EstimateCore(core));
+    if (first) {
+      total = std::move(part);
+      first = false;
+    } else {
+      total.rows += part.rows;
+      total.cost += part.cost;
+      total.width = std::max(total.width, part.width);
+    }
+  }
+  if (!query.order_by.empty()) {
+    total.cost += SortCost(total.rows, total.width);
+  }
+  return total;
+}
+
+Result<CostEstimator::EstRel> CostEstimator::EstimateCore(
+    const sql::SelectCore& core) {
+  // Estimate the FROM product.
+  EstRel combined;
+  combined.rows = 1;
+  for (const auto& ref : core.from) {
+    SILK_ASSIGN_OR_RETURN(EstRel item, EstimateTableRef(*ref));
+    combined.cost += item.cost + item.rows;  // scan / hash-build work
+    combined.rows *= std::max(item.rows, 1.0);
+    combined.width += item.width;
+    for (const auto& c : item.schema.columns()) combined.schema.Add(c);
+    combined.prov.insert(combined.prov.end(), item.prov.begin(),
+                         item.prov.end());
+  }
+
+  // Apply WHERE selectivity.
+  if (core.where) {
+    std::vector<const Expr*> conjuncts;
+    sql::CollectConjuncts(*core.where, &conjuncts);
+    for (const Expr* c : conjuncts) {
+      combined.rows *= Selectivity(*c, combined);
+    }
+    combined.rows = std::max(combined.rows, 1.0);
+  }
+  combined.cost += combined.rows;  // output materialization
+
+  if (core.select_star) return combined;
+
+  // Projection: recompute width, schema, and provenance.
+  EstRel out;
+  out.rows = combined.rows;
+  out.cost = combined.cost;
+  for (const auto& item : core.select_list) {
+    Provenance prov;
+    double width = kDefaultWidth;
+    std::string out_name;
+    std::string out_qual;
+    if (item.expr->kind() == Expr::Kind::kColumnRef) {
+      const auto& ref = static_cast<const sql::ColumnRefExpr&>(*item.expr);
+      auto idx = combined.schema.Resolve(ref.qualifier(), ref.name());
+      if (idx.ok()) {
+        prov = combined.prov[*idx];
+        width = WidthOf(combined, ref);
+      }
+      out_name = item.alias.empty() ? ref.name() : item.alias;
+      if (item.alias.empty()) out_qual = ref.qualifier();
+    } else {
+      if (item.expr->kind() == Expr::Kind::kLiteral) {
+        const auto& lit = static_cast<const sql::LiteralExpr&>(*item.expr);
+        width = static_cast<double>(lit.value().ByteSize());
+      }
+      out_name = item.alias.empty()
+                     ? "col" + std::to_string(out.schema.size() + 1)
+                     : item.alias;
+    }
+    out.schema.Add({out_qual, out_name});
+    out.prov.push_back(prov);
+    out.width += width;
+  }
+  if (core.distinct) {
+    // Cap at the product of per-column distinct counts, and charge the
+    // hashing pass.
+    double cap = 1;
+    bool have_cap = false;
+    for (const auto& item : core.select_list) {
+      if (item.expr->kind() != Expr::Kind::kColumnRef) continue;
+      const auto& ref = static_cast<const sql::ColumnRefExpr&>(*item.expr);
+      cap *= std::max(DistinctOf(combined, ref), 1.0);
+      have_cap = true;
+      if (cap > out.rows) break;  // no tighter than the input
+    }
+    if (have_cap) out.rows = std::min(out.rows, cap);
+    out.cost += out.rows;
+  }
+  return out;
+}
+
+Result<CostEstimator::EstRel> CostEstimator::EstimateTableRef(
+    const sql::TableRef& ref) {
+  switch (ref.kind()) {
+    case sql::TableRef::Kind::kBaseTable: {
+      const auto& base = static_cast<const sql::BaseTableRef&>(ref);
+      SILK_ASSIGN_OR_RETURN(const TableSchema* schema,
+                            catalog_->GetTable(base.table()));
+      EstRel rel;
+      rel.rows = stats_->RowCount(base.table());
+      rel.cost = rel.rows;  // scan
+      for (const auto& col : schema->columns()) {
+        rel.schema.Add({base.binding_name(), col.name});
+        rel.prov.emplace_back(std::make_pair(base.table(), col.name));
+        const ColumnStats* cs = stats_->GetColumn(base.table(), col.name);
+        rel.width += cs != nullptr ? cs->avg_width_bytes : kDefaultWidth;
+      }
+      return rel;
+    }
+    case sql::TableRef::Kind::kDerivedTable: {
+      const auto& derived = static_cast<const sql::DerivedTableRef&>(ref);
+      SILK_ASSIGN_OR_RETURN(EstRel rel, EstimateQueryRel(derived.query()));
+      rel.schema = rel.schema.WithQualifier(derived.alias());
+      return rel;
+    }
+    case sql::TableRef::Kind::kJoin: {
+      const auto& join = static_cast<const sql::JoinRef&>(ref);
+      SILK_ASSIGN_OR_RETURN(EstRel left, EstimateTableRef(join.left()));
+      SILK_ASSIGN_OR_RETURN(EstRel right, EstimateTableRef(join.right()));
+      EstRel out;
+      out.schema = RelSchema::Concat(left.schema, right.schema);
+      out.prov = left.prov;
+      out.prov.insert(out.prov.end(), right.prov.begin(), right.prov.end());
+      out.width = left.width + right.width;
+      double sel = Selectivity(join.on(), out);
+      double inner_rows =
+          std::max(left.rows, 1.0) * std::max(right.rows, 1.0) * sel;
+      out.rows = join.join_type() == sql::JoinType::kLeftOuter
+                     ? std::max(left.rows, inner_rows)
+                     : inner_rows;
+      out.rows = std::max(out.rows, 1.0);
+      // Hash join: build right, probe left, emit output.
+      out.cost = left.cost + right.cost + left.rows + right.rows + out.rows;
+      return out;
+    }
+  }
+  return Status::Internal("unknown table ref kind");
+}
+
+double CostEstimator::Selectivity(const sql::Expr& pred,
+                                  const EstRel& rel) const {
+  switch (pred.kind()) {
+    case Expr::Kind::kBinary: {
+      const auto& b = static_cast<const sql::BinaryExpr&>(pred);
+      if (b.op() == BinaryOp::kOr) {
+        std::vector<const Expr*> disjuncts;
+        sql::CollectDisjuncts(pred, &disjuncts);
+        double s = 0;
+        for (const Expr* d : disjuncts) s += Selectivity(*d, rel);
+        return std::min(s, 1.0);
+      }
+      if (b.op() == BinaryOp::kAnd) {
+        std::vector<const Expr*> conjuncts;
+        sql::CollectConjuncts(pred, &conjuncts);
+        double s = 1;
+        for (const Expr* c : conjuncts) s *= Selectivity(*c, rel);
+        return s;
+      }
+      if (b.op() == BinaryOp::kEq) {
+        const bool l_col = b.left().kind() == Expr::Kind::kColumnRef;
+        const bool r_col = b.right().kind() == Expr::Kind::kColumnRef;
+        if (l_col && r_col) {
+          double dl = DistinctOf(
+              rel, static_cast<const sql::ColumnRefExpr&>(b.left()));
+          double dr = DistinctOf(
+              rel, static_cast<const sql::ColumnRefExpr&>(b.right()));
+          return 1.0 / std::max({dl, dr, 1.0});
+        }
+        if (l_col || r_col) {
+          const auto& ref = static_cast<const sql::ColumnRefExpr&>(
+              l_col ? b.left() : b.right());
+          return 1.0 / std::max(DistinctOf(rel, ref), 1.0);
+        }
+        return kMiscSelectivity;
+      }
+      return kMiscSelectivity;
+    }
+    case Expr::Kind::kIsNull:
+      return kMiscSelectivity;
+    case Expr::Kind::kNot:
+      return std::max(
+          0.0, 1.0 - Selectivity(
+                         static_cast<const sql::NotExpr&>(pred).operand(),
+                         rel));
+    default:
+      return kMiscSelectivity;
+  }
+}
+
+double CostEstimator::DistinctOf(const EstRel& rel,
+                                 const sql::ColumnRefExpr& ref) const {
+  auto idx = rel.schema.Resolve(ref.qualifier(), ref.name());
+  if (!idx.ok()) return kDefaultDistinct;
+  const Provenance& p = rel.prov[*idx];
+  if (!p) return kDefaultDistinct;
+  return stats_->DistinctCount(p->first, p->second, kDefaultDistinct);
+}
+
+double CostEstimator::WidthOf(const EstRel& rel,
+                              const sql::ColumnRefExpr& ref) const {
+  auto idx = rel.schema.Resolve(ref.qualifier(), ref.name());
+  if (!idx.ok()) return kDefaultWidth;
+  const Provenance& p = rel.prov[*idx];
+  if (!p) return kDefaultWidth;
+  const ColumnStats* cs = stats_->GetColumn(p->first, p->second);
+  return cs != nullptr ? cs->avg_width_bytes : kDefaultWidth;
+}
+
+}  // namespace silkroute::engine

@@ -1,0 +1,86 @@
+// CostEstimator: an EXPLAIN-style optimizer facade. Given SQL text it
+// returns estimated cardinality, evaluation cost, and result width without
+// executing anything. This is the "oracle" of the paper's Sec. 5: SilkRoute's
+// greedy planner submits candidate queries here and combines the returned
+// evaluation_cost and data_size with its own coefficients.
+//
+// The model is System-R-lite:
+//   - base-table cardinality and per-column distinct counts come from
+//     DatabaseStats;
+//   - equijoin selectivity is 1/max(V(a), V(b)); literal equality 1/V;
+//     everything else 1/3;
+//   - cost = sum of input scan costs + hash build/probe work + output rows,
+//     plus n*log2(n)*width/64 for ORDER BY;
+//   - UNION ALL adds rows and costs;
+//   - LEFT OUTER JOIN keeps at least the left cardinality.
+#ifndef SILKROUTE_ENGINE_ESTIMATOR_H_
+#define SILKROUTE_ENGINE_ESTIMATOR_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/rel_schema.h"
+#include "engine/stats.h"
+#include "relational/catalog.h"
+#include "sql/ast.h"
+
+namespace silkroute::engine {
+
+struct QueryEstimate {
+  double rows = 0;
+  double cost = 0;         // abstract work units (~value operations)
+  double width_bytes = 0;  // average serialized row width
+
+  /// The paper's data_size(q) = f(|attrs(q)| * cardinality(q)).
+  double data_size() const { return rows * width_bytes; }
+};
+
+class CostEstimator {
+ public:
+  CostEstimator(const Catalog* catalog, const DatabaseStats* stats)
+      : catalog_(catalog), stats_(stats) {}
+
+  /// Parses and estimates; increments the request counter (the quantity the
+  /// paper reports in Sec. 5.1).
+  Result<QueryEstimate> EstimateSql(std::string_view sql);
+
+  Result<QueryEstimate> Estimate(const sql::Query& query);
+
+  size_t num_requests() const { return num_requests_; }
+  void ResetRequestCount() { num_requests_ = 0; }
+
+ private:
+  /// Column provenance: which base table/column an output column came from,
+  /// if traceable; nullopt for computed columns.
+  using Provenance = std::optional<std::pair<std::string, std::string>>;
+
+  struct EstRel {
+    double rows = 0;
+    double cost = 0;
+    double width = 0;
+    RelSchema schema;
+    std::vector<Provenance> prov;
+  };
+
+  Result<EstRel> EstimateQueryRel(const sql::Query& query);
+  Result<EstRel> EstimateCore(const sql::SelectCore& core);
+  Result<EstRel> EstimateTableRef(const sql::TableRef& ref);
+
+  /// Selectivity of a predicate over `rel` (provenance-aware).
+  double Selectivity(const sql::Expr& pred, const EstRel& rel) const;
+
+  double DistinctOf(const EstRel& rel, const sql::ColumnRefExpr& ref) const;
+  double WidthOf(const EstRel& rel, const sql::ColumnRefExpr& ref) const;
+
+  const Catalog* catalog_;
+  const DatabaseStats* stats_;
+  size_t num_requests_ = 0;
+};
+
+}  // namespace silkroute::engine
+
+#endif  // SILKROUTE_ENGINE_ESTIMATOR_H_

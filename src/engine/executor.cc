@@ -1,0 +1,885 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "engine/expr_eval.h"
+#include "sql/parser.h"
+
+namespace silkroute::engine {
+
+namespace {
+
+using sql::BinaryOp;
+using sql::Expr;
+
+/// Collects every column reference in an expression tree.
+void CollectColumnRefs(const Expr& e, std::vector<const sql::ColumnRefExpr*>* out) {
+  switch (e.kind()) {
+    case Expr::Kind::kColumnRef:
+      out->push_back(static_cast<const sql::ColumnRefExpr*>(&e));
+      return;
+    case Expr::Kind::kLiteral:
+      return;
+    case Expr::Kind::kBinary: {
+      const auto& b = static_cast<const sql::BinaryExpr&>(e);
+      CollectColumnRefs(b.left(), out);
+      CollectColumnRefs(b.right(), out);
+      return;
+    }
+    case Expr::Kind::kNot:
+      CollectColumnRefs(static_cast<const sql::NotExpr&>(e).operand(), out);
+      return;
+    case Expr::Kind::kIsNull:
+      CollectColumnRefs(static_cast<const sql::IsNullExpr&>(e).operand(), out);
+      return;
+  }
+}
+
+/// Which single relation (by index into `schemas`) does `e` reference?
+/// Returns -1 if it references none or more than one, or a ref is ambiguous.
+int SoleReferencedRelation(const Expr& e,
+                           const std::vector<const RelSchema*>& schemas) {
+  std::vector<const sql::ColumnRefExpr*> refs;
+  CollectColumnRefs(e, &refs);
+  int sole = -2;  // -2: none seen yet
+  for (const auto* ref : refs) {
+    int owner = -1;
+    for (size_t i = 0; i < schemas.size(); ++i) {
+      if (schemas[i]->Resolve(ref->qualifier(), ref->name()).ok()) {
+        if (owner >= 0) return -1;  // ambiguous across relations
+        owner = static_cast<int>(i);
+      }
+    }
+    if (owner < 0) return -1;  // unresolved here; defer to residual binding
+    if (sole == -2) {
+      sole = owner;
+    } else if (sole != owner) {
+      return -1;
+    }
+  }
+  return sole == -2 ? -1 : sole;
+}
+
+struct EquiPair {
+  const sql::ColumnRefExpr* left;
+  const sql::ColumnRefExpr* right;
+};
+
+/// If `e` is `colA = colB`, returns the two refs.
+bool AsColumnEquality(const Expr& e, EquiPair* out) {
+  if (e.kind() != Expr::Kind::kBinary) return false;
+  const auto& b = static_cast<const sql::BinaryExpr&>(e);
+  if (b.op() != BinaryOp::kEq) return false;
+  if (b.left().kind() != Expr::Kind::kColumnRef ||
+      b.right().kind() != Expr::Kind::kColumnRef) {
+    return false;
+  }
+  out->left = static_cast<const sql::ColumnRefExpr*>(&b.left());
+  out->right = static_cast<const sql::ColumnRefExpr*>(&b.right());
+  return true;
+}
+
+struct KeyHash {
+  size_t operator()(const std::vector<Value>& key) const {
+    size_t h = 0;
+    for (const auto& v : key) h = h * 1315423911u + v.Hash();
+    return h;
+  }
+};
+struct KeyEq {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].Compare(b[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+using HashTable =
+    std::unordered_multimap<std::vector<Value>, size_t, KeyHash, KeyEq>;
+
+Tuple NullPadded(const Tuple& left, size_t right_width) {
+  Tuple out = left;
+  for (size_t i = 0; i < right_width; ++i) out.Append(Value::Null());
+  return out;
+}
+
+}  // namespace
+
+Result<Relation> QueryExecutor::ExecuteSql(std::string_view sql_text) {
+  SILK_ASSIGN_OR_RETURN(sql::QueryPtr q, sql::ParseQuery(sql_text));
+  return Execute(*q);
+}
+
+Status QueryExecutor::CheckDeadline() const {
+  if (!has_deadline_) return Status::OK();
+  if (std::chrono::steady_clock::now() > deadline_) {
+    return Status::Timeout("query exceeded " +
+                           std::to_string(timeout_ms_) + " ms");
+  }
+  return Status::OK();
+}
+
+Result<Relation> QueryExecutor::Execute(const sql::Query& query) {
+  if (query.cores.empty()) {
+    return Status::InvalidArgument("query has no SELECT cores");
+  }
+  if (timeout_ms_ > 0 && !has_deadline_) {
+    has_deadline_ = true;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::microseconds(
+                    static_cast<int64_t>(timeout_ms_ * 1000));
+  }
+  Relation result;
+  for (size_t i = 0; i < query.cores.size(); ++i) {
+    SILK_ASSIGN_OR_RETURN(Relation part, ExecuteCore(query.cores[i]));
+    if (i == 0) {
+      result = std::move(part);
+    } else {
+      if (part.schema.size() != result.schema.size()) {
+        return Status::InvalidArgument(
+            "UNION operands have different arities (" +
+            std::to_string(result.schema.size()) + " vs " +
+            std::to_string(part.schema.size()) + ")");
+      }
+      result.rows.insert(result.rows.end(),
+                         std::make_move_iterator(part.rows.begin()),
+                         std::make_move_iterator(part.rows.end()));
+    }
+  }
+  if (!query.order_by.empty()) {
+    const Relation& preproj =
+        query.cores.size() == 1 ? last_preprojection_ : result;
+    SILK_RETURN_IF_ERROR(ApplyOrderBy(query, preproj, &result));
+  }
+  last_preprojection_ = Relation();  // release memory
+  return result;
+}
+
+Result<Relation> QueryExecutor::ExecuteCore(const sql::SelectCore& core) {
+  SILK_ASSIGN_OR_RETURN(Relation combined, JoinFromList(core));
+
+  if (core.select_star) {
+    last_preprojection_ = combined;
+    return combined;
+  }
+
+  // Bind projection expressions.
+  std::vector<BoundExprPtr> exprs;
+  RelSchema out_schema;
+  exprs.reserve(core.select_list.size());
+  for (const auto& item : core.select_list) {
+    SILK_ASSIGN_OR_RETURN(BoundExprPtr bound,
+                          BindExpr(*item.expr, combined.schema));
+    exprs.push_back(std::move(bound));
+    if (!item.alias.empty()) {
+      out_schema.Add({"", item.alias});
+    } else if (item.expr->kind() == Expr::Kind::kColumnRef) {
+      const auto& c = static_cast<const sql::ColumnRefExpr&>(*item.expr);
+      out_schema.Add({c.qualifier(), c.name()});
+    } else {
+      out_schema.Add({"", "col" + std::to_string(out_schema.size() + 1)});
+    }
+  }
+
+  Relation out;
+  out.schema = std::move(out_schema);
+  out.rows.reserve(combined.rows.size());
+  for (const auto& row : combined.rows) {
+    Tuple projected;
+    projected.mutable_values().reserve(exprs.size());
+    for (const auto& e : exprs) projected.Append(e->Eval(row));
+    out.rows.push_back(std::move(projected));
+  }
+  if (core.distinct) {
+    struct RowHash {
+      size_t operator()(const Tuple& t) const {
+        size_t h = 0;
+        for (const auto& v : t.values()) h = h * 1315423911u + v.Hash();
+        return h;
+      }
+    };
+    struct RowEq {
+      bool operator()(const Tuple& a, const Tuple& b) const {
+        return a.Compare(b) == 0;
+      }
+    };
+    std::unordered_set<Tuple, RowHash, RowEq> seen;
+    seen.reserve(out.rows.size());
+    std::vector<Tuple> unique;
+    unique.reserve(out.rows.size());
+    for (auto& row : out.rows) {
+      if (seen.insert(row).second) unique.push_back(std::move(row));
+    }
+    out.rows = std::move(unique);
+    // DISTINCT breaks row alignment; ORDER BY must use the output schema.
+    last_preprojection_ = Relation();
+  } else {
+    last_preprojection_ = std::move(combined);
+  }
+  return out;
+}
+
+Result<Relation> QueryExecutor::JoinFromList(const sql::SelectCore& core) {
+  if (core.from.empty()) {
+    // `select <literals>`: one empty source row.
+    Relation r;
+    r.rows.emplace_back();
+    return r;
+  }
+
+  // Evaluate each FROM item. Base tables are deferred (schema only) so the
+  // pushdown filters below can drive an index probe or a filtered scan
+  // instead of copying the whole table.
+  std::vector<Relation> items;
+  std::vector<const Table*> deferred_base(core.from.size(), nullptr);
+  items.reserve(core.from.size());
+  for (const auto& ref : core.from) {
+    if (ref->kind() == sql::TableRef::Kind::kBaseTable) {
+      const auto& base = static_cast<const sql::BaseTableRef&>(*ref);
+      SILK_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(base.table()));
+      Relation rel;
+      for (const auto& col : table->schema().columns()) {
+        rel.schema.Add({base.binding_name(), col.name});
+      }
+      deferred_base[items.size()] = table;
+      items.push_back(std::move(rel));
+      continue;
+    }
+    SILK_ASSIGN_OR_RETURN(Relation rel, EvalTableRef(*ref));
+    items.push_back(std::move(rel));
+  }
+
+  // Classify WHERE conjuncts.
+  std::vector<const Expr*> conjuncts;
+  if (core.where) CollectConjuncts(*core.where, &conjuncts);
+
+  std::vector<const RelSchema*> schemas;
+  schemas.reserve(items.size());
+  for (const auto& it : items) schemas.push_back(&it.schema);
+
+  struct JoinPred {
+    const Expr* expr;
+    int item_a;
+    const sql::ColumnRefExpr* ref_a;
+    int item_b;
+    const sql::ColumnRefExpr* ref_b;
+    bool used = false;
+  };
+  std::vector<JoinPred> join_preds;
+  std::vector<const Expr*> residual;
+  std::vector<std::vector<const Expr*>> pushdown(items.size());
+
+  for (const Expr* c : conjuncts) {
+    int sole = SoleReferencedRelation(*c, schemas);
+    if (sole >= 0) {
+      pushdown[static_cast<size_t>(sole)].push_back(c);
+      continue;
+    }
+    EquiPair pair;
+    if (AsColumnEquality(*c, &pair)) {
+      int owner_l = SoleReferencedRelation(*pair.left, schemas);
+      int owner_r = SoleReferencedRelation(*pair.right, schemas);
+      if (owner_l >= 0 && owner_r >= 0 && owner_l != owner_r) {
+        join_preds.push_back({c, owner_l, pair.left, owner_r, pair.right});
+        continue;
+      }
+    }
+    residual.push_back(c);
+  }
+
+  // Push single-item filters down. Deferred base tables materialize here,
+  // through an index probe when a literal-equality filter has one.
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (deferred_base[i] != nullptr) {
+      SILK_RETURN_IF_ERROR(
+          MaterializeBaseTable(*deferred_base[i], pushdown[i], &items[i]));
+      continue;
+    }
+    if (pushdown[i].empty()) continue;
+    std::vector<BoundExprPtr> filters;
+    for (const Expr* e : pushdown[i]) {
+      SILK_ASSIGN_OR_RETURN(BoundExprPtr b, BindExpr(*e, items[i].schema));
+      filters.push_back(std::move(b));
+    }
+    std::vector<Tuple> kept;
+    kept.reserve(items[i].rows.size());
+    for (auto& row : items[i].rows) {
+      bool pass = true;
+      for (const auto& f : filters) {
+        if (f->Test(row) != Tribool::kTrue) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) kept.push_back(std::move(row));
+    }
+    items[i].rows = std::move(kept);
+  }
+
+  // Greedy hash-join order: start with item 0, repeatedly join the smallest
+  // connected unjoined item.
+  std::vector<bool> joined(items.size(), false);
+  std::vector<int> item_of;  // which joined item each original index maps to
+  Relation current = std::move(items[0]);
+  joined[0] = true;
+  std::vector<size_t> joined_set = {0};
+  size_t num_joined = 1;
+
+  auto pred_connects = [&](const JoinPred& p, size_t candidate) {
+    bool a_in = joined[static_cast<size_t>(p.item_a)];
+    bool b_in = joined[static_cast<size_t>(p.item_b)];
+    return (!p.used) &&
+           ((a_in && static_cast<size_t>(p.item_b) == candidate) ||
+            (b_in && static_cast<size_t>(p.item_a) == candidate));
+  };
+
+  while (num_joined < items.size()) {
+    // Choose the smallest connected candidate.
+    int best = -1;
+    for (size_t cand = 0; cand < items.size(); ++cand) {
+      if (joined[cand]) continue;
+      bool connected = std::any_of(join_preds.begin(), join_preds.end(),
+                                   [&](const JoinPred& p) {
+                                     return pred_connects(p, cand);
+                                   });
+      if (!connected) continue;
+      if (best < 0 ||
+          items[cand].rows.size() < items[static_cast<size_t>(best)].rows.size()) {
+        best = static_cast<int>(cand);
+      }
+    }
+    bool cross_product = false;
+    if (best < 0) {
+      // No connected item: cross product with the first unjoined one.
+      for (size_t cand = 0; cand < items.size(); ++cand) {
+        if (!joined[cand]) {
+          best = static_cast<int>(cand);
+          break;
+        }
+      }
+      cross_product = true;
+    }
+    size_t cand = static_cast<size_t>(best);
+    Relation& right = items[cand];
+
+    if (cross_product) {
+      Relation combined;
+      combined.schema = RelSchema::Concat(current.schema, right.schema);
+      combined.rows.reserve(current.rows.size() * right.rows.size());
+      for (const auto& l : current.rows) {
+        SILK_RETURN_IF_ERROR(CheckDeadline());
+        for (const auto& r : right.rows) {
+          combined.rows.push_back(Tuple::Concat(l, r));
+        }
+      }
+      current = std::move(combined);
+    } else {
+      // Gather all usable predicates between the joined set and `cand`.
+      std::vector<std::pair<size_t, size_t>> keys;
+      for (auto& p : join_preds) {
+        if (!pred_connects(p, cand)) continue;
+        const sql::ColumnRefExpr* left_ref =
+            joined[static_cast<size_t>(p.item_a)] ? p.ref_a : p.ref_b;
+        const sql::ColumnRefExpr* right_ref =
+            joined[static_cast<size_t>(p.item_a)] ? p.ref_b : p.ref_a;
+        auto li = current.schema.Resolve(left_ref->qualifier(), left_ref->name());
+        auto ri = right.schema.Resolve(right_ref->qualifier(), right_ref->name());
+        if (!li.ok() || !ri.ok()) continue;
+        keys.emplace_back(*li, *ri);
+        p.used = true;
+      }
+      SILK_ASSIGN_OR_RETURN(
+          current, HashJoin(sql::JoinType::kInner, current, right, keys,
+                            /*residual=*/nullptr));
+    }
+    joined[cand] = true;
+    ++num_joined;
+  }
+
+  // Residual predicates (including any join predicates never used).
+  std::vector<const Expr*> leftover = residual;
+  for (const auto& p : join_preds) {
+    if (!p.used) leftover.push_back(p.expr);
+  }
+  if (!leftover.empty()) {
+    std::vector<BoundExprPtr> filters;
+    for (const Expr* e : leftover) {
+      SILK_ASSIGN_OR_RETURN(BoundExprPtr b, BindExpr(*e, current.schema));
+      filters.push_back(std::move(b));
+    }
+    std::vector<Tuple> kept;
+    kept.reserve(current.rows.size());
+    for (auto& row : current.rows) {
+      bool pass = true;
+      for (const auto& f : filters) {
+        if (f->Test(row) != Tribool::kTrue) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) kept.push_back(std::move(row));
+    }
+    current.rows = std::move(kept);
+  }
+  return current;
+}
+
+Status QueryExecutor::MaterializeBaseTable(
+    const Table& table, const std::vector<const sql::Expr*>& filters,
+    Relation* out) {
+  // Look for a literal-equality filter with an index on its column.
+  const Table::Index* index = nullptr;
+  const Value* probe = nullptr;
+  for (const sql::Expr* e : filters) {
+    if (e->kind() != Expr::Kind::kBinary) continue;
+    const auto& b = static_cast<const sql::BinaryExpr&>(*e);
+    if (b.op() != BinaryOp::kEq) continue;
+    const sql::ColumnRefExpr* col = nullptr;
+    const sql::LiteralExpr* lit = nullptr;
+    if (b.left().kind() == Expr::Kind::kColumnRef &&
+        b.right().kind() == Expr::Kind::kLiteral) {
+      col = static_cast<const sql::ColumnRefExpr*>(&b.left());
+      lit = static_cast<const sql::LiteralExpr*>(&b.right());
+    } else if (b.right().kind() == Expr::Kind::kColumnRef &&
+               b.left().kind() == Expr::Kind::kLiteral) {
+      col = static_cast<const sql::ColumnRefExpr*>(&b.right());
+      lit = static_cast<const sql::LiteralExpr*>(&b.left());
+    } else {
+      continue;
+    }
+    const Table::Index* candidate = table.GetIndex(col->name());
+    if (candidate != nullptr && !lit->value().is_null()) {
+      index = candidate;
+      probe = &lit->value();
+      break;
+    }
+  }
+
+  std::vector<BoundExprPtr> bound;
+  bound.reserve(filters.size());
+  for (const sql::Expr* e : filters) {
+    SILK_ASSIGN_OR_RETURN(BoundExprPtr b, BindExpr(*e, out->schema));
+    bound.push_back(std::move(b));
+  }
+  auto passes = [&bound](const Tuple& row) {
+    for (const auto& f : bound) {
+      if (f->Test(row) != Tribool::kTrue) return false;
+    }
+    return true;
+  };
+
+  if (index != nullptr) {
+    auto [begin, end] = index->equal_range(*probe);
+    for (auto it = begin; it != end; ++it) {
+      ++stats_.rows_scanned;
+      ++stats_.index_probes;
+      const Tuple& row = table.rows()[it->second];
+      if (passes(row)) out->rows.push_back(row);
+    }
+    return Status::OK();
+  }
+  stats_.rows_scanned += table.num_rows();
+  for (const Tuple& row : table.rows()) {
+    if (passes(row)) out->rows.push_back(row);
+  }
+  return Status::OK();
+}
+
+Result<Relation> QueryExecutor::EvalTableRef(const sql::TableRef& ref) {
+  switch (ref.kind()) {
+    case sql::TableRef::Kind::kBaseTable: {
+      const auto& base = static_cast<const sql::BaseTableRef&>(ref);
+      SILK_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(base.table()));
+      Relation rel;
+      for (const auto& col : table->schema().columns()) {
+        rel.schema.Add({base.binding_name(), col.name});
+      }
+      rel.rows = table->rows();  // copy: intermediate results are mutable
+      stats_.rows_scanned += rel.rows.size();
+      return rel;
+    }
+    case sql::TableRef::Kind::kDerivedTable: {
+      const auto& derived = static_cast<const sql::DerivedTableRef&>(ref);
+      // Note: uses a nested executor so last_preprojection_ of the outer
+      // query is not clobbered. The deadline is inherited as-is.
+      QueryExecutor sub(db_);
+      sub.timeout_ms_ = timeout_ms_;
+      sub.has_deadline_ = has_deadline_;
+      sub.deadline_ = deadline_;
+      SILK_ASSIGN_OR_RETURN(Relation rel, sub.Execute(derived.query()));
+      stats_.rows_scanned += sub.stats_.rows_scanned;
+      stats_.rows_joined += sub.stats_.rows_joined;
+      stats_.rows_sorted += sub.stats_.rows_sorted;
+      stats_.hash_joins += sub.stats_.hash_joins;
+      stats_.nested_loop_joins += sub.stats_.nested_loop_joins;
+      rel.schema = rel.schema.WithQualifier(derived.alias());
+      return rel;
+    }
+    case sql::TableRef::Kind::kJoin:
+      return EvalJoin(static_cast<const sql::JoinRef&>(ref));
+  }
+  return Status::Internal("unknown table ref kind");
+}
+
+Result<Relation> QueryExecutor::EvalJoin(const sql::JoinRef& join) {
+  SILK_ASSIGN_OR_RETURN(Relation left, EvalTableRef(join.left()));
+  SILK_ASSIGN_OR_RETURN(Relation right, EvalTableRef(join.right()));
+  return JoinRelations(join.join_type(), std::move(left), std::move(right),
+                       join.on());
+}
+
+Result<Relation> QueryExecutor::JoinRelations(sql::JoinType type,
+                                              Relation left, Relation right,
+                                              const sql::Expr& on) {
+  // Case 1: conjunction with at least one column equality -> hash join.
+  {
+    std::vector<const Expr*> conjuncts;
+    CollectConjuncts(on, &conjuncts);
+    std::vector<std::pair<size_t, size_t>> keys;
+    std::vector<const Expr*> residual_parts;
+    for (const Expr* c : conjuncts) {
+      EquiPair pair;
+      if (AsColumnEquality(*c, &pair)) {
+        auto li = left.schema.Resolve(pair.left->qualifier(), pair.left->name());
+        auto ri =
+            right.schema.Resolve(pair.right->qualifier(), pair.right->name());
+        if (li.ok() && ri.ok()) {
+          keys.emplace_back(*li, *ri);
+          continue;
+        }
+        // Try swapped orientation.
+        li = left.schema.Resolve(pair.right->qualifier(), pair.right->name());
+        ri = right.schema.Resolve(pair.left->qualifier(), pair.left->name());
+        if (li.ok() && ri.ok()) {
+          keys.emplace_back(*li, *ri);
+          continue;
+        }
+      }
+      residual_parts.push_back(c);
+    }
+    if (!keys.empty()) {
+      sql::ExprPtr residual_expr;
+      if (!residual_parts.empty()) {
+        std::vector<sql::ExprPtr> clones;
+        clones.reserve(residual_parts.size());
+        for (const Expr* e : residual_parts) clones.push_back(e->Clone());
+        residual_expr = sql::AndAll(std::move(clones));
+      }
+      return HashJoin(type, left, right, keys, residual_expr.get());
+    }
+  }
+
+  // Case 2: OR of conjunctions, each with column equalities -> disjunctive
+  // hash join (the unified outer-join query shape).
+  {
+    auto result = DisjunctiveHashJoin(type, left, right, on);
+    if (result.ok()) return result;
+    // fall through to nested loop on decomposition failure
+  }
+
+  return NestedLoopJoin(type, left, right, on);
+}
+
+Result<Relation> QueryExecutor::HashJoin(
+    sql::JoinType type, Relation& left, Relation& right,
+    const std::vector<std::pair<size_t, size_t>>& keys,
+    const sql::Expr* residual) {
+  Relation out;
+  out.schema = RelSchema::Concat(left.schema, right.schema);
+
+  BoundExprPtr residual_bound;
+  if (residual != nullptr) {
+    SILK_ASSIGN_OR_RETURN(residual_bound, BindExpr(*residual, out.schema));
+  }
+
+  HashTable table;
+  table.reserve(right.rows.size());
+  for (size_t r = 0; r < right.rows.size(); ++r) {
+    std::vector<Value> key;
+    key.reserve(keys.size());
+    bool has_null = false;
+    for (const auto& [li, ri] : keys) {
+      const Value& v = right.rows[r][ri];
+      if (v.is_null()) {
+        has_null = true;
+        break;
+      }
+      key.push_back(v);
+    }
+    if (!has_null) table.emplace(std::move(key), r);
+  }
+
+  ++stats_.hash_joins;
+  const size_t right_width = right.schema.size();
+  size_t deadline_check = 0;
+  std::vector<size_t> match_ids;
+  for (const auto& lrow : left.rows) {
+    if ((++deadline_check & 0xFF) == 0) {
+      SILK_RETURN_IF_ERROR(CheckDeadline());
+    }
+    std::vector<Value> key;
+    key.reserve(keys.size());
+    bool has_null = false;
+    for (const auto& [li, ri] : keys) {
+      const Value& v = lrow[li];
+      if (v.is_null()) {
+        has_null = true;
+        break;
+      }
+      key.push_back(v);
+    }
+    bool matched = false;
+    if (!has_null) {
+      // equal_range order is a hash-table implementation detail; sort the
+      // matches so equal-key output is deterministic in right-row order
+      // (fused streams rely on it).
+      match_ids.clear();
+      auto [begin, end] = table.equal_range(key);
+      for (auto it = begin; it != end; ++it) match_ids.push_back(it->second);
+      std::sort(match_ids.begin(), match_ids.end());
+      for (size_t r : match_ids) {
+        Tuple combined = Tuple::Concat(lrow, right.rows[r]);
+        if (residual_bound &&
+            residual_bound->Test(combined) != Tribool::kTrue) {
+          continue;
+        }
+        matched = true;
+        out.rows.push_back(std::move(combined));
+      }
+    }
+    if (!matched && type == sql::JoinType::kLeftOuter) {
+      out.rows.push_back(NullPadded(lrow, right_width));
+    }
+  }
+  stats_.rows_joined += out.rows.size();
+  return out;
+}
+
+Result<Relation> QueryExecutor::DisjunctiveHashJoin(sql::JoinType type,
+                                                    Relation& left,
+                                                    Relation& right,
+                                                    const sql::Expr& on) {
+  std::vector<const Expr*> disjuncts;
+  CollectDisjuncts(on, &disjuncts);
+  if (disjuncts.size() < 2) {
+    return Status::Unimplemented("not a disjunction");
+  }
+
+  struct Disjunct {
+    std::vector<std::pair<size_t, size_t>> keys;  // (left idx, right idx)
+    std::vector<BoundExprPtr> left_filters;
+    std::vector<BoundExprPtr> right_filters;
+    HashTable table;
+  };
+  std::vector<Disjunct> plans;
+  plans.reserve(disjuncts.size());
+
+  for (const Expr* d : disjuncts) {
+    Disjunct plan;
+    std::vector<const Expr*> conjuncts;
+    CollectConjuncts(*d, &conjuncts);
+    for (const Expr* c : conjuncts) {
+      EquiPair pair;
+      if (AsColumnEquality(*c, &pair)) {
+        auto li = left.schema.Resolve(pair.left->qualifier(), pair.left->name());
+        auto ri =
+            right.schema.Resolve(pair.right->qualifier(), pair.right->name());
+        if (li.ok() && ri.ok()) {
+          plan.keys.emplace_back(*li, *ri);
+          continue;
+        }
+        li = left.schema.Resolve(pair.right->qualifier(), pair.right->name());
+        ri = right.schema.Resolve(pair.left->qualifier(), pair.left->name());
+        if (li.ok() && ri.ok()) {
+          plan.keys.emplace_back(*li, *ri);
+          continue;
+        }
+      }
+      // Single-side predicate?
+      std::vector<const RelSchema*> schemas = {&left.schema, &right.schema};
+      int sole = SoleReferencedRelation(*c, schemas);
+      if (sole == 0) {
+        SILK_ASSIGN_OR_RETURN(BoundExprPtr b, BindExpr(*c, left.schema));
+        plan.left_filters.push_back(std::move(b));
+      } else if (sole == 1) {
+        SILK_ASSIGN_OR_RETURN(BoundExprPtr b, BindExpr(*c, right.schema));
+        plan.right_filters.push_back(std::move(b));
+      } else {
+        return Status::Unimplemented(
+            "disjunct has a cross-side non-equality predicate");
+      }
+    }
+    if (plan.keys.empty()) {
+      return Status::Unimplemented("disjunct has no column equality");
+    }
+    plans.push_back(std::move(plan));
+  }
+
+  // Build one hash table per disjunct.
+  for (auto& plan : plans) {
+    plan.table.reserve(right.rows.size());
+    for (size_t r = 0; r < right.rows.size(); ++r) {
+      bool pass = true;
+      for (const auto& f : plan.right_filters) {
+        if (f->Test(right.rows[r]) != Tribool::kTrue) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) continue;
+      std::vector<Value> key;
+      key.reserve(plan.keys.size());
+      bool has_null = false;
+      for (const auto& [li, ri] : plan.keys) {
+        const Value& v = right.rows[r][ri];
+        if (v.is_null()) {
+          has_null = true;
+          break;
+        }
+        key.push_back(v);
+      }
+      if (!has_null) plan.table.emplace(std::move(key), r);
+    }
+  }
+
+  ++stats_.hash_joins;
+  Relation out;
+  out.schema = RelSchema::Concat(left.schema, right.schema);
+  const size_t right_width = right.schema.size();
+  std::vector<size_t> match_ids;
+  size_t deadline_check = 0;
+  for (const auto& lrow : left.rows) {
+    if ((++deadline_check & 0xFF) == 0) {
+      SILK_RETURN_IF_ERROR(CheckDeadline());
+    }
+    match_ids.clear();
+    for (const auto& plan : plans) {
+      bool pass = true;
+      for (const auto& f : plan.left_filters) {
+        if (f->Test(lrow) != Tribool::kTrue) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) continue;
+      std::vector<Value> key;
+      key.reserve(plan.keys.size());
+      bool has_null = false;
+      for (const auto& [li, ri] : plan.keys) {
+        const Value& v = lrow[li];
+        if (v.is_null()) {
+          has_null = true;
+          break;
+        }
+        key.push_back(v);
+      }
+      if (has_null) continue;
+      auto [begin, end] = plan.table.equal_range(key);
+      for (auto it = begin; it != end; ++it) match_ids.push_back(it->second);
+    }
+    // Deduplicate matches across disjuncts.
+    std::sort(match_ids.begin(), match_ids.end());
+    match_ids.erase(std::unique(match_ids.begin(), match_ids.end()),
+                    match_ids.end());
+    if (match_ids.empty()) {
+      if (type == sql::JoinType::kLeftOuter) {
+        out.rows.push_back(NullPadded(lrow, right_width));
+      }
+      continue;
+    }
+    for (size_t r : match_ids) {
+      out.rows.push_back(Tuple::Concat(lrow, right.rows[r]));
+    }
+  }
+  stats_.rows_joined += out.rows.size();
+  return out;
+}
+
+Result<Relation> QueryExecutor::NestedLoopJoin(sql::JoinType type,
+                                               Relation& left, Relation& right,
+                                               const sql::Expr& on) {
+  Relation out;
+  out.schema = RelSchema::Concat(left.schema, right.schema);
+  SILK_ASSIGN_OR_RETURN(BoundExprPtr pred, BindExpr(on, out.schema));
+  ++stats_.nested_loop_joins;
+  const size_t right_width = right.schema.size();
+  for (const auto& lrow : left.rows) {
+    SILK_RETURN_IF_ERROR(CheckDeadline());
+    bool matched = false;
+    for (const auto& rrow : right.rows) {
+      Tuple combined = Tuple::Concat(lrow, rrow);
+      if (pred->Test(combined) == Tribool::kTrue) {
+        matched = true;
+        out.rows.push_back(std::move(combined));
+      }
+    }
+    if (!matched && type == sql::JoinType::kLeftOuter) {
+      out.rows.push_back(NullPadded(lrow, right_width));
+    }
+  }
+  stats_.rows_joined += out.rows.size();
+  return out;
+}
+
+Status QueryExecutor::ApplyOrderBy(const sql::Query& query,
+                                   const Relation& pre_projection,
+                                   Relation* result) {
+  const size_t n = result->rows.size();
+  // Bind each key against the output schema; fall back to the
+  // pre-projection schema (single-core queries only).
+  struct Key {
+    BoundExprPtr expr;
+    bool ascending;
+    bool from_preprojection;
+  };
+  std::vector<Key> bound_keys;
+  for (const auto& o : query.order_by) {
+    auto out_bound = BindExpr(*o.expr, result->schema);
+    if (out_bound.ok()) {
+      bound_keys.push_back({std::move(out_bound).value(), o.ascending, false});
+      continue;
+    }
+    if (query.cores.size() == 1 && pre_projection.rows.size() == n) {
+      auto pre_bound = BindExpr(*o.expr, pre_projection.schema);
+      if (pre_bound.ok()) {
+        bound_keys.push_back({std::move(pre_bound).value(), o.ascending, true});
+        continue;
+      }
+    }
+    return Status::InvalidArgument("cannot resolve ORDER BY key '" +
+                                   o.expr->ToSql() + "'");
+  }
+
+  // Materialize key tuples and sort a permutation.
+  std::vector<std::vector<Value>> keys(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i].reserve(bound_keys.size());
+    for (const auto& k : bound_keys) {
+      const Tuple& row =
+          k.from_preprojection ? pre_projection.rows[i] : result->rows[i];
+      keys[i].push_back(k.expr->Eval(row));
+    }
+  }
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+    for (size_t k = 0; k < bound_keys.size(); ++k) {
+      int c = keys[a][k].Compare(keys[b][k]);
+      if (c != 0) return bound_keys[k].ascending ? c < 0 : c > 0;
+    }
+    return false;
+  });
+  std::vector<Tuple> sorted;
+  sorted.reserve(n);
+  for (size_t i : perm) sorted.push_back(std::move(result->rows[i]));
+  result->rows = std::move(sorted);
+  stats_.rows_sorted += n;
+  return Status::OK();
+}
+
+}  // namespace silkroute::engine

@@ -1,0 +1,49 @@
+#include "engine/rel_schema.h"
+
+#include "common/string_util.h"
+
+namespace silkroute::engine {
+
+Result<size_t> RelSchema::Resolve(const std::string& qualifier,
+                                  const std::string& name) const {
+  ssize_t found = -1;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const OutputColumn& c = columns_[i];
+    if (c.name != name) continue;
+    if (!qualifier.empty() && c.qualifier != qualifier) continue;
+    if (found >= 0) {
+      return Status::InvalidArgument(
+          "ambiguous column reference '" +
+          (qualifier.empty() ? name : qualifier + "." + name) + "'");
+    }
+    found = static_cast<ssize_t>(i);
+  }
+  if (found < 0) {
+    return Status::NotFound("unresolved column reference '" +
+                            (qualifier.empty() ? name : qualifier + "." + name) +
+                            "'");
+  }
+  return static_cast<size_t>(found);
+}
+
+RelSchema RelSchema::Concat(const RelSchema& left, const RelSchema& right) {
+  std::vector<OutputColumn> cols = left.columns_;
+  cols.insert(cols.end(), right.columns_.begin(), right.columns_.end());
+  return RelSchema(std::move(cols));
+}
+
+RelSchema RelSchema::WithQualifier(const std::string& alias) const {
+  std::vector<OutputColumn> cols;
+  cols.reserve(columns_.size());
+  for (const auto& c : columns_) cols.push_back({alias, c.name});
+  return RelSchema(std::move(cols));
+}
+
+std::string RelSchema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (const auto& c : columns_) parts.push_back(c.FullName());
+  return "[" + Join(parts, ", ") + "]";
+}
+
+}  // namespace silkroute::engine

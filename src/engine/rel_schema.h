@@ -1,0 +1,55 @@
+// RelSchema: the schema of an intermediate relation during execution —
+// a list of (qualifier, name) output columns with resolution rules for
+// qualified and unqualified column references.
+#ifndef SILKROUTE_ENGINE_REL_SCHEMA_H_
+#define SILKROUTE_ENGINE_REL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace silkroute::engine {
+
+struct OutputColumn {
+  std::string qualifier;  // table binding name; empty for computed columns
+  std::string name;
+
+  std::string FullName() const {
+    return qualifier.empty() ? name : qualifier + "." + name;
+  }
+};
+
+class RelSchema {
+ public:
+  RelSchema() = default;
+  explicit RelSchema(std::vector<OutputColumn> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<OutputColumn>& columns() const { return columns_; }
+  size_t size() const { return columns_.size(); }
+  const OutputColumn& column(size_t i) const { return columns_[i]; }
+
+  void Add(OutputColumn col) { columns_.push_back(std::move(col)); }
+
+  /// Resolves a column reference. A qualified ref `q.n` matches columns with
+  /// qualifier q and name n. An unqualified ref `n` matches any column named
+  /// n; it is an error if that is ambiguous.
+  Result<size_t> Resolve(const std::string& qualifier,
+                         const std::string& name) const;
+
+  /// Concatenation (for joins): right columns appended after left.
+  static RelSchema Concat(const RelSchema& left, const RelSchema& right);
+
+  /// Re-qualifies every column with `alias` (for derived tables).
+  RelSchema WithQualifier(const std::string& alias) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<OutputColumn> columns_;
+};
+
+}  // namespace silkroute::engine
+
+#endif  // SILKROUTE_ENGINE_REL_SCHEMA_H_

@@ -1,0 +1,58 @@
+// Table statistics: row counts, per-column distinct counts, widths, and null
+// fractions. These feed the CostEstimator, which plays the role of the
+// target RDBMS's optimizer in the paper's greedy plan-generation algorithm.
+#ifndef SILKROUTE_ENGINE_STATS_H_
+#define SILKROUTE_ENGINE_STATS_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/database.h"
+
+namespace silkroute::engine {
+
+struct ColumnStats {
+  size_t distinct_count = 0;
+  double avg_width_bytes = 8.0;
+  double null_fraction = 0.0;
+};
+
+struct TableStats {
+  size_t row_count = 0;
+  std::vector<ColumnStats> columns;  // aligned with the table schema
+  double avg_row_width_bytes = 0.0;
+};
+
+/// Statistics for all tables of one database instance, collected with a
+/// single exact pass (the analogue of ANALYZE).
+class DatabaseStats {
+ public:
+  static DatabaseStats Collect(const Database& db);
+
+  bool HasTable(const std::string& table) const {
+    return tables_.count(table) > 0;
+  }
+  Result<const TableStats*> GetTable(const std::string& table) const;
+
+  /// Distinct count of `table.column`; `fallback` if unknown.
+  double DistinctCount(const std::string& table, const std::string& column,
+                       double fallback = 10.0) const;
+
+  /// Per-column statistics, or nullptr if unknown.
+  const ColumnStats* GetColumn(const std::string& table,
+                               const std::string& column) const;
+
+  /// Row count of `table`, 0 if unknown.
+  double RowCount(const std::string& table) const;
+
+ private:
+  std::map<std::string, TableStats> tables_;
+  std::map<std::string, std::map<std::string, size_t>> column_index_;
+};
+
+}  // namespace silkroute::engine
+
+#endif  // SILKROUTE_ENGINE_STATS_H_

@@ -1,0 +1,138 @@
+#include "engine/tuple_stream.h"
+
+#include <cstring>
+
+namespace silkroute::engine {
+
+namespace {
+
+enum : uint8_t {
+  kTagNull = 0,
+  kTagInt64 = 1,
+  kTagDouble = 2,
+  kTagString = 3,
+};
+
+void PutU32(uint32_t v, std::string* out) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+bool GetU32(const std::string& buf, size_t* off, uint32_t* v) {
+  if (*off + 4 > buf.size()) return false;
+  std::memcpy(v, buf.data() + *off, 4);
+  *off += 4;
+  return true;
+}
+
+bool GetU64(const std::string& buf, size_t* off, uint64_t* v) {
+  if (*off + 8 > buf.size()) return false;
+  std::memcpy(v, buf.data() + *off, 8);
+  *off += 8;
+  return true;
+}
+
+}  // namespace
+
+void SerializeTuple(const Tuple& tuple, std::string* out) {
+  PutU32(static_cast<uint32_t>(tuple.size()), out);
+  for (const Value& v : tuple.values()) {
+    if (v.is_null()) {
+      out->push_back(static_cast<char>(kTagNull));
+    } else if (v.is_int64()) {
+      out->push_back(static_cast<char>(kTagInt64));
+      PutU64(static_cast<uint64_t>(v.AsInt64()), out);
+    } else if (v.is_double()) {
+      out->push_back(static_cast<char>(kTagDouble));
+      double d = v.AsDouble();
+      uint64_t bits;
+      std::memcpy(&bits, &d, 8);
+      PutU64(bits, out);
+    } else {
+      out->push_back(static_cast<char>(kTagString));
+      const std::string& s = v.AsString();
+      PutU32(static_cast<uint32_t>(s.size()), out);
+      out->append(s);
+    }
+  }
+}
+
+Result<Tuple> DeserializeTuple(const std::string& buffer, size_t* offset) {
+  uint32_t n;
+  if (!GetU32(buffer, offset, &n)) {
+    return Status::OutOfRange("truncated tuple header");
+  }
+  Tuple tuple;
+  tuple.mutable_values().reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (*offset >= buffer.size()) {
+      return Status::OutOfRange("truncated tuple field tag");
+    }
+    uint8_t tag = static_cast<uint8_t>(buffer[*offset]);
+    ++*offset;
+    switch (tag) {
+      case kTagNull:
+        tuple.Append(Value::Null());
+        break;
+      case kTagInt64: {
+        uint64_t bits;
+        if (!GetU64(buffer, offset, &bits)) {
+          return Status::OutOfRange("truncated int64 field");
+        }
+        tuple.Append(Value::Int64(static_cast<int64_t>(bits)));
+        break;
+      }
+      case kTagDouble: {
+        uint64_t bits;
+        if (!GetU64(buffer, offset, &bits)) {
+          return Status::OutOfRange("truncated double field");
+        }
+        double d;
+        std::memcpy(&d, &bits, 8);
+        tuple.Append(Value::Double(d));
+        break;
+      }
+      case kTagString: {
+        uint32_t len;
+        if (!GetU32(buffer, offset, &len)) {
+          return Status::OutOfRange("truncated string length");
+        }
+        if (*offset + len > buffer.size()) {
+          return Status::OutOfRange("truncated string payload");
+        }
+        tuple.Append(Value::String(buffer.substr(*offset, len)));
+        *offset += len;
+        break;
+      }
+      default:
+        return Status::ParseError("bad field tag " + std::to_string(tag));
+    }
+  }
+  return tuple;
+}
+
+TupleStream::TupleStream(Relation relation)
+    : schema_(std::move(relation.schema)), num_tuples_(relation.rows.size()) {
+  // Server-side binding: serialize everything up front. Reserve using an
+  // estimate to avoid repeated growth.
+  size_t estimate = 0;
+  for (const auto& r : relation.rows) estimate += r.ByteSize() + 8;
+  buffer_.reserve(estimate);
+  for (const auto& r : relation.rows) SerializeTuple(r, &buffer_);
+}
+
+std::optional<Tuple> TupleStream::Next() {
+  if (offset_ >= buffer_.size()) return std::nullopt;
+  auto t = DeserializeTuple(buffer_, &offset_);
+  if (!t.ok()) return std::nullopt;  // corrupt stream treated as EOS
+  return std::move(t).value();
+}
+
+}  // namespace silkroute::engine

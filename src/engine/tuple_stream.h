@@ -1,0 +1,55 @@
+// TupleStream: the middle-ware's cursor over a query result, modelled after
+// JDBC. The paper's "total time" includes binding and transferring every
+// result tuple to the client; we reproduce that cost with a real wire
+// round-trip: the server side serializes each row to a length-prefixed
+// binary format, and Next() deserializes it on the client side. The work is
+// proportional to bytes moved (NULL padding included), exactly the quantity
+// that penalizes wide unified plans in the paper.
+#ifndef SILKROUTE_ENGINE_TUPLE_STREAM_H_
+#define SILKROUTE_ENGINE_TUPLE_STREAM_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/executor.h"
+#include "relational/tuple.h"
+
+namespace silkroute::engine {
+
+/// Serializes one tuple to the wire format, appending to `out`.
+void SerializeTuple(const Tuple& tuple, std::string* out);
+
+/// Deserializes one tuple starting at `*offset`; advances `*offset`.
+Result<Tuple> DeserializeTuple(const std::string& buffer, size_t* offset);
+
+class TupleStream {
+ public:
+  /// Takes a materialized result and runs the server-side binding
+  /// (serialization) immediately — the stream then owns only wire bytes.
+  explicit TupleStream(Relation relation);
+
+  const RelSchema& schema() const { return schema_; }
+
+  /// Client-side fetch: deserializes and returns the next tuple, or
+  /// nullopt at end of stream.
+  std::optional<Tuple> Next();
+
+  /// Rewinds to the first tuple (used by tests).
+  void Rewind() { offset_ = 0; }
+
+  size_t wire_bytes() const { return buffer_.size(); }
+  size_t num_tuples() const { return num_tuples_; }
+
+ private:
+  RelSchema schema_;
+  std::string buffer_;
+  size_t offset_ = 0;
+  size_t num_tuples_ = 0;
+};
+
+}  // namespace silkroute::engine
+
+#endif  // SILKROUTE_ENGINE_TUPLE_STREAM_H_

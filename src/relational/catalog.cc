@@ -1,0 +1,74 @@
+#include "relational/catalog.h"
+
+#include <algorithm>
+
+namespace silkroute {
+
+namespace {
+bool SameColumnSet(const std::vector<std::string>& a,
+                   const std::vector<std::string>& b) {
+  if (a.size() != b.size()) return false;
+  return std::all_of(a.begin(), a.end(), [&](const std::string& c) {
+    return std::find(b.begin(), b.end(), c) != b.end();
+  });
+}
+}  // namespace
+
+Status Catalog::AddTable(TableSchema schema) {
+  const std::string name = schema.name();
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already in catalog");
+  }
+  tables_.emplace(name, std::move(schema));
+  return Status::OK();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+Result<const TableSchema*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + name + "' in catalog");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, schema] : tables_) names.push_back(name);
+  return names;
+}
+
+bool Catalog::IsSuperkey(const std::string& table,
+                         const std::vector<std::string>& cols) const {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return false;
+  return it->second.IsSuperkey(cols);
+}
+
+const ForeignKeyDef* Catalog::FindForeignKey(
+    const std::string& from_table,
+    const std::vector<std::string>& cols) const {
+  auto it = tables_.find(from_table);
+  if (it == tables_.end()) return nullptr;
+  for (const auto& fk : it->second.foreign_keys()) {
+    if (SameColumnSet(fk.columns, cols)) return &fk;
+  }
+  return nullptr;
+}
+
+bool Catalog::HasInclusionDependency(const std::string& from_table,
+                                     const std::vector<std::string>& cols,
+                                     const std::string& target_table) const {
+  const ForeignKeyDef* fk = FindForeignKey(from_table, cols);
+  if (fk == nullptr) return false;
+  if (fk->target_table != target_table) return false;
+  auto target = tables_.find(target_table);
+  if (target == tables_.end()) return false;
+  return SameColumnSet(fk->target_columns, target->second.primary_key());
+}
+
+}  // namespace silkroute

@@ -1,0 +1,49 @@
+// Catalog: the schema- and constraint-registry of a database. SilkRoute's
+// view-tree labeling queries it for keys and foreign keys (paper Sec. 3.5
+// "database constraints ... derived from key constraints and referential
+// constraints extracted from the schema of the target database").
+#ifndef SILKROUTE_RELATIONAL_CATALOG_H_
+#define SILKROUTE_RELATIONAL_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/schema.h"
+
+namespace silkroute {
+
+class Catalog {
+ public:
+  Status AddTable(TableSchema schema);
+  bool HasTable(const std::string& name) const;
+  Result<const TableSchema*> GetTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  /// True if `cols` functionally determine all columns of `table`
+  /// (i.e. contain its primary key).
+  bool IsSuperkey(const std::string& table,
+                  const std::vector<std::string>& cols) const;
+
+  /// Finds a declared foreign key of `from_table` on exactly `cols`
+  /// (order-insensitive). Returns nullptr if none.
+  const ForeignKeyDef* FindForeignKey(
+      const std::string& from_table,
+      const std::vector<std::string>& cols) const;
+
+  /// True if every row of from_table.cols appears in target_table's key
+  /// columns, i.e. a declared referential constraint guarantees the
+  /// inclusion dependency from_table[cols] <= target_table[key].
+  bool HasInclusionDependency(const std::string& from_table,
+                              const std::vector<std::string>& cols,
+                              const std::string& target_table) const;
+
+ private:
+  std::map<std::string, TableSchema> tables_;
+};
+
+}  // namespace silkroute
+
+#endif  // SILKROUTE_RELATIONAL_CATALOG_H_

@@ -1,0 +1,140 @@
+#include "relational/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+
+namespace silkroute {
+
+std::vector<std::string> ParseCsvRecord(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"' && field.empty()) {
+      in_quotes = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+      ++i;
+      continue;
+    }
+    field.push_back(c);
+    ++i;
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+namespace {
+
+Result<Value> CoerceField(const std::string& field, const ColumnDef& col,
+                          bool was_quoted_empty, bool empty_is_null) {
+  if (field.empty() && empty_is_null && col.nullable && !was_quoted_empty) {
+    return Value::Null();
+  }
+  switch (col.type) {
+    case DataType::kInt64: {
+      char* end = nullptr;
+      long long v = std::strtoll(field.c_str(), &end, 10);
+      if (end == field.c_str() || *end != '\0') {
+        return Status::TypeError("'" + field + "' is not an integer for "
+                                 "column '" + col.name + "'");
+      }
+      return Value::Int64(v);
+    }
+    case DataType::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(field.c_str(), &end);
+      if (end == field.c_str() || *end != '\0') {
+        return Status::TypeError("'" + field + "' is not a number for "
+                                 "column '" + col.name + "'");
+      }
+      return Value::Double(v);
+    }
+    case DataType::kString:
+      return Value::String(field);
+  }
+  return Status::Internal("unknown column type");
+}
+
+}  // namespace
+
+Result<size_t> LoadCsv(std::istream* input, const CsvLoadOptions& options,
+                       const std::string& table, Database* db) {
+  SILK_ASSIGN_OR_RETURN(Table * target, db->GetTable(table));
+  const TableSchema& schema = target->schema();
+
+  std::string line;
+  size_t line_number = 0;
+  size_t loaded = 0;
+  bool skipped_header = !options.has_header;
+  while (std::getline(*input, line)) {
+    ++line_number;
+    if (line.empty() || (line.size() == 1 && line[0] == '\r')) continue;
+    if (!skipped_header) {
+      skipped_header = true;
+      continue;
+    }
+    std::vector<std::string> fields = ParseCsvRecord(line);
+    if (fields.size() != schema.num_columns()) {
+      return Status::InvalidArgument(
+          table + ".csv line " + std::to_string(line_number) + ": expected " +
+          std::to_string(schema.num_columns()) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+    Tuple row;
+    row.mutable_values().reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      auto value = CoerceField(fields[c], schema.column(c),
+                               /*was_quoted_empty=*/false,
+                               options.empty_is_null);
+      if (!value.ok()) {
+        return Status::TypeError(table + ".csv line " +
+                                 std::to_string(line_number) + ": " +
+                                 value.status().message());
+      }
+      row.Append(std::move(value).value());
+    }
+    Status inserted = target->Insert(std::move(row));
+    if (!inserted.ok()) {
+      return Status::ConstraintViolation(
+          table + ".csv line " + std::to_string(line_number) + ": " +
+          inserted.message());
+    }
+    ++loaded;
+  }
+  return loaded;
+}
+
+Result<size_t> LoadCsvFile(const std::string& path,
+                           const CsvLoadOptions& options,
+                           const std::string& table, Database* db) {
+  std::ifstream input(path);
+  if (!input.is_open()) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  return LoadCsv(&input, options, table, db);
+}
+
+}  // namespace silkroute

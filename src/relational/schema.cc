@@ -1,0 +1,71 @@
+#include "relational/schema.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace silkroute {
+
+std::optional<size_t> TableSchema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> TableSchema::ColumnIndex(const std::string& name) const {
+  auto idx = FindColumn(name);
+  if (!idx) {
+    return Status::NotFound("no column '" + name + "' in table '" + name_ +
+                            "'");
+  }
+  return *idx;
+}
+
+Status TableSchema::SetPrimaryKey(std::vector<std::string> key_columns) {
+  for (const auto& c : key_columns) {
+    if (!HasColumn(c)) {
+      return Status::InvalidArgument("primary key column '" + c +
+                                     "' not in table '" + name_ + "'");
+    }
+  }
+  primary_key_ = std::move(key_columns);
+  return Status::OK();
+}
+
+Status TableSchema::AddForeignKey(ForeignKeyDef fk) {
+  if (fk.columns.size() != fk.target_columns.size()) {
+    return Status::InvalidArgument(
+        "foreign key column count mismatch on table '" + name_ + "'");
+  }
+  for (const auto& c : fk.columns) {
+    if (!HasColumn(c)) {
+      return Status::InvalidArgument("foreign key column '" + c +
+                                     "' not in table '" + name_ + "'");
+    }
+  }
+  foreign_keys_.push_back(std::move(fk));
+  return Status::OK();
+}
+
+bool TableSchema::IsSuperkey(const std::vector<std::string>& cols) const {
+  if (primary_key_.empty()) return false;
+  return std::all_of(primary_key_.begin(), primary_key_.end(),
+                     [&](const std::string& k) {
+                       return std::find(cols.begin(), cols.end(), k) !=
+                              cols.end();
+                     });
+}
+
+std::string TableSchema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (const auto& c : columns_) {
+    bool is_key = std::find(primary_key_.begin(), primary_key_.end(),
+                            c.name) != primary_key_.end();
+    parts.push_back(is_key ? "*" + c.name : c.name);
+  }
+  return name_ + "(" + Join(parts, ", ") + ")";
+}
+
+}  // namespace silkroute

@@ -1,0 +1,76 @@
+// Table schemas and integrity constraints. The constraint metadata (keys,
+// functional dependencies, inclusion dependencies) is what SilkRoute's
+// view-tree labeling (paper Sec. 3.5) consumes.
+#ifndef SILKROUTE_RELATIONAL_SCHEMA_H_
+#define SILKROUTE_RELATIONAL_SCHEMA_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/value.h"
+
+namespace silkroute {
+
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kInt64;
+  bool nullable = false;
+};
+
+/// Foreign key: `columns` of this table reference `target_columns` of
+/// `target_table` (which must form a key there).
+struct ForeignKeyDef {
+  std::vector<std::string> columns;
+  std::string target_table;
+  std::vector<std::string> target_columns;
+};
+
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string name, std::vector<ColumnDef> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+
+  /// Index of a column by name, or nullopt.
+  std::optional<size_t> FindColumn(const std::string& name) const;
+  Result<size_t> ColumnIndex(const std::string& name) const;
+  bool HasColumn(const std::string& name) const {
+    return FindColumn(name).has_value();
+  }
+
+  /// Declares the primary key (column names must exist).
+  Status SetPrimaryKey(std::vector<std::string> key_columns);
+  const std::vector<std::string>& primary_key() const { return primary_key_; }
+  bool has_primary_key() const { return !primary_key_.empty(); }
+
+  Status AddForeignKey(ForeignKeyDef fk);
+  const std::vector<ForeignKeyDef>& foreign_keys() const {
+    return foreign_keys_;
+  }
+
+  /// True if `cols` is a superset of the primary key (hence a superkey).
+  bool IsSuperkey(const std::vector<std::string>& cols) const;
+
+  /// Human-readable datalog-style rendering, e.g.
+  /// "Supplier(*suppkey, name, addr, nationkey)".
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+  std::vector<std::string> primary_key_;
+  std::vector<ForeignKeyDef> foreign_keys_;
+};
+
+}  // namespace silkroute
+
+#endif  // SILKROUTE_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,99 @@
+#include "relational/table.h"
+
+namespace silkroute {
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  for (const auto& k : schema_.primary_key()) {
+    auto idx = schema_.FindColumn(k);
+    if (idx) key_indices_.push_back(*idx);
+  }
+}
+
+Tuple Table::ExtractKey(const Tuple& row) const {
+  Tuple key;
+  for (size_t i : key_indices_) key.Append(row[i]);
+  return key;
+}
+
+Status Table::Insert(Tuple row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "arity mismatch inserting into '" + schema_.name() + "': got " +
+        std::to_string(row.size()) + " values, want " +
+        std::to_string(schema_.num_columns()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const ColumnDef& col = schema_.column(i);
+    const Value& v = row[i];
+    if (v.is_null()) {
+      if (!col.nullable) {
+        return Status::ConstraintViolation("NULL in non-nullable column '" +
+                                           col.name + "' of table '" +
+                                           schema_.name() + "'");
+      }
+      continue;
+    }
+    bool type_ok = false;
+    switch (col.type) {
+      case DataType::kInt64:
+        type_ok = v.is_int64();
+        break;
+      case DataType::kDouble:
+        type_ok = v.is_double() || v.is_int64();
+        break;
+      case DataType::kString:
+        type_ok = v.is_string();
+        break;
+    }
+    if (!type_ok) {
+      return Status::TypeError("value " + v.ToString() +
+                               " does not match column '" + col.name +
+                               "' of type " + DataTypeToString(col.type));
+    }
+  }
+  if (!key_indices_.empty()) {
+    Tuple key = ExtractKey(row);
+    if (!key_set_.insert(key).second) {
+      return Status::ConstraintViolation("duplicate primary key " +
+                                         key.ToString() + " in table '" +
+                                         schema_.name() + "'");
+    }
+  }
+  rows_.push_back(std::move(row));
+  IndexRow(rows_.size() - 1);
+  return Status::OK();
+}
+
+Status Table::CreateIndex(const std::string& column) {
+  SILK_ASSIGN_OR_RETURN(size_t position, schema_.ColumnIndex(column));
+  Index& index = indexes_[position];
+  index.clear();
+  index.reserve(rows_.size());
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    const Value& v = rows_[r][position];
+    if (!v.is_null()) index.emplace(v, r);
+  }
+  return Status::OK();
+}
+
+const Table::Index* Table::GetIndex(const std::string& column) const {
+  auto position = schema_.FindColumn(column);
+  if (!position) return nullptr;
+  auto it = indexes_.find(*position);
+  return it == indexes_.end() ? nullptr : &it->second;
+}
+
+void Table::IndexRow(size_t row_position) {
+  for (auto& [column, index] : indexes_) {
+    const Value& v = rows_[row_position][column];
+    if (!v.is_null()) index.emplace(v, row_position);
+  }
+}
+
+size_t Table::DataByteSize() const {
+  size_t total = 0;
+  for (const auto& r : rows_) total += r.ByteSize();
+  return total;
+}
+
+}  // namespace silkroute

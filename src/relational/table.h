@@ -1,0 +1,73 @@
+// Table: an in-memory row store with schema type-checking and primary-key
+// uniqueness enforcement.
+#ifndef SILKROUTE_RELATIONAL_TABLE_H_
+#define SILKROUTE_RELATIONAL_TABLE_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+namespace silkroute {
+
+class Table {
+ public:
+  /// Hash index: value -> row positions.
+  using Index = std::unordered_multimap<Value, size_t, ValueHash>;
+
+  explicit Table(TableSchema schema);
+
+  const TableSchema& schema() const { return schema_; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Builds (or rebuilds) a hash index on one column. Maintained by later
+  /// inserts. The executor uses it for literal-equality scans.
+  Status CreateIndex(const std::string& column);
+
+  /// The index on `column`, or nullptr if none was created.
+  const Index* GetIndex(const std::string& column) const;
+
+  /// Validates arity, types, nullability, and primary-key uniqueness, then
+  /// appends the row.
+  Status Insert(Tuple row);
+
+  /// Appends without validation. Used by the bulk loader after generation,
+  /// where rows are constructed schema-correct by code.
+  void InsertUnchecked(Tuple row) {
+    rows_.push_back(std::move(row));
+    IndexRow(rows_.size() - 1);
+  }
+
+  /// Total serialized size of all rows, in bytes.
+  size_t DataByteSize() const;
+
+ private:
+  struct KeyHash {
+    size_t operator()(const Tuple& t) const {
+      size_t h = 0;
+      for (const auto& v : t.values()) h = h * 1315423911u + v.Hash();
+      return h;
+    }
+  };
+
+  Tuple ExtractKey(const Tuple& row) const;
+  void IndexRow(size_t row_position);
+
+  TableSchema schema_;
+  std::vector<Tuple> rows_;
+  std::vector<size_t> key_indices_;
+  std::unordered_set<Tuple, KeyHash> key_set_;
+  std::map<size_t, Index> indexes_;  // column position -> index
+};
+
+}  // namespace silkroute
+
+#endif  // SILKROUTE_RELATIONAL_TABLE_H_

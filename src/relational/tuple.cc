@@ -1,0 +1,46 @@
+#include "relational/tuple.h"
+
+#include <ostream>
+
+namespace silkroute {
+
+Tuple Tuple::Concat(const Tuple& left, const Tuple& right) {
+  std::vector<Value> out;
+  out.reserve(left.size() + right.size());
+  out.insert(out.end(), left.values_.begin(), left.values_.end());
+  out.insert(out.end(), right.values_.begin(), right.values_.end());
+  return Tuple(std::move(out));
+}
+
+size_t Tuple::ByteSize() const {
+  size_t total = 0;
+  for (const auto& v : values_) total += v.ByteSize();
+  return total;
+}
+
+int Tuple::Compare(const Tuple& other) const {
+  size_t n = std::min(values_.size(), other.values_.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = values_[i].Compare(other.values_[i]);
+    if (c != 0) return c;
+  }
+  if (values_.size() < other.values_.size()) return -1;
+  if (values_.size() > other.values_.size()) return 1;
+  return 0;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Tuple& t) {
+  return os << t.ToString();
+}
+
+}  // namespace silkroute

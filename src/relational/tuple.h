@@ -1,0 +1,53 @@
+// Tuple: a fixed-width row of Values.
+#ifndef SILKROUTE_RELATIONAL_TUPLE_H_
+#define SILKROUTE_RELATIONAL_TUPLE_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace silkroute {
+
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(size_t n) : values_(n) {}
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  Value& operator[](size_t i) { return values_[i]; }
+  const Value& operator[](size_t i) const { return values_[i]; }
+
+  const std::vector<Value>& values() const { return values_; }
+  std::vector<Value>& mutable_values() { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  /// Concatenates two tuples (used by joins).
+  static Tuple Concat(const Tuple& left, const Tuple& right);
+
+  /// Total serialized byte size of the row.
+  size_t ByteSize() const;
+
+  /// Lexicographic comparison by Value::Compare (NULLs first).
+  int Compare(const Tuple& other) const;
+  bool operator==(const Tuple& other) const { return Compare(other) == 0; }
+
+  /// "(v1, v2, ...)" for tests and debugging.
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Tuple& t);
+
+}  // namespace silkroute
+
+#endif  // SILKROUTE_RELATIONAL_TUPLE_H_

@@ -1,0 +1,149 @@
+#include "rxl/ast.h"
+
+#include "common/string_util.h"
+
+namespace silkroute::rxl {
+
+const char* CondOpToString(CondOp op) {
+  switch (op) {
+    case CondOp::kEq:
+      return "=";
+    case CondOp::kNe:
+      return "<>";
+    case CondOp::kLt:
+      return "<";
+    case CondOp::kLe:
+      return "<=";
+    case CondOp::kGt:
+      return ">";
+    case CondOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string SkolemTerm::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(args.size());
+  for (const auto& a : args) parts.push_back(a.ToString());
+  return function + "(" + Join(parts, ", ") + ")";
+}
+
+namespace {
+
+std::string Pad(int indent) { return std::string(static_cast<size_t>(indent) * 2, ' '); }
+
+std::string ContentToString(const Content& c, int indent);
+
+std::string ElementToString(const Element& e, int indent) {
+  std::string out = Pad(indent) + "<" + e.tag;
+  if (e.skolem) out += " ID=" + e.skolem->ToString();
+  out += ">\n";
+  for (const auto& c : e.content) out += ContentToString(c, indent + 1);
+  out += Pad(indent) + "</" + e.tag + ">\n";
+  return out;
+}
+
+std::string QuoteText(const std::string& text) {
+  std::string out = "\"";
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+std::string ContentToString(const Content& c, int indent) {
+  switch (c.kind) {
+    case Content::Kind::kElement:
+      return ElementToString(*c.element, indent);
+    case Content::Kind::kFieldRef:
+      return Pad(indent) + c.field.ToString() + "\n";
+    case Content::Kind::kText:
+      return Pad(indent) + QuoteText(c.text) + "\n";
+    case Content::Kind::kBlock:
+      return Pad(indent) + "{\n" + BlockToString(*c.block, indent + 1) +
+             Pad(indent) + "}\n";
+  }
+  return "";
+}
+
+}  // namespace
+
+Content CloneContent(const Content& content) {
+  Content out;
+  out.kind = content.kind;
+  switch (content.kind) {
+    case Content::Kind::kElement:
+      out.element = content.element->Clone();
+      break;
+    case Content::Kind::kFieldRef:
+      out.field = content.field;
+      break;
+    case Content::Kind::kText:
+      out.text = content.text;
+      break;
+    case Content::Kind::kBlock:
+      out.block = content.block->Clone();
+      break;
+  }
+  return out;
+}
+
+std::unique_ptr<Element> Element::Clone() const {
+  auto out = std::make_unique<Element>();
+  out->tag = tag;
+  out->skolem = skolem;
+  out->content.reserve(content.size());
+  for (const auto& c : content) out->content.push_back(CloneContent(c));
+  return out;
+}
+
+std::unique_ptr<Block> Block::Clone() const {
+  auto out = std::make_unique<Block>();
+  out->from = from;
+  out->where = where;
+  out->construct.reserve(construct.size());
+  for (const auto& c : construct) out->construct.push_back(CloneContent(c));
+  return out;
+}
+
+std::string BlockToString(const Block& block, int indent) {
+  std::string out;
+  if (!block.from.empty()) {
+    std::vector<std::string> bindings;
+    bindings.reserve(block.from.size());
+    for (const auto& b : block.from) {
+      bindings.push_back(b.table + " $" + b.var);
+    }
+    out += Pad(indent) + "from " + Join(bindings, ", ") + "\n";
+  }
+  if (!block.where.empty()) {
+    std::vector<std::string> conds;
+    conds.reserve(block.where.size());
+    for (const auto& c : block.where) conds.push_back(c.ToString());
+    out += Pad(indent) + "where " + Join(conds, ",\n" + Pad(indent + 3)) + "\n";
+  }
+  out += Pad(indent) + "construct\n";
+  for (const auto& c : block.construct) out += ContentToString(c, indent + 1);
+  return out;
+}
+
+std::string RxlQuery::ToString() const { return BlockToString(root, 0); }
+
+}  // namespace silkroute::rxl

@@ -1,0 +1,122 @@
+// RXL (Relational to XML transformation Language) abstract syntax, after
+// the paper's Sec. 2: a query is a block with SQL-style `from` and `where`
+// clauses and an XML-template `construct` clause. Templates nest blocks in
+// braces; parallel sibling blocks express union; explicit Skolem terms
+// (`<tag ID=F($v.field, ...)>`) control element fusion.
+#ifndef SILKROUTE_RXL_AST_H_
+#define SILKROUTE_RXL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace silkroute::rxl {
+
+/// `from Table $var`.
+struct TableBinding {
+  std::string table;
+  std::string var;
+};
+
+/// `$var.field` — a column of a bound tuple variable.
+struct FieldRef {
+  std::string var;
+  std::string field;
+
+  std::string ToString() const { return "$" + var + "." + field; }
+  bool operator==(const FieldRef& o) const {
+    return var == o.var && field == o.field;
+  }
+  bool operator<(const FieldRef& o) const {
+    return var != o.var ? var < o.var : field < o.field;
+  }
+};
+
+enum class CondOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CondOpToString(CondOp op);
+
+/// One side of a where-clause comparison.
+struct Operand {
+  enum class Kind { kField, kLiteral };
+  Kind kind = Kind::kField;
+  FieldRef field;  // when kField
+  Value literal;   // when kLiteral
+
+  std::string ToString() const {
+    return kind == Kind::kField ? field.ToString() : literal.ToString();
+  }
+};
+
+struct Condition {
+  Operand lhs;
+  CondOp op = CondOp::kEq;
+  Operand rhs;
+
+  std::string ToString() const {
+    return lhs.ToString() + " " + CondOpToString(op) + " " + rhs.ToString();
+  }
+  /// True for `$a.x = $b.y` with two field operands.
+  bool IsFieldJoin() const {
+    return op == CondOp::kEq && lhs.kind == Operand::Kind::kField &&
+           rhs.kind == Operand::Kind::kField;
+  }
+};
+
+/// Explicit Skolem term `F($v.x, $w.y)`.
+struct SkolemTerm {
+  std::string function;
+  std::vector<FieldRef> args;
+
+  std::string ToString() const;
+};
+
+struct Element;
+struct Block;
+
+/// Content inside an element template.
+struct Content {
+  enum class Kind { kElement, kFieldRef, kText, kBlock };
+  Kind kind = Kind::kText;
+
+  std::unique_ptr<Element> element;  // kElement
+  FieldRef field;                    // kFieldRef
+  std::string text;                  // kText
+  std::unique_ptr<Block> block;      // kBlock
+};
+
+struct Element {
+  std::string tag;
+  std::optional<SkolemTerm> skolem;  // explicit ID=... term, if any
+  std::vector<Content> content;
+
+  std::unique_ptr<Element> Clone() const;
+};
+
+Content CloneContent(const Content& content);
+
+/// A block: optional from/where plus one or more constructed elements.
+struct Block {
+  std::vector<TableBinding> from;
+  std::vector<Condition> where;
+  std::vector<Content> construct;  // elements / nested blocks at this level
+
+  std::unique_ptr<Block> Clone() const;
+};
+
+struct RxlQuery {
+  Block root;
+
+  /// Pretty-prints the query in RXL concrete syntax (round-trips through
+  /// the parser).
+  std::string ToString() const;
+};
+
+std::string BlockToString(const Block& block, int indent);
+
+}  // namespace silkroute::rxl
+
+#endif  // SILKROUTE_RXL_AST_H_

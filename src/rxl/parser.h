@@ -1,0 +1,18 @@
+// RXL parser: character-level recursive descent, since the construct clause
+// embeds XML-template syntax inside the query language.
+#ifndef SILKROUTE_RXL_PARSER_H_
+#define SILKROUTE_RXL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "rxl/ast.h"
+
+namespace silkroute::rxl {
+
+/// Parses an RXL view query.
+Result<RxlQuery> ParseRxl(std::string_view text);
+
+}  // namespace silkroute::rxl
+
+#endif  // SILKROUTE_RXL_PARSER_H_

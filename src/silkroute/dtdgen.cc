@@ -1,0 +1,135 @@
+#include "silkroute/dtdgen.h"
+
+#include <map>
+#include <set>
+
+namespace silkroute::core {
+
+namespace {
+
+using xml::ContentParticle;
+using xml::ElementDecl;
+
+ContentParticle::Occurrence ToOccurrence(Multiplicity m) {
+  switch (m) {
+    case Multiplicity::kOne:
+      return ContentParticle::Occurrence::kOne;
+    case Multiplicity::kOptional:
+      return ContentParticle::Occurrence::kOptional;
+    case Multiplicity::kPlus:
+      return ContentParticle::Occurrence::kPlus;
+    case Multiplicity::kStar:
+      return ContentParticle::Occurrence::kStar;
+  }
+  return ContentParticle::Occurrence::kStar;
+}
+
+ElementDecl DeclForNode(const ViewTree& tree, const ViewTreeNode& node) {
+  bool has_text = false;
+  std::vector<const ViewTreeNode*> children;
+  for (const auto& item : node.content) {
+    switch (item.kind) {
+      case ViewTreeNode::ContentItem::Kind::kText:
+      case ViewTreeNode::ContentItem::Kind::kValue:
+        has_text = true;
+        break;
+      case ViewTreeNode::ContentItem::Kind::kChild:
+        children.push_back(&tree.node(item.child_id));
+        break;
+    }
+  }
+
+  ElementDecl decl;
+  decl.name = node.tag;
+  if (children.empty() && !has_text) {
+    decl.category = ElementDecl::Category::kEmpty;
+  } else if (children.empty()) {
+    decl.category = ElementDecl::Category::kPcdata;
+  } else if (has_text) {
+    decl.category = ElementDecl::Category::kMixed;
+    std::set<std::string> names;
+    for (const auto* child : children) {
+      if (names.insert(child->tag).second) {
+        decl.mixed_names.push_back(child->tag);
+      }
+    }
+  } else {
+    decl.category = ElementDecl::Category::kChildren;
+    if (children.size() == 1) {
+      decl.content.kind = ContentParticle::Kind::kName;
+      decl.content.name = children[0]->tag;
+      decl.content.occurrence = ToOccurrence(children[0]->edge_label);
+    } else {
+      decl.content.kind = ContentParticle::Kind::kSequence;
+      for (const auto* child : children) {
+        ContentParticle p;
+        p.kind = ContentParticle::Kind::kName;
+        p.name = child->tag;
+        p.occurrence = ToOccurrence(child->edge_label);
+        decl.content.children.push_back(std::move(p));
+      }
+    }
+  }
+  return decl;
+}
+
+bool SameDecl(const ElementDecl& a, const ElementDecl& b) {
+  return a.ToString() == b.ToString();
+}
+
+}  // namespace
+
+Result<xml::Dtd> GenerateDtd(const ViewTree& tree,
+                             const std::string& document_element) {
+  std::map<std::string, ElementDecl> decls;  // tag -> merged declaration
+  for (const auto& node : tree.nodes()) {
+    ElementDecl decl = DeclForNode(tree, node);
+    auto [it, inserted] = decls.emplace(node.tag, decl);
+    if (!inserted && !SameDecl(it->second, decl)) {
+      // Conflicting uses of the same tag: widen to ANY.
+      it->second.category = ElementDecl::Category::kAny;
+      it->second.mixed_names.clear();
+      it->second.content = xml::ContentParticle{};
+    }
+  }
+
+  xml::Dtd dtd;
+  if (!document_element.empty()) {
+    if (decls.count(document_element) > 0) {
+      return Status::InvalidArgument("document element '" + document_element +
+                                     "' collides with a view element");
+    }
+    ElementDecl wrapper;
+    wrapper.name = document_element;
+    wrapper.category = ElementDecl::Category::kChildren;
+    wrapper.content.kind = ContentParticle::Kind::kName;
+    wrapper.content.name = tree.node(tree.root_id()).tag;
+    wrapper.content.occurrence = ContentParticle::Occurrence::kStar;
+    SILK_RETURN_IF_ERROR(dtd.AddElement(std::move(wrapper)));
+  }
+  for (auto& [tag, decl] : decls) {
+    SILK_RETURN_IF_ERROR(dtd.AddElement(std::move(decl)));
+  }
+  return dtd;
+}
+
+Result<std::string> GenerateDtdText(const ViewTree& tree,
+                                    const std::string& document_element) {
+  SILK_ASSIGN_OR_RETURN(xml::Dtd dtd, GenerateDtd(tree, document_element));
+  std::string out;
+  // Render in a stable order: wrapper first (if any), then tags sorted.
+  std::vector<std::string> names;
+  if (!document_element.empty()) names.push_back(document_element);
+  std::set<std::string> tags;
+  for (const auto& node : tree.nodes()) tags.insert(node.tag);
+  names.insert(names.end(), tags.begin(), tags.end());
+  for (const auto& name : names) {
+    SILK_ASSIGN_OR_RETURN(const xml::ElementDecl* decl,
+                          dtd.GetElement(name));
+    out += decl->ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace silkroute::core

@@ -1,0 +1,36 @@
+// DTD generation from a labeled view tree: the inverse of the paper's
+// Fig. 2 — the edge multiplicities (1 ? + *) derived in Sec. 3.5 are
+// exactly the occurrence operators of the exported document's content
+// models, so the middle-ware can publish a DTD alongside the XML view.
+//
+// Content models:
+//   - element with only text/value content  -> (#PCDATA)
+//   - element with only child elements      -> sequence with occurrences
+//   - element with both                     -> mixed (#PCDATA | c1 | ...)*
+//   - empty element                         -> EMPTY
+// Distinct view-tree nodes may share a tag (Query 1 uses <name> and
+// <nation> twice); identical models merge, conflicting models widen to ANY.
+#ifndef SILKROUTE_SILKROUTE_DTDGEN_H_
+#define SILKROUTE_SILKROUTE_DTDGEN_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "silkroute/view_tree.h"
+#include "xml/dtd.h"
+
+namespace silkroute::core {
+
+/// Generates the DTD of the documents this view produces. When
+/// `document_element` is non-empty, it is declared as containing
+/// root-element* (the wrapper Publisher emits).
+Result<xml::Dtd> GenerateDtd(const ViewTree& tree,
+                             const std::string& document_element);
+
+/// The same DTD as text ("<!ELEMENT ...>" lines).
+Result<std::string> GenerateDtdText(const ViewTree& tree,
+                                    const std::string& document_element);
+
+}  // namespace silkroute::core
+
+#endif  // SILKROUTE_SILKROUTE_DTDGEN_H_

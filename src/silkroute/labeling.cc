@@ -1,0 +1,274 @@
+#include "silkroute/labeling.h"
+
+#include <algorithm>
+#include <set>
+
+namespace silkroute::core {
+
+namespace {
+
+using rxl::Condition;
+using rxl::FieldRef;
+using rxl::Operand;
+
+bool Contains(const std::set<FieldRef>& set, const FieldRef& f) {
+  return set.count(f) > 0;
+}
+
+/// All columns of `atom`'s table as FieldRefs on its binding.
+std::vector<FieldRef> AtomColumns(const Catalog& catalog,
+                                  const DatalogAtom& atom) {
+  std::vector<FieldRef> out;
+  auto schema = catalog.GetTable(atom.table);
+  if (!schema.ok()) return out;
+  for (const auto& col : (*schema)->columns()) {
+    out.push_back({atom.binding, col.name});
+  }
+  return out;
+}
+
+/// Key columns of `atom`'s table as FieldRefs (all columns if keyless).
+std::vector<FieldRef> AtomKey(const Catalog& catalog, const DatalogAtom& atom) {
+  std::vector<FieldRef> out;
+  auto schema = catalog.GetTable(atom.table);
+  if (!schema.ok()) return out;
+  if ((*schema)->has_primary_key()) {
+    for (const auto& k : (*schema)->primary_key()) {
+      out.push_back({atom.binding, k});
+    }
+  } else {
+    return AtomColumns(catalog, atom);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<FieldRef> FdClosure(const Catalog& catalog,
+                                const std::vector<DatalogAtom>& atoms,
+                                const std::vector<Condition>& conditions,
+                                const std::vector<FieldRef>& start) {
+  std::set<FieldRef> closure(start.begin(), start.end());
+
+  // Constant filters seed the closure.
+  for (const auto& c : conditions) {
+    if (c.op != rxl::CondOp::kEq) continue;
+    if (c.lhs.kind == Operand::Kind::kField &&
+        c.rhs.kind == Operand::Kind::kLiteral) {
+      closure.insert(c.lhs.field);
+    } else if (c.rhs.kind == Operand::Kind::kField &&
+               c.lhs.kind == Operand::Kind::kLiteral) {
+      closure.insert(c.rhs.field);
+    }
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Key FDs: if the closure contains an atom's whole key, it contains all
+    // of the atom's columns.
+    for (const auto& atom : atoms) {
+      std::vector<FieldRef> key = AtomKey(catalog, atom);
+      if (key.empty()) continue;
+      bool has_key = std::all_of(key.begin(), key.end(),
+                                 [&](const FieldRef& k) {
+                                   return Contains(closure, k);
+                                 });
+      if (!has_key) continue;
+      for (const auto& col : AtomColumns(catalog, atom)) {
+        if (closure.insert(col).second) changed = true;
+      }
+    }
+    // Join equalities propagate both ways.
+    for (const auto& c : conditions) {
+      if (!c.IsFieldJoin()) continue;
+      bool l = Contains(closure, c.lhs.field);
+      bool r = Contains(closure, c.rhs.field);
+      if (l && !r) {
+        closure.insert(c.rhs.field);
+        changed = true;
+      } else if (r && !l) {
+        closure.insert(c.lhs.field);
+        changed = true;
+      }
+    }
+  }
+  return {closure.begin(), closure.end()};
+}
+
+namespace {
+
+/// C1: do the parent's Skolem arguments functionally determine the child's?
+bool CheckAtMostOne(const Catalog& catalog, const ViewTreeNode& parent,
+                    const ViewTreeNode& child) {
+  std::vector<FieldRef> start;
+  start.reserve(parent.args.size());
+  for (const auto& a : parent.args) start.push_back(a.field);
+  std::vector<FieldRef> closure =
+      FdClosure(catalog, child.atoms, child.conditions, start);
+  std::set<FieldRef> closure_set(closure.begin(), closure.end());
+  return std::all_of(child.args.begin(), child.args.end(),
+                     [&](const SkolemArg& a) {
+                       return closure_set.count(a.field) > 0;
+                     });
+}
+
+/// C2: does every parent instance have at least one child instance?
+/// Conservative foreign-key chase over the atoms the child adds.
+bool CheckAtLeastOne(const Catalog& catalog, const ViewTreeNode& parent,
+                     const ViewTreeNode& child) {
+  // Bindings already guaranteed by the parent.
+  std::set<std::string> safe;
+  for (const auto& atom : parent.atoms) safe.insert(atom.binding);
+
+  std::vector<DatalogAtom> extra;
+  for (const auto& atom : child.atoms) {
+    if (safe.count(atom.binding) == 0) extra.push_back(atom);
+  }
+  if (extra.empty()) {
+    // Same query (plus possibly extra conditions). Extra conditions can
+    // filter, so require none.
+    size_t parent_conds = parent.conditions.size();
+    return child.conditions.size() == parent_conds;
+  }
+
+  // Binding -> table lookup for all child atoms.
+  std::map<std::string, std::string> table_of;
+  for (const auto& atom : child.atoms) table_of[atom.binding] = atom.table;
+
+  // Any non-join or constant condition on a new binding can filter children.
+  auto mentions_unsafe_filter = [&](const std::string& binding) {
+    for (const auto& c : child.conditions) {
+      bool lhs_here = c.lhs.kind == Operand::Kind::kField &&
+                      c.lhs.field.var == binding;
+      bool rhs_here = c.rhs.kind == Operand::Kind::kField &&
+                      c.rhs.field.var == binding;
+      if (!lhs_here && !rhs_here) continue;
+      if (!c.IsFieldJoin()) return true;  // literal or inequality filter
+    }
+    return false;
+  };
+
+  bool progress = true;
+  std::set<std::string> done;
+  while (progress && done.size() < extra.size()) {
+    progress = false;
+    for (const auto& atom : extra) {
+      if (done.count(atom.binding) > 0) continue;
+      if (mentions_unsafe_filter(atom.binding)) return false;
+
+      // Equality links from safe bindings into this atom.
+      // target column -> (source table, source column, source nullable).
+      std::map<std::string, std::pair<std::string, std::string>> links;
+      bool nullable_source = false;
+      for (const auto& c : child.conditions) {
+        if (!c.IsFieldJoin()) continue;
+        const FieldRef* here = nullptr;
+        const FieldRef* there = nullptr;
+        if (c.lhs.field.var == atom.binding &&
+            safe.count(c.rhs.field.var) > 0) {
+          here = &c.lhs.field;
+          there = &c.rhs.field;
+        } else if (c.rhs.field.var == atom.binding &&
+                   safe.count(c.lhs.field.var) > 0) {
+          here = &c.rhs.field;
+          there = &c.lhs.field;
+        } else {
+          continue;
+        }
+        auto src_table_it = table_of.find(there->var);
+        if (src_table_it == table_of.end()) continue;
+        links[here->field] = {src_table_it->second, there->field};
+        auto schema = catalog.GetTable(src_table_it->second);
+        if (schema.ok()) {
+          auto idx = (*schema)->FindColumn(there->field);
+          if (idx && (*schema)->column(*idx).nullable) nullable_source = true;
+        }
+      }
+      if (links.empty()) continue;
+      if (nullable_source) return false;
+
+      // The linked columns must be exactly key columns covering the key.
+      auto schema = catalog.GetTable(atom.table);
+      if (!schema.ok()) return false;
+      const auto& key = (*schema)->primary_key();
+      if (key.empty()) return false;
+      bool covers_key =
+          std::all_of(key.begin(), key.end(), [&](const std::string& k) {
+            return links.count(k) > 0;
+          });
+      if (!covers_key) continue;
+      for (const auto& [col, src] : links) {
+        if (std::find(key.begin(), key.end(), col) == key.end()) {
+          // Equality on a non-key column can filter out matches.
+          return false;
+        }
+      }
+
+      // All key links must come from a single source table with a declared
+      // foreign key to this table.
+      std::string src_table;
+      std::vector<std::string> src_cols;
+      bool single_source = true;
+      for (const auto& k : key) {
+        const auto& [table, col] = links.at(k);
+        if (src_table.empty()) {
+          src_table = table;
+        } else if (src_table != table) {
+          single_source = false;
+        }
+        src_cols.push_back(col);
+      }
+      if (!single_source) continue;
+      if (!catalog.HasInclusionDependency(src_table, src_cols, atom.table)) {
+        continue;
+      }
+      done.insert(atom.binding);
+      safe.insert(atom.binding);
+      progress = true;
+    }
+  }
+  return done.size() == extra.size();
+}
+
+}  // namespace
+
+Status LabelEdges(const Catalog& catalog, ViewTree* tree) {
+  for (size_t i = 0; i < tree->num_nodes(); ++i) {
+    ViewTreeNode& node = tree->mutable_node(static_cast<int>(i));
+    if (node.parent < 0) continue;
+    const ViewTreeNode& parent = tree->node(node.parent);
+    bool at_most_one;
+    bool at_least_one;
+    if (node.fused()) {
+      // Multiple rules can each contribute an instance: never at-most-one;
+      // at-least-one if any single rule guarantees a child.
+      at_most_one = false;
+      at_least_one = false;
+      for (const auto& rule : node.AllRules()) {
+        ViewTreeNode probe = node;
+        probe.atoms = rule.atoms;
+        probe.conditions = rule.conditions;
+        if (CheckAtLeastOne(catalog, parent, probe)) {
+          at_least_one = true;
+          break;
+        }
+      }
+    } else {
+      at_most_one = CheckAtMostOne(catalog, parent, node);
+      at_least_one = CheckAtLeastOne(catalog, parent, node);
+    }
+    if (at_most_one && at_least_one) {
+      node.edge_label = Multiplicity::kOne;
+    } else if (at_most_one) {
+      node.edge_label = Multiplicity::kOptional;
+    } else if (at_least_one) {
+      node.edge_label = Multiplicity::kPlus;
+    } else {
+      node.edge_label = Multiplicity::kStar;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace silkroute::core

@@ -1,0 +1,45 @@
+// Edge-multiplicity labeling (paper Sec. 3.5): derives the 1 / ? / + / *
+// label of each view-tree edge from the catalog's key and referential
+// constraints.
+//
+// For an edge parent p -> child c with rules F(x1..xm) :- Qp and
+// G(x1..xm..xn) :- Qc:
+//   C1 ("at most one"): the functional dependency Rc: x1..xm -> xm+1..xn
+//     holds. Checked with an FD closure over Qc using table keys, join
+//     equalities, and constant filters.
+//   C2 ("at least one"): the inclusion dependency Rp[x1..xm] <= Rc[x1..xm]
+//     holds. Checked with a conservative foreign-key chase: every atom Qc
+//     adds beyond Qp must be reachable through a declared, non-nullable
+//     foreign key that covers the new table's key, and must carry no extra
+//     filters.
+//
+//          | C2 true | C2 false
+//  C1 true |    1    |    ?
+//  C1 false|    +    |    *
+#ifndef SILKROUTE_SILKROUTE_LABELING_H_
+#define SILKROUTE_SILKROUTE_LABELING_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "relational/catalog.h"
+#include "rxl/ast.h"
+#include "silkroute/view_tree.h"
+
+namespace silkroute::core {
+
+class ViewTree;
+
+/// Assigns edge_label on every non-root node of `tree`.
+Status LabelEdges(const Catalog& catalog, ViewTree* tree);
+
+/// Computes the FD closure of `start` fields under the constraints implied
+/// by `atoms` and `conditions` (exposed for tests).
+std::vector<rxl::FieldRef> FdClosure(
+    const Catalog& catalog, const std::vector<DatalogAtom>& atoms,
+    const std::vector<rxl::Condition>& conditions,
+    const std::vector<rxl::FieldRef>& start);
+
+}  // namespace silkroute::core
+
+#endif  // SILKROUTE_SILKROUTE_LABELING_H_

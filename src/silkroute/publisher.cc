@@ -1,0 +1,129 @@
+#include "silkroute/publisher.h"
+
+#include "common/timer.h"
+#include "engine/tuple_stream.h"
+#include "rxl/parser.h"
+#include "silkroute/partition.h"
+#include "silkroute/subview.h"
+#include "xml/writer.h"
+
+namespace silkroute::core {
+
+Publisher::Publisher(const Database* db)
+    : db_(db),
+      stats_(engine::DatabaseStats::Collect(*db)),
+      estimator_(&db->catalog(), &stats_) {}
+
+Result<ViewTree> Publisher::BuildViewTree(std::string_view rxl_text) const {
+  SILK_ASSIGN_OR_RETURN(rxl::RxlQuery query, rxl::ParseRxl(rxl_text));
+  return ViewTree::Build(query, db_->catalog());
+}
+
+Result<PublishResult> Publisher::PublishSubview(std::string_view rxl_text,
+                                                std::string_view path,
+                                                const PublishOptions& options,
+                                                std::ostream* out) {
+  SILK_ASSIGN_OR_RETURN(rxl::RxlQuery view, rxl::ParseRxl(rxl_text));
+  SILK_ASSIGN_OR_RETURN(rxl::RxlQuery composed, ComposeSubview(view, path));
+  return Publish(composed.ToString(), options, out);
+}
+
+Result<PublishResult> Publisher::Publish(std::string_view rxl_text,
+                                         const PublishOptions& options,
+                                         std::ostream* out) {
+  SILK_ASSIGN_OR_RETURN(ViewTree tree, BuildViewTree(rxl_text));
+
+  PublishResult result;
+  uint64_t mask = 0;
+  switch (options.strategy) {
+    case PlanStrategy::kUnified:
+      mask = Partition::Unified(tree).mask();
+      break;
+    case PlanStrategy::kFullyPartitioned:
+      mask = 0;
+      break;
+    case PlanStrategy::kExplicitMask:
+      mask = options.explicit_mask;
+      break;
+    case PlanStrategy::kGreedy: {
+      GreedyParams params = options.greedy;
+      params.style = options.style;
+      params.reduce = options.reduce;
+      SILK_ASSIGN_OR_RETURN(result.greedy_plan,
+                            GeneratePlanGreedy(tree, &estimator_, params));
+      mask = result.greedy_plan.FullMask();
+      break;
+    }
+  }
+  SILK_ASSIGN_OR_RETURN(mask,
+                        MakePermissible(tree, mask, options.style,
+                                        options.reduce, options.source));
+  SILK_ASSIGN_OR_RETURN(result.metrics,
+                        ExecutePlan(tree, mask, options, out));
+  return result;
+}
+
+Result<PlanMetrics> Publisher::ExecutePlan(const ViewTree& tree,
+                                           uint64_t mask,
+                                           const PublishOptions& options,
+                                           std::ostream* out) {
+  SILK_ASSIGN_OR_RETURN(Partition plan, Partition::FromMask(tree, mask));
+  SqlGenerator gen(&tree, options.style, options.reduce,
+                   options.distinct_selects);
+  SILK_ASSIGN_OR_RETURN(std::vector<StreamSpec> specs, gen.GeneratePlan(plan));
+
+  PlanMetrics metrics;
+  metrics.mask = mask;
+  metrics.num_streams = specs.size();
+
+  // 1. Execute every SQL query at the "server" (query time), then bind the
+  // results to the wire format (bind time).
+  std::vector<std::unique_ptr<engine::TupleStream>> streams;
+  streams.reserve(specs.size());
+  for (const auto& spec : specs) {
+    if (options.collect_sql) metrics.sql.push_back(spec.sql);
+    engine::QueryExecutor executor(db_);
+    if (options.query_timeout_ms > 0) {
+      executor.set_timeout_ms(options.query_timeout_ms);
+    }
+    Timer query_timer;
+    auto rel_result = executor.ExecuteSql(spec.sql);
+    if (!rel_result.ok()) {
+      if (rel_result.status().code() == StatusCode::kTimeout) {
+        metrics.timed_out = true;
+        return metrics;  // paper: "no time was reported"
+      }
+      return rel_result.status();
+    }
+    engine::Relation rel = std::move(rel_result).value();
+    metrics.query_ms += query_timer.ElapsedMillis();
+    metrics.rows += rel.rows.size();
+
+    Timer bind_timer;
+    auto stream = std::make_unique<engine::TupleStream>(std::move(rel));
+    metrics.bind_ms += bind_timer.ElapsedMillis();
+    metrics.wire_bytes += stream->wire_bytes();
+    streams.push_back(std::move(stream));
+  }
+
+  // 2. Merge + tag (client side; Next() also pays the wire decode).
+  xml::XmlWriter::Options writer_options;
+  writer_options.pretty = options.pretty;
+  xml::XmlWriter writer(out, writer_options);
+  Tagger tagger(&tree, &writer,
+                Tagger::Options{options.document_element});
+  std::vector<Tagger::StreamInput> inputs;
+  inputs.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    inputs.push_back({&specs[i], streams[i].get()});
+  }
+  Timer tag_timer;
+  SILK_RETURN_IF_ERROR(tagger.Run(std::move(inputs)));
+  SILK_RETURN_IF_ERROR(writer.Finish());
+  metrics.tag_ms = tag_timer.ElapsedMillis();
+  metrics.xml_bytes = writer.bytes_written();
+  metrics.tagger = tagger.stats();
+  return metrics;
+}
+
+}  // namespace silkroute::core

@@ -1,0 +1,127 @@
+// Publisher: the end-to-end middle-ware facade (the paper's Fig. 7
+// architecture). Given an RXL view and a target database it
+//   1. builds and labels the view tree,
+//   2. chooses a partition (unified, fully partitioned, an explicit edge
+//      mask, or the greedy algorithm of Sec. 5),
+//   3. generates one SQL query per component,
+//   4. executes them against the target RDBMS, obtaining sorted tuple
+//      streams over a wire protocol, and
+//   5. merges and tags the streams into the XML document.
+//
+// Timing is reported in the paper's terms: query time (SQL execution at the
+// server) and total time (query + binding/transfer + tagging).
+#ifndef SILKROUTE_SILKROUTE_PUBLISHER_H_
+#define SILKROUTE_SILKROUTE_PUBLISHER_H_
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/estimator.h"
+#include "engine/executor.h"
+#include "engine/stats.h"
+#include "relational/database.h"
+#include "rxl/ast.h"
+#include "silkroute/greedy.h"
+#include "silkroute/source.h"
+#include "silkroute/sqlgen.h"
+#include "silkroute/tagger.h"
+#include "silkroute/view_tree.h"
+
+namespace silkroute::core {
+
+enum class PlanStrategy {
+  kGreedy,           // Sec. 5 algorithm (default)
+  kUnified,          // all edges: one SQL query
+  kFullyPartitioned, // no edges: one SQL query per node
+  kExplicitMask,     // caller-provided edge mask
+};
+
+struct PublishOptions {
+  PlanStrategy strategy = PlanStrategy::kGreedy;
+  uint64_t explicit_mask = 0;
+  SqlGenStyle style = SqlGenStyle::kOuterJoin;
+  bool reduce = true;
+  /// SELECT DISTINCT in generated sub-selects (server-side set semantics).
+  bool distinct_selects = false;
+  /// Capabilities of the target engine; plans are adjusted to use only
+  /// supported constructs (paper Sec. 3.4).
+  SourceDescription source;
+  GreedyParams greedy;
+  /// Wrap the instance forest in this document element ("" = none).
+  std::string document_element;
+  bool pretty = false;
+  /// Per-SQL-query wall-clock cap in milliseconds (0 = none). Plans whose
+  /// queries exceed it report timed_out instead of timings, like the
+  /// paper's 5-minute cap in Sec. 4.
+  double query_timeout_ms = 0;
+  /// Keep the generated SQL texts in the result (for logging / EXPLAIN).
+  bool collect_sql = true;
+};
+
+struct PlanMetrics {
+  uint64_t mask = 0;
+  size_t num_streams = 0;
+  /// True if a query hit the configured timeout; times are then partial
+  /// and no document was produced.
+  bool timed_out = false;
+  double query_ms = 0;  // SQL execution at the "server"
+  double bind_ms = 0;   // server-side tuple binding (wire serialization)
+  double tag_ms = 0;    // client-side decode + merge + tag
+  double total_ms() const { return query_ms + bind_ms + tag_ms; }
+  size_t rows = 0;
+  size_t wire_bytes = 0;
+  size_t xml_bytes = 0;
+  TaggerStats tagger;
+  std::vector<std::string> sql;
+};
+
+struct PublishResult {
+  PlanMetrics metrics;
+  /// Present when strategy == kGreedy.
+  GreedyPlan greedy_plan;
+};
+
+class Publisher {
+ public:
+  /// Statistics are collected once at construction (ANALYZE).
+  explicit Publisher(const Database* db);
+
+  const Database& db() const { return *db_; }
+  engine::CostEstimator* estimator() { return &estimator_; }
+
+  /// Parses RXL text and builds the labeled view tree.
+  Result<ViewTree> BuildViewTree(std::string_view rxl_text) const;
+
+  /// Full pipeline: RXL text -> XML on `out`.
+  Result<PublishResult> Publish(std::string_view rxl_text,
+                                const PublishOptions& options,
+                                std::ostream* out);
+
+  /// Virtual-view query (paper Sec. 7): composes a subview path such as
+  /// "/supplier[nation='FRANCE']/part" with the view and publishes only the
+  /// matched fragment.
+  Result<PublishResult> PublishSubview(std::string_view rxl_text,
+                                       std::string_view path,
+                                       const PublishOptions& options,
+                                       std::ostream* out);
+
+  /// Executes one explicit plan for a pre-built view tree (the benchmark
+  /// harness entry point).
+  Result<PlanMetrics> ExecutePlan(const ViewTree& tree, uint64_t mask,
+                                  const PublishOptions& options,
+                                  std::ostream* out);
+
+ private:
+  const Database* db_;
+  engine::DatabaseStats stats_;
+  engine::CostEstimator estimator_;
+};
+
+}  // namespace silkroute::core
+
+#endif  // SILKROUTE_SILKROUTE_PUBLISHER_H_

@@ -1,0 +1,116 @@
+#include "silkroute/queries.h"
+
+namespace silkroute::core {
+
+std::string_view SupplierDtd() {
+  return R"(
+<!ELEMENT supplier (name, nation, region, part*)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT nation (#PCDATA)>
+<!ELEMENT region (#PCDATA)>
+<!ELEMENT part (name, order*)>
+<!ELEMENT order (orderkey, customer, nation)>
+<!ELEMENT orderkey (#PCDATA)>
+<!ELEMENT customer (#PCDATA)>
+)";
+}
+
+std::string_view SuppliersDocumentDtd() {
+  return R"(
+<!ELEMENT suppliers (supplier*)>
+<!ELEMENT supplier (name, nation, region, part*)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT nation (#PCDATA)>
+<!ELEMENT region (#PCDATA)>
+<!ELEMENT part (name, order*)>
+<!ELEMENT order (orderkey, customer, nation)>
+<!ELEMENT orderkey (#PCDATA)>
+<!ELEMENT customer (#PCDATA)>
+)";
+}
+
+std::string_view Query1Rxl() {
+  return R"(
+from Supplier $s
+construct
+<supplier>
+  <name>$s.name</name>
+  { from Nation $n
+    where $s.nationkey = $n.nationkey
+    construct <nation>$n.name</nation> }
+  { from Nation $n3, Region $r
+    where $s.nationkey = $n3.nationkey, $n3.regionkey = $r.regionkey
+    construct <region>$r.name</region> }
+  { from PartSupp $ps, Part $p
+    where $s.suppkey = $ps.suppkey, $ps.partkey = $p.partkey
+    construct
+    <part>
+      <name>$p.name</name>
+      { from LineItem $l, Orders $o
+        where $ps.partkey = $l.partkey, $ps.suppkey = $l.suppkey,
+              $l.orderkey = $o.orderkey
+        construct
+        <order>
+          <orderkey>$o.orderkey</orderkey>
+          { from Customer $c
+            where $o.custkey = $c.custkey
+            construct <customer>$c.name</customer>
+            { from Nation $n2
+              where $c.nationkey = $n2.nationkey
+              construct <nation>$n2.name</nation> } }
+        </order> }
+    </part> }
+</supplier>
+)";
+}
+
+std::string_view QueryFragmentRxl() {
+  return R"(
+from Supplier $s
+construct
+<supplier>
+  { from Nation $n
+    where $s.nationkey = $n.nationkey
+    construct <nation>$n.name</nation> }
+  { from PartSupp $ps, Part $p
+    where $s.suppkey = $ps.suppkey, $ps.partkey = $p.partkey
+    construct <part>$p.name</part> }
+</supplier>
+)";
+}
+
+std::string_view Query2Rxl() {
+  return R"(
+from Supplier $s
+construct
+<supplier>
+  <name>$s.name</name>
+  { from Nation $n
+    where $s.nationkey = $n.nationkey
+    construct <nation>$n.name</nation> }
+  { from Nation $n3, Region $r
+    where $s.nationkey = $n3.nationkey, $n3.regionkey = $r.regionkey
+    construct <region>$r.name</region> }
+  { from PartSupp $ps, Part $p
+    where $s.suppkey = $ps.suppkey, $ps.partkey = $p.partkey
+    construct
+    <part>
+      <name>$p.name</name>
+    </part> }
+  { from LineItem $l, Orders $o
+    where $s.suppkey = $l.suppkey, $l.orderkey = $o.orderkey
+    construct
+    <order>
+      <orderkey>$o.orderkey</orderkey>
+      { from Customer $c
+        where $o.custkey = $c.custkey
+        construct <customer>$c.name</customer>
+        { from Nation $n2
+          where $c.nationkey = $n2.nationkey
+          construct <nation>$n2.name</nation> } }
+    </order> }
+</supplier>
+)";
+}
+
+}  // namespace silkroute::core

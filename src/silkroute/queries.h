@@ -1,0 +1,34 @@
+// The paper's workloads: the supplier DTD of Fig. 2 and the RXL view
+// queries of Sec. 2 / Sec. 4 (Query 1, its boxed fragment, and Query 2).
+#ifndef SILKROUTE_SILKROUTE_QUERIES_H_
+#define SILKROUTE_SILKROUTE_QUERIES_H_
+
+#include <string_view>
+
+namespace silkroute::core {
+
+/// Fig. 2: the DTD the exported XML must conform to. <supplier> contains
+/// name, nation, region, and a list of parts; <part> contains a name and
+/// pending orders; <order> contains orderkey, customer, and the customer's
+/// nation.
+std::string_view SupplierDtd();
+
+/// DTD for the full document (SupplierDtd plus a <suppliers> wrapper used
+/// when materializing the whole view as one document).
+std::string_view SuppliersDocumentDtd();
+
+/// Fig. 3, Query 1: orders nested under parts (two chained '*' edges).
+/// View tree: Fig. 6 — 10 nodes, 9 edges.
+std::string_view Query1Rxl();
+
+/// The boxed fragment of Fig. 3 (supplier with nation and part children)
+/// used in the motivating example (Figs. 4 and 5).
+std::string_view QueryFragmentRxl();
+
+/// Query 2 (Sec. 4): identical to Query 1 except the order block is a child
+/// of supplier instead of part (two parallel '*' edges). View tree: Fig. 12.
+std::string_view Query2Rxl();
+
+}  // namespace silkroute::core
+
+#endif  // SILKROUTE_SILKROUTE_QUERIES_H_

@@ -1,0 +1,86 @@
+#include "silkroute/source.h"
+
+#include <map>
+
+namespace silkroute::core {
+
+namespace {
+
+/// Finds one kept edge whose removal eliminates an unsupported construct,
+/// or -1 if the plan is permissible. Prefers the deepest offender so
+/// shallow structure survives.
+Result<int> FindOffendingEdge(const ViewTree& tree, const Partition& plan,
+                              SqlGenStyle style, bool reduce,
+                              const SourceDescription& source) {
+  const auto edges = tree.Edges();
+  std::map<std::pair<int, int>, int> edge_index;
+  for (size_t e = 0; e < edges.size(); ++e) {
+    edge_index[edges[e]] = static_cast<int>(e);
+  }
+
+  int best_edge = -1;
+  int best_depth = -1;
+  auto consider = [&](int child_head) {
+    int parent = tree.node(child_head).parent;
+    auto it = edge_index.find({parent, child_head});
+    if (it == edge_index.end()) return;
+    int depth = tree.node(child_head).level();
+    if (depth > best_depth) {
+      best_depth = depth;
+      best_edge = it->second;
+    }
+  };
+
+  for (const auto& component : plan.components()) {
+    SILK_ASSIGN_OR_RETURN(ExecComponent exec,
+                          BuildExecComponent(tree, component, reduce));
+    if (style == SqlGenStyle::kOuterUnion) {
+      // Outer-union streams need UNION whenever two or more classes share
+      // the stream; joins never appear.
+      if (!source.supports_union && exec.nodes.size() >= 2) {
+        for (size_t c = 1; c < exec.nodes.size(); ++c) {
+          consider(exec.nodes[c].head);
+        }
+      }
+      continue;
+    }
+    for (const auto& cls : exec.nodes) {
+      if (!source.supports_outer_join && !cls.children.empty()) {
+        for (int child : cls.children) {
+          consider(exec.nodes[static_cast<size_t>(child)].head);
+        }
+      }
+      if (!source.supports_union && cls.children.size() >= 2) {
+        for (int child : cls.children) {
+          consider(exec.nodes[static_cast<size_t>(child)].head);
+        }
+      }
+    }
+  }
+  return best_edge;
+}
+
+}  // namespace
+
+Result<bool> PlanPermissible(const ViewTree& tree, uint64_t mask,
+                             SqlGenStyle style, bool reduce,
+                             const SourceDescription& source) {
+  SILK_ASSIGN_OR_RETURN(Partition plan, Partition::FromMask(tree, mask));
+  SILK_ASSIGN_OR_RETURN(int offender,
+                        FindOffendingEdge(tree, plan, style, reduce, source));
+  return offender < 0;
+}
+
+Result<uint64_t> MakePermissible(const ViewTree& tree, uint64_t mask,
+                                 SqlGenStyle style, bool reduce,
+                                 const SourceDescription& source) {
+  while (true) {
+    SILK_ASSIGN_OR_RETURN(Partition plan, Partition::FromMask(tree, mask));
+    SILK_ASSIGN_OR_RETURN(
+        int offender, FindOffendingEdge(tree, plan, style, reduce, source));
+    if (offender < 0) return mask;
+    mask &= ~(uint64_t{1} << offender);
+  }
+}
+
+}  // namespace silkroute::core

@@ -1,0 +1,48 @@
+// Source descriptions (paper Sec. 3.4): "all SQL engines do not necessarily
+// support all these constructs. In those cases, SilkRoute chooses
+// permissible plans based on the source description of the underlying
+// RDBMS."
+//
+// After reduction, a component needs
+//   - a LEFT OUTER JOIN for every execution class that has child classes,
+//   - a UNION for every execution class with two or more child classes
+//     (sibling branches), and in outer-union style for any component with
+//     two or more classes.
+// Plans whose components avoid these constructs are "permissible" for
+// engines that lack them; MakePermissible cuts offending kept edges until
+// the plan qualifies (in the limit, the fully partitioned plan, which needs
+// neither construct).
+#ifndef SILKROUTE_SILKROUTE_SOURCE_H_
+#define SILKROUTE_SILKROUTE_SOURCE_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "silkroute/partition.h"
+#include "silkroute/sqlgen.h"
+#include "silkroute/view_tree.h"
+
+namespace silkroute::core {
+
+struct SourceDescription {
+  bool supports_outer_join = true;
+  bool supports_union = true;
+};
+
+/// True if the plan's generated SQL uses only constructs the source
+/// supports.
+Result<bool> PlanPermissible(const ViewTree& tree, uint64_t mask,
+                             SqlGenStyle style, bool reduce,
+                             const SourceDescription& source);
+
+/// Largest permissible sub-plan of `mask`: cuts kept edges that force
+/// unsupported constructs (preferring to cut the deepest offending edge
+/// first) until the plan is permissible. Returns `mask` unchanged when it
+/// already qualifies.
+Result<uint64_t> MakePermissible(const ViewTree& tree, uint64_t mask,
+                                 SqlGenStyle style, bool reduce,
+                                 const SourceDescription& source);
+
+}  // namespace silkroute::core
+
+#endif  // SILKROUTE_SILKROUTE_SOURCE_H_

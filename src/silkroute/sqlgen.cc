@@ -1,0 +1,343 @@
+#include "silkroute/sqlgen.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace silkroute::core {
+
+namespace {
+
+using sql::And;
+using sql::AndAll;
+using sql::Col;
+using sql::ExprPtr;
+using sql::IntLit;
+using sql::Lit;
+using sql::NullLit;
+using sql::OrAll;
+
+sql::BinaryOp ToSqlOp(rxl::CondOp op) {
+  switch (op) {
+    case rxl::CondOp::kEq:
+      return sql::BinaryOp::kEq;
+    case rxl::CondOp::kNe:
+      return sql::BinaryOp::kNe;
+    case rxl::CondOp::kLt:
+      return sql::BinaryOp::kLt;
+    case rxl::CondOp::kLe:
+      return sql::BinaryOp::kLe;
+    case rxl::CondOp::kGt:
+      return sql::BinaryOp::kGt;
+    case rxl::CondOp::kGe:
+      return sql::BinaryOp::kGe;
+  }
+  return sql::BinaryOp::kEq;
+}
+
+ExprPtr OperandToExpr(const rxl::Operand& operand) {
+  if (operand.kind == rxl::Operand::Kind::kField) {
+    return Col(operand.field.var, operand.field.field);
+  }
+  return Lit(operand.literal);
+}
+
+ExprPtr ConditionToExpr(const rxl::Condition& cond) {
+  return std::make_unique<sql::BinaryExpr>(
+      ToSqlOp(cond.op), OperandToExpr(cond.lhs), OperandToExpr(cond.rhs));
+}
+
+/// The merged datalog rule of an execution class: atoms and conditions of
+/// all covered nodes, deduplicated (they nest, so this equals the deepest
+/// member's rule for chains, and the union for branching classes).
+struct ClassQuery {
+  std::vector<DatalogAtom> atoms;
+  std::vector<rxl::Condition> conditions;
+  std::map<VarIndex, rxl::FieldRef> args;  // all covered Skolem args
+};
+
+ClassQuery MergeClassQuery(const ViewTree& tree, const ExecNode& cls) {
+  ClassQuery q;
+  std::set<std::string> seen_bindings;
+  std::set<std::string> seen_conditions;
+  for (int id : cls.covered) {
+    const ViewTreeNode& node = tree.node(id);
+    for (const auto& atom : node.atoms) {
+      if (seen_bindings.insert(atom.binding).second) q.atoms.push_back(atom);
+    }
+    for (const auto& cond : node.conditions) {
+      if (seen_conditions.insert(cond.ToString()).second) {
+        q.conditions.push_back(cond);
+      }
+    }
+    for (const auto& arg : node.args) {
+      q.args.emplace(arg.index, arg.field);
+    }
+  }
+  return q;
+}
+
+}  // namespace
+
+const char* SqlGenStyleToString(SqlGenStyle style) {
+  return style == SqlGenStyle::kOuterJoin ? "outer-join" : "outer-union";
+}
+
+/// The uniform projection of a component: L1..Lmax, then all Skolem
+/// variables covered by the component, ordered by (p, q).
+struct SqlGenerator::ColumnList {
+  int max_level = 0;
+  std::vector<VarIndex> vars;
+  std::vector<std::string> order_by;  // interleaved global sort key
+
+  std::vector<std::string> Names() const {
+    std::vector<std::string> names;
+    names.reserve(static_cast<size_t>(max_level) + vars.size());
+    for (int j = 1; j <= max_level; ++j) names.push_back(LabelColumnName(j));
+    for (const auto& v : vars) names.push_back(v.ColumnName());
+    return names;
+  }
+};
+
+Result<sql::SelectCore> SqlGenerator::BuildClassCore(
+    const ExecComponent& exec, const ExecNode& cls,
+    const ColumnList& columns) const {
+  const ViewTreeNode& head = tree_->node(cls.head);
+  ClassQuery q = MergeClassQuery(*tree_, cls);
+
+  sql::SelectCore core;
+  core.distinct = distinct_selects_;
+  for (const auto& atom : q.atoms) {
+    core.from.push_back(
+        std::make_unique<sql::BaseTableRef>(atom.table, atom.binding));
+  }
+  std::vector<ExprPtr> conjuncts;
+  conjuncts.reserve(q.conditions.size());
+  for (const auto& cond : q.conditions) {
+    conjuncts.push_back(ConditionToExpr(cond));
+  }
+  core.where = AndAll(std::move(conjuncts));
+
+  // Labels: constants down to the head's level, NULL deeper.
+  for (int j = 1; j <= columns.max_level; ++j) {
+    ExprPtr e = j <= head.level()
+                    ? IntLit(head.sfi[static_cast<size_t>(j - 1)])
+                    : NullLit();
+    core.select_list.emplace_back(std::move(e), LabelColumnName(j));
+  }
+  // Variables: real columns for covered args, NULL otherwise.
+  for (const auto& v : columns.vars) {
+    auto it = q.args.find(v);
+    ExprPtr e = it != q.args.end() ? Col(it->second.var, it->second.field)
+                                   : NullLit();
+    core.select_list.emplace_back(std::move(e), v.ColumnName());
+  }
+  return core;
+}
+
+Result<std::vector<sql::SelectCore>> SqlGenerator::BuildClassCores(
+    const ExecComponent& exec, const ExecNode& cls,
+    const ColumnList& columns) const {
+  const ViewTreeNode& head = tree_->node(cls.head);
+  if (!head.fused() || cls.covered.size() != 1) {
+    SILK_ASSIGN_OR_RETURN(sql::SelectCore core,
+                          BuildClassCore(exec, cls, columns));
+    std::vector<sql::SelectCore> cores;
+    cores.push_back(std::move(core));
+    return cores;
+  }
+  // Fused node: one core per datalog rule; each projects the columns its
+  // rule can fill and NULL elsewhere.
+  std::vector<sql::SelectCore> cores;
+  for (const auto& rule : head.AllRules()) {
+    sql::SelectCore core;
+    core.distinct = distinct_selects_;
+    for (const auto& atom : rule.atoms) {
+      core.from.push_back(
+          std::make_unique<sql::BaseTableRef>(atom.table, atom.binding));
+    }
+    std::vector<ExprPtr> conjuncts;
+    conjuncts.reserve(rule.conditions.size());
+    for (const auto& cond : rule.conditions) {
+      conjuncts.push_back(ConditionToExpr(cond));
+    }
+    core.where = AndAll(std::move(conjuncts));
+    for (int j = 1; j <= columns.max_level; ++j) {
+      ExprPtr e = j <= head.level()
+                      ? IntLit(head.sfi[static_cast<size_t>(j - 1)])
+                      : NullLit();
+      core.select_list.emplace_back(std::move(e), LabelColumnName(j));
+    }
+    for (const auto& v : columns.vars) {
+      auto it = rule.fields.find(v);
+      ExprPtr e = it != rule.fields.end()
+                      ? Col(it->second.var, it->second.field)
+                      : NullLit();
+      core.select_list.emplace_back(std::move(e), v.ColumnName());
+    }
+    cores.push_back(std::move(core));
+  }
+  return cores;
+}
+
+Result<sql::QueryPtr> SqlGenerator::BuildJoinQuery(
+    const ExecComponent& exec, size_t class_index,
+    const ColumnList& columns) const {
+  const ExecNode& cls = exec.nodes[class_index];
+  SILK_ASSIGN_OR_RETURN(std::vector<sql::SelectCore> base_cores,
+                        BuildClassCores(exec, cls, columns));
+  auto base = std::make_unique<sql::Query>();
+  base->cores = std::move(base_cores);
+  if (cls.children.empty()) {
+    return base;
+  }
+
+  // Union of child sub-queries.
+  auto child_union = std::make_unique<sql::Query>();
+  std::vector<ExprPtr> on_branches;
+  for (int child_index : cls.children) {
+    const ExecNode& child = exec.nodes[static_cast<size_t>(child_index)];
+    SILK_ASSIGN_OR_RETURN(
+        sql::QueryPtr child_query,
+        BuildJoinQuery(exec, static_cast<size_t>(child_index), columns));
+    for (auto& core : child_query->cores) {
+      child_union->cores.push_back(std::move(core));
+    }
+    // Branch condition: the child's head label matched, and the child's
+    // copy of the join parent's identity equals the parent's.
+    const ViewTreeNode& child_head = tree_->node(child.head);
+    const ViewTreeNode& join_parent = tree_->node(child_head.parent);
+    std::vector<ExprPtr> conjuncts;
+    conjuncts.push_back(sql::Eq(
+        Col("C", LabelColumnName(child_head.level())),
+        IntLit(child_head.label())));
+    for (const auto& arg : join_parent.args) {
+      if (!arg.identity) continue;
+      conjuncts.push_back(sql::Eq(Col("P", arg.index.ColumnName()),
+                                  Col("C", arg.index.ColumnName())));
+    }
+    on_branches.push_back(AndAll(std::move(conjuncts)));
+  }
+  ExprPtr on = OrAll(std::move(on_branches));
+
+  // Columns owned by this class come from P; everything else from C.
+  std::set<std::string> p_owned;
+  const ViewTreeNode& head = tree_->node(cls.head);
+  for (int j = 1; j <= head.level(); ++j) p_owned.insert(LabelColumnName(j));
+  {
+    ClassQuery q = MergeClassQuery(*tree_, cls);
+    for (const auto& [index, field] : q.args) {
+      p_owned.insert(index.ColumnName());
+    }
+  }
+
+  sql::SelectCore joined;
+  joined.from.push_back(std::make_unique<sql::JoinRef>(
+      sql::JoinType::kLeftOuter,
+      std::make_unique<sql::DerivedTableRef>(std::move(base), "P"),
+      std::make_unique<sql::DerivedTableRef>(std::move(child_union), "C"),
+      std::move(on)));
+  for (const auto& name : columns.Names()) {
+    ExprPtr e = p_owned.count(name) > 0 ? Col("P", name) : Col("C", name);
+    joined.select_list.emplace_back(std::move(e), name);
+  }
+  auto out = std::make_unique<sql::Query>();
+  out->cores.push_back(std::move(joined));
+  return out;
+}
+
+void SqlGenerator::AddOrderBy(const ColumnList& columns,
+                              sql::Query* query) const {
+  for (const auto& name : columns.order_by) {
+    query->order_by.emplace_back(Col(name), /*asc=*/true);
+  }
+}
+
+Result<StreamSpec> SqlGenerator::GenerateComponent(
+    const std::vector<int>& nodes) const {
+  Partition::Component component;
+  component.nodes = nodes;
+  component.root = nodes.front();
+  SILK_ASSIGN_OR_RETURN(ExecComponent exec,
+                        BuildExecComponent(*tree_, component, reduce_));
+
+  // Uniform column list.
+  ColumnList columns;
+  std::set<VarIndex> var_set;
+  for (int id : nodes) {
+    const ViewTreeNode& node = tree_->node(id);
+    columns.max_level = std::max(columns.max_level, node.level());
+    for (const auto& arg : node.args) var_set.insert(arg.index);
+  }
+  columns.vars.assign(var_set.begin(), var_set.end());
+  std::sort(columns.vars.begin(), columns.vars.end());
+  for (int j = 1; j <= columns.max_level; ++j) {
+    columns.order_by.push_back(LabelColumnName(j));
+    for (const auto& v : tree_->IdentityVarsAtLevel(j)) {
+      if (var_set.count(v) > 0) columns.order_by.push_back(v.ColumnName());
+    }
+  }
+
+  // Build the query.
+  sql::QueryPtr query;
+  if (style_ == SqlGenStyle::kOuterUnion) {
+    query = std::make_unique<sql::Query>();
+    for (const auto& cls : exec.nodes) {
+      SILK_ASSIGN_OR_RETURN(std::vector<sql::SelectCore> cores,
+                            BuildClassCores(exec, cls, columns));
+      for (auto& core : cores) query->cores.push_back(std::move(core));
+    }
+  } else {
+    SILK_ASSIGN_OR_RETURN(query, BuildJoinQuery(exec, 0, columns));
+  }
+  AddOrderBy(columns, query.get());
+
+  // Instance specs in document order.
+  StreamSpec spec;
+  spec.sql = query->ToSql();
+  spec.covered_nodes = nodes;
+  std::map<int, const ExecNode*> class_of_node;
+  for (const auto& cls : exec.nodes) {
+    for (int id : cls.covered) class_of_node[id] = &cls;
+  }
+  std::vector<int> doc_order = nodes;
+  std::sort(doc_order.begin(), doc_order.end(), [&](int a, int b) {
+    return tree_->node(a).sfi < tree_->node(b).sfi;
+  });
+  for (int id : doc_order) {
+    const ViewTreeNode& node = tree_->node(id);
+    const ExecNode* cls = class_of_node[id];
+    InstanceSpec inst;
+    inst.node_id = id;
+    inst.path_labels = node.sfi;
+    const int head_level = tree_->node(cls->head).level();
+    for (int j = 1; j <= std::min(head_level, node.level()); ++j) {
+      inst.label_checks.emplace_back(j, node.sfi[static_cast<size_t>(j - 1)]);
+    }
+    if (style_ == SqlGenStyle::kOuterUnion) {
+      for (int j = head_level + 1; j <= columns.max_level; ++j) {
+        inst.null_levels.push_back(j);
+      }
+    }
+    for (const auto& arg : node.args) {
+      if (arg.identity) inst.key_vars.push_back(arg.index);
+    }
+    inst.fused = node.fused();
+    spec.instances.push_back(std::move(inst));
+  }
+  return spec;
+}
+
+Result<std::vector<StreamSpec>> SqlGenerator::GeneratePlan(
+    const Partition& plan) const {
+  std::vector<StreamSpec> streams;
+  streams.reserve(plan.components().size());
+  for (const auto& component : plan.components()) {
+    SILK_ASSIGN_OR_RETURN(StreamSpec spec,
+                          GenerateComponent(component.nodes));
+    streams.push_back(std::move(spec));
+  }
+  return streams;
+}
+
+}  // namespace silkroute::core

@@ -1,0 +1,219 @@
+#include "silkroute/subview.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+namespace silkroute::core {
+
+namespace {
+
+using rxl::Block;
+using rxl::Condition;
+using rxl::Content;
+using rxl::Element;
+using rxl::FieldRef;
+using rxl::Operand;
+
+/// Finds an element with `tag` among `contents`, descending into nested
+/// blocks (which construct children of the same element) but not into
+/// child elements. Blocks traversed on the way are appended to `blocks`.
+const Element* FindChildElement(const std::vector<Content>& contents,
+                                const std::string& tag,
+                                std::vector<const Block*>* blocks) {
+  for (const auto& c : contents) {
+    switch (c.kind) {
+      case Content::Kind::kElement:
+        if (c.element->tag == tag) return c.element.get();
+        break;
+      case Content::Kind::kBlock: {
+        size_t depth = blocks->size();
+        blocks->push_back(c.block.get());
+        const Element* found =
+            FindChildElement(c.block->construct, tag, blocks);
+        if (found != nullptr) return found;
+        blocks->resize(depth);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return nullptr;
+}
+
+/// Renames tuple variables per `renames` inside a condition.
+Condition RenameCondition(const Condition& cond,
+                          const std::map<std::string, std::string>& renames) {
+  Condition out = cond;
+  auto fix = [&renames](Operand* op) {
+    if (op->kind != Operand::Kind::kField) return;
+    auto it = renames.find(op->field.var);
+    if (it != renames.end()) op->field.var = it->second;
+  };
+  fix(&out.lhs);
+  fix(&out.rhs);
+  return out;
+}
+
+/// The first value (field ref) in an element's direct content.
+const FieldRef* FirstValue(const Element& element) {
+  for (const auto& c : element.content) {
+    if (c.kind == Content::Kind::kFieldRef) return &c.field;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<std::vector<SubviewStep>> ParseSubviewPath(std::string_view path) {
+  std::vector<SubviewStep> steps;
+  size_t pos = 0;
+  auto err = [&](const std::string& msg) {
+    return Status::ParseError(msg + " at offset " + std::to_string(pos) +
+                              " in subview path");
+  };
+  auto parse_name = [&]() -> std::string {
+    size_t start = pos;
+    while (pos < path.size() &&
+           (std::isalnum(static_cast<unsigned char>(path[pos])) ||
+            path[pos] == '_' || path[pos] == '-')) {
+      ++pos;
+    }
+    return std::string(path.substr(start, pos - start));
+  };
+
+  while (pos < path.size()) {
+    if (path[pos] != '/') return err("expected '/'");
+    ++pos;
+    SubviewStep step;
+    step.tag = parse_name();
+    if (step.tag.empty()) return err("expected element name");
+    while (pos < path.size() && path[pos] == '[') {
+      ++pos;
+      SubviewPredicate pred;
+      pred.child_tag = parse_name();
+      if (pred.child_tag.empty()) return err("expected child name");
+      if (pos >= path.size() || path[pos] != '=') return err("expected '='");
+      ++pos;
+      if (pos < path.size() && path[pos] == '\'') {
+        ++pos;
+        std::string value;
+        while (pos < path.size() && path[pos] != '\'') {
+          value.push_back(path[pos++]);
+        }
+        if (pos >= path.size()) return err("unterminated string literal");
+        ++pos;
+        pred.literal = Value::String(std::move(value));
+      } else {
+        size_t start = pos;
+        if (pos < path.size() && path[pos] == '-') ++pos;
+        while (pos < path.size() &&
+               std::isdigit(static_cast<unsigned char>(path[pos]))) {
+          ++pos;
+        }
+        if (pos == start) return err("expected literal");
+        pred.literal = Value::Int64(std::strtoll(
+            std::string(path.substr(start, pos - start)).c_str(), nullptr,
+            10));
+      }
+      if (pos >= path.size() || path[pos] != ']') return err("expected ']'");
+      ++pos;
+      step.predicates.push_back(std::move(pred));
+    }
+    steps.push_back(std::move(step));
+  }
+  if (steps.empty()) {
+    return Status::InvalidArgument("empty subview path");
+  }
+  return steps;
+}
+
+Result<rxl::RxlQuery> ComposeSubview(const rxl::RxlQuery& view,
+                                     std::string_view path) {
+  SILK_ASSIGN_OR_RETURN(std::vector<SubviewStep> steps,
+                        ParseSubviewPath(path));
+
+  Block accumulated;
+  accumulated.from = view.root.from;
+  accumulated.where = view.root.where;
+  const std::vector<Content>* contents = &view.root.construct;
+  const Element* element = nullptr;
+  int rename_counter = 0;
+
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const SubviewStep& step = steps[i];
+    std::vector<const Block*> blocks_on_path;
+    element = FindChildElement(*contents, step.tag, &blocks_on_path);
+    if (element == nullptr) {
+      return Status::NotFound("subview step '" + step.tag +
+                              "' matches no element of the view");
+    }
+    // Blocks traversed to reach the element extend the scope.
+    for (const Block* block : blocks_on_path) {
+      for (const auto& binding : block->from) {
+        accumulated.from.push_back(binding);
+      }
+      for (const auto& cond : block->where) {
+        accumulated.where.push_back(cond);
+      }
+    }
+
+    // Predicates: pull in the predicate child's blocks (with renamed
+    // variables, so the retained subtree can still bind the originals) and
+    // equate its value with the literal.
+    for (const auto& pred : step.predicates) {
+      std::vector<const Block*> pred_blocks;
+      const Element* child =
+          FindChildElement(element->content, pred.child_tag, &pred_blocks);
+      if (child == nullptr) {
+        return Status::NotFound("predicate child '" + pred.child_tag +
+                                "' not found under '" + step.tag + "'");
+      }
+      const FieldRef* value = FirstValue(*child);
+      if (value == nullptr) {
+        return Status::InvalidArgument(
+            "predicate child '" + pred.child_tag +
+            "' has no value to compare against");
+      }
+      std::map<std::string, std::string> renames;
+      for (const Block* block : pred_blocks) {
+        for (const auto& binding : block->from) {
+          renames[binding.var] =
+              binding.var + "_q" + std::to_string(rename_counter++);
+        }
+      }
+      for (const Block* block : pred_blocks) {
+        for (const auto& binding : block->from) {
+          accumulated.from.push_back(
+              {binding.table, renames.at(binding.var)});
+        }
+        for (const auto& cond : block->where) {
+          accumulated.where.push_back(RenameCondition(cond, renames));
+        }
+      }
+      Condition equals;
+      equals.lhs.kind = Operand::Kind::kField;
+      equals.lhs.field = *value;
+      auto it = renames.find(value->var);
+      if (it != renames.end()) equals.lhs.field.var = it->second;
+      equals.op = rxl::CondOp::kEq;
+      equals.rhs.kind = Operand::Kind::kLiteral;
+      equals.rhs.literal = pred.literal;
+      accumulated.where.push_back(std::move(equals));
+    }
+
+    if (i + 1 < steps.size()) contents = &element->content;
+  }
+
+  rxl::RxlQuery composed;
+  composed.root.from = std::move(accumulated.from);
+  composed.root.where = std::move(accumulated.where);
+  Content root_content;
+  root_content.kind = Content::Kind::kElement;
+  root_content.element = element->Clone();
+  composed.root.construct.push_back(std::move(root_content));
+  return composed;
+}
+
+}  // namespace silkroute::core

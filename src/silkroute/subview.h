@@ -1,0 +1,54 @@
+// Virtual views and subview queries (paper Sec. 1 and Sec. 7): SilkRoute
+// typically keeps the XML view virtual; user queries extract small
+// fragments, and the composition of user query and view translates into
+// (usually simple) SQL. The full composition algorithm is in the WWW9
+// SilkRoute paper [5]; this module implements the common fragment of it —
+// a downward path with equality predicates on text children:
+//
+//   /supplier[nation='FRANCE']/part
+//   /supplier/part/order[customer='Customer#000000042']
+//
+// Composition happens at the RXL level: the matched element becomes the new
+// root template, the from/where clauses of every block on the path (and of
+// predicate children) accumulate into the root block, and predicate values
+// become literal conditions. The result is an ordinary RXL query that the
+// regular view-tree / planning / tagging pipeline evaluates, exactly as
+// Sec. 7 describes ("the resulting SQL query is usually simple").
+#ifndef SILKROUTE_SILKROUTE_SUBVIEW_H_
+#define SILKROUTE_SILKROUTE_SUBVIEW_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/value.h"
+#include "rxl/ast.h"
+
+namespace silkroute::core {
+
+/// One predicate of a path step: [child='literal'].
+struct SubviewPredicate {
+  std::string child_tag;
+  Value literal;
+};
+
+/// One step of a subview path: tag plus zero or more predicates.
+struct SubviewStep {
+  std::string tag;
+  std::vector<SubviewPredicate> predicates;
+};
+
+/// Parses "/a[b='x']/c[d='y'][e='z']" (string literals in single quotes,
+/// bare integers allowed).
+Result<std::vector<SubviewStep>> ParseSubviewPath(std::string_view path);
+
+/// Composes a user path query with an RXL view, yielding the RXL query of
+/// the matched fragment. Fails if a step's tag or predicate child does not
+/// exist in the view.
+Result<rxl::RxlQuery> ComposeSubview(const rxl::RxlQuery& view,
+                                     std::string_view path);
+
+}  // namespace silkroute::core
+
+#endif  // SILKROUTE_SILKROUTE_SUBVIEW_H_

@@ -1,0 +1,381 @@
+#include "silkroute/tagger.h"
+
+#include <algorithm>
+#include <set>
+
+namespace silkroute::core {
+
+namespace {
+int CompareKeys(const std::vector<Value>& a, const std::vector<Value>& b) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+}  // namespace
+
+/// A captured node instance waiting to be merged: its global key and the
+/// values of the node's text content, read from the physical row that
+/// carried it. One slot per InstanceSpec — the "constant memory" of the
+/// tagger is one tuple per stream plus one captured instance per view-tree
+/// node.
+struct Tagger::StreamState {
+  struct Pending {
+    std::vector<Value> key;
+    std::vector<Value> values;  // one per kValue content item, in order
+  };
+
+  const StreamSpec* spec = nullptr;
+  engine::TupleStream* stream = nullptr;
+
+  // Column resolution for this stream's schema.
+  std::vector<int> label_col;       // level (1-based) -> column or -1
+  std::map<VarIndex, int> var_col;  // any var -> column or absent
+
+  std::optional<Tuple> row;    // current physical row
+  size_t instance_cursor = 0;  // next InstanceSpec to try on `row`
+  bool rows_done = false;
+
+  // Per-spec state: captured instance and the last key seen (duplicate
+  // suppression across adjacent physical rows).
+  std::vector<std::optional<Pending>> pending;
+  std::vector<std::optional<std::vector<Value>>> last_key;
+
+  // Cached index of the minimal pending slot; -1 when empty/stale.
+  int current = -1;
+
+  int ColumnOfVar(VarIndex v) const {
+    auto it = var_col.find(v);
+    return it == var_col.end() ? -1 : it->second;
+  }
+
+  bool Exhausted() const {
+    if (!rows_done || row.has_value()) return false;
+    for (const auto& p : pending) {
+      if (p.has_value()) return false;
+    }
+    return true;
+  }
+};
+
+Tagger::Tagger(const ViewTree* tree, xml::XmlWriter* writer, Options options)
+    : tree_(tree), writer_(writer), options_(std::move(options)) {
+  BuildKeyLayout();
+}
+
+void Tagger::BuildKeyLayout() {
+  const int max_level = tree_->MaxLevel();
+  label_position_.assign(static_cast<size_t>(max_level) + 1, -1);
+  size_t pos = 0;
+  for (int j = 1; j <= max_level; ++j) {
+    label_position_[static_cast<size_t>(j)] = static_cast<int>(pos++);
+    for (const auto& v : tree_->IdentityVarsAtLevel(j)) {
+      var_position_.emplace(v, pos++);
+    }
+  }
+  num_positions_ = pos;
+}
+
+bool Tagger::InstancePresent(const StreamState& s,
+                             const InstanceSpec& inst) const {
+  for (const auto& [level, expected] : inst.label_checks) {
+    int col = s.label_col[static_cast<size_t>(level)];
+    if (col < 0) continue;  // constant level: matches by construction
+    const Value& v = (*s.row)[static_cast<size_t>(col)];
+    if (v.is_null()) return false;
+    if (!v.is_int64() || v.AsInt64() != expected) return false;
+  }
+  for (int level : inst.null_levels) {
+    int col = s.label_col[static_cast<size_t>(level)];
+    if (col < 0) continue;
+    if (!(*s.row)[static_cast<size_t>(col)].is_null()) return false;
+  }
+  return true;
+}
+
+void Tagger::BuildKey(const StreamState& s, const InstanceSpec& inst,
+                      std::vector<Value>* key) const {
+  key->assign(num_positions_, Value::Null());
+  const int level = static_cast<int>(inst.path_labels.size());
+  for (int j = 1; j <= level; ++j) {
+    (*key)[static_cast<size_t>(label_position_[static_cast<size_t>(j)])] =
+        Value::Int64(inst.path_labels[static_cast<size_t>(j - 1)]);
+  }
+  for (const auto& v : inst.key_vars) {
+    auto pos_it = var_position_.find(v);
+    if (pos_it == var_position_.end()) continue;
+    int col = s.ColumnOfVar(v);
+    if (col < 0) continue;
+    (*key)[pos_it->second] = (*s.row)[static_cast<size_t>(col)];
+  }
+}
+
+void Tagger::CaptureValues(const StreamState& s, const InstanceSpec& inst,
+                           std::vector<Value>* values) const {
+  values->clear();
+  const ViewTreeNode& node = tree_->node(inst.node_id);
+  for (const auto& item : node.content) {
+    if (item.kind != ViewTreeNode::ContentItem::Kind::kValue) continue;
+    int col = s.ColumnOfVar(item.value);
+    values->push_back(col >= 0 ? (*s.row)[static_cast<size_t>(col)]
+                               : Value::Null());
+  }
+}
+
+/// Fills pending slots by expanding physical rows, stopping when a slot it
+/// needs is still occupied (the occupied instance sorts no later, so the
+/// merge will drain it first) or when rows run out.
+Status Tagger::Refill(StreamState* s) {
+  while (true) {
+    if (!s->row.has_value()) {
+      if (s->rows_done) return Status::OK();
+      s->row = s->stream->Next();
+      s->instance_cursor = 0;
+      if (!s->row.has_value()) {
+        s->rows_done = true;
+        return Status::OK();
+      }
+      ++stats_.rows_consumed;
+    }
+    while (s->instance_cursor < s->spec->instances.size()) {
+      const size_t index = s->instance_cursor;
+      const InstanceSpec& inst = s->spec->instances[index];
+      if (!InstancePresent(*s, inst)) {
+        ++s->instance_cursor;
+        continue;
+      }
+      std::vector<Value> key;
+      BuildKey(*s, inst, &key);
+      auto& last = s->last_key[index];
+      // Fused instances must pass through equal-key repeats: each rule's
+      // row contributes values that merge into the one element.
+      if (!inst.fused && last.has_value() && *last == key) {
+        ++stats_.duplicates_skipped;
+        ++s->instance_cursor;
+        continue;
+      }
+      if (s->pending[index].has_value()) {
+        // Slot occupied by an earlier (no-later-sorting) instance: stall
+        // this row until the merge drains the slot.
+        return Status::OK();
+      }
+      StreamState::Pending p;
+      p.key = key;
+      CaptureValues(*s, inst, &p.values);
+      s->pending[index] = std::move(p);
+      last = std::move(key);
+      ++s->instance_cursor;
+      size_t live = 0;
+      for (const auto& slot : s->pending) {
+        if (slot.has_value()) ++live;
+      }
+      stats_.peak_buffered_tuples =
+          std::max(stats_.peak_buffered_tuples, live);
+    }
+    s->row.reset();  // row fully expanded; fetch the next one
+  }
+}
+
+int Tagger::MinPending(const StreamState& s) const {
+  int best = -1;
+  for (size_t i = 0; i < s.pending.size(); ++i) {
+    if (!s.pending[i].has_value()) continue;
+    if (best < 0 ||
+        CompareKeys(s.pending[i]->key,
+                    s.pending[static_cast<size_t>(best)]->key) < 0) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+bool Tagger::SameInstanceAt(const std::vector<Value>& open_key,
+                            const std::vector<Value>& new_key,
+                            int node_id) const {
+  const ViewTreeNode& node = tree_->node(node_id);
+  // Labels up to the node's level.
+  for (int j = 1; j <= node.level(); ++j) {
+    size_t pos = static_cast<size_t>(label_position_[static_cast<size_t>(j)]);
+    if (open_key[pos].Compare(new_key[pos]) != 0) return false;
+  }
+  // The node's own identity variables.
+  for (const auto& arg : node.args) {
+    if (!arg.identity) continue;
+    auto it = var_position_.find(arg.index);
+    if (it == var_position_.end()) continue;
+    if (open_key[it->second].Compare(new_key[it->second]) != 0) return false;
+  }
+  return true;
+}
+
+Status Tagger::EmitRowContent(const ViewTreeNode& node,
+                              const std::vector<Value>* values,
+                              bool opening) {
+  // Which fused occurrences does this row speak for? Those that supplied a
+  // non-null value through a column of their own — shared identity columns
+  // (e.g. the fused key itself used as a value) are filled by every rule
+  // and don't mark an occurrence active. Ordinary nodes always emit text.
+  std::set<int> active;
+  if (values != nullptr) {
+    size_t value_index = 0;
+    for (const auto& item : node.content) {
+      if (item.kind != ViewTreeNode::ContentItem::Kind::kValue) continue;
+      if (value_index < values->size() &&
+          !(*values)[value_index].is_null() &&
+          !tree_->IsIdentityVar(item.value)) {
+        active.insert(item.occurrence);
+      }
+      ++value_index;
+    }
+  }
+  size_t value_index = 0;
+  for (const auto& item : node.content) {
+    switch (item.kind) {
+      case ViewTreeNode::ContentItem::Kind::kText:
+        if (!node.fused() || active.count(item.occurrence) > 0) {
+          SILK_RETURN_IF_ERROR(writer_->Text(item.text));
+        }
+        break;
+      case ViewTreeNode::ContentItem::Kind::kValue: {
+        // Identity-backed values (shared across rules) print once, when
+        // the element opens; rule-specific values print with their row.
+        bool emit = opening || !node.fused() ||
+                    !tree_->IsIdentityVar(item.value);
+        if (emit && values != nullptr && value_index < values->size()) {
+          const Value& v = (*values)[value_index];
+          if (!v.is_null()) {
+            SILK_RETURN_IF_ERROR(writer_->Text(v.ToXmlText()));
+          }
+        }
+        ++value_index;
+        break;
+      }
+      case ViewTreeNode::ContentItem::Kind::kChild:
+        break;  // children arrive as their own instances
+    }
+  }
+  return Status::OK();
+}
+
+Status Tagger::OpenElement_(int node_id, const std::vector<Value>& key,
+                            const std::vector<Value>* values) {
+  const ViewTreeNode& node = tree_->node(node_id);
+  SILK_RETURN_IF_ERROR(writer_->StartElement(node.tag));
+  SILK_RETURN_IF_ERROR(EmitRowContent(node, values, /*opening=*/true));
+  stack_.push_back(OpenElement{node_id, key});
+  stats_.max_open_depth = std::max(stats_.max_open_depth, stack_.size());
+  ++stats_.instances_emitted;
+  return Status::OK();
+}
+
+Status Tagger::EmitInstance(int node_id, const std::vector<Value>& key,
+                            const std::vector<Value>* values) {
+  // Ancestor chain root..node.
+  std::vector<int> chain;
+  for (int id = node_id; id >= 0; id = tree_->node(id).parent) {
+    chain.push_back(id);
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  // Longest prefix of the open stack matching the chain (same node and same
+  // instance identity).
+  size_t keep = 0;
+  while (keep < stack_.size() && keep < chain.size()) {
+    const OpenElement& open = stack_[keep];
+    if (open.node_id != chain[keep]) break;
+    if (!SameInstanceAt(open.key, key, chain[keep])) break;
+    ++keep;
+  }
+  if (keep == chain.size()) {
+    const ViewTreeNode& node = tree_->node(node_id);
+    if (node.fused() && values != nullptr) {
+      // Fusion: the element is already open; append this rule's content
+      // (its literal text and non-null rule-specific values).
+      return EmitRowContent(node, values, /*opening=*/false);
+    }
+    // Otherwise the instance (and its whole ancestor chain) is already
+    // open: a duplicate.
+    ++stats_.duplicates_skipped;
+    return Status::OK();
+  }
+  while (stack_.size() > keep) {
+    SILK_RETURN_IF_ERROR(writer_->EndElement());
+    stack_.pop_back();
+  }
+  // Open any missing ancestors (should not happen — ancestors' own
+  // instances sort first in the merged stream).
+  for (size_t i = keep; i + 1 < chain.size(); ++i) {
+    ++stats_.forced_ancestor_opens;
+    SILK_RETURN_IF_ERROR(OpenElement_(chain[i], key, nullptr));
+    --stats_.instances_emitted;  // forced opens are not real instances
+  }
+  return OpenElement_(node_id, key, values);
+}
+
+Status Tagger::Run(std::vector<StreamInput> streams) {
+  std::vector<StreamState> states(streams.size());
+  for (size_t i = 0; i < streams.size(); ++i) {
+    StreamState& s = states[i];
+    s.spec = streams[i].spec;
+    s.stream = streams[i].stream;
+    s.pending.assign(s.spec->instances.size(), std::nullopt);
+    s.last_key.assign(s.spec->instances.size(), std::nullopt);
+    const engine::RelSchema& schema = s.stream->schema();
+    const int max_level = tree_->MaxLevel();
+    s.label_col.assign(static_cast<size_t>(max_level) + 1, -1);
+    for (int j = 1; j <= max_level; ++j) {
+      auto idx = schema.Resolve("", LabelColumnName(j));
+      if (idx.ok()) s.label_col[static_cast<size_t>(j)] = static_cast<int>(*idx);
+    }
+    // Resolve every view-tree variable that exists in this stream.
+    for (const auto& node : tree_->nodes()) {
+      for (const auto& arg : node.args) {
+        if (s.var_col.count(arg.index) > 0) continue;
+        auto idx = schema.Resolve("", arg.index.ColumnName());
+        if (idx.ok()) s.var_col.emplace(arg.index, static_cast<int>(*idx));
+      }
+    }
+    SILK_RETURN_IF_ERROR(Refill(&s));
+  }
+
+  if (!options_.document_element.empty()) {
+    SILK_RETURN_IF_ERROR(writer_->StartElement(options_.document_element));
+  }
+
+  while (true) {
+    // Pick the stream/slot with the smallest pending key.
+    StreamState* best_stream = nullptr;
+    int best_slot = -1;
+    for (auto& s : states) {
+      int slot = MinPending(s);
+      if (slot < 0) continue;
+      if (best_stream == nullptr ||
+          CompareKeys(s.pending[static_cast<size_t>(slot)]->key,
+                      best_stream->pending[static_cast<size_t>(best_slot)]
+                          ->key) < 0) {
+        best_stream = &s;
+        best_slot = slot;
+      }
+    }
+    if (best_stream == nullptr) break;
+    StreamState::Pending pending =
+        std::move(*best_stream->pending[static_cast<size_t>(best_slot)]);
+    best_stream->pending[static_cast<size_t>(best_slot)].reset();
+    SILK_RETURN_IF_ERROR(EmitInstance(
+        best_stream->spec->instances[static_cast<size_t>(best_slot)].node_id,
+        pending.key, &pending.values));
+    SILK_RETURN_IF_ERROR(Refill(best_stream));
+  }
+
+  while (!stack_.empty()) {
+    SILK_RETURN_IF_ERROR(writer_->EndElement());
+    stack_.pop_back();
+  }
+  if (!options_.document_element.empty()) {
+    SILK_RETURN_IF_ERROR(writer_->EndElement());
+  }
+  return Status::OK();
+}
+
+}  // namespace silkroute::core

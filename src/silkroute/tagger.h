@@ -1,0 +1,102 @@
+// The tagger (paper Sec. 3.3): merges the sorted tuple streams of a
+// partitioned plan into one logical stream, re-nests the tuples, and emits
+// the XML document. Memory use depends only on the number of streams and
+// the view-tree depth — one in-flight tuple per stream plus the open-element
+// stack — never on the database size.
+//
+// Each physical row may carry several node instances (a parent repeated
+// next to each child in outer-join plans, a whole reduced class in reduced
+// plans). The tagger expands rows into *logical instance rows* using the
+// stream's InstanceSpecs, in document order, and merges logical rows across
+// streams by the global interleaved key (L1, identity vars of level 1,
+// L2, ...). Duplicate instances (same full key) are emitted once.
+#ifndef SILKROUTE_SILKROUTE_TAGGER_H_
+#define SILKROUTE_SILKROUTE_TAGGER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/tuple_stream.h"
+#include "silkroute/sqlgen.h"
+#include "silkroute/view_tree.h"
+#include "xml/writer.h"
+
+namespace silkroute::core {
+
+struct TaggerStats {
+  size_t instances_emitted = 0;
+  size_t rows_consumed = 0;
+  size_t duplicates_skipped = 0;
+  size_t max_open_depth = 0;
+  /// Ancestor elements that had to be opened without their own instance row
+  /// (should be zero; indicates a stream invariant violation).
+  size_t forced_ancestor_opens = 0;
+  /// Peak simultaneously captured instances within one stream (bounded by
+  /// the number of view-tree nodes, never by database size).
+  size_t peak_buffered_tuples = 0;
+};
+
+class Tagger {
+ public:
+  struct StreamInput {
+    const StreamSpec* spec = nullptr;
+    engine::TupleStream* stream = nullptr;
+  };
+
+  struct Options {
+    /// If non-empty, wrap the document in this element (RXL views whose
+    /// root node repeats produce a forest otherwise).
+    std::string document_element;
+  };
+
+  Tagger(const ViewTree* tree, xml::XmlWriter* writer, Options options);
+
+  /// Consumes all streams and writes the document.
+  Status Run(std::vector<StreamInput> streams);
+
+  const TaggerStats& stats() const { return stats_; }
+
+ private:
+  struct StreamState;  // runtime cursor per stream
+
+  /// One open-element stack entry.
+  struct OpenElement {
+    int node_id = -1;
+    std::vector<Value> key;
+  };
+
+  void BuildKeyLayout();
+  Status Refill(StreamState* s);
+  int MinPending(const StreamState& s) const;
+  bool InstancePresent(const StreamState& s, const InstanceSpec& inst) const;
+  void BuildKey(const StreamState& s, const InstanceSpec& inst,
+                std::vector<Value>* key) const;
+  void CaptureValues(const StreamState& s, const InstanceSpec& inst,
+                     std::vector<Value>* values) const;
+  Status EmitInstance(int node_id, const std::vector<Value>& key,
+                      const std::vector<Value>* values);
+  Status EmitRowContent(const ViewTreeNode& node,
+                        const std::vector<Value>* values, bool opening);
+  Status OpenElement_(int node_id, const std::vector<Value>& key,
+                      const std::vector<Value>* values);
+  bool SameInstanceAt(const std::vector<Value>& open_key,
+                      const std::vector<Value>& new_key, int node_id) const;
+
+  const ViewTree* tree_;
+  xml::XmlWriter* writer_;
+  Options options_;
+  TaggerStats stats_;
+
+  // Global key layout.
+  size_t num_positions_ = 0;
+  std::vector<int> label_position_;           // level (1-based) -> position
+  std::map<VarIndex, size_t> var_position_;   // identity var -> position
+
+  std::vector<OpenElement> stack_;
+};
+
+}  // namespace silkroute::core
+
+#endif  // SILKROUTE_SILKROUTE_TAGGER_H_

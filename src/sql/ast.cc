@@ -1,0 +1,228 @@
+#include "sql/ast.h"
+
+#include "common/string_util.h"
+
+namespace silkroute::sql {
+
+const char* BinaryOpToSql(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "and";
+    case BinaryOp::kOr:
+      return "or";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+namespace {
+// Precedence for parenthesization when printing: higher binds tighter.
+int Precedence(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kOr:
+      return 1;
+    case BinaryOp::kAnd:
+      return 2;
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return 3;
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+      return 4;
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+      return 5;
+  }
+  return 0;
+}
+
+std::string ChildSql(const Expr& child, int parent_prec) {
+  if (child.kind() == Expr::Kind::kBinary) {
+    const auto& b = static_cast<const BinaryExpr&>(child);
+    if (Precedence(b.op()) < parent_prec) {
+      return "(" + child.ToSql() + ")";
+    }
+  }
+  return child.ToSql();
+}
+}  // namespace
+
+std::string BinaryExpr::ToSql() const {
+  int prec = Precedence(op_);
+  return ChildSql(*left_, prec) + " " + BinaryOpToSql(op_) + " " +
+         ChildSql(*right_, prec + 1);
+}
+
+ExprPtr Col(std::string qualifier, std::string name) {
+  return std::make_unique<ColumnRefExpr>(std::move(qualifier),
+                                         std::move(name));
+}
+ExprPtr Col(std::string name) {
+  return std::make_unique<ColumnRefExpr>("", std::move(name));
+}
+ExprPtr Lit(Value v) { return std::make_unique<LiteralExpr>(std::move(v)); }
+ExprPtr IntLit(int64_t v) { return Lit(Value::Int64(v)); }
+ExprPtr StrLit(std::string v) { return Lit(Value::String(std::move(v))); }
+ExprPtr NullLit() { return Lit(Value::Null()); }
+ExprPtr Eq(ExprPtr l, ExprPtr r) {
+  return std::make_unique<BinaryExpr>(BinaryOp::kEq, std::move(l),
+                                      std::move(r));
+}
+ExprPtr And(ExprPtr l, ExprPtr r) {
+  return std::make_unique<BinaryExpr>(BinaryOp::kAnd, std::move(l),
+                                      std::move(r));
+}
+ExprPtr Or(ExprPtr l, ExprPtr r) {
+  return std::make_unique<BinaryExpr>(BinaryOp::kOr, std::move(l),
+                                      std::move(r));
+}
+
+ExprPtr AndAll(std::vector<ExprPtr> exprs) {
+  ExprPtr out;
+  for (auto& e : exprs) {
+    out = out ? And(std::move(out), std::move(e)) : std::move(e);
+  }
+  return out;
+}
+
+ExprPtr OrAll(std::vector<ExprPtr> exprs) {
+  ExprPtr out;
+  for (auto& e : exprs) {
+    out = out ? Or(std::move(out), std::move(e)) : std::move(e);
+  }
+  return out;
+}
+
+void CollectConjuncts(const Expr& e, std::vector<const Expr*>* out) {
+  if (e.kind() == Expr::Kind::kBinary) {
+    const auto& b = static_cast<const BinaryExpr&>(e);
+    if (b.op() == BinaryOp::kAnd) {
+      CollectConjuncts(b.left(), out);
+      CollectConjuncts(b.right(), out);
+      return;
+    }
+  }
+  out->push_back(&e);
+}
+
+void CollectDisjuncts(const Expr& e, std::vector<const Expr*>* out) {
+  if (e.kind() == Expr::Kind::kBinary) {
+    const auto& b = static_cast<const BinaryExpr&>(e);
+    if (b.op() == BinaryOp::kOr) {
+      CollectDisjuncts(b.left(), out);
+      CollectDisjuncts(b.right(), out);
+      return;
+    }
+  }
+  out->push_back(&e);
+}
+
+DerivedTableRef::DerivedTableRef(QueryPtr query, std::string alias)
+    : query_(std::move(query)), alias_(std::move(alias)) {}
+
+DerivedTableRef::~DerivedTableRef() = default;
+
+std::string DerivedTableRef::ToSql() const {
+  return "(" + query_->ToSql() + ") as " + alias_;
+}
+
+TableRefPtr DerivedTableRef::Clone() const {
+  return std::make_unique<DerivedTableRef>(query_->CloneQuery(), alias_);
+}
+
+std::string JoinRef::ToSql() const {
+  std::string left = left_->ToSql();
+  std::string right = right_->ToSql();
+  // Parenthesize nested joins / derived tables on the right for readability.
+  if (right_->kind() == TableRef::Kind::kJoin) right = "(" + right + ")";
+  const char* kw =
+      type_ == JoinType::kInner ? " join " : " left outer join ";
+  return left + kw + right + " on " + on_->ToSql();
+}
+
+SelectCore SelectCore::Clone() const {
+  SelectCore out;
+  out.distinct = distinct;
+  out.select_star = select_star;
+  out.select_list.reserve(select_list.size());
+  for (const auto& item : select_list) out.select_list.push_back(item.Clone());
+  out.from.reserve(from.size());
+  for (const auto& t : from) out.from.push_back(t->Clone());
+  if (where) out.where = where->Clone();
+  return out;
+}
+
+std::string SelectCore::ToSql() const {
+  std::string out = distinct ? "select distinct " : "select ";
+  if (select_star) {
+    out += "*";
+  } else {
+    std::vector<std::string> items;
+    items.reserve(select_list.size());
+    for (const auto& item : select_list) items.push_back(item.ToSql());
+    out += Join(items, ", ");
+  }
+  if (!from.empty()) {
+    out += " from ";
+    std::vector<std::string> tables;
+    tables.reserve(from.size());
+    for (const auto& t : from) tables.push_back(t->ToSql());
+    out += Join(tables, ", ");
+  }
+  if (where) {
+    out += " where " + where->ToSql();
+  }
+  return out;
+}
+
+QueryPtr Query::CloneQuery() const {
+  auto out = std::make_unique<Query>();
+  out->cores.reserve(cores.size());
+  for (const auto& c : cores) out->cores.push_back(c.Clone());
+  out->order_by.reserve(order_by.size());
+  for (const auto& o : order_by) out->order_by.push_back(o.Clone());
+  return out;
+}
+
+std::string Query::ToSql() const {
+  std::vector<std::string> parts;
+  parts.reserve(cores.size());
+  for (const auto& c : cores) parts.push_back(c.ToSql());
+  std::string out = cores.size() == 1
+                        ? parts[0]
+                        : "(" + Join(parts, ") union all (") + ")";
+  if (!order_by.empty()) {
+    std::vector<std::string> keys;
+    keys.reserve(order_by.size());
+    for (const auto& o : order_by) {
+      keys.push_back(o.expr->ToSql() + (o.ascending ? "" : " desc"));
+    }
+    out += " order by " + Join(keys, ", ");
+  }
+  return out;
+}
+
+}  // namespace silkroute::sql

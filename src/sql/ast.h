@@ -1,0 +1,308 @@
+// SQL abstract syntax for the subset SilkRoute emits (paper Sec. 3.4):
+// SELECT lists with aliases and literals, comma-separated FROM lists,
+// INNER / LEFT OUTER JOIN with arbitrary ON conditions, derived tables,
+// UNION ALL, WHERE conjunctions, ORDER BY. Every node can print itself back
+// to SQL text (ToSql), which is what the middle-ware ships to the RDBMS.
+#ifndef SILKROUTE_SQL_AST_H_
+#define SILKROUTE_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace silkroute::sql {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class BinaryOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+};
+
+const char* BinaryOpToSql(BinaryOp op);
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+class Expr {
+ public:
+  enum class Kind { kColumnRef, kLiteral, kBinary, kNot, kIsNull };
+
+  virtual ~Expr() = default;
+  virtual Kind kind() const = 0;
+  virtual std::string ToSql() const = 0;
+  virtual ExprPtr Clone() const = 0;
+};
+
+/// `qualifier.name` or bare `name`.
+class ColumnRefExpr final : public Expr {
+ public:
+  ColumnRefExpr(std::string qualifier, std::string name)
+      : qualifier_(std::move(qualifier)), name_(std::move(name)) {}
+
+  Kind kind() const override { return Kind::kColumnRef; }
+  const std::string& qualifier() const { return qualifier_; }  // may be empty
+  const std::string& name() const { return name_; }
+  std::string ToSql() const override {
+    return qualifier_.empty() ? name_ : qualifier_ + "." + name_;
+  }
+  ExprPtr Clone() const override {
+    return std::make_unique<ColumnRefExpr>(qualifier_, name_);
+  }
+
+ private:
+  std::string qualifier_;
+  std::string name_;
+};
+
+class LiteralExpr final : public Expr {
+ public:
+  explicit LiteralExpr(Value value) : value_(std::move(value)) {}
+
+  Kind kind() const override { return Kind::kLiteral; }
+  const Value& value() const { return value_; }
+  std::string ToSql() const override { return value_.ToString(); }
+  ExprPtr Clone() const override {
+    return std::make_unique<LiteralExpr>(value_);
+  }
+
+ private:
+  Value value_;
+};
+
+class BinaryExpr final : public Expr {
+ public:
+  BinaryExpr(BinaryOp op, ExprPtr left, ExprPtr right)
+      : op_(op), left_(std::move(left)), right_(std::move(right)) {}
+
+  Kind kind() const override { return Kind::kBinary; }
+  BinaryOp op() const { return op_; }
+  const Expr& left() const { return *left_; }
+  const Expr& right() const { return *right_; }
+  std::string ToSql() const override;
+  ExprPtr Clone() const override {
+    return std::make_unique<BinaryExpr>(op_, left_->Clone(), right_->Clone());
+  }
+
+ private:
+  BinaryOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+class NotExpr final : public Expr {
+ public:
+  explicit NotExpr(ExprPtr operand) : operand_(std::move(operand)) {}
+
+  Kind kind() const override { return Kind::kNot; }
+  const Expr& operand() const { return *operand_; }
+  std::string ToSql() const override {
+    return "not (" + operand_->ToSql() + ")";
+  }
+  ExprPtr Clone() const override {
+    return std::make_unique<NotExpr>(operand_->Clone());
+  }
+
+ private:
+  ExprPtr operand_;
+};
+
+/// `expr IS [NOT] NULL`.
+class IsNullExpr final : public Expr {
+ public:
+  IsNullExpr(ExprPtr operand, bool negated)
+      : operand_(std::move(operand)), negated_(negated) {}
+
+  Kind kind() const override { return Kind::kIsNull; }
+  const Expr& operand() const { return *operand_; }
+  bool negated() const { return negated_; }
+  std::string ToSql() const override {
+    return operand_->ToSql() + (negated_ ? " is not null" : " is null");
+  }
+  ExprPtr Clone() const override {
+    return std::make_unique<IsNullExpr>(operand_->Clone(), negated_);
+  }
+
+ private:
+  ExprPtr operand_;
+  bool negated_;
+};
+
+// Convenience constructors used throughout the SQL generator.
+ExprPtr Col(std::string qualifier, std::string name);
+ExprPtr Col(std::string name);
+ExprPtr Lit(Value v);
+ExprPtr IntLit(int64_t v);
+ExprPtr StrLit(std::string v);
+ExprPtr NullLit();
+ExprPtr Eq(ExprPtr l, ExprPtr r);
+ExprPtr And(ExprPtr l, ExprPtr r);
+ExprPtr Or(ExprPtr l, ExprPtr r);
+/// AND-combines a vector (empty -> nullptr, meaning "true").
+ExprPtr AndAll(std::vector<ExprPtr> exprs);
+/// OR-combines a vector (empty -> nullptr).
+ExprPtr OrAll(std::vector<ExprPtr> exprs);
+
+/// Flattens nested ANDs into conjuncts.
+void CollectConjuncts(const Expr& e, std::vector<const Expr*>* out);
+/// Flattens nested ORs into disjuncts.
+void CollectDisjuncts(const Expr& e, std::vector<const Expr*>* out);
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // may be empty
+
+  SelectItem() = default;
+  SelectItem(ExprPtr e, std::string a) : expr(std::move(e)), alias(std::move(a)) {}
+  SelectItem Clone() const {
+    return SelectItem(expr->Clone(), alias);
+  }
+  std::string ToSql() const {
+    return alias.empty() ? expr->ToSql() : expr->ToSql() + " as " + alias;
+  }
+};
+
+class Query;
+using QueryPtr = std::unique_ptr<Query>;
+
+enum class JoinType { kInner, kLeftOuter };
+
+class TableRef;
+using TableRefPtr = std::unique_ptr<TableRef>;
+
+class TableRef {
+ public:
+  enum class Kind { kBaseTable, kDerivedTable, kJoin };
+  virtual ~TableRef() = default;
+  virtual Kind kind() const = 0;
+  virtual std::string ToSql() const = 0;
+  virtual TableRefPtr Clone() const = 0;
+};
+
+class BaseTableRef final : public TableRef {
+ public:
+  BaseTableRef(std::string table, std::string alias)
+      : table_(std::move(table)), alias_(std::move(alias)) {}
+
+  Kind kind() const override { return Kind::kBaseTable; }
+  const std::string& table() const { return table_; }
+  const std::string& alias() const { return alias_; }  // may be empty
+  /// The name the table is referred to by in expressions.
+  const std::string& binding_name() const {
+    return alias_.empty() ? table_ : alias_;
+  }
+  std::string ToSql() const override {
+    return alias_.empty() ? table_ : table_ + " " + alias_;
+  }
+  TableRefPtr Clone() const override {
+    return std::make_unique<BaseTableRef>(table_, alias_);
+  }
+
+ private:
+  std::string table_;
+  std::string alias_;
+};
+
+class DerivedTableRef final : public TableRef {
+ public:
+  DerivedTableRef(QueryPtr query, std::string alias);
+  ~DerivedTableRef() override;
+
+  Kind kind() const override { return Kind::kDerivedTable; }
+  const Query& query() const { return *query_; }
+  const std::string& alias() const { return alias_; }
+  std::string ToSql() const override;
+  TableRefPtr Clone() const override;
+
+ private:
+  QueryPtr query_;
+  std::string alias_;
+};
+
+class JoinRef final : public TableRef {
+ public:
+  JoinRef(JoinType type, TableRefPtr left, TableRefPtr right, ExprPtr on)
+      : type_(type),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        on_(std::move(on)) {}
+
+  Kind kind() const override { return Kind::kJoin; }
+  JoinType join_type() const { return type_; }
+  const TableRef& left() const { return *left_; }
+  const TableRef& right() const { return *right_; }
+  const Expr& on() const { return *on_; }
+  std::string ToSql() const override;
+  TableRefPtr Clone() const override {
+    return std::make_unique<JoinRef>(type_, left_->Clone(), right_->Clone(),
+                                     on_->Clone());
+  }
+
+ private:
+  JoinType type_;
+  TableRefPtr left_;
+  TableRefPtr right_;
+  ExprPtr on_;
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool ascending = true;
+
+  OrderItem() = default;
+  OrderItem(ExprPtr e, bool asc) : expr(std::move(e)), ascending(asc) {}
+  OrderItem Clone() const { return OrderItem(expr->Clone(), ascending); }
+};
+
+/// One SELECT core (no set operations, no ORDER BY).
+struct SelectCore {
+  bool distinct = false;
+  bool select_star = false;
+  std::vector<SelectItem> select_list;
+  std::vector<TableRefPtr> from;  // comma-separated; each may be a join tree
+  ExprPtr where;                  // may be null
+
+  SelectCore() = default;
+  SelectCore(SelectCore&&) = default;
+  SelectCore& operator=(SelectCore&&) = default;
+  SelectCore Clone() const;
+  std::string ToSql() const;
+};
+
+/// A full query: one or more SELECT cores combined with UNION ALL, plus an
+/// optional trailing ORDER BY. (SilkRoute's outer unions pad each branch
+/// with NULL columns so plain UNION ALL implements them.)
+class Query {
+ public:
+  Query() = default;
+  Query(Query&&) = default;
+  Query& operator=(Query&&) = default;
+
+  std::vector<SelectCore> cores;
+  std::vector<OrderItem> order_by;
+
+  QueryPtr CloneQuery() const;
+  std::string ToSql() const;
+};
+
+}  // namespace silkroute::sql
+
+#endif  // SILKROUTE_SQL_AST_H_

@@ -1,0 +1,187 @@
+#include "sql/ddl.h"
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace silkroute::sql {
+
+namespace {
+
+class DdlParser {
+ public:
+  explicit DdlParser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<size_t> Run(Database* db) {
+    size_t created = 0;
+    while (Peek().type != TokenType::kEnd) {
+      SILK_RETURN_IF_ERROR(ParseCreateTable(db));
+      ++created;
+      while (MatchSymbol(";")) {
+      }
+    }
+    return created;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  /// Case-insensitive word match against identifiers AND keywords (the SQL
+  /// lexer reserves some DDL words like NOT/NULL).
+  bool MatchWord(std::string_view word) {
+    const Token& t = Peek();
+    if ((t.type == TokenType::kIdentifier || t.type == TokenType::kKeyword) &&
+        EqualsIgnoreCase(t.text, word)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool MatchSymbol(std::string_view s) {
+    if (Peek().IsSymbol(s)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectWord(std::string_view word) {
+    if (!MatchWord(word)) {
+      return Err("expected '" + std::string(word) + "', got '" + Peek().text +
+                 "'");
+    }
+    return Status::OK();
+  }
+  Status ExpectSymbol(std::string_view s) {
+    if (!MatchSymbol(s)) {
+      return Err("expected '" + std::string(s) + "', got '" + Peek().text +
+                 "'");
+    }
+    return Status::OK();
+  }
+  Status Err(std::string msg) const {
+    return Status::ParseError(msg + " at offset " +
+                              std::to_string(Peek().offset) + " in DDL");
+  }
+
+  Result<std::string> ParseName() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Err("expected name, got '" + Peek().text + "'");
+    }
+    return Advance().text;
+  }
+
+  Result<std::vector<std::string>> ParseNameList() {
+    SILK_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::vector<std::string> names;
+    do {
+      SILK_ASSIGN_OR_RETURN(std::string name, ParseName());
+      names.push_back(std::move(name));
+    } while (MatchSymbol(","));
+    SILK_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return names;
+  }
+
+  Result<DataType> ParseType() {
+    const Token& t = Peek();
+    if (t.type != TokenType::kIdentifier) {
+      return Err("expected type name, got '" + t.text + "'");
+    }
+    std::string type = ToLower(Advance().text);
+    DataType out;
+    if (type == "int" || type == "integer" || type == "bigint" ||
+        type == "smallint") {
+      out = DataType::kInt64;
+    } else if (type == "double" || type == "float" || type == "real" ||
+               type == "decimal" || type == "numeric") {
+      out = DataType::kDouble;
+      MatchWord("precision");  // DOUBLE PRECISION
+    } else if (type == "varchar" || type == "char" || type == "text" ||
+               type == "string" || type == "date") {
+      out = DataType::kString;
+    } else {
+      return Err("unknown type '" + type + "'");
+    }
+    // Optional length/precision suffix: (n) or (p, s).
+    if (MatchSymbol("(")) {
+      while (Peek().type == TokenType::kInteger || Peek().IsSymbol(",")) {
+        ++pos_;
+      }
+      SILK_RETURN_IF_ERROR(ExpectSymbol(")"));
+    }
+    return out;
+  }
+
+  Status ParseCreateTable(Database* db) {
+    SILK_RETURN_IF_ERROR(ExpectWord("create"));
+    SILK_RETURN_IF_ERROR(ExpectWord("table"));
+    SILK_ASSIGN_OR_RETURN(std::string table_name, ParseName());
+    SILK_RETURN_IF_ERROR(ExpectSymbol("("));
+
+    std::vector<ColumnDef> columns;
+    std::vector<std::string> primary_key;
+    std::vector<ForeignKeyDef> foreign_keys;
+
+    do {
+      if (MatchWord("primary")) {
+        SILK_RETURN_IF_ERROR(ExpectWord("key"));
+        SILK_ASSIGN_OR_RETURN(primary_key, ParseNameList());
+        continue;
+      }
+      if (MatchWord("foreign")) {
+        SILK_RETURN_IF_ERROR(ExpectWord("key"));
+        ForeignKeyDef fk;
+        SILK_ASSIGN_OR_RETURN(fk.columns, ParseNameList());
+        SILK_RETURN_IF_ERROR(ExpectWord("references"));
+        SILK_ASSIGN_OR_RETURN(fk.target_table, ParseName());
+        SILK_ASSIGN_OR_RETURN(fk.target_columns, ParseNameList());
+        foreign_keys.push_back(std::move(fk));
+        continue;
+      }
+      ColumnDef col;
+      SILK_ASSIGN_OR_RETURN(col.name, ParseName());
+      SILK_ASSIGN_OR_RETURN(col.type, ParseType());
+      col.nullable = false;
+      // Column options in any order.
+      while (true) {
+        if (MatchWord("primary")) {
+          SILK_RETURN_IF_ERROR(ExpectWord("key"));
+          primary_key.push_back(col.name);
+        } else if (MatchWord("not")) {
+          SILK_RETURN_IF_ERROR(ExpectWord("null"));
+          col.nullable = false;
+        } else if (MatchWord("null")) {
+          col.nullable = true;
+        } else {
+          break;
+        }
+      }
+      columns.push_back(std::move(col));
+    } while (MatchSymbol(","));
+    SILK_RETURN_IF_ERROR(ExpectSymbol(")"));
+
+    TableSchema schema(table_name, std::move(columns));
+    if (!primary_key.empty()) {
+      SILK_RETURN_IF_ERROR(schema.SetPrimaryKey(std::move(primary_key)));
+    }
+    for (auto& fk : foreign_keys) {
+      SILK_RETURN_IF_ERROR(schema.AddForeignKey(std::move(fk)));
+    }
+    return db->CreateTable(std::move(schema));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<size_t> ExecuteDdl(std::string_view ddl, Database* db) {
+  SILK_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(ddl));
+  DdlParser parser(std::move(tokens));
+  return parser.Run(db);
+}
+
+}  // namespace silkroute::sql

@@ -1,0 +1,33 @@
+// DDL execution: CREATE TABLE statements with column types, nullability,
+// primary keys, and foreign keys — enough to describe a source database to
+// the middle-ware from a schema file.
+//
+//   CREATE TABLE Supplier (
+//     suppkey   BIGINT PRIMARY KEY,
+//     name      VARCHAR(25),
+//     addr      VARCHAR(40),
+//     nationkey BIGINT,
+//     FOREIGN KEY (nationkey) REFERENCES Nation(nationkey)
+//   );
+//
+// Types map onto the engine's three storage classes: INT / INTEGER /
+// BIGINT / SMALLINT -> INT64; DOUBLE [PRECISION] / FLOAT / REAL / DECIMAL /
+// NUMERIC -> DOUBLE; VARCHAR / CHAR / TEXT / STRING / DATE -> STRING.
+// Columns are NOT NULL by default; write NULL to permit nulls.
+#ifndef SILKROUTE_SQL_DDL_H_
+#define SILKROUTE_SQL_DDL_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "relational/database.h"
+
+namespace silkroute::sql {
+
+/// Executes every CREATE TABLE statement in `ddl`. Returns the number of
+/// tables created. Statements may be separated by semicolons.
+Result<size_t> ExecuteDdl(std::string_view ddl, Database* db);
+
+}  // namespace silkroute::sql
+
+#endif  // SILKROUTE_SQL_DDL_H_

@@ -1,0 +1,21 @@
+// Recursive-descent parser for the SQL subset (see ast.h).
+#ifndef SILKROUTE_SQL_PARSER_H_
+#define SILKROUTE_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace silkroute::sql {
+
+/// Parses a complete query (SELECT ... [UNION ALL ...] [ORDER BY ...]).
+/// Fails if trailing tokens remain.
+Result<QueryPtr> ParseQuery(std::string_view sql);
+
+/// Parses a standalone scalar/boolean expression (used by tests).
+Result<ExprPtr> ParseExpression(std::string_view text);
+
+}  // namespace silkroute::sql
+
+#endif  // SILKROUTE_SQL_PARSER_H_

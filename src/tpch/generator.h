@@ -1,0 +1,49 @@
+// Deterministic generator for the TPC-H fragment. Scale factor 1.0 yields a
+// database in the tens of megabytes (the paper's Config B regime);
+// scale 0.01 is the ~1 MB Config A regime. Row-count ratios follow TPC-H
+// (orders 10x customers, ~4 line items per order, 2 partsupp per part).
+//
+// Distributional properties the experiments depend on are preserved:
+//  - a fraction of suppliers have no parts (exercises left outer joins);
+//  - a fraction of partsupp pairs have no pending line items;
+//  - every line item references a valid (partkey, suppkey) pair, its order,
+//    and transitively a customer and nation.
+#ifndef SILKROUTE_TPCH_GENERATOR_H_
+#define SILKROUTE_TPCH_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "relational/database.h"
+
+namespace silkroute::tpch {
+
+struct TpchConfig {
+  double scale_factor = 0.01;  // 0.01 ~ Config A, 1.0 ~ Config B
+  uint64_t seed = 20010521;    // SIGMOD 2001 opening day
+  /// Fraction of suppliers that supply no parts.
+  double supplier_no_parts_fraction = 0.1;
+  /// Fraction of partsupp pairs with no pending line items.
+  double partsupp_no_lineitem_fraction = 0.3;
+};
+
+struct TpchRowCounts {
+  size_t region = 0;
+  size_t nation = 0;
+  size_t supplier = 0;
+  size_t part = 0;
+  size_t partsupp = 0;
+  size_t customer = 0;
+  size_t orders = 0;
+  size_t lineitem = 0;
+};
+
+/// Row counts for a given scale factor.
+TpchRowCounts CountsForScale(double scale_factor);
+
+/// Creates the schema and fills `db` with generated data.
+Status GenerateTpch(const TpchConfig& config, Database* db);
+
+}  // namespace silkroute::tpch
+
+#endif  // SILKROUTE_TPCH_GENERATOR_H_

@@ -1,0 +1,122 @@
+#include "tpch/schema.h"
+
+namespace silkroute::tpch {
+
+namespace {
+
+TableSchema Region() {
+  TableSchema s("Region", {
+                              {"regionkey", DataType::kInt64, false},
+                              {"name", DataType::kString, false},
+                          });
+  (void)s.SetPrimaryKey({"regionkey"});
+  return s;
+}
+
+TableSchema Nation() {
+  TableSchema s("Nation", {
+                              {"nationkey", DataType::kInt64, false},
+                              {"name", DataType::kString, false},
+                              {"regionkey", DataType::kInt64, false},
+                          });
+  (void)s.SetPrimaryKey({"nationkey"});
+  (void)s.AddForeignKey({{"regionkey"}, "Region", {"regionkey"}});
+  return s;
+}
+
+TableSchema Supplier() {
+  TableSchema s("Supplier", {
+                                {"suppkey", DataType::kInt64, false},
+                                {"name", DataType::kString, false},
+                                {"addr", DataType::kString, false},
+                                {"nationkey", DataType::kInt64, false},
+                            });
+  (void)s.SetPrimaryKey({"suppkey"});
+  (void)s.AddForeignKey({{"nationkey"}, "Nation", {"nationkey"}});
+  return s;
+}
+
+TableSchema Part() {
+  TableSchema s("Part", {
+                            {"partkey", DataType::kInt64, false},
+                            {"name", DataType::kString, false},
+                            {"mfgr", DataType::kString, false},
+                            {"brand", DataType::kString, false},
+                            {"size", DataType::kInt64, false},
+                            {"retail", DataType::kDouble, false},
+                        });
+  (void)s.SetPrimaryKey({"partkey"});
+  return s;
+}
+
+TableSchema PartSupp() {
+  TableSchema s("PartSupp", {
+                                {"partkey", DataType::kInt64, false},
+                                {"suppkey", DataType::kInt64, false},
+                                {"availqty", DataType::kInt64, false},
+                            });
+  (void)s.SetPrimaryKey({"partkey", "suppkey"});
+  (void)s.AddForeignKey({{"partkey"}, "Part", {"partkey"}});
+  (void)s.AddForeignKey({{"suppkey"}, "Supplier", {"suppkey"}});
+  return s;
+}
+
+TableSchema Customer() {
+  TableSchema s("Customer", {
+                                {"custkey", DataType::kInt64, false},
+                                {"name", DataType::kString, false},
+                                {"addr", DataType::kString, false},
+                                {"nationkey", DataType::kInt64, false},
+                                {"ph", DataType::kString, false},
+                            });
+  (void)s.SetPrimaryKey({"custkey"});
+  (void)s.AddForeignKey({{"nationkey"}, "Nation", {"nationkey"}});
+  return s;
+}
+
+TableSchema Orders() {
+  TableSchema s("Orders", {
+                              {"orderkey", DataType::kInt64, false},
+                              {"custkey", DataType::kInt64, false},
+                              {"status", DataType::kString, false},
+                              {"price", DataType::kDouble, false},
+                              {"date", DataType::kString, false},
+                          });
+  (void)s.SetPrimaryKey({"orderkey"});
+  (void)s.AddForeignKey({{"custkey"}, "Customer", {"custkey"}});
+  return s;
+}
+
+TableSchema LineItem() {
+  TableSchema s("LineItem", {
+                                {"orderkey", DataType::kInt64, false},
+                                {"partkey", DataType::kInt64, false},
+                                {"suppkey", DataType::kInt64, false},
+                                {"lno", DataType::kInt64, false},
+                                {"qty", DataType::kInt64, false},
+                                {"prc", DataType::kDouble, false},
+                            });
+  (void)s.SetPrimaryKey({"orderkey", "lno"});
+  (void)s.AddForeignKey({{"orderkey"}, "Orders", {"orderkey"}});
+  (void)s.AddForeignKey({{"partkey"}, "Part", {"partkey"}});
+  (void)s.AddForeignKey({{"suppkey"}, "Supplier", {"suppkey"}});
+  (void)s.AddForeignKey(
+      {{"partkey", "suppkey"}, "PartSupp", {"partkey", "suppkey"}});
+  return s;
+}
+
+}  // namespace
+
+Status CreateTpchSchema(Database* db) {
+  SILK_RETURN_IF_ERROR(db->CreateTable(Region()));
+  SILK_RETURN_IF_ERROR(db->CreateTable(Nation()));
+  SILK_RETURN_IF_ERROR(db->CreateTable(Supplier()));
+  SILK_RETURN_IF_ERROR(db->CreateTable(Part()));
+  SILK_RETURN_IF_ERROR(db->CreateTable(PartSupp()));
+  SILK_RETURN_IF_ERROR(db->CreateTable(Customer()));
+  SILK_RETURN_IF_ERROR(db->CreateTable(Orders()));
+  SILK_RETURN_IF_ERROR(db->CreateTable(LineItem()));
+  return Status::OK();
+}
+
+}  // namespace silkroute::tpch

@@ -1,0 +1,21 @@
+// The TPC-H fragment of the paper's Fig. 1, with primary keys and the
+// referential constraints the view-tree labeling consumes.
+//
+// Note: the paper's figure stars only `partkey` in PartSupp and only
+// `orderkey` in LineItem; the actual TPC-H keys are composite —
+// PartSupp(partkey, suppkey) and LineItem(orderkey, lno) — and we declare
+// the composite keys (the figure's rendering is an abbreviation).
+#ifndef SILKROUTE_TPCH_SCHEMA_H_
+#define SILKROUTE_TPCH_SCHEMA_H_
+
+#include "common/status.h"
+#include "relational/database.h"
+
+namespace silkroute::tpch {
+
+/// Creates the eight TPC-H fragment tables (empty) in `db`.
+Status CreateTpchSchema(Database* db);
+
+}  // namespace silkroute::tpch
+
+#endif  // SILKROUTE_TPCH_SCHEMA_H_

@@ -1,0 +1,63 @@
+// DTD parsing and validation (the subset used by data-exchange DTDs like the
+// paper's Fig. 2): <!ELEMENT> declarations with EMPTY / ANY / (#PCDATA) /
+// mixed / children content models built from sequences, choices, and the
+// ? * + occurrence operators. <!ATTLIST> declarations are parsed and
+// ignored (attribute validation is out of scope for this reproduction).
+#ifndef SILKROUTE_XML_DTD_H_
+#define SILKROUTE_XML_DTD_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/reader.h"
+
+namespace silkroute::xml {
+
+struct ContentParticle {
+  enum class Kind { kName, kSequence, kChoice };
+  enum class Occurrence { kOne, kOptional, kStar, kPlus };
+
+  Kind kind = Kind::kName;
+  Occurrence occurrence = Occurrence::kOne;
+  std::string name;                        // for kName
+  std::vector<ContentParticle> children;   // for kSequence / kChoice
+
+  std::string ToString() const;
+};
+
+struct ElementDecl {
+  enum class Category { kEmpty, kAny, kPcdata, kMixed, kChildren };
+
+  std::string name;
+  Category category = Category::kAny;
+  ContentParticle content;               // for kChildren
+  std::vector<std::string> mixed_names;  // for kMixed
+
+  std::string ToString() const;
+};
+
+class Dtd {
+ public:
+  Status AddElement(ElementDecl decl);
+  bool HasElement(const std::string& name) const;
+  Result<const ElementDecl*> GetElement(const std::string& name) const;
+  size_t num_elements() const { return elements_.size(); }
+
+  /// Validates `root` and its subtree. Element content models are matched
+  /// with an NFA-style position-set simulation, so `a*` over thousands of
+  /// children is linear.
+  Status Validate(const XmlNode& root) const;
+
+ private:
+  std::map<std::string, ElementDecl> elements_;
+};
+
+/// Parses DTD text ("<!ELEMENT supplier (name, nation, part*)> ...").
+Result<Dtd> ParseDtd(std::string_view text);
+
+}  // namespace silkroute::xml
+
+#endif  // SILKROUTE_XML_DTD_H_

@@ -1,0 +1,98 @@
+#include "xml/escape.h"
+
+#include <cstdlib>
+
+namespace silkroute::xml {
+
+namespace {
+std::string EscapeImpl(std::string_view text, bool attribute) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        if (attribute) {
+          out += "&quot;";
+        } else {
+          out += c;
+        }
+        break;
+      case '\'':
+        if (attribute) {
+          out += "&apos;";
+        } else {
+          out += c;
+        }
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string EscapeText(std::string_view text) {
+  return EscapeImpl(text, /*attribute=*/false);
+}
+
+std::string EscapeAttribute(std::string_view text) {
+  return EscapeImpl(text, /*attribute=*/true);
+}
+
+std::string Unescape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] != '&') {
+      out += text[i++];
+      continue;
+    }
+    size_t end = text.find(';', i);
+    if (end == std::string_view::npos) {
+      out += text[i++];
+      continue;
+    }
+    std::string_view entity = text.substr(i + 1, end - i - 1);
+    if (entity == "amp") {
+      out += '&';
+    } else if (entity == "lt") {
+      out += '<';
+    } else if (entity == "gt") {
+      out += '>';
+    } else if (entity == "quot") {
+      out += '"';
+    } else if (entity == "apos") {
+      out += '\'';
+    } else if (!entity.empty() && entity[0] == '#') {
+      long code = 0;
+      if (entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X')) {
+        code = std::strtol(std::string(entity.substr(2)).c_str(), nullptr, 16);
+      } else {
+        code = std::strtol(std::string(entity.substr(1)).c_str(), nullptr, 10);
+      }
+      if (code > 0 && code < 128) {
+        out += static_cast<char>(code);
+      }
+    } else {
+      // Unknown entity: keep literally.
+      out += '&';
+      out += entity;
+      out += ';';
+    }
+    i = end + 1;
+  }
+  return out;
+}
+
+}  // namespace silkroute::xml

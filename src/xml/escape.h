@@ -1,0 +1,22 @@
+// XML text escaping.
+#ifndef SILKROUTE_XML_ESCAPE_H_
+#define SILKROUTE_XML_ESCAPE_H_
+
+#include <string>
+#include <string_view>
+
+namespace silkroute::xml {
+
+/// Escapes &, <, > for element text content.
+std::string EscapeText(std::string_view text);
+
+/// Escapes &, <, >, ", ' for attribute values.
+std::string EscapeAttribute(std::string_view text);
+
+/// Reverses EscapeText/EscapeAttribute (handles the five standard entities
+/// and decimal/hex character references).
+std::string Unescape(std::string_view text);
+
+}  // namespace silkroute::xml
+
+#endif  // SILKROUTE_XML_ESCAPE_H_

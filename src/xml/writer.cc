@@ -1,0 +1,98 @@
+#include "xml/writer.h"
+
+#include "xml/escape.h"
+
+namespace silkroute::xml {
+
+XmlWriter::XmlWriter(std::ostream* out, Options options)
+    : out_(out), options_(options) {
+  if (options_.declaration) {
+    Write("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+    if (options_.pretty) Write("\n");
+  }
+}
+
+void XmlWriter::Write(std::string_view s) {
+  out_->write(s.data(), static_cast<std::streamsize>(s.size()));
+  bytes_written_ += s.size();
+}
+
+void XmlWriter::CloseStartTagIfOpen() {
+  if (start_tag_open_) {
+    Write(">");
+    start_tag_open_ = false;
+  }
+}
+
+void XmlWriter::Indent() {
+  if (!options_.pretty) return;
+  if (bytes_written_ > 0) Write("\n");
+  for (size_t i = 0; i < stack_.size(); ++i) Write("  ");
+}
+
+Status XmlWriter::StartElement(std::string_view name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("empty element name");
+  }
+  CloseStartTagIfOpen();
+  if (!just_wrote_text_) Indent();
+  Write("<");
+  Write(name);
+  start_tag_open_ = true;
+  just_wrote_text_ = false;
+  stack_.emplace_back(name);
+  return Status::OK();
+}
+
+Status XmlWriter::Attribute(std::string_view name, std::string_view value) {
+  if (!start_tag_open_) {
+    return Status::InvalidArgument(
+        "Attribute() is only legal immediately after StartElement()");
+  }
+  Write(" ");
+  Write(name);
+  Write("=\"");
+  Write(EscapeAttribute(value));
+  Write("\"");
+  return Status::OK();
+}
+
+Status XmlWriter::Text(std::string_view text) {
+  if (stack_.empty()) {
+    return Status::InvalidArgument("text outside of any element");
+  }
+  CloseStartTagIfOpen();
+  Write(EscapeText(text));
+  just_wrote_text_ = true;
+  return Status::OK();
+}
+
+Status XmlWriter::EndElement() {
+  if (stack_.empty()) {
+    return Status::InvalidArgument("EndElement() with no open element");
+  }
+  std::string name = stack_.back();
+  stack_.pop_back();
+  if (start_tag_open_) {
+    Write("/>");
+    start_tag_open_ = false;
+  } else {
+    if (!just_wrote_text_) Indent();
+    Write("</");
+    Write(name);
+    Write(">");
+  }
+  just_wrote_text_ = false;
+  return Status::OK();
+}
+
+Status XmlWriter::Finish() {
+  while (!stack_.empty()) {
+    SILK_RETURN_IF_ERROR(EndElement());
+  }
+  if (options_.pretty) Write("\n");
+  out_->flush();
+  return Status::OK();
+}
+
+}  // namespace silkroute::xml

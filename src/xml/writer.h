@@ -1,0 +1,60 @@
+// XmlWriter: streaming XML serializer. Memory use is bounded by the element
+// nesting depth (the open-element stack), never by document size — the
+// property SilkRoute's tagger relies on for views larger than main memory.
+#ifndef SILKROUTE_XML_WRITER_H_
+#define SILKROUTE_XML_WRITER_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace silkroute::xml {
+
+class XmlWriter {
+ public:
+  struct Options {
+    bool pretty = false;     // newlines + two-space indentation
+    bool declaration = true; // emit <?xml version="1.0"?>
+  };
+
+  explicit XmlWriter(std::ostream* out) : XmlWriter(out, Options()) {}
+  XmlWriter(std::ostream* out, Options options);
+
+  /// Opens `<name>`. Names are not validated beyond being non-empty.
+  Status StartElement(std::string_view name);
+
+  /// Writes an attribute on the most recently started element. Only legal
+  /// before any content has been written into it.
+  Status Attribute(std::string_view name, std::string_view value);
+
+  /// Writes escaped character data inside the current element.
+  Status Text(std::string_view text);
+
+  /// Closes the current element.
+  Status EndElement();
+
+  /// Closes all open elements.
+  Status Finish();
+
+  size_t depth() const { return stack_.size(); }
+  size_t bytes_written() const { return bytes_written_; }
+
+ private:
+  void Write(std::string_view s);
+  void CloseStartTagIfOpen();
+  void Indent();
+
+  std::ostream* out_;
+  Options options_;
+  std::vector<std::string> stack_;
+  bool start_tag_open_ = false;  // "<name" emitted but not yet ">"
+  bool just_wrote_text_ = false;
+  size_t bytes_written_ = 0;
+};
+
+}  // namespace silkroute::xml
+
+#endif  // SILKROUTE_XML_WRITER_H_

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "silkroute/queries.h"
+#include "xml/dtd.h"
+#include "xml/reader.h"
+
+namespace silkroute::xml {
+namespace {
+
+Dtd MustParseDtd(std::string_view text) {
+  auto dtd = ParseDtd(text);
+  EXPECT_TRUE(dtd.ok()) << dtd.status();
+  return dtd.ok() ? std::move(dtd).value() : Dtd{};
+}
+
+Status ValidateDoc(const Dtd& dtd, std::string_view xml) {
+  auto doc = ParseXml(xml);
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  if (!doc.ok()) return doc.status();
+  return dtd.Validate(**doc);
+}
+
+TEST(DtdParseTest, PcdataElement) {
+  Dtd dtd = MustParseDtd("<!ELEMENT name (#PCDATA)>");
+  auto decl = dtd.GetElement("name");
+  ASSERT_TRUE(decl.ok());
+  EXPECT_EQ((*decl)->category, ElementDecl::Category::kPcdata);
+}
+
+TEST(DtdParseTest, EmptyAndAny) {
+  Dtd dtd = MustParseDtd("<!ELEMENT e EMPTY><!ELEMENT a ANY>");
+  EXPECT_EQ((*dtd.GetElement("e"))->category, ElementDecl::Category::kEmpty);
+  EXPECT_EQ((*dtd.GetElement("a"))->category, ElementDecl::Category::kAny);
+}
+
+TEST(DtdParseTest, SequenceWithOccurrences) {
+  Dtd dtd = MustParseDtd("<!ELEMENT s (a, b?, c*, d+)>");
+  auto decl = dtd.GetElement("s");
+  ASSERT_TRUE(decl.ok());
+  const ContentParticle& content = (*decl)->content;
+  ASSERT_EQ(content.kind, ContentParticle::Kind::kSequence);
+  ASSERT_EQ(content.children.size(), 4u);
+  EXPECT_EQ(content.children[0].occurrence, ContentParticle::Occurrence::kOne);
+  EXPECT_EQ(content.children[1].occurrence,
+            ContentParticle::Occurrence::kOptional);
+  EXPECT_EQ(content.children[2].occurrence,
+            ContentParticle::Occurrence::kStar);
+  EXPECT_EQ(content.children[3].occurrence,
+            ContentParticle::Occurrence::kPlus);
+}
+
+TEST(DtdParseTest, ChoiceGroup) {
+  Dtd dtd = MustParseDtd("<!ELEMENT s (a | b | c)*>");
+  const ContentParticle& c = (*dtd.GetElement("s"))->content;
+  EXPECT_EQ(c.kind, ContentParticle::Kind::kChoice);
+  EXPECT_EQ(c.occurrence, ContentParticle::Occurrence::kStar);
+  EXPECT_EQ(c.children.size(), 3u);
+}
+
+TEST(DtdParseTest, NestedGroups) {
+  Dtd dtd = MustParseDtd("<!ELEMENT s ((a, b) | c)+>");
+  const ContentParticle& c = (*dtd.GetElement("s"))->content;
+  ASSERT_EQ(c.kind, ContentParticle::Kind::kChoice);
+  EXPECT_EQ(c.children[0].kind, ContentParticle::Kind::kSequence);
+}
+
+TEST(DtdParseTest, MixedContent) {
+  Dtd dtd = MustParseDtd("<!ELEMENT p (#PCDATA | em | strong)*>");
+  auto decl = dtd.GetElement("p");
+  ASSERT_TRUE(decl.ok());
+  EXPECT_EQ((*decl)->category, ElementDecl::Category::kMixed);
+  EXPECT_EQ((*decl)->mixed_names.size(), 2u);
+}
+
+TEST(DtdParseTest, AttlistIgnored) {
+  Dtd dtd = MustParseDtd(
+      "<!ELEMENT a (#PCDATA)><!ATTLIST a id ID #REQUIRED>");
+  EXPECT_TRUE(dtd.HasElement("a"));
+}
+
+TEST(DtdParseTest, CommentsSkipped) {
+  Dtd dtd = MustParseDtd("<!-- c --><!ELEMENT a (#PCDATA)><!-- d -->");
+  EXPECT_TRUE(dtd.HasElement("a"));
+}
+
+TEST(DtdParseTest, ErrorsOnGarbage) {
+  EXPECT_FALSE(ParseDtd("<!ELEMENT broken").ok());
+  EXPECT_FALSE(ParseDtd("<!WRONG a (b)>").ok());
+  EXPECT_FALSE(ParseDtd("<!ELEMENT a (b,c|d)>").ok());  // mixed separators
+  EXPECT_FALSE(ParseDtd("<!ELEMENT a (#PCDATA | b)>").ok());  // missing '*'
+}
+
+TEST(DtdParseTest, DuplicateDeclarationIsError) {
+  EXPECT_FALSE(
+      ParseDtd("<!ELEMENT a (#PCDATA)><!ELEMENT a (#PCDATA)>").ok());
+}
+
+TEST(DtdValidateTest, PcdataAcceptsTextRejectsChildren) {
+  Dtd dtd = MustParseDtd("<!ELEMENT a (#PCDATA)>");
+  EXPECT_TRUE(ValidateDoc(dtd, "<a>some text</a>").ok());
+  EXPECT_FALSE(ValidateDoc(dtd, "<a><b/></a>").ok());
+}
+
+TEST(DtdValidateTest, EmptyRejectsAnyContent) {
+  Dtd dtd = MustParseDtd("<!ELEMENT a EMPTY>");
+  EXPECT_TRUE(ValidateDoc(dtd, "<a/>").ok());
+  EXPECT_FALSE(ValidateDoc(dtd, "<a>x</a>").ok());
+}
+
+TEST(DtdValidateTest, SequenceOrderEnforced) {
+  Dtd dtd = MustParseDtd(
+      "<!ELEMENT s (a, b)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>");
+  EXPECT_TRUE(ValidateDoc(dtd, "<s><a/><b/></s>").ok());
+  EXPECT_FALSE(ValidateDoc(dtd, "<s><b/><a/></s>").ok());
+  EXPECT_FALSE(ValidateDoc(dtd, "<s><a/></s>").ok());
+  EXPECT_FALSE(ValidateDoc(dtd, "<s><a/><b/><b/></s>").ok());
+}
+
+TEST(DtdValidateTest, StarAcceptsZeroOrMany) {
+  Dtd dtd = MustParseDtd("<!ELEMENT s (a*)><!ELEMENT a EMPTY>");
+  EXPECT_TRUE(ValidateDoc(dtd, "<s/>").ok());
+  EXPECT_TRUE(ValidateDoc(dtd, "<s><a/><a/><a/><a/></s>").ok());
+}
+
+TEST(DtdValidateTest, PlusRequiresAtLeastOne) {
+  Dtd dtd = MustParseDtd("<!ELEMENT s (a+)><!ELEMENT a EMPTY>");
+  EXPECT_FALSE(ValidateDoc(dtd, "<s/>").ok());
+  EXPECT_TRUE(ValidateDoc(dtd, "<s><a/><a/></s>").ok());
+}
+
+TEST(DtdValidateTest, OptionalAcceptsZeroOrOne) {
+  Dtd dtd = MustParseDtd("<!ELEMENT s (a?)><!ELEMENT a EMPTY>");
+  EXPECT_TRUE(ValidateDoc(dtd, "<s/>").ok());
+  EXPECT_TRUE(ValidateDoc(dtd, "<s><a/></s>").ok());
+  EXPECT_FALSE(ValidateDoc(dtd, "<s><a/><a/></s>").ok());
+}
+
+TEST(DtdValidateTest, ChoiceAcceptsEitherBranch) {
+  Dtd dtd = MustParseDtd(
+      "<!ELEMENT s (a | b)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>");
+  EXPECT_TRUE(ValidateDoc(dtd, "<s><a/></s>").ok());
+  EXPECT_TRUE(ValidateDoc(dtd, "<s><b/></s>").ok());
+  EXPECT_FALSE(ValidateDoc(dtd, "<s><a/><b/></s>").ok());
+}
+
+TEST(DtdValidateTest, ElementContentRejectsCharacterData) {
+  Dtd dtd = MustParseDtd("<!ELEMENT s (a)><!ELEMENT a EMPTY>");
+  EXPECT_FALSE(ValidateDoc(dtd, "<s>text<a/></s>").ok());
+  // Whitespace between children is fine.
+  EXPECT_TRUE(ValidateDoc(dtd, "<s>\n  <a/>\n</s>").ok());
+}
+
+TEST(DtdValidateTest, UndeclaredElementIsError) {
+  Dtd dtd = MustParseDtd("<!ELEMENT s (a)><!ELEMENT a EMPTY>");
+  EXPECT_FALSE(ValidateDoc(dtd, "<s><z/></s>").ok());
+  EXPECT_FALSE(ValidateDoc(dtd, "<zzz/>").ok());
+}
+
+TEST(DtdValidateTest, MixedContentRestrictsChildNames) {
+  Dtd dtd = MustParseDtd(
+      "<!ELEMENT p (#PCDATA | em)*><!ELEMENT em (#PCDATA)>");
+  EXPECT_TRUE(ValidateDoc(dtd, "<p>a<em>b</em>c</p>").ok());
+  EXPECT_FALSE(ValidateDoc(dtd, "<p><strong/></p>").ok());
+}
+
+TEST(DtdValidateTest, LongChildListIsLinear) {
+  Dtd dtd = MustParseDtd("<!ELEMENT s (a*)><!ELEMENT a EMPTY>");
+  std::string doc = "<s>";
+  for (int i = 0; i < 20000; ++i) doc += "<a/>";
+  doc += "</s>";
+  EXPECT_TRUE(ValidateDoc(dtd, doc).ok());
+}
+
+TEST(DtdValidateTest, PaperSupplierDtdParses) {
+  Dtd dtd = MustParseDtd(core::SupplierDtd());
+  EXPECT_EQ(dtd.num_elements(), 8u);
+  EXPECT_TRUE(
+      ValidateDoc(dtd,
+                  "<supplier><name>s</name><nation>n</nation>"
+                  "<region>r</region>"
+                  "<part><name>p</name>"
+                  "<order><orderkey>1</orderkey><customer>c</customer>"
+                  "<nation>x</nation></order></part></supplier>")
+          .ok());
+  // part before region violates the sequence.
+  EXPECT_FALSE(
+      ValidateDoc(dtd,
+                  "<supplier><name>s</name><nation>n</nation>"
+                  "<part><name>p</name></part><region>r</region></supplier>")
+          .ok());
+}
+
+TEST(DtdValidateTest, DeclRoundTripsThroughToString) {
+  Dtd dtd = MustParseDtd("<!ELEMENT s (a, (b | c)*, d?)>");
+  auto decl = dtd.GetElement("s");
+  ASSERT_TRUE(decl.ok());
+  // Re-parse the printed declaration and check it is accepted.
+  auto again = ParseDtd((*decl)->ToString());
+  ASSERT_TRUE(again.ok()) << (*decl)->ToString();
+  EXPECT_TRUE(again->HasElement("s"));
+}
+
+}  // namespace
+}  // namespace silkroute::xml

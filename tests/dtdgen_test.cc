@@ -1,0 +1,145 @@
+#include "silkroute/dtdgen.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "silkroute/publisher.h"
+#include "silkroute/queries.h"
+#include "tests/test_util.h"
+#include "xml/reader.h"
+
+namespace silkroute::core {
+namespace {
+
+using testutil::MakeTinyTpch;
+using testutil::MustBuildTree;
+
+class DtdGenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { db_ = MakeTinyTpch(0.002).release(); }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static Database* db_;
+};
+
+Database* DtdGenTest::db_ = nullptr;
+
+TEST_F(DtdGenTest, Query1DtdMatchesPaperFig2) {
+  ViewTree tree = MustBuildTree(Query1Rxl(), db_->catalog());
+  auto text = GenerateDtdText(tree, "");
+  ASSERT_TRUE(text.ok()) << text.status();
+  // The paper's Fig. 2 content models, derived automatically from the
+  // multiplicity labels.
+  EXPECT_NE(text->find("<!ELEMENT supplier (name, nation, region, part*)>"),
+            std::string::npos)
+      << *text;
+  EXPECT_NE(text->find("<!ELEMENT part (name, order*)>"), std::string::npos);
+  EXPECT_NE(text->find("<!ELEMENT order (orderkey, customer, nation)>"),
+            std::string::npos);
+  EXPECT_NE(text->find("<!ELEMENT name (#PCDATA)>"), std::string::npos);
+  EXPECT_NE(text->find("<!ELEMENT nation (#PCDATA)>"), std::string::npos);
+}
+
+TEST_F(DtdGenTest, WrapperElementDeclared) {
+  ViewTree tree = MustBuildTree(Query1Rxl(), db_->catalog());
+  auto text = GenerateDtdText(tree, "suppliers");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("<!ELEMENT suppliers (supplier*)>"),
+            std::string::npos);
+}
+
+TEST_F(DtdGenTest, WrapperCollisionRejected) {
+  ViewTree tree = MustBuildTree(Query1Rxl(), db_->catalog());
+  EXPECT_EQ(GenerateDtd(tree, "supplier").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(DtdGenTest, PublishedDocumentValidatesAgainstDerivedDtd) {
+  ViewTree tree = MustBuildTree(Query1Rxl(), db_->catalog());
+  auto dtd = GenerateDtd(tree, "suppliers");
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+
+  Publisher publisher(db_);
+  PublishOptions options;
+  options.document_element = "suppliers";
+  std::ostringstream out;
+  ASSERT_TRUE(publisher.Publish(Query1Rxl(), options, &out).ok());
+  auto doc = xml::ParseXml(out.str());
+  ASSERT_TRUE(doc.ok());
+  Status valid = dtd->Validate(**doc);
+  EXPECT_TRUE(valid.ok()) << valid;
+}
+
+TEST_F(DtdGenTest, OptionalChildRendersQuestionMark) {
+  // A literally-filtered FK child labels '?'.
+  ViewTree tree = MustBuildTree(R"(
+    from Supplier $s construct
+    <supplier>
+      { from Nation $n
+        where $s.nationkey = $n.nationkey, $n.name = 'FRANCE'
+        construct <nation>$n.name</nation> }
+    </supplier>
+  )",
+                                db_->catalog());
+  auto text = GenerateDtdText(tree, "");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("<!ELEMENT supplier (nation?)>"), std::string::npos)
+      << *text;
+}
+
+TEST_F(DtdGenTest, MixedContentForTextPlusChildren) {
+  ViewTree tree = MustBuildTree(R"(
+    from Nation $n construct
+    <nation>
+      $n.name
+      { from Region $r where $n.regionkey = $r.regionkey
+        construct <region>$r.name</region> }
+    </nation>
+  )",
+                                db_->catalog());
+  auto text = GenerateDtdText(tree, "");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("<!ELEMENT nation (#PCDATA | region)*>"),
+            std::string::npos)
+      << *text;
+}
+
+TEST_F(DtdGenTest, EmptyElementDeclaredEmpty) {
+  ViewTree tree = MustBuildTree(
+      "from Region $r construct <region><marker/></region>",
+      db_->catalog());
+  auto text = GenerateDtdText(tree, "");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("<!ELEMENT marker EMPTY>"), std::string::npos);
+}
+
+TEST_F(DtdGenTest, ConflictingTagUsesWidenToAny) {
+  // <name> used once as PCDATA and once with element content.
+  ViewTree tree = MustBuildTree(R"(
+    from Supplier $s construct
+    <supplier>
+      <name>$s.name</name>
+      { from Nation $n where $s.nationkey = $n.nationkey
+        construct <info><name><inner>$n.name</inner></name></info> }
+    </supplier>
+  )",
+                                db_->catalog());
+  auto text = GenerateDtdText(tree, "");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("<!ELEMENT name ANY>"), std::string::npos) << *text;
+}
+
+TEST_F(DtdGenTest, GeneratedTextReparses) {
+  ViewTree tree = MustBuildTree(Query2Rxl(), db_->catalog());
+  auto text = GenerateDtdText(tree, "suppliers");
+  ASSERT_TRUE(text.ok());
+  auto reparsed = xml::ParseDtd(*text);
+  ASSERT_TRUE(reparsed.ok()) << *text << "\n" << reparsed.status();
+  EXPECT_TRUE(reparsed->HasElement("supplier"));
+}
+
+}  // namespace
+}  // namespace silkroute::core

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "engine/expr_eval.h"
+#include "sql/parser.h"
+
+namespace silkroute::engine {
+namespace {
+
+class ExprEvalTest : public ::testing::Test {
+ protected:
+  ExprEvalTest() {
+    schema_.Add({"t", "a"});
+    schema_.Add({"t", "b"});
+    schema_.Add({"t", "s"});
+  }
+
+  /// Binds `text` and evaluates it against (a, b, s).
+  Value Eval(const std::string& text, Value a, Value b, Value s) {
+    auto expr = sql::ParseExpression(text);
+    EXPECT_TRUE(expr.ok()) << expr.status();
+    auto bound = BindExpr(**expr, schema_);
+    EXPECT_TRUE(bound.ok()) << bound.status();
+    Tuple row{std::move(a), std::move(b), std::move(s)};
+    return (*bound)->Eval(row);
+  }
+
+  Tribool Test(const std::string& text, Value a, Value b, Value s) {
+    auto expr = sql::ParseExpression(text);
+    EXPECT_TRUE(expr.ok()) << expr.status();
+    auto bound = BindExpr(**expr, schema_);
+    EXPECT_TRUE(bound.ok()) << bound.status();
+    Tuple row{std::move(a), std::move(b), std::move(s)};
+    return (*bound)->Test(row);
+  }
+
+  RelSchema schema_;
+};
+
+TEST_F(ExprEvalTest, ColumnAccessQualifiedAndBare) {
+  EXPECT_EQ(Eval("a", Value::Int64(7), Value::Null(), Value::Null()).AsInt64(),
+            7);
+  EXPECT_EQ(
+      Eval("t.b", Value::Null(), Value::Int64(9), Value::Null()).AsInt64(), 9);
+}
+
+TEST_F(ExprEvalTest, UnresolvedColumnFailsBinding) {
+  auto expr = sql::ParseExpression("nope");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ(BindExpr(**expr, schema_).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExprEvalTest, AmbiguousColumnFailsBinding) {
+  RelSchema dup;
+  dup.Add({"x", "a"});
+  dup.Add({"y", "a"});
+  auto expr = sql::ParseExpression("a");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ(BindExpr(**expr, dup).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExprEvalTest, ComparisonOperators) {
+  EXPECT_EQ(Test("a = 3", Value::Int64(3), Value::Null(), Value::Null()),
+            Tribool::kTrue);
+  EXPECT_EQ(Test("a <> 3", Value::Int64(3), Value::Null(), Value::Null()),
+            Tribool::kFalse);
+  EXPECT_EQ(Test("a < b", Value::Int64(1), Value::Int64(2), Value::Null()),
+            Tribool::kTrue);
+  EXPECT_EQ(Test("a >= b", Value::Int64(2), Value::Int64(2), Value::Null()),
+            Tribool::kTrue);
+}
+
+TEST_F(ExprEvalTest, NullComparisonIsUnknown) {
+  EXPECT_EQ(Test("a = 3", Value::Null(), Value::Null(), Value::Null()),
+            Tribool::kUnknown);
+  EXPECT_EQ(Test("a = b", Value::Null(), Value::Null(), Value::Null()),
+            Tribool::kUnknown);
+}
+
+TEST_F(ExprEvalTest, ThreeValuedAnd) {
+  // false AND unknown = false (not unknown).
+  EXPECT_EQ(
+      Test("a = 1 and b = 1", Value::Int64(2), Value::Null(), Value::Null()),
+      Tribool::kFalse);
+  // true AND unknown = unknown.
+  EXPECT_EQ(
+      Test("a = 1 and b = 1", Value::Int64(1), Value::Null(), Value::Null()),
+      Tribool::kUnknown);
+}
+
+TEST_F(ExprEvalTest, ThreeValuedOr) {
+  // true OR unknown = true.
+  EXPECT_EQ(
+      Test("a = 1 or b = 1", Value::Int64(1), Value::Null(), Value::Null()),
+      Tribool::kTrue);
+  // false OR unknown = unknown.
+  EXPECT_EQ(
+      Test("a = 1 or b = 1", Value::Int64(2), Value::Null(), Value::Null()),
+      Tribool::kUnknown);
+}
+
+TEST_F(ExprEvalTest, NotOfUnknownIsUnknown) {
+  EXPECT_EQ(Test("not a = 1", Value::Null(), Value::Null(), Value::Null()),
+            Tribool::kUnknown);
+  EXPECT_EQ(Test("not a = 1", Value::Int64(1), Value::Null(), Value::Null()),
+            Tribool::kFalse);
+}
+
+TEST_F(ExprEvalTest, IsNull) {
+  EXPECT_EQ(Test("a is null", Value::Null(), Value::Null(), Value::Null()),
+            Tribool::kTrue);
+  EXPECT_EQ(Test("a is null", Value::Int64(0), Value::Null(), Value::Null()),
+            Tribool::kFalse);
+  EXPECT_EQ(
+      Test("a is not null", Value::Int64(0), Value::Null(), Value::Null()),
+      Tribool::kTrue);
+}
+
+TEST_F(ExprEvalTest, IntegerArithmeticStaysInt) {
+  Value v = Eval("a + b * 2", Value::Int64(1), Value::Int64(3), Value::Null());
+  ASSERT_TRUE(v.is_int64());
+  EXPECT_EQ(v.AsInt64(), 7);
+}
+
+TEST_F(ExprEvalTest, DivisionIsDouble) {
+  Value v = Eval("a / b", Value::Int64(7), Value::Int64(2), Value::Null());
+  ASSERT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 3.5);
+}
+
+TEST_F(ExprEvalTest, ArithmeticWithNullIsNull) {
+  EXPECT_TRUE(
+      Eval("a + 1", Value::Null(), Value::Null(), Value::Null()).is_null());
+}
+
+TEST_F(ExprEvalTest, StringEquality) {
+  EXPECT_EQ(Test("s = 'abc'", Value::Null(), Value::Null(),
+                 Value::String("abc")),
+            Tribool::kTrue);
+  EXPECT_EQ(Test("s = 'abc'", Value::Null(), Value::Null(),
+                 Value::String("abd")),
+            Tribool::kFalse);
+}
+
+TEST_F(ExprEvalTest, CrossTypeNumericEquality) {
+  EXPECT_EQ(Test("a = 3.0", Value::Int64(3), Value::Null(), Value::Null()),
+            Tribool::kTrue);
+}
+
+TEST_F(ExprEvalTest, ComparisonAsScalarYieldsIntOrNull) {
+  EXPECT_EQ(
+      Eval("a = 1", Value::Int64(1), Value::Null(), Value::Null()).AsInt64(),
+      1);
+  EXPECT_EQ(
+      Eval("a = 2", Value::Int64(1), Value::Null(), Value::Null()).AsInt64(),
+      0);
+  EXPECT_TRUE(
+      Eval("a = 1", Value::Null(), Value::Null(), Value::Null()).is_null());
+}
+
+}  // namespace
+}  // namespace silkroute::engine

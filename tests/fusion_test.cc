@@ -1,0 +1,229 @@
+// End-to-end tests of Skolem-function fusion (paper Sec. 3.1): elements
+// constructed by different queries but sharing a Skolem function merge into
+// one element — the data-integration feature. Fused instances must merge
+// identically under every plan and both SQL-generation styles.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "silkroute/publisher.h"
+#include "tests/test_util.h"
+#include "xml/reader.h"
+
+namespace silkroute::core {
+namespace {
+
+using testutil::MakeTinyTpch;
+
+// One <contact> list per nation, drawing names from BOTH suppliers and
+// customers; a <profile> per nation fused from two sources, each
+// contributing one value.
+constexpr const char* kDirectoryView = R"(
+from Nation $n
+construct
+<nation ID=N($n.nationkey)>
+  <name>$n.name</name>
+  { from Supplier $s where $s.nationkey = $n.nationkey
+    construct <contact ID=C($n.nationkey, $s.name)>$s.name</contact> }
+  { from Customer $c where $c.nationkey = $n.nationkey
+    construct <contact ID=C($n.nationkey, $c.name)>$c.name</contact> }
+</nation>
+)";
+
+constexpr const char* kFusedValuesView = R"(
+from Region $r
+construct
+<region ID=R($r.regionkey)>
+  { from Nation $n where $n.regionkey = $r.regionkey, $n.nationkey = 0
+    construct <info ID=I($r.regionkey)>$n.name</info> }
+  { from Nation $m where $m.regionkey = $r.regionkey, $m.nationkey = 15
+    construct <info ID=I($r.regionkey)>$m.name</info> }
+</region>
+)";
+
+class FusionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = MakeTinyTpch(0.002).release();
+    publisher_ = new Publisher(db_);
+  }
+  static void TearDownTestSuite() {
+    delete publisher_;
+    delete db_;
+    publisher_ = nullptr;
+    db_ = nullptr;
+  }
+
+  std::string Publish(const char* rxl, const PublishOptions& options) {
+    std::ostringstream out;
+    auto result = publisher_->Publish(rxl, options, &out);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return out.str();
+  }
+
+  static Database* db_;
+  static Publisher* publisher_;
+};
+
+Database* FusionTest::db_ = nullptr;
+Publisher* FusionTest::publisher_ = nullptr;
+
+TEST_F(FusionTest, ContactsDrawFromBothSources) {
+  PublishOptions options;
+  options.document_element = "doc";
+  std::string xml = Publish(kDirectoryView, options);
+  auto doc = xml::ParseXml(xml);
+  ASSERT_TRUE(doc.ok()) << xml.substr(0, 500);
+
+  size_t suppliers = 0, customers = 0;
+  for (const auto* nation : (*doc)->Children("nation")) {
+    for (const auto* contact : nation->Children("contact")) {
+      if (contact->text.find("Supplier#") == 0) ++suppliers;
+      if (contact->text.find("Customer#") == 0) ++customers;
+    }
+  }
+  auto supplier_table = db_->GetTable("Supplier");
+  auto customer_table = db_->GetTable("Customer");
+  EXPECT_EQ(suppliers, (*supplier_table)->num_rows());
+  EXPECT_EQ(customers, (*customer_table)->num_rows());
+}
+
+TEST_F(FusionTest, ContactsSortedByIdentityAcrossSources) {
+  // The fused set is ordered by the Skolem identity (nationkey, name), so
+  // suppliers and customers interleave by name rather than by source.
+  PublishOptions options;
+  options.document_element = "doc";
+  std::string xml = Publish(kDirectoryView, options);
+  auto doc = xml::ParseXml(xml);
+  ASSERT_TRUE(doc.ok());
+  for (const auto* nation : (*doc)->Children("nation")) {
+    std::string prev;
+    for (const auto* contact : nation->Children("contact")) {
+      EXPECT_LE(prev, contact->text);
+      prev = contact->text;
+    }
+  }
+}
+
+TEST_F(FusionTest, AllPlansAndStylesAgree) {
+  auto tree = publisher_->BuildViewTree(kDirectoryView);
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  ASSERT_EQ(tree->num_edges(), 2u);  // name + fused contact
+  std::string reference;
+  for (uint64_t mask = 0; mask < 4; ++mask) {
+    for (auto style : {SqlGenStyle::kOuterJoin, SqlGenStyle::kOuterUnion}) {
+      for (bool reduce : {false, true}) {
+        PublishOptions options;
+        options.style = style;
+        options.reduce = reduce;
+        options.document_element = "doc";
+        std::ostringstream out;
+        auto metrics = publisher_->ExecutePlan(*tree, mask, options, &out);
+        ASSERT_TRUE(metrics.ok()) << metrics.status();
+        EXPECT_EQ(metrics->tagger.forced_ancestor_opens, 0u);
+        if (reference.empty()) {
+          reference = out.str();
+        } else {
+          EXPECT_EQ(out.str(), reference)
+              << "mask=" << mask << " style=" << SqlGenStyleToString(style)
+              << " reduce=" << reduce;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(FusionTest, EqualKeysMergeIntoOneElementWithBothValues) {
+  // Both rules produce an <info> for the same region key: the element must
+  // appear once, carrying the values of both occurrences.
+  PublishOptions options;
+  options.document_element = "doc";
+  std::string xml = Publish(kFusedValuesView, options);
+  auto doc = xml::ParseXml(xml);
+  ASSERT_TRUE(doc.ok()) << xml;
+  // Nation 0 (ALGERIA) and 15 (MOROCCO) are both in region 0 (AFRICA).
+  bool found = false;
+  for (const auto* region : (*doc)->Children("region")) {
+    auto infos = region->Children("info");
+    if (infos.empty()) continue;
+    ASSERT_EQ(infos.size(), 1u) << xml;  // fused, not duplicated
+    if (infos[0]->text.find("ALGERIA") != std::string::npos) {
+      EXPECT_NE(infos[0]->text.find("MOROCCO"), std::string::npos) << xml;
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << xml;
+}
+
+TEST_F(FusionTest, OccurrenceTextAccompaniesItsRule) {
+  // Literal text inside a fused occurrence is emitted only when that
+  // occurrence contributed a value: ALGERIA (nation 0) and MOROCCO (15)
+  // are both in region 0; other regions' <info> elements draw from one
+  // rule only and must not show the other rule's separator text.
+  const char* view = R"(
+    from Region $r
+    construct
+    <region ID=R($r.regionkey)>
+      <name ID=RN($r.regionkey)>$r.name</name>
+      { from Nation $n where $n.regionkey = $r.regionkey, $n.nationkey < 5
+        construct <info ID=I($r.regionkey)>"low:"$n.name</info> }
+      { from Nation $m where $m.regionkey = $r.regionkey, $m.nationkey > 20
+        construct <info ID=I($r.regionkey)>"high:"$m.name</info> }
+    </region>
+  )";
+  PublishOptions options;
+  options.document_element = "doc";
+  std::string xml = Publish(view, options);
+  auto doc = xml::ParseXml(xml);
+  ASSERT_TRUE(doc.ok()) << xml;
+  bool saw_low_only = false, saw_both = false;
+  for (const auto* region : (*doc)->Children("region")) {
+    for (const auto* info : region->Children("info")) {
+      bool low = info->text.find("low:") != std::string::npos;
+      bool high = info->text.find("high:") != std::string::npos;
+      if (low && !high) saw_low_only = true;
+      if (low && high) saw_both = true;
+      // The separator never appears without its rule's value.
+      if (low) {
+        EXPECT_NE(info->text.find("low:"), std::string::npos);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_low_only) << xml;  // a region with only low-key nations
+  EXPECT_TRUE(saw_both) << xml;      // a region fused from both rules
+}
+
+TEST_F(FusionTest, FusedSqlIsUnionOfRules) {
+  auto tree = publisher_->BuildViewTree(kDirectoryView);
+  ASSERT_TRUE(tree.ok());
+  SqlGenerator gen(&*tree, SqlGenStyle::kOuterUnion, /*reduce=*/false);
+  // The fused node alone: its SQL must union the supplier and customer
+  // rules.
+  int fused_id = -1;
+  for (const auto& node : tree->nodes()) {
+    if (node.fused()) fused_id = node.id;
+  }
+  ASSERT_GE(fused_id, 0);
+  auto spec = gen.GenerateComponent({fused_id});
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_NE(spec->sql.find("union all"), std::string::npos) << spec->sql;
+  EXPECT_NE(spec->sql.find("Supplier"), std::string::npos);
+  EXPECT_NE(spec->sql.find("Customer"), std::string::npos);
+  ASSERT_EQ(spec->instances.size(), 1u);
+  EXPECT_TRUE(spec->instances[0].fused);
+}
+
+TEST_F(FusionTest, SubtreeStreamsStayConsistent) {
+  // Fused node in its own stream vs fused node joined with the parent.
+  auto tree = publisher_->BuildViewTree(kDirectoryView);
+  ASSERT_TRUE(tree.ok());
+  PublishOptions options;
+  options.document_element = "doc";
+  std::ostringstream separate, joined;
+  ASSERT_TRUE(publisher_->ExecutePlan(*tree, 0, options, &separate).ok());
+  ASSERT_TRUE(publisher_->ExecutePlan(*tree, 3, options, &joined).ok());
+  EXPECT_EQ(separate.str(), joined.str());
+}
+
+}  // namespace
+}  // namespace silkroute::core

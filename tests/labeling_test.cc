@@ -1,0 +1,183 @@
+#include "silkroute/labeling.h"
+
+#include <gtest/gtest.h>
+
+#include "silkroute/queries.h"
+#include "tests/test_util.h"
+
+namespace silkroute::core {
+namespace {
+
+using testutil::MakeTinyTpch;
+using testutil::MustBuildTree;
+using testutil::NodeByName;
+
+class LabelingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { db_ = MakeTinyTpch().release(); }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  Multiplicity LabelOf(const ViewTree& tree, const std::string& name) {
+    int id = NodeByName(tree, name);
+    EXPECT_GE(id, 0) << name;
+    return tree.node(id).edge_label;
+  }
+
+  static Database* db_;
+};
+
+Database* LabelingTest::db_ = nullptr;
+
+TEST_F(LabelingTest, Query1LabelsMatchFig6) {
+  ViewTree tree = MustBuildTree(Query1Rxl(), db_->catalog());
+  // Fig. 6: S1.1, S1.2, S1.3 are '1'; S1.4 is '*'; S1.4.1 is '1';
+  // S1.4.2 is '*'; S1.4.2.{1,2,3} are '1'.
+  EXPECT_EQ(LabelOf(tree, "S1.1"), Multiplicity::kOne);
+  EXPECT_EQ(LabelOf(tree, "S1.2"), Multiplicity::kOne);
+  EXPECT_EQ(LabelOf(tree, "S1.3"), Multiplicity::kOne);
+  EXPECT_EQ(LabelOf(tree, "S1.4"), Multiplicity::kStar);
+  EXPECT_EQ(LabelOf(tree, "S1.4.1"), Multiplicity::kOne);
+  EXPECT_EQ(LabelOf(tree, "S1.4.2"), Multiplicity::kStar);
+  EXPECT_EQ(LabelOf(tree, "S1.4.2.1"), Multiplicity::kOne);
+  EXPECT_EQ(LabelOf(tree, "S1.4.2.2"), Multiplicity::kOne);
+  EXPECT_EQ(LabelOf(tree, "S1.4.2.3"), Multiplicity::kOne);
+}
+
+TEST_F(LabelingTest, Query2LabelsMatchFig12) {
+  ViewTree tree = MustBuildTree(Query2Rxl(), db_->catalog());
+  // Fig. 12: two parallel '*' edges (part and order); everything else '1'.
+  EXPECT_EQ(LabelOf(tree, "S1.4"), Multiplicity::kStar);
+  EXPECT_EQ(LabelOf(tree, "S1.5"), Multiplicity::kStar);
+  EXPECT_EQ(LabelOf(tree, "S1.1"), Multiplicity::kOne);
+  EXPECT_EQ(LabelOf(tree, "S1.4.1"), Multiplicity::kOne);
+  EXPECT_EQ(LabelOf(tree, "S1.5.1"), Multiplicity::kOne);
+  EXPECT_EQ(LabelOf(tree, "S1.5.2"), Multiplicity::kOne);
+  EXPECT_EQ(LabelOf(tree, "S1.5.3"), Multiplicity::kOne);
+}
+
+TEST_F(LabelingTest, LiteralFilterMakesChildOptional) {
+  // A constant filter on the joined nation breaks C2 (some suppliers' rows
+  // are filtered out) but C1 still holds -> '?'.
+  ViewTree tree = MustBuildTree(R"(
+    from Supplier $s construct
+    <supplier>
+      { from Nation $n
+        where $s.nationkey = $n.nationkey, $n.name = 'FRANCE'
+        construct <nation>$n.name</nation> }
+    </supplier>
+  )",
+                                db_->catalog());
+  EXPECT_EQ(LabelOf(tree, "S1.1"), Multiplicity::kOptional);
+}
+
+TEST_F(LabelingTest, NonFkJoinIsStarOrPlus) {
+  // Joining supplier to customer on nationkey: no FK, not single-valued.
+  ViewTree tree = MustBuildTree(R"(
+    from Supplier $s construct
+    <supplier>
+      { from Customer $c
+        where $s.nationkey = $c.nationkey
+        construct <customer>$c.name</customer> }
+    </supplier>
+  )",
+                                db_->catalog());
+  EXPECT_EQ(LabelOf(tree, "S1.1"), Multiplicity::kStar);
+}
+
+TEST_F(LabelingTest, SameScopeValueChildIsOne) {
+  ViewTree tree = MustBuildTree(
+      "from Supplier $s construct <supplier><name>$s.name</name></supplier>",
+      db_->catalog());
+  EXPECT_EQ(LabelOf(tree, "S1.1"), Multiplicity::kOne);
+}
+
+TEST_F(LabelingTest, FkChainThroughTwoTablesIsOne) {
+  // supplier -> nation -> region via two FK hops in one block.
+  ViewTree tree = MustBuildTree(R"(
+    from Supplier $s construct
+    <supplier>
+      { from Nation $n, Region $r
+        where $s.nationkey = $n.nationkey, $n.regionkey = $r.regionkey
+        construct <region>$r.name</region> }
+    </supplier>
+  )",
+                                db_->catalog());
+  EXPECT_EQ(LabelOf(tree, "S1.1"), Multiplicity::kOne);
+}
+
+TEST_F(LabelingTest, FdClosureExpandsThroughKeys) {
+  // With Supplier's key in hand, all supplier columns are determined, and
+  // the join equality propagates nationkey into Nation's key, determining
+  // Nation's columns too.
+  std::vector<DatalogAtom> atoms = {{"Supplier", "s"}, {"Nation", "n"}};
+  auto cond = rxl::ParseRxl(
+      "from Supplier $s, Nation $n where $s.nationkey = $n.nationkey "
+      "construct <e/>");
+  ASSERT_TRUE(cond.ok());
+  std::vector<rxl::FieldRef> start = {{"s", "suppkey"}};
+  auto closure =
+      FdClosure(db_->catalog(), atoms, cond->root.where, start);
+  auto contains = [&](const std::string& var, const std::string& field) {
+    return std::find(closure.begin(), closure.end(),
+                     rxl::FieldRef{var, field}) != closure.end();
+  };
+  EXPECT_TRUE(contains("s", "name"));
+  EXPECT_TRUE(contains("s", "nationkey"));
+  EXPECT_TRUE(contains("n", "nationkey"));
+  EXPECT_TRUE(contains("n", "name"));
+  EXPECT_TRUE(contains("n", "regionkey"));
+}
+
+TEST_F(LabelingTest, FdClosureDoesNotInventDependencies) {
+  // Starting from a non-key column, nothing else follows.
+  std::vector<DatalogAtom> atoms = {{"Supplier", "s"}};
+  std::vector<rxl::FieldRef> start = {{"s", "name"}};
+  auto closure = FdClosure(db_->catalog(), atoms, {}, start);
+  EXPECT_EQ(closure.size(), 1u);
+}
+
+TEST_F(LabelingTest, FdClosureUsesConstantFilters) {
+  // A literal filter pins nationkey, which with the key FD determines all
+  // Nation columns.
+  auto cond = rxl::ParseRxl(
+      "from Nation $n where $n.nationkey = 3 construct <e/>");
+  ASSERT_TRUE(cond.ok());
+  std::vector<DatalogAtom> atoms = {{"Nation", "n"}};
+  auto closure = FdClosure(db_->catalog(), atoms, cond->root.where, {});
+  EXPECT_EQ(closure.size(), 3u);  // nationkey, name, regionkey
+}
+
+TEST_F(LabelingTest, CompositeFkCoverageRequired) {
+  // LineItem -> PartSupp requires both partkey and suppkey; joining on only
+  // one of them must not produce an at-least-one label.
+  ViewTree tree = MustBuildTree(R"(
+    from LineItem $l construct
+    <item>
+      { from PartSupp $ps
+        where $l.partkey = $ps.partkey
+        construct <ps>$ps.availqty</ps> }
+    </item>
+  )",
+                                db_->catalog());
+  Multiplicity m = LabelOf(tree, "S1.1");
+  EXPECT_TRUE(m == Multiplicity::kStar || m == Multiplicity::kPlus);
+  EXPECT_FALSE(AtMostOne(m));
+}
+
+TEST_F(LabelingTest, MultiplicityPredicates) {
+  EXPECT_TRUE(AtLeastOne(Multiplicity::kOne));
+  EXPECT_TRUE(AtLeastOne(Multiplicity::kPlus));
+  EXPECT_FALSE(AtLeastOne(Multiplicity::kStar));
+  EXPECT_FALSE(AtLeastOne(Multiplicity::kOptional));
+  EXPECT_TRUE(AtMostOne(Multiplicity::kOne));
+  EXPECT_TRUE(AtMostOne(Multiplicity::kOptional));
+  EXPECT_FALSE(AtMostOne(Multiplicity::kPlus));
+  EXPECT_STREQ(MultiplicityToString(Multiplicity::kStar), "*");
+  EXPECT_STREQ(MultiplicityToString(Multiplicity::kOne), "1");
+}
+
+}  // namespace
+}  // namespace silkroute::core

@@ -1,0 +1,248 @@
+// Edge-of-domain tests for the full pipeline: empty databases, markup
+// characters in data, deep and wide view trees, zero-match subviews,
+// publisher option combinations, and timeout propagation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "silkroute/partition.h"
+#include "silkroute/publisher.h"
+#include "silkroute/queries.h"
+#include "sql/ddl.h"
+#include "tests/test_util.h"
+#include "tpch/schema.h"
+#include "xml/reader.h"
+
+namespace silkroute::core {
+namespace {
+
+using testutil::MakeTinyTpch;
+
+std::string PublishOrDie(Publisher* publisher, std::string_view rxl,
+                         const PublishOptions& options) {
+  std::ostringstream out;
+  auto result = publisher->Publish(rxl, options, &out);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return out.str();
+}
+
+TEST(RobustnessTest, EmptyDatabaseYieldsEmptyDocument) {
+  Database db;
+  ASSERT_TRUE(tpch::CreateTpchSchema(&db).ok());  // schema, no rows
+  Publisher publisher(&db);
+  for (PlanStrategy strategy :
+       {PlanStrategy::kFullyPartitioned, PlanStrategy::kUnified,
+        PlanStrategy::kGreedy}) {
+    PublishOptions options;
+    options.strategy = strategy;
+    options.document_element = "suppliers";
+    std::string xml = PublishOrDie(&publisher, Query1Rxl(), options);
+    auto doc = xml::ParseXml(xml);
+    ASSERT_TRUE(doc.ok()) << xml;
+    EXPECT_EQ((*doc)->NumChildren(), 0u);
+  }
+}
+
+TEST(RobustnessTest, MarkupCharactersInDataAreEscaped) {
+  Database db;
+  ASSERT_TRUE(sql::ExecuteDdl(
+                  "CREATE TABLE T (k INT PRIMARY KEY, v TEXT)", &db)
+                  .ok());
+  ASSERT_TRUE(db.Insert("T", Tuple{Value::Int64(1),
+                                   Value::String("<a> & \"b\" 'c'")})
+                  .ok());
+  ASSERT_TRUE(
+      db.Insert("T", Tuple{Value::Int64(2), Value::String("]]></done>")})
+          .ok());
+  Publisher publisher(&db);
+  PublishOptions options;
+  options.document_element = "doc";
+  std::string xml = PublishOrDie(
+      &publisher, "from T $t construct <row>$t.v</row>", options);
+  // The raw markup must not appear unescaped...
+  EXPECT_EQ(xml.find("<a> &"), std::string::npos);
+  EXPECT_EQ(xml.find("</done>"), std::string::npos);
+  // ...and it must round-trip through the reader.
+  auto doc = xml::ParseXml(xml);
+  ASSERT_TRUE(doc.ok()) << xml;
+  auto rows = (*doc)->Children("row");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0]->text, "<a> & \"b\" 'c'");
+  EXPECT_EQ(rows[1]->text, "]]></done>");
+}
+
+TEST(RobustnessTest, DeepChainView) {
+  // A 10-level chain of same-scope elements: plans and reduction must cope
+  // with maximal depth.
+  Database db;
+  ASSERT_TRUE(sql::ExecuteDdl(
+                  "CREATE TABLE T (k INT PRIMARY KEY, v TEXT)", &db)
+                  .ok());
+  ASSERT_TRUE(
+      db.Insert("T", Tuple{Value::Int64(1), Value::String("x")}).ok());
+  std::string rxl = "from T $t construct ";
+  for (int i = 0; i < 10; ++i) rxl += "<d" + std::to_string(i) + ">";
+  rxl += "$t.v";
+  for (int i = 9; i >= 0; --i) rxl += "</d" + std::to_string(i) + ">";
+
+  Publisher publisher(&db);
+  auto tree = publisher.BuildViewTree(rxl);
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  EXPECT_EQ(tree->MaxLevel(), 10);
+  std::string reference;
+  for (uint64_t mask : {uint64_t{0}, uint64_t{0x1FF}, uint64_t{0xAA}}) {
+    PublishOptions options;
+    options.document_element = "doc";
+    std::ostringstream out;
+    auto metrics = publisher.ExecutePlan(*tree, mask, options, &out);
+    ASSERT_TRUE(metrics.ok()) << metrics.status();
+    if (reference.empty()) {
+      reference = out.str();
+      EXPECT_NE(reference.find("<d9>x</d9>"), std::string::npos);
+    } else {
+      EXPECT_EQ(out.str(), reference);
+    }
+  }
+}
+
+TEST(RobustnessTest, WideFanoutView) {
+  // 20 parallel blocks under one root: exercises sibling-branch unions and
+  // label ordering past single digits.
+  Database db;
+  ASSERT_TRUE(sql::ExecuteDdl(
+                  "CREATE TABLE T (k INT PRIMARY KEY, v TEXT);"
+                  "CREATE TABLE U (k INT PRIMARY KEY, w TEXT, tk INT,"
+                  " FOREIGN KEY (tk) REFERENCES T(k))",
+                  &db)
+                  .ok());
+  ASSERT_TRUE(
+      db.Insert("T", Tuple{Value::Int64(1), Value::String("root")}).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(db.Insert("U", Tuple{Value::Int64(i), Value::String("u"),
+                                     Value::Int64(1)})
+                    .ok());
+  }
+  std::string rxl = "from T $t construct <root>";
+  for (int i = 0; i < 20; ++i) {
+    rxl += "{ from U $u" + std::to_string(i) + " where $t.k = $u" +
+           std::to_string(i) + ".tk construct <c" + std::to_string(i) +
+           ">$u" + std::to_string(i) + ".w</c" + std::to_string(i) + "> }";
+  }
+  rxl += "</root>";
+  Database* dbp = &db;
+  Publisher publisher(dbp);
+  auto tree = publisher.BuildViewTree(rxl);
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  EXPECT_EQ(tree->num_nodes(), 21u);
+  PublishOptions options;
+  options.document_element = "doc";
+  std::string unified, partitioned;
+  {
+    options.strategy = PlanStrategy::kUnified;
+    unified = PublishOrDie(&publisher, rxl, options);
+  }
+  {
+    options.strategy = PlanStrategy::kFullyPartitioned;
+    partitioned = PublishOrDie(&publisher, rxl, options);
+  }
+  EXPECT_EQ(unified, partitioned);
+  auto doc = xml::ParseXml(unified);
+  ASSERT_TRUE(doc.ok());
+  const xml::XmlNode* root = (*doc)->FirstChild("root");
+  ASSERT_NE(root, nullptr);
+  // Children arrive in template (label) order: all c0 before any c1, etc.
+  EXPECT_EQ(root->NumChildren(), 100u);  // 20 branches x 5 rows
+  int last_branch = -1;
+  for (const auto& child : root->children) {
+    int branch = std::atoi(child->name.c_str() + 1);
+    EXPECT_GE(branch, last_branch);
+    last_branch = branch;
+  }
+}
+
+TEST(RobustnessTest, SubviewWithNoMatchesIsEmpty) {
+  auto db = MakeTinyTpch(0.001);
+  Publisher publisher(db.get());
+  PublishOptions options;
+  options.document_element = "result";
+  std::ostringstream out;
+  auto result = publisher.PublishSubview(
+      Query1Rxl(), "/supplier[name='no such supplier']", options, &out);
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto doc = xml::ParseXml(out.str());
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->NumChildren(), 0u);
+}
+
+TEST(RobustnessTest, ExecutePlanRejectsOutOfRangeMask) {
+  auto db = MakeTinyTpch(0.001);
+  Publisher publisher(db.get());
+  auto tree = publisher.BuildViewTree(Query1Rxl());
+  ASSERT_TRUE(tree.ok());
+  PublishOptions options;
+  std::ostringstream out;
+  EXPECT_EQ(publisher.ExecutePlan(*tree, uint64_t{1} << 60, options, &out)
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(RobustnessTest, PublisherTimeoutReportsTimedOut) {
+  auto db = MakeTinyTpch(0.005);
+  Publisher publisher(db.get());
+  auto tree = publisher.BuildViewTree(Query1Rxl());
+  ASSERT_TRUE(tree.ok());
+  PublishOptions options;
+  options.query_timeout_ms = 1e-6;
+  std::ostringstream out;
+  auto metrics =
+      publisher.ExecutePlan(*tree, Partition::Unified(*tree).mask(),
+                            options, &out);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_TRUE(metrics->timed_out);
+}
+
+TEST(RobustnessTest, DistinctSelectsProduceSameDocument) {
+  auto db = MakeTinyTpch(0.002);
+  Publisher publisher(db.get());
+  PublishOptions plain;
+  plain.document_element = "suppliers";
+  PublishOptions distinct = plain;
+  distinct.distinct_selects = true;
+  std::string a = PublishOrDie(&publisher, Query1Rxl(), plain);
+  std::string b = PublishOrDie(&publisher, Query1Rxl(), distinct);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RobustnessTest, CollectSqlOffOmitsStatements) {
+  auto db = MakeTinyTpch(0.001);
+  Publisher publisher(db.get());
+  PublishOptions options;
+  options.collect_sql = false;
+  options.document_element = "suppliers";
+  std::ostringstream out;
+  auto result = publisher.Publish(Query1Rxl(), options, &out);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->metrics.sql.empty());
+}
+
+TEST(RobustnessTest, NumericValuesRenderCanonically) {
+  Database db;
+  ASSERT_TRUE(sql::ExecuteDdl(
+                  "CREATE TABLE N (k INT PRIMARY KEY, d DOUBLE)", &db)
+                  .ok());
+  ASSERT_TRUE(
+      db.Insert("N", Tuple{Value::Int64(1), Value::Double(2.5)}).ok());
+  ASSERT_TRUE(
+      db.Insert("N", Tuple{Value::Int64(2), Value::Double(3.0)}).ok());
+  Publisher publisher(&db);
+  PublishOptions options;
+  options.document_element = "doc";
+  std::string xml = PublishOrDie(
+      &publisher, "from N $n construct <v>$n.d</v>", options);
+  EXPECT_NE(xml.find("<v>2.5</v>"), std::string::npos) << xml;
+  EXPECT_NE(xml.find("<v>3.0</v>"), std::string::npos) << xml;
+}
+
+}  // namespace
+}  // namespace silkroute::core

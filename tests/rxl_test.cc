@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "rxl/parser.h"
+#include "silkroute/queries.h"
+
+namespace silkroute::rxl {
+namespace {
+
+RxlQuery MustParse(std::string_view text) {
+  auto q = ParseRxl(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return q.ok() ? std::move(q).value() : RxlQuery{};
+}
+
+TEST(RxlParserTest, MinimalQuery) {
+  RxlQuery q = MustParse("from T $t construct <e>$t.x</e>");
+  ASSERT_EQ(q.root.from.size(), 1u);
+  EXPECT_EQ(q.root.from[0].table, "T");
+  EXPECT_EQ(q.root.from[0].var, "t");
+  ASSERT_EQ(q.root.construct.size(), 1u);
+  ASSERT_EQ(q.root.construct[0].kind, Content::Kind::kElement);
+  const Element& e = *q.root.construct[0].element;
+  EXPECT_EQ(e.tag, "e");
+  ASSERT_EQ(e.content.size(), 1u);
+  EXPECT_EQ(e.content[0].kind, Content::Kind::kFieldRef);
+  EXPECT_EQ(e.content[0].field.ToString(), "$t.x");
+}
+
+TEST(RxlParserTest, MultipleBindings) {
+  RxlQuery q = MustParse("from A $a, B $b construct <e/>");
+  ASSERT_EQ(q.root.from.size(), 2u);
+  EXPECT_EQ(q.root.from[1].var, "b");
+}
+
+TEST(RxlParserTest, WhereClauseCommaSeparated) {
+  RxlQuery q = MustParse(
+      "from A $a, B $b where $a.x = $b.y, $a.z <> 3 construct <e/>");
+  ASSERT_EQ(q.root.where.size(), 2u);
+  EXPECT_TRUE(q.root.where[0].IsFieldJoin());
+  EXPECT_EQ(q.root.where[1].op, CondOp::kNe);
+  EXPECT_EQ(q.root.where[1].rhs.kind, Operand::Kind::kLiteral);
+  EXPECT_EQ(q.root.where[1].rhs.literal.AsInt64(), 3);
+}
+
+TEST(RxlParserTest, AllComparisonOperators) {
+  RxlQuery q = MustParse(
+      "from A $a where $a.a = 1, $a.b <> 2, $a.c < 3, $a.d <= 4, "
+      "$a.e > 5, $a.f >= 6 construct <e/>");
+  ASSERT_EQ(q.root.where.size(), 6u);
+  EXPECT_EQ(q.root.where[0].op, CondOp::kEq);
+  EXPECT_EQ(q.root.where[1].op, CondOp::kNe);
+  EXPECT_EQ(q.root.where[2].op, CondOp::kLt);
+  EXPECT_EQ(q.root.where[3].op, CondOp::kLe);
+  EXPECT_EQ(q.root.where[4].op, CondOp::kGt);
+  EXPECT_EQ(q.root.where[5].op, CondOp::kGe);
+}
+
+TEST(RxlParserTest, LiteralKinds) {
+  RxlQuery q = MustParse(
+      "from A $a where $a.s = 'it''s', $a.d = 2.5, $a.n = -7 construct <e/>");
+  EXPECT_EQ(q.root.where[0].rhs.literal.AsString(), "it's");
+  EXPECT_DOUBLE_EQ(q.root.where[1].rhs.literal.AsDouble(), 2.5);
+  EXPECT_EQ(q.root.where[2].rhs.literal.AsInt64(), -7);
+}
+
+TEST(RxlParserTest, NestedBlocks) {
+  RxlQuery q = MustParse(R"(
+    from A $a construct
+    <outer>
+      <leaf>$a.x</leaf>
+      { from B $b where $a.k = $b.k construct <inner>$b.y</inner> }
+    </outer>
+  )");
+  const Element& outer = *q.root.construct[0].element;
+  ASSERT_EQ(outer.content.size(), 2u);
+  EXPECT_EQ(outer.content[0].kind, Content::Kind::kElement);
+  ASSERT_EQ(outer.content[1].kind, Content::Kind::kBlock);
+  const Block& inner = *outer.content[1].block;
+  EXPECT_EQ(inner.from.size(), 1u);
+  EXPECT_EQ(inner.where.size(), 1u);
+}
+
+TEST(RxlParserTest, ParallelBlocksExpressUnion) {
+  RxlQuery q = MustParse(R"(
+    from A $a construct
+    <e>
+      { from B $b construct <x/> }
+      { from C $c construct <y/> }
+    </e>
+  )");
+  const Element& e = *q.root.construct[0].element;
+  EXPECT_EQ(e.content.size(), 2u);
+  EXPECT_EQ(e.content[0].kind, Content::Kind::kBlock);
+  EXPECT_EQ(e.content[1].kind, Content::Kind::kBlock);
+}
+
+TEST(RxlParserTest, BlockConstructingSiblingAfterElement) {
+  // The Fig. 3 pattern: a block constructs an element and a further nested
+  // block whose elements are siblings.
+  RxlQuery q = MustParse(R"(
+    from O $o construct
+    <order>
+      { from Customer $c where $o.ck = $c.ck
+        construct <customer>$c.name</customer>
+        { from Nation $n where $c.nk = $n.nk
+          construct <nation>$n.name</nation> } }
+    </order>
+  )");
+  const Element& order = *q.root.construct[0].element;
+  ASSERT_EQ(order.content.size(), 1u);
+  const Block& cust_block = *order.content[0].block;
+  ASSERT_EQ(cust_block.construct.size(), 2u);
+  EXPECT_EQ(cust_block.construct[0].kind, Content::Kind::kElement);
+  EXPECT_EQ(cust_block.construct[1].kind, Content::Kind::kBlock);
+}
+
+TEST(RxlParserTest, ExplicitSkolemTerm) {
+  RxlQuery q = MustParse(
+      "from A $a construct <e ID=F1($a.x, $a.y)>$a.z</e>");
+  const Element& e = *q.root.construct[0].element;
+  ASSERT_TRUE(e.skolem.has_value());
+  EXPECT_EQ(e.skolem->function, "F1");
+  ASSERT_EQ(e.skolem->args.size(), 2u);
+  EXPECT_EQ(e.skolem->args[1].ToString(), "$a.y");
+}
+
+TEST(RxlParserTest, SelfClosingElement) {
+  RxlQuery q = MustParse("from A $a construct <e><empty/></e>");
+  const Element& e = *q.root.construct[0].element;
+  ASSERT_EQ(e.content.size(), 1u);
+  EXPECT_TRUE(e.content[0].element->content.empty());
+}
+
+TEST(RxlParserTest, LiteralTextContent) {
+  RxlQuery q = MustParse("from A $a construct <e>hello $a.x world</e>");
+  const Element& e = *q.root.construct[0].element;
+  ASSERT_EQ(e.content.size(), 3u);
+  EXPECT_EQ(e.content[0].kind, Content::Kind::kText);
+  EXPECT_EQ(e.content[1].kind, Content::Kind::kFieldRef);
+  EXPECT_EQ(e.content[2].kind, Content::Kind::kText);
+}
+
+TEST(RxlParserTest, LineComments) {
+  RxlQuery q = MustParse(
+      "-- top comment\nfrom A $a -- binding\nconstruct <e/>");
+  EXPECT_EQ(q.root.from.size(), 1u);
+}
+
+TEST(RxlParserTest, ErrorCases) {
+  EXPECT_FALSE(ParseRxl("from A $a").ok());                 // no construct
+  EXPECT_FALSE(ParseRxl("from A construct <e/>").ok());     // missing $var
+  EXPECT_FALSE(ParseRxl("from A $a construct <e>").ok());   // unterminated
+  EXPECT_FALSE(ParseRxl("from A $a construct <e></f>").ok());  // mismatch
+  EXPECT_FALSE(ParseRxl("from A $a where $a.x construct <e/>").ok());
+  EXPECT_FALSE(ParseRxl("from A $a construct <e/> trailing").ok());
+  EXPECT_FALSE(
+      ParseRxl("from A $a construct <e>{ from B $b construct }</e>").ok());
+}
+
+TEST(RxlParserTest, PaperQueriesParse) {
+  RxlQuery q1 = MustParse(core::Query1Rxl());
+  EXPECT_EQ(q1.root.from.size(), 1u);
+  RxlQuery q2 = MustParse(core::Query2Rxl());
+  EXPECT_EQ(q2.root.from.size(), 1u);
+  RxlQuery frag = MustParse(core::QueryFragmentRxl());
+  EXPECT_EQ(frag.root.construct.size(), 1u);
+}
+
+TEST(RxlParserTest, ToStringRoundTrips) {
+  RxlQuery q1 = MustParse(core::Query1Rxl());
+  std::string printed = q1.ToString();
+  auto q2 = ParseRxl(printed);
+  ASSERT_TRUE(q2.ok()) << printed << "\n" << q2.status();
+  EXPECT_EQ(printed, q2->ToString());
+}
+
+}  // namespace
+}  // namespace silkroute::rxl

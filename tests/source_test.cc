@@ -1,0 +1,173 @@
+#include "silkroute/source.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "silkroute/publisher.h"
+#include "silkroute/queries.h"
+#include "tests/test_util.h"
+
+namespace silkroute::core {
+namespace {
+
+using testutil::MakeTinyTpch;
+using testutil::MustBuildTree;
+using testutil::NodeByName;
+
+class SourceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = MakeTinyTpch().release();
+    tree_ = new ViewTree(MustBuildTree(Query1Rxl(), db_->catalog()));
+  }
+  static void TearDownTestSuite() {
+    delete tree_;
+    delete db_;
+    tree_ = nullptr;
+    db_ = nullptr;
+  }
+
+  bool Permissible(uint64_t mask, const SourceDescription& source,
+                   bool reduce = true,
+                   SqlGenStyle style = SqlGenStyle::kOuterJoin) {
+    auto r = PlanPermissible(*tree_, mask, style, reduce, source);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return r.ok() && *r;
+  }
+
+  static Database* db_;
+  static ViewTree* tree_;
+};
+
+Database* SourceTest::db_ = nullptr;
+ViewTree* SourceTest::tree_ = nullptr;
+
+TEST_F(SourceTest, FullFeaturedSourceAllowsEverything) {
+  SourceDescription full;
+  for (uint64_t mask : {uint64_t{0}, uint64_t{511}, uint64_t{0x1E8}}) {
+    EXPECT_TRUE(Permissible(mask, full)) << mask;
+  }
+}
+
+TEST_F(SourceTest, FullyPartitionedAlwaysPermissible) {
+  // Paper: "a fully partitioned plan has no edges and requires none of
+  // these constructs".
+  SourceDescription nothing;
+  nothing.supports_outer_join = false;
+  nothing.supports_union = false;
+  for (auto style : {SqlGenStyle::kOuterJoin, SqlGenStyle::kOuterUnion}) {
+    for (bool reduce : {false, true}) {
+      auto r = PlanPermissible(*tree_, 0, style, reduce, nothing);
+      ASSERT_TRUE(r.ok());
+      EXPECT_TRUE(*r);
+    }
+  }
+}
+
+TEST_F(SourceTest, UnifiedNeedsOuterJoin) {
+  SourceDescription no_oj;
+  no_oj.supports_outer_join = false;
+  EXPECT_FALSE(Permissible(511, no_oj, /*reduce=*/true));
+  EXPECT_FALSE(Permissible(511, no_oj, /*reduce=*/false));
+}
+
+TEST_F(SourceTest, ReducedOneEdgesNeedNoOuterJoin) {
+  // Keeping only the three shallow '1' edges: with reduction they collapse
+  // into the root class (inner joins), so no outer join is required.
+  SourceDescription no_oj;
+  no_oj.supports_outer_join = false;
+  const uint64_t shallow_ones = 0b111;  // S1-S1.1, S1-S1.2, S1-S1.3
+  EXPECT_TRUE(Permissible(shallow_ones, no_oj, /*reduce=*/true));
+  // Without reduction the same edges produce separate classes joined by
+  // outer joins.
+  EXPECT_FALSE(Permissible(shallow_ones, no_oj, /*reduce=*/false));
+}
+
+TEST_F(SourceTest, BranchlessChainNeedsNoUnion) {
+  // Paper: "plans with no branches (i.e., no sibling nodes) do not require
+  // the union operator". Non-reduced chain S1-S1.4-S1.4.2: single-child
+  // classes all the way down.
+  SourceDescription no_union;
+  no_union.supports_union = false;
+  const uint64_t chain = (1u << 3) | (1u << 5);  // S1-S1.4, S1.4-S1.4.2
+  EXPECT_TRUE(Permissible(chain, no_union, /*reduce=*/false));
+  // The unified plan has sibling branches everywhere.
+  EXPECT_FALSE(Permissible(511, no_union, /*reduce=*/false));
+}
+
+TEST_F(SourceTest, OuterUnionStyleOnlyNeedsUnion) {
+  SourceDescription no_oj;
+  no_oj.supports_outer_join = false;
+  EXPECT_TRUE(
+      Permissible(511, no_oj, /*reduce=*/true, SqlGenStyle::kOuterUnion));
+  SourceDescription no_union;
+  no_union.supports_union = false;
+  EXPECT_FALSE(
+      Permissible(511, no_union, /*reduce=*/true, SqlGenStyle::kOuterUnion));
+}
+
+TEST_F(SourceTest, MakePermissibleReturnsInputWhenAlreadyOk) {
+  SourceDescription full;
+  auto mask = MakePermissible(*tree_, 0x1E8, SqlGenStyle::kOuterJoin, true,
+                              full);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ(*mask, 0x1E8u);
+}
+
+TEST_F(SourceTest, MakePermissibleCutsToFullyPartitionedInTheLimit) {
+  SourceDescription nothing;
+  nothing.supports_outer_join = false;
+  nothing.supports_union = false;
+  auto mask = MakePermissible(*tree_, 511, SqlGenStyle::kOuterJoin,
+                              /*reduce=*/false, nothing);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ(*mask, 0u);
+}
+
+TEST_F(SourceTest, MakePermissiblePreservesReducibleEdges) {
+  // Without outer-join support but with reduction, '1' edges survive
+  // because they collapse into classes.
+  SourceDescription no_oj;
+  no_oj.supports_outer_join = false;
+  auto mask = MakePermissible(*tree_, 511, SqlGenStyle::kOuterJoin,
+                              /*reduce=*/true, no_oj);
+  ASSERT_TRUE(mask.ok());
+  auto r = PlanPermissible(*tree_, *mask, SqlGenStyle::kOuterJoin, true,
+                           no_oj);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+  // The shallow '1' edges must still be kept.
+  EXPECT_EQ(*mask & 0b111u, 0b111u);
+  // The '*' edges must be cut.
+  EXPECT_EQ(*mask & (1u << 3), 0u);  // S1-S1.4
+  EXPECT_EQ(*mask & (1u << 5), 0u);  // S1.4-S1.4.2
+}
+
+TEST_F(SourceTest, PublisherHonorsSourceDescription) {
+  Publisher publisher(db_);
+  PublishOptions restricted;
+  restricted.strategy = PlanStrategy::kUnified;
+  restricted.source.supports_outer_join = false;
+  restricted.source.supports_union = false;
+  restricted.document_element = "suppliers";
+  std::ostringstream restricted_out;
+  auto result =
+      publisher.Publish(Query1Rxl(), restricted, &restricted_out);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->metrics.num_streams, 1u);  // unified was cut down
+  for (const auto& sql : result->metrics.sql) {
+    EXPECT_EQ(sql.find("outer join"), std::string::npos);
+    EXPECT_EQ(sql.find("union"), std::string::npos);
+  }
+  // Output identical to the unrestricted document.
+  PublishOptions full;
+  full.strategy = PlanStrategy::kUnified;
+  full.document_element = "suppliers";
+  std::ostringstream full_out;
+  ASSERT_TRUE(publisher.Publish(Query1Rxl(), full, &full_out).ok());
+  EXPECT_EQ(restricted_out.str(), full_out.str());
+}
+
+}  // namespace
+}  // namespace silkroute::core

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+
+namespace silkroute::sql {
+namespace {
+
+TEST(SqlLexerTest, EmptyInputYieldsEnd) {
+  auto tokens = Tokenize("");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 1u);
+  EXPECT_EQ((*tokens)[0].type, TokenType::kEnd);
+}
+
+TEST(SqlLexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Tokenize("SELECT Select select");
+  ASSERT_TRUE(tokens.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ((*tokens)[i].type, TokenType::kKeyword);
+    EXPECT_EQ((*tokens)[i].text, "select");
+  }
+}
+
+TEST(SqlLexerTest, IdentifiersKeepCase) {
+  auto tokens = Tokenize("Supplier suppKey");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "Supplier");
+  EXPECT_EQ((*tokens)[1].text, "suppKey");
+}
+
+TEST(SqlLexerTest, Numbers) {
+  auto tokens = Tokenize("42 3.14");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kInteger);
+  EXPECT_EQ((*tokens)[0].text, "42");
+  EXPECT_EQ((*tokens)[1].type, TokenType::kFloat);
+  EXPECT_EQ((*tokens)[1].text, "3.14");
+}
+
+TEST(SqlLexerTest, QualifiedNameSplitsOnDot) {
+  auto tokens = Tokenize("s.suppkey");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "s");
+  EXPECT_TRUE((*tokens)[1].IsSymbol("."));
+  EXPECT_EQ((*tokens)[2].text, "suppkey");
+}
+
+TEST(SqlLexerTest, StringLiteralWithEscapedQuote) {
+  auto tokens = Tokenize("'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[0].text, "it's");
+}
+
+TEST(SqlLexerTest, UnterminatedStringIsError) {
+  EXPECT_EQ(Tokenize("'oops").status().code(), StatusCode::kParseError);
+}
+
+TEST(SqlLexerTest, TwoCharSymbols) {
+  auto tokens = Tokenize("<> <= >= !=");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsSymbol("<>"));
+  EXPECT_TRUE((*tokens)[1].IsSymbol("<="));
+  EXPECT_TRUE((*tokens)[2].IsSymbol(">="));
+  EXPECT_TRUE((*tokens)[3].IsSymbol("<>"));  // != normalized
+}
+
+TEST(SqlLexerTest, SingleCharSymbols) {
+  auto tokens = Tokenize("( ) , . + - * / = < >");
+  ASSERT_TRUE(tokens.ok());
+  const char* expected[] = {"(", ")", ",", ".", "+", "-",
+                            "*", "/", "=", "<", ">"};
+  for (size_t i = 0; i < 11; ++i) {
+    EXPECT_TRUE((*tokens)[i].IsSymbol(expected[i])) << i;
+  }
+}
+
+TEST(SqlLexerTest, UnexpectedCharacterIsError) {
+  EXPECT_EQ(Tokenize("select @").status().code(), StatusCode::kParseError);
+}
+
+TEST(SqlLexerTest, OffsetsTracked) {
+  auto tokens = Tokenize("select x");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].offset, 0u);
+  EXPECT_EQ((*tokens)[1].offset, 7u);
+}
+
+TEST(SqlLexerTest, LineCommentsSkipped) {
+  auto tokens = Tokenize("select -- a comment: with symbols!\n x");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);  // select, x, end
+  EXPECT_EQ((*tokens)[1].text, "x");
+  // Subtraction still lexes.
+  auto minus = Tokenize("a - b");
+  ASSERT_TRUE(minus.ok());
+  EXPECT_TRUE((*minus)[1].IsSymbol("-"));
+}
+
+TEST(SqlLexerTest, KeywordPredicate) {
+  EXPECT_TRUE(IsSqlKeyword("select"));
+  EXPECT_TRUE(IsSqlKeyword("union"));
+  EXPECT_FALSE(IsSqlKeyword("supplier"));
+}
+
+}  // namespace
+}  // namespace silkroute::sql

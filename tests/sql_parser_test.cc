@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace silkroute::sql {
+namespace {
+
+TEST(SqlParserTest, MinimalSelect) {
+  auto q = ParseQuery("select 1");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ((*q)->cores.size(), 1u);
+  EXPECT_EQ((*q)->cores[0].select_list.size(), 1u);
+  EXPECT_TRUE((*q)->cores[0].from.empty());
+}
+
+TEST(SqlParserTest, SelectStar) {
+  auto q = ParseQuery("select * from T");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE((*q)->cores[0].select_star);
+}
+
+TEST(SqlParserTest, AliasesExplicitAndImplicit) {
+  auto q = ParseQuery("select a as x, b y, c from T");
+  ASSERT_TRUE(q.ok()) << q.status();
+  const auto& items = (*q)->cores[0].select_list;
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].alias, "x");
+  EXPECT_EQ(items[1].alias, "y");
+  EXPECT_EQ(items[2].alias, "");
+}
+
+TEST(SqlParserTest, FromListWithAliases) {
+  auto q = ParseQuery("select * from Supplier s, Nation as n");
+  ASSERT_TRUE(q.ok()) << q.status();
+  const auto& from = (*q)->cores[0].from;
+  ASSERT_EQ(from.size(), 2u);
+  const auto& s = static_cast<const BaseTableRef&>(*from[0]);
+  EXPECT_EQ(s.table(), "Supplier");
+  EXPECT_EQ(s.alias(), "s");
+  EXPECT_EQ(s.binding_name(), "s");
+  const auto& n = static_cast<const BaseTableRef&>(*from[1]);
+  EXPECT_EQ(n.binding_name(), "n");
+}
+
+TEST(SqlParserTest, WhereConjunction) {
+  auto q = ParseQuery(
+      "select * from T where a = 1 and b <> 'x' and c <= 2.5");
+  ASSERT_TRUE(q.ok()) << q.status();
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(*(*q)->cores[0].where, &conjuncts);
+  EXPECT_EQ(conjuncts.size(), 3u);
+}
+
+TEST(SqlParserTest, OrPrecedenceBelowAnd) {
+  auto q = ParseQuery("select * from T where a = 1 and b = 2 or c = 3");
+  ASSERT_TRUE(q.ok()) << q.status();
+  std::vector<const Expr*> disjuncts;
+  CollectDisjuncts(*(*q)->cores[0].where, &disjuncts);
+  EXPECT_EQ(disjuncts.size(), 2u);
+}
+
+TEST(SqlParserTest, ParenthesesOverridePrecedence) {
+  auto q = ParseQuery("select * from T where a = 1 and (b = 2 or c = 3)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(*(*q)->cores[0].where, &conjuncts);
+  ASSERT_EQ(conjuncts.size(), 2u);
+  std::vector<const Expr*> disjuncts;
+  CollectDisjuncts(*conjuncts[1], &disjuncts);
+  EXPECT_EQ(disjuncts.size(), 2u);
+}
+
+TEST(SqlParserTest, InnerJoinOn) {
+  auto q = ParseQuery(
+      "select * from Supplier s join Nation n on s.nationkey = n.nationkey");
+  ASSERT_TRUE(q.ok()) << q.status();
+  const auto& from = (*q)->cores[0].from;
+  ASSERT_EQ(from.size(), 1u);
+  ASSERT_EQ(from[0]->kind(), TableRef::Kind::kJoin);
+  const auto& join = static_cast<const JoinRef&>(*from[0]);
+  EXPECT_EQ(join.join_type(), JoinType::kInner);
+}
+
+TEST(SqlParserTest, LeftOuterJoin) {
+  auto q = ParseQuery(
+      "select * from A a left outer join B b on a.x = b.x");
+  ASSERT_TRUE(q.ok()) << q.status();
+  const auto& join =
+      static_cast<const JoinRef&>(*(*q)->cores[0].from[0]);
+  EXPECT_EQ(join.join_type(), JoinType::kLeftOuter);
+}
+
+TEST(SqlParserTest, LeftJoinWithoutOuterKeyword) {
+  auto q = ParseQuery("select * from A a left join B b on a.x = b.x");
+  ASSERT_TRUE(q.ok()) << q.status();
+  const auto& join =
+      static_cast<const JoinRef&>(*(*q)->cores[0].from[0]);
+  EXPECT_EQ(join.join_type(), JoinType::kLeftOuter);
+}
+
+TEST(SqlParserTest, DerivedTableRequiresAlias) {
+  EXPECT_FALSE(ParseQuery("select * from (select 1)").ok());
+  auto q = ParseQuery("select * from (select 1 as x) as D");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ((*q)->cores[0].from[0]->kind(), TableRef::Kind::kDerivedTable);
+}
+
+TEST(SqlParserTest, NestedDerivedUnion) {
+  auto q = ParseQuery(
+      "select * from A a left outer join "
+      "((select 1 as L2, x from B) union (select 2 as L2, y as x from C)) "
+      "as Q on (Q.L2 = 1 and a.k = Q.x) or (Q.L2 = 2 and a.k = Q.x)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  const auto& join =
+      static_cast<const JoinRef&>(*(*q)->cores[0].from[0]);
+  const auto& derived = static_cast<const DerivedTableRef&>(join.right());
+  EXPECT_EQ(derived.alias(), "Q");
+  EXPECT_EQ(derived.query().cores.size(), 2u);
+}
+
+TEST(SqlParserTest, UnionAllFlattens) {
+  auto q = ParseQuery("(select 1 as a) union all (select 2 as a)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ((*q)->cores.size(), 2u);
+}
+
+TEST(SqlParserTest, OrderByMultipleKeysAndDirections) {
+  auto q = ParseQuery("select a, b from T order by a desc, b asc, a");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ((*q)->order_by.size(), 3u);
+  EXPECT_FALSE((*q)->order_by[0].ascending);
+  EXPECT_TRUE((*q)->order_by[1].ascending);
+  EXPECT_TRUE((*q)->order_by[2].ascending);
+}
+
+TEST(SqlParserTest, IsNullAndIsNotNull) {
+  auto q = ParseQuery("select * from T where a is null and b is not null");
+  ASSERT_TRUE(q.ok()) << q.status();
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(*(*q)->cores[0].where, &conjuncts);
+  ASSERT_EQ(conjuncts.size(), 2u);
+  EXPECT_EQ(conjuncts[0]->kind(), Expr::Kind::kIsNull);
+  EXPECT_FALSE(static_cast<const IsNullExpr*>(conjuncts[0])->negated());
+  EXPECT_TRUE(static_cast<const IsNullExpr*>(conjuncts[1])->negated());
+}
+
+TEST(SqlParserTest, NullLiteralInSelect) {
+  auto q = ParseQuery("select null as x");
+  ASSERT_TRUE(q.ok()) << q.status();
+  const auto& item = (*q)->cores[0].select_list[0];
+  ASSERT_EQ(item.expr->kind(), Expr::Kind::kLiteral);
+  EXPECT_TRUE(
+      static_cast<const LiteralExpr&>(*item.expr).value().is_null());
+}
+
+TEST(SqlParserTest, ArithmeticExpression) {
+  auto e = ParseExpression("1 + 2 * 3");
+  ASSERT_TRUE(e.ok()) << e.status();
+  // Multiplication binds tighter: (1 + (2 * 3)).
+  const auto& add = static_cast<const BinaryExpr&>(**e);
+  EXPECT_EQ(add.op(), BinaryOp::kAdd);
+  EXPECT_EQ(static_cast<const BinaryExpr&>(add.right()).op(), BinaryOp::kMul);
+}
+
+TEST(SqlParserTest, UnaryMinus) {
+  auto e = ParseExpression("-5");
+  ASSERT_TRUE(e.ok()) << e.status();
+  EXPECT_EQ((*e)->kind(), Expr::Kind::kBinary);
+}
+
+TEST(SqlParserTest, NotExpression) {
+  auto e = ParseExpression("not a = 1");
+  ASSERT_TRUE(e.ok()) << e.status();
+  EXPECT_EQ((*e)->kind(), Expr::Kind::kNot);
+}
+
+TEST(SqlParserTest, TrailingGarbageIsError) {
+  EXPECT_FALSE(ParseQuery("select 1 from T garbage garbage").ok());
+  EXPECT_FALSE(ParseExpression("1 + 2 )").ok());
+}
+
+TEST(SqlParserTest, MissingFromTableIsError) {
+  EXPECT_FALSE(ParseQuery("select * from").ok());
+}
+
+TEST(SqlParserTest, OrderByInsideUnionOperandRejected) {
+  EXPECT_FALSE(
+      ParseQuery("(select 1 as a order by a) union (select 2 as a)").ok());
+}
+
+TEST(SqlParserTest, ToSqlRoundTrips) {
+  const char* queries[] = {
+      "select 1 as L1, s.suppkey as v1_1 from Supplier s where "
+      "s.suppkey = 3 order by v1_1",
+      "select * from A a left outer join B b on a.x = b.x and b.y = 2",
+      "(select 1 as a) union all (select 2 as a) order by a",
+      "select a, b from T where a = 1 and (b = 2 or c = 3)",
+  };
+  for (const char* text : queries) {
+    auto q1 = ParseQuery(text);
+    ASSERT_TRUE(q1.ok()) << text << ": " << q1.status();
+    std::string sql1 = (*q1)->ToSql();
+    auto q2 = ParseQuery(sql1);
+    ASSERT_TRUE(q2.ok()) << sql1 << ": " << q2.status();
+    EXPECT_EQ(sql1, (*q2)->ToSql()) << text;
+  }
+}
+
+TEST(SqlParserTest, CloneProducesIdenticalSql) {
+  auto q = ParseQuery(
+      "select a from (select b as a from T) as D where a = 1 order by a");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*q)->ToSql(), (*q)->CloneQuery()->ToSql());
+}
+
+}  // namespace
+}  // namespace silkroute::sql

@@ -1,0 +1,211 @@
+#include "silkroute/sqlgen.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "silkroute/queries.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+
+namespace silkroute::core {
+namespace {
+
+using testutil::MakeTinyTpch;
+using testutil::MustBuildTree;
+using testutil::NodeByName;
+
+class SqlGenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = MakeTinyTpch().release();
+    tree_ = new ViewTree(MustBuildTree(Query1Rxl(), db_->catalog()));
+  }
+  static void TearDownTestSuite() {
+    delete tree_;
+    delete db_;
+    tree_ = nullptr;
+    db_ = nullptr;
+  }
+
+  StreamSpec Generate(const std::vector<int>& nodes, SqlGenStyle style,
+                      bool reduce) {
+    SqlGenerator gen(tree_, style, reduce);
+    auto spec = gen.GenerateComponent(nodes);
+    EXPECT_TRUE(spec.ok()) << spec.status();
+    return spec.ok() ? std::move(spec).value() : StreamSpec{};
+  }
+
+  static Database* db_;
+  static ViewTree* tree_;
+};
+
+Database* SqlGenTest::db_ = nullptr;
+ViewTree* SqlGenTest::tree_ = nullptr;
+
+TEST_F(SqlGenTest, GeneratedSqlParses) {
+  for (auto style : {SqlGenStyle::kOuterJoin, SqlGenStyle::kOuterUnion}) {
+    for (bool reduce : {false, true}) {
+      SqlGenerator gen(tree_, style, reduce);
+      auto plan = Partition::Unified(*tree_);
+      auto specs = gen.GeneratePlan(plan);
+      ASSERT_TRUE(specs.ok()) << specs.status();
+      for (const auto& spec : *specs) {
+        EXPECT_TRUE(sql::ParseQuery(spec.sql).ok()) << spec.sql;
+      }
+    }
+  }
+}
+
+TEST_F(SqlGenTest, SingleNodeComponentIsPlainSelect) {
+  StreamSpec spec = Generate({0}, SqlGenStyle::kOuterJoin, false);
+  auto q = sql::ParseQuery(spec.sql);
+  ASSERT_TRUE(q.ok()) << spec.sql;
+  EXPECT_EQ((*q)->cores.size(), 1u);
+  EXPECT_FALSE((*q)->order_by.empty());
+  // Projects the root label and the supplier key column.
+  EXPECT_NE(spec.sql.find("as L1"), std::string::npos);
+  EXPECT_NE(spec.sql.find("as v1_1"), std::string::npos);
+}
+
+TEST_F(SqlGenTest, OuterUnionUnifiedHasOneCorePerNode) {
+  StreamSpec spec = Generate(
+      Partition::Unified(*tree_).components()[0].nodes,
+      SqlGenStyle::kOuterUnion, false);
+  auto q = sql::ParseQuery(spec.sql);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*q)->cores.size(), tree_->num_nodes());
+}
+
+TEST_F(SqlGenTest, OuterUnionReducedHasOneCorePerClass) {
+  StreamSpec spec = Generate(
+      Partition::Unified(*tree_).components()[0].nodes,
+      SqlGenStyle::kOuterUnion, true);
+  auto q = sql::ParseQuery(spec.sql);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*q)->cores.size(), 3u);  // the three Fig. 11 classes
+}
+
+TEST_F(SqlGenTest, OuterJoinUnifiedUsesLeftOuterJoinsAndUnions) {
+  StreamSpec spec = Generate(
+      Partition::Unified(*tree_).components()[0].nodes,
+      SqlGenStyle::kOuterJoin, false);
+  EXPECT_NE(spec.sql.find("left outer join"), std::string::npos);
+  EXPECT_NE(spec.sql.find("union all"), std::string::npos);
+}
+
+TEST_F(SqlGenTest, FullyPartitionedPlanNeedsNoOuterJoinOrUnion) {
+  // Paper Sec. 3.4: plans with no kept edges require neither construct.
+  SqlGenerator gen(tree_, SqlGenStyle::kOuterJoin, false);
+  auto specs = gen.GeneratePlan(Partition::FullyPartitioned(*tree_));
+  ASSERT_TRUE(specs.ok());
+  for (const auto& spec : *specs) {
+    EXPECT_EQ(spec.sql.find("outer join"), std::string::npos) << spec.sql;
+    EXPECT_EQ(spec.sql.find("union"), std::string::npos) << spec.sql;
+  }
+}
+
+TEST_F(SqlGenTest, ChainComponentNeedsNoUnion) {
+  // A branchless component (supplier-part chain without part's children)
+  // uses a join but no union.
+  int part = NodeByName(*tree_, "S1.4");
+  StreamSpec spec =
+      Generate({0, part}, SqlGenStyle::kOuterJoin, false);
+  EXPECT_NE(spec.sql.find("left outer join"), std::string::npos);
+  EXPECT_EQ(spec.sql.find("union"), std::string::npos) << spec.sql;
+}
+
+TEST_F(SqlGenTest, GeneratedQueriesExecute) {
+  engine::QueryExecutor exec(db_);
+  for (auto style : {SqlGenStyle::kOuterJoin, SqlGenStyle::kOuterUnion}) {
+    for (bool reduce : {false, true}) {
+      StreamSpec spec = Generate(
+          Partition::Unified(*tree_).components()[0].nodes, style, reduce);
+      auto rel = exec.ExecuteSql(spec.sql);
+      ASSERT_TRUE(rel.ok()) << spec.sql << "\n" << rel.status();
+      EXPECT_GT(rel->rows.size(), 0u);
+    }
+  }
+}
+
+TEST_F(SqlGenTest, ResultSortedByInterleavedKey) {
+  engine::QueryExecutor exec(db_);
+  StreamSpec spec = Generate(
+      Partition::Unified(*tree_).components()[0].nodes,
+      SqlGenStyle::kOuterUnion, false);
+  auto rel = exec.ExecuteSql(spec.sql);
+  ASSERT_TRUE(rel.ok());
+  // Verify rows are sorted on (L1, v1_1, L2) prefix.
+  auto l1 = rel->schema.Resolve("", "L1");
+  auto v11 = rel->schema.Resolve("", "v1_1");
+  auto l2 = rel->schema.Resolve("", "L2");
+  ASSERT_TRUE(l1.ok() && v11.ok() && l2.ok());
+  for (size_t i = 1; i < rel->rows.size(); ++i) {
+    const Tuple& a = rel->rows[i - 1];
+    const Tuple& b = rel->rows[i];
+    int c = a[*l1].Compare(b[*l1]);
+    if (c == 0) c = a[*v11].Compare(b[*v11]);
+    if (c == 0) c = a[*l2].Compare(b[*l2]);
+    EXPECT_LE(c, 0) << "row " << i;
+    if (c < 0) continue;
+  }
+}
+
+TEST_F(SqlGenTest, InstanceSpecsInDocumentOrder) {
+  StreamSpec spec = Generate(
+      Partition::Unified(*tree_).components()[0].nodes,
+      SqlGenStyle::kOuterJoin, false);
+  ASSERT_EQ(spec.instances.size(), tree_->num_nodes());
+  for (size_t i = 1; i < spec.instances.size(); ++i) {
+    EXPECT_LT(spec.instances[i - 1].path_labels,
+              spec.instances[i].path_labels);
+  }
+}
+
+TEST_F(SqlGenTest, SubtreeComponentCarriesAncestorIdentity) {
+  // The order-subtree component must include the supplier / part identity
+  // columns so the tagger can align it with other streams.
+  int order = NodeByName(*tree_, "S1.4.2");
+  std::vector<int> nodes = {order};
+  for (int child : tree_->node(order).children) nodes.push_back(child);
+  StreamSpec spec = Generate(nodes, SqlGenStyle::kOuterJoin, false);
+  EXPECT_NE(spec.sql.find("v1_1"), std::string::npos);  // suppkey
+  EXPECT_NE(spec.sql.find("Supplier"), std::string::npos);
+  // Its instances only cover the subtree.
+  EXPECT_EQ(spec.instances.size(), 4u);
+}
+
+TEST_F(SqlGenTest, ReducedCoveredNodesHaveNoDeepLabelChecks) {
+  StreamSpec spec = Generate(
+      Partition::Unified(*tree_).components()[0].nodes,
+      SqlGenStyle::kOuterJoin, true);
+  // The name node (S1.1, level 2) is covered by the root class (head level
+  // 1): its label checks must stop at level 1.
+  int name_id = NodeByName(*tree_, "S1.1");
+  for (const auto& inst : spec.instances) {
+    if (inst.node_id != name_id) continue;
+    ASSERT_EQ(inst.label_checks.size(), 1u);
+    EXPECT_EQ(inst.label_checks[0].first, 1);
+  }
+}
+
+TEST_F(SqlGenTest, OuterUnionInstanceSpecsHaveNullChecks) {
+  StreamSpec spec = Generate(
+      Partition::Unified(*tree_).components()[0].nodes,
+      SqlGenStyle::kOuterUnion, true);
+  int name_id = NodeByName(*tree_, "S1.1");
+  bool found = false;
+  for (const auto& inst : spec.instances) {
+    if (inst.node_id != name_id) continue;
+    found = true;
+    EXPECT_FALSE(inst.null_levels.empty());
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SqlGenTest, StyleNamesRender) {
+  EXPECT_STREQ(SqlGenStyleToString(SqlGenStyle::kOuterJoin), "outer-join");
+  EXPECT_STREQ(SqlGenStyleToString(SqlGenStyle::kOuterUnion), "outer-union");
+}
+
+}  // namespace
+}  // namespace silkroute::core

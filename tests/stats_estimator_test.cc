@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "engine/estimator.h"
+#include "engine/stats.h"
+#include "tpch/generator.h"
+
+namespace silkroute::engine {
+namespace {
+
+class StatsEstimatorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database();
+    tpch::TpchConfig config;
+    config.scale_factor = 0.005;
+    ASSERT_TRUE(tpch::GenerateTpch(config, db_).ok());
+    stats_ = new DatabaseStats(DatabaseStats::Collect(*db_));
+  }
+  static void TearDownTestSuite() {
+    delete stats_;
+    delete db_;
+    stats_ = nullptr;
+    db_ = nullptr;
+  }
+
+  QueryEstimate Estimate(const std::string& sql) {
+    CostEstimator est(&db_->catalog(), stats_);
+    auto result = est.EstimateSql(sql);
+    EXPECT_TRUE(result.ok()) << sql << ": " << result.status();
+    return result.ok() ? *result : QueryEstimate{};
+  }
+
+  static Database* db_;
+  static DatabaseStats* stats_;
+};
+
+Database* StatsEstimatorTest::db_ = nullptr;
+DatabaseStats* StatsEstimatorTest::stats_ = nullptr;
+
+TEST_F(StatsEstimatorTest, RowCountsMatchTables) {
+  auto t = db_->GetTable("Supplier");
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ(stats_->RowCount("Supplier"),
+                   static_cast<double>((*t)->num_rows()));
+  EXPECT_DOUBLE_EQ(stats_->RowCount("Missing"), 0.0);
+}
+
+TEST_F(StatsEstimatorTest, DistinctCountOfKeyEqualsRowCount) {
+  EXPECT_DOUBLE_EQ(stats_->DistinctCount("Supplier", "suppkey"),
+                   stats_->RowCount("Supplier"));
+}
+
+TEST_F(StatsEstimatorTest, DistinctCountOfNationKeyInSupplierIsSmall) {
+  EXPECT_LE(stats_->DistinctCount("Supplier", "nationkey"), 25.0);
+}
+
+TEST_F(StatsEstimatorTest, ColumnStatsExposeWidths) {
+  const ColumnStats* cs = stats_->GetColumn("Supplier", "name");
+  ASSERT_NE(cs, nullptr);
+  EXPECT_GT(cs->avg_width_bytes, 8.0);  // strings wider than ints
+  EXPECT_EQ(stats_->GetColumn("Supplier", "zzz"), nullptr);
+  EXPECT_EQ(stats_->GetColumn("Zzz", "name"), nullptr);
+}
+
+TEST_F(StatsEstimatorTest, ScanEstimateMatchesTableCardinality) {
+  QueryEstimate e = Estimate("select * from Supplier");
+  EXPECT_DOUBLE_EQ(e.rows, stats_->RowCount("Supplier"));
+  EXPECT_GT(e.width_bytes, 0);
+}
+
+TEST_F(StatsEstimatorTest, FilterReducesCardinality) {
+  QueryEstimate all = Estimate("select * from Supplier s");
+  QueryEstimate filtered =
+      Estimate("select * from Supplier s where s.suppkey = 1");
+  EXPECT_LT(filtered.rows, all.rows);
+  EXPECT_LE(filtered.rows, 2.0);  // key equality: ~1 row
+}
+
+TEST_F(StatsEstimatorTest, KeyFkJoinEstimatesChildCardinality) {
+  // Supplier x Nation on nationkey: one nation per supplier.
+  QueryEstimate e = Estimate(
+      "select * from Supplier s, Nation n "
+      "where s.nationkey = n.nationkey");
+  double suppliers = stats_->RowCount("Supplier");
+  EXPECT_GT(e.rows, suppliers * 0.5);
+  EXPECT_LT(e.rows, suppliers * 2.0);
+}
+
+TEST_F(StatsEstimatorTest, JoinCostExceedsScanCost) {
+  QueryEstimate scan = Estimate("select * from PartSupp");
+  QueryEstimate join = Estimate(
+      "select * from PartSupp ps, Part p where ps.partkey = p.partkey");
+  EXPECT_GT(join.cost, scan.cost);
+}
+
+TEST_F(StatsEstimatorTest, OrderByAddsCost) {
+  QueryEstimate plain = Estimate("select * from PartSupp");
+  QueryEstimate sorted =
+      Estimate("select * from PartSupp ps order by ps.partkey");
+  EXPECT_GT(sorted.cost, plain.cost);
+}
+
+TEST_F(StatsEstimatorTest, UnionAddsRowsAndCosts) {
+  QueryEstimate single = Estimate("select suppkey as k from Supplier");
+  QueryEstimate both = Estimate(
+      "(select suppkey as k from Supplier) union all "
+      "(select partkey as k from Part)");
+  EXPECT_GT(both.rows, single.rows);
+  EXPECT_GT(both.cost, single.cost);
+}
+
+TEST_F(StatsEstimatorTest, LeftOuterJoinKeepsLeftCardinality) {
+  QueryEstimate e = Estimate(
+      "select * from Supplier s left outer join PartSupp ps "
+      "on s.suppkey = ps.suppkey and ps.availqty = 123456");
+  EXPECT_GE(e.rows, stats_->RowCount("Supplier") * 0.99);
+}
+
+TEST_F(StatsEstimatorTest, ProjectionNarrowsWidth) {
+  QueryEstimate star = Estimate("select * from Supplier s");
+  QueryEstimate narrow = Estimate("select s.suppkey from Supplier s");
+  EXPECT_LT(narrow.width_bytes, star.width_bytes);
+}
+
+TEST_F(StatsEstimatorTest, DerivedTableEstimated) {
+  QueryEstimate e = Estimate(
+      "select D.k from (select s.suppkey as k from Supplier s) as D");
+  EXPECT_DOUBLE_EQ(e.rows, stats_->RowCount("Supplier"));
+}
+
+TEST_F(StatsEstimatorTest, RequestCounterIncrements) {
+  CostEstimator est(&db_->catalog(), stats_);
+  EXPECT_EQ(est.num_requests(), 0u);
+  ASSERT_TRUE(est.EstimateSql("select * from Supplier").ok());
+  ASSERT_TRUE(est.EstimateSql("select * from Part").ok());
+  EXPECT_EQ(est.num_requests(), 2u);
+  est.ResetRequestCount();
+  EXPECT_EQ(est.num_requests(), 0u);
+}
+
+TEST_F(StatsEstimatorTest, DataSizeIsRowsTimesWidth) {
+  QueryEstimate e = Estimate("select * from Supplier");
+  EXPECT_DOUBLE_EQ(e.data_size(), e.rows * e.width_bytes);
+}
+
+TEST_F(StatsEstimatorTest, DistinctCapsCardinality) {
+  QueryEstimate all = Estimate("select s.nationkey from Supplier s");
+  QueryEstimate distinct =
+      Estimate("select distinct s.nationkey from Supplier s");
+  EXPECT_LT(distinct.rows, all.rows);
+  EXPECT_LE(distinct.rows, 25.0);  // at most one row per nation
+}
+
+TEST_F(StatsEstimatorTest, DisjunctiveOnSelectivityIsSumOfBranches) {
+  QueryEstimate one = Estimate(
+      "select * from Supplier s left outer join Nation n "
+      "on s.nationkey = n.nationkey");
+  QueryEstimate two = Estimate(
+      "select * from Supplier s left outer join Nation n "
+      "on (s.nationkey = n.nationkey) or (s.suppkey = n.nationkey)");
+  EXPECT_GE(two.rows, one.rows);
+}
+
+TEST_F(StatsEstimatorTest, UnknownTableIsError) {
+  CostEstimator est(&db_->catalog(), stats_);
+  EXPECT_FALSE(est.EstimateSql("select * from Nope").ok());
+}
+
+}  // namespace
+}  // namespace silkroute::engine

@@ -1,0 +1,211 @@
+#include "silkroute/subview.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rxl/parser.h"
+#include "silkroute/publisher.h"
+#include "silkroute/queries.h"
+#include "tests/test_util.h"
+#include "xml/reader.h"
+
+namespace silkroute::core {
+namespace {
+
+using testutil::MakeTinyTpch;
+
+TEST(SubviewPathTest, ParsesPlainPath) {
+  auto steps = ParseSubviewPath("/supplier/part/order");
+  ASSERT_TRUE(steps.ok()) << steps.status();
+  ASSERT_EQ(steps->size(), 3u);
+  EXPECT_EQ((*steps)[0].tag, "supplier");
+  EXPECT_EQ((*steps)[2].tag, "order");
+  EXPECT_TRUE((*steps)[0].predicates.empty());
+}
+
+TEST(SubviewPathTest, ParsesPredicates) {
+  auto steps =
+      ParseSubviewPath("/supplier[nation='FRANCE'][name='x']/part");
+  ASSERT_TRUE(steps.ok()) << steps.status();
+  ASSERT_EQ((*steps)[0].predicates.size(), 2u);
+  EXPECT_EQ((*steps)[0].predicates[0].child_tag, "nation");
+  EXPECT_EQ((*steps)[0].predicates[0].literal.AsString(), "FRANCE");
+}
+
+TEST(SubviewPathTest, ParsesIntegerLiteral) {
+  auto steps = ParseSubviewPath("/order[orderkey=42]");
+  ASSERT_TRUE(steps.ok()) << steps.status();
+  EXPECT_EQ((*steps)[0].predicates[0].literal.AsInt64(), 42);
+}
+
+TEST(SubviewPathTest, Errors) {
+  EXPECT_FALSE(ParseSubviewPath("").ok());
+  EXPECT_FALSE(ParseSubviewPath("supplier").ok());
+  EXPECT_FALSE(ParseSubviewPath("/supplier[name]").ok());
+  EXPECT_FALSE(ParseSubviewPath("/supplier[name='x'").ok());
+  EXPECT_FALSE(ParseSubviewPath("/supplier[name='x").ok());
+  EXPECT_FALSE(ParseSubviewPath("/").ok());
+}
+
+class SubviewComposeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { db_ = MakeTinyTpch(0.002).release(); }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  rxl::RxlQuery Compose(const char* path) {
+    auto view = rxl::ParseRxl(Query1Rxl());
+    EXPECT_TRUE(view.ok());
+    auto composed = ComposeSubview(*view, path);
+    EXPECT_TRUE(composed.ok()) << composed.status();
+    return composed.ok() ? std::move(composed).value() : rxl::RxlQuery{};
+  }
+
+  static Database* db_;
+};
+
+Database* SubviewComposeTest::db_ = nullptr;
+
+TEST_F(SubviewComposeTest, RootStepKeepsWholeView) {
+  rxl::RxlQuery composed = Compose("/supplier");
+  EXPECT_EQ(composed.root.from.size(), 1u);
+  ASSERT_EQ(composed.root.construct.size(), 1u);
+  EXPECT_EQ(composed.root.construct[0].element->tag, "supplier");
+  // The composed query is valid RXL and builds the same tree shape.
+  auto tree = ViewTree::Build(composed, db_->catalog());
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  EXPECT_EQ(tree->num_nodes(), 10u);
+}
+
+TEST_F(SubviewComposeTest, DeepPathAccumulatesScope) {
+  rxl::RxlQuery composed = Compose("/supplier/part/order");
+  // Scope: Supplier, PartSupp, Part, LineItem, Orders.
+  EXPECT_EQ(composed.root.from.size(), 5u);
+  EXPECT_EQ(composed.root.construct[0].element->tag, "order");
+  auto tree = ViewTree::Build(composed, db_->catalog());
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  EXPECT_EQ(tree->num_nodes(), 4u);  // order, orderkey, customer, nation
+}
+
+TEST_F(SubviewComposeTest, PredicateAddsRenamedScope) {
+  rxl::RxlQuery composed = Compose("/supplier[nation='FRANCE']");
+  // Nation joined twice: once for the predicate (renamed), once in the
+  // retained subtree block.
+  ASSERT_EQ(composed.root.from.size(), 2u);
+  EXPECT_EQ(composed.root.from[1].table, "Nation");
+  EXPECT_NE(composed.root.from[1].var, "n");  // renamed
+  // Last condition equates the renamed nation's name with the literal.
+  const rxl::Condition& last = composed.root.where.back();
+  EXPECT_EQ(last.rhs.literal.AsString(), "FRANCE");
+  EXPECT_EQ(last.lhs.field.var, composed.root.from[1].var);
+  auto tree = ViewTree::Build(composed, db_->catalog());
+  ASSERT_TRUE(tree.ok()) << tree.status();
+}
+
+TEST_F(SubviewComposeTest, MissingStepIsNotFound) {
+  auto view = rxl::ParseRxl(Query1Rxl());
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(ComposeSubview(*view, "/supplier/zzz").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ComposeSubview(*view, "/zzz").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(
+      ComposeSubview(*view, "/supplier[zzz='x']").status().code(),
+      StatusCode::kNotFound);
+}
+
+class SubviewPublishTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = MakeTinyTpch(0.002).release();
+    publisher_ = new Publisher(db_);
+  }
+  static void TearDownTestSuite() {
+    delete publisher_;
+    delete db_;
+    publisher_ = nullptr;
+    db_ = nullptr;
+  }
+
+  std::string PublishPath(const char* path) {
+    PublishOptions options;
+    options.document_element = "result";
+    std::ostringstream out;
+    auto result =
+        publisher_->PublishSubview(Query1Rxl(), path, options, &out);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return out.str();
+  }
+
+  static Database* db_;
+  static Publisher* publisher_;
+};
+
+Database* SubviewPublishTest::db_ = nullptr;
+Publisher* SubviewPublishTest::publisher_ = nullptr;
+
+TEST_F(SubviewPublishTest, PredicateSelectsMatchingSuppliers) {
+  // Full view: which suppliers are in which nation?
+  std::ostringstream full;
+  PublishOptions options;
+  options.document_element = "result";
+  ASSERT_TRUE(publisher_->Publish(Query1Rxl(), options, &full).ok());
+  auto full_doc = xml::ParseXml(full.str());
+  ASSERT_TRUE(full_doc.ok());
+  std::map<std::string, int> by_nation;
+  for (const auto* s : (*full_doc)->Children("supplier")) {
+    ++by_nation[s->FirstChild("nation")->text];
+  }
+  ASSERT_FALSE(by_nation.empty());
+  const auto& [nation, expected] = *by_nation.begin();
+
+  std::string xml =
+      PublishPath(("/supplier[nation='" + nation + "']").c_str());
+  auto doc = xml::ParseXml(xml);
+  ASSERT_TRUE(doc.ok()) << xml;
+  auto suppliers = (*doc)->Children("supplier");
+  EXPECT_EQ(static_cast<int>(suppliers.size()), expected);
+  for (const auto* s : suppliers) {
+    EXPECT_EQ(s->FirstChild("nation")->text, nation);
+  }
+}
+
+TEST_F(SubviewPublishTest, DeepPathPublishesFragmentElements) {
+  std::string xml = PublishPath("/supplier/part");
+  auto doc = xml::ParseXml(xml);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_GT((*doc)->Children("part").size(), 0u);
+  EXPECT_TRUE((*doc)->Children("supplier").empty());
+  // Every part element has a name child first.
+  for (const auto* part : (*doc)->Children("part")) {
+    ASSERT_GT(part->NumChildren(), 0u);
+    EXPECT_EQ(part->children[0]->name, "name");
+  }
+}
+
+TEST_F(SubviewPublishTest, IntegerPredicateOnOrderKey) {
+  std::string xml = PublishPath("/supplier/part/order[orderkey=7]");
+  auto doc = xml::ParseXml(xml);
+  ASSERT_TRUE(doc.ok());
+  for (const auto* order : (*doc)->Children("order")) {
+    EXPECT_EQ(order->FirstChild("orderkey")->text, "7");
+  }
+}
+
+TEST_F(SubviewPublishTest, SubviewResultSmallerThanView) {
+  // Sec. 7: user queries extract small fragments of the entire view.
+  PublishOptions options;
+  options.document_element = "result";
+  std::ostringstream full, fragment;
+  ASSERT_TRUE(publisher_->Publish(Query1Rxl(), options, &full).ok());
+  auto result = publisher_->PublishSubview(
+      Query1Rxl(), "/supplier/part/order[orderkey=7]", options, &fragment);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(fragment.str().size(), full.str().size() / 4);
+}
+
+}  // namespace
+}  // namespace silkroute::core

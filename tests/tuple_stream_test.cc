@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "engine/tuple_stream.h"
+
+namespace silkroute::engine {
+namespace {
+
+Relation MakeRelation(std::vector<Tuple> rows) {
+  Relation r;
+  r.schema.Add({"", "a"});
+  r.schema.Add({"", "b"});
+  r.rows = std::move(rows);
+  return r;
+}
+
+TEST(TupleStreamTest, RoundTripsAllValueKinds) {
+  Tuple t{Value::Int64(-7), Value::Double(3.25), Value::String("héllo"),
+          Value::Null()};
+  std::string wire;
+  SerializeTuple(t, &wire);
+  size_t offset = 0;
+  auto back = DeserializeTuple(wire, &offset);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(offset, wire.size());
+  EXPECT_EQ(*back, t);
+}
+
+TEST(TupleStreamTest, EmptyTupleRoundTrips) {
+  Tuple t;
+  std::string wire;
+  SerializeTuple(t, &wire);
+  size_t offset = 0;
+  auto back = DeserializeTuple(wire, &offset);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 0u);
+}
+
+TEST(TupleStreamTest, TruncatedBufferIsError) {
+  Tuple t{Value::String("abcdef")};
+  std::string wire;
+  SerializeTuple(t, &wire);
+  for (size_t cut = 1; cut < wire.size(); ++cut) {
+    std::string truncated = wire.substr(0, cut);
+    size_t offset = 0;
+    EXPECT_FALSE(DeserializeTuple(truncated, &offset).ok()) << cut;
+  }
+}
+
+TEST(TupleStreamTest, BadTagIsError) {
+  std::string wire;
+  SerializeTuple(Tuple{Value::Int64(1)}, &wire);
+  wire[4] = 99;  // corrupt the field tag
+  size_t offset = 0;
+  EXPECT_EQ(DeserializeTuple(wire, &offset).status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(TupleStreamTest, StreamYieldsAllTuplesInOrder) {
+  TupleStream stream(MakeRelation({
+      Tuple{Value::Int64(1), Value::String("x")},
+      Tuple{Value::Int64(2), Value::Null()},
+      Tuple{Value::Int64(3), Value::String("z")},
+  }));
+  EXPECT_EQ(stream.num_tuples(), 3u);
+  for (int64_t i = 1; i <= 3; ++i) {
+    auto t = stream.Next();
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ((*t)[0].AsInt64(), i);
+  }
+  EXPECT_FALSE(stream.Next().has_value());
+  EXPECT_FALSE(stream.Next().has_value());  // stays exhausted
+}
+
+TEST(TupleStreamTest, RewindRestarts) {
+  TupleStream stream(MakeRelation({Tuple{Value::Int64(1), Value::Null()}}));
+  ASSERT_TRUE(stream.Next().has_value());
+  ASSERT_FALSE(stream.Next().has_value());
+  stream.Rewind();
+  ASSERT_TRUE(stream.Next().has_value());
+}
+
+TEST(TupleStreamTest, SchemaPreserved) {
+  TupleStream stream(MakeRelation({}));
+  EXPECT_EQ(stream.schema().size(), 2u);
+  EXPECT_EQ(stream.schema().column(1).name, "b");
+  EXPECT_FALSE(stream.Next().has_value());
+}
+
+TEST(TupleStreamTest, WireBytesGrowWithData) {
+  TupleStream small(MakeRelation({Tuple{Value::Int64(1), Value::Null()}}));
+  TupleStream large(MakeRelation({
+      Tuple{Value::Int64(1), Value::String(std::string(1000, 'x'))},
+  }));
+  EXPECT_GT(large.wire_bytes(), small.wire_bytes() + 900);
+}
+
+TEST(TupleStreamTest, RandomRoundTripProperty) {
+  Random rng(42);
+  for (int iter = 0; iter < 100; ++iter) {
+    Tuple t;
+    int n = static_cast<int>(rng.Uniform(0, 8));
+    for (int i = 0; i < n; ++i) {
+      switch (rng.Uniform(0, 3)) {
+        case 0:
+          t.Append(Value::Null());
+          break;
+        case 1:
+          t.Append(Value::Int64(rng.Uniform(-1000000, 1000000)));
+          break;
+        case 2:
+          t.Append(Value::Double(rng.NextDouble() * 1e6 - 5e5));
+          break;
+        default:
+          t.Append(Value::String(
+              rng.NextString(static_cast<size_t>(rng.Uniform(0, 40)))));
+      }
+    }
+    std::string wire;
+    SerializeTuple(t, &wire);
+    size_t offset = 0;
+    auto back = DeserializeTuple(wire, &offset);
+    ASSERT_TRUE(back.ok());
+    ASSERT_EQ(*back, t);
+    ASSERT_EQ(offset, wire.size());
+  }
+}
+
+}  // namespace
+}  // namespace silkroute::engine

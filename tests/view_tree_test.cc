@@ -1,0 +1,264 @@
+#include "silkroute/view_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "silkroute/queries.h"
+#include "tests/test_util.h"
+
+namespace silkroute::core {
+namespace {
+
+using testutil::MakeTinyTpch;
+using testutil::MustBuildTree;
+using testutil::NodeByName;
+
+class ViewTreeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { db_ = MakeTinyTpch().release(); }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static Database* db_;
+};
+
+Database* ViewTreeTest::db_ = nullptr;
+
+TEST_F(ViewTreeTest, Query1MatchesFig6Structure) {
+  ViewTree tree = MustBuildTree(Query1Rxl(), db_->catalog());
+  // Fig. 6: 10 nodes, 9 edges, depth 4.
+  EXPECT_EQ(tree.num_nodes(), 10u);
+  EXPECT_EQ(tree.num_edges(), 9u);
+  EXPECT_EQ(tree.MaxLevel(), 4);
+
+  // Skolem names assigned breadth-first.
+  EXPECT_EQ(tree.node(0).skolem_name, "S1");
+  EXPECT_EQ(tree.node(0).tag, "supplier");
+  ASSERT_GE(NodeByName(tree, "S1.4.2.3"), 0);
+  const ViewTreeNode& nation2 = tree.node(NodeByName(tree, "S1.4.2.3"));
+  EXPECT_EQ(nation2.tag, "nation");
+  EXPECT_EQ(nation2.sfi, (std::vector<int>{1, 4, 2, 3}));
+
+  // Children of the root, in template order: name, nation, region, part.
+  const ViewTreeNode& root = tree.node(0);
+  ASSERT_EQ(root.children.size(), 4u);
+  EXPECT_EQ(tree.node(root.children[0]).tag, "name");
+  EXPECT_EQ(tree.node(root.children[1]).tag, "nation");
+  EXPECT_EQ(tree.node(root.children[2]).tag, "region");
+  EXPECT_EQ(tree.node(root.children[3]).tag, "part");
+}
+
+TEST_F(ViewTreeTest, Query2MatchesFig12Structure) {
+  ViewTree tree = MustBuildTree(Query2Rxl(), db_->catalog());
+  EXPECT_EQ(tree.num_nodes(), 10u);
+  EXPECT_EQ(tree.num_edges(), 9u);
+  const ViewTreeNode& root = tree.node(0);
+  ASSERT_EQ(root.children.size(), 5u);  // name, nation, region, part, order
+  EXPECT_EQ(tree.node(root.children[3]).tag, "part");
+  EXPECT_EQ(tree.node(root.children[4]).tag, "order");
+  // Fig. 12: order's subtree is at level 2 with three children.
+  const ViewTreeNode& order = tree.node(root.children[4]);
+  EXPECT_EQ(order.skolem_name, "S1.5");
+  EXPECT_EQ(order.children.size(), 3u);
+}
+
+TEST_F(ViewTreeTest, RootSkolemTermIsSupplierKey) {
+  ViewTree tree = MustBuildTree(Query1Rxl(), db_->catalog());
+  const ViewTreeNode& root = tree.node(0);
+  ASSERT_EQ(root.args.size(), 1u);
+  EXPECT_EQ(root.args[0].field.ToString(), "$s.suppkey");
+  EXPECT_EQ(root.args[0].index, (VarIndex{1, 1}));
+  EXPECT_TRUE(root.args[0].identity);
+}
+
+TEST_F(ViewTreeTest, VariableIndicesFollowPaperScheme) {
+  // The shallowest containing node determines p; q is unique per level
+  // (paper: suppkey gets (1,1), the supplier's name value gets (2,1)).
+  ViewTree tree = MustBuildTree(Query1Rxl(), db_->catalog());
+  const ViewTreeNode& name_node = tree.node(NodeByName(tree, "S1.1"));
+  ASSERT_EQ(name_node.args.size(), 2u);
+  EXPECT_EQ(name_node.args[0].index, (VarIndex{1, 1}));  // inherited suppkey
+  EXPECT_FALSE(name_node.args[0].own);
+  EXPECT_EQ(name_node.args[1].index, (VarIndex{2, 1}));  // name value
+  EXPECT_TRUE(name_node.args[1].own);
+  EXPECT_FALSE(name_node.args[1].identity);  // value, not scope key
+  EXPECT_EQ(name_node.args[1].index.ColumnName(), "v2_1");
+}
+
+TEST_F(ViewTreeTest, NodeQueriesAccumulateScope) {
+  ViewTree tree = MustBuildTree(Query1Rxl(), db_->catalog());
+  const ViewTreeNode& order = tree.node(NodeByName(tree, "S1.4.2"));
+  // Scope: Supplier, PartSupp, Part, LineItem, Orders.
+  EXPECT_EQ(order.atoms.size(), 5u);
+  EXPECT_EQ(order.conditions.size(), 5u);
+  const ViewTreeNode& root = tree.node(0);
+  EXPECT_EQ(root.atoms.size(), 1u);
+  EXPECT_TRUE(root.conditions.empty());
+}
+
+TEST_F(ViewTreeTest, ContentItemsPreserveDocumentOrder) {
+  ViewTree tree = MustBuildTree(Query1Rxl(), db_->catalog());
+  const ViewTreeNode& part = tree.node(NodeByName(tree, "S1.4"));
+  ASSERT_EQ(part.content.size(), 2u);
+  EXPECT_EQ(part.content[0].kind, ViewTreeNode::ContentItem::Kind::kChild);
+  EXPECT_EQ(tree.node(part.content[0].child_id).tag, "name");
+  EXPECT_EQ(tree.node(part.content[1].child_id).tag, "order");
+}
+
+TEST_F(ViewTreeTest, VarIndexRoundTrip) {
+  ViewTree tree = MustBuildTree(Query1Rxl(), db_->catalog());
+  auto index = tree.IndexOf({"s", "suppkey"});
+  ASSERT_TRUE(index.ok());
+  auto field = tree.FieldOf(*index);
+  ASSERT_TRUE(field.ok());
+  EXPECT_EQ(field->ToString(), "$s.suppkey");
+  EXPECT_FALSE(tree.IndexOf({"zz", "zz"}).ok());
+  EXPECT_FALSE(tree.FieldOf(VarIndex{9, 9}).ok());
+}
+
+TEST_F(ViewTreeTest, IdentityVarsAtLevelSorted) {
+  ViewTree tree = MustBuildTree(Query1Rxl(), db_->catalog());
+  auto level1 = tree.IdentityVarsAtLevel(1);
+  ASSERT_EQ(level1.size(), 1u);
+  EXPECT_EQ(level1[0], (VarIndex{1, 1}));
+  auto level2 = tree.IdentityVarsAtLevel(2);
+  EXPECT_GE(level2.size(), 3u);  // nationkey(s), partkeys
+  for (size_t i = 1; i < level2.size(); ++i) {
+    EXPECT_LT(level2[i - 1].q, level2[i].q);
+  }
+  // Values (e.g. the supplier's name) are not identity variables.
+  auto name_index = tree.IndexOf({"s", "name"});
+  ASSERT_TRUE(name_index.ok());
+  EXPECT_FALSE(tree.IsIdentityVar(*name_index));
+}
+
+TEST_F(ViewTreeTest, ExplicitSkolemOverridesIdentity) {
+  ViewTree tree = MustBuildTree(R"(
+    from Supplier $s construct
+    <supplier ID=SK($s.nationkey)>
+      <name>$s.name</name>
+    </supplier>
+  )",
+                                db_->catalog());
+  const ViewTreeNode& root = tree.node(0);
+  ASSERT_EQ(root.args.size(), 1u);
+  EXPECT_EQ(root.args[0].field.ToString(), "$s.nationkey");
+  EXPECT_EQ(root.skolem_name, "SK");
+}
+
+TEST_F(ViewTreeTest, ErrorOnUnknownTable) {
+  auto parsed = rxl::ParseRxl("from Nope $n construct <e>$n.x</e>");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(ViewTree::Build(*parsed, db_->catalog()).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ViewTreeTest, ErrorOnUnknownColumn) {
+  auto parsed =
+      rxl::ParseRxl("from Supplier $s construct <e>$s.nope</e>");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(ViewTree::Build(*parsed, db_->catalog()).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ViewTreeTest, ErrorOnUnboundVariable) {
+  auto parsed = rxl::ParseRxl("from Supplier $s construct <e>$t.x</e>");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(ViewTree::Build(*parsed, db_->catalog()).ok());
+}
+
+TEST_F(ViewTreeTest, ErrorOnShadowedVariable) {
+  auto parsed = rxl::ParseRxl(R"(
+    from Supplier $s construct
+    <a>{ from Nation $s construct <b>$s.name</b> }</a>
+  )");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(ViewTree::Build(*parsed, db_->catalog()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ViewTreeTest, ErrorOnMultipleRootElements) {
+  auto parsed = rxl::ParseRxl("from Supplier $s construct <a/> <b/>");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(ViewTree::Build(*parsed, db_->catalog()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ViewTreeTest, FusionRejectsMismatchedTags) {
+  auto parsed = rxl::ParseRxl(R"(
+    from Supplier $s construct
+    <a><b ID=F($s.suppkey)/><c ID=F($s.suppkey)/></a>
+  )");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(ViewTree::Build(*parsed, db_->catalog()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ViewTreeTest, FusionAcrossParentsUnsupported) {
+  auto parsed = rxl::ParseRxl(R"(
+    from Supplier $s construct
+    <a><x><b ID=F($s.suppkey)/></x><y><b ID=F($s.suppkey)/></y></a>
+  )");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(ViewTree::Build(*parsed, db_->catalog()).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST_F(ViewTreeTest, SiblingFusionMergesIntoOneNode) {
+  // Suppliers and customers fused into one <contact> set per nation.
+  ViewTree tree = MustBuildTree(R"(
+    from Nation $n construct
+    <nation ID=N($n.nationkey)>
+      { from Supplier $s where $s.nationkey = $n.nationkey
+        construct <contact ID=C($n.nationkey, $s.name)>$s.name</contact> }
+      { from Customer $c where $c.nationkey = $n.nationkey
+        construct <contact ID=C($n.nationkey, $c.name)>$c.name</contact> }
+    </nation>
+  )",
+                                db_->catalog());
+  ASSERT_EQ(tree.num_nodes(), 2u);  // nation + one fused contact node
+  const ViewTreeNode& contact = tree.node(1);
+  EXPECT_TRUE(contact.fused());
+  EXPECT_EQ(contact.AllRules().size(), 2u);
+  // Both rules share the identity columns and carry their own value.
+  const auto rules = contact.AllRules();
+  EXPECT_EQ(rules[0].atoms.size(), 2u);  // Nation, Supplier
+  EXPECT_EQ(rules[1].atoms.size(), 2u);  // Nation, Customer
+  EXPECT_FALSE(AtMostOne(contact.edge_label));
+}
+
+TEST_F(ViewTreeTest, ExplicitSkolemMustIncludeParentIdentity) {
+  auto parsed = rxl::ParseRxl(R"(
+    from Supplier $s construct
+    <supplier>
+      { from Nation $n where $s.nationkey = $n.nationkey
+        construct <nation ID=N($n.nationkey)>$n.name</nation> }
+    </supplier>
+  )");
+  ASSERT_TRUE(parsed.ok());
+  // N(nationkey) omits the parent's suppkey: the stream merge could not
+  // align such instances.
+  auto tree = ViewTree::Build(*parsed, db_->catalog());
+  EXPECT_EQ(tree.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ViewTreeTest, EdgesEnumeratedInBfsOrder) {
+  ViewTree tree = MustBuildTree(Query1Rxl(), db_->catalog());
+  auto edges = tree.Edges();
+  ASSERT_EQ(edges.size(), 9u);
+  for (const auto& [parent, child] : edges) {
+    EXPECT_LT(parent, child);
+    EXPECT_EQ(tree.node(child).parent, parent);
+  }
+}
+
+TEST_F(ViewTreeTest, ToStringMentionsEveryNode) {
+  ViewTree tree = MustBuildTree(Query1Rxl(), db_->catalog());
+  std::string rendered = tree.ToString();
+  for (const auto& n : tree.nodes()) {
+    EXPECT_NE(rendered.find(n.skolem_name), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace silkroute::core

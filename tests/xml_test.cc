@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/random.h"
+#include "xml/escape.h"
+#include "xml/reader.h"
+#include "xml/writer.h"
+
+namespace silkroute::xml {
+namespace {
+
+TEST(EscapeTest, TextEscapesMarkup) {
+  EXPECT_EQ(EscapeText("a<b>&c"), "a&lt;b&gt;&amp;c");
+  EXPECT_EQ(EscapeText("plain"), "plain");
+  EXPECT_EQ(EscapeText("\"quotes'"), "\"quotes'");  // unescaped in text
+}
+
+TEST(EscapeTest, AttributeEscapesQuotes) {
+  EXPECT_EQ(EscapeAttribute("a\"b'c"), "a&quot;b&apos;c");
+}
+
+TEST(EscapeTest, UnescapeStandardEntities) {
+  EXPECT_EQ(Unescape("&lt;&gt;&amp;&quot;&apos;"), "<>&\"'");
+}
+
+TEST(EscapeTest, UnescapeCharacterReferences) {
+  EXPECT_EQ(Unescape("&#65;&#x42;"), "AB");
+}
+
+TEST(EscapeTest, UnescapeLeavesUnknownEntities) {
+  EXPECT_EQ(Unescape("&unknown;"), "&unknown;");
+  EXPECT_EQ(Unescape("a & b"), "a & b");  // bare ampersand preserved
+}
+
+TEST(EscapeTest, RoundTripProperty) {
+  Random rng(3);
+  for (int i = 0; i < 200; ++i) {
+    std::string s;
+    for (int j = 0; j < 20; ++j) {
+      const char alphabet[] = "ab<>&\"' ";
+      s.push_back(alphabet[rng.Uniform(0, 7)]);
+    }
+    EXPECT_EQ(Unescape(EscapeText(s)), s);
+    EXPECT_EQ(Unescape(EscapeAttribute(s)), s);
+  }
+}
+
+TEST(XmlWriterTest, SimpleDocument) {
+  std::ostringstream out;
+  XmlWriter w(&out);
+  ASSERT_TRUE(w.StartElement("root").ok());
+  ASSERT_TRUE(w.Text("hi").ok());
+  ASSERT_TRUE(w.Finish().ok());
+  EXPECT_EQ(out.str(),
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?><root>hi</root>");
+}
+
+TEST(XmlWriterTest, SelfClosingEmptyElement) {
+  std::ostringstream out;
+  XmlWriter::Options opts;
+  opts.declaration = false;
+  XmlWriter w(&out, opts);
+  ASSERT_TRUE(w.StartElement("a").ok());
+  ASSERT_TRUE(w.StartElement("b").ok());
+  ASSERT_TRUE(w.EndElement().ok());
+  ASSERT_TRUE(w.Finish().ok());
+  EXPECT_EQ(out.str(), "<a><b/></a>");
+}
+
+TEST(XmlWriterTest, AttributesOnlyBeforeContent) {
+  std::ostringstream out;
+  XmlWriter::Options opts;
+  opts.declaration = false;
+  XmlWriter w(&out, opts);
+  ASSERT_TRUE(w.StartElement("a").ok());
+  ASSERT_TRUE(w.Attribute("k", "v\"w").ok());
+  ASSERT_TRUE(w.Text("t").ok());
+  EXPECT_FALSE(w.Attribute("late", "x").ok());
+  ASSERT_TRUE(w.Finish().ok());
+  EXPECT_EQ(out.str(), "<a k=\"v&quot;w\">t</a>");
+}
+
+TEST(XmlWriterTest, TextEscaped) {
+  std::ostringstream out;
+  XmlWriter::Options opts;
+  opts.declaration = false;
+  XmlWriter w(&out, opts);
+  ASSERT_TRUE(w.StartElement("a").ok());
+  ASSERT_TRUE(w.Text("<&>").ok());
+  ASSERT_TRUE(w.Finish().ok());
+  EXPECT_EQ(out.str(), "<a>&lt;&amp;&gt;</a>");
+}
+
+TEST(XmlWriterTest, ErrorsOnMisuse) {
+  std::ostringstream out;
+  XmlWriter w(&out);
+  EXPECT_FALSE(w.Text("orphan").ok());
+  EXPECT_FALSE(w.EndElement().ok());
+  EXPECT_FALSE(w.StartElement("").ok());
+}
+
+TEST(XmlWriterTest, FinishClosesAllOpenElements) {
+  std::ostringstream out;
+  XmlWriter::Options opts;
+  opts.declaration = false;
+  XmlWriter w(&out, opts);
+  ASSERT_TRUE(w.StartElement("a").ok());
+  ASSERT_TRUE(w.StartElement("b").ok());
+  ASSERT_TRUE(w.StartElement("c").ok());
+  EXPECT_EQ(w.depth(), 3u);
+  ASSERT_TRUE(w.Finish().ok());
+  EXPECT_EQ(w.depth(), 0u);
+  EXPECT_EQ(out.str(), "<a><b><c/></b></a>");
+}
+
+TEST(XmlWriterTest, PrettyPrintingIndents) {
+  std::ostringstream out;
+  XmlWriter::Options opts;
+  opts.declaration = false;
+  opts.pretty = true;
+  XmlWriter w(&out, opts);
+  ASSERT_TRUE(w.StartElement("a").ok());
+  ASSERT_TRUE(w.StartElement("b").ok());
+  ASSERT_TRUE(w.Text("x").ok());
+  ASSERT_TRUE(w.Finish().ok());
+  EXPECT_EQ(out.str(), "<a>\n  <b>x</b>\n</a>\n");
+}
+
+TEST(XmlWriterTest, BytesWrittenTracked) {
+  std::ostringstream out;
+  XmlWriter::Options opts;
+  opts.declaration = false;
+  XmlWriter w(&out, opts);
+  ASSERT_TRUE(w.StartElement("a").ok());
+  ASSERT_TRUE(w.Finish().ok());
+  EXPECT_EQ(w.bytes_written(), out.str().size());
+}
+
+TEST(XmlReaderTest, ParsesNestedElements) {
+  auto doc = ParseXml("<a><b>x</b><b>y</b><c/></a>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ((*doc)->name, "a");
+  EXPECT_EQ((*doc)->NumChildren(), 3u);
+  EXPECT_EQ((*doc)->Children("b").size(), 2u);
+  EXPECT_EQ((*doc)->FirstChild("b")->text, "x");
+  EXPECT_EQ((*doc)->FirstChild("missing"), nullptr);
+}
+
+TEST(XmlReaderTest, ParsesAttributes) {
+  auto doc = ParseXml("<a k=\"v\" x='y&amp;z'/>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ((*doc)->attributes.at("k"), "v");
+  EXPECT_EQ((*doc)->attributes.at("x"), "y&z");
+}
+
+TEST(XmlReaderTest, SkipsDeclarationDoctypeAndComments) {
+  auto doc = ParseXml(
+      "<?xml version=\"1.0\"?><!DOCTYPE a><!-- hi --><a><!-- in -->x</a>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ((*doc)->text, "x");
+}
+
+TEST(XmlReaderTest, UnescapesText) {
+  auto doc = ParseXml("<a>&lt;tag&gt; &amp; more</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->text, "<tag> & more");
+}
+
+TEST(XmlReaderTest, ErrorsOnMalformedInput) {
+  EXPECT_FALSE(ParseXml("<a><b></a></b>").ok());   // mismatched close
+  EXPECT_FALSE(ParseXml("<a>").ok());              // unterminated
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());         // two roots
+  EXPECT_FALSE(ParseXml("<a k=v/>").ok());         // unquoted attribute
+  EXPECT_FALSE(ParseXml("plain text").ok());       // no element
+}
+
+TEST(XmlReaderTest, WriterReaderRoundTrip) {
+  std::ostringstream out;
+  XmlWriter w(&out);
+  ASSERT_TRUE(w.StartElement("root").ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(w.StartElement("item").ok());
+    ASSERT_TRUE(w.Attribute("id", std::to_string(i)).ok());
+    ASSERT_TRUE(w.Text("v<" + std::to_string(i) + ">&").ok());
+    ASSERT_TRUE(w.EndElement().ok());
+  }
+  ASSERT_TRUE(w.Finish().ok());
+  auto doc = ParseXml(out.str());
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  auto items = (*doc)->Children("item");
+  ASSERT_EQ(items.size(), 5u);
+  EXPECT_EQ(items[3]->attributes.at("id"), "3");
+  EXPECT_EQ(items[3]->text, "v<3>&");
+}
+
+TEST(XmlReaderTest, DeepNestingRoundTrip) {
+  std::ostringstream out;
+  XmlWriter::Options opts;
+  opts.declaration = false;
+  XmlWriter w(&out, opts);
+  const int kDepth = 200;
+  for (int i = 0; i < kDepth; ++i) {
+    ASSERT_TRUE(w.StartElement("d").ok());
+  }
+  ASSERT_TRUE(w.Finish().ok());
+  auto doc = ParseXml(out.str());
+  ASSERT_TRUE(doc.ok());
+  const XmlNode* node = doc->get();
+  int depth = 1;
+  while (node->NumChildren() > 0) {
+    node = node->children[0].get();
+    ++depth;
+  }
+  EXPECT_EQ(depth, kDepth);
+}
+
+}  // namespace
+}  // namespace silkroute::xml

@@ -1,0 +1,238 @@
+// silkroute: the middle-ware as a command-line tool.
+//
+//   silkroute --schema schema.sql --data dir/ --view view.rxl [options]
+//
+// Loads a relational database from a DDL file plus per-table CSV files
+// (dir/<Table>.csv), compiles the RXL view, and publishes the XML document.
+//
+// Options:
+//   --schema FILE      CREATE TABLE statements (required)
+//   --data DIR         directory with <Table>.csv files (default: schema dir)
+//   --view FILE        RXL view query (required unless --demo)
+//   --output FILE      write XML here (default: stdout)
+//   --root NAME        wrap the document in this element
+//   --strategy S       greedy | unified | partitioned | outer-union
+//   --subview PATH     publish only /a[b='x']/c of the view
+//   --explain          print the view tree, plan, and SQL; no execution
+//   --dtd              print the DTD derived from the view and exit
+//   --pretty           indent the XML output
+//   --no-reduce        disable view-tree reduction
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "relational/csv.h"
+#include "silkroute/dtdgen.h"
+#include "silkroute/partition.h"
+#include "silkroute/publisher.h"
+#include "rxl/parser.h"
+#include "silkroute/subview.h"
+#include "sql/ddl.h"
+
+using namespace silkroute;
+using namespace silkroute::core;
+
+namespace {
+
+struct Args {
+  std::string schema;
+  std::string data;
+  std::string view;
+  std::string output;
+  std::string root;
+  std::string strategy = "greedy";
+  std::string subview;
+  bool explain = false;
+  bool dtd = false;
+  bool pretty = false;
+  bool reduce = true;
+};
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --schema schema.sql --view view.rxl [--data dir] "
+               "[--output file] [--root name] [--strategy greedy|unified|"
+               "partitioned|outer-union] [--subview path] [--explain] "
+               "[--dtd] [--pretty] [--no-reduce]\n";
+  return 2;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+#define CLI_CHECK(expr)                                       \
+  do {                                                        \
+    auto&& _cli_result = (expr);                              \
+    if (!_cli_result.ok()) {                                  \
+      std::cerr << "error: " << _cli_result.status() << "\n"; \
+      return 1;                                               \
+    }                                                         \
+  } while (false)
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--schema") {
+      args.schema = next() ? argv[i] : "";
+    } else if (flag == "--data") {
+      args.data = next() ? argv[i] : "";
+    } else if (flag == "--view") {
+      args.view = next() ? argv[i] : "";
+    } else if (flag == "--output") {
+      args.output = next() ? argv[i] : "";
+    } else if (flag == "--root") {
+      args.root = next() ? argv[i] : "";
+    } else if (flag == "--strategy") {
+      args.strategy = next() ? argv[i] : "";
+    } else if (flag == "--subview") {
+      args.subview = next() ? argv[i] : "";
+    } else if (flag == "--explain") {
+      args.explain = true;
+    } else if (flag == "--dtd") {
+      args.dtd = true;
+    } else if (flag == "--pretty") {
+      args.pretty = true;
+    } else if (flag == "--no-reduce") {
+      args.reduce = false;
+    } else {
+      std::cerr << "unknown flag '" << flag << "'\n";
+      return Usage(argv[0]);
+    }
+  }
+  if (args.schema.empty() || args.view.empty()) return Usage(argv[0]);
+
+  // 1. Schema.
+  Database db;
+  {
+    auto ddl = ReadFile(args.schema);
+    CLI_CHECK(ddl);
+    auto created = sql::ExecuteDdl(*ddl, &db);
+    CLI_CHECK(created);
+    std::cerr << "created " << *created << " table(s)\n";
+  }
+
+  // 2. Data (skipped for --explain / --dtd without a data dir).
+  std::string data_dir = args.data;
+  if (data_dir.empty()) {
+    size_t slash = args.schema.find_last_of('/');
+    data_dir = slash == std::string::npos ? "." : args.schema.substr(0, slash);
+  }
+  size_t total_rows = 0;
+  for (const std::string& table : db.catalog().TableNames()) {
+    std::string path = data_dir + "/" + table + ".csv";
+    std::ifstream probe(path);
+    if (!probe.is_open()) continue;
+    probe.close();
+    auto loaded = LoadCsvFile(path, CsvLoadOptions{}, table, &db);
+    CLI_CHECK(loaded);
+    total_rows += *loaded;
+  }
+  std::cerr << "loaded " << total_rows << " row(s), "
+            << db.TotalByteSize() << " bytes\n";
+
+  // 3. View.
+  auto view_text = ReadFile(args.view);
+  CLI_CHECK(view_text);
+  std::string rxl = *view_text;
+  if (!args.subview.empty()) {
+    auto parsed = rxl::ParseRxl(rxl);
+    CLI_CHECK(parsed);
+    auto composed = ComposeSubview(*parsed, args.subview);
+    CLI_CHECK(composed);
+    rxl = composed->ToString();
+  }
+
+  Publisher publisher(&db);
+  auto tree = publisher.BuildViewTree(rxl);
+  CLI_CHECK(tree);
+
+  if (args.dtd) {
+    auto dtd = GenerateDtdText(*tree, args.root);
+    CLI_CHECK(dtd);
+    std::cout << *dtd;
+    return 0;
+  }
+
+  PublishOptions options;
+  options.document_element = args.root;
+  options.pretty = args.pretty;
+  options.reduce = args.reduce;
+  if (args.strategy == "greedy") {
+    options.strategy = PlanStrategy::kGreedy;
+  } else if (args.strategy == "unified") {
+    options.strategy = PlanStrategy::kUnified;
+  } else if (args.strategy == "partitioned") {
+    options.strategy = PlanStrategy::kFullyPartitioned;
+  } else if (args.strategy == "outer-union") {
+    options.strategy = PlanStrategy::kUnified;
+    options.style = SqlGenStyle::kOuterUnion;
+    options.reduce = false;
+  } else {
+    std::cerr << "unknown strategy '" << args.strategy << "'\n";
+    return Usage(argv[0]);
+  }
+
+  if (args.explain) {
+    std::cout << "view tree:\n" << tree->ToString() << "\n";
+    uint64_t mask;
+    if (options.strategy == PlanStrategy::kGreedy) {
+      GreedyParams params = options.greedy;
+      params.style = options.style;
+      params.reduce = options.reduce;
+      auto plan = GeneratePlanGreedy(*tree, publisher.estimator(), params);
+      CLI_CHECK(plan);
+      std::cout << "greedy " << plan->ToString(*tree) << "\n";
+      mask = plan->FullMask();
+    } else if (options.strategy == PlanStrategy::kFullyPartitioned) {
+      mask = 0;
+    } else {
+      mask = Partition::Unified(*tree).mask();
+    }
+    auto partition = Partition::FromMask(*tree, mask);
+    CLI_CHECK(partition);
+    std::cout << "plan: " << partition->ToString() << "\n";
+    SqlGenerator gen(&*tree, options.style, options.reduce);
+    auto specs = gen.GeneratePlan(*partition);
+    CLI_CHECK(specs);
+    for (const auto& spec : *specs) {
+      auto est = publisher.estimator()->EstimateSql(spec.sql);
+      CLI_CHECK(est);
+      std::cout << "-- rows~" << static_cast<long long>(est->rows)
+                << " cost~" << static_cast<long long>(est->cost) << "\n"
+                << spec.sql << "\n";
+    }
+    return 0;
+  }
+
+  std::ofstream file_out;
+  std::ostream* out = &std::cout;
+  if (!args.output.empty()) {
+    file_out.open(args.output);
+    if (!file_out.is_open()) {
+      std::cerr << "error: cannot write '" << args.output << "'\n";
+      return 1;
+    }
+    out = &file_out;
+  }
+  auto result = publisher.Publish(rxl, options, out);
+  CLI_CHECK(result);
+  std::cerr << "published " << result->metrics.xml_bytes << " bytes via "
+            << result->metrics.num_streams << " SQL quer"
+            << (result->metrics.num_streams == 1 ? "y" : "ies") << " in "
+            << result->metrics.total_ms() << " ms\n";
+  return 0;
+}

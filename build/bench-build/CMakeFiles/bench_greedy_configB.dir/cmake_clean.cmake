@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_greedy_configB"
+  "../bench/bench_greedy_configB.pdb"
+  "CMakeFiles/bench_greedy_configB.dir/bench_greedy_configB.cc.o"
+  "CMakeFiles/bench_greedy_configB.dir/bench_greedy_configB.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_greedy_configB.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_greedy_plans"
+  "../bench/bench_greedy_plans.pdb"
+  "CMakeFiles/bench_greedy_plans.dir/bench_greedy_plans.cc.o"
+  "CMakeFiles/bench_greedy_plans.dir/bench_greedy_plans.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_greedy_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_query2_exhaustive"
+  "../bench/bench_query2_exhaustive.pdb"
+  "CMakeFiles/bench_query2_exhaustive.dir/bench_query2_exhaustive.cc.o"
+  "CMakeFiles/bench_query2_exhaustive.dir/bench_query2_exhaustive.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query2_exhaustive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

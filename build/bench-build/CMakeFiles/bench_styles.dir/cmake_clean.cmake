@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_styles"
+  "../bench/bench_styles.pdb"
+  "CMakeFiles/bench_styles.dir/bench_styles.cc.o"
+  "CMakeFiles/bench_styles.dir/bench_styles.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_styles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

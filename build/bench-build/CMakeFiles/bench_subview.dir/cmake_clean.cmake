@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_subview"
+  "../bench/bench_subview.pdb"
+  "CMakeFiles/bench_subview.dir/bench_subview.cc.o"
+  "CMakeFiles/bench_subview.dir/bench_subview.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_subview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

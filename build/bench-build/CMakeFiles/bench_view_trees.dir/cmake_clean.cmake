@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_view_trees"
+  "../bench/bench_view_trees.pdb"
+  "CMakeFiles/bench_view_trees.dir/bench_view_trees.cc.o"
+  "CMakeFiles/bench_view_trees.dir/bench_view_trees.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_view_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/b2b_catalog.dir/b2b_catalog.cpp.o"
+  "CMakeFiles/b2b_catalog.dir/b2b_catalog.cpp.o.d"
+  "b2b_catalog"
+  "b2b_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/b2b_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

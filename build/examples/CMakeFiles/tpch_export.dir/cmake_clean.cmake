@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_export.dir/tpch_export.cpp.o"
+  "CMakeFiles/tpch_export.dir/tpch_export.cpp.o.d"
+  "tpch_export"
+  "tpch_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

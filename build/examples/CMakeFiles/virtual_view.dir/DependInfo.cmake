@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/virtual_view.cpp" "examples/CMakeFiles/virtual_view.dir/virtual_view.cpp.o" "gcc" "examples/CMakeFiles/virtual_view.dir/virtual_view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/silkroute/CMakeFiles/silk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/silk_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/silk_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/rxl/CMakeFiles/silk_rxl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/silk_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/silk_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/silk_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/silk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silk_common.dir/random.cc.o"
+  "CMakeFiles/silk_common.dir/random.cc.o.d"
+  "CMakeFiles/silk_common.dir/status.cc.o"
+  "CMakeFiles/silk_common.dir/status.cc.o.d"
+  "CMakeFiles/silk_common.dir/string_util.cc.o"
+  "CMakeFiles/silk_common.dir/string_util.cc.o.d"
+  "libsilk_common.a"
+  "libsilk_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silk_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/estimator.cc" "src/engine/CMakeFiles/silk_engine.dir/estimator.cc.o" "gcc" "src/engine/CMakeFiles/silk_engine.dir/estimator.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/engine/CMakeFiles/silk_engine.dir/executor.cc.o" "gcc" "src/engine/CMakeFiles/silk_engine.dir/executor.cc.o.d"
+  "/root/repo/src/engine/expr_eval.cc" "src/engine/CMakeFiles/silk_engine.dir/expr_eval.cc.o" "gcc" "src/engine/CMakeFiles/silk_engine.dir/expr_eval.cc.o.d"
+  "/root/repo/src/engine/rel_schema.cc" "src/engine/CMakeFiles/silk_engine.dir/rel_schema.cc.o" "gcc" "src/engine/CMakeFiles/silk_engine.dir/rel_schema.cc.o.d"
+  "/root/repo/src/engine/stats.cc" "src/engine/CMakeFiles/silk_engine.dir/stats.cc.o" "gcc" "src/engine/CMakeFiles/silk_engine.dir/stats.cc.o.d"
+  "/root/repo/src/engine/tuple_stream.cc" "src/engine/CMakeFiles/silk_engine.dir/tuple_stream.cc.o" "gcc" "src/engine/CMakeFiles/silk_engine.dir/tuple_stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/silk_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/silk_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/silk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

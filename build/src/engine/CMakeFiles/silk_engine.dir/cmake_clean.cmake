@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silk_engine.dir/estimator.cc.o"
+  "CMakeFiles/silk_engine.dir/estimator.cc.o.d"
+  "CMakeFiles/silk_engine.dir/executor.cc.o"
+  "CMakeFiles/silk_engine.dir/executor.cc.o.d"
+  "CMakeFiles/silk_engine.dir/expr_eval.cc.o"
+  "CMakeFiles/silk_engine.dir/expr_eval.cc.o.d"
+  "CMakeFiles/silk_engine.dir/rel_schema.cc.o"
+  "CMakeFiles/silk_engine.dir/rel_schema.cc.o.d"
+  "CMakeFiles/silk_engine.dir/stats.cc.o"
+  "CMakeFiles/silk_engine.dir/stats.cc.o.d"
+  "CMakeFiles/silk_engine.dir/tuple_stream.cc.o"
+  "CMakeFiles/silk_engine.dir/tuple_stream.cc.o.d"
+  "libsilk_engine.a"
+  "libsilk_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silk_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

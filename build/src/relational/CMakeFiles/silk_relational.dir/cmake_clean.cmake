@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silk_relational.dir/catalog.cc.o"
+  "CMakeFiles/silk_relational.dir/catalog.cc.o.d"
+  "CMakeFiles/silk_relational.dir/csv.cc.o"
+  "CMakeFiles/silk_relational.dir/csv.cc.o.d"
+  "CMakeFiles/silk_relational.dir/database.cc.o"
+  "CMakeFiles/silk_relational.dir/database.cc.o.d"
+  "CMakeFiles/silk_relational.dir/schema.cc.o"
+  "CMakeFiles/silk_relational.dir/schema.cc.o.d"
+  "CMakeFiles/silk_relational.dir/table.cc.o"
+  "CMakeFiles/silk_relational.dir/table.cc.o.d"
+  "CMakeFiles/silk_relational.dir/tuple.cc.o"
+  "CMakeFiles/silk_relational.dir/tuple.cc.o.d"
+  "CMakeFiles/silk_relational.dir/value.cc.o"
+  "CMakeFiles/silk_relational.dir/value.cc.o.d"
+  "libsilk_relational.a"
+  "libsilk_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silk_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

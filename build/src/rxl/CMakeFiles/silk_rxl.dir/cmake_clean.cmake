@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silk_rxl.dir/ast.cc.o"
+  "CMakeFiles/silk_rxl.dir/ast.cc.o.d"
+  "CMakeFiles/silk_rxl.dir/parser.cc.o"
+  "CMakeFiles/silk_rxl.dir/parser.cc.o.d"
+  "libsilk_rxl.a"
+  "libsilk_rxl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silk_rxl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/silkroute/dtdgen.cc" "src/silkroute/CMakeFiles/silk_core.dir/dtdgen.cc.o" "gcc" "src/silkroute/CMakeFiles/silk_core.dir/dtdgen.cc.o.d"
+  "/root/repo/src/silkroute/greedy.cc" "src/silkroute/CMakeFiles/silk_core.dir/greedy.cc.o" "gcc" "src/silkroute/CMakeFiles/silk_core.dir/greedy.cc.o.d"
+  "/root/repo/src/silkroute/labeling.cc" "src/silkroute/CMakeFiles/silk_core.dir/labeling.cc.o" "gcc" "src/silkroute/CMakeFiles/silk_core.dir/labeling.cc.o.d"
+  "/root/repo/src/silkroute/partition.cc" "src/silkroute/CMakeFiles/silk_core.dir/partition.cc.o" "gcc" "src/silkroute/CMakeFiles/silk_core.dir/partition.cc.o.d"
+  "/root/repo/src/silkroute/publisher.cc" "src/silkroute/CMakeFiles/silk_core.dir/publisher.cc.o" "gcc" "src/silkroute/CMakeFiles/silk_core.dir/publisher.cc.o.d"
+  "/root/repo/src/silkroute/queries.cc" "src/silkroute/CMakeFiles/silk_core.dir/queries.cc.o" "gcc" "src/silkroute/CMakeFiles/silk_core.dir/queries.cc.o.d"
+  "/root/repo/src/silkroute/source.cc" "src/silkroute/CMakeFiles/silk_core.dir/source.cc.o" "gcc" "src/silkroute/CMakeFiles/silk_core.dir/source.cc.o.d"
+  "/root/repo/src/silkroute/sqlgen.cc" "src/silkroute/CMakeFiles/silk_core.dir/sqlgen.cc.o" "gcc" "src/silkroute/CMakeFiles/silk_core.dir/sqlgen.cc.o.d"
+  "/root/repo/src/silkroute/subview.cc" "src/silkroute/CMakeFiles/silk_core.dir/subview.cc.o" "gcc" "src/silkroute/CMakeFiles/silk_core.dir/subview.cc.o.d"
+  "/root/repo/src/silkroute/tagger.cc" "src/silkroute/CMakeFiles/silk_core.dir/tagger.cc.o" "gcc" "src/silkroute/CMakeFiles/silk_core.dir/tagger.cc.o.d"
+  "/root/repo/src/silkroute/view_tree.cc" "src/silkroute/CMakeFiles/silk_core.dir/view_tree.cc.o" "gcc" "src/silkroute/CMakeFiles/silk_core.dir/view_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rxl/CMakeFiles/silk_rxl.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/silk_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/silk_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/silk_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/silk_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/silk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silk_core.dir/dtdgen.cc.o"
+  "CMakeFiles/silk_core.dir/dtdgen.cc.o.d"
+  "CMakeFiles/silk_core.dir/greedy.cc.o"
+  "CMakeFiles/silk_core.dir/greedy.cc.o.d"
+  "CMakeFiles/silk_core.dir/labeling.cc.o"
+  "CMakeFiles/silk_core.dir/labeling.cc.o.d"
+  "CMakeFiles/silk_core.dir/partition.cc.o"
+  "CMakeFiles/silk_core.dir/partition.cc.o.d"
+  "CMakeFiles/silk_core.dir/publisher.cc.o"
+  "CMakeFiles/silk_core.dir/publisher.cc.o.d"
+  "CMakeFiles/silk_core.dir/queries.cc.o"
+  "CMakeFiles/silk_core.dir/queries.cc.o.d"
+  "CMakeFiles/silk_core.dir/source.cc.o"
+  "CMakeFiles/silk_core.dir/source.cc.o.d"
+  "CMakeFiles/silk_core.dir/sqlgen.cc.o"
+  "CMakeFiles/silk_core.dir/sqlgen.cc.o.d"
+  "CMakeFiles/silk_core.dir/subview.cc.o"
+  "CMakeFiles/silk_core.dir/subview.cc.o.d"
+  "CMakeFiles/silk_core.dir/tagger.cc.o"
+  "CMakeFiles/silk_core.dir/tagger.cc.o.d"
+  "CMakeFiles/silk_core.dir/view_tree.cc.o"
+  "CMakeFiles/silk_core.dir/view_tree.cc.o.d"
+  "libsilk_core.a"
+  "libsilk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

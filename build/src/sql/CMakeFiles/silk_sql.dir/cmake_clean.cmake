@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silk_sql.dir/ast.cc.o"
+  "CMakeFiles/silk_sql.dir/ast.cc.o.d"
+  "CMakeFiles/silk_sql.dir/ddl.cc.o"
+  "CMakeFiles/silk_sql.dir/ddl.cc.o.d"
+  "CMakeFiles/silk_sql.dir/lexer.cc.o"
+  "CMakeFiles/silk_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/silk_sql.dir/parser.cc.o"
+  "CMakeFiles/silk_sql.dir/parser.cc.o.d"
+  "libsilk_sql.a"
+  "libsilk_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silk_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

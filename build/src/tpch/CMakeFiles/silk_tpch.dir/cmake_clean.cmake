@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silk_tpch.dir/generator.cc.o"
+  "CMakeFiles/silk_tpch.dir/generator.cc.o.d"
+  "CMakeFiles/silk_tpch.dir/schema.cc.o"
+  "CMakeFiles/silk_tpch.dir/schema.cc.o.d"
+  "libsilk_tpch.a"
+  "libsilk_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silk_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsilk_tpch.a"
+)

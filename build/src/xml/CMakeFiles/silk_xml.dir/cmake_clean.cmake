@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silk_xml.dir/dtd.cc.o"
+  "CMakeFiles/silk_xml.dir/dtd.cc.o.d"
+  "CMakeFiles/silk_xml.dir/escape.cc.o"
+  "CMakeFiles/silk_xml.dir/escape.cc.o.d"
+  "CMakeFiles/silk_xml.dir/reader.cc.o"
+  "CMakeFiles/silk_xml.dir/reader.cc.o.d"
+  "CMakeFiles/silk_xml.dir/writer.cc.o"
+  "CMakeFiles/silk_xml.dir/writer.cc.o.d"
+  "libsilk_xml.a"
+  "libsilk_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silk_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

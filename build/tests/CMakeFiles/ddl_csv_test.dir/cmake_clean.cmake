@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddl_csv_test.dir/ddl_csv_test.cc.o"
+  "CMakeFiles/ddl_csv_test.dir/ddl_csv_test.cc.o.d"
+  "ddl_csv_test"
+  "ddl_csv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddl_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

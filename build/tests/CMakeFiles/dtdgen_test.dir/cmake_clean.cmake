@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtdgen_test.dir/dtdgen_test.cc.o"
+  "CMakeFiles/dtdgen_test.dir/dtdgen_test.cc.o.d"
+  "dtdgen_test"
+  "dtdgen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtdgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

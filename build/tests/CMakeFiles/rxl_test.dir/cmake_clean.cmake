@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rxl_test.dir/rxl_test.cc.o"
+  "CMakeFiles/rxl_test.dir/rxl_test.cc.o.d"
+  "rxl_test"
+  "rxl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rxl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

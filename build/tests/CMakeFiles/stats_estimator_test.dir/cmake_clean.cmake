@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_estimator_test.dir/stats_estimator_test.cc.o"
+  "CMakeFiles/stats_estimator_test.dir/stats_estimator_test.cc.o.d"
+  "stats_estimator_test"
+  "stats_estimator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

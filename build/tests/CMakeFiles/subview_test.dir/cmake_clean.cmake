@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subview_test.dir/subview_test.cc.o"
+  "CMakeFiles/subview_test.dir/subview_test.cc.o.d"
+  "subview_test"
+  "subview_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subview_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

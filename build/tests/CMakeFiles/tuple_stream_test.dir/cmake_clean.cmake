@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuple_stream_test.dir/tuple_stream_test.cc.o"
+  "CMakeFiles/tuple_stream_test.dir/tuple_stream_test.cc.o.d"
+  "tuple_stream_test"
+  "tuple_stream_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuple_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_tree_test.dir/view_tree_test.cc.o"
+  "CMakeFiles/view_tree_test.dir/view_tree_test.cc.o.d"
+  "view_tree_test"
+  "view_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silkroute_cli.dir/silkroute_cli.cc.o"
+  "CMakeFiles/silkroute_cli.dir/silkroute_cli.cc.o.d"
+  "silkroute"
+  "silkroute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silkroute_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_publish "/root/repo/build/tools/silkroute" "--schema" "/root/repo/examples/demo/schema.sql" "--view" "/root/repo/examples/demo/view.rxl" "--root" "league" "--pretty")
+set_tests_properties(cli_publish PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_dtd "/root/repo/build/tools/silkroute" "--schema" "/root/repo/examples/demo/schema.sql" "--view" "/root/repo/examples/demo/view.rxl" "--root" "league" "--dtd")
+set_tests_properties(cli_dtd PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_explain "/root/repo/build/tools/silkroute" "--schema" "/root/repo/examples/demo/schema.sql" "--view" "/root/repo/examples/demo/view.rxl" "--explain")
+set_tests_properties(cli_explain PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_subview "/root/repo/build/tools/silkroute" "--schema" "/root/repo/examples/demo/schema.sql" "--view" "/root/repo/examples/demo/view.rxl" "--subview" "/team[name='Rovers']/player" "--root" "result")
+set_tests_properties(cli_subview PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_fusion "/root/repo/build/tools/silkroute" "--schema" "/root/repo/examples/demo_integration/schema.sql" "--view" "/root/repo/examples/demo_integration/view.rxl" "--root" "directory" "--pretty")
+set_tests_properties(cli_fusion PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")

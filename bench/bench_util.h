@@ -4,6 +4,11 @@
 //   SILK_SCALE_A  -- "Config A" database scale (default 0.025, ~1 MB)
 //   SILK_SCALE_B  -- "Config B" database scale (default 0.25, ~10 MB)
 //   SILK_REPEAT   -- repetitions per measured plan (default 1)
+//
+// Faulty-source scenario (FaultySource below):
+//   SILK_FAULT_PROB        -- per-query flake probability (default 0.1)
+//   SILK_FAULT_SEED        -- fault policy seed (default 1)
+//   SILK_FAULT_LATENCY_MS  -- injected latency per query (default 0)
 #ifndef SILKROUTE_BENCH_BENCH_UTIL_H_
 #define SILKROUTE_BENCH_BENCH_UTIL_H_
 
@@ -13,6 +18,7 @@
 #include <sstream>
 #include <string>
 
+#include "engine/fault_injection.h"
 #include "relational/database.h"
 #include "silkroute/publisher.h"
 #include "tpch/generator.h"
@@ -68,6 +74,39 @@ inline core::PlanMetrics MeasurePlan(core::Publisher& publisher,
   }
   return best;
 }
+
+/// Faulty-source scenario: an unreliable wire to the RDBMS, seeded so runs
+/// are reproducible. Point `PublishOptions::executor` at executor() to
+/// measure plan families under source flakiness — degradation shifts the
+/// unified/partitioned trade-off, since big components are both the fastest
+/// healthy plans and the most expensive ones to lose and re-plan.
+///
+///   bench::FaultySource source(db.get());
+///   options.executor = source.executor();
+///   auto metrics = MeasurePlan(publisher, tree, mask, options);
+///   // metrics.retries / metrics.degraded_components tell the story.
+class FaultySource {
+ public:
+  explicit FaultySource(const Database* db)
+      : db_executor_(db), faulty_(&db_executor_, MakePolicy()) {}
+
+  engine::SqlExecutor* executor() { return &faulty_; }
+  const engine::FaultStats& stats() const { return faulty_.stats(); }
+
+ private:
+  static engine::FaultPolicy MakePolicy() {
+    engine::FaultPolicy policy;
+    policy.seed = static_cast<uint64_t>(EnvInt("SILK_FAULT_SEED", 1));
+    engine::FaultRule rule;
+    rule.flake_probability = EnvScale("SILK_FAULT_PROB", 0.1);
+    rule.latency_ms = EnvScale("SILK_FAULT_LATENCY_MS", 0);
+    policy.rules.push_back(rule);
+    return policy;
+  }
+
+  engine::DatabaseExecutor db_executor_;
+  engine::FaultInjectingExecutor faulty_;
+};
 
 inline const char* Header(const std::string& title) {
   static std::string buffer;

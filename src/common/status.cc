@@ -33,6 +33,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "ConstraintViolation";
     case StatusCode::kTimeout:
       return "Timeout";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

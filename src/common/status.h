@@ -23,6 +23,10 @@ enum class StatusCode {
   kTypeError,
   kConstraintViolation,
   kTimeout,
+  /// The source (remote RDBMS) is transiently unreachable; retryable.
+  kUnavailable,
+  /// A quota — notably the plan-wide retry budget — is used up; permanent.
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
@@ -70,6 +74,12 @@ class Status {
   }
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

@@ -111,6 +111,9 @@ Tuple NullPadded(const Tuple& left, size_t right_width) {
 }  // namespace
 
 Result<Relation> QueryExecutor::ExecuteSql(std::string_view sql_text) {
+  // The timeout caps each query, not the executor: re-arm the deadline so a
+  // reused executor does not charge query N+1 for query N's elapsed time.
+  has_deadline_ = false;
   SILK_ASSIGN_OR_RETURN(sql::QueryPtr q, sql::ParseQuery(sql_text));
   return Execute(*q);
 }

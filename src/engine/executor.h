@@ -46,19 +46,37 @@ struct ExecStats {
   uint64_t index_probes = 0;      // rows fetched through a secondary index
 };
 
-class QueryExecutor {
+/// Abstract connection to the target RDBMS: one ExecuteSql call per
+/// component query. The middle-ware's fault-tolerance stack is built from
+/// implementations of this interface — QueryExecutor / DatabaseExecutor at
+/// the bottom, FaultInjectingExecutor (fault_injection.h) simulating an
+/// unreliable wire, ResilientExecutor (resilient_executor.h) adding retries
+/// on top.
+class SqlExecutor {
+ public:
+  virtual ~SqlExecutor() = default;
+
+  virtual Result<Relation> ExecuteSql(std::string_view sql) = 0;
+
+  /// Wall-clock cap per ExecuteSql call in milliseconds (the paper capped
+  /// each sub-query at five minutes); exceeding it yields kTimeout.
+  /// 0 disables.
+  virtual void set_timeout_ms(double timeout_ms) = 0;
+};
+
+class QueryExecutor : public SqlExecutor {
  public:
   explicit QueryExecutor(const Database* db) : db_(db) {}
 
   /// Executes a parsed query.
   Result<Relation> Execute(const sql::Query& query);
 
-  /// Parses and executes SQL text (the middle-ware entry point).
-  Result<Relation> ExecuteSql(std::string_view sql);
+  /// Parses and executes SQL text (the middle-ware entry point). The
+  /// deadline is re-armed on every call: the timeout caps one query, not
+  /// the lifetime of the executor.
+  Result<Relation> ExecuteSql(std::string_view sql) override;
 
-  /// Aborts execution with kTimeout once this much wall time has elapsed
-  /// (the paper capped each sub-query at five minutes). 0 disables.
-  void set_timeout_ms(double timeout_ms) { timeout_ms_ = timeout_ms; }
+  void set_timeout_ms(double timeout_ms) override { timeout_ms_ = timeout_ms; }
 
   const ExecStats& stats() const { return stats_; }
   void ResetStats() { stats_ = ExecStats(); }
@@ -95,6 +113,32 @@ class QueryExecutor {
   // Rows of the pre-projection relation aligned 1:1 with the latest core's
   // output rows, so ORDER BY can reference non-projected columns.
   Relation last_preprojection_;
+};
+
+/// SqlExecutor over a local Database: a fresh QueryExecutor per call, so
+/// per-query state (deadline, stats) can never leak across component
+/// queries of a plan.
+class DatabaseExecutor : public SqlExecutor {
+ public:
+  explicit DatabaseExecutor(const Database* db) : db_(db) {}
+
+  Result<Relation> ExecuteSql(std::string_view sql) override {
+    QueryExecutor executor(db_);
+    if (timeout_ms_ > 0) executor.set_timeout_ms(timeout_ms_);
+    auto result = executor.ExecuteSql(sql);
+    stats_ = executor.stats();
+    return result;
+  }
+
+  void set_timeout_ms(double timeout_ms) override { timeout_ms_ = timeout_ms; }
+
+  /// Stats of the most recent query.
+  const ExecStats& stats() const { return stats_; }
+
+ private:
+  const Database* db_;
+  double timeout_ms_ = 0;
+  ExecStats stats_;
 };
 
 }  // namespace silkroute::engine

@@ -1,0 +1,128 @@
+#include "engine/fault_injection.h"
+
+#include <cctype>
+#include <chrono>
+#include <thread>
+
+namespace silkroute::engine {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+char LowerChar(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+}  // namespace
+
+bool SqlReferencesTable(std::string_view sql, std::string_view table) {
+  if (table.empty()) return true;
+  if (table.size() > sql.size()) return false;
+  for (size_t i = 0; i + table.size() <= sql.size(); ++i) {
+    bool match = true;
+    for (size_t j = 0; j < table.size(); ++j) {
+      if (LowerChar(sql[i + j]) != LowerChar(table[j])) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    if (i > 0 && IsIdentChar(sql[i - 1])) continue;
+    size_t end = i + table.size();
+    if (end < sql.size() && IsIdentChar(sql[end])) continue;
+    return true;
+  }
+  return false;
+}
+
+FaultInjectingExecutor::FaultInjectingExecutor(SqlExecutor* inner,
+                                               FaultPolicy policy)
+    : inner_(inner),
+      policy_(std::move(policy)),
+      rng_(policy_.seed),
+      rule_applications_(policy_.rules.size(), 0) {}
+
+int FaultInjectingExecutor::IndexOf(const std::string& sql) {
+  auto [it, inserted] =
+      sql_index_.emplace(sql, static_cast<int>(sql_index_.size()));
+  return it->second;
+}
+
+void FaultInjectingExecutor::Sleep(double ms) {
+  if (ms <= 0) return;
+  stats_.injected_latency_ms += ms;
+  if (sleep_fn_) {
+    sleep_fn_(ms);
+  } else {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(ms));
+  }
+}
+
+Result<Relation> FaultInjectingExecutor::ExecuteSql(std::string_view sql) {
+  ++stats_.executions;
+  std::string sql_text(sql);
+  int index = IndexOf(sql_text);
+
+  // Collect the rules that apply to this execution; `times` is consumed
+  // even when a later injection (e.g. truncation) ends up dominating.
+  std::vector<const FaultRule*> active;
+  for (size_t r = 0; r < policy_.rules.size(); ++r) {
+    const FaultRule& rule = policy_.rules[r];
+    if (!SqlReferencesTable(sql_text, rule.table)) continue;
+    if (rule.query_index >= 0 && rule.query_index != index) continue;
+    if (rule.times >= 0 && rule_applications_[r] >= rule.times) continue;
+    ++rule_applications_[r];
+    active.push_back(&rule);
+  }
+
+  double latency = 0;
+  int truncate_after = -1;
+  double per_row_delay = 0;
+  for (const FaultRule* rule : active) {
+    latency += rule->latency_ms;
+    per_row_delay += rule->per_row_delay_ms;
+    if (rule->truncate_after_rows >= 0 &&
+        (truncate_after < 0 || rule->truncate_after_rows < truncate_after)) {
+      truncate_after = rule->truncate_after_rows;
+    }
+  }
+  Sleep(latency);
+
+  for (const FaultRule* rule : active) {
+    bool fire = rule->fail ||
+                (rule->flake_probability > 0 &&
+                 rng_.Bernoulli(rule->flake_probability));
+    if (fire) {
+      ++stats_.injected_failures;
+      return Status(rule->code, rule->message + " (query #" +
+                                    std::to_string(index) + ")");
+    }
+  }
+
+  auto result = inner_->ExecuteSql(sql);
+  if (!result.ok()) return result;
+  Relation rel = std::move(result).value();
+
+  size_t transferred = rel.rows.size();
+  if (truncate_after >= 0 && rel.rows.size() > static_cast<size_t>(truncate_after)) {
+    transferred = static_cast<size_t>(truncate_after);
+  }
+  Sleep(per_row_delay * static_cast<double>(transferred));
+
+  if (transferred < rel.rows.size()) {
+    // The wire format is length-prefixed, so a dropped connection is always
+    // detected; partial data never leaks out as a complete result.
+    ++stats_.truncated_streams;
+    return Status::Unavailable(
+        "stream truncated after " + std::to_string(transferred) + " of " +
+        std::to_string(rel.rows.size()) + " rows (query #" +
+        std::to_string(index) + ")");
+  }
+  return rel;
+}
+
+}  // namespace silkroute::engine

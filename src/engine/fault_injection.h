@@ -1,0 +1,108 @@
+// FaultInjectingExecutor: simulates an unreliable connection to the remote
+// RDBMS (the paper's middle-ware reaches its source over a wire protocol;
+// the mediation line of related work treats source unavailability as the
+// normal case). It wraps an inner SqlExecutor and, driven by a
+// deterministic seeded policy, injects
+//
+//  - transient or permanent Unavailable (or other) errors,
+//  - fixed latency per query and per-row "trickle" latency,
+//  - truncated streams: the connection drops after N transferred rows —
+//    the wire format is length-prefixed, so a dropped connection is always
+//    *detected* (kUnavailable with truncation context), never silently
+//    returned as partial data,
+//  - seeded coin-flip flakiness.
+//
+// Rules match per table name and/or per query index (the arrival order of
+// distinct SQL texts — retries of a query keep its index, degraded
+// sub-queries get fresh ones), so tests can target one component of a plan.
+#ifndef SILKROUTE_ENGINE_FAULT_INJECTION_H_
+#define SILKROUTE_ENGINE_FAULT_INJECTION_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "engine/executor.h"
+
+namespace silkroute::engine {
+
+/// One fault-injection rule. All matchers must hold for the rule to apply;
+/// a defaulted matcher ("" / -1) holds for every query.
+struct FaultRule {
+  // --- Matchers ---------------------------------------------------------
+  /// Case-insensitive identifier match against the SQL text ("" = any).
+  std::string table;
+  /// Index of the distinct SQL text in arrival order (-1 = any). Retries
+  /// re-use the first occurrence's index.
+  int query_index = -1;
+  /// Apply to only the first N matching executions (-1 = all). N=1 with
+  /// `fail` makes a transient error; -1 makes a permanent one.
+  int times = -1;
+
+  // --- Injected behaviours ---------------------------------------------
+  /// Fail with `code` before touching the inner executor.
+  bool fail = false;
+  /// Fail with `code` with this probability (seeded, deterministic).
+  double flake_probability = 0;
+  StatusCode code = StatusCode::kUnavailable;
+  std::string message = "injected fault";
+  /// Drop the connection after transferring this many rows (-1 = off).
+  /// Surfaces as kUnavailable naming the truncation point.
+  int truncate_after_rows = -1;
+  /// Latency added to each matching execution, in milliseconds.
+  double latency_ms = 0;
+  /// Trickling stream: extra latency per transferred row, in milliseconds.
+  double per_row_delay_ms = 0;
+};
+
+struct FaultPolicy {
+  uint64_t seed = 1;
+  std::vector<FaultRule> rules;
+};
+
+struct FaultStats {
+  int executions = 0;         // ExecuteSql calls seen
+  int injected_failures = 0;  // fail / flake errors returned
+  int truncated_streams = 0;  // connections dropped mid-stream
+  double injected_latency_ms = 0;
+};
+
+class FaultInjectingExecutor : public SqlExecutor {
+ public:
+  FaultInjectingExecutor(SqlExecutor* inner, FaultPolicy policy);
+
+  Result<Relation> ExecuteSql(std::string_view sql) override;
+  void set_timeout_ms(double timeout_ms) override {
+    inner_->set_timeout_ms(timeout_ms);
+  }
+
+  const FaultStats& stats() const { return stats_; }
+
+  /// Replaces the real sleep used for injected latency (tests pass a
+  /// recorder; injected latency is then charged to stats only).
+  void set_sleep_fn(std::function<void(double)> sleep_fn) {
+    sleep_fn_ = std::move(sleep_fn);
+  }
+
+ private:
+  int IndexOf(const std::string& sql);
+  void Sleep(double ms);
+
+  SqlExecutor* inner_;
+  FaultPolicy policy_;
+  Random rng_;
+  FaultStats stats_;
+  std::map<std::string, int> sql_index_;   // SQL text -> arrival index
+  std::vector<int> rule_applications_;     // per-rule matched-execution count
+  std::function<void(double)> sleep_fn_;   // null = real sleep
+};
+
+/// True if `sql` references `table` as a whole identifier, ignoring case.
+bool SqlReferencesTable(std::string_view sql, std::string_view table);
+
+}  // namespace silkroute::engine
+
+#endif  // SILKROUTE_ENGINE_FAULT_INJECTION_H_

@@ -1,0 +1,80 @@
+#include "engine/resilient_executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace silkroute::engine {
+
+bool IsRetryableStatusCode(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kTimeout;
+}
+
+ResilientExecutor::ResilientExecutor(SqlExecutor* inner, RetryOptions options)
+    : inner_(inner),
+      options_(std::move(options)),
+      jitter_(options_.jitter_seed) {
+  options_.max_attempts = std::max(options_.max_attempts, 1);
+}
+
+void ResilientExecutor::Sleep(double ms) {
+  if (ms <= 0) return;
+  if (options_.sleep_fn) {
+    options_.sleep_fn(ms);
+  } else {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(ms));
+  }
+}
+
+Result<Relation> ResilientExecutor::ExecuteSql(std::string_view sql) {
+  report_.queries.emplace_back();
+  // The report may reallocate inside nested calls; index, don't hold a ref.
+  size_t slot = report_.queries.size() - 1;
+  report_.queries[slot].query_index = static_cast<int>(slot);
+  report_.queries[slot].sql = std::string(sql);
+
+  for (int attempt = 1;; ++attempt) {
+    report_.queries[slot].attempts = attempt;
+    inner_->set_timeout_ms(options_.query_deadline_ms);
+    auto result = inner_->ExecuteSql(sql);
+    if (result.ok()) {
+      report_.queries[slot].final_status = Status::OK();
+      return result;
+    }
+    Status status = result.status();
+    report_.queries[slot].final_status = status;
+
+    bool retryable = IsRetryableStatusCode(status.code());
+    if (status.code() == StatusCode::kTimeout) {
+      // A timeout is retried at most once: the deadline caps the query
+      // itself, so a second timeout means the query is too heavy for the
+      // source and the caller should degrade the plan instead.
+      ++report_.queries[slot].timeout_attempts;
+      if (report_.queries[slot].timeout_attempts > 1) retryable = false;
+    }
+    if (!retryable || attempt >= options_.max_attempts) return status;
+
+    if (budget_used_ >= options_.retry_budget) {
+      return Status::ResourceExhausted(
+          "retry budget (" + std::to_string(options_.retry_budget) +
+          ") exhausted at query #" + std::to_string(slot) +
+          " attempt " + std::to_string(attempt) + "; last error: " +
+          status.ToString());
+    }
+    ++budget_used_;
+
+    double backoff =
+        options_.initial_backoff_ms *
+        std::pow(options_.backoff_multiplier, static_cast<double>(attempt - 1));
+    backoff = std::min(backoff, options_.max_backoff_ms);
+    // Full-range jitter in [0.5, 1.0]x keeps retries de-synchronized while
+    // staying deterministic under the seed.
+    backoff *= 0.5 + 0.5 * jitter_.NextDouble();
+    report_.queries[slot].backoff_ms += backoff;
+    Sleep(backoff);
+  }
+}
+
+}  // namespace silkroute::engine

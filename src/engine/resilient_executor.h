@@ -1,0 +1,105 @@
+// ResilientExecutor: the retry layer of the fault-tolerance stack. Wraps a
+// SqlExecutor (the real connection, or a FaultInjectingExecutor in tests)
+// and gives each component query
+//
+//  - a per-query deadline (forwarded to the inner executor, which enforces
+//    it as kTimeout — re-armed per query, never per plan),
+//  - bounded retries with exponential backoff and seeded jitter,
+//  - a retry *budget* shared across all queries of the plan: once spent,
+//    the next needed retry fails the plan with kResourceExhausted.
+//
+// Status codes are classified retryable (kUnavailable; kTimeout, at most
+// once per query — a repeat timeout means the query itself is too heavy and
+// should be degraded, not re-run) vs. permanent (everything else). Every
+// attempt is recorded in an ExecutionReport the publisher surfaces through
+// PlanMetrics.
+#ifndef SILKROUTE_ENGINE_RESILIENT_EXECUTOR_H_
+#define SILKROUTE_ENGINE_RESILIENT_EXECUTOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "engine/executor.h"
+
+namespace silkroute::engine {
+
+struct RetryOptions {
+  /// Attempts per query including the first; >= 1.
+  int max_attempts = 3;
+  double initial_backoff_ms = 5;
+  double backoff_multiplier = 2;
+  double max_backoff_ms = 1000;
+  /// Retries (attempts beyond each query's first) shared by the whole plan.
+  int retry_budget = 64;
+  /// Per-attempt wall-clock cap, forwarded to the inner executor (0 = none).
+  double query_deadline_ms = 0;
+  /// Seed for backoff jitter (deterministic across runs).
+  uint64_t jitter_seed = 0x51112;
+  /// Replaces the real backoff sleep (tests pass a recorder).
+  std::function<void(double)> sleep_fn;
+};
+
+/// True for codes worth a retry against the same query (kUnavailable,
+/// kTimeout); false for permanent failures.
+bool IsRetryableStatusCode(StatusCode code);
+
+/// One component query's execution history.
+struct QueryExecution {
+  int query_index = -1;
+  std::string sql;
+  int attempts = 0;          // 1 = succeeded (or died) first try
+  int timeout_attempts = 0;  // attempts that ended in kTimeout
+  double backoff_ms = 0;     // total backoff charged before retries
+  Status final_status;
+};
+
+struct ExecutionReport {
+  std::vector<QueryExecution> queries;
+
+  size_t total_attempts() const {
+    size_t n = 0;
+    for (const auto& q : queries) n += static_cast<size_t>(q.attempts);
+    return n;
+  }
+  size_t total_retries() const {
+    size_t n = 0;
+    for (const auto& q : queries) {
+      if (q.attempts > 1) n += static_cast<size_t>(q.attempts - 1);
+    }
+    return n;
+  }
+};
+
+class ResilientExecutor : public SqlExecutor {
+ public:
+  ResilientExecutor(SqlExecutor* inner, RetryOptions options);
+
+  /// Runs one component query to completion: retries transient failures
+  /// under the budget, then returns the result, the last permanent error,
+  /// or kResourceExhausted when a needed retry has no budget left.
+  Result<Relation> ExecuteSql(std::string_view sql) override;
+
+  void set_timeout_ms(double timeout_ms) override {
+    options_.query_deadline_ms = timeout_ms;
+  }
+
+  const ExecutionReport& report() const { return report_; }
+  int budget_used() const { return budget_used_; }
+  int budget_remaining() const { return options_.retry_budget - budget_used_; }
+
+ private:
+  void Sleep(double ms);
+
+  SqlExecutor* inner_;
+  RetryOptions options_;
+  Random jitter_;
+  ExecutionReport report_;
+  int budget_used_ = 0;
+};
+
+}  // namespace silkroute::engine
+
+#endif  // SILKROUTE_ENGINE_RESILIENT_EXECUTOR_H_

@@ -1,5 +1,10 @@
 #include "silkroute/publisher.h"
 
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <utility>
+
 #include "common/timer.h"
 #include "engine/tuple_stream.h"
 #include "rxl/parser.h"
@@ -63,6 +68,24 @@ Result<PublishResult> Publisher::Publish(std::string_view rxl_text,
   return result;
 }
 
+namespace {
+
+/// True for errors of the *source* (as opposed to bugs in the generated
+/// SQL or the plan): the ones plan degradation can route around.
+bool IsSourceFailure(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kTimeout;
+}
+
+/// A component query awaiting execution; degradation replaces one item
+/// with the two halves of its deepest-edge split, keeping the index of the
+/// original component so degradations are counted once per component.
+struct PendingQuery {
+  StreamSpec spec;
+  size_t origin = 0;
+};
+
+}  // namespace
+
 Result<PlanMetrics> Publisher::ExecutePlan(const ViewTree& tree,
                                            uint64_t mask,
                                            const PublishOptions& options,
@@ -76,35 +99,106 @@ Result<PlanMetrics> Publisher::ExecutePlan(const ViewTree& tree,
   metrics.mask = mask;
   metrics.num_streams = specs.size();
 
+  // The execution stack: the connection (caller-supplied for fault
+  // injection, otherwise the local database) under the resilient retry
+  // layer. Strict mode runs single-attempt with no budget, preserving the
+  // pre-resilience fail-fast behaviour.
+  engine::DatabaseExecutor db_executor(db_);
+  engine::SqlExecutor* connection =
+      options.executor != nullptr ? options.executor : &db_executor;
+  engine::RetryOptions retry = options.retry;
+  retry.query_deadline_ms = options.query_timeout_ms;
+  if (options.strict) {
+    retry.max_attempts = 1;
+    retry.retry_budget = 0;
+  }
+  engine::ResilientExecutor resilient(connection, retry);
+
   // 1. Execute every SQL query at the "server" (query time), then bind the
-  // results to the wire format (bind time).
-  std::vector<std::unique_ptr<engine::TupleStream>> streams;
-  streams.reserve(specs.size());
-  for (const auto& spec : specs) {
-    if (options.collect_sql) metrics.sql.push_back(spec.sql);
-    engine::QueryExecutor executor(db_);
-    if (options.query_timeout_ms > 0) {
-      executor.set_timeout_ms(options.query_timeout_ms);
-    }
+  // results to the wire format (bind time). A component whose query fails
+  // permanently is degraded: split at its deepest kept edge into two
+  // smaller components and re-queued, in the limit one query per node.
+  std::deque<PendingQuery> queue;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    queue.push_back(PendingQuery{std::move(specs[i]), i});
+  }
+  std::set<size_t> degraded_origins;
+  std::vector<std::pair<StreamSpec, std::unique_ptr<engine::TupleStream>>>
+      done;
+  auto finish_metrics = [&] {
+    metrics.exec_report = resilient.report();
+    metrics.attempts = metrics.exec_report.total_attempts();
+    metrics.retries = metrics.exec_report.total_retries();
+    metrics.degraded_components = degraded_origins.size();
+  };
+  while (!queue.empty()) {
+    PendingQuery item = std::move(queue.front());
+    queue.pop_front();
+    if (options.collect_sql) metrics.sql.push_back(item.spec.sql);
+
     Timer query_timer;
-    auto rel_result = executor.ExecuteSql(spec.sql);
-    if (!rel_result.ok()) {
-      if (rel_result.status().code() == StatusCode::kTimeout) {
+    auto rel_result = resilient.ExecuteSql(item.spec.sql);
+    if (rel_result.ok()) {
+      engine::Relation rel = std::move(rel_result).value();
+      metrics.query_ms += query_timer.ElapsedMillis();
+      metrics.rows += rel.rows.size();
+
+      Timer bind_timer;
+      auto stream = std::make_unique<engine::TupleStream>(std::move(rel));
+      metrics.bind_ms += bind_timer.ElapsedMillis();
+      metrics.wire_bytes += stream->wire_bytes();
+      done.emplace_back(std::move(item.spec), std::move(stream));
+      continue;
+    }
+    const Status& status = rel_result.status();
+    // Budget exhaustion always aborts: degrading without retries left would
+    // just re-fail; the caller must raise the budget or go strict.
+    if (status.code() == StatusCode::kResourceExhausted) return status;
+    if (!IsSourceFailure(status.code())) return status;
+    if (options.strict) {
+      if (status.code() == StatusCode::kTimeout) {
         metrics.timed_out = true;
+        finish_metrics();
         return metrics;  // paper: "no time was reported"
       }
-      return rel_result.status();
+      return status;
     }
-    engine::Relation rel = std::move(rel_result).value();
-    metrics.query_ms += query_timer.ElapsedMillis();
-    metrics.rows += rel.rows.size();
 
-    Timer bind_timer;
-    auto stream = std::make_unique<engine::TupleStream>(std::move(rel));
-    metrics.bind_ms += bind_timer.ElapsedMillis();
-    metrics.wire_bytes += stream->wire_bytes();
-    streams.push_back(std::move(stream));
+    int edge = DeepestInternalEdge(tree, item.spec.covered_nodes);
+    if (edge < 0) {
+      // Fully-partitioned limit reached and the single-node query still
+      // fails. A timeout here keeps the paper's reporting; an unavailable
+      // node is skipped (best-effort document, recorded in failed_nodes).
+      if (status.code() == StatusCode::kTimeout) {
+        metrics.timed_out = true;
+        finish_metrics();
+        return metrics;
+      }
+      metrics.failed_nodes.insert(metrics.failed_nodes.end(),
+                                  item.spec.covered_nodes.begin(),
+                                  item.spec.covered_nodes.end());
+      done.emplace_back(std::move(item.spec),
+                        std::make_unique<engine::TupleStream>(
+                            engine::Relation{}));
+      continue;
+    }
+    degraded_origins.insert(item.origin);
+    auto [remainder, subtree] =
+        SplitAtEdge(tree, item.spec.covered_nodes, tree.Edges()[edge]);
+    for (auto* part : {&remainder, &subtree}) {
+      SILK_ASSIGN_OR_RETURN(StreamSpec sub_spec,
+                            gen.GenerateComponent(*part));
+      queue.push_back(PendingQuery{std::move(sub_spec), item.origin});
+    }
   }
+  finish_metrics();
+  metrics.num_streams = done.size();
+
+  // Restore document order after degradation: streams sorted by component
+  // root (the smallest covered node id), exactly GeneratePlan's order.
+  std::sort(done.begin(), done.end(), [](const auto& a, const auto& b) {
+    return a.first.covered_nodes.front() < b.first.covered_nodes.front();
+  });
 
   // 2. Merge + tag (client side; Next() also pays the wire decode).
   xml::XmlWriter::Options writer_options;
@@ -113,9 +207,9 @@ Result<PlanMetrics> Publisher::ExecutePlan(const ViewTree& tree,
   Tagger tagger(&tree, &writer,
                 Tagger::Options{options.document_element});
   std::vector<Tagger::StreamInput> inputs;
-  inputs.reserve(specs.size());
-  for (size_t i = 0; i < specs.size(); ++i) {
-    inputs.push_back({&specs[i], streams[i].get()});
+  inputs.reserve(done.size());
+  for (auto& [spec, stream] : done) {
+    inputs.push_back({&spec, stream.get()});
   }
   Timer tag_timer;
   SILK_RETURN_IF_ERROR(tagger.Run(std::move(inputs)));

@@ -5,7 +5,11 @@
 //      mask, or the greedy algorithm of Sec. 5),
 //   3. generates one SQL query per component,
 //   4. executes them against the target RDBMS, obtaining sorted tuple
-//      streams over a wire protocol, and
+//      streams over a wire protocol — through a resilient layer that
+//      retries transient source failures under a plan-wide budget and, on
+//      permanent failure, degrades the offending component into smaller
+//      queries along the edge-mask lattice (see DESIGN.md "Fault
+//      tolerance"; `strict` restores fail-fast), and
 //   5. merges and tags the streams into the XML document.
 //
 // Timing is reported in the paper's terms: query time (SQL execution at the
@@ -23,6 +27,7 @@
 #include "common/result.h"
 #include "engine/estimator.h"
 #include "engine/executor.h"
+#include "engine/resilient_executor.h"
 #include "engine/stats.h"
 #include "relational/database.h"
 #include "rxl/ast.h"
@@ -55,12 +60,29 @@ struct PublishOptions {
   /// Wrap the instance forest in this document element ("" = none).
   std::string document_element;
   bool pretty = false;
-  /// Per-SQL-query wall-clock cap in milliseconds (0 = none). Plans whose
-  /// queries exceed it report timed_out instead of timings, like the
-  /// paper's 5-minute cap in Sec. 4.
+  /// Wall-clock cap in milliseconds applied to each *component* query
+  /// independently (never to the plan as a whole; 0 = none), like the
+  /// paper's 5-minute per-query cap in Sec. 4. Under the resilient layer a
+  /// timeout is retried once with a fresh deadline; a repeat timeout is
+  /// treated as a permanent source failure (degradation in non-strict
+  /// mode, `timed_out` reporting once no smaller query can be cut).
   double query_timeout_ms = 0;
   /// Keep the generated SQL texts in the result (for logging / EXPLAIN).
+  /// Degraded replacement queries are appended as they are attempted.
   bool collect_sql = true;
+
+  // --- Fault tolerance (see DESIGN.md "Fault tolerance") ----------------
+  /// Fail-fast mode: the first component query that fails permanently (or
+  /// times out) aborts the plan, preserving the pre-resilience behaviour.
+  /// When false (default), the publisher retries transient errors and
+  /// degrades permanently-failing components into smaller queries.
+  bool strict = false;
+  /// Retry/backoff/budget knobs for the resilient execution layer.
+  engine::RetryOptions retry;
+  /// Replacement connection to the RDBMS (borrowed; e.g. a
+  /// FaultInjectingExecutor wrapping a DatabaseExecutor). null = execute
+  /// directly against the publisher's database.
+  engine::SqlExecutor* executor = nullptr;
 };
 
 struct PlanMetrics {
@@ -78,6 +100,21 @@ struct PlanMetrics {
   size_t xml_bytes = 0;
   TaggerStats tagger;
   std::vector<std::string> sql;
+
+  // --- Fault-tolerance outcome ------------------------------------------
+  /// ExecuteSql attempts across every component query (1 per query on a
+  /// healthy run).
+  size_t attempts = 0;
+  /// Attempts beyond each query's first (0 on a healthy run).
+  size_t retries = 0;
+  /// Original components that were re-planned into smaller queries after a
+  /// permanent source failure.
+  size_t degraded_components = 0;
+  /// Nodes whose queries still failed at the fully-partitioned limit; their
+  /// instances are missing from the document (best-effort publishing).
+  std::vector<int> failed_nodes;
+  /// Per-query attempt log from the resilient layer.
+  engine::ExecutionReport exec_report;
 };
 
 struct PublishResult {

@@ -1,6 +1,7 @@
 #include "silkroute/source.h"
 
 #include <map>
+#include <set>
 
 namespace silkroute::core {
 
@@ -81,6 +82,44 @@ Result<uint64_t> MakePermissible(const ViewTree& tree, uint64_t mask,
     if (offender < 0) return mask;
     mask &= ~(uint64_t{1} << offender);
   }
+}
+
+int DeepestInternalEdge(const ViewTree& tree, const std::vector<int>& nodes) {
+  std::set<int> in_set(nodes.begin(), nodes.end());
+  const auto edges = tree.Edges();
+  int best_edge = -1;
+  int best_depth = -1;
+  for (size_t e = 0; e < edges.size(); ++e) {
+    const auto& [parent, child] = edges[e];
+    if (in_set.count(parent) == 0 || in_set.count(child) == 0) continue;
+    int depth = tree.node(child).level();
+    if (depth > best_depth) {
+      best_depth = depth;
+      best_edge = static_cast<int>(e);
+    }
+  }
+  return best_edge;
+}
+
+std::pair<std::vector<int>, std::vector<int>> SplitAtEdge(
+    const ViewTree& tree, const std::vector<int>& nodes,
+    std::pair<int, int> edge) {
+  std::set<int> in_set(nodes.begin(), nodes.end());
+  std::vector<int> remainder, subtree;
+  for (int node : nodes) {
+    // A node falls on the child side iff the cut child is on its path to
+    // the root; the set is connected, so the walk stays inside it.
+    bool under_child = false;
+    for (int cursor = node; cursor != -1; cursor = tree.node(cursor).parent) {
+      if (cursor == edge.second) {
+        under_child = true;
+        break;
+      }
+      if (in_set.count(cursor) == 0) break;
+    }
+    (under_child ? subtree : remainder).push_back(node);
+  }
+  return {std::move(remainder), std::move(subtree)};
 }
 
 }  // namespace silkroute::core

@@ -16,6 +16,8 @@
 #define SILKROUTE_SILKROUTE_SOURCE_H_
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "common/result.h"
 #include "silkroute/partition.h"
@@ -42,6 +44,21 @@ Result<bool> PlanPermissible(const ViewTree& tree, uint64_t mask,
 Result<uint64_t> MakePermissible(const ViewTree& tree, uint64_t mask,
                                  SqlGenStyle style, bool reduce,
                                  const SourceDescription& source);
+
+/// The deepest tree edge with both endpoints in `nodes` (a connected
+/// component's node set — every such edge is a kept edge of the component),
+/// as an index into tree.Edges(); -1 when the set has no internal edge
+/// (single node). This is the cut MakePermissible prefers, reused by the
+/// publisher's plan degradation: cutting the deepest edge first preserves
+/// shallow structure.
+int DeepestInternalEdge(const ViewTree& tree, const std::vector<int>& nodes);
+
+/// Splits a connected node set at tree edge (parent, child) into the
+/// remainder (containing the component root) and the child's subtree, both
+/// ascending. The edge must be internal to `nodes`.
+std::pair<std::vector<int>, std::vector<int>> SplitAtEdge(
+    const ViewTree& tree, const std::vector<int>& nodes,
+    std::pair<int, int> edge);
 
 }  // namespace silkroute::core
 

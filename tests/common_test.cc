@@ -45,8 +45,46 @@ TEST(StatusTest, AllCodesHaveNames) {
         StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
         StatusCode::kUnimplemented, StatusCode::kInternal,
         StatusCode::kParseError, StatusCode::kTypeError,
-        StatusCode::kConstraintViolation, StatusCode::kTimeout}) {
+        StatusCode::kConstraintViolation, StatusCode::kTimeout,
+        StatusCode::kUnavailable, StatusCode::kResourceExhausted}) {
     EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(StatusTest, EveryFactoryRoundTripsCodeNameAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("m"), StatusCode::kInvalidArgument,
+       "InvalidArgument"},
+      {Status::NotFound("m"), StatusCode::kNotFound, "NotFound"},
+      {Status::AlreadyExists("m"), StatusCode::kAlreadyExists,
+       "AlreadyExists"},
+      {Status::OutOfRange("m"), StatusCode::kOutOfRange, "OutOfRange"},
+      {Status::Unimplemented("m"), StatusCode::kUnimplemented,
+       "Unimplemented"},
+      {Status::Internal("m"), StatusCode::kInternal, "Internal"},
+      {Status::ParseError("m"), StatusCode::kParseError, "ParseError"},
+      {Status::TypeError("m"), StatusCode::kTypeError, "TypeError"},
+      {Status::ConstraintViolation("m"), StatusCode::kConstraintViolation,
+       "ConstraintViolation"},
+      {Status::Timeout("m"), StatusCode::kTimeout, "Timeout"},
+      {Status::Unavailable("m"), StatusCode::kUnavailable, "Unavailable"},
+      {Status::ResourceExhausted("m"), StatusCode::kResourceExhausted,
+       "ResourceExhausted"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(c.status.message(), "m");
+    EXPECT_STREQ(StatusCodeToString(c.code), c.name);
+    EXPECT_EQ(c.status.ToString(), std::string(c.name) + ": m");
+    // Copy and equality survive the round-trip for every code.
+    Status copy = c.status;
+    EXPECT_EQ(copy, c.status);
   }
 }
 

@@ -1,10 +1,17 @@
 // Edge-of-domain tests for the full pipeline: empty databases, markup
 // characters in data, deep and wide view trees, zero-match subviews,
-// publisher option combinations, and timeout propagation.
+// publisher option combinations, timeout propagation, and — with the
+// fault-injecting source — retry, degradation, and budget behaviour.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "common/timer.h"
+#include "engine/fault_injection.h"
+#include "engine/resilient_executor.h"
 #include "silkroute/partition.h"
 #include "silkroute/publisher.h"
 #include "silkroute/queries.h"
@@ -242,6 +249,381 @@ TEST(RobustnessTest, NumericValuesRenderCanonically) {
       &publisher, "from N $n construct <v>$n.d</v>", options);
   EXPECT_NE(xml.find("<v>2.5</v>"), std::string::npos) << xml;
   EXPECT_NE(xml.find("<v>3.0</v>"), std::string::npos) << xml;
+}
+
+// ---------------------------------------------------------------------------
+// Fault-tolerant execution: a two-table view published through a
+// FaultInjectingExecutor. The healthy document is the reference; every
+// recovery path must reproduce it byte-identically.
+
+std::unique_ptr<Database> MakeTwoTableDb() {
+  auto db = std::make_unique<Database>();
+  EXPECT_TRUE(sql::ExecuteDdl(
+                  "CREATE TABLE T (k INT PRIMARY KEY, v TEXT);"
+                  "CREATE TABLE U (k INT PRIMARY KEY, w TEXT, tk INT,"
+                  " FOREIGN KEY (tk) REFERENCES T(k))",
+                  db.get())
+                  .ok());
+  EXPECT_TRUE(
+      db->Insert("T", Tuple{Value::Int64(1), Value::String("a")}).ok());
+  EXPECT_TRUE(
+      db->Insert("T", Tuple{Value::Int64(2), Value::String("b")}).ok());
+  EXPECT_TRUE(db->Insert("U", Tuple{Value::Int64(10), Value::String("x"),
+                                    Value::Int64(1)})
+                  .ok());
+  EXPECT_TRUE(db->Insert("U", Tuple{Value::Int64(11), Value::String("y"),
+                                    Value::Int64(1)})
+                  .ok());
+  EXPECT_TRUE(db->Insert("U", Tuple{Value::Int64(12), Value::String("z"),
+                                    Value::Int64(2)})
+                  .ok());
+  return db;
+}
+
+constexpr char kTwoTableRxl[] =
+    "from T $t construct <t><v>$t.v</v>"
+    "{ from U $u where $t.k = $u.tk construct <u>$u.w</u> }</t>";
+
+/// Publishes through a fault policy; `retry` sleeps are recorded, never
+/// slept, so tests stay fast.
+struct FaultyPublishOutcome {
+  Result<PublishResult> result = Status::Internal("publish not run");
+  std::string xml;
+  engine::FaultStats fault_stats;
+};
+
+FaultyPublishOutcome PublishWithFaults(const Database* db,
+                                       const engine::FaultPolicy& policy,
+                                       PublishOptions options) {
+  engine::DatabaseExecutor db_executor(db);
+  engine::FaultInjectingExecutor faulty(&db_executor, policy);
+  faulty.set_sleep_fn([](double) {});
+  options.executor = &faulty;
+  options.retry.sleep_fn = [](double) {};
+  Publisher publisher(db);
+  FaultyPublishOutcome outcome;
+  std::ostringstream out;
+  outcome.result = publisher.Publish(kTwoTableRxl, options, &out);
+  outcome.xml = out.str();
+  outcome.fault_stats = faulty.stats();
+  return outcome;
+}
+
+std::string HealthyReference(const Database* db, PlanStrategy strategy) {
+  Publisher publisher(db);
+  PublishOptions options;
+  options.strategy = strategy;
+  options.document_element = "doc";
+  std::ostringstream out;
+  auto result = publisher.Publish(kTwoTableRxl, options, &out);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return out.str();
+}
+
+TEST(FaultToleranceTest, TransientUnavailableIsRetriedToIdenticalXml) {
+  auto db = MakeTwoTableDb();
+  std::string reference = HealthyReference(db.get(), PlanStrategy::kUnified);
+
+  engine::FaultPolicy policy;
+  engine::FaultRule rule;
+  rule.fail = true;
+  rule.times = 1;  // transient: first execution fails, the retry succeeds
+  policy.rules.push_back(rule);
+
+  PublishOptions options;
+  options.strategy = PlanStrategy::kUnified;
+  options.document_element = "doc";
+  auto outcome = PublishWithFaults(db.get(), policy, options);
+  ASSERT_TRUE(outcome.result.ok()) << outcome.result.status();
+  EXPECT_EQ(outcome.xml, reference);
+  const PlanMetrics& metrics = outcome.result->metrics;
+  EXPECT_EQ(metrics.retries, 1u);
+  EXPECT_EQ(metrics.attempts, 2u);  // one component query, one retry
+  EXPECT_EQ(metrics.degraded_components, 0u);
+  EXPECT_EQ(outcome.fault_stats.injected_failures, 1);
+}
+
+TEST(FaultToleranceTest, PermanentComponentFailureDegradesToIdenticalXml) {
+  auto db = MakeTwoTableDb();
+  std::string reference = HealthyReference(db.get(), PlanStrategy::kUnified);
+
+  // Exactly one component query fails permanently: the unified query
+  // (arrival index 0). Its degraded replacements get fresh indexes and
+  // succeed.
+  engine::FaultPolicy policy;
+  engine::FaultRule rule;
+  rule.fail = true;
+  rule.query_index = 0;
+  policy.rules.push_back(rule);
+
+  PublishOptions options;
+  options.strategy = PlanStrategy::kUnified;
+  options.document_element = "doc";
+  options.retry.max_attempts = 2;
+  auto outcome = PublishWithFaults(db.get(), policy, options);
+  ASSERT_TRUE(outcome.result.ok()) << outcome.result.status();
+  EXPECT_EQ(outcome.xml, reference);
+  const PlanMetrics& metrics = outcome.result->metrics;
+  EXPECT_GE(metrics.degraded_components, 1u);
+  EXPECT_TRUE(metrics.failed_nodes.empty());
+  ASSERT_FALSE(metrics.exec_report.queries.empty());
+  // Per-query attempt counts: the doomed unified query used all its
+  // attempts; every degraded replacement succeeded first try.
+  EXPECT_EQ(metrics.exec_report.queries[0].attempts, 2);
+  EXPECT_EQ(metrics.exec_report.queries[0].final_status.code(),
+            StatusCode::kUnavailable);
+  for (size_t i = 1; i < metrics.exec_report.queries.size(); ++i) {
+    EXPECT_EQ(metrics.exec_report.queries[i].attempts, 1);
+  }
+  EXPECT_GT(metrics.num_streams, 1u);
+}
+
+TEST(FaultToleranceTest, StrictModeFailsFastWithUnavailable) {
+  auto db = MakeTwoTableDb();
+  engine::FaultPolicy policy;
+  engine::FaultRule rule;
+  rule.fail = true;
+  rule.query_index = 0;
+  policy.rules.push_back(rule);
+
+  PublishOptions options;
+  options.strategy = PlanStrategy::kUnified;
+  options.document_element = "doc";
+  options.strict = true;
+  auto outcome = PublishWithFaults(db.get(), policy, options);
+  ASSERT_FALSE(outcome.result.ok());
+  EXPECT_EQ(outcome.result.status().code(), StatusCode::kUnavailable);
+  // Fail-fast means exactly one attempt, no degradation.
+  EXPECT_EQ(outcome.fault_stats.executions, 1);
+}
+
+TEST(FaultToleranceTest, TruncatedStreamIsDetectedAndRetried) {
+  auto db = MakeTwoTableDb();
+  std::string reference = HealthyReference(db.get(), PlanStrategy::kUnified);
+
+  engine::FaultPolicy policy;
+  engine::FaultRule rule;
+  rule.truncate_after_rows = 1;  // connection drops mid-stream, once
+  rule.times = 1;
+  policy.rules.push_back(rule);
+
+  PublishOptions options;
+  options.strategy = PlanStrategy::kUnified;
+  options.document_element = "doc";
+  auto outcome = PublishWithFaults(db.get(), policy, options);
+  ASSERT_TRUE(outcome.result.ok()) << outcome.result.status();
+  // Detection, not silent partial data: the truncated transfer surfaced as
+  // a retryable error and the retry rebuilt the full document.
+  EXPECT_EQ(outcome.xml, reference);
+  EXPECT_EQ(outcome.fault_stats.truncated_streams, 1);
+  EXPECT_EQ(outcome.result->metrics.retries, 1u);
+}
+
+TEST(FaultToleranceTest, TruncationIsNeverSilent) {
+  auto db = MakeTwoTableDb();
+  engine::FaultPolicy policy;
+  engine::FaultRule rule;
+  rule.truncate_after_rows = 1;  // every transfer drops mid-stream
+  policy.rules.push_back(rule);
+
+  PublishOptions options;
+  options.strategy = PlanStrategy::kUnified;
+  options.document_element = "doc";
+  options.strict = true;
+  auto outcome = PublishWithFaults(db.get(), policy, options);
+  ASSERT_FALSE(outcome.result.ok());
+  EXPECT_EQ(outcome.result.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(outcome.result.status().message().find("truncated"),
+            std::string::npos)
+      << outcome.result.status();
+}
+
+TEST(FaultToleranceTest, RetryBudgetExhaustionReturnsResourceExhausted) {
+  auto db = MakeTwoTableDb();
+  engine::FaultPolicy policy;
+  engine::FaultRule rule;
+  rule.fail = true;  // every query, every time
+  policy.rules.push_back(rule);
+
+  PublishOptions options;
+  options.strategy = PlanStrategy::kUnified;
+  options.document_element = "doc";
+  options.retry.max_attempts = 5;
+  options.retry.retry_budget = 1;
+  auto outcome = PublishWithFaults(db.get(), policy, options);
+  ASSERT_FALSE(outcome.result.ok());
+  EXPECT_EQ(outcome.result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(FaultToleranceTest, FailedLeafNodeIsSkippedBestEffort) {
+  auto db = MakeTwoTableDb();
+  // Only queries touching U fail — permanently. At the fully-partitioned
+  // limit the U node cannot be recovered; the document is published
+  // best-effort without its instances and the node is reported.
+  engine::FaultPolicy policy;
+  engine::FaultRule rule;
+  rule.fail = true;
+  rule.table = "U";
+  policy.rules.push_back(rule);
+
+  PublishOptions options;
+  options.strategy = PlanStrategy::kFullyPartitioned;
+  options.document_element = "doc";
+  options.retry.max_attempts = 2;
+  auto outcome = PublishWithFaults(db.get(), policy, options);
+  ASSERT_TRUE(outcome.result.ok()) << outcome.result.status();
+  const PlanMetrics& metrics = outcome.result->metrics;
+  ASSERT_EQ(metrics.failed_nodes.size(), 1u);
+  auto doc = xml::ParseXml(outcome.xml);
+  ASSERT_TRUE(doc.ok()) << outcome.xml;
+  auto ts = (*doc)->Children("t");
+  ASSERT_EQ(ts.size(), 2u);
+  for (const auto* t : ts) {
+    EXPECT_EQ(t->Children("v").size(), 1u);
+    EXPECT_TRUE(t->Children("u").empty());
+  }
+}
+
+TEST(FaultToleranceTest, InjectedLatencyIsChargedDeterministically) {
+  auto db = MakeTwoTableDb();
+  engine::FaultPolicy policy;
+  engine::FaultRule rule;
+  rule.latency_ms = 3;
+  rule.per_row_delay_ms = 1;  // trickling stream
+  policy.rules.push_back(rule);
+
+  engine::DatabaseExecutor db_executor(db.get());
+  engine::FaultInjectingExecutor faulty(&db_executor, policy);
+  double slept = 0;
+  faulty.set_sleep_fn([&](double ms) { slept += ms; });
+  auto rel = faulty.ExecuteSql("SELECT k FROM T ORDER BY k");
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  EXPECT_EQ(rel->rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(slept, 3 + 2 * 1);  // fixed + per-row trickle
+  EXPECT_DOUBLE_EQ(faulty.stats().injected_latency_ms, slept);
+}
+
+// ---------------------------------------------------------------------------
+// Resilient-executor unit behaviour, against a scriptable fake source.
+
+class FakeSource : public engine::SqlExecutor {
+ public:
+  explicit FakeSource(std::vector<Status> script)
+      : script_(std::move(script)) {}
+
+  Result<engine::Relation> ExecuteSql(std::string_view sql) override {
+    ++calls_;
+    if (script_.empty()) return engine::Relation{};
+    Status next = script_.front();
+    script_.erase(script_.begin());
+    if (!next.ok()) return next;
+    return engine::Relation{};
+  }
+  void set_timeout_ms(double) override {}
+  int calls() const { return calls_; }
+
+ private:
+  std::vector<Status> script_;
+  int calls_ = 0;
+};
+
+engine::RetryOptions FastRetry(int max_attempts, int budget) {
+  engine::RetryOptions retry;
+  retry.max_attempts = max_attempts;
+  retry.retry_budget = budget;
+  retry.sleep_fn = [](double) {};
+  return retry;
+}
+
+TEST(ResilientExecutorTest, TimeoutIsRetriedExactlyOnce) {
+  {
+    // One timeout: the single permitted retry recovers.
+    FakeSource source({Status::Timeout("t"), Status::OK()});
+    engine::ResilientExecutor resilient(&source, FastRetry(5, 10));
+    EXPECT_TRUE(resilient.ExecuteSql("SELECT 1").ok());
+    EXPECT_EQ(source.calls(), 2);
+  }
+  {
+    // Two timeouts: permanent despite attempts remaining — the query is
+    // too heavy for the source and must be degraded, not re-run.
+    FakeSource source(
+        {Status::Timeout("t"), Status::Timeout("t"), Status::OK()});
+    engine::ResilientExecutor resilient(&source, FastRetry(5, 10));
+    auto result = resilient.ExecuteSql("SELECT 1");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+    EXPECT_EQ(source.calls(), 2);
+  }
+}
+
+TEST(ResilientExecutorTest, PermanentErrorsAreNotRetried) {
+  FakeSource source({Status::Internal("bug"), Status::OK()});
+  engine::ResilientExecutor resilient(&source, FastRetry(5, 10));
+  auto result = resilient.ExecuteSql("SELECT 1");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(source.calls(), 1);
+}
+
+TEST(ResilientExecutorTest, BackoffIsSeededAndDeterministic) {
+  auto run = [](uint64_t seed) {
+    FakeSource source({Status::Unavailable("u"), Status::Unavailable("u"),
+                       Status::OK()});
+    engine::RetryOptions retry = FastRetry(5, 10);
+    std::vector<double> sleeps;
+    retry.jitter_seed = seed;
+    retry.sleep_fn = [&](double ms) { sleeps.push_back(ms); };
+    engine::ResilientExecutor resilient(&source, retry);
+    EXPECT_TRUE(resilient.ExecuteSql("SELECT 1").ok());
+    return sleeps;
+  };
+  auto a = run(7), b = run(7), c = run(8);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // Exponential growth with jitter in [0.5, 1.0]x of the nominal value.
+  EXPECT_GE(a[0], 0.5 * 5.0);
+  EXPECT_LE(a[0], 5.0);
+  EXPECT_GE(a[1], 0.5 * 10.0);
+  EXPECT_LE(a[1], 10.0);
+}
+
+TEST(ResilientExecutorTest, BudgetIsSharedAcrossQueries) {
+  // Two flaky queries, budget 1: the first consumes the only retry, the
+  // second is denied with kResourceExhausted.
+  FakeSource source({Status::Unavailable("u"), Status::OK(),
+                     Status::Unavailable("u"), Status::OK()});
+  engine::ResilientExecutor resilient(&source, FastRetry(5, 1));
+  EXPECT_TRUE(resilient.ExecuteSql("SELECT 1").ok());
+  auto result = resilient.ExecuteSql("SELECT 2");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(resilient.report().queries.size(), 2u);
+  EXPECT_EQ(resilient.budget_used(), 1);
+}
+
+TEST(ResilientExecutorTest, QueryDeadlineIsPerQueryNotPerExecutor) {
+  // A reused QueryExecutor re-arms its deadline on every ExecuteSql call:
+  // burning wall-clock between two queries must not charge the second one.
+  Database db;
+  ASSERT_TRUE(
+      sql::ExecuteDdl("CREATE TABLE T (k INT PRIMARY KEY)", &db).ok());
+  ASSERT_TRUE(db.Insert("T", Tuple{Value::Int64(1)}).ok());
+  engine::QueryExecutor executor(&db);
+  executor.set_timeout_ms(50);
+  ASSERT_TRUE(executor.ExecuteSql("SELECT k FROM T").ok());
+  Timer wait;
+  while (wait.ElapsedMillis() < 80) {
+  }
+  EXPECT_TRUE(executor.ExecuteSql("SELECT k FROM T").ok());
+}
+
+TEST(FaultInjectionTest, TableMatcherIsWordAndCaseInsensitive) {
+  EXPECT_TRUE(engine::SqlReferencesTable("SELECT * FROM supplier", "SUPPLIER"));
+  EXPECT_TRUE(engine::SqlReferencesTable("SELECT s.x FROM supplier s", "supplier"));
+  EXPECT_FALSE(engine::SqlReferencesTable("SELECT * FROM suppliers", "supplier"));
+  EXPECT_FALSE(engine::SqlReferencesTable("SELECT * FROM my_supplier", "supplier"));
+  EXPECT_TRUE(engine::SqlReferencesTable("anything", ""));
 }
 
 }  // namespace

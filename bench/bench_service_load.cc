@@ -1,0 +1,119 @@
+// Service load benchmark: N concurrent publish requests through the
+// PublishingService, healthy and with one sick backend table. Reports
+// throughput, shed rate, latency percentiles, and the circuit-breaker /
+// degradation counters that explain them.
+//
+// Environment knobs (on top of the bench_util scales):
+//   SILK_SERVICE_REQUESTS    -- concurrent publish requests (default 48)
+//   SILK_SERVICE_WORKERS     -- worker-pool threads (default 8)
+//   SILK_SERVICE_PENDING     -- admission request slots (default 16)
+//   SILK_SERVICE_DEADLINE_MS -- per-request deadline (default 0 = none)
+//   SILK_SICK_TABLE          -- table failed in the sick run (default PartSupp)
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "engine/fault_injection.h"
+#include "service/publishing_service.h"
+#include "silkroute/queries.h"
+
+namespace silkroute::bench {
+namespace {
+
+struct LoadResult {
+  double wall_ms = 0;
+  std::vector<double> latencies_ms;  // admitted requests only
+  size_t shed = 0;
+  service::ServiceMetrics metrics;
+};
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  size_t index = static_cast<size_t>(p * static_cast<double>(values.size()));
+  return values[std::min(index, values.size() - 1)];
+}
+
+LoadResult RunLoad(const Database* db, engine::SqlExecutor* executor,
+                   int requests) {
+  service::ServiceOptions options;
+  options.workers = static_cast<size_t>(EnvInt("SILK_SERVICE_WORKERS", 8));
+  options.admission.max_pending_requests =
+      static_cast<size_t>(EnvInt("SILK_SERVICE_PENDING", 16));
+  options.default_deadline_ms = EnvScale("SILK_SERVICE_DEADLINE_MS", 0);
+  options.retry.sleep_fn = [](double) {};  // keep the sick run fast
+  options.executor = executor;
+  service::PublishingService service(db, options);
+
+  service::ServiceRequest prototype;
+  prototype.rxl = std::string(core::Query1Rxl());
+  prototype.options.document_element = "suppliers";
+
+  std::vector<service::ServiceRequest> batch(static_cast<size_t>(requests),
+                                             prototype);
+  Timer timer;
+  auto responses = service.PublishAll(std::move(batch));
+  LoadResult result;
+  result.wall_ms = timer.ElapsedMillis();
+  for (const auto& response : responses) {
+    if (response.status.code() == StatusCode::kResourceExhausted) {
+      ++result.shed;
+    } else {
+      result.latencies_ms.push_back(response.elapsed_ms);
+    }
+  }
+  result.metrics = service.metrics();
+  return result;
+}
+
+void Report(const char* scenario, const LoadResult& r, int requests) {
+  double served = static_cast<double>(requests) - static_cast<double>(r.shed);
+  double throughput = r.wall_ms > 0 ? served / (r.wall_ms / 1000.0) : 0;
+  std::printf("%-12s %4d req  wall %8.1f ms  %7.1f req/s  shed %4.1f%%  "
+              "p50 %7.1f ms  p95 %7.1f ms\n",
+              scenario, requests, r.wall_ms, throughput,
+              100.0 * static_cast<double>(r.shed) / requests,
+              Percentile(r.latencies_ms, 0.50),
+              Percentile(r.latencies_ms, 0.95));
+  std::printf("             completed %zu  timed_out %zu  failed %zu  "
+              "breaker trips %zu  fast-fails %zu\n",
+              r.metrics.completed, r.metrics.timed_out, r.metrics.failed,
+              r.metrics.breaker_trips, r.metrics.breaker_fast_fails);
+}
+
+}  // namespace
+}  // namespace silkroute::bench
+
+int main() {
+  using namespace silkroute;
+  using namespace silkroute::bench;
+
+  double scale = EnvScale("SILK_SCALE_A", 0.025);
+  int requests = EnvInt("SILK_SERVICE_REQUESTS", 48);
+  auto db = MakeDatabase(scale);
+  std::printf("%s", Header("Service load, Query 1, scale " +
+                           std::to_string(scale)));
+
+  // Healthy source: the service's own DatabaseExecutor.
+  Report("healthy", RunLoad(db.get(), nullptr, requests), requests);
+
+  // One sick table: every query joining it fails permanently. The first
+  // failures trip its breaker; later requests degrade around it without
+  // executing (or retrying) doomed queries.
+  const char* sick_table = std::getenv("SILK_SICK_TABLE");
+  std::string sick = sick_table && sick_table[0] ? sick_table : "PartSupp";
+  engine::DatabaseExecutor db_executor(db.get());
+  engine::FaultPolicy policy;
+  engine::FaultRule rule;
+  rule.table = sick;
+  rule.fail = true;
+  policy.rules.push_back(rule);
+  engine::FaultInjectingExecutor faulty(&db_executor, policy);
+  faulty.set_sleep_fn([](double) {});
+  std::printf("sick table: %s\n", sick.c_str());
+  Report("sick-table", RunLoad(db.get(), &faulty, requests), requests);
+  return 0;
+}

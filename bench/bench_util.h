@@ -91,7 +91,7 @@ class FaultySource {
       : db_executor_(db), faulty_(&db_executor_, MakePolicy()) {}
 
   engine::SqlExecutor* executor() { return &faulty_; }
-  const engine::FaultStats& stats() const { return faulty_.stats(); }
+  engine::FaultStats stats() const { return faulty_.stats(); }
 
  private:
   static engine::FaultPolicy MakePolicy() {

@@ -1,0 +1,55 @@
+// CancelToken: cooperative cancellation for blocking waits. A worker that
+// must back off (retry sleeps, poll loops) sleeps through the token so a
+// service shutdown or deadline expiry wakes it immediately instead of
+// waiting out the full backoff. One token is typically shared by many
+// threads; all members are thread-safe.
+#ifndef SILKROUTE_COMMON_CANCEL_H_
+#define SILKROUTE_COMMON_CANCEL_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace silkroute {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Cancels the token and wakes every thread blocked in SleepFor. Sticky:
+  /// once cancelled, all future sleeps return immediately.
+  void Cancel() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cancelled_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool cancelled() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cancelled_;
+  }
+
+  /// Sleeps up to `ms` milliseconds, returning early on cancellation.
+  /// Returns true if the full sleep elapsed, false if it was interrupted
+  /// (or the token was already cancelled).
+  bool SleepFor(double ms) {
+    if (ms <= 0) return !cancelled();
+    std::unique_lock<std::mutex> lock(mu_);
+    return !cv_.wait_for(lock,
+                         std::chrono::duration<double, std::milli>(ms),
+                         [&] { return cancelled_; });
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool cancelled_ = false;
+};
+
+}  // namespace silkroute
+
+#endif  // SILKROUTE_COMMON_CANCEL_H_

@@ -1,8 +1,18 @@
 // Deterministic pseudo-random generator (xorshift64*), used by the TPC-H
 // generator and property tests so runs are reproducible across platforms.
+//
+// Thread safety: the state advances through an atomic compare-exchange, so
+// one Random instance may be shared by concurrent threads (backoff jitter
+// and fault injection run on service worker threads) without tearing or
+// duplicated values — every draw is some value of the xorshift sequence,
+// taken exactly once. Single-threaded use produces the exact same sequence
+// as before. Note that the *interleaving* of draws across threads is
+// scheduling-dependent; code that needs per-thread determinism should give
+// each thread its own seeded instance.
 #ifndef SILKROUTE_COMMON_RANDOM_H_
 #define SILKROUTE_COMMON_RANDOM_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -12,12 +22,26 @@ class Random {
  public:
   explicit Random(uint64_t seed) : state_(seed == 0 ? 0x9E3779B97F4A7C15ull : seed) {}
 
+  Random(const Random& other)
+      : state_(other.state_.load(std::memory_order_relaxed)) {}
+  Random& operator=(const Random& other) {
+    state_.store(other.state_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
+  }
+
   /// Next raw 64-bit value.
   uint64_t Next() {
-    state_ ^= state_ >> 12;
-    state_ ^= state_ << 25;
-    state_ ^= state_ >> 27;
-    return state_ * 0x2545F4914F6CDD1Dull;
+    uint64_t current = state_.load(std::memory_order_relaxed);
+    uint64_t next;
+    do {
+      next = current;
+      next ^= next >> 12;
+      next ^= next << 25;
+      next ^= next >> 27;
+    } while (!state_.compare_exchange_weak(current, next,
+                                           std::memory_order_relaxed));
+    return next * 0x2545F4914F6CDD1Dull;
   }
 
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
@@ -38,7 +62,7 @@ class Random {
   std::string NextString(size_t length);
 
  private:
-  uint64_t state_;
+  std::atomic<uint64_t> state_;
 };
 
 }  // namespace silkroute

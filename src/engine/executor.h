@@ -14,6 +14,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/result.h"
@@ -62,6 +63,18 @@ class SqlExecutor {
   /// each sub-query at five minutes); exceeding it yields kTimeout.
   /// 0 disables.
   virtual void set_timeout_ms(double timeout_ms) = 0;
+
+  /// Executes with an explicit per-call deadline instead of mutating
+  /// executor state, so one executor can serve concurrent callers with
+  /// different deadlines (the set_timeout_ms / ExecuteSql pair races when
+  /// shared). The default shims onto the stateful pair and is therefore
+  /// only single-thread safe; every executor meant to be shared across
+  /// service workers overrides it.
+  virtual Result<Relation> ExecuteSqlWithDeadline(std::string_view sql,
+                                                  double timeout_ms) {
+    set_timeout_ms(timeout_ms);
+    return ExecuteSql(sql);
+  }
 };
 
 class QueryExecutor : public SqlExecutor {
@@ -117,27 +130,41 @@ class QueryExecutor : public SqlExecutor {
 
 /// SqlExecutor over a local Database: a fresh QueryExecutor per call, so
 /// per-query state (deadline, stats) can never leak across component
-/// queries of a plan.
+/// queries of a plan. ExecuteSqlWithDeadline is fully thread-safe (the
+/// database is read-only during publishing); the stateful pair remains
+/// single-thread only.
 class DatabaseExecutor : public SqlExecutor {
  public:
   explicit DatabaseExecutor(const Database* db) : db_(db) {}
 
   Result<Relation> ExecuteSql(std::string_view sql) override {
+    return ExecuteSqlWithDeadline(sql, timeout_ms_);
+  }
+
+  Result<Relation> ExecuteSqlWithDeadline(std::string_view sql,
+                                          double timeout_ms) override {
     QueryExecutor executor(db_);
-    if (timeout_ms_ > 0) executor.set_timeout_ms(timeout_ms_);
+    if (timeout_ms > 0) executor.set_timeout_ms(timeout_ms);
     auto result = executor.ExecuteSql(sql);
-    stats_ = executor.stats();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_ = executor.stats();
+    }
     return result;
   }
 
   void set_timeout_ms(double timeout_ms) override { timeout_ms_ = timeout_ms; }
 
-  /// Stats of the most recent query.
-  const ExecStats& stats() const { return stats_; }
+  /// Stats of the most recent query (last writer wins under concurrency).
+  ExecStats stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+  }
 
  private:
   const Database* db_;
   double timeout_ms_ = 0;
+  mutable std::mutex stats_mu_;
   ExecStats stats_;
 };
 

@@ -53,7 +53,6 @@ int FaultInjectingExecutor::IndexOf(const std::string& sql) {
 
 void FaultInjectingExecutor::Sleep(double ms) {
   if (ms <= 0) return;
-  stats_.injected_latency_ms += ms;
   if (sleep_fn_) {
     sleep_fn_(ms);
   } else {
@@ -62,48 +61,58 @@ void FaultInjectingExecutor::Sleep(double ms) {
   }
 }
 
-Result<Relation> FaultInjectingExecutor::ExecuteSql(std::string_view sql) {
-  ++stats_.executions;
+Result<Relation> FaultInjectingExecutor::ExecuteSqlWithDeadline(
+    std::string_view sql, double timeout_ms) {
   std::string sql_text(sql);
-  int index = IndexOf(sql_text);
-
-  // Collect the rules that apply to this execution; `times` is consumed
-  // even when a later injection (e.g. truncation) ends up dominating.
-  std::vector<const FaultRule*> active;
-  for (size_t r = 0; r < policy_.rules.size(); ++r) {
-    const FaultRule& rule = policy_.rules[r];
-    if (!SqlReferencesTable(sql_text, rule.table)) continue;
-    if (rule.query_index >= 0 && rule.query_index != index) continue;
-    if (rule.times >= 0 && rule_applications_[r] >= rule.times) continue;
-    ++rule_applications_[r];
-    active.push_back(&rule);
-  }
-
+  int index;
   double latency = 0;
   int truncate_after = -1;
   double per_row_delay = 0;
-  for (const FaultRule* rule : active) {
-    latency += rule->latency_ms;
-    per_row_delay += rule->per_row_delay_ms;
-    if (rule->truncate_after_rows >= 0 &&
-        (truncate_after < 0 || rule->truncate_after_rows < truncate_after)) {
-      truncate_after = rule->truncate_after_rows;
+  Status injected = Status::OK();
+  {
+    // Policy evaluation under the lock; the sleeps and the inner execution
+    // run outside it so concurrent queries proceed in parallel.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.executions;
+    index = IndexOf(sql_text);
+
+    // Collect the rules that apply to this execution; `times` is consumed
+    // even when a later injection (e.g. truncation) ends up dominating.
+    std::vector<const FaultRule*> active;
+    for (size_t r = 0; r < policy_.rules.size(); ++r) {
+      const FaultRule& rule = policy_.rules[r];
+      if (!SqlReferencesTable(sql_text, rule.table)) continue;
+      if (rule.query_index >= 0 && rule.query_index != index) continue;
+      if (rule.times >= 0 && rule_applications_[r] >= rule.times) continue;
+      ++rule_applications_[r];
+      active.push_back(&rule);
     }
+
+    for (const FaultRule* rule : active) {
+      latency += rule->latency_ms;
+      per_row_delay += rule->per_row_delay_ms;
+      if (rule->truncate_after_rows >= 0 &&
+          (truncate_after < 0 || rule->truncate_after_rows < truncate_after)) {
+        truncate_after = rule->truncate_after_rows;
+      }
+    }
+    for (const FaultRule* rule : active) {
+      bool fire = rule->fail ||
+                  (rule->flake_probability > 0 &&
+                   rng_.Bernoulli(rule->flake_probability));
+      if (fire) {
+        ++stats_.injected_failures;
+        injected = Status(rule->code, rule->message + " (query #" +
+                                          std::to_string(index) + ")");
+        break;
+      }
+    }
+    stats_.injected_latency_ms += latency;
   }
   Sleep(latency);
+  if (!injected.ok()) return injected;
 
-  for (const FaultRule* rule : active) {
-    bool fire = rule->fail ||
-                (rule->flake_probability > 0 &&
-                 rng_.Bernoulli(rule->flake_probability));
-    if (fire) {
-      ++stats_.injected_failures;
-      return Status(rule->code, rule->message + " (query #" +
-                                    std::to_string(index) + ")");
-    }
-  }
-
-  auto result = inner_->ExecuteSql(sql);
+  auto result = inner_->ExecuteSqlWithDeadline(sql, timeout_ms);
   if (!result.ok()) return result;
   Relation rel = std::move(result).value();
 
@@ -111,11 +120,17 @@ Result<Relation> FaultInjectingExecutor::ExecuteSql(std::string_view sql) {
   if (truncate_after >= 0 && rel.rows.size() > static_cast<size_t>(truncate_after)) {
     transferred = static_cast<size_t>(truncate_after);
   }
-  Sleep(per_row_delay * static_cast<double>(transferred));
+  double trickle = per_row_delay * static_cast<double>(transferred);
+  if (trickle > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.injected_latency_ms += trickle;
+  }
+  Sleep(trickle);
 
   if (transferred < rel.rows.size()) {
     // The wire format is length-prefixed, so a dropped connection is always
     // detected; partial data never leaks out as a complete result.
+    std::lock_guard<std::mutex> lock(mu_);
     ++stats_.truncated_streams;
     return Status::Unavailable(
         "stream truncated after " + std::to_string(transferred) + " of " +

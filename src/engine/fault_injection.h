@@ -20,6 +20,7 @@
 
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -70,16 +71,26 @@ struct FaultStats {
   double injected_latency_ms = 0;
 };
 
+/// Thread-safe when driven through ExecuteSqlWithDeadline: the policy
+/// bookkeeping (arrival indexes, rule counters, rng, stats) is guarded by a
+/// mutex, while the inner execution runs outside the lock so one sick query
+/// cannot serialize the whole worker pool. The stateful
+/// set_timeout_ms/ExecuteSql pair remains single-thread only.
 class FaultInjectingExecutor : public SqlExecutor {
  public:
   FaultInjectingExecutor(SqlExecutor* inner, FaultPolicy policy);
 
-  Result<Relation> ExecuteSql(std::string_view sql) override;
-  void set_timeout_ms(double timeout_ms) override {
-    inner_->set_timeout_ms(timeout_ms);
+  Result<Relation> ExecuteSql(std::string_view sql) override {
+    return ExecuteSqlWithDeadline(sql, timeout_ms_);
   }
+  Result<Relation> ExecuteSqlWithDeadline(std::string_view sql,
+                                          double timeout_ms) override;
+  void set_timeout_ms(double timeout_ms) override { timeout_ms_ = timeout_ms; }
 
-  const FaultStats& stats() const { return stats_; }
+  FaultStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
 
   /// Replaces the real sleep used for injected latency (tests pass a
   /// recorder; injected latency is then charged to stats only).
@@ -88,12 +99,14 @@ class FaultInjectingExecutor : public SqlExecutor {
   }
 
  private:
-  int IndexOf(const std::string& sql);
+  int IndexOf(const std::string& sql);  // caller holds mu_
   void Sleep(double ms);
 
   SqlExecutor* inner_;
   FaultPolicy policy_;
+  double timeout_ms_ = 0;
   Random rng_;
+  mutable std::mutex mu_;
   FaultStats stats_;
   std::map<std::string, int> sql_index_;   // SQL text -> arrival index
   std::vector<int> rule_applications_;     // per-rule matched-execution count

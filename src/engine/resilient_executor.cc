@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <thread>
 
 namespace silkroute::engine {
@@ -22,10 +23,30 @@ void ResilientExecutor::Sleep(double ms) {
   if (ms <= 0) return;
   if (options_.sleep_fn) {
     options_.sleep_fn(ms);
+  } else if (options_.cancel != nullptr) {
+    // Interruptible: a shutdown wakes the sleeper instead of waiting out
+    // the backoff (up to max_backoff_ms = 1 s by default).
+    options_.cancel->SleepFor(ms);
   } else {
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::milli>(ms));
   }
+}
+
+bool ResilientExecutor::ConsumeRetry() {
+  if (options_.shared_budget != nullptr) {
+    return options_.shared_budget->TryConsume();
+  }
+  if (budget_used_ >= options_.retry_budget) return false;
+  ++budget_used_;
+  return true;
+}
+
+double ResilientExecutor::DeadlineRemainingMs() const {
+  if (!options_.has_deadline) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double, std::milli>(
+             options_.deadline - std::chrono::steady_clock::now())
+      .count();
 }
 
 Result<Relation> ResilientExecutor::ExecuteSql(std::string_view sql) {
@@ -37,8 +58,25 @@ Result<Relation> ResilientExecutor::ExecuteSql(std::string_view sql) {
 
   for (int attempt = 1;; ++attempt) {
     report_.queries[slot].attempts = attempt;
-    inner_->set_timeout_ms(options_.query_deadline_ms);
-    auto result = inner_->ExecuteSql(sql);
+
+    // Clamp this attempt's timeout to the end-to-end deadline so a slow
+    // attempt cannot overshoot the request budget.
+    double timeout_ms = options_.query_deadline_ms;
+    double remaining = DeadlineRemainingMs();
+    if (std::isfinite(remaining)) {
+      if (remaining <= 0) {
+        Status expired = Status::Timeout(
+            "deadline expired before attempt " + std::to_string(attempt) +
+            " of query #" + std::to_string(slot));
+        report_.queries[slot].final_status = expired;
+        ++report_.queries[slot].timeout_attempts;
+        return expired;
+      }
+      timeout_ms = timeout_ms > 0 ? std::min(timeout_ms, remaining)
+                                  : remaining;
+    }
+
+    auto result = inner_->ExecuteSqlWithDeadline(sql, timeout_ms);
     if (result.ok()) {
       report_.queries[slot].final_status = Status::OK();
       return result;
@@ -55,15 +93,22 @@ Result<Relation> ResilientExecutor::ExecuteSql(std::string_view sql) {
       if (report_.queries[slot].timeout_attempts > 1) retryable = false;
     }
     if (!retryable || attempt >= options_.max_attempts) return status;
+    // A cancelled executor abandons retries and surfaces the last error:
+    // the service is shutting down, nobody will consume a late success.
+    if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+      return status;
+    }
 
-    if (budget_used_ >= options_.retry_budget) {
+    if (!ConsumeRetry()) {
+      int budget = options_.shared_budget != nullptr
+                       ? options_.shared_budget->budget()
+                       : options_.retry_budget;
       return Status::ResourceExhausted(
-          "retry budget (" + std::to_string(options_.retry_budget) +
+          "retry budget (" + std::to_string(budget) +
           ") exhausted at query #" + std::to_string(slot) +
           " attempt " + std::to_string(attempt) + "; last error: " +
           status.ToString());
     }
-    ++budget_used_;
 
     double backoff =
         options_.initial_backoff_ms *
@@ -72,8 +117,23 @@ Result<Relation> ResilientExecutor::ExecuteSql(std::string_view sql) {
     // Full-range jitter in [0.5, 1.0]x keeps retries de-synchronized while
     // staying deterministic under the seed.
     backoff *= 0.5 + 0.5 * jitter_.NextDouble();
+    // Sleeping past the deadline would waste the whole backoff on a doomed
+    // request; fail it as a timeout right away.
+    remaining = DeadlineRemainingMs();
+    if (std::isfinite(remaining) && backoff >= remaining) {
+      Status expired = Status::Timeout(
+          "deadline would expire during the " + std::to_string(backoff) +
+          " ms backoff of query #" + std::to_string(slot) + "; last error: " +
+          status.ToString());
+      report_.queries[slot].final_status = expired;
+      ++report_.queries[slot].timeout_attempts;
+      return expired;
+    }
     report_.queries[slot].backoff_ms += backoff;
     Sleep(backoff);
+    if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+      return status;
+    }
   }
 }
 

@@ -13,18 +13,56 @@
 // should be degraded, not re-run) vs. permanent (everything else). Every
 // attempt is recorded in an ExecutionReport the publisher surfaces through
 // PlanMetrics.
+//
+// Concurrency: one ResilientExecutor instance serves one thread (the
+// service layer builds one per component-query task), but instances
+// cooperate through two shared, thread-safe objects: a RetryBudget that
+// meters retries plan- or service-wide, and a CancelToken that makes the
+// backoff sleep interruptible, so draining a worker pool never waits out a
+// full backoff.
 #ifndef SILKROUTE_ENGINE_RESILIENT_EXECUTOR_H_
 #define SILKROUTE_ENGINE_RESILIENT_EXECUTOR_H_
 
+#include <atomic>
+#include <chrono>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "engine/executor.h"
 
 namespace silkroute::engine {
+
+/// A thread-safe retry allowance shared by the ResilientExecutor instances
+/// of one plan (or one service): each retry consumes one unit; once spent,
+/// further retries are denied and the caller fails with kResourceExhausted.
+class RetryBudget {
+ public:
+  explicit RetryBudget(int budget) : budget_(budget) {}
+
+  /// Consumes one retry if any allowance remains.
+  bool TryConsume() {
+    int current = used_.load(std::memory_order_relaxed);
+    while (current < budget_) {
+      if (used_.compare_exchange_weak(current, current + 1,
+                                      std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  int budget() const { return budget_; }
+  int used() const { return used_.load(std::memory_order_relaxed); }
+  int remaining() const { return budget_ - used(); }
+
+ private:
+  const int budget_;
+  std::atomic<int> used_{0};
+};
 
 struct RetryOptions {
   /// Attempts per query including the first; >= 1.
@@ -33,6 +71,7 @@ struct RetryOptions {
   double backoff_multiplier = 2;
   double max_backoff_ms = 1000;
   /// Retries (attempts beyond each query's first) shared by the whole plan.
+  /// Ignored when `shared_budget` is set.
   int retry_budget = 64;
   /// Per-attempt wall-clock cap, forwarded to the inner executor (0 = none).
   double query_deadline_ms = 0;
@@ -40,6 +79,19 @@ struct RetryOptions {
   uint64_t jitter_seed = 0x51112;
   /// Replaces the real backoff sleep (tests pass a recorder).
   std::function<void(double)> sleep_fn;
+
+  // --- Shared-state hooks for concurrent execution (borrowed) -----------
+  /// Meters retries across executor instances; overrides `retry_budget`.
+  RetryBudget* shared_budget = nullptr;
+  /// Interrupts backoff sleeps and abandons further attempts when
+  /// cancelled (service shutdown): ExecuteSql then returns the last
+  /// attempt's error immediately.
+  CancelToken* cancel = nullptr;
+  /// End-to-end deadline this query must not overshoot. Each attempt's
+  /// timeout is clamped to the time remaining, and a backoff that would
+  /// sleep past the deadline returns kTimeout at once.
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
 };
 
 /// True for codes worth a retry against the same query (kUnavailable,
@@ -82,16 +134,33 @@ class ResilientExecutor : public SqlExecutor {
   /// or kResourceExhausted when a needed retry has no budget left.
   Result<Relation> ExecuteSql(std::string_view sql) override;
 
+  Result<Relation> ExecuteSqlWithDeadline(std::string_view sql,
+                                          double timeout_ms) override {
+    options_.query_deadline_ms = timeout_ms;
+    return ExecuteSql(sql);
+  }
+
   void set_timeout_ms(double timeout_ms) override {
     options_.query_deadline_ms = timeout_ms;
   }
 
   const ExecutionReport& report() const { return report_; }
-  int budget_used() const { return budget_used_; }
-  int budget_remaining() const { return options_.retry_budget - budget_used_; }
+  int budget_used() const {
+    return options_.shared_budget != nullptr ? options_.shared_budget->used()
+                                             : budget_used_;
+  }
+  int budget_remaining() const {
+    return options_.shared_budget != nullptr
+               ? options_.shared_budget->remaining()
+               : options_.retry_budget - budget_used_;
+  }
 
  private:
   void Sleep(double ms);
+  /// Consumes one retry from the shared or local budget.
+  bool ConsumeRetry();
+  /// Milliseconds until the configured deadline (+inf when none).
+  double DeadlineRemainingMs() const;
 
   SqlExecutor* inner_;
   RetryOptions options_;

@@ -1,0 +1,84 @@
+#include "service/admission.h"
+
+#include <algorithm>
+#include <string>
+
+namespace silkroute::service {
+
+Status AdmissionController::AdmitRequest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++metrics_.submitted;
+  if (metrics_.pending_requests >= options_.max_pending_requests) {
+    ++metrics_.shed_requests;
+    return Status::ResourceExhausted(
+        "request queue full (" +
+        std::to_string(options_.max_pending_requests) +
+        " pending requests); shedding");
+  }
+  ++metrics_.admitted;
+  ++metrics_.pending_requests;
+  metrics_.peak_pending_requests =
+      std::max(metrics_.peak_pending_requests, metrics_.pending_requests);
+  return Status::OK();
+}
+
+void AdmissionController::FinishRequest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (metrics_.pending_requests > 0) --metrics_.pending_requests;
+}
+
+Status AdmissionController::AdmitQueries(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (metrics_.in_flight_queries + n > options_.max_in_flight_queries) {
+    ++metrics_.shed_queries;
+    return Status::ResourceExhausted(
+        "in-flight query budget full (" +
+        std::to_string(metrics_.in_flight_queries) + " in flight + " +
+        std::to_string(n) + " requested > " +
+        std::to_string(options_.max_in_flight_queries) + "); shedding");
+  }
+  metrics_.in_flight_queries += n;
+  metrics_.peak_in_flight_queries =
+      std::max(metrics_.peak_in_flight_queries, metrics_.in_flight_queries);
+  return Status::OK();
+}
+
+void AdmissionController::ForceAdmitQueries(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.in_flight_queries += n;
+  metrics_.peak_in_flight_queries =
+      std::max(metrics_.peak_in_flight_queries, metrics_.in_flight_queries);
+}
+
+void AdmissionController::FinishQuery() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (metrics_.in_flight_queries > 0) --metrics_.in_flight_queries;
+}
+
+Status AdmissionController::ReserveBytes(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (metrics_.buffered_bytes + bytes > options_.max_buffered_bytes) {
+    ++metrics_.shed_memory;
+    return Status::ResourceExhausted(
+        "buffered-tuple budget full (" +
+        std::to_string(metrics_.buffered_bytes) + " buffered + " +
+        std::to_string(bytes) + " requested > " +
+        std::to_string(options_.max_buffered_bytes) + " bytes); shedding");
+  }
+  metrics_.buffered_bytes += bytes;
+  metrics_.peak_buffered_bytes =
+      std::max(metrics_.peak_buffered_bytes, metrics_.buffered_bytes);
+  return Status::OK();
+}
+
+void AdmissionController::ReleaseBytes(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.buffered_bytes -= std::min(metrics_.buffered_bytes, bytes);
+}
+
+AdmissionMetrics AdmissionController::metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_;
+}
+
+}  // namespace silkroute::service

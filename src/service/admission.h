@@ -1,0 +1,77 @@
+// Admission control for the publishing service: overload is shed at the
+// door with kResourceExhausted instead of queuing unboundedly (fail fast;
+// a client retry later beats a request parked forever). Three budgets:
+//
+//  - request slots: admitted-but-unfinished publish requests;
+//  - in-flight query slots: component queries spawned across all plans
+//    (degradation splits *replace* a failed query, so they force-admit
+//    rather than shed a plan the service already accepted);
+//  - buffered bytes: wire bytes of materialized component streams held for
+//    merging — the constant-memory tagger bounds per-request merge state,
+//    this bounds the buffered inputs across requests.
+//
+// All members are thread-safe.
+#ifndef SILKROUTE_SERVICE_ADMISSION_H_
+#define SILKROUTE_SERVICE_ADMISSION_H_
+
+#include <cstddef>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace silkroute::service {
+
+struct AdmissionOptions {
+  /// Admitted publish requests not yet finished (the "request queue").
+  size_t max_pending_requests = 32;
+  /// Component queries admitted across all in-flight plans.
+  size_t max_in_flight_queries = 256;
+  /// Wire bytes of buffered component streams across all requests.
+  size_t max_buffered_bytes = 256ull << 20;  // 256 MiB
+};
+
+struct AdmissionMetrics {
+  size_t submitted = 0;        // AdmitRequest calls
+  size_t admitted = 0;         // requests granted a slot
+  size_t shed_requests = 0;    // shed: request slots full
+  size_t shed_queries = 0;     // shed: query budget full at plan fan-out
+  size_t shed_memory = 0;      // shed: buffered-byte budget full
+  size_t pending_requests = 0; // current
+  size_t in_flight_queries = 0;  // current
+  size_t buffered_bytes = 0;     // current
+  size_t peak_pending_requests = 0;
+  size_t peak_in_flight_queries = 0;
+  size_t peak_buffered_bytes = 0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options)
+      : options_(options) {}
+
+  /// Claims a request slot; kResourceExhausted when the queue bound is hit.
+  Status AdmitRequest();
+  void FinishRequest();
+
+  /// Claims `n` query slots for a plan's initial fan-out (all or nothing).
+  Status AdmitQueries(size_t n);
+  /// Claims `n` slots unconditionally: degradation replacements for a
+  /// query slot the plan already held. May transiently exceed the bound.
+  void ForceAdmitQueries(size_t n);
+  void FinishQuery();
+
+  /// Reserves buffered-stream bytes; kResourceExhausted over the budget.
+  Status ReserveBytes(size_t bytes);
+  void ReleaseBytes(size_t bytes);
+
+  AdmissionMetrics metrics() const;
+
+ private:
+  const AdmissionOptions options_;
+  mutable std::mutex mu_;
+  AdmissionMetrics metrics_;
+};
+
+}  // namespace silkroute::service
+
+#endif  // SILKROUTE_SERVICE_ADMISSION_H_

@@ -1,0 +1,154 @@
+#include "service/circuit_breaker.h"
+
+#include <chrono>
+#include <utility>
+
+namespace silkroute::service {
+
+const char* BreakerStateToString(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(std::string key, CircuitBreakerOptions options)
+    : key_(std::move(key)), options_(std::move(options)) {}
+
+double CircuitBreaker::NowMs() const {
+  if (options_.now_ms) return options_.now_ms();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void CircuitBreaker::TripOpenLocked() {
+  state_ = BreakerState::kOpen;
+  open_until_ms_ = NowMs() + options_.open_ms;
+  consecutive_failures_ = 0;
+  probe_successes_ = 0;
+  probe_in_flight_ = false;
+  ++counters_.trips;
+}
+
+CircuitBreaker::Decision CircuitBreaker::Admit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return Decision::kAllow;
+    case BreakerState::kOpen:
+      if (NowMs() < open_until_ms_) {
+        ++counters_.fast_fails;
+        return Decision::kFastFail;
+      }
+      // Cool-down elapsed: admit one probe to test the source.
+      state_ = BreakerState::kHalfOpen;
+      probe_in_flight_ = true;
+      probe_successes_ = 0;
+      ++counters_.probes;
+      return Decision::kProbe;
+    case BreakerState::kHalfOpen:
+      if (probe_in_flight_) {
+        // One probe at a time; everyone else sheds until it reports back.
+        ++counters_.fast_fails;
+        return Decision::kFastFail;
+      }
+      probe_in_flight_ = true;
+      ++counters_.probes;
+      return Decision::kProbe;
+  }
+  ++counters_.fast_fails;
+  return Decision::kFastFail;
+}
+
+void CircuitBreaker::RecordSuccess(Decision admitted) {
+  if (admitted == Decision::kFastFail) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.successes;
+  if (admitted == Decision::kProbe) {
+    probe_in_flight_ = false;
+    if (state_ == BreakerState::kHalfOpen) {
+      if (++probe_successes_ >= options_.half_open_successes) {
+        state_ = BreakerState::kClosed;
+        consecutive_failures_ = 0;
+        probe_successes_ = 0;
+      }
+    }
+    return;
+  }
+  consecutive_failures_ = 0;
+}
+
+void CircuitBreaker::RecordFailure(Decision admitted) {
+  if (admitted == Decision::kFastFail) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.failures;
+  if (admitted == Decision::kProbe) {
+    // The source is still sick: re-trip for another cool-down.
+    TripOpenLocked();
+    return;
+  }
+  if (state_ == BreakerState::kClosed &&
+      ++consecutive_failures_ >= options_.failure_threshold) {
+    TripOpenLocked();
+  }
+}
+
+void CircuitBreaker::AbandonProbe(Decision admitted) {
+  if (admitted != Decision::kProbe) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  probe_in_flight_ = false;
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+BreakerCounters CircuitBreaker::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BreakerCounters snapshot = counters_;
+  snapshot.state = state_;
+  snapshot.consecutive_failures = consecutive_failures_;
+  return snapshot;
+}
+
+CircuitBreaker* CircuitBreakerRegistry::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = breakers_.find(key);
+  if (it == breakers_.end()) {
+    it = breakers_
+             .emplace(key, std::make_unique<CircuitBreaker>(key, options_))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::map<std::string, BreakerCounters> CircuitBreakerRegistry::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, BreakerCounters> snapshot;
+  for (const auto& [key, breaker] : breakers_) {
+    snapshot.emplace(key, breaker->counters());
+  }
+  return snapshot;
+}
+
+size_t CircuitBreakerRegistry::TotalFastFails() const {
+  size_t total = 0;
+  for (const auto& [key, counters] : Snapshot()) total += counters.fast_fails;
+  return total;
+}
+
+size_t CircuitBreakerRegistry::TotalTrips() const {
+  size_t total = 0;
+  for (const auto& [key, counters] : Snapshot()) total += counters.trips;
+  return total;
+}
+
+}  // namespace silkroute::service

@@ -1,0 +1,126 @@
+// Circuit breakers for the publishing service, one per backend table (the
+// unit the paper's middle-ware queries; a sick table poisons every
+// component query that joins it). The classic three-state machine:
+//
+//             failure_threshold consecutive failures
+//   CLOSED ────────────────────────────────────────────► OPEN
+//     ▲                                                   │
+//     │ half_open_successes probe successes               │ open_ms elapsed
+//     │                                                   ▼
+//     └────────────────────────────────────────────── HALF-OPEN
+//                        probe failure ──► OPEN (re-trip)
+//
+// While OPEN, Admit() fast-fails without touching the source, so plans
+// degrade around the sick table immediately instead of burning their retry
+// budget on queries that cannot succeed. HALF-OPEN admits a single probe
+// query at a time; its outcome decides between closing and re-tripping.
+//
+// Outcomes are reported by the service from the ResilientExecutor's
+// ExecutionReport: only *source* failures (kUnavailable, kTimeout) count
+// against a breaker — a permanent kInternal is a bug in the generated SQL,
+// not a sick backend.
+//
+// All members are thread-safe; the registry creates breakers on demand.
+#ifndef SILKROUTE_SERVICE_CIRCUIT_BREAKER_H_
+#define SILKROUTE_SERVICE_CIRCUIT_BREAKER_H_
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace silkroute::service {
+
+struct CircuitBreakerOptions {
+  /// Consecutive source failures that trip a closed breaker open.
+  int failure_threshold = 3;
+  /// Time a tripped breaker stays open before admitting a probe.
+  double open_ms = 100;
+  /// Consecutive probe successes that close a half-open breaker.
+  int half_open_successes = 1;
+  /// Injectable monotonic clock in milliseconds (tests); null = steady_clock.
+  std::function<double()> now_ms;
+};
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* BreakerStateToString(BreakerState state);
+
+/// A point-in-time snapshot of one breaker's counters.
+struct BreakerCounters {
+  BreakerState state = BreakerState::kClosed;
+  int consecutive_failures = 0;
+  size_t trips = 0;          // transitions to OPEN (including re-trips)
+  size_t fast_fails = 0;     // queries rejected without execution
+  size_t probes = 0;         // half-open probe queries admitted
+  size_t successes = 0;      // recorded successful executions
+  size_t failures = 0;       // recorded failed executions
+};
+
+class CircuitBreaker {
+ public:
+  /// What Admit decided for this caller; pass it back to RecordSuccess /
+  /// RecordFailure (or AbandonProbe) so probe bookkeeping stays balanced.
+  enum class Decision { kAllow, kProbe, kFastFail };
+
+  CircuitBreaker(std::string key, CircuitBreakerOptions options);
+
+  /// Asks to execute one query against this breaker's table. kFastFail
+  /// callers must not execute and must not record an outcome.
+  Decision Admit();
+
+  void RecordSuccess(Decision admitted);
+  void RecordFailure(Decision admitted);
+  /// Releases a kProbe admission whose query was never executed (e.g. a
+  /// sibling table's breaker fast-failed the same component query).
+  void AbandonProbe(Decision admitted);
+
+  const std::string& key() const { return key_; }
+  BreakerState state() const;
+  BreakerCounters counters() const;
+
+ private:
+  double NowMs() const;
+  void TripOpenLocked();
+
+  const std::string key_;
+  const CircuitBreakerOptions options_;
+
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int probe_successes_ = 0;
+  bool probe_in_flight_ = false;
+  double open_until_ms_ = 0;
+  BreakerCounters counters_;
+};
+
+/// Creates and owns one breaker per key (table name). Thread-safe.
+class CircuitBreakerRegistry {
+ public:
+  explicit CircuitBreakerRegistry(CircuitBreakerOptions options)
+      : options_(std::move(options)) {}
+
+  /// The breaker for `key`, created closed on first use. The pointer stays
+  /// valid for the registry's lifetime.
+  CircuitBreaker* Get(const std::string& key);
+
+  /// Counters of every breaker, keyed by table.
+  std::map<std::string, BreakerCounters> Snapshot() const;
+
+  /// Sum of fast_fails across all breakers.
+  size_t TotalFastFails() const;
+  /// Sum of trips across all breakers.
+  size_t TotalTrips() const;
+
+ private:
+  const CircuitBreakerOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
+};
+
+}  // namespace silkroute::service
+
+#endif  // SILKROUTE_SERVICE_CIRCUIT_BREAKER_H_

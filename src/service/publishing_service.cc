@@ -1,0 +1,544 @@
+#include "service/publishing_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/timer.h"
+#include "engine/tuple_stream.h"
+#include "silkroute/source.h"
+#include "silkroute/sqlgen.h"
+
+namespace silkroute::service {
+
+namespace {
+
+using core::ComponentStream;
+using core::PublishOptions;
+using core::SqlGenerator;
+using core::StreamSpec;
+using core::ViewTree;
+
+/// True for errors of the *source*: the ones degradation and circuit
+/// breaking route around (mirrors the sequential publisher).
+bool IsSourceFailure(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kTimeout;
+}
+
+/// The breaker keys of a component query: the tables its covered nodes
+/// *introduce*. A node's rule body is the conjunction of all atoms in
+/// scope, so the inherited (ancestor) atoms are subtracted — a failure is
+/// attributed to the tables the failing component brought in, not to every
+/// joined ancestor; a genuinely sick ancestor trips its own component.
+std::vector<std::string> ComponentTables(const ViewTree& tree,
+                                         const std::vector<int>& nodes) {
+  std::set<std::string> tables;
+  for (int id : nodes) {
+    const core::ViewTreeNode& node = tree.node(id);
+    const std::vector<core::DatalogAtom>* inherited =
+        node.parent >= 0 ? &tree.node(node.parent).atoms : nullptr;
+    auto own = [&](const core::DatalogAtom& atom) {
+      return inherited == nullptr ||
+             std::find(inherited->begin(), inherited->end(), atom) ==
+                 inherited->end();
+    };
+    for (const auto& atom : node.atoms) {
+      if (own(atom)) tables.insert(atom.table);
+    }
+    for (const auto& rule : node.extra_rules) {
+      for (const auto& atom : rule.atoms) {
+        if (own(atom)) tables.insert(atom.table);
+      }
+    }
+  }
+  return {tables.begin(), tables.end()};
+}
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PooledExecution: the concurrent PlanExecution strategy for one request.
+// Run() fans the component queries out to the service's worker pool; each
+// task fills a result slot, degrading through the edge-mask lattice on
+// permanent failure exactly like the sequential strategy. The publisher
+// sorts the slots by component root before tagging, so the XML is
+// byte-identical at any concurrency.
+
+class PublishingService::PooledExecution : public core::PlanExecution {
+ public:
+  PooledExecution(PublishingService* service, bool has_deadline,
+                  std::chrono::steady_clock::time_point deadline)
+      : service_(service),
+        has_deadline_(has_deadline),
+        deadline_(deadline),
+        budget_(service->options_.retry.retry_budget) {}
+
+  Result<std::vector<ComponentStream>> Run(const ViewTree& tree,
+                                           const SqlGenerator& gen,
+                                           std::vector<StreamSpec> specs,
+                                           const PublishOptions& options,
+                                           core::PlanMetrics* metrics) override;
+
+  /// Buffered-byte reservation still held; the coordinator releases it
+  /// once the document is tagged (the streams are consumed by then).
+  size_t reserved_bytes() const { return reserved_bytes_; }
+
+ private:
+  /// Pre-condition: outstanding_ already counts this task.
+  void SubmitTask(StreamSpec spec, size_t origin);
+  void ExecuteOne(StreamSpec spec, size_t origin);
+  /// Terminal accounting of one task; submits degradation follow-ups.
+  void FinishTask(std::vector<std::pair<StreamSpec, size_t>> follow_ups);
+
+  PublishingService* const service_;
+  const bool has_deadline_;
+  const std::chrono::steady_clock::time_point deadline_;
+  engine::RetryBudget budget_;
+
+  // Set once by Run before any task starts.
+  const ViewTree* tree_ = nullptr;
+  const SqlGenerator* gen_ = nullptr;
+  const PublishOptions* options_ = nullptr;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t outstanding_ = 0;
+  std::vector<ComponentStream> done_;
+  std::set<size_t> degraded_origins_;
+  std::vector<int> failed_nodes_;
+  std::vector<std::string> sql_log_;
+  engine::ExecutionReport report_;
+  Status fatal_;
+  bool timed_out_ = false;
+  size_t breaker_fast_fails_ = 0;
+  size_t rows_ = 0;
+  size_t wire_bytes_ = 0;
+  double query_ms_ = 0;
+  double bind_ms_ = 0;
+  size_t reserved_bytes_ = 0;
+};
+
+Result<std::vector<ComponentStream>> PublishingService::PooledExecution::Run(
+    const ViewTree& tree, const SqlGenerator& gen,
+    std::vector<StreamSpec> specs, const PublishOptions& options,
+    core::PlanMetrics* metrics) {
+  tree_ = &tree;
+  gen_ = &gen;
+  options_ = &options;
+
+  // The plan's fan-out claims in-flight-query slots up front: a service at
+  // its global query budget sheds the whole request fast instead of
+  // trickling it through a saturated pool.
+  SILK_RETURN_IF_ERROR(service_->admission_.AdmitQueries(specs.size()));
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    outstanding_ = specs.size();
+  }
+  for (size_t i = 0; i < specs.size(); ++i) {
+    SubmitTask(std::move(specs[i]), i);
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return outstanding_ == 0; });
+  }
+
+  // All tasks finished: the members are exclusively ours again. Query
+  // slots in the report are renumbered to completion order (each task ran
+  // its own single-slot executor).
+  for (size_t i = 0; i < report_.queries.size(); ++i) {
+    report_.queries[i].query_index = static_cast<int>(i);
+  }
+  metrics->exec_report = std::move(report_);
+  metrics->attempts = metrics->exec_report.total_attempts();
+  metrics->retries = metrics->exec_report.total_retries();
+  metrics->degraded_components = degraded_origins_.size();
+  metrics->breaker_fast_fails = breaker_fast_fails_;
+  metrics->failed_nodes = std::move(failed_nodes_);
+  std::sort(metrics->failed_nodes.begin(), metrics->failed_nodes.end());
+  if (options.collect_sql) metrics->sql = std::move(sql_log_);
+  metrics->rows = rows_;
+  metrics->wire_bytes = wire_bytes_;
+  // Query/bind time is summed across workers: aggregate server time, which
+  // under concurrency exceeds the request's wall-clock elapsed time.
+  metrics->query_ms = query_ms_;
+  metrics->bind_ms = bind_ms_;
+  if (!fatal_.ok()) return fatal_;
+  if (timed_out_) {
+    metrics->timed_out = true;
+    return std::vector<ComponentStream>{};
+  }
+  return std::move(done_);
+}
+
+void PublishingService::PooledExecution::SubmitTask(StreamSpec spec,
+                                                    size_t origin) {
+  bool submitted = service_->pool_.Submit(
+      [this, spec = std::move(spec), origin]() mutable {
+        ExecuteOne(std::move(spec), origin);
+      });
+  if (!submitted) {
+    // Pool already shut down; account the task as terminally failed.
+    service_->admission_.FinishQuery();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fatal_.ok()) fatal_ = Status::Unavailable("service is shut down");
+    if (--outstanding_ == 0) cv_.notify_all();
+  }
+}
+
+void PublishingService::PooledExecution::FinishTask(
+    std::vector<std::pair<StreamSpec, size_t>> follow_ups) {
+  service_->admission_.FinishQuery();
+  if (!follow_ups.empty()) {
+    // Degradation replacements stand in for the slot the failed query
+    // held, so they force-admit rather than shed an admitted plan.
+    service_->admission_.ForceAdmitQueries(follow_ups.size());
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    outstanding_ += follow_ups.size();
+    if (--outstanding_ == 0) cv_.notify_all();
+  }
+  for (auto& [spec, origin] : follow_ups) {
+    SubmitTask(std::move(spec), origin);
+  }
+}
+
+void PublishingService::PooledExecution::ExecuteOne(StreamSpec spec,
+                                                    size_t origin) {
+  const PublishOptions& options = *options_;
+  bool drain = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    drain = !fatal_.ok() || timed_out_;
+    if (!drain && options.collect_sql) sql_log_.push_back(spec.sql);
+  }
+  if (!drain && service_->cancel_.cancelled()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fatal_.ok()) fatal_ = Status::Unavailable("service shutting down");
+    drain = true;
+  }
+  if (drain) return FinishTask({});
+
+  // End-to-end deadline: a request out of time fails before burning a
+  // worker on a doomed query.
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      timed_out_ = true;
+    }
+    return FinishTask({});
+  }
+
+  // Circuit breakers: one gate per backend table this component touches.
+  // Any open breaker fast-fails the query, which then degrades
+  // immediately — no execution, no retry budget consumed.
+  using Decision = CircuitBreaker::Decision;
+  std::vector<std::pair<CircuitBreaker*, Decision>> gates;
+  std::string open_table;
+  for (const std::string& table :
+       ComponentTables(*tree_, spec.covered_nodes)) {
+    CircuitBreaker* breaker = service_->breakers_.Get(table);
+    Decision decision = breaker->Admit();
+    if (decision == Decision::kFastFail) {
+      open_table = table;
+      break;
+    }
+    gates.emplace_back(breaker, decision);
+  }
+
+  Status status = Status::OK();
+  engine::Relation rel;
+  engine::ExecutionReport task_report;
+  double query_elapsed = 0;
+  if (!open_table.empty()) {
+    // A sibling breaker may have admitted a probe for this same query;
+    // return the probe slot unused.
+    for (auto& [breaker, decision] : gates) breaker->AbandonProbe(decision);
+    status = Status::Unavailable("circuit breaker open for table '" +
+                                 open_table + "'");
+    std::lock_guard<std::mutex> lock(mu_);
+    ++breaker_fast_fails_;
+  } else {
+    engine::RetryOptions retry = service_->options_.retry;
+    retry.query_deadline_ms = options.query_timeout_ms;
+    if (options.strict) {
+      retry.max_attempts = 1;
+      retry.retry_budget = 0;
+    } else {
+      retry.shared_budget = &budget_;
+    }
+    retry.cancel = &service_->cancel_;
+    retry.has_deadline = has_deadline_;
+    retry.deadline = deadline_;
+    engine::ResilientExecutor resilient(service_->executor_, retry);
+
+    Timer query_timer;
+    auto result = resilient.ExecuteSql(spec.sql);
+    query_elapsed = query_timer.ElapsedMillis();
+    task_report = resilient.report();
+    status = result.status();
+    bool source_failure = !result.ok() && IsSourceFailure(status.code());
+    for (auto& [breaker, decision] : gates) {
+      if (result.ok()) {
+        breaker->RecordSuccess(decision);
+      } else if (source_failure) {
+        breaker->RecordFailure(decision);
+      } else {
+        // A non-source error says nothing about the backend's health.
+        breaker->AbandonProbe(decision);
+      }
+    }
+    if (result.ok()) rel = std::move(result).value();
+  }
+
+  if (status.ok()) {
+    size_t rel_rows = rel.rows.size();
+    Timer bind_timer;
+    auto stream = std::make_unique<engine::TupleStream>(std::move(rel));
+    double bind_elapsed = bind_timer.ElapsedMillis();
+    size_t bytes = stream->wire_bytes();
+    // The buffered-tuple budget: requests whose streams would blow the
+    // global memory bound are shed (kResourceExhausted), not OOM-killed.
+    Status reserved = service_->admission_.ReserveBytes(bytes);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      report_.queries.insert(report_.queries.end(),
+                             task_report.queries.begin(),
+                             task_report.queries.end());
+      if (!reserved.ok()) {
+        if (fatal_.ok()) fatal_ = reserved;
+      } else {
+        reserved_bytes_ += bytes;
+        rows_ += rel_rows;
+        wire_bytes_ += bytes;
+        query_ms_ += query_elapsed;
+        bind_ms_ += bind_elapsed;
+        done_.push_back(ComponentStream{std::move(spec), std::move(stream)});
+      }
+    }
+    return FinishTask({});
+  }
+
+  // Failure handling, mirroring the sequential strategy's retry/degrade
+  // loop: budget exhaustion and non-source errors are fatal; a source
+  // failure splits the component at its deepest kept edge; at the
+  // fully-partitioned limit a timeout reports timed_out and an unavailable
+  // node is skipped best-effort.
+  std::vector<std::pair<StreamSpec, size_t>> follow_ups;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    report_.queries.insert(report_.queries.end(),
+                           task_report.queries.begin(),
+                           task_report.queries.end());
+    if (status.code() == StatusCode::kResourceExhausted ||
+        !IsSourceFailure(status.code())) {
+      if (fatal_.ok()) fatal_ = status;
+    } else if (options.strict) {
+      if (status.code() == StatusCode::kTimeout) {
+        timed_out_ = true;
+      } else if (fatal_.ok()) {
+        fatal_ = status;
+      }
+    } else {
+      int edge = core::DeepestInternalEdge(*tree_, spec.covered_nodes);
+      if (edge < 0) {
+        if (status.code() == StatusCode::kTimeout) {
+          timed_out_ = true;
+        } else {
+          failed_nodes_.insert(failed_nodes_.end(),
+                               spec.covered_nodes.begin(),
+                               spec.covered_nodes.end());
+          done_.push_back(ComponentStream{
+              std::move(spec),
+              std::make_unique<engine::TupleStream>(engine::Relation{})});
+        }
+      } else {
+        degraded_origins_.insert(origin);
+        auto [remainder, subtree] = core::SplitAtEdge(
+            *tree_, spec.covered_nodes, tree_->Edges()[edge]);
+        for (auto* part : {&remainder, &subtree}) {
+          auto sub_spec = gen_->GenerateComponent(*part);
+          if (!sub_spec.ok()) {
+            if (fatal_.ok()) fatal_ = sub_spec.status();
+            follow_ups.clear();
+            break;
+          }
+          follow_ups.emplace_back(std::move(sub_spec).value(), origin);
+        }
+      }
+    }
+  }
+  FinishTask(std::move(follow_ups));
+}
+
+// ---------------------------------------------------------------------------
+// PublishTicket
+
+PublishTicket::~PublishTicket() {
+  if (coordinator_.joinable()) coordinator_.join();
+}
+
+const ServiceResponse& PublishTicket::Wait() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return done_; });
+  }
+  if (coordinator_.joinable()) coordinator_.join();
+  return response_;
+}
+
+// ---------------------------------------------------------------------------
+// PublishingService
+
+PublishingService::PublishingService(const Database* db, ServiceOptions options)
+    : db_(db),
+      options_(std::move(options)),
+      publisher_(db),
+      own_executor_(db),
+      executor_(options_.executor != nullptr ? options_.executor
+                                             : &own_executor_),
+      admission_(options_.admission),
+      breakers_(options_.breaker),
+      pool_(options_.workers) {}
+
+PublishingService::~PublishingService() { Shutdown(); }
+
+Result<std::shared_ptr<PublishTicket>> PublishingService::Submit(
+    ServiceRequest request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return Status::Unavailable("service is shut down");
+  }
+  SILK_RETURN_IF_ERROR(admission_.AdmitRequest());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++active_requests_;
+  }
+  auto ticket = std::shared_ptr<PublishTicket>(new PublishTicket());
+  ticket->coordinator_ = std::thread(
+      [this, ticket_ptr = ticket.get(), req = std::move(request)]() mutable {
+        RunRequest(std::move(req), ticket_ptr);
+      });
+  return ticket;
+}
+
+ServiceResponse PublishingService::Publish(ServiceRequest request) {
+  auto ticket = Submit(std::move(request));
+  if (!ticket.ok()) {
+    ServiceResponse response;
+    response.status = ticket.status();
+    return response;
+  }
+  return (*ticket)->Wait();
+}
+
+std::vector<ServiceResponse> PublishingService::PublishAll(
+    std::vector<ServiceRequest> requests) {
+  std::vector<ServiceResponse> responses(requests.size());
+  std::vector<std::shared_ptr<PublishTicket>> tickets(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    auto ticket = Submit(std::move(requests[i]));
+    if (ticket.ok()) {
+      tickets[i] = std::move(ticket).value();
+    } else {
+      responses[i].status = ticket.status();
+    }
+  }
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    if (tickets[i] != nullptr) responses[i] = tickets[i]->Wait();
+  }
+  return responses;
+}
+
+void PublishingService::RunRequest(ServiceRequest request,
+                                   PublishTicket* ticket) {
+  auto start = std::chrono::steady_clock::now();
+  double deadline_ms = request.deadline_ms > 0 ? request.deadline_ms
+                                               : options_.default_deadline_ms;
+  bool has_deadline = deadline_ms > 0;
+  auto deadline =
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double, std::milli>(deadline_ms));
+
+  ServiceResponse response;
+  {
+    PooledExecution execution(this, has_deadline, deadline);
+    PublishOptions opts = request.options;
+    opts.executor = executor_;
+    opts.execution = &execution;
+    opts.retry = options_.retry;
+    std::ostringstream out;
+    auto result = publisher_.Publish(request.rxl, opts, &out);
+    if (result.ok()) {
+      response.result = std::move(result).value();
+      if (!response.result.metrics.timed_out) response.xml = out.str();
+    } else {
+      response.status = result.status();
+    }
+    // The document is tagged; the buffered streams are gone.
+    admission_.ReleaseBytes(execution.reserved_bytes());
+  }
+  response.elapsed_ms = MsSince(start);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!response.status.ok()) {
+      ++counters_.failed;
+    } else if (response.result.metrics.timed_out) {
+      ++counters_.timed_out;
+    } else {
+      ++counters_.completed;
+    }
+  }
+  admission_.FinishRequest();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --active_requests_;
+  }
+  drained_cv_.notify_all();
+
+  // Fulfilling the ticket is the coordinator's very last act: the client
+  // may destroy the ticket (joining this thread) the moment done_ flips.
+  {
+    std::lock_guard<std::mutex> lock(ticket->mu_);
+    ticket->response_ = std::move(response);
+    ticket->done_ = true;
+  }
+  ticket->cv_.notify_all();
+}
+
+void PublishingService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cancel_.Cancel();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_cv_.wait(lock, [&] { return active_requests_ == 0; });
+  }
+  pool_.Shutdown();
+}
+
+ServiceMetrics PublishingService::metrics() const {
+  ServiceMetrics snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = counters_;
+  }
+  snapshot.admission = admission_.metrics();
+  snapshot.breaker_fast_fails = breakers_.TotalFastFails();
+  snapshot.breaker_trips = breakers_.TotalTrips();
+  return snapshot;
+}
+
+}  // namespace silkroute::service

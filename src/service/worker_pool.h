@@ -1,0 +1,56 @@
+// WorkerPool: a fixed-size thread pool executing queued tasks in FIFO
+// order. The pool bounds the number of component queries in flight at once
+// — the service's primary concurrency throttle (admission control bounds
+// what may *enter* the queue; the pool bounds what *runs*).
+//
+// Tasks must never block on other pool tasks (the publishing service obeys
+// this: request coordination waits happen on client threads, pool tasks
+// only execute queries and enqueue follow-ups), so the pool cannot
+// deadlock. Shutdown drains: queued tasks still run, which is cheap
+// because the service cancels its CancelToken first and drained tasks
+// fail fast.
+#ifndef SILKROUTE_SERVICE_WORKER_POOL_H_
+#define SILKROUTE_SERVICE_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace silkroute::service {
+
+class WorkerPool {
+ public:
+  explicit WorkerPool(size_t num_threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueues a task. Returns false (task dropped) once Shutdown started.
+  bool Submit(std::function<void()> task);
+
+  /// Stops accepting tasks, drains the queue, joins all workers.
+  /// Idempotent.
+  void Shutdown();
+
+  size_t num_threads() const { return threads_.size(); }
+  size_t queue_depth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::mutex join_mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace silkroute::service
+
+#endif  // SILKROUTE_SERVICE_WORKER_POOL_H_

@@ -54,6 +54,9 @@ Result<PublishResult> Publisher::Publish(std::string_view rxl_text,
       GreedyParams params = options.greedy;
       params.style = options.style;
       params.reduce = options.reduce;
+      // The estimator mutates its request counter; concurrent publishers
+      // share it, so planning is serialized (execution is not).
+      std::lock_guard<std::mutex> lock(plan_mu_);
       SILK_ASSIGN_OR_RETURN(result.greedy_plan,
                             GeneratePlanGreedy(tree, &estimator_, params));
       mask = result.greedy_plan.FullMask();
@@ -84,21 +87,27 @@ struct PendingQuery {
   size_t origin = 0;
 };
 
-}  // namespace
+/// The built-in strategy: one query at a time on the calling thread,
+/// retries through a ResilientExecutor, degradation down the edge-mask
+/// lattice on permanent source failure.
+class SequentialExecution : public PlanExecution {
+ public:
+  explicit SequentialExecution(const Database* db) : db_(db) {}
 
-Result<PlanMetrics> Publisher::ExecutePlan(const ViewTree& tree,
-                                           uint64_t mask,
+  Result<std::vector<ComponentStream>> Run(const ViewTree& tree,
+                                           const SqlGenerator& gen,
+                                           std::vector<StreamSpec> specs,
                                            const PublishOptions& options,
-                                           std::ostream* out) {
-  SILK_ASSIGN_OR_RETURN(Partition plan, Partition::FromMask(tree, mask));
-  SqlGenerator gen(&tree, options.style, options.reduce,
-                   options.distinct_selects);
-  SILK_ASSIGN_OR_RETURN(std::vector<StreamSpec> specs, gen.GeneratePlan(plan));
+                                           PlanMetrics* metrics) override;
 
-  PlanMetrics metrics;
-  metrics.mask = mask;
-  metrics.num_streams = specs.size();
+ private:
+  const Database* db_;
+};
 
+Result<std::vector<ComponentStream>> SequentialExecution::Run(
+    const ViewTree& tree, const SqlGenerator& gen,
+    std::vector<StreamSpec> specs, const PublishOptions& options,
+    PlanMetrics* metrics) {
   // The execution stack: the connection (caller-supplied for fault
   // injection, otherwise the local database) under the resilient retry
   // layer. Strict mode runs single-attempt with no budget, preserving the
@@ -114,7 +123,7 @@ Result<PlanMetrics> Publisher::ExecutePlan(const ViewTree& tree,
   }
   engine::ResilientExecutor resilient(connection, retry);
 
-  // 1. Execute every SQL query at the "server" (query time), then bind the
+  // Execute every SQL query at the "server" (query time), then bind the
   // results to the wire format (bind time). A component whose query fails
   // permanently is degraded: split at its deepest kept edge into two
   // smaller components and re-queued, in the limit one query per node.
@@ -123,31 +132,30 @@ Result<PlanMetrics> Publisher::ExecutePlan(const ViewTree& tree,
     queue.push_back(PendingQuery{std::move(specs[i]), i});
   }
   std::set<size_t> degraded_origins;
-  std::vector<std::pair<StreamSpec, std::unique_ptr<engine::TupleStream>>>
-      done;
+  std::vector<ComponentStream> done;
   auto finish_metrics = [&] {
-    metrics.exec_report = resilient.report();
-    metrics.attempts = metrics.exec_report.total_attempts();
-    metrics.retries = metrics.exec_report.total_retries();
-    metrics.degraded_components = degraded_origins.size();
+    metrics->exec_report = resilient.report();
+    metrics->attempts = metrics->exec_report.total_attempts();
+    metrics->retries = metrics->exec_report.total_retries();
+    metrics->degraded_components = degraded_origins.size();
   };
   while (!queue.empty()) {
     PendingQuery item = std::move(queue.front());
     queue.pop_front();
-    if (options.collect_sql) metrics.sql.push_back(item.spec.sql);
+    if (options.collect_sql) metrics->sql.push_back(item.spec.sql);
 
     Timer query_timer;
     auto rel_result = resilient.ExecuteSql(item.spec.sql);
     if (rel_result.ok()) {
       engine::Relation rel = std::move(rel_result).value();
-      metrics.query_ms += query_timer.ElapsedMillis();
-      metrics.rows += rel.rows.size();
+      metrics->query_ms += query_timer.ElapsedMillis();
+      metrics->rows += rel.rows.size();
 
       Timer bind_timer;
       auto stream = std::make_unique<engine::TupleStream>(std::move(rel));
-      metrics.bind_ms += bind_timer.ElapsedMillis();
-      metrics.wire_bytes += stream->wire_bytes();
-      done.emplace_back(std::move(item.spec), std::move(stream));
+      metrics->bind_ms += bind_timer.ElapsedMillis();
+      metrics->wire_bytes += stream->wire_bytes();
+      done.push_back(ComponentStream{std::move(item.spec), std::move(stream)});
       continue;
     }
     const Status& status = rel_result.status();
@@ -157,9 +165,9 @@ Result<PlanMetrics> Publisher::ExecutePlan(const ViewTree& tree,
     if (!IsSourceFailure(status.code())) return status;
     if (options.strict) {
       if (status.code() == StatusCode::kTimeout) {
-        metrics.timed_out = true;
+        metrics->timed_out = true;
         finish_metrics();
-        return metrics;  // paper: "no time was reported"
+        return done;  // paper: "no time was reported"
       }
       return status;
     }
@@ -170,16 +178,16 @@ Result<PlanMetrics> Publisher::ExecutePlan(const ViewTree& tree,
       // fails. A timeout here keeps the paper's reporting; an unavailable
       // node is skipped (best-effort document, recorded in failed_nodes).
       if (status.code() == StatusCode::kTimeout) {
-        metrics.timed_out = true;
+        metrics->timed_out = true;
         finish_metrics();
-        return metrics;
+        return done;
       }
-      metrics.failed_nodes.insert(metrics.failed_nodes.end(),
-                                  item.spec.covered_nodes.begin(),
-                                  item.spec.covered_nodes.end());
-      done.emplace_back(std::move(item.spec),
-                        std::make_unique<engine::TupleStream>(
-                            engine::Relation{}));
+      metrics->failed_nodes.insert(metrics->failed_nodes.end(),
+                                   item.spec.covered_nodes.begin(),
+                                   item.spec.covered_nodes.end());
+      done.push_back(ComponentStream{
+          std::move(item.spec),
+          std::make_unique<engine::TupleStream>(engine::Relation{})});
       continue;
     }
     degraded_origins.insert(item.origin);
@@ -192,12 +200,40 @@ Result<PlanMetrics> Publisher::ExecutePlan(const ViewTree& tree,
     }
   }
   finish_metrics();
+  return done;
+}
+
+}  // namespace
+
+Result<PlanMetrics> Publisher::ExecutePlan(const ViewTree& tree,
+                                           uint64_t mask,
+                                           const PublishOptions& options,
+                                           std::ostream* out) {
+  SILK_ASSIGN_OR_RETURN(Partition plan, Partition::FromMask(tree, mask));
+  SqlGenerator gen(&tree, options.style, options.reduce,
+                   options.distinct_selects);
+  SILK_ASSIGN_OR_RETURN(std::vector<StreamSpec> specs, gen.GeneratePlan(plan));
+
+  PlanMetrics metrics;
+  metrics.mask = mask;
+  metrics.num_streams = specs.size();
+
+  // 1. Produce the component streams through the configured strategy.
+  SequentialExecution sequential(db_);
+  PlanExecution* execution =
+      options.execution != nullptr ? options.execution : &sequential;
+  SILK_ASSIGN_OR_RETURN(
+      std::vector<ComponentStream> done,
+      execution->Run(tree, gen, std::move(specs), options, &metrics));
+  if (metrics.timed_out) return metrics;  // partial metrics, no document
   metrics.num_streams = done.size();
 
   // Restore document order after degradation: streams sorted by component
-  // root (the smallest covered node id), exactly GeneratePlan's order.
+  // root (the smallest covered node id), exactly GeneratePlan's order. This
+  // also makes concurrent strategies deterministic: completion order never
+  // reaches the tagger.
   std::sort(done.begin(), done.end(), [](const auto& a, const auto& b) {
-    return a.first.covered_nodes.front() < b.first.covered_nodes.front();
+    return a.spec.covered_nodes.front() < b.spec.covered_nodes.front();
   });
 
   // 2. Merge + tag (client side; Next() also pays the wire decode).
@@ -208,8 +244,8 @@ Result<PlanMetrics> Publisher::ExecutePlan(const ViewTree& tree,
                 Tagger::Options{options.document_element});
   std::vector<Tagger::StreamInput> inputs;
   inputs.reserve(done.size());
-  for (auto& [spec, stream] : done) {
-    inputs.push_back({&spec, stream.get()});
+  for (auto& component : done) {
+    inputs.push_back({&component.spec, component.stream.get()});
   }
   Timer tag_timer;
   SILK_RETURN_IF_ERROR(tagger.Run(std::move(inputs)));

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -45,6 +46,8 @@ enum class PlanStrategy {
   kFullyPartitioned, // no edges: one SQL query per node
   kExplicitMask,     // caller-provided edge mask
 };
+
+class PlanExecution;
 
 struct PublishOptions {
   PlanStrategy strategy = PlanStrategy::kGreedy;
@@ -83,6 +86,11 @@ struct PublishOptions {
   /// FaultInjectingExecutor wrapping a DatabaseExecutor). null = execute
   /// directly against the publisher's database.
   engine::SqlExecutor* executor = nullptr;
+  /// Pluggable execution strategy turning component specs into sorted
+  /// streams (borrowed). null = the built-in sequential retry/degrade loop;
+  /// the concurrent PublishingService (src/service/) supplies a pooled
+  /// strategy with circuit breakers and end-to-end deadlines.
+  PlanExecution* execution = nullptr;
 };
 
 struct PlanMetrics {
@@ -115,6 +123,36 @@ struct PlanMetrics {
   std::vector<int> failed_nodes;
   /// Per-query attempt log from the resilient layer.
   engine::ExecutionReport exec_report;
+  /// Component queries fast-failed by an open circuit breaker instead of
+  /// being executed (service execution only; they degrade immediately
+  /// without consuming retry budget).
+  size_t breaker_fast_fails = 0;
+};
+
+/// A produced component stream, ready for the merge/tag phase.
+struct ComponentStream {
+  StreamSpec spec;
+  std::unique_ptr<engine::TupleStream> stream;
+};
+
+/// Strategy that executes the component queries of one plan and returns
+/// their sorted tuple streams, in any order (the publisher re-sorts by
+/// component root before tagging, so any correct strategy yields
+/// byte-identical XML). Implementations may retry, degrade, and
+/// parallelize. Contract:
+///  - a fatal error fails the plan (returned status);
+///  - setting metrics->timed_out and returning ok aborts publishing with
+///    partial metrics and no document (the paper's timeout reporting);
+///  - unrecoverable single-node components are skipped best-effort with an
+///    empty stream and their nodes appended to metrics->failed_nodes.
+class PlanExecution {
+ public:
+  virtual ~PlanExecution() = default;
+
+  virtual Result<std::vector<ComponentStream>> Run(
+      const ViewTree& tree, const SqlGenerator& gen,
+      std::vector<StreamSpec> specs, const PublishOptions& options,
+      PlanMetrics* metrics) = 0;
 };
 
 struct PublishResult {
@@ -123,6 +161,11 @@ struct PublishResult {
   GreedyPlan greedy_plan;
 };
 
+/// Thread-compatible for concurrent publishing: Publish/ExecutePlan may be
+/// called from multiple threads at once provided each call writes to its
+/// own output stream and any caller-supplied executor/execution strategy is
+/// itself thread-safe. The shared cost estimator is serialized internally
+/// (planning is cheap next to execution).
 class Publisher {
  public:
   /// Statistics are collected once at construction (ANALYZE).
@@ -157,6 +200,8 @@ class Publisher {
   const Database* db_;
   engine::DatabaseStats stats_;
   engine::CostEstimator estimator_;
+  /// Serializes greedy planning (the estimator counts requests).
+  std::mutex plan_mu_;
 };
 
 }  // namespace silkroute::core

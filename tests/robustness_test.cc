@@ -4,9 +4,11 @@
 // fault-injecting source — retry, degradation, and budget behaviour.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/timer.h"
@@ -616,6 +618,89 @@ TEST(ResilientExecutorTest, QueryDeadlineIsPerQueryNotPerExecutor) {
   while (wait.ElapsedMillis() < 80) {
   }
   EXPECT_TRUE(executor.ExecuteSql("SELECT k FROM T").ok());
+}
+
+TEST(ResilientExecutorTest, CancelInterruptsBackoffSleep) {
+  // A shutdown must never wait out a long backoff: the CancelToken makes
+  // the sleep interruptible and the executor returns the last error.
+  FakeSource source(std::vector<Status>(8, Status::Unavailable("down")));
+  engine::RetryOptions retry;
+  retry.max_attempts = 5;
+  retry.initial_backoff_ms = 60000;  // would stall a minute if uninterrupted
+  CancelToken cancel;
+  retry.cancel = &cancel;
+  engine::ResilientExecutor resilient(&source, retry);
+
+  Timer timer;
+  Result<engine::Relation> result = Status::Internal("not run");
+  std::thread worker(
+      [&] { result = resilient.ExecuteSql("SELECT 1"); });
+  // Whether this lands before the first attempt, between attempts, or
+  // mid-backoff, the executor must return the last error promptly.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  cancel.Cancel();
+  worker.join();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(source.calls(), 1);  // no second attempt after cancellation
+  EXPECT_LT(timer.ElapsedMillis(), 30000);
+}
+
+TEST(ResilientExecutorTest, SharedBudgetMetersRetriesAcrossExecutors) {
+  // Two executors (two concurrent component-query tasks) draw from one
+  // plan-wide budget: once it is spent, the next needed retry anywhere
+  // fails with kResourceExhausted after a single attempt.
+  engine::RetryBudget budget(2);
+  FakeSource first_source(std::vector<Status>(8, Status::Unavailable("u")));
+  FakeSource second_source(std::vector<Status>(8, Status::Unavailable("u")));
+  engine::RetryOptions retry = FastRetry(10, /*budget=*/0);
+  retry.shared_budget = &budget;
+
+  engine::ResilientExecutor first(&first_source, retry);
+  auto a = first.ExecuteSql("SELECT 1");
+  ASSERT_FALSE(a.ok());
+  EXPECT_EQ(a.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(first_source.calls(), 3);  // 1 attempt + the whole budget
+  EXPECT_EQ(budget.remaining(), 0);
+
+  engine::ResilientExecutor second(&second_source, retry);
+  auto b = second.ExecuteSql("SELECT 2");
+  ASSERT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(second_source.calls(), 1);  // denied before any retry
+}
+
+TEST(ResilientExecutorTest, ExpiredDeadlineFailsWithoutExecuting) {
+  FakeSource source({Status::OK()});
+  engine::RetryOptions retry = FastRetry(3, 10);
+  retry.has_deadline = true;
+  retry.deadline = std::chrono::steady_clock::now() -
+                   std::chrono::milliseconds(1);
+  engine::ResilientExecutor resilient(&source, retry);
+  auto result = resilient.ExecuteSql("SELECT 1");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+  EXPECT_EQ(source.calls(), 0);
+}
+
+TEST(ResilientExecutorTest, BackoffCrossingDeadlineFailsImmediately) {
+  // The retry would succeed, but its backoff sleep would overshoot the
+  // end-to-end deadline: fail now with kTimeout instead of sleeping.
+  FakeSource source({Status::Unavailable("u"), Status::OK()});
+  engine::RetryOptions retry;
+  retry.max_attempts = 3;
+  retry.retry_budget = 10;
+  retry.initial_backoff_ms = 60000;  // any jitter still crosses the deadline
+  retry.has_deadline = true;
+  retry.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(50);
+  engine::ResilientExecutor resilient(&source, retry);
+  Timer timer;
+  auto result = resilient.ExecuteSql("SELECT 1");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+  EXPECT_EQ(source.calls(), 1);
+  EXPECT_LT(timer.ElapsedMillis(), 30000);  // never slept the minute out
 }
 
 TEST(FaultInjectionTest, TableMatcherIsWordAndCaseInsensitive) {

@@ -1,0 +1,411 @@
+// Tests for the concurrent publishing service (src/service/): the
+// circuit-breaker state machine (with an injected clock), admission
+// control and overload shedding, deadline propagation, and — the key
+// property — that concurrent execution produces XML byte-identical to the
+// single-threaded Publisher.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/fault_injection.h"
+#include "service/circuit_breaker.h"
+#include "service/publishing_service.h"
+#include "silkroute/publisher.h"
+#include "sql/ddl.h"
+#include "tests/test_util.h"
+
+namespace silkroute::service {
+namespace {
+
+using core::PlanStrategy;
+using core::Publisher;
+using core::PublishOptions;
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker state machine, driven by an injected clock.
+
+struct BreakerFixture {
+  double now = 0;
+  CircuitBreaker breaker;
+
+  explicit BreakerFixture(CircuitBreakerOptions options = {})
+      : breaker("T", WithClock(std::move(options))) {}
+
+  CircuitBreakerOptions WithClock(CircuitBreakerOptions options) {
+    options.now_ms = [this] { return now; };
+    return options;
+  }
+};
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailures) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 3;
+  BreakerFixture f(options);
+  for (int i = 0; i < 2; ++i) {
+    auto d = f.breaker.Admit();
+    ASSERT_EQ(d, CircuitBreaker::Decision::kAllow);
+    f.breaker.RecordFailure(d);
+    EXPECT_EQ(f.breaker.state(), BreakerState::kClosed);
+  }
+  auto d = f.breaker.Admit();
+  f.breaker.RecordFailure(d);
+  EXPECT_EQ(f.breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(f.breaker.counters().trips, 1u);
+  EXPECT_EQ(f.breaker.Admit(), CircuitBreaker::Decision::kFastFail);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsConsecutiveFailures) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 2;
+  BreakerFixture f(options);
+  auto d = f.breaker.Admit();
+  f.breaker.RecordFailure(d);
+  d = f.breaker.Admit();
+  f.breaker.RecordSuccess(d);  // streak broken
+  d = f.breaker.Admit();
+  f.breaker.RecordFailure(d);
+  EXPECT_EQ(f.breaker.state(), BreakerState::kClosed);
+  d = f.breaker.Admit();
+  f.breaker.RecordFailure(d);
+  EXPECT_EQ(f.breaker.state(), BreakerState::kOpen);
+}
+
+TEST(CircuitBreakerTest, OpenFastFailsUntilCooldownThenProbes) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.open_ms = 100;
+  BreakerFixture f(options);
+  auto d = f.breaker.Admit();
+  f.breaker.RecordFailure(d);
+  ASSERT_EQ(f.breaker.state(), BreakerState::kOpen);
+
+  f.now = 50;  // still cooling down
+  EXPECT_EQ(f.breaker.Admit(), CircuitBreaker::Decision::kFastFail);
+  f.now = 101;  // cool-down elapsed: one probe admitted
+  EXPECT_EQ(f.breaker.Admit(), CircuitBreaker::Decision::kProbe);
+  EXPECT_EQ(f.breaker.state(), BreakerState::kHalfOpen);
+  // Second caller while the probe is in flight sheds.
+  EXPECT_EQ(f.breaker.Admit(), CircuitBreaker::Decision::kFastFail);
+}
+
+TEST(CircuitBreakerTest, ProbeSuccessClosesProbeFailureReTrips) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.open_ms = 10;
+  BreakerFixture f(options);
+
+  auto d = f.breaker.Admit();
+  f.breaker.RecordFailure(d);
+  f.now = 11;
+  d = f.breaker.Admit();
+  ASSERT_EQ(d, CircuitBreaker::Decision::kProbe);
+  f.breaker.RecordFailure(d);  // source still sick: re-trip
+  EXPECT_EQ(f.breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(f.breaker.counters().trips, 2u);
+
+  f.now = 22;
+  d = f.breaker.Admit();
+  ASSERT_EQ(d, CircuitBreaker::Decision::kProbe);
+  f.breaker.RecordSuccess(d);  // source recovered
+  EXPECT_EQ(f.breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(f.breaker.Admit(), CircuitBreaker::Decision::kAllow);
+}
+
+TEST(CircuitBreakerTest, AbandonedProbeFreesTheSlot) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.open_ms = 10;
+  BreakerFixture f(options);
+  auto d = f.breaker.Admit();
+  f.breaker.RecordFailure(d);
+  f.now = 11;
+  d = f.breaker.Admit();
+  ASSERT_EQ(d, CircuitBreaker::Decision::kProbe);
+  // The query never executed (e.g. a sibling breaker fast-failed it):
+  // without AbandonProbe the breaker would wait forever for a verdict.
+  f.breaker.AbandonProbe(d);
+  EXPECT_EQ(f.breaker.Admit(), CircuitBreaker::Decision::kProbe);
+}
+
+TEST(CircuitBreakerTest, RegistryCreatesPerKeyAndAggregates) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  CircuitBreakerRegistry registry(options);
+  CircuitBreaker* t = registry.Get("T");
+  EXPECT_EQ(t, registry.Get("T"));
+  CircuitBreaker* u = registry.Get("U");
+  EXPECT_NE(t, u);
+  auto d = t->Admit();
+  t->RecordFailure(d);
+  (void)t->Admit();  // fast-fail while open
+  EXPECT_EQ(registry.TotalTrips(), 1u);
+  EXPECT_EQ(registry.TotalFastFails(), 1u);
+  auto snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.at("T").state, BreakerState::kOpen);
+  EXPECT_EQ(snapshot.at("U").state, BreakerState::kClosed);
+}
+
+// ---------------------------------------------------------------------------
+// PublishingService over a small two-table database.
+
+std::unique_ptr<Database> MakeTwoTableDb() {
+  auto db = std::make_unique<Database>();
+  EXPECT_TRUE(sql::ExecuteDdl(
+                  "CREATE TABLE T (k INT PRIMARY KEY, v TEXT);"
+                  "CREATE TABLE U (k INT PRIMARY KEY, w TEXT, tk INT,"
+                  " FOREIGN KEY (tk) REFERENCES T(k))",
+                  db.get())
+                  .ok());
+  EXPECT_TRUE(
+      db->Insert("T", Tuple{Value::Int64(1), Value::String("a")}).ok());
+  EXPECT_TRUE(
+      db->Insert("T", Tuple{Value::Int64(2), Value::String("b")}).ok());
+  EXPECT_TRUE(db->Insert("U", Tuple{Value::Int64(10), Value::String("x"),
+                                    Value::Int64(1)})
+                  .ok());
+  EXPECT_TRUE(db->Insert("U", Tuple{Value::Int64(11), Value::String("y"),
+                                    Value::Int64(1)})
+                  .ok());
+  EXPECT_TRUE(db->Insert("U", Tuple{Value::Int64(12), Value::String("z"),
+                                    Value::Int64(2)})
+                  .ok());
+  return db;
+}
+
+constexpr char kTwoTableRxl[] =
+    "from T $t construct <t><v>$t.v</v>"
+    "{ from U $u where $t.k = $u.tk construct <u>$u.w</u> }</t>";
+
+std::string SequentialReference(const Database* db, PlanStrategy strategy) {
+  Publisher publisher(db);
+  PublishOptions options;
+  options.strategy = strategy;
+  options.document_element = "doc";
+  std::ostringstream out;
+  auto result = publisher.Publish(kTwoTableRxl, options, &out);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return out.str();
+}
+
+ServiceRequest MakeRequest(PlanStrategy strategy) {
+  ServiceRequest request;
+  request.rxl = kTwoTableRxl;
+  request.options.strategy = strategy;
+  request.options.document_element = "doc";
+  return request;
+}
+
+TEST(PublishingServiceTest, ConcurrentPublishIsByteIdenticalToSequential) {
+  auto db = MakeTwoTableDb();
+  for (PlanStrategy strategy :
+       {PlanStrategy::kUnified, PlanStrategy::kFullyPartitioned,
+        PlanStrategy::kGreedy}) {
+    std::string reference = SequentialReference(db.get(), strategy);
+    ServiceOptions options;
+    options.workers = 8;
+    PublishingService service(db.get(), options);
+    ServiceResponse response = service.Publish(MakeRequest(strategy));
+    ASSERT_TRUE(response.status.ok()) << response.status;
+    EXPECT_FALSE(response.result.metrics.timed_out);
+    EXPECT_EQ(response.xml, reference);
+  }
+}
+
+TEST(PublishingServiceTest, PublishAllConcurrentRequestsAllIdentical) {
+  auto db = MakeTwoTableDb();
+  std::string reference =
+      SequentialReference(db.get(), PlanStrategy::kFullyPartitioned);
+  ServiceOptions options;
+  options.workers = 8;
+  PublishingService service(db.get(), options);
+  std::vector<ServiceRequest> requests;
+  for (int i = 0; i < 12; ++i) {
+    requests.push_back(MakeRequest(PlanStrategy::kFullyPartitioned));
+  }
+  auto responses = service.PublishAll(std::move(requests));
+  ASSERT_EQ(responses.size(), 12u);
+  for (const auto& response : responses) {
+    ASSERT_TRUE(response.status.ok()) << response.status;
+    EXPECT_EQ(response.xml, reference);
+  }
+  auto metrics = service.metrics();
+  EXPECT_EQ(metrics.completed, 12u);
+  EXPECT_EQ(metrics.failed, 0u);
+  EXPECT_EQ(metrics.admission.admitted, 12u);
+  EXPECT_EQ(metrics.admission.shed_requests, 0u);
+}
+
+TEST(PublishingServiceTest, QueryBudgetZeroShedsWithResourceExhausted) {
+  auto db = MakeTwoTableDb();
+  ServiceOptions options;
+  options.admission.max_in_flight_queries = 0;
+  PublishingService service(db.get(), options);
+  ServiceResponse response =
+      service.Publish(MakeRequest(PlanStrategy::kUnified));
+  EXPECT_EQ(response.status.code(), StatusCode::kResourceExhausted);
+  auto metrics = service.metrics();
+  EXPECT_EQ(metrics.failed, 1u);
+  EXPECT_GE(metrics.admission.shed_queries, 1u);
+}
+
+TEST(PublishingServiceTest, MemoryBudgetShedsWithResourceExhausted) {
+  auto db = MakeTwoTableDb();
+  ServiceOptions options;
+  options.admission.max_buffered_bytes = 1;  // nothing fits
+  PublishingService service(db.get(), options);
+  ServiceResponse response =
+      service.Publish(MakeRequest(PlanStrategy::kUnified));
+  EXPECT_EQ(response.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(service.metrics().admission.shed_memory, 1u);
+  // The failed request released whatever it had reserved.
+  EXPECT_EQ(service.metrics().admission.buffered_bytes, 0u);
+}
+
+TEST(PublishingServiceTest, RequestQueueFullShedsExcess) {
+  auto db = MakeTwoTableDb();
+  engine::DatabaseExecutor db_executor(db.get());
+  engine::FaultPolicy policy;
+  engine::FaultRule slow;
+  slow.latency_ms = 100;  // keep admitted requests in flight
+  policy.rules.push_back(slow);
+  engine::FaultInjectingExecutor faulty(&db_executor, policy);
+
+  ServiceOptions options;
+  options.workers = 1;
+  options.admission.max_pending_requests = 1;
+  options.executor = &faulty;
+  PublishingService service(db.get(), options);
+
+  std::vector<std::shared_ptr<PublishTicket>> tickets;
+  size_t shed = 0;
+  for (int i = 0; i < 4; ++i) {
+    auto ticket = service.Submit(MakeRequest(PlanStrategy::kUnified));
+    if (ticket.ok()) {
+      tickets.push_back(std::move(ticket).value());
+    } else {
+      EXPECT_EQ(ticket.status().code(), StatusCode::kResourceExhausted);
+      ++shed;
+    }
+  }
+  ASSERT_FALSE(tickets.empty());
+  for (auto& ticket : tickets) {
+    EXPECT_TRUE(ticket->Wait().status.ok()) << ticket->Wait().status;
+  }
+  EXPECT_GE(shed, 1u);
+  auto metrics = service.metrics();
+  EXPECT_EQ(metrics.admission.shed_requests, shed);
+  EXPECT_EQ(metrics.completed, tickets.size());
+}
+
+TEST(PublishingServiceTest, SickTableTripsBreakerAndDegradesWithoutRetries) {
+  auto db = MakeTwoTableDb();
+  engine::DatabaseExecutor db_executor(db.get());
+  engine::FaultPolicy policy;
+  engine::FaultRule sick;
+  sick.table = "U";
+  sick.fail = true;  // permanent: every U query fails
+  policy.rules.push_back(sick);
+  engine::FaultInjectingExecutor faulty(&db_executor, policy);
+  faulty.set_sleep_fn([](double) {});
+
+  ServiceOptions options;
+  options.workers = 4;
+  options.executor = &faulty;
+  options.breaker.failure_threshold = 1;
+  options.breaker.open_ms = 1e9;  // stays open for the whole test
+  options.retry.max_attempts = 2;
+  options.retry.sleep_fn = [](double) {};
+  PublishingService service(db.get(), options);
+
+  // Request 1 learns the hard way: the U component query fails, is
+  // retried, then degrades to the single-node limit and is skipped
+  // best-effort. Its failure trips U's breaker.
+  ServiceResponse first =
+      service.Publish(MakeRequest(PlanStrategy::kFullyPartitioned));
+  ASSERT_TRUE(first.status.ok()) << first.status;
+  EXPECT_FALSE(first.result.metrics.failed_nodes.empty());
+  EXPECT_GE(first.result.metrics.retries, 1u);
+  auto breakers = service.breaker_snapshot();
+  ASSERT_TRUE(breakers.count("U"));
+  EXPECT_EQ(breakers.at("U").state, BreakerState::kOpen);
+  EXPECT_EQ(breakers.at("T").state, BreakerState::kClosed);
+
+  // Request 2 fast-fails at the open breaker: same best-effort document,
+  // but the U query never executes and no retry budget is burned.
+  int executions_before = faulty.stats().executions;
+  ServiceResponse second =
+      service.Publish(MakeRequest(PlanStrategy::kFullyPartitioned));
+  ASSERT_TRUE(second.status.ok()) << second.status;
+  EXPECT_EQ(second.xml, first.xml);
+  EXPECT_GE(second.result.metrics.breaker_fast_fails, 1u);
+  EXPECT_EQ(second.result.metrics.retries, 0u);
+  EXPECT_EQ(second.result.metrics.failed_nodes,
+            first.result.metrics.failed_nodes);
+  // Only the healthy T-backed queries (<t> and <v> components) reached the
+  // source; the U query was rejected at the breaker without executing.
+  EXPECT_EQ(faulty.stats().executions - executions_before, 2);
+  EXPECT_GE(service.metrics().breaker_trips, 1u);
+  EXPECT_GE(service.metrics().breaker_fast_fails, 1u);
+}
+
+TEST(PublishingServiceTest, ExpiredDeadlineReportsTimeoutWithoutDocument) {
+  auto db = MakeTwoTableDb();
+  ServiceOptions options;
+  PublishingService service(db.get(), options);
+  ServiceRequest request = MakeRequest(PlanStrategy::kUnified);
+  request.deadline_ms = 1e-6;  // expired before the first component runs
+  ServiceResponse response = service.Publish(std::move(request));
+  ASSERT_TRUE(response.status.ok()) << response.status;
+  EXPECT_TRUE(response.result.metrics.timed_out);
+  EXPECT_TRUE(response.xml.empty());
+  EXPECT_EQ(service.metrics().timed_out, 1u);
+}
+
+TEST(PublishingServiceTest, SubmitAfterShutdownIsUnavailable) {
+  auto db = MakeTwoTableDb();
+  PublishingService service(db.get(), ServiceOptions{});
+  service.Shutdown();
+  auto ticket = service.Submit(MakeRequest(PlanStrategy::kUnified));
+  ASSERT_FALSE(ticket.ok());
+  EXPECT_EQ(ticket.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(PublishingServiceTest, ConcurrentFaultyLoadStaysConsistent) {
+  // TSan fodder: many concurrent requests over a flaky shared executor.
+  auto db = MakeTwoTableDb();
+  engine::DatabaseExecutor db_executor(db.get());
+  engine::FaultPolicy policy;
+  engine::FaultRule flaky;
+  flaky.flake_probability = 0.3;  // transient, seeded
+  policy.rules.push_back(flaky);
+  engine::FaultInjectingExecutor faulty(&db_executor, policy);
+  faulty.set_sleep_fn([](double) {});
+
+  std::string reference =
+      SequentialReference(db.get(), PlanStrategy::kFullyPartitioned);
+  ServiceOptions options;
+  options.workers = 8;
+  options.executor = &faulty;
+  options.retry.max_attempts = 10;
+  options.retry.sleep_fn = [](double) {};
+  PublishingService service(db.get(), options);
+  std::vector<ServiceRequest> requests;
+  for (int i = 0; i < 16; ++i) {
+    requests.push_back(MakeRequest(PlanStrategy::kFullyPartitioned));
+  }
+  auto responses = service.PublishAll(std::move(requests));
+  for (const auto& response : responses) {
+    ASSERT_TRUE(response.status.ok()) << response.status;
+    // Transient flakes are retried (or components degraded) away; the
+    // document always comes out byte-identical.
+    if (response.result.metrics.failed_nodes.empty()) {
+      EXPECT_EQ(response.xml, reference);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace silkroute::service

@@ -17,12 +17,17 @@
 //   --dtd              print the DTD derived from the view and exit
 //   --pretty           indent the XML output
 //   --no-reduce        disable view-tree reduction
+//   --concurrency N    publish through the concurrent service with N workers
+//   --deadline-ms D    end-to-end deadline per request (service mode)
+//   --requests N       publish the view N times concurrently (service mode)
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "relational/csv.h"
+#include "service/publishing_service.h"
 #include "silkroute/dtdgen.h"
 #include "silkroute/partition.h"
 #include "silkroute/publisher.h"
@@ -47,6 +52,9 @@ struct Args {
   bool dtd = false;
   bool pretty = false;
   bool reduce = true;
+  int concurrency = 0;      // >0: publish through the PublishingService
+  double deadline_ms = 0;   // end-to-end deadline per request
+  int requests = 1;         // concurrent copies of the request
 };
 
 int Usage(const char* argv0) {
@@ -54,7 +62,8 @@ int Usage(const char* argv0) {
             << " --schema schema.sql --view view.rxl [--data dir] "
                "[--output file] [--root name] [--strategy greedy|unified|"
                "partitioned|outer-union] [--subview path] [--explain] "
-               "[--dtd] [--pretty] [--no-reduce]\n";
+               "[--dtd] [--pretty] [--no-reduce] [--concurrency N] "
+               "[--deadline-ms D] [--requests N]\n";
   return 2;
 }
 
@@ -108,6 +117,15 @@ int main(int argc, char** argv) {
       args.pretty = true;
     } else if (flag == "--no-reduce") {
       args.reduce = false;
+    } else if (flag == "--concurrency") {
+      args.concurrency = next() ? std::atoi(argv[i]) : -1;
+      if (args.concurrency <= 0) return Usage(argv[0]);
+    } else if (flag == "--deadline-ms") {
+      args.deadline_ms = next() ? std::atof(argv[i]) : -1;
+      if (args.deadline_ms <= 0) return Usage(argv[0]);
+    } else if (flag == "--requests") {
+      args.requests = next() ? std::atoi(argv[i]) : -1;
+      if (args.requests <= 0) return Usage(argv[0]);
     } else {
       std::cerr << "unknown flag '" << flag << "'\n";
       return Usage(argv[0]);
@@ -228,6 +246,52 @@ int main(int argc, char** argv) {
     }
     out = &file_out;
   }
+  // Service mode: publish through the concurrent PublishingService with a
+  // worker pool, admission control, circuit breakers, and deadlines.
+  if (args.concurrency > 0 || args.requests > 1 || args.deadline_ms > 0) {
+    service::ServiceOptions service_options;
+    service_options.workers =
+        args.concurrency > 0 ? static_cast<size_t>(args.concurrency) : 4;
+    service_options.default_deadline_ms = args.deadline_ms;
+    service::PublishingService service(&db, service_options);
+    std::vector<service::ServiceRequest> batch(
+        static_cast<size_t>(args.requests));
+    for (auto& request : batch) {
+      request.rxl = rxl;
+      request.options = options;
+    }
+    auto responses = service.PublishAll(std::move(batch));
+    int failures = 0;
+    for (size_t i = 0; i < responses.size(); ++i) {
+      const auto& response = responses[i];
+      if (!response.status.ok()) {
+        std::cerr << "request " << i << ": error: " << response.status << "\n";
+        ++failures;
+        continue;
+      }
+      if (response.result.metrics.timed_out) {
+        std::cerr << "request " << i << ": deadline expired after "
+                  << response.elapsed_ms << " ms\n";
+        ++failures;
+        continue;
+      }
+      std::cerr << "request " << i << ": " << response.xml.size()
+                << " bytes in " << response.elapsed_ms << " ms\n";
+    }
+    auto metrics = service.metrics();
+    std::cerr << "service: " << metrics.completed << " completed, "
+              << metrics.timed_out << " timed out, " << metrics.failed
+              << " failed, " << metrics.admission.shed_requests
+              << " shed\n";
+    for (const auto& response : responses) {
+      if (response.status.ok() && !response.result.metrics.timed_out) {
+        *out << response.xml;  // all byte-identical; emit the document once
+        break;
+      }
+    }
+    return failures == 0 ? 0 : 1;
+  }
+
   auto result = publisher.Publish(rxl, options, out);
   CLI_CHECK(result);
   std::cerr << "published " << result->metrics.xml_bytes << " bytes via "

@@ -219,7 +219,6 @@ void PublishingService::PooledExecution::ExecuteOne(StreamSpec spec,
   {
     std::lock_guard<std::mutex> lock(mu_);
     drain = !fatal_.ok() || timed_out_;
-    if (!drain && options.collect_sql) sql_log_.push_back(spec.sql);
   }
   if (!drain && service_->cancel_.cancelled()) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -268,6 +267,12 @@ void PublishingService::PooledExecution::ExecuteOne(StreamSpec spec,
     std::lock_guard<std::mutex> lock(mu_);
     ++breaker_fast_fails_;
   } else {
+    // The gates passed: the query will run. Only now does it belong in
+    // metrics->sql (drained or fast-failed queries never executed).
+    if (options.collect_sql) {
+      std::lock_guard<std::mutex> lock(mu_);
+      sql_log_.push_back(spec.sql);
+    }
     engine::RetryOptions retry = service_->options_.retry;
     retry.query_deadline_ms = options.query_timeout_ms;
     if (options.strict) {
@@ -388,10 +393,11 @@ PublishTicket::~PublishTicket() {
 }
 
 const ServiceResponse& PublishTicket::Wait() {
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return done_; });
-  }
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return done_; });
+  // Join under mu_ so concurrent Wait() calls (the shared_ptr API invites
+  // sharing) serialize: exactly one sees joinable() and joins. Safe from
+  // deadlock — once done_ is set the coordinator never takes mu_ again.
   if (coordinator_.joinable()) coordinator_.join();
   return response_;
 }
@@ -419,9 +425,22 @@ Result<std::shared_ptr<PublishTicket>> PublishingService::Submit(
     if (shutdown_) return Status::Unavailable("service is shut down");
   }
   SILK_RETURN_IF_ERROR(admission_.AdmitRequest());
+  // Re-check shutdown_ atomically with the registration: Shutdown may have
+  // set shutdown_ and observed active_requests_ == 0 after the check above,
+  // and a request registered now would outlive the drain. Either the
+  // request is fully registered before the drain check sees zero, or it is
+  // rejected and its admission undone.
+  bool registered = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ++active_requests_;
+    if (!shutdown_) {
+      ++active_requests_;
+      registered = true;
+    }
+  }
+  if (!registered) {
+    admission_.FinishRequest();
+    return Status::Unavailable("service is shut down");
   }
   auto ticket = std::shared_ptr<PublishTicket>(new PublishTicket());
   ticket->coordinator_ = std::thread(
@@ -501,10 +520,13 @@ void PublishingService::RunRequest(ServiceRequest request,
   }
   admission_.FinishRequest();
   {
+    // Notify while still holding mu_: the moment Shutdown can observe
+    // active_requests_ == 0 the service may be destroyed, so this must be
+    // the coordinator's last touch of any service member.
     std::lock_guard<std::mutex> lock(mu_);
     --active_requests_;
+    drained_cv_.notify_all();
   }
-  drained_cv_.notify_all();
 
   // Fulfilling the ticket is the coordinator's very last act: the client
   // may destroy the ticket (joining this thread) the moment done_ flips.

@@ -8,6 +8,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/fault_injection.h"
@@ -371,6 +372,64 @@ TEST(PublishingServiceTest, SubmitAfterShutdownIsUnavailable) {
   auto ticket = service.Submit(MakeRequest(PlanStrategy::kUnified));
   ASSERT_FALSE(ticket.ok());
   EXPECT_EQ(ticket.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(PublishingServiceTest, ConcurrentWaitOnSharedTicketIsSafe) {
+  // Wait() hands out a shared_ptr ticket; several threads waiting on the
+  // same ticket must serialize the coordinator join instead of racing it.
+  auto db = MakeTwoTableDb();
+  std::string reference =
+      SequentialReference(db.get(), PlanStrategy::kUnified);
+  PublishingService service(db.get(), ServiceOptions{});
+  auto ticket = service.Submit(MakeRequest(PlanStrategy::kUnified));
+  ASSERT_TRUE(ticket.ok()) << ticket.status();
+  std::vector<std::string> xml(4);
+  std::vector<std::thread> waiters;
+  for (size_t i = 0; i < xml.size(); ++i) {
+    waiters.emplace_back([&, i] { xml[i] = (*ticket)->Wait().xml; });
+  }
+  for (auto& waiter : waiters) waiter.join();
+  for (const auto& doc : xml) EXPECT_EQ(doc, reference);
+}
+
+TEST(PublishingServiceTest, ShutdownRacingSubmitDrainsEveryAdmittedRequest) {
+  // Regression for two shutdown races: a request admitted concurrently
+  // with Shutdown must either be rejected (kUnavailable) or fully covered
+  // by the drain, and destroying the service the moment Shutdown returns
+  // must not race the coordinators' last drained-state notification.
+  auto db = MakeTwoTableDb();
+  for (int round = 0; round < 8; ++round) {
+    ServiceOptions options;
+    options.admission.max_pending_requests = 256;  // never shed, only drain
+    auto service = std::make_unique<PublishingService>(db.get(), options);
+    std::vector<std::vector<std::shared_ptr<PublishTicket>>> tickets(3);
+    std::vector<std::thread> submitters;
+    for (size_t t = 0; t < tickets.size(); ++t) {
+      submitters.emplace_back([&, t] {
+        for (int i = 0; i < 16; ++i) {
+          auto ticket = service->Submit(MakeRequest(PlanStrategy::kUnified));
+          if (!ticket.ok()) {
+            EXPECT_EQ(ticket.status().code(), StatusCode::kUnavailable);
+            break;
+          }
+          tickets[t].push_back(std::move(ticket).value());
+        }
+      });
+    }
+    service->Shutdown();  // races the submitters by design
+    for (auto& submitter : submitters) submitter.join();
+    service.reset();  // every admitted coordinator is past the drain point
+    for (auto& per_thread : tickets) {
+      for (auto& ticket : per_thread) {
+        // Every admitted request is fulfilled: completed before the
+        // cancel, or kUnavailable if cancelled mid-flight.
+        const ServiceResponse& response = ticket->Wait();
+        if (!response.status.ok()) {
+          EXPECT_EQ(response.status.code(), StatusCode::kUnavailable);
+        }
+      }
+    }
+  }
 }
 
 TEST(PublishingServiceTest, ConcurrentFaultyLoadStaysConsistent) {

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <sstream>
+#include <string_view>
 
 #include "bench/bench_util.h"
 #include "engine/executor.h"
@@ -148,4 +149,33 @@ BENCHMARK(BM_PublishUnifiedPlan);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults --benchmark_out to the shared
+// BENCH_<name>.json convention (google-benchmark's own JSON schema) unless
+// the caller passed an output flag. SILK_BENCH_JSON_DIR relocates it, as
+// for BenchReport.
+int main(int argc, char** argv) {
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--benchmark_out", 0) == 0) {
+      has_out = true;
+    }
+  }
+  std::vector<char*> args(argv, argv + argc);
+  const char* dir = std::getenv("SILK_BENCH_JSON_DIR");
+  std::string out_flag = std::string("--benchmark_out=") +
+                         (dir != nullptr && dir[0] != '\0' ? dir : ".") +
+                         "/BENCH_engine_micro.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&args_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -20,7 +20,8 @@ using namespace silkroute::core;
 
 namespace {
 
-int RunQuery(Publisher& publisher, std::string_view rxl, const char* name) {
+int RunQuery(Publisher& publisher, std::string_view rxl, const char* name,
+             bench::BenchReport* report) {
   auto tree = publisher.BuildViewTree(rxl);
   if (!tree.ok()) {
     std::fprintf(stderr, "%s\n", tree.status().ToString().c_str());
@@ -48,6 +49,7 @@ int RunQuery(Publisher& publisher, std::string_view rxl, const char* name) {
     std::printf("%10llu %8zu %12.1f %12.1f\n",
                 static_cast<unsigned long long>(mask), m.num_streams,
                 m.query_ms, m.total_ms());
+    report->AddPlan(std::string(name) + "/mask_" + std::to_string(mask), m);
     if (best_query == 0 || m.query_ms < best_query) best_query = m.query_ms;
     if (best_total == 0 || m.total_ms() < best_total) best_total = m.total_ms();
   }
@@ -75,6 +77,14 @@ int RunQuery(Publisher& publisher, std::string_view rxl, const char* name) {
               fully_part.query_ms / best_query);
   std::printf("  fully-part / best total  : %5.2fx\n",
               fully_part.total_ms() / best_total);
+  report->AddPlan(std::string(name) + "/unified_outer_union", outer_union);
+  report->AddPlan(std::string(name) + "/fully_partitioned", fully_part);
+  report->Add(std::string(name) + "/summary",
+              {{"generated_plans", static_cast<double>(masks.size())},
+               {"best_query_ms", best_query},
+               {"best_total_ms", best_total},
+               {"outer_union_vs_best_query", outer_union.query_ms / best_query},
+               {"fully_part_vs_best_query", fully_part.query_ms / best_query}});
   return 0;
 }
 
@@ -88,7 +98,8 @@ int main() {
   std::printf("database bytes: %zu (scale %.3f)\n", db->TotalByteSize(),
               scale);
   Publisher publisher(db.get());
-  int rc = RunQuery(publisher, Query1Rxl(), "Query 1");
+  silkroute::bench::BenchReport report("greedy_configB");
+  int rc = RunQuery(publisher, Query1Rxl(), "Query 1", &report);
   if (rc != 0) return rc;
-  return RunQuery(publisher, Query2Rxl(), "Query 2");
+  return RunQuery(publisher, Query2Rxl(), "Query 2", &report);
 }

@@ -19,7 +19,7 @@ using namespace silkroute::core;
 namespace {
 
 int RunQuery(Publisher& publisher, std::string_view rxl, const char* name,
-             const char* figure) {
+             const char* figure, bench::BenchReport* report) {
   auto tree = publisher.BuildViewTree(rxl);
   if (!tree.ok()) {
     std::fprintf(stderr, "%s\n", tree.status().ToString().c_str());
@@ -80,6 +80,16 @@ int RunQuery(Publisher& publisher, std::string_view rxl, const char* name,
               worst_overall / optimal);
   std::printf("(paper: the generated plans correspond to the fastest %zu "
               "plans)\n", family_size);
+  report->Add(name,
+              {{"family_size", static_cast<double>(family_size)},
+               {"worst_rank", static_cast<double>(worst_rank)},
+               {"plans_ranked", static_cast<double>(sorted.size())},
+               {"in_top_2x", static_cast<double>(in_top)},
+               {"optimal_total_ms", optimal},
+               {"family_best_total_ms", family_best},
+               {"family_worst_total_ms", family_worst},
+               {"family_best_vs_optimal", family_best / optimal},
+               {"family_worst_vs_optimal", family_worst / optimal}});
   return 0;
 }
 
@@ -98,7 +108,9 @@ int main() {
   std::printf("database bytes: %zu (scale %.3f)\n", db->TotalByteSize(),
               scale);
   Publisher publisher(db.get());
-  int rc = RunQuery(publisher, Query1Rxl(), "Query 1", "Fig. 18 a/b");
+  silkroute::bench::BenchReport report("greedy_plans");
+  int rc = RunQuery(publisher, Query1Rxl(), "Query 1", "Fig. 18 a/b",
+                    &report);
   if (rc != 0) return rc;
-  return RunQuery(publisher, Query2Rxl(), "Query 2", "Fig. 18 c/d");
+  return RunQuery(publisher, Query2Rxl(), "Query 2", "Fig. 18 c/d", &report);
 }

@@ -46,6 +46,7 @@ int main() {
   // SilkRoute's SQL generation (with view-tree reduction) for the
   // multi-stream plans; the 1-query row is the sorted outer-union baseline
   // of [9], which has no reduction.
+  bench::BenchReport report("motivating");
   std::printf("\n%-26s %12s %12s\n", "No. of queries", "Total Time",
               "Query Time");
   for (const Row& row : rows) {
@@ -54,6 +55,7 @@ int main() {
     PlanMetrics m = bench::MeasurePlan(publisher, *tree, row.mask, opt);
     std::printf("%-26s %9.1f ms %9.1f ms\n", row.label, m.total_ms(),
                 m.query_ms);
+    report.AddPlan(row.label, m);
   }
   std::printf(
       "\nexpected shape: the middle plan is fastest on both metrics; the\n"

@@ -6,5 +6,6 @@
 
 int main() {
   return silkroute::bench::RunExhaustive(silkroute::core::Query1Rxl(),
-                                         "E2 / Fig. 13", "Query 1");
+                                         "E2 / Fig. 13", "Query 1",
+                                         "query1_exhaustive");
 }

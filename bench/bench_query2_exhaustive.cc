@@ -5,5 +5,6 @@
 
 int main() {
   return silkroute::bench::RunExhaustive(silkroute::core::Query2Rxl(),
-                                         "E3 / Fig. 14", "Query 2");
+                                         "E3 / Fig. 14", "Query 2",
+                                         "query2_exhaustive");
 }

@@ -69,7 +69,8 @@ LoadResult RunLoad(const Database* db, engine::SqlExecutor* executor,
   return result;
 }
 
-void Report(const char* scenario, const LoadResult& r, int requests) {
+void Report(const char* scenario, const LoadResult& r, int requests,
+            BenchReport* report) {
   double served = static_cast<double>(requests) - static_cast<double>(r.shed);
   double throughput = r.wall_ms > 0 ? served / (r.wall_ms / 1000.0) : 0;
   std::printf("%-12s %4d req  wall %8.1f ms  %7.1f req/s  shed %4.1f%%  "
@@ -82,6 +83,19 @@ void Report(const char* scenario, const LoadResult& r, int requests) {
               "breaker trips %zu  fast-fails %zu\n",
               r.metrics.completed, r.metrics.timed_out, r.metrics.failed,
               r.metrics.breaker_trips, r.metrics.breaker_fast_fails);
+  report->Add(scenario,
+              {{"requests", static_cast<double>(requests)},
+               {"wall_ms", r.wall_ms},
+               {"throughput_rps", throughput},
+               {"shed", static_cast<double>(r.shed)},
+               {"p50_ms", Percentile(r.latencies_ms, 0.50)},
+               {"p95_ms", Percentile(r.latencies_ms, 0.95)},
+               {"completed", static_cast<double>(r.metrics.completed)},
+               {"timed_out", static_cast<double>(r.metrics.timed_out)},
+               {"failed", static_cast<double>(r.metrics.failed)},
+               {"breaker_trips", static_cast<double>(r.metrics.breaker_trips)},
+               {"breaker_fast_fails",
+                static_cast<double>(r.metrics.breaker_fast_fails)}});
 }
 
 }  // namespace
@@ -97,8 +111,9 @@ int main() {
   std::printf("%s", Header("Service load, Query 1, scale " +
                            std::to_string(scale)));
 
+  BenchReport report("service_load");
   // Healthy source: the service's own DatabaseExecutor.
-  Report("healthy", RunLoad(db.get(), nullptr, requests), requests);
+  Report("healthy", RunLoad(db.get(), nullptr, requests), requests, &report);
 
   // One sick table: every query joining it fails permanently. The first
   // failures trip its breaker; later requests degrade around it without
@@ -114,6 +129,7 @@ int main() {
   engine::FaultInjectingExecutor faulty(&db_executor, policy);
   faulty.set_sleep_fn([](double) {});
   std::printf("sick table: %s\n", sick.c_str());
-  Report("sick-table", RunLoad(db.get(), &faulty, requests), requests);
+  Report("sick-table", RunLoad(db.get(), &faulty, requests), requests,
+         &report);
   return 0;
 }

@@ -39,6 +39,7 @@ int main() {
       {"5-stream", 0x1E8},
   };
 
+  bench::BenchReport report("styles");
   std::printf("%-10s %-12s %-8s %9s %9s %11s %10s %10s\n", "plan", "style",
               "reduce", "tuples", "avg B/t", "wire bytes", "query ms",
               "total ms");
@@ -57,6 +58,10 @@ int main() {
                                  static_cast<double>(m.rows)
                            : 0.0,
                     m.wire_bytes, m.query_ms, m.total_ms());
+        report.AddPlan(std::string(c.plan) + "/" +
+                           SqlGenStyleToString(style) +
+                           (reduce ? "/reduced" : "/nonreduced"),
+                       m);
       }
     }
   }

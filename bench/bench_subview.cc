@@ -41,6 +41,7 @@ int main() {
        "/supplier/part/order[orderkey=7]"},
   };
 
+  bench::BenchReport report("subview");
   std::printf("%-38s %10s %12s %12s %8s %12s\n", "view", "tuples",
               "outer-union", "greedy", "ratio", "penalty");
   for (const Case& c : cases) {
@@ -86,6 +87,13 @@ int main() {
                 mg->metrics.total_ms(),
                 mu->metrics.total_ms() / mg->metrics.total_ms(),
                 mu->metrics.total_ms() - mg->metrics.total_ms());
+    report.Add(c.label,
+               {{"tuples", static_cast<double>(mu->metrics.rows)},
+                {"outer_union_total_ms", mu->metrics.total_ms()},
+                {"greedy_total_ms", mg->metrics.total_ms()},
+                {"ratio", mu->metrics.total_ms() / mg->metrics.total_ms()},
+                {"penalty_ms",
+                 mu->metrics.total_ms() - mg->metrics.total_ms()}});
   }
   std::printf(
       "\nexpected shape: for small fragments the absolute penalty of the\n"

@@ -9,16 +9,23 @@
 //   SILK_FAULT_PROB        -- per-query flake probability (default 0.1)
 //   SILK_FAULT_SEED        -- fault policy seed (default 1)
 //   SILK_FAULT_LATENCY_MS  -- injected latency per query (default 0)
+//
+// Every bench binary also writes its results as BENCH_<name>.json
+// (BenchReport below) into SILK_BENCH_JSON_DIR or the working directory.
 #ifndef SILKROUTE_BENCH_BENCH_UTIL_H_
 #define SILKROUTE_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "engine/fault_injection.h"
+#include "obs/export.h"
 #include "relational/database.h"
 #include "silkroute/publisher.h"
 #include "tpch/generator.h"
@@ -113,6 +120,80 @@ inline const char* Header(const std::string& title) {
   buffer = "\n=== " + title + " ===\n";
   return buffer.c_str();
 }
+
+/// Machine-readable companion to the printed tables: rows of named numeric
+/// values, written as BENCH_<bench>.json when the report is destroyed (or
+/// Write() is called explicitly). Output lands in SILK_BENCH_JSON_DIR
+/// (default: the working directory), so CI and plotting scripts consume
+/// results without scraping stdout.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench) : bench_(std::move(bench)) {}
+  ~BenchReport() { Write(); }
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  void Add(std::string row,
+           std::vector<std::pair<std::string, double>> values) {
+    rows_.push_back(Row{std::move(row), std::move(values)});
+  }
+
+  /// The standard per-plan row, shared by the experiment benches.
+  void AddPlan(std::string row, const core::PlanMetrics& m) {
+    Add(std::move(row),
+        {{"query_ms", m.query_ms},
+         {"bind_ms", m.bind_ms},
+         {"tag_ms", m.tag_ms},
+         {"total_ms", m.total_ms()},
+         {"streams", static_cast<double>(m.num_streams)},
+         {"rows", static_cast<double>(m.rows)},
+         {"wire_bytes", static_cast<double>(m.wire_bytes)},
+         {"attempts", static_cast<double>(m.attempts)},
+         {"retries", static_cast<double>(m.retries)},
+         {"timed_out", m.timed_out ? 1.0 : 0.0}});
+  }
+
+  /// Idempotent; the destructor calls it.
+  void Write() {
+    if (written_) return;
+    written_ = true;
+    const char* dir = std::getenv("SILK_BENCH_JSON_DIR");
+    std::string path = std::string(dir != nullptr && dir[0] != '\0' ? dir
+                                                                    : ".") +
+                       "/BENCH_" + bench_ + ".json";
+    std::ofstream out(path);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "bench: cannot write '%s'\n", path.c_str());
+      return;
+    }
+    out << "{\"bench\":\"" << obs::JsonEscape(bench_) << "\",\"rows\":[";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      out << (i > 0 ? ",\n" : "\n") << " {\"name\":\""
+          << obs::JsonEscape(row.name) << "\",\"values\":{";
+      for (size_t j = 0; j < row.values.size(); ++j) {
+        char number[40];
+        std::snprintf(number, sizeof(number), "%.6g", row.values[j].second);
+        out << (j > 0 ? "," : "") << "\""
+            << obs::JsonEscape(row.values[j].first) << "\":" << number;
+      }
+      out << "}}";
+    }
+    out << "\n]}\n";
+    std::fprintf(stderr, "bench json: %s (%zu row(s))\n", path.c_str(),
+                 rows_.size());
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    std::vector<std::pair<std::string, double>> values;
+  };
+
+  const std::string bench_;
+  std::vector<Row> rows_;
+  bool written_ = false;
+};
 
 }  // namespace silkroute::bench
 

@@ -17,10 +17,19 @@ int main() {
   Publisher publisher(db.get());
 
   std::printf("%s", bench::Header("E7 — view trees and generated SQL"));
+  bench::BenchReport report("view_trees");
+  auto add_tree = [&](const char* name, const ViewTree& tree) {
+    report.Add(name,
+               {{"nodes", static_cast<double>(tree.num_nodes())},
+                {"edges", static_cast<double>(tree.num_edges())},
+                {"plans", static_cast<double>(uint64_t{1}
+                                              << tree.num_edges())}});
+  };
 
   {
     auto tree = publisher.BuildViewTree(QueryFragmentRxl());
     if (!tree.ok()) return 1;
+    add_tree("fragment", *tree);
     std::printf("\nFig. 4 — view tree of the query fragment:\n%s",
                 tree->ToString().c_str());
     std::printf("\nFig. 5 — the %zu plans of the fragment:\n",
@@ -43,6 +52,7 @@ int main() {
   {
     auto tree = publisher.BuildViewTree(Query1Rxl());
     if (!tree.ok()) return 1;
+    add_tree("query1", *tree);
     std::printf("\nFig. 6 — labeled view tree of Query 1 "
                 "(%zu nodes, %zu edges, %llu plans):\n%s",
                 tree->num_nodes(), tree->num_edges(),
@@ -67,6 +77,7 @@ int main() {
   {
     auto tree = publisher.BuildViewTree(Query2Rxl());
     if (!tree.ok()) return 1;
+    add_tree("query2", *tree);
     std::printf("\nFig. 12 — labeled view tree of Query 2:\n%s",
                 tree->ToString().c_str());
   }

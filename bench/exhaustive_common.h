@@ -91,9 +91,10 @@ inline void PrintByStreamCount(const SweepResult& sweep, bool total,
   }
 }
 
-/// Runs the full Fig. 13/14 experiment for one query.
+/// Runs the full Fig. 13/14 experiment for one query. `bench_name` names
+/// the BENCH_<name>.json results file.
 inline int RunExhaustive(std::string_view rxl, const char* figure,
-                         const char* query_name) {
+                         const char* query_name, const char* bench_name) {
   const double scale = EnvScale("SILK_SCALE_A", 0.025);
   auto db = MakeDatabase(scale);
   std::printf("%s", Header(std::string(figure) + " — " + query_name +
@@ -163,6 +164,31 @@ inline int RunExhaustive(std::string_view rxl, const char* figure,
               fully_part.total_ms / fastest_t.total_ms);
   std::printf("  non-reduced / reduced optimal: %5.2fx\n",
               fastest_nored_q.query_ms / fastest_q.query_ms);
+
+  BenchReport report(bench_name);
+  auto add_sample = [&](const char* row, const PlanSample& p) {
+    report.Add(row, {{"mask", static_cast<double>(p.mask)},
+                     {"streams", static_cast<double>(p.streams)},
+                     {"query_ms", p.query_ms},
+                     {"total_ms", p.total_ms},
+                     {"timed_out", p.timed_out ? 1.0 : 0.0}});
+  };
+  add_sample("optimal_reduced_query", fastest_q);
+  add_sample("optimal_reduced_total", fastest_t);
+  add_sample("optimal_nonreduced_query", fastest_nored_q);
+  add_sample("fully_partitioned_reduced", fully_part);
+  report.AddPlan("unified_outer_union", outer_union);
+  report.Add("sweep",
+             {{"plans", static_cast<double>(reduced.plans.size())},
+              {"timed_out_nonreduced",
+               static_cast<double>(nonreduced.NumTimedOut())},
+              {"timed_out_reduced", static_cast<double>(reduced.NumTimedOut())},
+              {"outer_union_vs_optimal_query",
+               outer_union.query_ms / fastest_q.query_ms},
+              {"fully_part_vs_optimal_query",
+               fully_part.query_ms / fastest_q.query_ms},
+              {"nonreduced_vs_reduced_optimal",
+               fastest_nored_q.query_ms / fastest_q.query_ms}});
   return 0;
 }
 

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "engine/expr_eval.h"
+#include "obs/trace.h"
 #include "sql/parser.h"
 
 namespace silkroute::engine {
@@ -115,7 +116,21 @@ Result<Relation> QueryExecutor::ExecuteSql(std::string_view sql_text) {
   // reused executor does not charge query N+1 for query N's elapsed time.
   has_deadline_ = false;
   SILK_ASSIGN_OR_RETURN(sql::QueryPtr q, sql::ParseQuery(sql_text));
-  return Execute(*q);
+  auto result = Execute(*q);
+  // Attach this query's physical-plan counters to the enclosing attempt
+  // span, if one is installed (the string building is gated on the span so
+  // untraced runs pay only the thread-local load).
+  if (result.ok() && obs::CurrentSpan() != nullptr) {
+    obs::AnnotateCurrent("rows_scanned", std::to_string(stats_.rows_scanned));
+    obs::AnnotateCurrent("rows_joined", std::to_string(stats_.rows_joined));
+    obs::AnnotateCurrent("hash_joins", std::to_string(stats_.hash_joins));
+    obs::AnnotateCurrent("nested_loop_joins",
+                         std::to_string(stats_.nested_loop_joins));
+    obs::AnnotateCurrent("index_probes", std::to_string(stats_.index_probes));
+    obs::AnnotateCurrent("result_rows",
+                         std::to_string(result.value().rows.size()));
+  }
+  return result;
 }
 
 Status QueryExecutor::CheckDeadline() const {

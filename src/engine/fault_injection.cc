@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/trace.h"
+
 namespace silkroute::engine {
 
 namespace {
@@ -109,8 +111,16 @@ Result<Relation> FaultInjectingExecutor::ExecuteSqlWithDeadline(
     }
     stats_.injected_latency_ms += latency;
   }
+  // Fault events become annotations on the enclosing attempt span, so a
+  // trace shows *why* an attempt was slow or failed.
+  if (latency > 0 && obs::CurrentSpan() != nullptr) {
+    obs::AnnotateCurrent("fault.latency_ms", std::to_string(latency));
+  }
   Sleep(latency);
-  if (!injected.ok()) return injected;
+  if (!injected.ok()) {
+    obs::AnnotateCurrent("fault.injected", injected.ToString());
+    return injected;
+  }
 
   auto result = inner_->ExecuteSqlWithDeadline(sql, timeout_ms);
   if (!result.ok()) return result;
@@ -130,6 +140,8 @@ Result<Relation> FaultInjectingExecutor::ExecuteSqlWithDeadline(
   if (transferred < rel.rows.size()) {
     // The wire format is length-prefixed, so a dropped connection is always
     // detected; partial data never leaks out as a complete result.
+    obs::AnnotateCurrent(
+        "fault.truncated_after_rows", std::to_string(transferred));
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.truncated_streams;
     return Status::Unavailable(

@@ -6,6 +6,8 @@
 #include <limits>
 #include <thread>
 
+#include "common/timer.h"
+
 namespace silkroute::engine {
 
 bool IsRetryableStatusCode(StatusCode code) {
@@ -17,6 +19,14 @@ ResilientExecutor::ResilientExecutor(SqlExecutor* inner, RetryOptions options)
       options_(std::move(options)),
       jitter_(options_.jitter_seed) {
   options_.max_attempts = std::max(options_.max_attempts, 1);
+  if (options_.metrics != nullptr) {
+    attempts_total_ =
+        options_.metrics->counter("silkroute_executor_attempts_total");
+    retries_total_ =
+        options_.metrics->counter("silkroute_executor_retries_total");
+    attempt_us_ = options_.metrics->histogram("silkroute_executor_attempt_us");
+    backoff_us_ = options_.metrics->histogram("silkroute_executor_backoff_us");
+  }
 }
 
 void ResilientExecutor::Sleep(double ms) {
@@ -76,7 +86,25 @@ Result<Relation> ResilientExecutor::ExecuteSql(std::string_view sql) {
                                   : remaining;
     }
 
-    auto result = inner_->ExecuteSqlWithDeadline(sql, timeout_ms);
+    // One span per attempt, parented under the thread's current span (the
+    // phase:query span); the inner executor and fault injection annotate
+    // it through the thread-local while it is installed.
+    obs::SpanHandle attempt_span =
+        obs::Tracer::Child(options_.tracer, obs::CurrentSpan(), "attempt");
+    attempt_span.AnnotateCount("attempt", static_cast<uint64_t>(attempt));
+    Timer attempt_timer;
+    Result<Relation> result = [&] {
+      obs::ScopedCurrentSpan scope(&attempt_span);
+      return inner_->ExecuteSqlWithDeadline(sql, timeout_ms);
+    }();
+    if (attempt_us_ != nullptr) {
+      attempts_total_->Add();
+      attempt_us_->RecordMicros(attempt_timer.ElapsedMicros());
+    }
+    attempt_span.Annotate(
+        "status", StatusCodeToString(result.ok() ? StatusCode::kOk
+                                                 : result.status().code()));
+    attempt_span.End();
     if (result.ok()) {
       report_.queries[slot].final_status = Status::OK();
       return result;
@@ -130,7 +158,15 @@ Result<Relation> ResilientExecutor::ExecuteSql(std::string_view sql) {
       return expired;
     }
     report_.queries[slot].backoff_ms += backoff;
+    if (retries_total_ != nullptr) {
+      retries_total_->Add();
+      backoff_us_->RecordMicros(backoff * 1000.0);
+    }
+    obs::SpanHandle backoff_span =
+        obs::Tracer::Child(options_.tracer, obs::CurrentSpan(), "backoff");
+    backoff_span.AnnotateMs("ms", backoff);
     Sleep(backoff);
+    backoff_span.End();
     if (options_.cancel != nullptr && options_.cancel->cancelled()) {
       return status;
     }

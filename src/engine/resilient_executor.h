@@ -33,6 +33,8 @@
 #include "common/random.h"
 #include "common/result.h"
 #include "engine/executor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace silkroute::engine {
 
@@ -92,6 +94,13 @@ struct RetryOptions {
   /// sleep past the deadline returns kTimeout at once.
   bool has_deadline = false;
   std::chrono::steady_clock::time_point deadline{};
+
+  // --- Observability (borrowed; null = disabled, zero overhead) ---------
+  /// Attempt/backoff spans are parented under the thread's current span
+  /// (the phase:query span installed by the publishing layer).
+  obs::Tracer* tracer = nullptr;
+  /// Attempt latency histograms and retry/backoff counters.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// True for codes worth a retry against the same query (kUnavailable,
@@ -167,6 +176,12 @@ class ResilientExecutor : public SqlExecutor {
   Random jitter_;
   ExecutionReport report_;
   int budget_used_ = 0;
+  // Resolved once from options_.metrics (stable registry pointers); null
+  // when metrics are disabled.
+  obs::Counter* attempts_total_ = nullptr;
+  obs::Counter* retries_total_ = nullptr;
+  obs::Histogram* attempt_us_ = nullptr;
+  obs::Histogram* backoff_us_ = nullptr;
 };
 
 }  // namespace silkroute::engine

@@ -1,0 +1,191 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <iomanip>
+
+namespace silkroute::obs {
+
+namespace {
+
+// Splits a registry name built by LabeledName into base and label body:
+// `base{k="v"}` -> {"base", `k="v"`}; unlabeled names yield an empty body.
+struct SplitName {
+  std::string_view base;
+  std::string_view labels;  // without braces
+};
+
+SplitName Split(std::string_view name) {
+  size_t brace = name.find('{');
+  if (brace == std::string_view::npos) return {name, {}};
+  std::string_view body = name.substr(brace + 1);
+  if (!body.empty() && body.back() == '}') body.remove_suffix(1);
+  return {name.substr(0, brace), body};
+}
+
+// `base_suffix{labels,extra}` with every empty piece elided.
+std::string SeriesName(std::string_view base, std::string_view suffix,
+                       std::string_view labels, std::string_view extra = {}) {
+  std::string out(base);
+  out += suffix;
+  if (labels.empty() && extra.empty()) return out;
+  out += '{';
+  out += labels;
+  if (!labels.empty() && !extra.empty()) out += ',';
+  out += extra;
+  out += '}';
+  return out;
+}
+
+void TypeLine(std::ostream& out, std::string_view base, std::string_view kind,
+              std::string* last_base) {
+  if (*last_base == base) return;
+  *last_base = std::string(base);
+  out << "# TYPE " << base << ' ' << kind << '\n';
+}
+
+std::string FormatMs(double ms) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", ms);
+  return buffer;
+}
+
+// Upper bound (inclusive) of log2 bucket i; mirrors metrics.cc.
+uint64_t BucketUpperBound(size_t idx) {
+  if (idx == 0) return 0;
+  if (idx >= 63) return ~uint64_t{0};
+  return (uint64_t{1} << idx) - 1;
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void WriteSpanJsonl(std::ostream& out, const Span& span) {
+  out << "{\"id\":\"" << JsonEscape(span.id) << "\",\"parent\":\""
+      << JsonEscape(span.parent_id) << "\",\"name\":\""
+      << JsonEscape(span.name) << "\",\"start_ns\":" << span.start_ns
+      << ",\"end_ns\":" << span.end_ns
+      << ",\"duration_ms\":" << FormatMs(span.duration_ms())
+      << ",\"annotations\":[";
+  bool first = true;
+  for (const Annotation& a : span.annotations) {
+    if (!first) out << ',';
+    first = false;
+    out << "[\"" << JsonEscape(a.key) << "\",\"" << JsonEscape(a.value)
+        << "\"]";
+  }
+  out << "]}\n";
+}
+
+void WriteTraceJsonl(std::ostream& out, const std::vector<Span>& spans) {
+  for (const Span& span : spans) WriteSpanJsonl(out, span);
+}
+
+void WritePrometheusText(std::ostream& out, const MetricsSnapshot& snapshot) {
+  std::string last_base;
+  for (const auto& [name, value] : snapshot.counters) {
+    SplitName parts = Split(name);
+    TypeLine(out, parts.base, "counter", &last_base);
+    out << name << ' ' << value << '\n';
+  }
+  last_base.clear();
+  for (const auto& [name, value] : snapshot.gauges) {
+    SplitName parts = Split(name);
+    TypeLine(out, parts.base, "gauge", &last_base);
+    out << name << ' ' << value << '\n';
+  }
+  last_base.clear();
+  for (const auto& [name, hist] : snapshot.histograms) {
+    SplitName parts = Split(name);
+    TypeLine(out, parts.base, "histogram", &last_base);
+    // Cumulative le buckets; empty buckets are elided (the cumulative
+    // counts at the emitted boundaries stay correct).
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < hist.buckets.size(); ++i) {
+      if (hist.buckets[i] == 0) continue;
+      cumulative += hist.buckets[i];
+      std::string le = "le=\"" + std::to_string(BucketUpperBound(i)) + "\"";
+      out << SeriesName(parts.base, "_bucket", parts.labels, le) << ' '
+          << cumulative << '\n';
+    }
+    out << SeriesName(parts.base, "_bucket", parts.labels, "le=\"+Inf\"")
+        << ' ' << hist.count << '\n';
+    out << SeriesName(parts.base, "_sum", parts.labels) << ' ' << hist.sum
+        << '\n';
+    out << SeriesName(parts.base, "_count", parts.labels) << ' ' << hist.count
+        << '\n';
+  }
+}
+
+void WriteStatsTable(std::ostream& out, const MetricsSnapshot& snapshot) {
+  size_t width = 8;
+  for (const auto& [name, _] : snapshot.counters) width = std::max(width, name.size());
+  for (const auto& [name, _] : snapshot.gauges) width = std::max(width, name.size());
+  for (const auto& [name, _] : snapshot.histograms) width = std::max(width, name.size());
+  width += 2;
+
+  if (!snapshot.counters.empty()) {
+    out << "== counters ==\n";
+    for (const auto& [name, value] : snapshot.counters) {
+      out << std::left << std::setw(static_cast<int>(width)) << name << value
+          << '\n';
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    out << "== gauges ==\n";
+    for (const auto& [name, value] : snapshot.gauges) {
+      out << std::left << std::setw(static_cast<int>(width)) << name << value
+          << '\n';
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    out << "== histograms ==\n";
+    out << std::left << std::setw(static_cast<int>(width)) << "name"
+        << std::right << std::setw(10) << "count" << std::setw(12) << "mean"
+        << std::setw(12) << "p50" << std::setw(12) << "p95" << std::setw(12)
+        << "p99" << std::setw(12) << "max" << '\n';
+    for (const auto& [name, hist] : snapshot.histograms) {
+      out << std::left << std::setw(static_cast<int>(width)) << name
+          << std::right << std::setw(10) << hist.count << std::setw(12)
+          << std::fixed << std::setprecision(1) << hist.mean() << std::setw(12)
+          << hist.Percentile(0.50) << std::setw(12) << hist.Percentile(0.95)
+          << std::setw(12) << hist.Percentile(0.99) << std::setw(12)
+          << static_cast<double>(hist.max) << '\n';
+    }
+    out.unsetf(std::ios::fixed);
+  }
+}
+
+}  // namespace silkroute::obs

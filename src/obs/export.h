@@ -1,0 +1,47 @@
+// Exporters for the observability layer. All three read only from
+// point-in-time copies (CollectingSink::spans(), MetricsRegistry
+// ::Snapshot()) so exporting never blocks the instrumented hot paths.
+//
+//  - WriteTraceJsonl: one JSON object per line per span; machine-checkable
+//    (tools/trace_check) and diffable.
+//  - WritePrometheusText: text exposition format. Registry names may embed
+//    labels (`base{k="v"}`, built by LabeledName); histograms expand to
+//    cumulative `_bucket{le=...}` series plus `_sum`/`_count`.
+//  - WriteStatsTable: the human-readable `--stats` table for the CLI.
+#ifndef SILKROUTE_OBS_EXPORT_H_
+#define SILKROUTE_OBS_EXPORT_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace silkroute::obs {
+
+/// JSON-escapes `in` (quotes, backslashes, control characters) without the
+/// surrounding quotes.
+std::string JsonEscape(std::string_view in);
+
+/// One span as a single-line JSON object:
+/// {"id":"1.2","parent":"1","name":"component","start_ns":...,"end_ns":...,
+///  "duration_ms":...,"annotations":{"table":"Orders",...}}
+void WriteSpanJsonl(std::ostream& out, const Span& span);
+
+/// All spans, one per line, in sink order (completion order).
+void WriteTraceJsonl(std::ostream& out, const std::vector<Span>& spans);
+
+/// Prometheus text exposition of a metrics snapshot. Series sharing a base
+/// name emit one # TYPE line; histogram quantiles are exported as
+/// pre-computed gauges alongside the cumulative buckets.
+void WritePrometheusText(std::ostream& out, const MetricsSnapshot& snapshot);
+
+/// Human-readable summary table: counters, gauges, then histograms with
+/// count/mean/p50/p95/p99/max.
+void WriteStatsTable(std::ostream& out, const MetricsSnapshot& snapshot);
+
+}  // namespace silkroute::obs
+
+#endif  // SILKROUTE_OBS_EXPORT_H_

@@ -1,0 +1,146 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace silkroute::obs {
+
+namespace {
+
+// Bucket index for a sample: 0 -> 0, otherwise 1 + floor(log2(v)), i.e.
+// bucket i covers [2^(i-1), 2^i). bit_width(v) is exactly 1+floor(log2(v))
+// for v > 0.
+size_t BucketIndex(uint64_t value) {
+  if (value == 0) return 0;
+  size_t idx = static_cast<size_t>(std::bit_width(value));
+  return std::min(idx, Histogram::kNumBuckets - 1);
+}
+
+// Upper bound of bucket i (inclusive): 0 for bucket 0, else 2^i - 1.
+uint64_t BucketUpperBound(size_t idx) {
+  if (idx == 0) return 0;
+  if (idx >= 63) return ~uint64_t{0};
+  return (uint64_t{1} << idx) - 1;
+}
+
+void AtomicMin(std::atomic<uint64_t>& target, uint64_t value) {
+  uint64_t cur = target.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !target.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<uint64_t>& target, uint64_t value) {
+  uint64_t cur = target.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !target.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::Record(uint64_t value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  AtomicMin(min_, value);
+  AtomicMax(max_, value);
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  uint64_t min = min_.load(std::memory_order_relaxed);
+  snap.min = (min == ~uint64_t{0}) ? 0 : min;
+  snap.max = max_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the target sample (1-based, ceil) in the cumulative counts.
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(count));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      double upper = static_cast<double>(BucketUpperBound(i));
+      return std::clamp(upper, static_cast<double>(min),
+                        static_cast<double>(max));
+    }
+  }
+  return static_cast<double>(max);
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms[name] = histogram->Snapshot();
+  }
+  return snap;
+}
+
+std::string LabeledName(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels) {
+  std::string name(base);
+  if (labels.size() == 0) return name;
+  name += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) name += ',';
+    first = false;
+    name += key;
+    name += "=\"";
+    // Escape per Prometheus label-value rules.
+    for (char c : value) {
+      if (c == '\\' || c == '"') name += '\\';
+      if (c == '\n') {
+        name += "\\n";
+        continue;
+      }
+      name += c;
+    }
+    name += '"';
+  }
+  name += '}';
+  return name;
+}
+
+}  // namespace silkroute::obs

@@ -1,0 +1,140 @@
+// Low-overhead metrics registry for the publishing stack: counters,
+// gauges, and log2-bucket histograms, all lock-free on the write path.
+//
+// The registry owns named metric objects; get-or-create takes a mutex, so
+// hot paths resolve their metrics once (construction, first use) and then
+// update through stable pointers — pointers stay valid for the registry's
+// lifetime. Readers take Snapshot(), a point-in-time copy assembled from
+// relaxed atomic loads: a reader never blocks a writer, and a writer never
+// blocks a reader beyond the name-map mutex held during the copy.
+//
+// Naming scheme (DESIGN.md §9): `silkroute_<subsystem>_<what>[_total|_us]`
+// with Prometheus-style labels folded into the name, e.g.
+// `silkroute_breaker_trips_total{table="Orders"}`. LabeledName() builds
+// such names; the exporters (obs/export.h) understand them.
+//
+// Every instrumented component takes an optional `MetricsRegistry*` and
+// skips all accounting when it is null, keeping disabled-mode overhead to
+// a pointer test.
+#ifndef SILKROUTE_OBS_METRICS_H_
+#define SILKROUTE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace silkroute::obs {
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous value (queue depths, buffered bytes, breaker states).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+struct HistogramSnapshot;
+
+/// Log2-bucket histogram over non-negative integer samples (microseconds
+/// for latencies, bytes for sizes). Bucket 0 holds the value 0; bucket i
+/// (1..63) holds values in [2^(i-1), 2^i). Recording is a handful of
+/// relaxed atomic updates; percentiles are estimated from the buckets at
+/// snapshot time (upper bound of the containing bucket, clamped to the
+/// observed max).
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 64;
+
+  void Record(uint64_t value);
+  /// Clamps negatives to 0 and rounds to the nearest integer sample.
+  void RecordMicros(double us) {
+    Record(us <= 0 ? 0 : static_cast<uint64_t>(us + 0.5));
+  }
+
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{~uint64_t{0}};
+  std::atomic<uint64_t> max_{0};
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+};
+
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  // 0 when empty
+  uint64_t max = 0;
+  std::array<uint64_t, Histogram::kNumBuckets> buckets{};
+
+  double mean() const {
+    return count == 0 ? 0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Upper-bound estimate of the p-quantile (p in [0,1]) from the log2
+  /// buckets, clamped to [min, max].
+  double Percentile(double p) const;
+};
+
+/// Point-in-time copy of every registered metric, safe to read at leisure.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create; the returned pointer is stable for the registry's
+  /// lifetime. Resolve once, update often.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  /// One consistent-enough copy of everything: counters/gauges are single
+  /// relaxed loads, histograms copy their bucket arrays. All exporters
+  /// read from this, never from live metrics.
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;  // guards the name maps only
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Folds labels into a metric name, Prometheus-style:
+/// LabeledName("silkroute_breaker_trips_total", {{"table", "Orders"}})
+///   -> `silkroute_breaker_trips_total{table="Orders"}`.
+std::string LabeledName(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels);
+
+}  // namespace silkroute::obs
+
+#endif  // SILKROUTE_OBS_METRICS_H_

@@ -1,0 +1,73 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace silkroute::obs {
+
+namespace {
+thread_local SpanHandle* g_current_span = nullptr;
+}  // namespace
+
+void SpanHandle::AnnotateMs(std::string key, double ms) {
+  if (state_ == nullptr) return;
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", ms);
+  Annotate(std::move(key), buffer);
+}
+
+void SpanHandle::End() {
+  if (state_ == nullptr || tracer_ == nullptr) {
+    state_.reset();
+    return;
+  }
+  state_->span.end_ns = tracer_->NowNs();
+  tracer_->Emit(std::move(state_->span));
+  state_.reset();
+  tracer_ = nullptr;
+}
+
+SpanHandle Tracer::StartRoot(std::string_view name) {
+  SpanHandle handle;
+  handle.tracer_ = this;
+  handle.state_ = std::make_unique<SpanHandle::State>();
+  handle.state_->span.id = std::to_string(
+      next_root_.fetch_add(1, std::memory_order_relaxed) + 1);
+  handle.state_->span.name = std::string(name);
+  handle.state_->span.start_ns = NowNs();
+  return handle;
+}
+
+SpanHandle Tracer::StartChild(SpanHandle* parent, std::string_view name) {
+  if (parent == nullptr || !parent->recording()) return StartRoot(name);
+  SpanHandle handle;
+  handle.tracer_ = this;
+  handle.state_ = std::make_unique<SpanHandle::State>();
+  uint32_t ordinal =
+      parent->state_->next_child.fetch_add(1, std::memory_order_relaxed) + 1;
+  handle.state_->span.parent_id = parent->state_->span.id;
+  handle.state_->span.id =
+      handle.state_->span.parent_id + "." + std::to_string(ordinal);
+  handle.state_->span.name = std::string(name);
+  handle.state_->span.start_ns = NowNs();
+  return handle;
+}
+
+SpanHandle* CurrentSpan() { return g_current_span; }
+
+void AnnotateCurrent(std::string key, std::string value) {
+  if (g_current_span == nullptr) return;
+  g_current_span->Annotate(std::move(key), std::move(value));
+}
+
+ScopedCurrentSpan::ScopedCurrentSpan(SpanHandle* span) {
+  if (span == nullptr || !span->recording()) return;
+  prev_ = g_current_span;
+  g_current_span = span;
+  active_ = true;
+}
+
+ScopedCurrentSpan::~ScopedCurrentSpan() {
+  if (active_) g_current_span = prev_;
+}
+
+}  // namespace silkroute::obs

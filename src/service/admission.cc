@@ -5,11 +5,30 @@
 
 namespace silkroute::service {
 
+AdmissionController::AdmissionController(AdmissionOptions options,
+                                         obs::MetricsRegistry* metrics)
+    : options_(options) {
+  if (metrics != nullptr) {
+    m_submitted_ = metrics->counter("silkroute_admission_submitted_total");
+    m_admitted_ = metrics->counter("silkroute_admission_admitted_total");
+    m_shed_requests_ =
+        metrics->counter("silkroute_admission_shed_requests_total");
+    m_shed_queries_ =
+        metrics->counter("silkroute_admission_shed_queries_total");
+    m_shed_memory_ = metrics->counter("silkroute_admission_shed_memory_total");
+    m_pending_ = metrics->gauge("silkroute_admission_pending_requests");
+    m_in_flight_ = metrics->gauge("silkroute_admission_in_flight_queries");
+    m_buffered_ = metrics->gauge("silkroute_admission_buffered_bytes");
+  }
+}
+
 Status AdmissionController::AdmitRequest() {
   std::lock_guard<std::mutex> lock(mu_);
   ++metrics_.submitted;
+  if (m_submitted_ != nullptr) m_submitted_->Add();
   if (metrics_.pending_requests >= options_.max_pending_requests) {
     ++metrics_.shed_requests;
+    if (m_shed_requests_ != nullptr) m_shed_requests_->Add();
     return Status::ResourceExhausted(
         "request queue full (" +
         std::to_string(options_.max_pending_requests) +
@@ -19,18 +38,26 @@ Status AdmissionController::AdmitRequest() {
   ++metrics_.pending_requests;
   metrics_.peak_pending_requests =
       std::max(metrics_.peak_pending_requests, metrics_.pending_requests);
+  if (m_admitted_ != nullptr) {
+    m_admitted_->Add();
+    m_pending_->Set(static_cast<int64_t>(metrics_.pending_requests));
+  }
   return Status::OK();
 }
 
 void AdmissionController::FinishRequest() {
   std::lock_guard<std::mutex> lock(mu_);
   if (metrics_.pending_requests > 0) --metrics_.pending_requests;
+  if (m_pending_ != nullptr) {
+    m_pending_->Set(static_cast<int64_t>(metrics_.pending_requests));
+  }
 }
 
 Status AdmissionController::AdmitQueries(size_t n) {
   std::lock_guard<std::mutex> lock(mu_);
   if (metrics_.in_flight_queries + n > options_.max_in_flight_queries) {
     ++metrics_.shed_queries;
+    if (m_shed_queries_ != nullptr) m_shed_queries_->Add();
     return Status::ResourceExhausted(
         "in-flight query budget full (" +
         std::to_string(metrics_.in_flight_queries) + " in flight + " +
@@ -40,6 +67,9 @@ Status AdmissionController::AdmitQueries(size_t n) {
   metrics_.in_flight_queries += n;
   metrics_.peak_in_flight_queries =
       std::max(metrics_.peak_in_flight_queries, metrics_.in_flight_queries);
+  if (m_in_flight_ != nullptr) {
+    m_in_flight_->Set(static_cast<int64_t>(metrics_.in_flight_queries));
+  }
   return Status::OK();
 }
 
@@ -48,17 +78,24 @@ void AdmissionController::ForceAdmitQueries(size_t n) {
   metrics_.in_flight_queries += n;
   metrics_.peak_in_flight_queries =
       std::max(metrics_.peak_in_flight_queries, metrics_.in_flight_queries);
+  if (m_in_flight_ != nullptr) {
+    m_in_flight_->Set(static_cast<int64_t>(metrics_.in_flight_queries));
+  }
 }
 
 void AdmissionController::FinishQuery() {
   std::lock_guard<std::mutex> lock(mu_);
   if (metrics_.in_flight_queries > 0) --metrics_.in_flight_queries;
+  if (m_in_flight_ != nullptr) {
+    m_in_flight_->Set(static_cast<int64_t>(metrics_.in_flight_queries));
+  }
 }
 
 Status AdmissionController::ReserveBytes(size_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   if (metrics_.buffered_bytes + bytes > options_.max_buffered_bytes) {
     ++metrics_.shed_memory;
+    if (m_shed_memory_ != nullptr) m_shed_memory_->Add();
     return Status::ResourceExhausted(
         "buffered-tuple budget full (" +
         std::to_string(metrics_.buffered_bytes) + " buffered + " +
@@ -68,12 +105,18 @@ Status AdmissionController::ReserveBytes(size_t bytes) {
   metrics_.buffered_bytes += bytes;
   metrics_.peak_buffered_bytes =
       std::max(metrics_.peak_buffered_bytes, metrics_.buffered_bytes);
+  if (m_buffered_ != nullptr) {
+    m_buffered_->Set(static_cast<int64_t>(metrics_.buffered_bytes));
+  }
   return Status::OK();
 }
 
 void AdmissionController::ReleaseBytes(size_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   metrics_.buffered_bytes -= std::min(metrics_.buffered_bytes, bytes);
+  if (m_buffered_ != nullptr) {
+    m_buffered_->Set(static_cast<int64_t>(metrics_.buffered_bytes));
+  }
 }
 
 AdmissionMetrics AdmissionController::metrics() const {

@@ -18,6 +18,7 @@
 #include <mutex>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace silkroute::service {
 
@@ -46,8 +47,11 @@ struct AdmissionMetrics {
 
 class AdmissionController {
  public:
-  explicit AdmissionController(AdmissionOptions options)
-      : options_(options) {}
+  /// `metrics` (borrowed, may be null) live-mirrors the admission counters
+  /// into silkroute_admission_* registry series, superseding polling of the
+  /// AdmissionMetrics struct for export.
+  explicit AdmissionController(AdmissionOptions options,
+                               obs::MetricsRegistry* metrics = nullptr);
 
   /// Claims a request slot; kResourceExhausted when the queue bound is hit.
   Status AdmitRequest();
@@ -70,6 +74,16 @@ class AdmissionController {
   const AdmissionOptions options_;
   mutable std::mutex mu_;
   AdmissionMetrics metrics_;
+
+  // Registry mirrors (null when disabled), resolved once at construction.
+  obs::Counter* m_submitted_ = nullptr;
+  obs::Counter* m_admitted_ = nullptr;
+  obs::Counter* m_shed_requests_ = nullptr;
+  obs::Counter* m_shed_queries_ = nullptr;
+  obs::Counter* m_shed_memory_ = nullptr;
+  obs::Gauge* m_pending_ = nullptr;
+  obs::Gauge* m_in_flight_ = nullptr;
+  obs::Gauge* m_buffered_ = nullptr;
 };
 
 }  // namespace silkroute::service

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace silkroute::service {
 
 const char* BreakerStateToString(BreakerState state) {
@@ -18,7 +20,20 @@ const char* BreakerStateToString(BreakerState state) {
 }
 
 CircuitBreaker::CircuitBreaker(std::string key, CircuitBreakerOptions options)
-    : key_(std::move(key)), options_(std::move(options)) {}
+    : key_(std::move(key)), options_(std::move(options)) {
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry* reg = options_.metrics;
+    auto name = [&](std::string_view base) {
+      return obs::LabeledName(base, {{"table", key_}});
+    };
+    m_trips_ = reg->counter(name("silkroute_breaker_trips_total"));
+    m_fast_fails_ = reg->counter(name("silkroute_breaker_fast_fails_total"));
+    m_probes_ = reg->counter(name("silkroute_breaker_probes_total"));
+    m_successes_ = reg->counter(name("silkroute_breaker_successes_total"));
+    m_failures_ = reg->counter(name("silkroute_breaker_failures_total"));
+    m_state_ = reg->gauge(name("silkroute_breaker_state"));
+  }
+}
 
 double CircuitBreaker::NowMs() const {
   if (options_.now_ms) return options_.now_ms();
@@ -34,6 +49,14 @@ void CircuitBreaker::TripOpenLocked() {
   probe_successes_ = 0;
   probe_in_flight_ = false;
   ++counters_.trips;
+  if (m_trips_ != nullptr) {
+    m_trips_->Add();
+    m_state_->Set(1);
+  }
+  // State transitions become annotations on whatever span the tripping
+  // thread is executing (the attempt/query span of the query that tripped
+  // it). Thread-local, so safe under mu_.
+  obs::AnnotateCurrent("breaker.trip", key_);
 }
 
 CircuitBreaker::Decision CircuitBreaker::Admit() {
@@ -44,6 +67,7 @@ CircuitBreaker::Decision CircuitBreaker::Admit() {
     case BreakerState::kOpen:
       if (NowMs() < open_until_ms_) {
         ++counters_.fast_fails;
+        if (m_fast_fails_ != nullptr) m_fast_fails_->Add();
         return Decision::kFastFail;
       }
       // Cool-down elapsed: admit one probe to test the source.
@@ -51,18 +75,26 @@ CircuitBreaker::Decision CircuitBreaker::Admit() {
       probe_in_flight_ = true;
       probe_successes_ = 0;
       ++counters_.probes;
+      if (m_probes_ != nullptr) {
+        m_probes_->Add();
+        m_state_->Set(2);
+      }
+      obs::AnnotateCurrent("breaker.half_open", key_);
       return Decision::kProbe;
     case BreakerState::kHalfOpen:
       if (probe_in_flight_) {
         // One probe at a time; everyone else sheds until it reports back.
         ++counters_.fast_fails;
+        if (m_fast_fails_ != nullptr) m_fast_fails_->Add();
         return Decision::kFastFail;
       }
       probe_in_flight_ = true;
       ++counters_.probes;
+      if (m_probes_ != nullptr) m_probes_->Add();
       return Decision::kProbe;
   }
   ++counters_.fast_fails;
+  if (m_fast_fails_ != nullptr) m_fast_fails_->Add();
   return Decision::kFastFail;
 }
 
@@ -70,6 +102,7 @@ void CircuitBreaker::RecordSuccess(Decision admitted) {
   if (admitted == Decision::kFastFail) return;
   std::lock_guard<std::mutex> lock(mu_);
   ++counters_.successes;
+  if (m_successes_ != nullptr) m_successes_->Add();
   if (admitted == Decision::kProbe) {
     probe_in_flight_ = false;
     if (state_ == BreakerState::kHalfOpen) {
@@ -77,6 +110,8 @@ void CircuitBreaker::RecordSuccess(Decision admitted) {
         state_ = BreakerState::kClosed;
         consecutive_failures_ = 0;
         probe_successes_ = 0;
+        if (m_state_ != nullptr) m_state_->Set(0);
+        obs::AnnotateCurrent("breaker.close", key_);
       }
     }
     return;
@@ -88,6 +123,7 @@ void CircuitBreaker::RecordFailure(Decision admitted) {
   if (admitted == Decision::kFastFail) return;
   std::lock_guard<std::mutex> lock(mu_);
   ++counters_.failures;
+  if (m_failures_ != nullptr) m_failures_->Add();
   if (admitted == Decision::kProbe) {
     // The source is still sick: re-trip for another cool-down.
     TripOpenLocked();

@@ -31,6 +31,8 @@
 #include <mutex>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace silkroute::service {
 
 struct CircuitBreakerOptions {
@@ -42,6 +44,10 @@ struct CircuitBreakerOptions {
   int half_open_successes = 1;
   /// Injectable monotonic clock in milliseconds (tests); null = steady_clock.
   std::function<double()> now_ms;
+  /// Mirrors every breaker's counters and state into per-table labeled
+  /// series (silkroute_breaker_*_total{table="..."}), superseding bespoke
+  /// map snapshots as the export path. Borrowed; null = disabled.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 enum class BreakerState { kClosed, kOpen, kHalfOpen };
@@ -95,6 +101,15 @@ class CircuitBreaker {
   bool probe_in_flight_ = false;
   double open_until_ms_ = 0;
   BreakerCounters counters_;
+
+  // Live mirrors in the unified metrics registry (null when disabled),
+  // resolved once at construction.
+  obs::Counter* m_trips_ = nullptr;
+  obs::Counter* m_fast_fails_ = nullptr;
+  obs::Counter* m_probes_ = nullptr;
+  obs::Counter* m_successes_ = nullptr;
+  obs::Counter* m_failures_ = nullptr;
+  obs::Gauge* m_state_ = nullptr;  // 0 closed, 1 open, 2 half-open
 };
 
 /// Creates and owns one breaker per key (table name). Thread-safe.

@@ -27,33 +27,17 @@ bool IsSourceFailure(StatusCode code) {
   return code == StatusCode::kUnavailable || code == StatusCode::kTimeout;
 }
 
-/// The breaker keys of a component query: the tables its covered nodes
-/// *introduce*. A node's rule body is the conjunction of all atoms in
-/// scope, so the inherited (ancestor) atoms are subtracted — a failure is
-/// attributed to the tables the failing component brought in, not to every
-/// joined ancestor; a genuinely sick ancestor trips its own component.
-std::vector<std::string> ComponentTables(const ViewTree& tree,
-                                         const std::vector<int>& nodes) {
-  std::set<std::string> tables;
-  for (int id : nodes) {
-    const core::ViewTreeNode& node = tree.node(id);
-    const std::vector<core::DatalogAtom>* inherited =
-        node.parent >= 0 ? &tree.node(node.parent).atoms : nullptr;
-    auto own = [&](const core::DatalogAtom& atom) {
-      return inherited == nullptr ||
-             std::find(inherited->begin(), inherited->end(), atom) ==
-                 inherited->end();
-    };
-    for (const auto& atom : node.atoms) {
-      if (own(atom)) tables.insert(atom.table);
-    }
-    for (const auto& rule : node.extra_rules) {
-      for (const auto& atom : rule.atoms) {
-        if (own(atom)) tables.insert(atom.table);
-      }
-    }
-  }
-  return {tables.begin(), tables.end()};
+// The breaker keys of a component query are the tables it *introduces*:
+// core::ComponentTables (silkroute/source.h), shared with the publisher's
+// per-component outcome attribution.
+
+/// The service's breakers mirror into the unified registry; options_ is
+/// const by the time breakers_ is constructed, so the injection happens on
+/// a copy in the initializer list.
+CircuitBreakerOptions WithBreakerMetrics(CircuitBreakerOptions options,
+                                         obs::MetricsRegistry* metrics) {
+  options.metrics = metrics;
+  return options;
 }
 
 double MsSince(std::chrono::steady_clock::time_point start) {
@@ -85,18 +69,30 @@ class PublishingService::PooledExecution : public core::PlanExecution {
                                            const SqlGenerator& gen,
                                            std::vector<StreamSpec> specs,
                                            const PublishOptions& options,
-                                           core::PlanMetrics* metrics) override;
+                                           core::PlanMetrics* metrics,
+                                           obs::SpanHandle* plan_span) override;
 
   /// Buffered-byte reservation still held; the coordinator releases it
   /// once the document is tagged (the streams are consumed by then).
   size_t reserved_bytes() const { return reserved_bytes_; }
 
  private:
+  /// A degradation replacement awaiting submission, with its component
+  /// span (a child of the failed component's span).
+  struct FollowUp {
+    StreamSpec spec;
+    size_t origin;
+    std::shared_ptr<obs::SpanHandle> span;
+  };
+
   /// Pre-condition: outstanding_ already counts this task.
-  void SubmitTask(StreamSpec spec, size_t origin);
-  void ExecuteOne(StreamSpec spec, size_t origin);
+  void SubmitTask(StreamSpec spec, size_t origin,
+                  std::shared_ptr<obs::SpanHandle> span);
+  void ExecuteOne(StreamSpec spec, size_t origin,
+                  std::shared_ptr<obs::SpanHandle> span,
+                  std::chrono::steady_clock::time_point enqueued);
   /// Terminal accounting of one task; submits degradation follow-ups.
-  void FinishTask(std::vector<std::pair<StreamSpec, size_t>> follow_ups);
+  void FinishTask(std::vector<FollowUp> follow_ups);
 
   PublishingService* const service_;
   const bool has_deadline_;
@@ -115,6 +111,7 @@ class PublishingService::PooledExecution : public core::PlanExecution {
   std::set<size_t> degraded_origins_;
   std::vector<int> failed_nodes_;
   std::vector<std::string> sql_log_;
+  std::vector<core::ComponentOutcome> components_;
   engine::ExecutionReport report_;
   Status fatal_;
   bool timed_out_ = false;
@@ -129,7 +126,7 @@ class PublishingService::PooledExecution : public core::PlanExecution {
 Result<std::vector<ComponentStream>> PublishingService::PooledExecution::Run(
     const ViewTree& tree, const SqlGenerator& gen,
     std::vector<StreamSpec> specs, const PublishOptions& options,
-    core::PlanMetrics* metrics) {
+    core::PlanMetrics* metrics, obs::SpanHandle* plan_span) {
   tree_ = &tree;
   gen_ = &gen;
   options_ = &options;
@@ -143,8 +140,12 @@ Result<std::vector<ComponentStream>> PublishingService::PooledExecution::Run(
     std::lock_guard<std::mutex> lock(mu_);
     outstanding_ = specs.size();
   }
+  // Component spans are started here, in plan order, so their hierarchical
+  // ids are deterministic regardless of which worker finishes first.
   for (size_t i = 0; i < specs.size(); ++i) {
-    SubmitTask(std::move(specs[i]), i);
+    auto span =
+        core::MakeComponentSpan(tree, options.tracer, plan_span, specs[i]);
+    SubmitTask(std::move(specs[i]), i, std::move(span));
   }
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -165,6 +166,7 @@ Result<std::vector<ComponentStream>> PublishingService::PooledExecution::Run(
   metrics->failed_nodes = std::move(failed_nodes_);
   std::sort(metrics->failed_nodes.begin(), metrics->failed_nodes.end());
   if (options.collect_sql) metrics->sql = std::move(sql_log_);
+  metrics->components = std::move(components_);
   metrics->rows = rows_;
   metrics->wire_bytes = wire_bytes_;
   // Query/bind time is summed across workers: aggregate server time, which
@@ -179,11 +181,12 @@ Result<std::vector<ComponentStream>> PublishingService::PooledExecution::Run(
   return std::move(done_);
 }
 
-void PublishingService::PooledExecution::SubmitTask(StreamSpec spec,
-                                                    size_t origin) {
+void PublishingService::PooledExecution::SubmitTask(
+    StreamSpec spec, size_t origin, std::shared_ptr<obs::SpanHandle> span) {
   bool submitted = service_->pool_.Submit(
-      [this, spec = std::move(spec), origin]() mutable {
-        ExecuteOne(std::move(spec), origin);
+      [this, spec = std::move(spec), origin, span = std::move(span),
+       enqueued = std::chrono::steady_clock::now()]() mutable {
+        ExecuteOne(std::move(spec), origin, std::move(span), enqueued);
       });
   if (!submitted) {
     // Pool already shut down; account the task as terminally failed.
@@ -195,7 +198,7 @@ void PublishingService::PooledExecution::SubmitTask(StreamSpec spec,
 }
 
 void PublishingService::PooledExecution::FinishTask(
-    std::vector<std::pair<StreamSpec, size_t>> follow_ups) {
+    std::vector<FollowUp> follow_ups) {
   service_->admission_.FinishQuery();
   if (!follow_ups.empty()) {
     // Degradation replacements stand in for the slot the failed query
@@ -207,14 +210,17 @@ void PublishingService::PooledExecution::FinishTask(
     outstanding_ += follow_ups.size();
     if (--outstanding_ == 0) cv_.notify_all();
   }
-  for (auto& [spec, origin] : follow_ups) {
-    SubmitTask(std::move(spec), origin);
+  for (FollowUp& f : follow_ups) {
+    SubmitTask(std::move(f.spec), f.origin, std::move(f.span));
   }
 }
 
-void PublishingService::PooledExecution::ExecuteOne(StreamSpec spec,
-                                                    size_t origin) {
+void PublishingService::PooledExecution::ExecuteOne(
+    StreamSpec spec, size_t origin, std::shared_ptr<obs::SpanHandle> span,
+    std::chrono::steady_clock::time_point enqueued) {
   const PublishOptions& options = *options_;
+  double queue_wait_ms = MsSince(enqueued);
+  if (span != nullptr) span->AnnotateMs("queue_wait_ms", queue_wait_ms);
   bool drain = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -225,7 +231,17 @@ void PublishingService::PooledExecution::ExecuteOne(StreamSpec spec,
     if (fatal_.ok()) fatal_ = Status::Unavailable("service shutting down");
     drain = true;
   }
-  if (drain) return FinishTask({});
+  // Every exit below ends the component span BEFORE FinishTask: the final
+  // FinishTask releases the drain barrier, and a span still open past it
+  // (ended only by the task lambda's destructor) could miss a trace export
+  // that runs as soon as the plan completes.
+  if (drain) {
+    if (span != nullptr) {
+      span->Annotate("status", "drained");
+      span->End();
+    }
+    return FinishTask({});
+  }
 
   // End-to-end deadline: a request out of time fails before burning a
   // worker on a doomed query.
@@ -234,8 +250,19 @@ void PublishingService::PooledExecution::ExecuteOne(StreamSpec spec,
       std::lock_guard<std::mutex> lock(mu_);
       timed_out_ = true;
     }
+    if (span != nullptr) {
+      span->Annotate("status", StatusCodeToString(StatusCode::kTimeout));
+      span->End();
+    }
     return FinishTask({});
   }
+
+  std::vector<std::string> tables =
+      core::ComponentTables(*tree_, spec.covered_nodes);
+  core::ComponentOutcome outcome;
+  outcome.nodes = spec.covered_nodes;
+  outcome.tables = tables;
+  outcome.queue_wait_ms = queue_wait_ms;
 
   // Circuit breakers: one gate per backend table this component touches.
   // Any open breaker fast-fails the query, which then degrades
@@ -243,8 +270,7 @@ void PublishingService::PooledExecution::ExecuteOne(StreamSpec spec,
   using Decision = CircuitBreaker::Decision;
   std::vector<std::pair<CircuitBreaker*, Decision>> gates;
   std::string open_table;
-  for (const std::string& table :
-       ComponentTables(*tree_, spec.covered_nodes)) {
+  for (const std::string& table : tables) {
     CircuitBreaker* breaker = service_->breakers_.Get(table);
     Decision decision = breaker->Admit();
     if (decision == Decision::kFastFail) {
@@ -258,12 +284,15 @@ void PublishingService::PooledExecution::ExecuteOne(StreamSpec spec,
   engine::Relation rel;
   engine::ExecutionReport task_report;
   double query_elapsed = 0;
+  obs::SpanHandle query_span;
   if (!open_table.empty()) {
     // A sibling breaker may have admitted a probe for this same query;
     // return the probe slot unused.
     for (auto& [breaker, decision] : gates) breaker->AbandonProbe(decision);
     status = Status::Unavailable("circuit breaker open for table '" +
                                  open_table + "'");
+    outcome.breaker_fast_fail = true;
+    if (span != nullptr) span->Annotate("breaker.fast_fail", open_table);
     std::lock_guard<std::mutex> lock(mu_);
     ++breaker_fast_fails_;
   } else {
@@ -284,12 +313,26 @@ void PublishingService::PooledExecution::ExecuteOne(StreamSpec spec,
     retry.cancel = &service_->cancel_;
     retry.has_deadline = has_deadline_;
     retry.deadline = deadline_;
+    retry.tracer = service_->options_.tracer;
+    retry.metrics = service_->options_.metrics_registry;
     engine::ResilientExecutor resilient(service_->executor_, retry);
 
+    // phase:query under the component span; the resilient layer hangs
+    // attempt/backoff spans off it through the thread-local current span.
+    query_span = obs::Tracer::Child(service_->options_.tracer, span.get(),
+                                    "phase:query");
     Timer query_timer;
-    auto result = resilient.ExecuteSql(spec.sql);
+    auto result = [&] {
+      obs::ScopedCurrentSpan scope(&query_span);
+      return resilient.ExecuteSql(spec.sql);
+    }();
     query_elapsed = query_timer.ElapsedMillis();
     task_report = resilient.report();
+    const engine::QueryExecution& executed = task_report.queries.back();
+    outcome.attempts = static_cast<size_t>(executed.attempts);
+    outcome.retries = executed.attempts > 1
+                          ? static_cast<size_t>(executed.attempts - 1)
+                          : 0;
     status = result.status();
     bool source_failure = !result.ok() && IsSourceFailure(status.code());
     for (auto& [breaker, decision] : gates) {
@@ -304,9 +347,12 @@ void PublishingService::PooledExecution::ExecuteOne(StreamSpec spec,
     }
     if (result.ok()) rel = std::move(result).value();
   }
+  outcome.final_status = status.code();
 
   if (status.ok()) {
     size_t rel_rows = rel.rows.size();
+    obs::SpanHandle bind_span =
+        obs::Tracer::Child(service_->options_.tracer, span.get(), "phase:bind");
     Timer bind_timer;
     auto stream = std::make_unique<engine::TupleStream>(std::move(rel));
     double bind_elapsed = bind_timer.ElapsedMillis();
@@ -321,16 +367,36 @@ void PublishingService::PooledExecution::ExecuteOne(StreamSpec spec,
                              task_report.queries.end());
       if (!reserved.ok()) {
         if (fatal_.ok()) fatal_ = reserved;
+        outcome.final_status = reserved.code();
       } else {
         reserved_bytes_ += bytes;
         rows_ += rel_rows;
         wire_bytes_ += bytes;
         query_ms_ += query_elapsed;
         bind_ms_ += bind_elapsed;
+        // The spans carry the *same* measured values that feed the
+        // metrics, so a trace reproduces the query/bind totals exactly.
+        query_span.AnnotateMs("ms", query_elapsed);
+        bind_span.AnnotateMs("ms", bind_elapsed);
         done_.push_back(ComponentStream{std::move(spec), std::move(stream)});
       }
+      components_.push_back(std::move(outcome));
+    }
+    query_span.End();
+    bind_span.End();
+    if (span != nullptr) {
+      span->Annotate("status", StatusCodeToString(reserved.code()));
+      span->End();
     }
     return FinishTask({});
+  }
+
+  if (query_span.recording()) {
+    query_span.Annotate("status", StatusCodeToString(status.code()));
+    query_span.End();
+  }
+  if (span != nullptr) {
+    span->Annotate("status", StatusCodeToString(status.code()));
   }
 
   // Failure handling, mirroring the sequential strategy's retry/degrade
@@ -338,7 +404,7 @@ void PublishingService::PooledExecution::ExecuteOne(StreamSpec spec,
   // failure splits the component at its deepest kept edge; at the
   // fully-partitioned limit a timeout reports timed_out and an unavailable
   // node is skipped best-effort.
-  std::vector<std::pair<StreamSpec, size_t>> follow_ups;
+  std::vector<FollowUp> follow_ups;
   {
     std::lock_guard<std::mutex> lock(mu_);
     report_.queries.insert(report_.queries.end(),
@@ -368,6 +434,7 @@ void PublishingService::PooledExecution::ExecuteOne(StreamSpec spec,
         }
       } else {
         degraded_origins_.insert(origin);
+        outcome.degraded = true;
         auto [remainder, subtree] = core::SplitAtEdge(
             *tree_, spec.covered_nodes, tree_->Edges()[edge]);
         for (auto* part : {&remainder, &subtree}) {
@@ -377,11 +444,19 @@ void PublishingService::PooledExecution::ExecuteOne(StreamSpec spec,
             follow_ups.clear();
             break;
           }
-          follow_ups.emplace_back(std::move(sub_spec).value(), origin);
+          // Follow-up queries nest under the failed component's span, so
+          // the trace shows the degradation tree.
+          StreamSpec sub = std::move(sub_spec).value();
+          auto sub_span = core::MakeComponentSpan(
+              *tree_, service_->options_.tracer, span.get(), sub);
+          follow_ups.push_back(
+              FollowUp{std::move(sub), origin, std::move(sub_span)});
         }
       }
     }
+    components_.push_back(std::move(outcome));
   }
+  if (span != nullptr) span->End();
   FinishTask(std::move(follow_ups));
 }
 
@@ -412,9 +487,10 @@ PublishingService::PublishingService(const Database* db, ServiceOptions options)
       own_executor_(db),
       executor_(options_.executor != nullptr ? options_.executor
                                              : &own_executor_),
-      admission_(options_.admission),
-      breakers_(options_.breaker),
-      pool_(options_.workers) {}
+      admission_(options_.admission, options_.metrics_registry),
+      breakers_(
+          WithBreakerMetrics(options_.breaker, options_.metrics_registry)),
+      pool_(options_.workers, options_.metrics_registry) {}
 
 PublishingService::~PublishingService() { Shutdown(); }
 
@@ -443,9 +519,14 @@ Result<std::shared_ptr<PublishTicket>> PublishingService::Submit(
     return Status::Unavailable("service is shut down");
   }
   auto ticket = std::shared_ptr<PublishTicket>(new PublishTicket());
+  // The request root span starts on the caller's thread, so concurrent
+  // Submits take root ordinals in submission order and queueing ahead of
+  // the coordinator is inside the span.
+  obs::SpanHandle request_span = obs::Tracer::Root(options_.tracer, "request");
   ticket->coordinator_ = std::thread(
-      [this, ticket_ptr = ticket.get(), req = std::move(request)]() mutable {
-        RunRequest(std::move(req), ticket_ptr);
+      [this, ticket_ptr = ticket.get(), req = std::move(request),
+       span = std::move(request_span)]() mutable {
+        RunRequest(std::move(req), ticket_ptr, std::move(span));
       });
   return ticket;
 }
@@ -479,7 +560,8 @@ std::vector<ServiceResponse> PublishingService::PublishAll(
 }
 
 void PublishingService::RunRequest(ServiceRequest request,
-                                   PublishTicket* ticket) {
+                                   PublishTicket* ticket,
+                                   obs::SpanHandle request_span) {
   auto start = std::chrono::steady_clock::now();
   double deadline_ms = request.deadline_ms > 0 ? request.deadline_ms
                                                : options_.default_deadline_ms;
@@ -487,6 +569,7 @@ void PublishingService::RunRequest(ServiceRequest request,
   auto deadline =
       start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                   std::chrono::duration<double, std::milli>(deadline_ms));
+  if (has_deadline) request_span.AnnotateMs("deadline_ms", deadline_ms);
 
   ServiceResponse response;
   {
@@ -495,6 +578,9 @@ void PublishingService::RunRequest(ServiceRequest request,
     opts.executor = executor_;
     opts.execution = &execution;
     opts.retry = options_.retry;
+    opts.tracer = options_.tracer;
+    opts.parent_span = &request_span;
+    opts.metrics_registry = options_.metrics_registry;
     std::ostringstream out;
     auto result = publisher_.Publish(request.rxl, opts, &out);
     if (result.ok()) {
@@ -507,6 +593,27 @@ void PublishingService::RunRequest(ServiceRequest request,
     admission_.ReleaseBytes(execution.reserved_bytes());
   }
   response.elapsed_ms = MsSince(start);
+
+  StatusCode final_code = !response.status.ok()
+                              ? response.status.code()
+                          : response.result.metrics.timed_out
+                              ? StatusCode::kTimeout
+                              : StatusCode::kOk;
+  request_span.Annotate("status", StatusCodeToString(final_code));
+  request_span.AnnotateMs("elapsed_ms", response.elapsed_ms);
+  // End before fulfilling the ticket: a client that Waits and then reads
+  // the trace must find the complete request span tree in the sink.
+  request_span.End();
+  if (options_.metrics_registry != nullptr) {
+    options_.metrics_registry->histogram("silkroute_request_us")
+        ->RecordMicros(response.elapsed_ms * 1000.0);
+    const char* series = final_code == StatusCode::kOk
+                             ? "silkroute_requests_completed_total"
+                         : final_code == StatusCode::kTimeout
+                             ? "silkroute_requests_timed_out_total"
+                             : "silkroute_requests_failed_total";
+    options_.metrics_registry->counter(series)->Add();
+  }
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -549,6 +656,11 @@ void PublishingService::Shutdown() {
     drained_cv_.wait(lock, [&] { return active_requests_ == 0; });
   }
   pool_.Shutdown();
+}
+
+std::map<std::string, BreakerCounters> PublishingService::breaker_snapshot()
+    const {
+  return breakers_.Snapshot();
 }
 
 ServiceMetrics PublishingService::metrics() const {

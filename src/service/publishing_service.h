@@ -62,6 +62,14 @@ struct ServiceOptions {
   /// FaultInjectingExecutor are). null = the service's own
   /// DatabaseExecutor over `db`.
   engine::SqlExecutor* executor = nullptr;
+
+  // --- Observability (borrowed; null = disabled, see DESIGN.md §9) ------
+  /// Emits one request-rooted span tree per submitted request
+  /// (request → plan → component → phase/attempt).
+  obs::Tracer* tracer = nullptr;
+  /// Unified metrics registry: admission, breaker, pool, and request
+  /// series are live-mirrored into it.
+  obs::MetricsRegistry* metrics_registry = nullptr;
 };
 
 struct ServiceRequest {
@@ -142,15 +150,19 @@ class PublishingService {
   void Shutdown();
 
   ServiceMetrics metrics() const;
-  std::map<std::string, BreakerCounters> breaker_snapshot() const {
-    return breakers_.Snapshot();
-  }
+  /// Legacy per-breaker counter map. The canonical export path is the
+  /// unified metrics registry (ServiceOptions::metrics_registry), which the
+  /// breakers mirror into live; this copy is for tests and callers that
+  /// want the raw struct. Defined out of line so the header stays free of
+  /// the map-copy machinery.
+  std::map<std::string, BreakerCounters> breaker_snapshot() const;
   core::Publisher* publisher() { return &publisher_; }
 
  private:
   class PooledExecution;
 
-  void RunRequest(ServiceRequest request, PublishTicket* ticket);
+  void RunRequest(ServiceRequest request, PublishTicket* ticket,
+                  obs::SpanHandle request_span);
 
   const Database* db_;
   const ServiceOptions options_;

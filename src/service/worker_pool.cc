@@ -5,7 +5,12 @@
 
 namespace silkroute::service {
 
-WorkerPool::WorkerPool(size_t num_threads) {
+WorkerPool::WorkerPool(size_t num_threads, obs::MetricsRegistry* metrics) {
+  if (metrics != nullptr) {
+    m_tasks_ = metrics->counter("silkroute_pool_tasks_total");
+    m_queue_wait_us_ = metrics->histogram("silkroute_pool_queue_wait_us");
+    m_queue_depth_ = metrics->gauge("silkroute_pool_queue_depth");
+  }
   num_threads = std::max<size_t>(num_threads, 1);
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
@@ -19,7 +24,10 @@ bool WorkerPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) return false;
-    queue_.push_back(std::move(task));
+    queue_.push_back(Entry{std::move(task), std::chrono::steady_clock::now()});
+    if (m_queue_depth_ != nullptr) {
+      m_queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+    }
   }
   cv_.notify_one();
   return true;
@@ -46,15 +54,25 @@ size_t WorkerPool::queue_depth() const {
 
 void WorkerPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Entry entry;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
       if (queue_.empty()) return;  // shutdown with a drained queue
-      task = std::move(queue_.front());
+      entry = std::move(queue_.front());
       queue_.pop_front();
+      if (m_queue_depth_ != nullptr) {
+        m_queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+      }
     }
-    task();
+    if (m_tasks_ != nullptr) {
+      m_tasks_->Add();
+      m_queue_wait_us_->RecordMicros(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - entry.enqueued)
+              .count());
+    }
+    entry.task();
   }
 }
 

@@ -12,6 +12,7 @@
 #ifndef SILKROUTE_SERVICE_WORKER_POOL_H_
 #define SILKROUTE_SERVICE_WORKER_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -20,11 +21,17 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace silkroute::service {
 
 class WorkerPool {
  public:
-  explicit WorkerPool(size_t num_threads);
+  /// `metrics` (borrowed, may be null) records per-task queue wait — the
+  /// time between Submit and a worker picking the task up — into
+  /// silkroute_pool_queue_wait_us, plus the live queue depth gauge.
+  explicit WorkerPool(size_t num_threads,
+                      obs::MetricsRegistry* metrics = nullptr);
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
@@ -41,14 +48,24 @@ class WorkerPool {
   size_t queue_depth() const;
 
  private:
+  struct Entry {
+    std::function<void()> task;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void WorkerLoop();
 
   mutable std::mutex mu_;
   std::mutex join_mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Entry> queue_;
   bool shutdown_ = false;
   std::vector<std::thread> threads_;
+
+  // Registry mirrors (null when disabled), resolved once at construction.
+  obs::Counter* m_tasks_ = nullptr;
+  obs::Histogram* m_queue_wait_us_ = nullptr;
+  obs::Gauge* m_queue_depth_ = nullptr;
 };
 
 }  // namespace silkroute::service

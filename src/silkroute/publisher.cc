@@ -85,7 +85,36 @@ bool IsSourceFailure(StatusCode code) {
 struct PendingQuery {
   StreamSpec spec;
   size_t origin = 0;
+  /// Component span (null when tracing is off). Shared so follow-up
+  /// queries produced by degradation can nest under the failed
+  /// component's span after this item is gone.
+  std::shared_ptr<obs::SpanHandle> span;
 };
+
+}  // namespace
+
+std::shared_ptr<obs::SpanHandle> MakeComponentSpan(const ViewTree& tree,
+                                                   obs::Tracer* tracer,
+                                                   obs::SpanHandle* parent,
+                                                   const StreamSpec& spec) {
+  if (tracer == nullptr || !tracer->enabled()) return nullptr;
+  auto span = std::make_shared<obs::SpanHandle>(
+      tracer->StartChild(parent, "component"));
+  std::string nodes, tables;
+  for (int id : spec.covered_nodes) {
+    if (!nodes.empty()) nodes += ',';
+    nodes += std::to_string(id);
+  }
+  for (const std::string& t : ComponentTables(tree, spec.covered_nodes)) {
+    if (!tables.empty()) tables += ',';
+    tables += t;
+  }
+  span->Annotate("nodes", std::move(nodes));
+  span->Annotate("tables", std::move(tables));
+  return span;
+}
+
+namespace {
 
 /// The built-in strategy: one query at a time on the calling thread,
 /// retries through a ResilientExecutor, degradation down the edge-mask
@@ -98,7 +127,8 @@ class SequentialExecution : public PlanExecution {
                                            const SqlGenerator& gen,
                                            std::vector<StreamSpec> specs,
                                            const PublishOptions& options,
-                                           PlanMetrics* metrics) override;
+                                           PlanMetrics* metrics,
+                                           obs::SpanHandle* plan_span) override;
 
  private:
   const Database* db_;
@@ -107,7 +137,7 @@ class SequentialExecution : public PlanExecution {
 Result<std::vector<ComponentStream>> SequentialExecution::Run(
     const ViewTree& tree, const SqlGenerator& gen,
     std::vector<StreamSpec> specs, const PublishOptions& options,
-    PlanMetrics* metrics) {
+    PlanMetrics* metrics, obs::SpanHandle* plan_span) {
   // The execution stack: the connection (caller-supplied for fault
   // injection, otherwise the local database) under the resilient retry
   // layer. Strict mode runs single-attempt with no budget, preserving the
@@ -117,6 +147,8 @@ Result<std::vector<ComponentStream>> SequentialExecution::Run(
       options.executor != nullptr ? options.executor : &db_executor;
   engine::RetryOptions retry = options.retry;
   retry.query_deadline_ms = options.query_timeout_ms;
+  retry.tracer = options.tracer;
+  retry.metrics = options.metrics_registry;
   if (options.strict) {
     retry.max_attempts = 1;
     retry.retry_budget = 0;
@@ -129,7 +161,8 @@ Result<std::vector<ComponentStream>> SequentialExecution::Run(
   // smaller components and re-queued, in the limit one query per node.
   std::deque<PendingQuery> queue;
   for (size_t i = 0; i < specs.size(); ++i) {
-    queue.push_back(PendingQuery{std::move(specs[i]), i});
+    auto span = MakeComponentSpan(tree, options.tracer, plan_span, specs[i]);
+    queue.push_back(PendingQuery{std::move(specs[i]), i, std::move(span)});
   }
   std::set<size_t> degraded_origins;
   std::vector<ComponentStream> done;
@@ -144,26 +177,66 @@ Result<std::vector<ComponentStream>> SequentialExecution::Run(
     queue.pop_front();
     if (options.collect_sql) metrics->sql.push_back(item.spec.sql);
 
+    ComponentOutcome outcome;
+    outcome.nodes = item.spec.covered_nodes;
+    outcome.tables = ComponentTables(tree, item.spec.covered_nodes);
+
+    // phase:query under the component span; the resilient layer hangs
+    // attempt/backoff spans off it through the thread-local current span.
+    obs::SpanHandle query_span =
+        obs::Tracer::Child(options.tracer, item.span.get(), "phase:query");
     Timer query_timer;
-    auto rel_result = resilient.ExecuteSql(item.spec.sql);
+    auto rel_result = [&] {
+      obs::ScopedCurrentSpan scope(&query_span);
+      return resilient.ExecuteSql(item.spec.sql);
+    }();
+    const engine::QueryExecution& executed = resilient.report().queries.back();
+    outcome.attempts = static_cast<size_t>(executed.attempts);
+    outcome.retries = executed.attempts > 1
+                          ? static_cast<size_t>(executed.attempts - 1)
+                          : 0;
     if (rel_result.ok()) {
       engine::Relation rel = std::move(rel_result).value();
-      metrics->query_ms += query_timer.ElapsedMillis();
+      // The span carries the *same* measured value that feeds the metrics,
+      // so a trace reproduces the query/bind/tag totals exactly.
+      double query_elapsed = query_timer.ElapsedMillis();
+      metrics->query_ms += query_elapsed;
+      query_span.AnnotateMs("ms", query_elapsed);
+      query_span.End();
       metrics->rows += rel.rows.size();
 
+      obs::SpanHandle bind_span =
+          obs::Tracer::Child(options.tracer, item.span.get(), "phase:bind");
       Timer bind_timer;
       auto stream = std::make_unique<engine::TupleStream>(std::move(rel));
-      metrics->bind_ms += bind_timer.ElapsedMillis();
+      double bind_elapsed = bind_timer.ElapsedMillis();
+      metrics->bind_ms += bind_elapsed;
+      bind_span.AnnotateMs("ms", bind_elapsed);
+      bind_span.End();
       metrics->wire_bytes += stream->wire_bytes();
+      if (item.span != nullptr) {
+        item.span->Annotate("status", StatusCodeToString(StatusCode::kOk));
+      }
+      metrics->components.push_back(std::move(outcome));
       done.push_back(ComponentStream{std::move(item.spec), std::move(stream)});
       continue;
     }
     const Status& status = rel_result.status();
+    outcome.final_status = status.code();
+    query_span.Annotate("status", StatusCodeToString(status.code()));
+    query_span.End();
+    if (item.span != nullptr) {
+      item.span->Annotate("status", StatusCodeToString(status.code()));
+    }
     // Budget exhaustion always aborts: degrading without retries left would
     // just re-fail; the caller must raise the budget or go strict.
-    if (status.code() == StatusCode::kResourceExhausted) return status;
-    if (!IsSourceFailure(status.code())) return status;
+    if (status.code() == StatusCode::kResourceExhausted ||
+        !IsSourceFailure(status.code())) {
+      metrics->components.push_back(std::move(outcome));
+      return status;
+    }
     if (options.strict) {
+      metrics->components.push_back(std::move(outcome));
       if (status.code() == StatusCode::kTimeout) {
         metrics->timed_out = true;
         finish_metrics();
@@ -177,6 +250,7 @@ Result<std::vector<ComponentStream>> SequentialExecution::Run(
       // Fully-partitioned limit reached and the single-node query still
       // fails. A timeout here keeps the paper's reporting; an unavailable
       // node is skipped (best-effort document, recorded in failed_nodes).
+      metrics->components.push_back(std::move(outcome));
       if (status.code() == StatusCode::kTimeout) {
         metrics->timed_out = true;
         finish_metrics();
@@ -191,12 +265,19 @@ Result<std::vector<ComponentStream>> SequentialExecution::Run(
       continue;
     }
     degraded_origins.insert(item.origin);
+    outcome.degraded = true;
+    metrics->components.push_back(std::move(outcome));
     auto [remainder, subtree] =
         SplitAtEdge(tree, item.spec.covered_nodes, tree.Edges()[edge]);
     for (auto* part : {&remainder, &subtree}) {
       SILK_ASSIGN_OR_RETURN(StreamSpec sub_spec,
                             gen.GenerateComponent(*part));
-      queue.push_back(PendingQuery{std::move(sub_spec), item.origin});
+      // Follow-up queries nest under the failed component's span, so the
+      // trace shows the degradation tree.
+      auto sub_span =
+          MakeComponentSpan(tree, options.tracer, item.span.get(), sub_spec);
+      queue.push_back(
+          PendingQuery{std::move(sub_spec), item.origin, std::move(sub_span)});
     }
   }
   finish_metrics();
@@ -218,13 +299,19 @@ Result<PlanMetrics> Publisher::ExecutePlan(const ViewTree& tree,
   metrics.mask = mask;
   metrics.num_streams = specs.size();
 
+  obs::SpanHandle plan_span =
+      obs::Tracer::Child(options.tracer, options.parent_span, "plan");
+  plan_span.AnnotateCount("mask", mask);
+  plan_span.AnnotateCount("num_components", specs.size());
+
   // 1. Produce the component streams through the configured strategy.
   SequentialExecution sequential(db_);
   PlanExecution* execution =
       options.execution != nullptr ? options.execution : &sequential;
   SILK_ASSIGN_OR_RETURN(
       std::vector<ComponentStream> done,
-      execution->Run(tree, gen, std::move(specs), options, &metrics));
+      execution->Run(tree, gen, std::move(specs), options, &metrics,
+                     &plan_span));
   if (metrics.timed_out) return metrics;  // partial metrics, no document
   metrics.num_streams = done.size();
 
@@ -247,12 +334,38 @@ Result<PlanMetrics> Publisher::ExecutePlan(const ViewTree& tree,
   for (auto& component : done) {
     inputs.push_back({&component.spec, component.stream.get()});
   }
+  obs::SpanHandle tag_span =
+      obs::Tracer::Child(options.tracer, &plan_span, "phase:tag");
   Timer tag_timer;
   SILK_RETURN_IF_ERROR(tagger.Run(std::move(inputs)));
   SILK_RETURN_IF_ERROR(writer.Finish());
   metrics.tag_ms = tag_timer.ElapsedMillis();
+  tag_span.AnnotateMs("ms", metrics.tag_ms);
+  tag_span.End();
   metrics.xml_bytes = writer.bytes_written();
   metrics.tagger = tagger.stats();
+
+  plan_span.AnnotateMs("query_ms", metrics.query_ms);
+  plan_span.AnnotateMs("bind_ms", metrics.bind_ms);
+  plan_span.AnnotateMs("tag_ms", metrics.tag_ms);
+  plan_span.AnnotateCount("rows", metrics.rows);
+  plan_span.AnnotateCount("wire_bytes", metrics.wire_bytes);
+  plan_span.AnnotateCount("xml_bytes", metrics.xml_bytes);
+  plan_span.End();
+
+  if (options.metrics_registry != nullptr) {
+    obs::MetricsRegistry* reg = options.metrics_registry;
+    reg->counter("silkroute_plans_total")->Add();
+    reg->histogram("silkroute_phase_query_us")
+        ->RecordMicros(metrics.query_ms * 1000.0);
+    reg->histogram("silkroute_phase_bind_us")
+        ->RecordMicros(metrics.bind_ms * 1000.0);
+    reg->histogram("silkroute_phase_tag_us")
+        ->RecordMicros(metrics.tag_ms * 1000.0);
+    reg->histogram("silkroute_plan_rows")->Record(metrics.rows);
+    reg->histogram("silkroute_plan_wire_bytes")->Record(metrics.wire_bytes);
+    reg->histogram("silkroute_plan_xml_bytes")->Record(metrics.xml_bytes);
+  }
   return metrics;
 }
 

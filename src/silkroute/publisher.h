@@ -26,10 +26,13 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/status.h"
 #include "engine/estimator.h"
 #include "engine/executor.h"
 #include "engine/resilient_executor.h"
 #include "engine/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/database.h"
 #include "rxl/ast.h"
 #include "silkroute/greedy.h"
@@ -91,6 +94,37 @@ struct PublishOptions {
   /// the concurrent PublishingService (src/service/) supplies a pooled
   /// strategy with circuit breakers and end-to-end deadlines.
   PlanExecution* execution = nullptr;
+
+  // --- Observability (borrowed; null = disabled, see DESIGN.md §9) ------
+  /// Emits plan / component / phase spans. Propagated into the resilient
+  /// layer (attempt and backoff spans) via the retry options.
+  obs::Tracer* tracer = nullptr;
+  /// Parent for the plan span (the service's request span); null makes the
+  /// plan span a trace root (CLI serial mode).
+  obs::SpanHandle* parent_span = nullptr;
+  /// Registry for phase latency histograms and row/byte counters.
+  obs::MetricsRegistry* metrics_registry = nullptr;
+};
+
+/// Per-component execution outcome (one entry per component query actually
+/// issued, including degraded replacements), attributing retries, breaker
+/// fast-fails, and degradation to the specific tables involved instead of
+/// only counting them plan-wide.
+struct ComponentOutcome {
+  /// View-tree nodes the component covers.
+  std::vector<int> nodes;
+  /// Backend tables the component introduces (ComponentTables).
+  std::vector<std::string> tables;
+  size_t attempts = 0;
+  size_t retries = 0;
+  /// Fast-failed by an open circuit breaker instead of executing.
+  bool breaker_fast_fail = false;
+  /// Permanently failed and replaced by two smaller queries.
+  bool degraded = false;
+  /// Time spent queued behind other tasks before a worker picked the
+  /// query up (pooled execution only; 0 in sequential mode).
+  double queue_wait_ms = 0;
+  StatusCode final_status = StatusCode::kOk;
 };
 
 struct PlanMetrics {
@@ -127,6 +161,10 @@ struct PlanMetrics {
   /// being executed (service execution only; they degrade immediately
   /// without consuming retry budget).
   size_t breaker_fast_fails = 0;
+  /// One entry per component query issued (original and degraded), in
+  /// issue order, attributing attempts/retries/fast-fails to the tables
+  /// involved.
+  std::vector<ComponentOutcome> components;
 };
 
 /// A produced component stream, ready for the merge/tag phase.
@@ -149,10 +187,12 @@ class PlanExecution {
  public:
   virtual ~PlanExecution() = default;
 
+  /// `plan_span` is the enclosing plan span (null/inert when tracing is
+  /// off); strategies hang component spans off it.
   virtual Result<std::vector<ComponentStream>> Run(
       const ViewTree& tree, const SqlGenerator& gen,
       std::vector<StreamSpec> specs, const PublishOptions& options,
-      PlanMetrics* metrics) = 0;
+      PlanMetrics* metrics, obs::SpanHandle* plan_span) = 0;
 };
 
 struct PublishResult {
@@ -160,6 +200,15 @@ struct PublishResult {
   /// Present when strategy == kGreedy.
   GreedyPlan greedy_plan;
 };
+
+/// Starts a "component" span for `spec` under `parent`, annotated with the
+/// covered nodes and the tables the component introduces. Returns null —
+/// not an inert handle — when tracing is off, so the disabled path
+/// allocates nothing. Shared by the sequential and pooled strategies.
+std::shared_ptr<obs::SpanHandle> MakeComponentSpan(const ViewTree& tree,
+                                                   obs::Tracer* tracer,
+                                                   obs::SpanHandle* parent,
+                                                   const StreamSpec& spec);
 
 /// Thread-compatible for concurrent publishing: Publish/ExecutePlan may be
 /// called from multiple threads at once provided each call writes to its

@@ -1,7 +1,9 @@
 #include "silkroute/source.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
+#include <string>
 
 namespace silkroute::core {
 
@@ -120,6 +122,30 @@ std::pair<std::vector<int>, std::vector<int>> SplitAtEdge(
     (under_child ? subtree : remainder).push_back(node);
   }
   return {std::move(remainder), std::move(subtree)};
+}
+
+std::vector<std::string> ComponentTables(const ViewTree& tree,
+                                         const std::vector<int>& nodes) {
+  std::set<std::string> tables;
+  for (int id : nodes) {
+    const ViewTreeNode& node = tree.node(id);
+    const std::vector<DatalogAtom>* inherited =
+        node.parent >= 0 ? &tree.node(node.parent).atoms : nullptr;
+    auto own = [&](const DatalogAtom& atom) {
+      return inherited == nullptr ||
+             std::find(inherited->begin(), inherited->end(), atom) ==
+                 inherited->end();
+    };
+    for (const auto& atom : node.atoms) {
+      if (own(atom)) tables.insert(atom.table);
+    }
+    for (const auto& rule : node.extra_rules) {
+      for (const auto& atom : rule.atoms) {
+        if (own(atom)) tables.insert(atom.table);
+      }
+    }
+  }
+  return {tables.begin(), tables.end()};
 }
 
 }  // namespace silkroute::core

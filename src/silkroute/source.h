@@ -16,6 +16,7 @@
 #define SILKROUTE_SILKROUTE_SOURCE_H_
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -59,6 +60,15 @@ int DeepestInternalEdge(const ViewTree& tree, const std::vector<int>& nodes);
 std::pair<std::vector<int>, std::vector<int>> SplitAtEdge(
     const ViewTree& tree, const std::vector<int>& nodes,
     std::pair<int, int> edge);
+
+/// The backend tables a component's covered nodes *introduce*: a node's
+/// rule body is the conjunction of all atoms in scope, so the inherited
+/// (ancestor) atoms are subtracted — a failure is attributed to the tables
+/// the failing component brought in, not to every joined ancestor. Sorted,
+/// deduplicated. Used as circuit-breaker keys by the service and as the
+/// table attribution on component trace spans and per-component outcomes.
+std::vector<std::string> ComponentTables(const ViewTree& tree,
+                                         const std::vector<int>& nodes);
 
 }  // namespace silkroute::core
 

@@ -20,12 +20,18 @@
 //   --concurrency N    publish through the concurrent service with N workers
 //   --deadline-ms D    end-to-end deadline per request (service mode)
 //   --requests N       publish the view N times concurrently (service mode)
+//   --trace FILE       write the span trace as JSONL (see tools/trace_check)
+//   --prom FILE        write metrics in Prometheus text exposition format
+//   --stats            print the metrics summary table on stderr
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/csv.h"
 #include "service/publishing_service.h"
 #include "silkroute/dtdgen.h"
@@ -55,6 +61,9 @@ struct Args {
   int concurrency = 0;      // >0: publish through the PublishingService
   double deadline_ms = 0;   // end-to-end deadline per request
   int requests = 1;         // concurrent copies of the request
+  std::string trace;        // JSONL span trace output path
+  std::string prom;         // Prometheus text output path
+  bool stats = false;       // metrics table on stderr
 };
 
 int Usage(const char* argv0) {
@@ -63,7 +72,8 @@ int Usage(const char* argv0) {
                "[--output file] [--root name] [--strategy greedy|unified|"
                "partitioned|outer-union] [--subview path] [--explain] "
                "[--dtd] [--pretty] [--no-reduce] [--concurrency N] "
-               "[--deadline-ms D] [--requests N]\n";
+               "[--deadline-ms D] [--requests N] [--trace file] "
+               "[--prom file] [--stats]\n";
   return 2;
 }
 
@@ -126,6 +136,14 @@ int main(int argc, char** argv) {
     } else if (flag == "--requests") {
       args.requests = next() ? std::atoi(argv[i]) : -1;
       if (args.requests <= 0) return Usage(argv[0]);
+    } else if (flag == "--trace") {
+      args.trace = next() ? argv[i] : "";
+      if (args.trace.empty()) return Usage(argv[0]);
+    } else if (flag == "--prom") {
+      args.prom = next() ? argv[i] : "";
+      if (args.prom.empty()) return Usage(argv[0]);
+    } else if (flag == "--stats") {
+      args.stats = true;
     } else {
       std::cerr << "unknown flag '" << flag << "'\n";
       return Usage(argv[0]);
@@ -246,6 +264,39 @@ int main(int argc, char** argv) {
     }
     out = &file_out;
   }
+
+  // Observability: a collecting tracer when --trace was given, a metrics
+  // registry when --stats/--prom were; null pointers keep the whole stack
+  // in its compiled-in disabled mode.
+  obs::CollectingSink trace_sink;
+  obs::Tracer tracer(&trace_sink);
+  obs::MetricsRegistry registry;
+  obs::Tracer* tracer_ptr = args.trace.empty() ? nullptr : &tracer;
+  obs::MetricsRegistry* registry_ptr =
+      (args.stats || !args.prom.empty()) ? &registry : nullptr;
+  auto export_observability = [&]() -> bool {
+    if (!args.trace.empty()) {
+      std::ofstream trace_out(args.trace);
+      if (!trace_out.is_open()) {
+        std::cerr << "error: cannot write '" << args.trace << "'\n";
+        return false;
+      }
+      obs::WriteTraceJsonl(trace_out, trace_sink.spans());
+      std::cerr << "trace: " << trace_sink.size() << " span(s) -> "
+                << args.trace << "\n";
+    }
+    if (!args.prom.empty()) {
+      std::ofstream prom_out(args.prom);
+      if (!prom_out.is_open()) {
+        std::cerr << "error: cannot write '" << args.prom << "'\n";
+        return false;
+      }
+      obs::WritePrometheusText(prom_out, registry.Snapshot());
+    }
+    if (args.stats) obs::WriteStatsTable(std::cerr, registry.Snapshot());
+    return true;
+  };
+
   // Service mode: publish through the concurrent PublishingService with a
   // worker pool, admission control, circuit breakers, and deadlines.
   if (args.concurrency > 0 || args.requests > 1 || args.deadline_ms > 0) {
@@ -253,6 +304,8 @@ int main(int argc, char** argv) {
     service_options.workers =
         args.concurrency > 0 ? static_cast<size_t>(args.concurrency) : 4;
     service_options.default_deadline_ms = args.deadline_ms;
+    service_options.tracer = tracer_ptr;
+    service_options.metrics_registry = registry_ptr;
     service::PublishingService service(&db, service_options);
     std::vector<service::ServiceRequest> batch(
         static_cast<size_t>(args.requests));
@@ -289,14 +342,18 @@ int main(int argc, char** argv) {
         break;
       }
     }
+    if (!export_observability()) return 1;
     return failures == 0 ? 0 : 1;
   }
 
+  options.tracer = tracer_ptr;
+  options.metrics_registry = registry_ptr;
   auto result = publisher.Publish(rxl, options, out);
   CLI_CHECK(result);
   std::cerr << "published " << result->metrics.xml_bytes << " bytes via "
             << result->metrics.num_streams << " SQL quer"
             << (result->metrics.num_streams == 1 ? "y" : "ies") << " in "
             << result->metrics.total_ms() << " ms\n";
+  if (!export_observability()) return 1;
   return 0;
 }

@@ -1,11 +1,13 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <cstring>
 #include <numeric>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "engine/expr_eval.h"
+#include "engine/key_codec.h"
 #include "obs/trace.h"
 #include "sql/parser.h"
 
@@ -83,25 +85,48 @@ bool AsColumnEquality(const Expr& e, EquiPair* out) {
   return true;
 }
 
-struct KeyHash {
-  size_t operator()(const std::vector<Value>& key) const {
-    size_t h = 0;
-    for (const auto& v : key) h = h * 1315423911u + v.Hash();
-    return h;
+/// Chained hash index over packed join keys (key_codec.h): one map entry
+/// per distinct key, rows with equal keys threaded through `next_` links
+/// in insertion order. Probes therefore walk matches in ascending build-
+/// row order for free — hash-table iteration order never leaks out — and
+/// key bytes live contiguously in the arena instead of one
+/// vector<Value> node per build row. Row ids are uint32 (a build side
+/// anywhere near 4B rows would have exhausted memory long before).
+class EncodedKeyIndex {
+ public:
+  static constexpr uint32_t kNil = 0xFFFFFFFFu;
+
+  void Reserve(size_t rows) {
+    map_.reserve(rows);
+    next_.assign(rows, kNil);
   }
-};
-struct KeyEq {
-  bool operator()(const std::vector<Value>& a,
-                  const std::vector<Value>& b) const {
-    if (a.size() != b.size()) return false;
-    for (size_t i = 0; i < a.size(); ++i) {
-      if (a[i].Compare(b[i]) != 0) return false;
+
+  void Insert(std::string_view key, uint32_t row) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      map_.emplace(arena_.Intern(key), Chain{row, row});
+    } else {
+      next_[it->second.tail] = row;
+      it->second.tail = row;
     }
-    return true;
   }
+
+  /// Head of the chain for `key`, or kNil; advance with NextRow.
+  uint32_t Find(std::string_view key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? kNil : it->second.head;
+  }
+  uint32_t NextRow(uint32_t row) const { return next_[row]; }
+
+ private:
+  struct Chain {
+    uint32_t head;
+    uint32_t tail;
+  };
+  KeyArena arena_;
+  std::unordered_map<std::string_view, Chain> map_;
+  std::vector<uint32_t> next_;
 };
-using HashTable =
-    std::unordered_multimap<std::vector<Value>, size_t, KeyHash, KeyEq>;
 
 Tuple NullPadded(const Tuple& left, size_t right_width) {
   Tuple out = left;
@@ -127,6 +152,9 @@ Result<Relation> QueryExecutor::ExecuteSql(std::string_view sql_text) {
     obs::AnnotateCurrent("nested_loop_joins",
                          std::to_string(stats_.nested_loop_joins));
     obs::AnnotateCurrent("index_probes", std::to_string(stats_.index_probes));
+    obs::AnnotateCurrent("keys_encoded", std::to_string(stats_.keys_encoded));
+    obs::AnnotateCurrent("bytes_encoded",
+                         std::to_string(stats_.bytes_encoded));
     obs::AnnotateCurrent("result_rows",
                          std::to_string(result.value().rows.size()));
   }
@@ -153,8 +181,12 @@ Result<Relation> QueryExecutor::Execute(const sql::Query& query) {
                     static_cast<int64_t>(timeout_ms_ * 1000));
   }
   Relation result;
+  // With no ORDER BY the aligned pre-projection rows are never consulted,
+  // so the final join of each core may fuse with the projection.
+  const bool allow_fusion = query.order_by.empty();
   for (size_t i = 0; i < query.cores.size(); ++i) {
-    SILK_ASSIGN_OR_RETURN(Relation part, ExecuteCore(query.cores[i]));
+    SILK_ASSIGN_OR_RETURN(Relation part,
+                          ExecuteCore(query.cores[i], allow_fusion));
     if (i == 0) {
       result = std::move(part);
     } else {
@@ -170,19 +202,43 @@ Result<Relation> QueryExecutor::Execute(const sql::Query& query) {
     }
   }
   if (!query.order_by.empty()) {
-    const Relation& preproj =
-        query.cores.size() == 1 ? last_preprojection_ : result;
-    SILK_RETURN_IF_ERROR(ApplyOrderBy(query, preproj, &result));
+    const bool single = query.cores.size() == 1;
+    const RelSchema& preproj_schema =
+        single ? last_preprojection_.schema : result.schema;
+    const std::vector<Tuple>& preproj_rows =
+        single ? (last_preprojection_rows_ != nullptr
+                      ? *last_preprojection_rows_
+                      : last_preprojection_.rows)
+               : result.rows;
+    SILK_RETURN_IF_ERROR(
+        ApplyOrderBy(query, preproj_schema, preproj_rows, &result));
   }
   last_preprojection_ = Relation();  // release memory
+  last_preprojection_rows_ = nullptr;
   return result;
 }
 
-Result<Relation> QueryExecutor::ExecuteCore(const sql::SelectCore& core) {
-  SILK_ASSIGN_OR_RETURN(Relation combined, JoinFromList(core));
+Result<Relation> QueryExecutor::ExecuteCore(const sql::SelectCore& core,
+                                            bool allow_fusion) {
+  const std::vector<Tuple>* borrowed = nullptr;
+  bool fused = false;
+  SILK_ASSIGN_OR_RETURN(
+      Relation combined,
+      JoinFromList(core, allow_fusion && !core.select_star, &borrowed,
+                   &fused));
+  const std::vector<Tuple>& in_rows =
+      borrowed != nullptr ? *borrowed : combined.rows;
 
   if (core.select_star) {
-    last_preprojection_ = combined;
+    if (borrowed != nullptr) {
+      last_preprojection_.schema = combined.schema;
+      last_preprojection_.rows.clear();
+      last_preprojection_rows_ = borrowed;  // aligned: result copies these rows
+      combined.rows = *borrowed;
+    } else {
+      last_preprojection_ = combined;
+      last_preprojection_rows_ = &last_preprojection_.rows;
+    }
     return combined;
   }
 
@@ -204,45 +260,93 @@ Result<Relation> QueryExecutor::ExecuteCore(const sql::SelectCore& core) {
     }
   }
 
+  // Pure column projections (the shape SilkRoute's view composer emits)
+  // copy cells by index instead of dispatching a bound expression per cell.
+  std::vector<size_t> direct_cols;
+  direct_cols.reserve(core.select_list.size());
+  bool all_direct = true;
+  for (const auto& item : core.select_list) {
+    if (item.expr->kind() != Expr::Kind::kColumnRef) {
+      all_direct = false;
+      break;
+    }
+    const auto& c = static_cast<const sql::ColumnRefExpr&>(*item.expr);
+    auto idx = combined.schema.Resolve(c.qualifier(), c.name());
+    if (!idx.ok()) {
+      all_direct = false;
+      break;
+    }
+    direct_cols.push_back(*idx);
+  }
+
   Relation out;
   out.schema = std::move(out_schema);
-  out.rows.reserve(combined.rows.size());
-  for (const auto& row : combined.rows) {
-    Tuple projected;
-    projected.mutable_values().reserve(exprs.size());
-    for (const auto& e : exprs) projected.Append(e->Eval(row));
-    out.rows.push_back(std::move(projected));
+  if (fused) {
+    // JoinFromList already produced the projected rows.
+    out.rows = std::move(combined.rows);
+  } else if (all_direct) {
+    out.rows.reserve(in_rows.size());
+    for (const auto& row : in_rows) {
+      Tuple projected;
+      projected.mutable_values().reserve(direct_cols.size());
+      for (size_t c : direct_cols) projected.Append(row.values()[c]);
+      out.rows.push_back(std::move(projected));
+    }
+  } else {
+    out.rows.reserve(in_rows.size());
+    for (const auto& row : in_rows) {
+      Tuple projected;
+      projected.mutable_values().reserve(exprs.size());
+      for (const auto& e : exprs) projected.Append(e->Eval(row));
+      out.rows.push_back(std::move(projected));
+    }
   }
   if (core.distinct) {
-    struct RowHash {
-      size_t operator()(const Tuple& t) const {
-        size_t h = 0;
-        for (const auto& v : t.values()) h = h * 1315423911u + v.Hash();
-        return h;
-      }
-    };
-    struct RowEq {
-      bool operator()(const Tuple& a, const Tuple& b) const {
-        return a.Compare(b) == 0;
-      }
-    };
-    std::unordered_set<Tuple, RowHash, RowEq> seen;
+    // Dedup on packed whole-row keys: each row is encoded once into a
+    // contiguous byte string, so hashing and equality are single byte
+    // passes instead of a variant walk of t.values() per probe. NULL ==
+    // NULL here, as before (Tuple::Compare identity, not SqlEquals).
+    KeyArena arena;
+    std::unordered_set<std::string_view> seen;
     seen.reserve(out.rows.size());
     std::vector<Tuple> unique;
     unique.reserve(out.rows.size());
+    std::string scratch;
     for (auto& row : out.rows) {
-      if (seen.insert(row).second) unique.push_back(std::move(row));
+      scratch.clear();
+      EncodeRowKey(row, &scratch);
+      ++stats_.keys_encoded;
+      stats_.bytes_encoded += scratch.size();
+      if (seen.find(scratch) == seen.end()) {
+        seen.insert(arena.Intern(scratch));
+        unique.push_back(std::move(row));
+      }
     }
     out.rows = std::move(unique);
     // DISTINCT breaks row alignment; ORDER BY must use the output schema.
     last_preprojection_ = Relation();
+    last_preprojection_rows_ = nullptr;
+  } else if (fused) {
+    // Fusion is only allowed when nothing downstream reads the
+    // pre-projection rows (no ORDER BY in the enclosing query).
+    last_preprojection_ = Relation();
+    last_preprojection_rows_ = nullptr;
+  } else if (borrowed != nullptr) {
+    last_preprojection_.schema = std::move(combined.schema);
+    last_preprojection_.rows.clear();
+    last_preprojection_rows_ = borrowed;
   } else {
     last_preprojection_ = std::move(combined);
+    last_preprojection_rows_ = &last_preprojection_.rows;
   }
   return out;
 }
 
-Result<Relation> QueryExecutor::JoinFromList(const sql::SelectCore& core) {
+Result<Relation> QueryExecutor::JoinFromList(
+    const sql::SelectCore& core, bool allow_fusion,
+    const std::vector<Tuple>** borrowed_rows, bool* fused) {
+  *borrowed_rows = nullptr;
+  *fused = false;
   if (core.from.empty()) {
     // `select <literals>`: one empty source row.
     Relation r;
@@ -255,6 +359,9 @@ Result<Relation> QueryExecutor::JoinFromList(const sql::SelectCore& core) {
   // instead of copying the whole table.
   std::vector<Relation> items;
   std::vector<const Table*> deferred_base(core.from.size(), nullptr);
+  // borrowed[i] non-null: items[i].rows stay empty and the item reads the
+  // base table's rows in place — no per-query copy of the table.
+  std::vector<const std::vector<Tuple>*> borrowed(core.from.size(), nullptr);
   items.reserve(core.from.size());
   for (const auto& ref : core.from) {
     if (ref->kind() == sql::TableRef::Kind::kBaseTable) {
@@ -314,6 +421,14 @@ Result<Relation> QueryExecutor::JoinFromList(const sql::SelectCore& core) {
   // through an index probe when a literal-equality filter has one.
   for (size_t i = 0; i < items.size(); ++i) {
     if (deferred_base[i] != nullptr) {
+      if (pushdown[i].empty()) {
+        // Unfiltered scan: borrow the table's rows instead of copying them.
+        // Everything downstream reads the item until its rows land in an
+        // owned join output, and the database outlives the query.
+        borrowed[i] = &deferred_base[i]->rows();
+        stats_.rows_scanned += borrowed[i]->size();
+        continue;
+      }
       SILK_RETURN_IF_ERROR(
           MaterializeBaseTable(*deferred_base[i], pushdown[i], &items[i]));
       continue;
@@ -339,11 +454,36 @@ Result<Relation> QueryExecutor::JoinFromList(const sql::SelectCore& core) {
     items[i].rows = std::move(kept);
   }
 
+  auto rows_of = [&](size_t i) -> const std::vector<Tuple>& {
+    return borrowed[i] != nullptr ? *borrowed[i] : items[i].rows;
+  };
+
+  // Projection fusion: when every select item is a plain column ref, the
+  // final greedy join can emit row-id pairs and project straight off its
+  // inputs, skipping the wide concatenated tuples entirely (provided no
+  // residual predicate survives — checked after the join loop).
+  const bool can_fuse =
+      allow_fusion && items.size() > 1 &&
+      std::all_of(core.select_list.begin(), core.select_list.end(),
+                  [](const sql::SelectItem& item) {
+                    return item.expr->kind() == Expr::Kind::kColumnRef;
+                  });
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  bool have_pairs = false;
+  size_t pair_cand = 0;
+  std::vector<size_t> fuse_cols;  // select columns in the wide schema
+
   // Greedy hash-join order: start with item 0, repeatedly join the smallest
   // connected unjoined item.
   std::vector<bool> joined(items.size(), false);
   std::vector<int> item_of;  // which joined item each original index maps to
-  Relation current = std::move(items[0]);
+  Relation current;
+  current.schema = std::move(items[0].schema);
+  const std::vector<Tuple>* current_borrow = borrowed[0];
+  if (current_borrow == nullptr) current.rows = std::move(items[0].rows);
+  auto current_rows = [&]() -> const std::vector<Tuple>& {
+    return current_borrow != nullptr ? *current_borrow : current.rows;
+  };
   joined[0] = true;
   std::vector<size_t> joined_set = {0};
   size_t num_joined = 1;
@@ -367,7 +507,7 @@ Result<Relation> QueryExecutor::JoinFromList(const sql::SelectCore& core) {
                                    });
       if (!connected) continue;
       if (best < 0 ||
-          items[cand].rows.size() < items[static_cast<size_t>(best)].rows.size()) {
+          rows_of(cand).size() < rows_of(static_cast<size_t>(best)).size()) {
         best = static_cast<int>(cand);
       }
     }
@@ -388,14 +528,17 @@ Result<Relation> QueryExecutor::JoinFromList(const sql::SelectCore& core) {
     if (cross_product) {
       Relation combined;
       combined.schema = RelSchema::Concat(current.schema, right.schema);
-      combined.rows.reserve(current.rows.size() * right.rows.size());
-      for (const auto& l : current.rows) {
+      const std::vector<Tuple>& lrows = current_rows();
+      const std::vector<Tuple>& rrows = rows_of(cand);
+      combined.rows.reserve(lrows.size() * rrows.size());
+      for (const auto& l : lrows) {
         SILK_RETURN_IF_ERROR(CheckDeadline());
-        for (const auto& r : right.rows) {
+        for (const auto& r : rrows) {
           combined.rows.push_back(Tuple::Concat(l, r));
         }
       }
       current = std::move(combined);
+      current_borrow = nullptr;
     } else {
       // Gather all usable predicates between the joined set and `cand`.
       std::vector<std::pair<size_t, size_t>> keys;
@@ -411,9 +554,34 @@ Result<Relation> QueryExecutor::JoinFromList(const sql::SelectCore& core) {
         keys.emplace_back(*li, *ri);
         p.used = true;
       }
+      if (can_fuse && num_joined + 1 == items.size()) {
+        RelSchema wide = RelSchema::Concat(current.schema, right.schema);
+        fuse_cols.clear();
+        bool resolved = true;
+        for (const auto& item : core.select_list) {
+          const auto& c = static_cast<const sql::ColumnRefExpr&>(*item.expr);
+          auto idx = wide.Resolve(c.qualifier(), c.name());
+          if (!idx.ok()) {
+            resolved = false;
+            break;
+          }
+          fuse_cols.push_back(*idx);
+        }
+        if (resolved) {
+          SILK_ASSIGN_OR_RETURN(
+              pairs, HashJoinPairs(current_rows(), rows_of(cand), keys));
+          have_pairs = true;
+          pair_cand = cand;
+          joined[cand] = true;
+          ++num_joined;
+          continue;  // num_joined == items.size(): exits the loop
+        }
+      }
       SILK_ASSIGN_OR_RETURN(
-          current, HashJoin(sql::JoinType::kInner, current, right, keys,
+          current, HashJoin(sql::JoinType::kInner, current.schema,
+                            current_rows(), right.schema, rows_of(cand), keys,
                             /*residual=*/nullptr));
+      current_borrow = nullptr;
     }
     joined[cand] = true;
     ++num_joined;
@@ -424,6 +592,40 @@ Result<Relation> QueryExecutor::JoinFromList(const sql::SelectCore& core) {
   for (const auto& p : join_preds) {
     if (!p.used) leftover.push_back(p.expr);
   }
+  if (have_pairs) {
+    const std::vector<Tuple>& lrows = current_rows();
+    const std::vector<Tuple>& rrows = rows_of(pair_cand);
+    const size_t left_width = current.schema.size();
+    if (leftover.empty()) {
+      // Project straight off the join inputs: the wide tuples never exist.
+      std::vector<Tuple> projected;
+      projected.reserve(pairs.size());
+      for (const auto& [li, ri] : pairs) {
+        Tuple t;
+        t.mutable_values().reserve(fuse_cols.size());
+        for (size_t c : fuse_cols) {
+          t.Append(c < left_width ? lrows[li].values()[c]
+                                  : rrows[ri].values()[c - left_width]);
+        }
+        projected.push_back(std::move(t));
+      }
+      current.schema =
+          RelSchema::Concat(current.schema, items[pair_cand].schema);
+      current.rows = std::move(projected);
+      *fused = true;
+      return current;
+    }
+    // A residual predicate needs the wide rows after all: materialize them
+    // from the pairs (same order HashJoin would have emitted).
+    std::vector<Tuple> wide;
+    wide.reserve(pairs.size());
+    for (const auto& [li, ri] : pairs) {
+      wide.push_back(Tuple::Concat(lrows[li], rrows[ri]));
+    }
+    current.schema = RelSchema::Concat(current.schema, items[pair_cand].schema);
+    current.rows = std::move(wide);
+    current_borrow = nullptr;
+  }
   if (!leftover.empty()) {
     std::vector<BoundExprPtr> filters;
     for (const Expr* e : leftover) {
@@ -431,19 +633,35 @@ Result<Relation> QueryExecutor::JoinFromList(const sql::SelectCore& core) {
       filters.push_back(std::move(b));
     }
     std::vector<Tuple> kept;
-    kept.reserve(current.rows.size());
-    for (auto& row : current.rows) {
-      bool pass = true;
-      for (const auto& f : filters) {
-        if (f->Test(row) != Tribool::kTrue) {
-          pass = false;
-          break;
+    kept.reserve(current_rows().size());
+    if (current_borrow != nullptr) {
+      // Borrowed rows belong to the table: copy the survivors.
+      for (const auto& row : *current_borrow) {
+        bool pass = true;
+        for (const auto& f : filters) {
+          if (f->Test(row) != Tribool::kTrue) {
+            pass = false;
+            break;
+          }
         }
+        if (pass) kept.push_back(row);
       }
-      if (pass) kept.push_back(std::move(row));
+      current_borrow = nullptr;
+    } else {
+      for (auto& row : current.rows) {
+        bool pass = true;
+        for (const auto& f : filters) {
+          if (f->Test(row) != Tribool::kTrue) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) kept.push_back(std::move(row));
+      }
     }
     current.rows = std::move(kept);
   }
+  *borrowed_rows = current_borrow;
   return current;
 }
 
@@ -535,6 +753,9 @@ Result<Relation> QueryExecutor::EvalTableRef(const sql::TableRef& ref) {
       stats_.rows_sorted += sub.stats_.rows_sorted;
       stats_.hash_joins += sub.stats_.hash_joins;
       stats_.nested_loop_joins += sub.stats_.nested_loop_joins;
+      stats_.index_probes += sub.stats_.index_probes;
+      stats_.keys_encoded += sub.stats_.keys_encoded;
+      stats_.bytes_encoded += sub.stats_.bytes_encoded;
       rel.schema = rel.schema.WithQualifier(derived.alias());
       return rel;
     }
@@ -588,7 +809,8 @@ Result<Relation> QueryExecutor::JoinRelations(sql::JoinType type,
         for (const Expr* e : residual_parts) clones.push_back(e->Clone());
         residual_expr = sql::AndAll(std::move(clones));
       }
-      return HashJoin(type, left, right, keys, residual_expr.get());
+      return HashJoin(type, left.schema, left.rows, right.schema, right.rows,
+                      keys, residual_expr.get());
     }
   }
 
@@ -604,64 +826,60 @@ Result<Relation> QueryExecutor::JoinRelations(sql::JoinType type,
 }
 
 Result<Relation> QueryExecutor::HashJoin(
-    sql::JoinType type, Relation& left, Relation& right,
+    sql::JoinType type, const RelSchema& left_schema,
+    const std::vector<Tuple>& left_rows, const RelSchema& right_schema,
+    const std::vector<Tuple>& right_rows,
     const std::vector<std::pair<size_t, size_t>>& keys,
     const sql::Expr* residual) {
   Relation out;
-  out.schema = RelSchema::Concat(left.schema, right.schema);
+  out.schema = RelSchema::Concat(left_schema, right_schema);
 
   BoundExprPtr residual_bound;
   if (residual != nullptr) {
     SILK_ASSIGN_OR_RETURN(residual_bound, BindExpr(*residual, out.schema));
   }
 
-  HashTable table;
-  table.reserve(right.rows.size());
-  for (size_t r = 0; r < right.rows.size(); ++r) {
-    std::vector<Value> key;
-    key.reserve(keys.size());
-    bool has_null = false;
-    for (const auto& [li, ri] : keys) {
-      const Value& v = right.rows[r][ri];
-      if (v.is_null()) {
-        has_null = true;
-        break;
-      }
-      key.push_back(v);
-    }
-    if (!has_null) table.emplace(std::move(key), r);
+  std::vector<size_t> left_cols;
+  std::vector<size_t> right_cols;
+  left_cols.reserve(keys.size());
+  right_cols.reserve(keys.size());
+  for (const auto& [li, ri] : keys) {
+    left_cols.push_back(li);
+    right_cols.push_back(ri);
+  }
+
+  EncodedKeyIndex index;
+  index.Reserve(right_rows.size());
+  std::string scratch;
+  for (size_t r = 0; r < right_rows.size(); ++r) {
+    scratch.clear();
+    // EncodeJoinKey returns false on a NULL key column: such rows can
+    // never match, so they are simply not indexed.
+    if (!EncodeJoinKey(right_rows[r], right_cols, &scratch)) continue;
+    ++stats_.keys_encoded;
+    stats_.bytes_encoded += scratch.size();
+    index.Insert(scratch, static_cast<uint32_t>(r));
   }
 
   ++stats_.hash_joins;
-  const size_t right_width = right.schema.size();
+  const size_t right_width = right_schema.size();
   size_t deadline_check = 0;
-  std::vector<size_t> match_ids;
-  for (const auto& lrow : left.rows) {
+  for (const auto& lrow : left_rows) {
     if ((++deadline_check & 0xFF) == 0) {
       SILK_RETURN_IF_ERROR(CheckDeadline());
     }
-    std::vector<Value> key;
-    key.reserve(keys.size());
-    bool has_null = false;
-    for (const auto& [li, ri] : keys) {
-      const Value& v = lrow[li];
-      if (v.is_null()) {
-        has_null = true;
-        break;
-      }
-      key.push_back(v);
-    }
+    scratch.clear();
     bool matched = false;
-    if (!has_null) {
-      // equal_range order is a hash-table implementation detail; sort the
-      // matches so equal-key output is deterministic in right-row order
-      // (fused streams rely on it).
-      match_ids.clear();
-      auto [begin, end] = table.equal_range(key);
-      for (auto it = begin; it != end; ++it) match_ids.push_back(it->second);
-      std::sort(match_ids.begin(), match_ids.end());
-      for (size_t r : match_ids) {
-        Tuple combined = Tuple::Concat(lrow, right.rows[r]);
+    if (EncodeJoinKey(lrow, left_cols, &scratch)) {
+      ++stats_.keys_encoded;
+      stats_.bytes_encoded += scratch.size();
+      // The chain yields matches in ascending right-row order (rows were
+      // inserted in row order), so equal-key output is deterministic in
+      // right-row order — which fused streams rely on — without the sort
+      // the multimap's equal_range used to need.
+      for (uint32_t r = index.Find(scratch); r != EncodedKeyIndex::kNil;
+           r = index.NextRow(r)) {
+        Tuple combined = Tuple::Concat(lrow, right_rows[r]);
         if (residual_bound &&
             residual_bound->Test(combined) != Tribool::kTrue) {
           continue;
@@ -678,6 +896,49 @@ Result<Relation> QueryExecutor::HashJoin(
   return out;
 }
 
+Result<std::vector<std::pair<uint32_t, uint32_t>>> QueryExecutor::HashJoinPairs(
+    const std::vector<Tuple>& left_rows, const std::vector<Tuple>& right_rows,
+    const std::vector<std::pair<size_t, size_t>>& keys) {
+  std::vector<size_t> left_cols;
+  std::vector<size_t> right_cols;
+  left_cols.reserve(keys.size());
+  right_cols.reserve(keys.size());
+  for (const auto& [li, ri] : keys) {
+    left_cols.push_back(li);
+    right_cols.push_back(ri);
+  }
+
+  EncodedKeyIndex index;
+  index.Reserve(right_rows.size());
+  std::string scratch;
+  for (size_t r = 0; r < right_rows.size(); ++r) {
+    scratch.clear();
+    if (!EncodeJoinKey(right_rows[r], right_cols, &scratch)) continue;
+    ++stats_.keys_encoded;
+    stats_.bytes_encoded += scratch.size();
+    index.Insert(scratch, static_cast<uint32_t>(r));
+  }
+
+  ++stats_.hash_joins;
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  size_t deadline_check = 0;
+  for (uint32_t l = 0; l < left_rows.size(); ++l) {
+    if ((++deadline_check & 0xFF) == 0) {
+      SILK_RETURN_IF_ERROR(CheckDeadline());
+    }
+    scratch.clear();
+    if (!EncodeJoinKey(left_rows[l], left_cols, &scratch)) continue;
+    ++stats_.keys_encoded;
+    stats_.bytes_encoded += scratch.size();
+    for (uint32_t r = index.Find(scratch); r != EncodedKeyIndex::kNil;
+         r = index.NextRow(r)) {
+      pairs.emplace_back(l, r);
+    }
+  }
+  stats_.rows_joined += pairs.size();
+  return pairs;
+}
+
 Result<Relation> QueryExecutor::DisjunctiveHashJoin(sql::JoinType type,
                                                     Relation& left,
                                                     Relation& right,
@@ -689,10 +950,11 @@ Result<Relation> QueryExecutor::DisjunctiveHashJoin(sql::JoinType type,
   }
 
   struct Disjunct {
-    std::vector<std::pair<size_t, size_t>> keys;  // (left idx, right idx)
+    std::vector<size_t> left_cols;   // key columns on the probe side
+    std::vector<size_t> right_cols;  // key columns on the build side
     std::vector<BoundExprPtr> left_filters;
     std::vector<BoundExprPtr> right_filters;
-    HashTable table;
+    EncodedKeyIndex index;
   };
   std::vector<Disjunct> plans;
   plans.reserve(disjuncts.size());
@@ -708,13 +970,15 @@ Result<Relation> QueryExecutor::DisjunctiveHashJoin(sql::JoinType type,
         auto ri =
             right.schema.Resolve(pair.right->qualifier(), pair.right->name());
         if (li.ok() && ri.ok()) {
-          plan.keys.emplace_back(*li, *ri);
+          plan.left_cols.push_back(*li);
+          plan.right_cols.push_back(*ri);
           continue;
         }
         li = left.schema.Resolve(pair.right->qualifier(), pair.right->name());
         ri = right.schema.Resolve(pair.left->qualifier(), pair.left->name());
         if (li.ok() && ri.ok()) {
-          plan.keys.emplace_back(*li, *ri);
+          plan.left_cols.push_back(*li);
+          plan.right_cols.push_back(*ri);
           continue;
         }
       }
@@ -732,15 +996,16 @@ Result<Relation> QueryExecutor::DisjunctiveHashJoin(sql::JoinType type,
             "disjunct has a cross-side non-equality predicate");
       }
     }
-    if (plan.keys.empty()) {
+    if (plan.left_cols.empty()) {
       return Status::Unimplemented("disjunct has no column equality");
     }
     plans.push_back(std::move(plan));
   }
 
-  // Build one hash table per disjunct.
+  // Build one packed-key index per disjunct.
+  std::string scratch;
   for (auto& plan : plans) {
-    plan.table.reserve(right.rows.size());
+    plan.index.Reserve(right.rows.size());
     for (size_t r = 0; r < right.rows.size(); ++r) {
       bool pass = true;
       for (const auto& f : plan.right_filters) {
@@ -750,18 +1015,11 @@ Result<Relation> QueryExecutor::DisjunctiveHashJoin(sql::JoinType type,
         }
       }
       if (!pass) continue;
-      std::vector<Value> key;
-      key.reserve(plan.keys.size());
-      bool has_null = false;
-      for (const auto& [li, ri] : plan.keys) {
-        const Value& v = right.rows[r][ri];
-        if (v.is_null()) {
-          has_null = true;
-          break;
-        }
-        key.push_back(v);
-      }
-      if (!has_null) plan.table.emplace(std::move(key), r);
+      scratch.clear();
+      if (!EncodeJoinKey(right.rows[r], plan.right_cols, &scratch)) continue;
+      ++stats_.keys_encoded;
+      stats_.bytes_encoded += scratch.size();
+      plan.index.Insert(scratch, static_cast<uint32_t>(r));
     }
   }
 
@@ -769,7 +1027,7 @@ Result<Relation> QueryExecutor::DisjunctiveHashJoin(sql::JoinType type,
   Relation out;
   out.schema = RelSchema::Concat(left.schema, right.schema);
   const size_t right_width = right.schema.size();
-  std::vector<size_t> match_ids;
+  std::vector<uint32_t> match_ids;
   size_t deadline_check = 0;
   for (const auto& lrow : left.rows) {
     if ((++deadline_check & 0xFF) == 0) {
@@ -785,22 +1043,20 @@ Result<Relation> QueryExecutor::DisjunctiveHashJoin(sql::JoinType type,
         }
       }
       if (!pass) continue;
-      std::vector<Value> key;
-      key.reserve(plan.keys.size());
-      bool has_null = false;
-      for (const auto& [li, ri] : plan.keys) {
-        const Value& v = lrow[li];
-        if (v.is_null()) {
-          has_null = true;
-          break;
-        }
-        key.push_back(v);
+      scratch.clear();
+      if (!EncodeJoinKey(lrow, plan.left_cols, &scratch)) continue;
+      ++stats_.keys_encoded;
+      stats_.bytes_encoded += scratch.size();
+      for (uint32_t r = plan.index.Find(scratch);
+           r != EncodedKeyIndex::kNil; r = plan.index.NextRow(r)) {
+        match_ids.push_back(r);
       }
-      if (has_null) continue;
-      auto [begin, end] = plan.table.equal_range(key);
-      for (auto it = begin; it != end; ++it) match_ids.push_back(it->second);
     }
-    // Deduplicate matches across disjuncts.
+    // Each disjunct's chain is already ascending, but the per-disjunct
+    // match lists are concatenated and two disjuncts can select the same
+    // right row, so this normalization pass is still required: it both
+    // dedups across disjuncts and restores global right-row order (pinned
+    // by the DisjunctiveJoinStreamOrder regression test).
     std::sort(match_ids.begin(), match_ids.end());
     match_ids.erase(std::unique(match_ids.begin(), match_ids.end()),
                     match_ids.end());
@@ -845,25 +1101,47 @@ Result<Relation> QueryExecutor::NestedLoopJoin(sql::JoinType type,
 }
 
 Status QueryExecutor::ApplyOrderBy(const sql::Query& query,
-                                   const Relation& pre_projection,
+                                   const RelSchema& preproj_schema,
+                                   const std::vector<Tuple>& preproj_rows,
                                    Relation* result) {
   const size_t n = result->rows.size();
   // Bind each key against the output schema; fall back to the
   // pre-projection schema (single-core queries only).
   struct Key {
-    BoundExprPtr expr;
+    BoundExprPtr expr;  // null when direct_col applies
     bool ascending;
     bool from_preprojection;
+    int direct_col = -1;  // plain column ref: read the cell, skip Eval
   };
   std::vector<Key> bound_keys;
   for (const auto& o : query.order_by) {
+    // A bare column ref resolves against the same schemas BindExpr would
+    // use; encoding then reads the cell in place instead of paying a
+    // bound-expression dispatch and a Value copy per row.
+    if (o.expr->kind() == Expr::Kind::kColumnRef) {
+      const auto& c = static_cast<const sql::ColumnRefExpr&>(*o.expr);
+      auto idx = result->schema.Resolve(c.qualifier(), c.name());
+      if (idx.ok()) {
+        bound_keys.push_back(
+            {nullptr, o.ascending, false, static_cast<int>(*idx)});
+        continue;
+      }
+      if (query.cores.size() == 1 && preproj_rows.size() == n) {
+        idx = preproj_schema.Resolve(c.qualifier(), c.name());
+        if (idx.ok()) {
+          bound_keys.push_back(
+              {nullptr, o.ascending, true, static_cast<int>(*idx)});
+          continue;
+        }
+      }
+    }
     auto out_bound = BindExpr(*o.expr, result->schema);
     if (out_bound.ok()) {
       bound_keys.push_back({std::move(out_bound).value(), o.ascending, false});
       continue;
     }
-    if (query.cores.size() == 1 && pre_projection.rows.size() == n) {
-      auto pre_bound = BindExpr(*o.expr, pre_projection.schema);
+    if (query.cores.size() == 1 && preproj_rows.size() == n) {
+      auto pre_bound = BindExpr(*o.expr, preproj_schema);
       if (pre_bound.ok()) {
         bound_keys.push_back({std::move(pre_bound).value(), o.ascending, true});
         continue;
@@ -873,28 +1151,136 @@ Status QueryExecutor::ApplyOrderBy(const sql::Query& query,
                                    o.expr->ToSql() + "'");
   }
 
-  // Materialize key tuples and sort a permutation.
-  std::vector<std::vector<Value>> keys(n);
-  for (size_t i = 0; i < n; ++i) {
-    keys[i].reserve(bound_keys.size());
+  // Fast path: at most two keys, all direct columns holding only non-null
+  // numerics (the shape the view composer's skolem-key ORDER BYs take).
+  // Each key packs into one machine word whose unsigned order equals the
+  // encoded-segment order, so the sort runs over flat PODs and never
+  // builds a byte buffer.
+  if (!bound_keys.empty() && bound_keys.size() <= 2 &&
+      std::all_of(bound_keys.begin(), bound_keys.end(),
+                  [](const Key& k) { return k.direct_col >= 0; })) {
+    bool numeric = true;
     for (const auto& k : bound_keys) {
-      const Tuple& row =
-          k.from_preprojection ? pre_projection.rows[i] : result->rows[i];
-      keys[i].push_back(k.expr->Eval(row));
+      const std::vector<Tuple>& src =
+          k.from_preprojection ? preproj_rows : result->rows;
+      const size_t col = static_cast<size_t>(k.direct_col);
+      for (size_t i = 0; i < n && numeric; ++i) {
+        const Value& v = src[i].values()[col];
+        if (!(v.is_int64() || v.is_double())) numeric = false;
+      }
+      if (!numeric) break;
+    }
+    if (numeric) {
+      struct WordRec {
+        uint64_t k0;
+        uint64_t k1;
+        uint32_t idx;
+      };
+      std::vector<WordRec> recs(n);
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t words[2] = {0, 0};
+        for (size_t j = 0; j < bound_keys.size(); ++j) {
+          const Key& k = bound_keys[j];
+          const Tuple& row =
+              k.from_preprojection ? preproj_rows[i] : result->rows[i];
+          uint64_t bits = OrderedNumericBits(
+              row.values()[static_cast<size_t>(k.direct_col)]);
+          words[j] = k.ascending ? bits : ~bits;
+        }
+        recs[i] = {words[0], words[1], static_cast<uint32_t>(i)};
+      }
+      stats_.keys_encoded += n;
+      stats_.bytes_encoded += n * 8 * bound_keys.size();
+      std::sort(recs.begin(), recs.end(),
+                [](const WordRec& a, const WordRec& b) {
+                  if (a.k0 != b.k0) return a.k0 < b.k0;
+                  if (a.k1 != b.k1) return a.k1 < b.k1;
+                  return a.idx < b.idx;  // stable order on full ties
+                });
+      std::vector<Tuple> sorted;
+      sorted.reserve(n);
+      for (const WordRec& r : recs) {
+        sorted.push_back(std::move(result->rows[r.idx]));
+      }
+      result->rows = std::move(sorted);
+      stats_.rows_sorted += n;
+      return Status::OK();
     }
   }
-  std::vector<size_t> perm(n);
-  std::iota(perm.begin(), perm.end(), 0);
-  std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
-    for (size_t k = 0; k < bound_keys.size(); ++k) {
-      int c = keys[a][k].Compare(keys[b][k]);
-      if (c != 0) return bound_keys[k].ascending ? c < 0 : c > 0;
+
+  // Encode one packed sort key per row (key_codec.h): ascending segments
+  // use the order-preserving encoding directly, descending segments are
+  // byte-complemented, so the whole composite key sorts by memcmp —
+  // no variant dispatch in the comparator. Keys are packed back-to-back
+  // in one flat buffer; `ends[i]` marks where row i's key stops.
+  std::string buf;
+  buf.reserve(n * 9 * bound_keys.size());  // a numeric segment is 9 bytes
+  std::vector<size_t> ends(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (const auto& k : bound_keys) {
+      const Tuple& row =
+          k.from_preprojection ? preproj_rows[i] : result->rows[i];
+      if (k.direct_col >= 0) {
+        const Value& v = row.values()[static_cast<size_t>(k.direct_col)];
+        if (k.ascending) {
+          EncodeValue(v, &buf);
+        } else {
+          EncodeValueDescending(v, &buf);
+        }
+        continue;
+      }
+      Value v = k.expr->Eval(row);
+      if (k.ascending) {
+        EncodeValue(v, &buf);
+      } else {
+        EncodeValueDescending(v, &buf);
+      }
     }
-    return false;
-  });
+    ends[i + 1] = buf.size();
+  }
+  stats_.keys_encoded += n;
+  stats_.bytes_encoded += buf.size();
+  const char* base = buf.data();
+  // Sort flat records instead of a bare permutation: each record inlines
+  // the first eight key bytes (big-endian, zero-padded) so the vast
+  // majority of comparisons resolve on one integer compare without
+  // touching the key buffer.
+  struct SortRec {
+    uint64_t prefix;
+    uint64_t off;
+    uint32_t len;
+    uint32_t idx;
+  };
+  std::vector<SortRec> recs(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t off = ends[i];
+    const size_t len = ends[i + 1] - off;
+    const auto* p = reinterpret_cast<const unsigned char*>(base + off);
+    const size_t m = len < 8 ? len : 8;
+    uint64_t prefix = 0;
+    for (size_t b = 0; b < m; ++b) prefix = (prefix << 8) | p[b];
+    prefix <<= 8 * (8 - m);
+    recs[i] = {prefix, off, static_cast<uint32_t>(len),
+               static_cast<uint32_t>(i)};
+  }
+  std::sort(recs.begin(), recs.end(),
+            [base](const SortRec& a, const SortRec& b) {
+              if (a.prefix != b.prefix) return a.prefix < b.prefix;
+              if (a.len > 8 && b.len > 8) {
+                const size_t m = (a.len < b.len ? a.len : b.len) - 8;
+                const int c = std::memcmp(base + a.off + 8, base + b.off + 8, m);
+                if (c != 0) return c < 0;
+              }
+              if (a.len != b.len) return a.len < b.len;
+              // Index tiebreak keeps equal-key rows in input order — the
+              // same result stable_sort gave, without its merge buffer.
+              return a.idx < b.idx;
+            });
   std::vector<Tuple> sorted;
   sorted.reserve(n);
-  for (size_t i : perm) sorted.push_back(std::move(result->rows[i]));
+  for (const SortRec& r : recs) {
+    sorted.push_back(std::move(result->rows[r.idx]));
+  }
   result->rows = std::move(sorted);
   stats_.rows_sorted += n;
   return Status::OK();

@@ -19,6 +19,7 @@
 
 #include "common/result.h"
 #include "engine/rel_schema.h"
+#include "obs/metrics.h"
 #include "relational/database.h"
 #include "relational/tuple.h"
 #include "sql/ast.h"
@@ -45,6 +46,8 @@ struct ExecStats {
   uint64_t nested_loop_joins = 0; // fallback joins taken (should be rare)
   uint64_t hash_joins = 0;
   uint64_t index_probes = 0;      // rows fetched through a secondary index
+  uint64_t keys_encoded = 0;      // packed keys built (join/sort/distinct)
+  uint64_t bytes_encoded = 0;     // bytes of packed-key encoding produced
 };
 
 /// Abstract connection to the target RDBMS: one ExecuteSql call per
@@ -95,24 +98,52 @@ class QueryExecutor : public SqlExecutor {
   void ResetStats() { stats_ = ExecStats(); }
 
  private:
-  Result<Relation> ExecuteCore(const sql::SelectCore& core);
+  /// `allow_fusion` permits the final greedy join to skip materializing its
+  /// wide output (see JoinFromList); the caller clears it when ORDER BY may
+  /// need the aligned pre-projection rows.
+  Result<Relation> ExecuteCore(const sql::SelectCore& core, bool allow_fusion);
   Result<Relation> EvalTableRef(const sql::TableRef& ref);
   Result<Relation> EvalJoin(const sql::JoinRef& join);
   Result<Relation> JoinRelations(sql::JoinType type, Relation left,
                                  Relation right, const sql::Expr& on);
-  Result<Relation> HashJoin(sql::JoinType type, Relation& left,
-                            Relation& right,
+  Result<Relation> HashJoin(sql::JoinType type, const RelSchema& left_schema,
+                            const std::vector<Tuple>& left_rows,
+                            const RelSchema& right_schema,
+                            const std::vector<Tuple>& right_rows,
                             const std::vector<std::pair<size_t, size_t>>& keys,
                             const sql::Expr* residual);
   Result<Relation> DisjunctiveHashJoin(sql::JoinType type, Relation& left,
                                        Relation& right, const sql::Expr& on);
   Result<Relation> NestedLoopJoin(sql::JoinType type, Relation& left,
                                   Relation& right, const sql::Expr& on);
-  Result<Relation> JoinFromList(const sql::SelectCore& core);
+  /// Returns the joined relation. When the whole FROM list reduces to one
+  /// unfiltered base-table scan, the returned relation's `rows` stay empty
+  /// and `*borrowed_rows` points at the table's own rows instead (stable
+  /// for the executor's lifetime — the database outlives the query), so
+  /// single-table queries never copy the table. Otherwise `*borrowed_rows`
+  /// is null and the rows are owned as usual.
+  ///
+  /// When `allow_fusion` is set, the select list is all column refs, and no
+  /// residual predicate survives the joins, the final greedy join emits
+  /// row-id pairs and the projection is applied straight off the input
+  /// rows: the wide concatenated tuples are never built. In that case
+  /// `*fused` is set and the returned rows carry the *projected* values in
+  /// select-list order (while `schema` still describes the wide shape for
+  /// expression binding).
+  Result<Relation> JoinFromList(const sql::SelectCore& core, bool allow_fusion,
+                                const std::vector<Tuple>** borrowed_rows,
+                                bool* fused);
+  /// Inner hash join emitting (left row id, right row id) pairs in the same
+  /// order HashJoin would emit rows, without materializing output tuples.
+  Result<std::vector<std::pair<uint32_t, uint32_t>>> HashJoinPairs(
+      const std::vector<Tuple>& left_rows, const std::vector<Tuple>& right_rows,
+      const std::vector<std::pair<size_t, size_t>>& keys);
   Status MaterializeBaseTable(const Table& table,
                               const std::vector<const sql::Expr*>& filters,
                               Relation* out);
-  Status ApplyOrderBy(const sql::Query& query, const Relation& pre_projection,
+  Status ApplyOrderBy(const sql::Query& query,
+                      const RelSchema& preproj_schema,
+                      const std::vector<Tuple>& preproj_rows,
                       Relation* result);
 
   Status CheckDeadline() const;
@@ -125,7 +156,11 @@ class QueryExecutor : public SqlExecutor {
 
   // Rows of the pre-projection relation aligned 1:1 with the latest core's
   // output rows, so ORDER BY can reference non-projected columns.
+  // last_preprojection_rows_ points at last_preprojection_.rows when owned,
+  // or straight at a base table's rows when the scan was borrowed; null
+  // when no aligned pre-projection exists.
   Relation last_preprojection_;
+  const std::vector<Tuple>* last_preprojection_rows_ = nullptr;
 };
 
 /// SqlExecutor over a local Database: a fresh QueryExecutor per call, so
@@ -146,14 +181,34 @@ class DatabaseExecutor : public SqlExecutor {
     QueryExecutor executor(db_);
     if (timeout_ms > 0) executor.set_timeout_ms(timeout_ms);
     auto result = executor.ExecuteSql(sql);
+    const ExecStats& s = executor.stats();
+    if (keys_encoded_counter_ != nullptr && s.keys_encoded > 0) {
+      keys_encoded_counter_->Add(s.keys_encoded);
+      key_bytes_counter_->Add(s.bytes_encoded);
+    }
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
-      stats_ = executor.stats();
+      stats_ = s;
     }
     return result;
   }
 
   void set_timeout_ms(double timeout_ms) override { timeout_ms_ = timeout_ms; }
+
+  /// Mirrors cumulative packed-key counters into `registry` (nullable to
+  /// turn accounting off). Counters are resolved here once; the per-query
+  /// hot path then pays only relaxed atomic adds.
+  void set_metrics_registry(obs::MetricsRegistry* registry) {
+    if (registry == nullptr) {
+      keys_encoded_counter_ = nullptr;
+      key_bytes_counter_ = nullptr;
+      return;
+    }
+    key_bytes_counter_ =
+        registry->counter("silkroute_engine_key_bytes_encoded_total");
+    keys_encoded_counter_ =
+        registry->counter("silkroute_engine_keys_encoded_total");
+  }
 
   /// Stats of the most recent query (last writer wins under concurrency).
   ExecStats stats() const {
@@ -164,6 +219,10 @@ class DatabaseExecutor : public SqlExecutor {
  private:
   const Database* db_;
   double timeout_ms_ = 0;
+  // Wired before publishing starts (set_metrics_registry is not safe to
+  // race with in-flight ExecuteSql calls).
+  obs::Counter* keys_encoded_counter_ = nullptr;
+  obs::Counter* key_bytes_counter_ = nullptr;
   mutable std::mutex stats_mu_;
   ExecStats stats_;
 };

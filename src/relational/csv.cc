@@ -1,7 +1,9 @@
 #include "relational/csv.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 
 namespace silkroute {
 
@@ -84,6 +86,7 @@ Result<size_t> LoadCsv(std::istream* input, const CsvLoadOptions& options,
                        const std::string& table, Database* db) {
   SILK_ASSIGN_OR_RETURN(Table * target, db->GetTable(table));
   const TableSchema& schema = target->schema();
+  if (options.expected_rows > 0) target->Reserve(options.expected_rows);
 
   std::string line;
   size_t line_number = 0;
@@ -134,7 +137,18 @@ Result<size_t> LoadCsvFile(const std::string& path,
   if (!input.is_open()) {
     return Status::NotFound("cannot open '" + path + "'");
   }
-  return LoadCsv(&input, options, table, db);
+  CsvLoadOptions opts = options;
+  if (opts.expected_rows == 0) {
+    // Cheap sequential pre-pass: a newline count upper-bounds the row
+    // count (header and blank lines included), which is exactly what a
+    // Reserve() wants.
+    opts.expected_rows = static_cast<size_t>(
+        std::count(std::istreambuf_iterator<char>(input),
+                   std::istreambuf_iterator<char>(), '\n')) + 1;
+    input.clear();
+    input.seekg(0);
+  }
+  return LoadCsv(&input, opts, table, db);
 }
 
 }  // namespace silkroute

@@ -23,6 +23,10 @@ struct CsvLoadOptions {
   bool has_header = true;
   /// Empty unquoted fields load as NULL (only legal in nullable columns).
   bool empty_is_null = true;
+  /// Rows to Reserve() in the target table before loading (0 = don't).
+  /// LoadCsvFile fills this in automatically with a newline count when
+  /// left at 0, so file loads never grow the row vector incrementally.
+  size_t expected_rows = 0;
 };
 
 /// Loads CSV rows from `input` into `table`, coercing each field to the

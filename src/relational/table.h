@@ -46,6 +46,19 @@ class Table {
     IndexRow(rows_.size() - 1);
   }
 
+  /// Pre-sizes the row vector, primary-key set, and every index for
+  /// `expected_rows` additional rows, so a bulk load pays one allocation
+  /// per container instead of incremental regrowth and rehashing.
+  void Reserve(size_t expected_rows) {
+    rows_.reserve(rows_.size() + expected_rows);
+    if (!key_indices_.empty()) {
+      key_set_.reserve(key_set_.size() + expected_rows);
+    }
+    for (auto& [col, index] : indexes_) {
+      index.reserve(index.size() + expected_rows);
+    }
+  }
+
   /// Total serialized size of all rows, in bytes.
   size_t DataByteSize() const;
 

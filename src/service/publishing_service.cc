@@ -490,7 +490,11 @@ PublishingService::PublishingService(const Database* db, ServiceOptions options)
       admission_(options_.admission, options_.metrics_registry),
       breakers_(
           WithBreakerMetrics(options_.breaker, options_.metrics_registry)),
-      pool_(options_.workers, options_.metrics_registry) {}
+      pool_(options_.workers, options_.metrics_registry) {
+  // Surface the engine's packed-key counters when the service executes
+  // against its own connection (a caller-supplied executor wires its own).
+  own_executor_.set_metrics_registry(options_.metrics_registry);
+}
 
 PublishingService::~PublishingService() { Shutdown(); }
 

@@ -143,6 +143,7 @@ Result<std::vector<ComponentStream>> SequentialExecution::Run(
   // layer. Strict mode runs single-attempt with no budget, preserving the
   // pre-resilience fail-fast behaviour.
   engine::DatabaseExecutor db_executor(db_);
+  db_executor.set_metrics_registry(options.metrics_registry);
   engine::SqlExecutor* connection =
       options.executor != nullptr ? options.executor : &db_executor;
   engine::RetryOptions retry = options.retry;
@@ -343,6 +344,7 @@ Result<PlanMetrics> Publisher::ExecutePlan(const ViewTree& tree,
   tag_span.AnnotateMs("ms", metrics.tag_ms);
   tag_span.End();
   metrics.xml_bytes = writer.bytes_written();
+  metrics.xml_flushes = writer.flushes();
   metrics.tagger = tagger.stats();
 
   plan_span.AnnotateMs("query_ms", metrics.query_ms);
@@ -365,6 +367,8 @@ Result<PlanMetrics> Publisher::ExecutePlan(const ViewTree& tree,
     reg->histogram("silkroute_plan_rows")->Record(metrics.rows);
     reg->histogram("silkroute_plan_wire_bytes")->Record(metrics.wire_bytes);
     reg->histogram("silkroute_plan_xml_bytes")->Record(metrics.xml_bytes);
+    reg->counter("silkroute_xml_writer_flushes_total")
+        ->Add(metrics.xml_flushes);
   }
   return metrics;
 }

@@ -140,6 +140,9 @@ struct PlanMetrics {
   size_t rows = 0;
   size_t wire_bytes = 0;
   size_t xml_bytes = 0;
+  /// Buffered-writer chunks pushed to the output stream (~xml_bytes /
+  /// the writer's buffer size; 0 means the document fit in one flush).
+  size_t xml_flushes = 0;
   TaggerStats tagger;
   std::vector<std::string> sql;
 

@@ -90,12 +90,14 @@ Status GenerateTpch(const TpchConfig& config, Database* db) {
   const TpchRowCounts counts = CountsForScale(config.scale_factor);
 
   SILK_ASSIGN_OR_RETURN(Table * region, db->GetTable("Region"));
+  region->Reserve(counts.region);
   for (size_t i = 0; i < counts.region; ++i) {
     region->InsertUnchecked(Tuple{Value::Int64(static_cast<int64_t>(i)),
                                   Value::String(kRegionNames[i])});
   }
 
   SILK_ASSIGN_OR_RETURN(Table * nation, db->GetTable("Nation"));
+  nation->Reserve(counts.nation);
   for (size_t i = 0; i < counts.nation; ++i) {
     nation->InsertUnchecked(Tuple{Value::Int64(static_cast<int64_t>(i)),
                                   Value::String(kNations[i].name),
@@ -105,6 +107,7 @@ Status GenerateTpch(const TpchConfig& config, Database* db) {
   // Suppliers. A leading fraction never receives parts so that the
   // <supplier> outer join has unmatched parents.
   SILK_ASSIGN_OR_RETURN(Table * supplier, db->GetTable("Supplier"));
+  supplier->Reserve(counts.supplier);
   const size_t num_childless_suppliers = static_cast<size_t>(
       static_cast<double>(counts.supplier) * config.supplier_no_parts_fraction);
   for (size_t i = 1; i <= counts.supplier; ++i) {
@@ -117,6 +120,7 @@ Status GenerateTpch(const TpchConfig& config, Database* db) {
   }
 
   SILK_ASSIGN_OR_RETURN(Table * part, db->GetTable("Part"));
+  part->Reserve(counts.part);
   for (size_t i = 1; i <= counts.part; ++i) {
     part->InsertUnchecked(Tuple{
         Value::Int64(static_cast<int64_t>(i)), Value::String(PartName(&rng)),
@@ -132,6 +136,7 @@ Status GenerateTpch(const TpchConfig& config, Database* db) {
   // PartSupp: each part gets 2 distinct suppliers drawn from suppliers that
   // are allowed to have parts.
   SILK_ASSIGN_OR_RETURN(Table * partsupp, db->GetTable("PartSupp"));
+  partsupp->Reserve(counts.partsupp);
   std::vector<std::pair<int64_t, int64_t>> partsupp_pairs;
   partsupp_pairs.reserve(counts.partsupp);
   const int64_t first_eligible =
@@ -150,6 +155,7 @@ Status GenerateTpch(const TpchConfig& config, Database* db) {
   }
 
   SILK_ASSIGN_OR_RETURN(Table * customer, db->GetTable("Customer"));
+  customer->Reserve(counts.customer);
   for (size_t i = 1; i <= counts.customer; ++i) {
     customer->InsertUnchecked(
         Tuple{Value::Int64(static_cast<int64_t>(i)),
@@ -161,6 +167,7 @@ Status GenerateTpch(const TpchConfig& config, Database* db) {
   }
 
   SILK_ASSIGN_OR_RETURN(Table * orders, db->GetTable("Orders"));
+  orders->Reserve(counts.orders);
   for (size_t i = 1; i <= counts.orders; ++i) {
     orders->InsertUnchecked(
         Tuple{Value::Int64(static_cast<int64_t>(i)),
@@ -176,6 +183,7 @@ Status GenerateTpch(const TpchConfig& config, Database* db) {
   // pairs), so an order contributes at most one <order> instance per
   // supplier/part in the paper's views.
   SILK_ASSIGN_OR_RETURN(Table * lineitem, db->GetTable("LineItem"));
+  lineitem->Reserve(counts.lineitem);  // average; realized count is close
   const size_t num_active_pairs = std::max<size_t>(
       1, static_cast<size_t>(static_cast<double>(partsupp_pairs.size()) *
                              (1.0 - config.partsupp_no_lineitem_fraction)));

@@ -5,48 +5,59 @@
 namespace silkroute::xml {
 
 namespace {
-std::string EscapeImpl(std::string_view text, bool attribute) {
-  std::string out;
-  out.reserve(text.size());
-  for (char c : text) {
-    switch (c) {
+void AppendEscapeImpl(std::string_view text, bool attribute,
+                      std::string* out) {
+  const std::string_view specials = attribute ? "&<>\"'" : "&<>";
+  size_t start = 0;
+  for (;;) {
+    size_t pos = text.find_first_of(specials, start);
+    if (pos == std::string_view::npos) {
+      out->append(text.substr(start));
+      return;
+    }
+    out->append(text.substr(start, pos - start));
+    switch (text[pos]) {
       case '&':
-        out += "&amp;";
+        *out += "&amp;";
         break;
       case '<':
-        out += "&lt;";
+        *out += "&lt;";
         break;
       case '>':
-        out += "&gt;";
+        *out += "&gt;";
         break;
       case '"':
-        if (attribute) {
-          out += "&quot;";
-        } else {
-          out += c;
-        }
+        *out += "&quot;";
         break;
       case '\'':
-        if (attribute) {
-          out += "&apos;";
-        } else {
-          out += c;
-        }
+        *out += "&apos;";
         break;
-      default:
-        out += c;
     }
+    start = pos + 1;
   }
-  return out;
 }
 }  // namespace
 
 std::string EscapeText(std::string_view text) {
-  return EscapeImpl(text, /*attribute=*/false);
+  std::string out;
+  out.reserve(text.size());
+  AppendEscapeImpl(text, /*attribute=*/false, &out);
+  return out;
 }
 
 std::string EscapeAttribute(std::string_view text) {
-  return EscapeImpl(text, /*attribute=*/true);
+  std::string out;
+  out.reserve(text.size());
+  AppendEscapeImpl(text, /*attribute=*/true, &out);
+  return out;
+}
+
+void AppendEscapedText(std::string_view text, std::string* out) {
+  AppendEscapeImpl(text, /*attribute=*/false, out);
+}
+
+void AppendEscapedAttribute(std::string_view text, std::string* out) {
+  AppendEscapeImpl(text, /*attribute=*/true, out);
 }
 
 std::string Unescape(std::string_view text) {

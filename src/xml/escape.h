@@ -13,6 +13,12 @@ std::string EscapeText(std::string_view text);
 /// Escapes &, <, >, ", ' for attribute values.
 std::string EscapeAttribute(std::string_view text);
 
+/// Append-style variants writing straight into `*out` — the buffered
+/// XmlWriter hot path, which must not pay a temporary string per token.
+/// Clean runs between special characters are appended in bulk.
+void AppendEscapedText(std::string_view text, std::string* out);
+void AppendEscapedAttribute(std::string_view text, std::string* out);
+
 /// Reverses EscapeText/EscapeAttribute (handles the five standard entities
 /// and decimal/hex character references).
 std::string Unescape(std::string_view text);

@@ -6,6 +6,10 @@ namespace silkroute::xml {
 
 XmlWriter::XmlWriter(std::ostream* out, Options options)
     : out_(out), options_(options) {
+  if (options_.buffer_bytes > 0) {
+    // One slack token past the threshold before the size check trips.
+    buffer_.reserve(options_.buffer_bytes + 256);
+  }
   if (options_.declaration) {
     Write("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
     if (options_.pretty) Write("\n");
@@ -13,8 +17,24 @@ XmlWriter::XmlWriter(std::ostream* out, Options options)
 }
 
 void XmlWriter::Write(std::string_view s) {
-  out_->write(s.data(), static_cast<std::streamsize>(s.size()));
   bytes_written_ += s.size();
+  if (options_.buffer_bytes == 0) {
+    out_->write(s.data(), static_cast<std::streamsize>(s.size()));
+    return;
+  }
+  buffer_.append(s);
+  MaybeFlush();
+}
+
+void XmlWriter::FlushBuffer() {
+  if (buffer_.empty()) return;
+  out_->write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  buffer_.clear();
+  ++flushes_;
+}
+
+void XmlWriter::MaybeFlush() {
+  if (buffer_.size() >= options_.buffer_bytes) FlushBuffer();
 }
 
 void XmlWriter::CloseStartTagIfOpen() {
@@ -52,7 +72,16 @@ Status XmlWriter::Attribute(std::string_view name, std::string_view value) {
   Write(" ");
   Write(name);
   Write("=\"");
-  Write(EscapeAttribute(value));
+  if (options_.buffer_bytes > 0) {
+    size_t before = buffer_.size();
+    AppendEscapedAttribute(value, &buffer_);
+    bytes_written_ += buffer_.size() - before;
+    MaybeFlush();
+  } else {
+    scratch_.clear();
+    AppendEscapedAttribute(value, &scratch_);
+    Write(scratch_);
+  }
   Write("\"");
   return Status::OK();
 }
@@ -62,7 +91,17 @@ Status XmlWriter::Text(std::string_view text) {
     return Status::InvalidArgument("text outside of any element");
   }
   CloseStartTagIfOpen();
-  Write(EscapeText(text));
+  if (options_.buffer_bytes > 0) {
+    // Escape straight into the output buffer: no temporary per token.
+    size_t before = buffer_.size();
+    AppendEscapedText(text, &buffer_);
+    bytes_written_ += buffer_.size() - before;
+    MaybeFlush();
+  } else {
+    scratch_.clear();
+    AppendEscapedText(text, &scratch_);
+    Write(scratch_);
+  }
   just_wrote_text_ = true;
   return Status::OK();
 }
@@ -91,6 +130,7 @@ Status XmlWriter::Finish() {
     SILK_RETURN_IF_ERROR(EndElement());
   }
   if (options_.pretty) Write("\n");
+  FlushBuffer();
   out_->flush();
   return Status::OK();
 }

@@ -1,0 +1,218 @@
+// Regression tests for the packed-key execution hot paths: disjunctive
+// join output order (the normalization pass DisjunctiveHashJoin must keep),
+// projection fusion vs. the materializing path, borrowed base-table scans,
+// and the word-packed / general ORDER BY sort key paths. These pin the
+// *observable stream order* the tagger depends on, not just row sets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "engine/executor.h"
+#include "sql/parser.h"
+
+namespace silkroute::engine {
+namespace {
+
+class ExecHotPathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TableSchema supplier("Supplier", {{"suppkey", DataType::kInt64, false},
+                                      {"name", DataType::kString, false},
+                                      {"nationkey", DataType::kInt64, false}});
+    ASSERT_TRUE(supplier.SetPrimaryKey({"suppkey"}).ok());
+    ASSERT_TRUE(db_.CreateTable(supplier).ok());
+    TableSchema part("Part", {{"partkey", DataType::kInt64, false},
+                              {"suppkey", DataType::kInt64, false},
+                              {"pname", DataType::kString, false}});
+    ASSERT_TRUE(part.SetPrimaryKey({"partkey"}).ok());
+    ASSERT_TRUE(db_.CreateTable(part).ok());
+
+    Insert("Supplier", {Value::Int64(1), Value::String("s1"), Value::Int64(10)});
+    Insert("Supplier", {Value::Int64(2), Value::String("s2"), Value::Int64(11)});
+    Insert("Supplier", {Value::Int64(3), Value::String("s3"), Value::Int64(10)});
+    Insert("Part", {Value::Int64(100), Value::Int64(1), Value::String("brass")});
+    Insert("Part", {Value::Int64(101), Value::Int64(1), Value::String("steel")});
+    Insert("Part", {Value::Int64(102), Value::Int64(2), Value::String("nickel")});
+  }
+
+  void Insert(const std::string& table, Tuple row) {
+    ASSERT_TRUE(db_.Insert(table, std::move(row)).ok());
+  }
+
+  Relation Run(const std::string& sql) {
+    QueryExecutor exec(&db_);
+    auto result = exec.ExecuteSql(sql);
+    EXPECT_TRUE(result.ok()) << sql << "\n" << result.status();
+    last_stats_ = exec.stats();
+    return result.ok() ? std::move(result).value() : Relation{};
+  }
+
+  Database db_;
+  ExecStats last_stats_;
+};
+
+// Pins the output order the comment in DisjunctiveHashJoin promises: per
+// left row, matched right rows appear exactly once each, in ascending
+// right-row (build) order — even when two disjuncts select the same right
+// row (dedup) or select rows in reverse build order (sort). The tagger's
+// merge relies on this stream order, so it must not change.
+TEST_F(ExecHotPathTest, DisjunctiveJoinStreamOrder) {
+  TableSchema l("L", {{"a", DataType::kInt64, false},
+                      {"b", DataType::kInt64, false}});
+  ASSERT_TRUE(db_.CreateTable(l).ok());
+  TableSchema r("R", {{"k", DataType::kInt64, false},
+                      {"tag", DataType::kString, false}});
+  ASSERT_TRUE(db_.CreateTable(r).ok());
+
+  // Right rows in build order: r0 has k=7, r1 has k=5.
+  Insert("R", {Value::Int64(7), Value::String("r0")});
+  Insert("R", {Value::Int64(5), Value::String("r1")});
+  Insert("R", {Value::Int64(9), Value::String("r2")});
+  // (5,7): disjunct a=k hits r1, disjunct b=k hits r0 — concatenated
+  // per-disjunct matches arrive as [r1, r0] and must come out [r0, r1].
+  Insert("L", {Value::Int64(5), Value::Int64(7)});
+  // (5,5): both disjuncts hit r1 — must come out once.
+  Insert("L", {Value::Int64(5), Value::Int64(5)});
+  // (1,1): no match — left outer pads with NULLs.
+  Insert("L", {Value::Int64(1), Value::Int64(1)});
+
+  Relation out = Run(
+      "select l.a, l.b, r.k, r.tag from L l left outer join R r "
+      "on (l.a = r.k) or (l.b = r.k)");
+  EXPECT_EQ(last_stats_.nested_loop_joins, 0u);  // decomposed, not fallback
+  ASSERT_EQ(out.rows.size(), 4u);
+  EXPECT_EQ(out.rows[0][3].AsString(), "r0");  // global right order restored
+  EXPECT_EQ(out.rows[1][3].AsString(), "r1");
+  EXPECT_EQ(out.rows[2][0].AsInt64(), 5);      // (5,5) matched r1 exactly once
+  EXPECT_EQ(out.rows[2][3].AsString(), "r1");
+  EXPECT_EQ(out.rows[3][0].AsInt64(), 1);      // unmatched left row, padded
+  EXPECT_TRUE(out.rows[3][2].is_null());
+  EXPECT_TRUE(out.rows[3][3].is_null());
+}
+
+// The fused path (final greedy join emits row-id pairs, projection reads
+// straight off the join inputs) must produce the same rows as the
+// materializing path (ORDER BY disables fusion).
+TEST_F(ExecHotPathTest, FusedJoinMatchesMaterializedJoin) {
+  const std::string base =
+      "select s.name, p.pname from Supplier s, Part p "
+      "where s.suppkey = p.suppkey";
+  Relation fused = Run(base);
+  EXPECT_GE(last_stats_.hash_joins, 1u);
+  EXPECT_GT(last_stats_.keys_encoded, 0u);
+  Relation materialized = Run(base + " order by s.suppkey, p.pname");
+
+  auto as_pairs = [](const Relation& r) {
+    std::vector<std::pair<std::string, std::string>> rows;
+    for (const auto& t : r.rows)
+      rows.emplace_back(t[0].AsString(), t[1].AsString());
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+  std::vector<std::pair<std::string, std::string>> expected = {
+      {"s1", "brass"}, {"s1", "steel"}, {"s2", "nickel"}};
+  EXPECT_EQ(as_pairs(fused), expected);
+  EXPECT_EQ(as_pairs(materialized), expected);
+}
+
+// A leftover cross-table residual defeats fusion: pairs are materialized
+// into wide tuples and filtered. The surviving rows must be exactly the
+// ones the predicate admits.
+TEST_F(ExecHotPathTest, ResidualFilterAfterJoin) {
+  Relation out = Run(
+      "select s.name, p.pname from Supplier s, Part p "
+      "where s.suppkey = p.suppkey and p.partkey < 102");
+  std::vector<std::string> names;
+  for (const auto& t : out.rows) names.push_back(t[1].AsString());
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"brass", "steel"}));
+}
+
+// ORDER BY may reference columns the projection dropped; with the borrow
+// and fusion machinery in play the aligned pre-projection rows must still
+// be available.
+TEST_F(ExecHotPathTest, OrderByOnNonProjectedColumnAfterJoin) {
+  Relation out = Run(
+      "select p.pname from Supplier s, Part p "
+      "where s.suppkey = p.suppkey order by p.partkey desc");
+  ASSERT_EQ(out.rows.size(), 3u);
+  EXPECT_EQ(out.rows[0][0].AsString(), "nickel");
+  EXPECT_EQ(out.rows[1][0].AsString(), "steel");
+  EXPECT_EQ(out.rows[2][0].AsString(), "brass");
+}
+
+// Unfiltered single-table scans borrow the table's rows instead of copying;
+// the result must still be complete and ORDER BY on a borrowed scan must
+// still work (it materializes through the select-star path).
+TEST_F(ExecHotPathTest, BorrowedScanSelectStar) {
+  Relation all = Run("select * from Part");
+  EXPECT_EQ(all.rows.size(), 3u);
+  EXPECT_EQ(last_stats_.rows_scanned, 3u);
+
+  Relation sorted = Run("select * from Part order by pname");
+  ASSERT_EQ(sorted.rows.size(), 3u);
+  EXPECT_EQ(sorted.rows[0][2].AsString(), "brass");
+  EXPECT_EQ(sorted.rows[1][2].AsString(), "nickel");
+  EXPECT_EQ(sorted.rows[2][2].AsString(), "steel");
+}
+
+/// Fixture for the sort-key paths: `r` records insertion order so tests
+/// can assert stability (equal keys keep arrival order on every path).
+class SortPathTest : public ExecHotPathTest {
+ protected:
+  void SetUp() override {
+    TableSchema m("M", {{"a", DataType::kInt64, true},
+                        {"b", DataType::kDouble, false},
+                        {"s", DataType::kString, false},
+                        {"r", DataType::kInt64, false}});
+    ASSERT_TRUE(db_.CreateTable(m).ok());
+    Insert("M", {Value::Int64(2), Value::Double(1.5), Value::String("x"),
+                 Value::Int64(0)});
+    Insert("M", {Value::Int64(1), Value::Double(-0.5), Value::String("y"),
+                 Value::Int64(1)});
+    Insert("M", {Value::Int64(2), Value::Double(-3.0), Value::String("z"),
+                 Value::Int64(2)});
+    Insert("M", {Value::Int64(1), Value::Double(-0.5), Value::String("w"),
+                 Value::Int64(3)});
+    Insert("M", {Value::Int64(2), Value::Double(1.5), Value::String("q"),
+                 Value::Int64(4)});
+  }
+
+  std::vector<int64_t> RunOrder(const std::string& order_by) {
+    Relation out = Run("select m.a, m.b, m.s, m.r from M m order by " +
+                       order_by);
+    std::vector<int64_t> ids;
+    for (const auto& t : out.rows) ids.push_back(t[3].AsInt64());
+    return ids;
+  }
+};
+
+// Two all-numeric direct-column keys take the word-packed fast path; the
+// result must match the semantic (stable, NULLs-first) sort order.
+TEST_F(SortPathTest, WordPackedTwoNumericKeys) {
+  EXPECT_EQ(RunOrder("m.a, m.b"), (std::vector<int64_t>{1, 3, 2, 0, 4}));
+}
+
+TEST_F(SortPathTest, WordPackedDescendingFirstKey) {
+  EXPECT_EQ(RunOrder("m.a desc, m.b"), (std::vector<int64_t>{2, 0, 4, 1, 3}));
+}
+
+// Three keys (and a string key) fall back to the general encoded-byte
+// path; ties on (a, b) must break by the string key, then stay stable.
+TEST_F(SortPathTest, GeneralPathWithStringKey) {
+  EXPECT_EQ(RunOrder("m.a, m.b desc, m.s desc"),
+            (std::vector<int64_t>{1, 3, 0, 4, 2}));
+}
+
+// A NULL in a numeric key column disqualifies the word-packed path; the
+// general path must sort NULLs first (matching Value::Compare).
+TEST_F(SortPathTest, NullKeyFallsBackAndSortsFirst) {
+  Insert("M", {Value::Null(), Value::Double(0.0), Value::String("n"),
+               Value::Int64(5)});
+  EXPECT_EQ(RunOrder("m.a, m.b"), (std::vector<int64_t>{5, 1, 3, 2, 0, 4}));
+}
+
+}  // namespace
+}  // namespace silkroute::engine

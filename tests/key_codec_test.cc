@@ -1,0 +1,227 @@
+// Property tests for the order-preserving key codec (engine/key_codec.h):
+// the whole point of the packed-key hot path is that memcmp over encodings
+// is a drop-in replacement for Value::Compare / SqlEquals, so these tests
+// sweep a corpus covering every type pair (NULL / int64 / double / string,
+// negative doubles, both zeros, infinities, empty strings, embedded NULs)
+// and assert sign agreement pairwise rather than spot-checking examples.
+#include "engine/key_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "relational/tuple.h"
+#include "relational/value.h"
+
+namespace silkroute::engine {
+namespace {
+
+int Sign(int x) { return (x > 0) - (x < 0); }
+
+std::string Enc(const Value& v) {
+  std::string out;
+  EncodeValue(v, &out);
+  return out;
+}
+
+std::string EncDesc(const Value& v) {
+  std::string out;
+  EncodeValueDescending(v, &out);
+  return out;
+}
+
+/// memcmp semantics over full encodings. Segments are prefix-free, so for
+/// value (and equal-arity row) encodings the first byte difference always
+/// falls within the shorter string; the length tiebreak only fires on
+/// byte-equal encodings.
+int ByteCompare(const std::string& a, const std::string& b) {
+  return Sign(a.compare(b));
+}
+
+/// Every value type and the ordering edge cases. All int64s stay within
+/// ±2^53 where the double image is exact; the beyond-2^53 tie is covered
+/// by its own test below.
+std::vector<Value> Corpus() {
+  constexpr int64_t kExact = int64_t{1} << 53;
+  const double inf = std::numeric_limits<double>::infinity();
+  return {
+      Value::Null(),
+      Value::Int64(-kExact),
+      Value::Int64(-1000000),
+      Value::Int64(-1),
+      Value::Int64(0),
+      Value::Int64(1),
+      Value::Int64(3),
+      Value::Int64(42),
+      Value::Int64(kExact),
+      Value::Double(-inf),
+      Value::Double(-1e300),
+      Value::Double(-2.5),
+      Value::Double(-0.5),
+      Value::Double(-0.0),
+      Value::Double(0.0),
+      Value::Double(0.5),
+      Value::Double(2.5),
+      Value::Double(3.0),  // ties Int64(3) cross-type
+      Value::Double(1e300),
+      Value::Double(inf),
+      Value::String(""),
+      Value::String(std::string("\0", 1)),
+      Value::String(std::string("\0\0", 2)),
+      Value::String(std::string("\0x", 2)),
+      Value::String("a"),
+      Value::String(std::string("a\0b", 3)),
+      Value::String("ab"),
+      Value::String("a\xff"),
+      Value::String("b"),
+      Value::String("\xff"),
+  };
+}
+
+TEST(KeyCodecTest, MemcmpAgreesWithValueCompareForAllPairs) {
+  const std::vector<Value> vals = Corpus();
+  for (size_t i = 0; i < vals.size(); ++i) {
+    const std::string ea = Enc(vals[i]);
+    for (size_t j = 0; j < vals.size(); ++j) {
+      const std::string eb = Enc(vals[j]);
+      EXPECT_EQ(ByteCompare(ea, eb), Sign(vals[i].Compare(vals[j])))
+          << "corpus[" << i << "] vs corpus[" << j << "]";
+    }
+  }
+}
+
+TEST(KeyCodecTest, DescendingEncodingReversesOrder) {
+  const std::vector<Value> vals = Corpus();
+  for (size_t i = 0; i < vals.size(); ++i) {
+    const std::string ea = EncDesc(vals[i]);
+    for (size_t j = 0; j < vals.size(); ++j) {
+      const std::string eb = EncDesc(vals[j]);
+      EXPECT_EQ(ByteCompare(ea, eb), -Sign(vals[i].Compare(vals[j])))
+          << "corpus[" << i << "] vs corpus[" << j << "]";
+    }
+  }
+}
+
+TEST(KeyCodecTest, CrossTypeNumericTieEncodesIdentically) {
+  EXPECT_EQ(Enc(Value::Int64(3)), Enc(Value::Double(3.0)));
+  EXPECT_EQ(Enc(Value::Int64(0)), Enc(Value::Double(-0.0)));
+  EXPECT_EQ(Enc(Value::Double(0.0)), Enc(Value::Double(-0.0)));
+}
+
+// The documented caveat: int64s beyond ±2^53 go through their double
+// image, so distinct giant ints sharing an image degrade to a stable tie —
+// never to a wrong type/NULL ordering.
+TEST(KeyCodecTest, GiantInt64sDegradeToStableTie) {
+  const Value a = Value::Int64(std::numeric_limits<int64_t>::max());
+  const Value b = Value::Int64(std::numeric_limits<int64_t>::max() - 1);
+  ASSERT_NE(a.Compare(b), 0);  // exact int compare resolves them...
+  EXPECT_EQ(Enc(a), Enc(b));   // ...the encoding ties them
+  // Still strictly above every in-range numeric and below every string.
+  EXPECT_GT(ByteCompare(Enc(a), Enc(Value::Int64(int64_t{1} << 53))), 0);
+  EXPECT_LT(ByteCompare(Enc(a), Enc(Value::String(""))), 0);
+}
+
+TEST(KeyCodecTest, JoinKeyEqualityMatchesSqlEquals) {
+  const std::vector<Value> vals = Corpus();
+  const std::vector<size_t> cols = {0};
+  for (size_t i = 0; i < vals.size(); ++i) {
+    Tuple ra{vals[i]};
+    std::string ea;
+    const bool oka = EncodeJoinKey(ra, cols, &ea);
+    // NULL key columns must refuse to encode: equality joins never match
+    // NULLs.
+    EXPECT_EQ(oka, !vals[i].is_null());
+    if (!oka) continue;
+    for (size_t j = 0; j < vals.size(); ++j) {
+      Tuple rb{vals[j]};
+      std::string eb;
+      if (!EncodeJoinKey(rb, cols, &eb)) continue;
+      EXPECT_EQ(ea == eb, vals[i].SqlEquals(vals[j]))
+          << "corpus[" << i << "] vs corpus[" << j << "]";
+    }
+  }
+}
+
+TEST(KeyCodecTest, RowKeyEqualityIsDistinctIdentity) {
+  // Whole-row keys allow NULLs and treat NULL == NULL (DISTINCT identity).
+  Tuple a{Value::Null(), Value::Int64(3), Value::String("x")};
+  Tuple b{Value::Null(), Value::Double(3.0), Value::String("x")};
+  Tuple c{Value::Null(), Value::Int64(3), Value::String("y")};
+  std::string ea, eb, ec;
+  EncodeRowKey(a, &ea);
+  EncodeRowKey(b, &eb);
+  EncodeRowKey(c, &ec);
+  EXPECT_EQ(ea, eb);
+  EXPECT_NE(ea, ec);
+}
+
+TEST(KeyCodecTest, CompositeKeysOrderLikeTupleCompare) {
+  // Composite keys: memcmp order over concatenated segments must equal
+  // column-by-column Value::Compare (first non-equal column decides) —
+  // including when an early string segment is a prefix of the other.
+  std::vector<Tuple> rows;
+  const std::vector<Value> small = {
+      Value::Null(),          Value::Int64(-1), Value::Double(0.5),
+      Value::String(""),      Value::String("a"), Value::String("ab"),
+  };
+  for (const Value& x : small)
+    for (const Value& y : small) rows.push_back(Tuple{x, y});
+
+  auto tuple_cmp = [](const Tuple& a, const Tuple& b) {
+    for (size_t c = 0; c < a.values().size(); ++c) {
+      int cmp = a.values()[c].Compare(b.values()[c]);
+      if (cmp != 0) return Sign(cmp);
+    }
+    return 0;
+  };
+  for (const Tuple& a : rows) {
+    std::string ea;
+    EncodeRowKey(a, &ea);
+    for (const Tuple& b : rows) {
+      std::string eb;
+      EncodeRowKey(b, &eb);
+      EXPECT_EQ(ByteCompare(ea, eb), tuple_cmp(a, b));
+    }
+  }
+}
+
+TEST(KeyCodecTest, OrderedNumericBitsMatchesCompare) {
+  const std::vector<Value> vals = Corpus();
+  for (const Value& a : vals) {
+    if (a.is_null() || (!a.is_int64() && !a.is_double())) continue;
+    const uint64_t ba = OrderedNumericBits(a);
+    for (const Value& b : vals) {
+      if (b.is_null() || (!b.is_int64() && !b.is_double())) continue;
+      const uint64_t bb = OrderedNumericBits(b);
+      const int want = Sign(a.Compare(b));
+      EXPECT_EQ((ba < bb) ? -1 : (ba > bb ? 1 : 0), want);
+      // Complemented bits reverse the order (DESC sort keys).
+      EXPECT_EQ((~ba < ~bb) ? -1 : (~ba > ~bb ? 1 : 0), -want);
+    }
+  }
+}
+
+TEST(KeyCodecTest, ArenaKeepsViewsStableAcrossChunkGrowth) {
+  KeyArena arena(/*chunk_bytes=*/16);
+  std::vector<std::pair<std::string, std::string_view>> interned;
+  uint64_t total_bytes = 0;
+  for (int i = 0; i < 200; ++i) {
+    // Sizes from 0 to beyond the chunk size (forces dedicated chunks).
+    std::string key(static_cast<size_t>(i % 37), static_cast<char>('a' + i % 7));
+    key += std::to_string(i);
+    std::string_view view = arena.Intern(key);
+    EXPECT_EQ(view, key);
+    total_bytes += key.size();
+    interned.emplace_back(std::move(key), view);
+  }
+  // No chunk was reallocated in place: every earlier view still reads back.
+  for (const auto& [key, view] : interned) EXPECT_EQ(view, key);
+  EXPECT_EQ(arena.keys_interned(), 200u);
+  EXPECT_EQ(arena.bytes_interned(), total_bytes);
+}
+
+}  // namespace
+}  // namespace silkroute::engine

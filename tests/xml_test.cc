@@ -194,6 +194,72 @@ TEST(XmlReaderTest, WriterReaderRoundTrip) {
   EXPECT_EQ(items[3]->text, "v<3>&");
 }
 
+/// Emits the same small document through `w`.
+void EmitSampleDocument(XmlWriter* w) {
+  ASSERT_TRUE(w->StartElement("root").ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(w->StartElement("item").ok());
+    ASSERT_TRUE(w->Attribute("id", std::to_string(i)).ok());
+    ASSERT_TRUE(w->Text("value <" + std::to_string(i) + "> & \"more\"").ok());
+    ASSERT_TRUE(w->EndElement().ok());
+  }
+  ASSERT_TRUE(w->Finish().ok());
+}
+
+TEST(XmlWriterTest, BufferingNeverChangesEmittedBytes) {
+  std::string unbuffered_bytes;
+  {
+    std::ostringstream out;
+    XmlWriter::Options opts;
+    opts.buffer_bytes = 0;  // write-through
+    XmlWriter w(&out, opts);
+    EmitSampleDocument(&w);
+    EXPECT_EQ(w.flushes(), 0u);  // write-through never pushes chunks
+    unbuffered_bytes = out.str();
+  }
+  for (size_t buffer : {size_t{1}, size_t{64}, size_t{1 << 20}}) {
+    std::ostringstream out;
+    XmlWriter::Options opts;
+    opts.buffer_bytes = buffer;
+    XmlWriter w(&out, opts);
+    EmitSampleDocument(&w);
+    EXPECT_EQ(out.str(), unbuffered_bytes) << "buffer_bytes=" << buffer;
+    EXPECT_EQ(w.bytes_written(), unbuffered_bytes.size());
+  }
+}
+
+TEST(XmlWriterTest, SmallBufferFlushesInChunks) {
+  std::ostringstream out;
+  XmlWriter::Options opts;
+  opts.buffer_bytes = 64;
+  XmlWriter w(&out, opts);
+  EmitSampleDocument(&w);
+  // The document is ~2 KiB: a 64-byte buffer must have pushed many chunks,
+  // a single one would mean buffering is off by a factor of the document.
+  EXPECT_GT(w.flushes(), 10u);
+  EXPECT_LE(w.flushes(), w.bytes_written() / 64 + 1);
+}
+
+TEST(XmlWriterTest, LargeBufferFlushesOnce) {
+  std::ostringstream out;
+  XmlWriter w(&out);  // default 64 KiB buffer, document is much smaller
+  EmitSampleDocument(&w);
+  EXPECT_EQ(w.flushes(), 1u);  // only the final Finish-driven flush
+}
+
+TEST(XmlWriterTest, DestructorFlushesAbandonedDocument) {
+  std::ostringstream out;
+  {
+    XmlWriter::Options opts;
+    opts.declaration = false;
+    XmlWriter w(&out, opts);  // buffered
+    ASSERT_TRUE(w.StartElement("partial").ok());
+    ASSERT_TRUE(w.Text("abandoned mid-document").ok());
+    // No Finish: the error path drops the writer.
+  }
+  EXPECT_EQ(out.str(), "<partial>abandoned mid-document");
+}
+
 TEST(XmlReaderTest, DeepNestingRoundTrip) {
   std::ostringstream out;
   XmlWriter::Options opts;

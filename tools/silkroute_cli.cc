@@ -29,6 +29,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "common/timer.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -168,6 +169,7 @@ int main(int argc, char** argv) {
     data_dir = slash == std::string::npos ? "." : args.schema.substr(0, slash);
   }
   size_t total_rows = 0;
+  Timer load_timer;
   for (const std::string& table : db.catalog().TableNames()) {
     std::string path = data_dir + "/" + table + ".csv";
     std::ifstream probe(path);
@@ -177,8 +179,9 @@ int main(int argc, char** argv) {
     CLI_CHECK(loaded);
     total_rows += *loaded;
   }
+  const double load_ms = load_timer.ElapsedMillis();
   std::cerr << "loaded " << total_rows << " row(s), "
-            << db.TotalByteSize() << " bytes\n";
+            << db.TotalByteSize() << " bytes in " << load_ms << " ms\n";
 
   // 3. View.
   auto view_text = ReadFile(args.view);
@@ -274,6 +277,12 @@ int main(int argc, char** argv) {
   obs::Tracer* tracer_ptr = args.trace.empty() ? nullptr : &tracer;
   obs::MetricsRegistry* registry_ptr =
       (args.stats || !args.prom.empty()) ? &registry : nullptr;
+  if (registry_ptr != nullptr) {
+    // Bulk-load accounting, captured above before the registry existed.
+    registry_ptr->gauge("silkroute_load_ms")
+        ->Set(static_cast<int64_t>(load_ms + 0.5));
+    registry_ptr->counter("silkroute_load_rows_total")->Add(total_rows);
+  }
   auto export_observability = [&]() -> bool {
     if (!args.trace.empty()) {
       std::ofstream trace_out(args.trace);

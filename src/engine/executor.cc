@@ -1,6 +1,7 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <numeric>
 #include <unordered_map>
@@ -8,6 +9,7 @@
 
 #include "engine/expr_eval.h"
 #include "engine/key_codec.h"
+#include "engine/morsel.h"
 #include "obs/trace.h"
 #include "sql/parser.h"
 
@@ -134,6 +136,218 @@ Tuple NullPadded(const Tuple& left, size_t right_width) {
   return out;
 }
 
+/// Parallel-build counterpart of EncodedKeyIndex (DESIGN.md §11): the key
+/// space is hash-partitioned and each partition holds its own map + arena,
+/// so partition builds run on separate threads with no shared mutable
+/// state except the next_ chain array — which is race-free because a row's
+/// slot is written only by the one partition its key hashes into. Chains
+/// are in ascending global row order exactly as in the serial index
+/// (each partition inserts its rows in row order and a key lives in
+/// exactly one partition), so probe output is invariant under the
+/// partition count and equals the serial build's output byte for byte.
+class PartitionedKeyIndex {
+ public:
+  static constexpr uint32_t kNil = 0xFFFFFFFFu;
+
+  /// `partitions` must be a power of two.
+  PartitionedKeyIndex(size_t rows, uint32_t partitions)
+      : mask_(partitions - 1), parts_(partitions), next_(rows, kNil) {
+    const size_t per_part = rows / partitions + 1;
+    for (auto& p : parts_) p.map.reserve(per_part);
+  }
+
+  uint32_t num_partitions() const {
+    return static_cast<uint32_t>(parts_.size());
+  }
+
+  uint32_t PartitionOf(std::string_view key) const {
+    return static_cast<uint32_t>(std::hash<std::string_view>()(key)) & mask_;
+  }
+
+  /// Caller guarantees p == PartitionOf(key) and ascending `row` order
+  /// within each partition. Distinct partitions may insert concurrently.
+  void Insert(uint32_t p, std::string_view key, uint32_t row) {
+    Part& part = parts_[p];
+    auto it = part.map.find(key);
+    if (it == part.map.end()) {
+      part.map.emplace(part.arena.Intern(key), Chain{row, row});
+    } else {
+      next_[it->second.tail] = row;
+      it->second.tail = row;
+    }
+  }
+
+  uint32_t Find(std::string_view key) const {
+    const Part& part = parts_[PartitionOf(key)];
+    auto it = part.map.find(key);
+    return it == part.map.end() ? kNil : it->second.head;
+  }
+  uint32_t NextRow(uint32_t row) const { return next_[row]; }
+
+ private:
+  struct Chain {
+    uint32_t head;
+    uint32_t tail;
+  };
+  struct Part {
+    KeyArena arena;
+    std::unordered_map<std::string_view, Chain> map;
+  };
+  uint32_t mask_;
+  std::vector<Part> parts_;
+  std::vector<uint32_t> next_;
+};
+
+/// Build keys of one morsel of build-side rows: the encoded key bytes
+/// back-to-back, plus, per row of the morsel, its span into `buf`
+/// (len == kNullKey marks a NULL-keyed row that is never indexed) and the
+/// partition its key hashes to. `by_part[p]` lists the morsel-local row
+/// offsets in partition p, in row order.
+struct KeyMorsel {
+  static constexpr uint32_t kNullKey = 0xFFFFFFFFu;
+  std::string buf;
+  std::vector<uint32_t> offsets;
+  std::vector<uint32_t> lens;
+  std::vector<std::vector<uint32_t>> by_part;
+  uint64_t keys = 0;
+  uint64_t bytes = 0;
+
+  std::string_view KeyAt(size_t local) const {
+    return std::string_view(buf.data() + offsets[local], lens[local]);
+  }
+};
+
+/// Smallest power of two >= n (n >= 1).
+uint32_t CeilPow2(uint32_t n) {
+  uint32_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Sorts `recs` by the strict *total* order `less` as `num_runs`
+/// independently sorted runs followed by pairwise parallel merges.
+/// Totality (every executor comparator ends in an input-index tiebreak)
+/// makes the sorted permutation unique, so the result is element-for-
+/// element the serial std::sort outcome regardless of the run count or
+/// thread schedule. `dispatch(count, fn)` runs fn(0..count) across the
+/// pool (QueryExecutor::RunTasks bound by the caller).
+template <typename Rec, typename Less, typename Dispatch>
+Status ParallelSortMerge(std::vector<Rec>* recs, size_t num_runs,
+                         const Less& less, const Dispatch& dispatch) {
+  const size_t n = recs->size();
+  if (num_runs < 2 || n < num_runs * 2) {
+    std::sort(recs->begin(), recs->end(), less);
+    return Status::OK();
+  }
+  const size_t chunk = (n + num_runs - 1) / num_runs;
+  std::vector<size_t> bounds;  // run boundaries, bounds.front()=0, back()=n
+  for (size_t b = 0; b < n; b += chunk) bounds.push_back(b);
+  bounds.push_back(n);
+
+  SILK_RETURN_IF_ERROR(dispatch(bounds.size() - 1, [&](size_t r) -> Status {
+    std::sort(recs->begin() + static_cast<ptrdiff_t>(bounds[r]),
+              recs->begin() + static_cast<ptrdiff_t>(bounds[r + 1]), less);
+    return Status::OK();
+  }));
+
+  std::vector<Rec> scratch(n);
+  std::vector<Rec>* src = recs;
+  std::vector<Rec>* dst = &scratch;
+  while (bounds.size() > 2) {
+    const size_t runs = bounds.size() - 1;
+    const size_t out_runs = (runs + 1) / 2;
+    std::vector<size_t> next_bounds;
+    next_bounds.reserve(out_runs + 1);
+    for (size_t k = 0; k < runs; k += 2) next_bounds.push_back(bounds[k]);
+    next_bounds.push_back(n);
+    SILK_RETURN_IF_ERROR(dispatch(out_runs, [&](size_t k) -> Status {
+      const size_t a = bounds[2 * k];
+      const size_t b = bounds[2 * k + 1];
+      if (2 * k + 2 <= bounds.size() - 1) {
+        const size_t c = bounds[2 * k + 2];
+        std::merge(src->begin() + static_cast<ptrdiff_t>(a),
+                   src->begin() + static_cast<ptrdiff_t>(b),
+                   src->begin() + static_cast<ptrdiff_t>(b),
+                   src->begin() + static_cast<ptrdiff_t>(c),
+                   dst->begin() + static_cast<ptrdiff_t>(a), less);
+      } else {
+        // Odd tail run: carried over unmerged.
+        std::copy(src->begin() + static_cast<ptrdiff_t>(a),
+                  src->begin() + static_cast<ptrdiff_t>(b),
+                  dst->begin() + static_cast<ptrdiff_t>(a));
+      }
+      return Status::OK();
+    }));
+    bounds = std::move(next_bounds);
+    std::swap(src, dst);
+  }
+  if (src != recs) *recs = std::move(*src);
+  return Status::OK();
+}
+
+struct IndexBuildCounters {
+  uint64_t keys = 0;
+  uint64_t bytes = 0;
+};
+
+/// Two-phase parallel index build. Phase A encodes every build key in
+/// morsels (per-morsel buffers, no shared writes); phase B runs one task
+/// per partition, inserting that partition's rows in ascending global row
+/// order. `run_morsels` / `run_tasks` are the executor's dispatchers.
+template <typename RunMorselsFn, typename RunTasksFn>
+Status BuildPartitionedIndex(const std::vector<Tuple>& build_rows,
+                             const std::vector<size_t>& cols,
+                             size_t morsel_rows,
+                             const RunMorselsFn& run_morsels,
+                             const RunTasksFn& run_tasks,
+                             PartitionedKeyIndex* index,
+                             IndexBuildCounters* counters) {
+  const size_t n = build_rows.size();
+  const size_t morsel = morsel_rows > 0 ? morsel_rows : 1;
+  const size_t count = (n + morsel - 1) / morsel;
+  const uint32_t partitions = index->num_partitions();
+  std::vector<KeyMorsel> morsels(count);
+  SILK_RETURN_IF_ERROR(run_morsels(
+      "join_build_encode", n, [&](size_t m, size_t begin, size_t end) -> Status {
+        KeyMorsel& km = morsels[m];
+        km.offsets.resize(end - begin);
+        km.lens.resize(end - begin);
+        km.by_part.resize(partitions);
+        for (size_t i = begin; i < end; ++i) {
+          const size_t local = i - begin;
+          const uint32_t off = static_cast<uint32_t>(km.buf.size());
+          km.offsets[local] = off;
+          if (!EncodeJoinKey(build_rows[i], cols, &km.buf)) {
+            km.buf.resize(off);  // drop the partial NULL-keyed write
+            km.lens[local] = KeyMorsel::kNullKey;
+            continue;
+          }
+          km.lens[local] = static_cast<uint32_t>(km.buf.size() - off);
+          ++km.keys;
+          km.bytes += km.lens[local];
+          km.by_part[index->PartitionOf(km.KeyAt(local))].push_back(
+              static_cast<uint32_t>(local));
+        }
+        return Status::OK();
+      }));
+  for (const KeyMorsel& km : morsels) {
+    counters->keys += km.keys;
+    counters->bytes += km.bytes;
+  }
+  return run_tasks("join_build_insert", partitions, [&](size_t p) -> Status {
+    for (size_t m = 0; m < count; ++m) {
+      const KeyMorsel& km = morsels[m];
+      if (km.by_part.empty()) continue;
+      const size_t begin = m * morsel;
+      for (uint32_t local : km.by_part[p]) {
+        index->Insert(static_cast<uint32_t>(p), km.KeyAt(local),
+                      static_cast<uint32_t>(begin + local));
+      }
+    }
+    return Status::OK();
+  });
+}
+
 }  // namespace
 
 Result<Relation> QueryExecutor::ExecuteSql(std::string_view sql_text) {
@@ -168,6 +382,52 @@ Status QueryExecutor::CheckDeadline() const {
                            std::to_string(timeout_ms_) + " ms");
   }
   return Status::OK();
+}
+
+size_t QueryExecutor::MorselCount(size_t rows) const {
+  const size_t morsel = opts_.morsel_rows > 0 ? opts_.morsel_rows : 1;
+  return (rows + morsel - 1) / morsel;
+}
+
+Status QueryExecutor::RunTasks(const char* what, size_t count,
+                               const std::function<Status(size_t)>& fn) {
+  stats_.morsels_dispatched += count;
+  // Per-morsel spans parent under the span current on the *dispatching*
+  // thread (the pool threads have no thread-local span installed).
+  // Starting children is thread-safe — the child ordinal is atomic — and
+  // each span is annotated and ended by the one thread that ran the task.
+  obs::SpanHandle* parent = obs::CurrentSpan();
+  obs::Tracer* tracer =
+      parent != nullptr && parent->recording() ? parent->tracer() : nullptr;
+  const auto submitted = std::chrono::steady_clock::now();
+  if (tracer == nullptr) return opts_.pool->ParallelFor(count, fn);
+  auto traced = [&](size_t i) -> Status {
+    const auto started = std::chrono::steady_clock::now();
+    obs::SpanHandle span = obs::Tracer::Child(tracer, parent, "morsel");
+    span.Annotate("op", what);
+    span.AnnotateMs("queue_wait_ms",
+                    std::chrono::duration<double, std::milli>(
+                        started - submitted)
+                        .count());
+    Status s = fn(i);
+    span.AnnotateMs("run_ms", std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - started)
+                                  .count());
+    span.End();
+    return s;
+  };
+  return opts_.pool->ParallelFor(count, traced);
+}
+
+Status QueryExecutor::RunMorsels(
+    const char* what, size_t rows,
+    const std::function<Status(size_t, size_t, size_t)>& fn) {
+  const size_t morsel = opts_.morsel_rows > 0 ? opts_.morsel_rows : 1;
+  return RunTasks(what, MorselCount(rows), [&](size_t m) -> Status {
+    const size_t begin = m * morsel;
+    const size_t end = std::min(rows, begin + morsel);
+    return fn(m, begin, end);
+  });
 }
 
 Result<Relation> QueryExecutor::Execute(const sql::Query& query) {
@@ -285,13 +545,47 @@ Result<Relation> QueryExecutor::ExecuteCore(const sql::SelectCore& core,
     // JoinFromList already produced the projected rows.
     out.rows = std::move(combined.rows);
   } else if (all_direct) {
-    out.rows.reserve(in_rows.size());
-    for (const auto& row : in_rows) {
-      Tuple projected;
-      projected.mutable_values().reserve(direct_cols.size());
-      for (size_t c : direct_cols) projected.Append(row.values()[c]);
-      out.rows.push_back(std::move(projected));
+    if (UseParallel(in_rows.size())) {
+      // Disjoint index ranges write disjoint slots of the preallocated
+      // output, so morsels share nothing; slot order == input order.
+      out.rows.resize(in_rows.size());
+      SILK_RETURN_IF_ERROR(RunMorsels(
+          "project", in_rows.size(),
+          [&](size_t, size_t begin, size_t end) -> Status {
+            for (size_t i = begin; i < end; ++i) {
+              Tuple projected;
+              projected.mutable_values().reserve(direct_cols.size());
+              for (size_t c : direct_cols) {
+                projected.Append(in_rows[i].values()[c]);
+              }
+              out.rows[i] = std::move(projected);
+            }
+            return Status::OK();
+          }));
+    } else {
+      out.rows.reserve(in_rows.size());
+      for (const auto& row : in_rows) {
+        Tuple projected;
+        projected.mutable_values().reserve(direct_cols.size());
+        for (size_t c : direct_cols) projected.Append(row.values()[c]);
+        out.rows.push_back(std::move(projected));
+      }
     }
+  } else if (UseParallel(in_rows.size())) {
+    // BoundExpr::Eval is const and stateless, so one bound tree serves all
+    // morsel threads concurrently.
+    out.rows.resize(in_rows.size());
+    SILK_RETURN_IF_ERROR(RunMorsels(
+        "project", in_rows.size(),
+        [&](size_t, size_t begin, size_t end) -> Status {
+          for (size_t i = begin; i < end; ++i) {
+            Tuple projected;
+            projected.mutable_values().reserve(exprs.size());
+            for (const auto& e : exprs) projected.Append(e->Eval(in_rows[i]));
+            out.rows[i] = std::move(projected);
+          }
+          return Status::OK();
+        }));
   } else {
     out.rows.reserve(in_rows.size());
     for (const auto& row : in_rows) {
@@ -306,23 +600,68 @@ Result<Relation> QueryExecutor::ExecuteCore(const sql::SelectCore& core,
     // contiguous byte string, so hashing and equality are single byte
     // passes instead of a variant walk of t.values() per probe. NULL ==
     // NULL here, as before (Tuple::Compare identity, not SqlEquals).
-    KeyArena arena;
-    std::unordered_set<std::string_view> seen;
-    seen.reserve(out.rows.size());
-    std::vector<Tuple> unique;
-    unique.reserve(out.rows.size());
-    std::string scratch;
-    for (auto& row : out.rows) {
-      scratch.clear();
-      EncodeRowKey(row, &scratch);
-      ++stats_.keys_encoded;
-      stats_.bytes_encoded += scratch.size();
-      if (seen.find(scratch) == seen.end()) {
-        seen.insert(arena.Intern(scratch));
-        unique.push_back(std::move(row));
+    if (UseParallel(out.rows.size())) {
+      // Parallel phase: encode whole-row keys per morsel into private
+      // buffers. Serial phase: first-occurrence scan in row order — the
+      // dedup decision depends on every earlier row, so it stays on one
+      // thread, but it only touches packed bytes, never Values.
+      const size_t n = out.rows.size();
+      const size_t morsel = opts_.morsel_rows > 0 ? opts_.morsel_rows : 1;
+      struct RowKeys {
+        std::string buf;
+        std::vector<uint32_t> offsets;  // n_local + 1 fence offsets
+      };
+      std::vector<RowKeys> morsels(MorselCount(n));
+      SILK_RETURN_IF_ERROR(RunMorsels(
+          "distinct_encode", n,
+          [&](size_t m, size_t begin, size_t end) -> Status {
+            RowKeys& rk = morsels[m];
+            rk.offsets.reserve(end - begin + 1);
+            rk.offsets.push_back(0);
+            for (size_t i = begin; i < end; ++i) {
+              EncodeRowKey(out.rows[i], &rk.buf);
+              rk.offsets.push_back(static_cast<uint32_t>(rk.buf.size()));
+            }
+            return Status::OK();
+          }));
+      std::unordered_set<std::string_view> seen;
+      seen.reserve(n);
+      std::vector<Tuple> unique;
+      unique.reserve(n);
+      for (size_t m = 0; m < morsels.size(); ++m) {
+        const RowKeys& rk = morsels[m];
+        const size_t begin = m * morsel;
+        stats_.bytes_encoded += rk.buf.size();
+        for (size_t local = 0; local + 1 < rk.offsets.size(); ++local) {
+          ++stats_.keys_encoded;
+          // rk.buf is stable now, so the set can view it directly.
+          std::string_view key(rk.buf.data() + rk.offsets[local],
+                               rk.offsets[local + 1] - rk.offsets[local]);
+          if (seen.insert(key).second) {
+            unique.push_back(std::move(out.rows[begin + local]));
+          }
+        }
       }
+      out.rows = std::move(unique);
+    } else {
+      KeyArena arena;
+      std::unordered_set<std::string_view> seen;
+      seen.reserve(out.rows.size());
+      std::vector<Tuple> unique;
+      unique.reserve(out.rows.size());
+      std::string scratch;
+      for (auto& row : out.rows) {
+        scratch.clear();
+        EncodeRowKey(row, &scratch);
+        ++stats_.keys_encoded;
+        stats_.bytes_encoded += scratch.size();
+        if (seen.find(scratch) == seen.end()) {
+          seen.insert(arena.Intern(scratch));
+          unique.push_back(std::move(row));
+        }
+      }
+      out.rows = std::move(unique);
     }
-    out.rows = std::move(unique);
     // DISTINCT breaks row alignment; ORDER BY must use the output schema.
     last_preprojection_ = Relation();
     last_preprojection_rows_ = nullptr;
@@ -530,6 +869,9 @@ Result<Relation> QueryExecutor::JoinFromList(
       combined.schema = RelSchema::Concat(current.schema, right.schema);
       const std::vector<Tuple>& lrows = current_rows();
       const std::vector<Tuple>& rrows = rows_of(cand);
+      if (UseParallel(lrows.size()) || UseParallel(rrows.size())) {
+        ++stats_.parallel_fallbacks;  // cross products stay serial
+      }
       combined.rows.reserve(lrows.size() * rrows.size());
       for (const auto& l : lrows) {
         SILK_RETURN_IF_ERROR(CheckDeadline());
@@ -599,15 +941,34 @@ Result<Relation> QueryExecutor::JoinFromList(
     if (leftover.empty()) {
       // Project straight off the join inputs: the wide tuples never exist.
       std::vector<Tuple> projected;
-      projected.reserve(pairs.size());
-      for (const auto& [li, ri] : pairs) {
-        Tuple t;
-        t.mutable_values().reserve(fuse_cols.size());
-        for (size_t c : fuse_cols) {
-          t.Append(c < left_width ? lrows[li].values()[c]
-                                  : rrows[ri].values()[c - left_width]);
+      if (UseParallel(pairs.size())) {
+        projected.resize(pairs.size());
+        SILK_RETURN_IF_ERROR(RunMorsels(
+            "project", pairs.size(),
+            [&](size_t, size_t begin, size_t end) -> Status {
+              for (size_t i = begin; i < end; ++i) {
+                const auto& [li, ri] = pairs[i];
+                Tuple t;
+                t.mutable_values().reserve(fuse_cols.size());
+                for (size_t c : fuse_cols) {
+                  t.Append(c < left_width ? lrows[li].values()[c]
+                                          : rrows[ri].values()[c - left_width]);
+                }
+                projected[i] = std::move(t);
+              }
+              return Status::OK();
+            }));
+      } else {
+        projected.reserve(pairs.size());
+        for (const auto& [li, ri] : pairs) {
+          Tuple t;
+          t.mutable_values().reserve(fuse_cols.size());
+          for (size_t c : fuse_cols) {
+            t.Append(c < left_width ? lrows[li].values()[c]
+                                    : rrows[ri].values()[c - left_width]);
+          }
+          projected.push_back(std::move(t));
         }
-        projected.push_back(std::move(t));
       }
       current.schema =
           RelSchema::Concat(current.schema, items[pair_cand].schema);
@@ -618,9 +979,22 @@ Result<Relation> QueryExecutor::JoinFromList(
     // A residual predicate needs the wide rows after all: materialize them
     // from the pairs (same order HashJoin would have emitted).
     std::vector<Tuple> wide;
-    wide.reserve(pairs.size());
-    for (const auto& [li, ri] : pairs) {
-      wide.push_back(Tuple::Concat(lrows[li], rrows[ri]));
+    if (UseParallel(pairs.size())) {
+      wide.resize(pairs.size());
+      SILK_RETURN_IF_ERROR(RunMorsels(
+          "materialize", pairs.size(),
+          [&](size_t, size_t begin, size_t end) -> Status {
+            for (size_t i = begin; i < end; ++i) {
+              wide[i] = Tuple::Concat(lrows[pairs[i].first],
+                                      rrows[pairs[i].second]);
+            }
+            return Status::OK();
+          }));
+    } else {
+      wide.reserve(pairs.size());
+      for (const auto& [li, ri] : pairs) {
+        wide.push_back(Tuple::Concat(lrows[li], rrows[ri]));
+      }
     }
     current.schema = RelSchema::Concat(current.schema, items[pair_cand].schema);
     current.rows = std::move(wide);
@@ -632,31 +1006,50 @@ Result<Relation> QueryExecutor::JoinFromList(
       SILK_ASSIGN_OR_RETURN(BoundExprPtr b, BindExpr(*e, current.schema));
       filters.push_back(std::move(b));
     }
+    auto passes = [&filters](const Tuple& row) {
+      for (const auto& f : filters) {
+        if (f->Test(row) != Tribool::kTrue) return false;
+      }
+      return true;
+    };
     std::vector<Tuple> kept;
-    kept.reserve(current_rows().size());
-    if (current_borrow != nullptr) {
+    if (UseParallel(current_rows().size())) {
+      // Filter morsels: survivors collect into per-morsel runs; the runs
+      // concatenate in morsel order, which is input row order.
+      const std::vector<Tuple>& in_rows = current_rows();
+      const bool own = current_borrow == nullptr;
+      std::vector<std::vector<Tuple>> runs(MorselCount(in_rows.size()));
+      SILK_RETURN_IF_ERROR(RunMorsels(
+          "filter", in_rows.size(),
+          [&](size_t m, size_t begin, size_t end) -> Status {
+            for (size_t i = begin; i < end; ++i) {
+              if (!passes(in_rows[i])) continue;
+              if (own) {
+                runs[m].push_back(std::move(current.rows[i]));
+              } else {
+                runs[m].push_back(in_rows[i]);
+              }
+            }
+            return Status::OK();
+          }));
+      size_t total = 0;
+      for (const auto& run : runs) total += run.size();
+      kept.reserve(total);
+      for (auto& run : runs) {
+        for (Tuple& t : run) kept.push_back(std::move(t));
+      }
+      current_borrow = nullptr;
+    } else if (current_borrow != nullptr) {
       // Borrowed rows belong to the table: copy the survivors.
+      kept.reserve(current_rows().size());
       for (const auto& row : *current_borrow) {
-        bool pass = true;
-        for (const auto& f : filters) {
-          if (f->Test(row) != Tribool::kTrue) {
-            pass = false;
-            break;
-          }
-        }
-        if (pass) kept.push_back(row);
+        if (passes(row)) kept.push_back(row);
       }
       current_borrow = nullptr;
     } else {
+      kept.reserve(current_rows().size());
       for (auto& row : current.rows) {
-        bool pass = true;
-        for (const auto& f : filters) {
-          if (f->Test(row) != Tribool::kTrue) {
-            pass = false;
-            break;
-          }
-        }
-        if (pass) kept.push_back(std::move(row));
+        if (passes(row)) kept.push_back(std::move(row));
       }
     }
     current.rows = std::move(kept);
@@ -720,6 +1113,27 @@ Status QueryExecutor::MaterializeBaseTable(
     return Status::OK();
   }
   stats_.rows_scanned += table.num_rows();
+  if (UseParallel(table.num_rows()) && !bound.empty()) {
+    // Scan morsels: each claims a fixed row range, filters into a private
+    // run, and the runs concatenate in morsel order == table row order.
+    const std::vector<Tuple>& rows = table.rows();
+    std::vector<std::vector<Tuple>> runs(MorselCount(rows.size()));
+    SILK_RETURN_IF_ERROR(RunMorsels(
+        "scan_filter", rows.size(),
+        [&](size_t m, size_t begin, size_t end) -> Status {
+          for (size_t i = begin; i < end; ++i) {
+            if (passes(rows[i])) runs[m].push_back(rows[i]);
+          }
+          return Status::OK();
+        }));
+    size_t total = 0;
+    for (const auto& run : runs) total += run.size();
+    out->rows.reserve(out->rows.size() + total);
+    for (auto& run : runs) {
+      for (Tuple& t : run) out->rows.push_back(std::move(t));
+    }
+    return Status::OK();
+  }
   for (const Tuple& row : table.rows()) {
     if (passes(row)) out->rows.push_back(row);
   }
@@ -747,6 +1161,7 @@ Result<Relation> QueryExecutor::EvalTableRef(const sql::TableRef& ref) {
       sub.timeout_ms_ = timeout_ms_;
       sub.has_deadline_ = has_deadline_;
       sub.deadline_ = deadline_;
+      sub.opts_ = opts_;  // derived tables parallelize like their parent
       SILK_ASSIGN_OR_RETURN(Relation rel, sub.Execute(derived.query()));
       stats_.rows_scanned += sub.stats_.rows_scanned;
       stats_.rows_joined += sub.stats_.rows_joined;
@@ -756,6 +1171,8 @@ Result<Relation> QueryExecutor::EvalTableRef(const sql::TableRef& ref) {
       stats_.index_probes += sub.stats_.index_probes;
       stats_.keys_encoded += sub.stats_.keys_encoded;
       stats_.bytes_encoded += sub.stats_.bytes_encoded;
+      stats_.morsels_dispatched += sub.stats_.morsels_dispatched;
+      stats_.parallel_fallbacks += sub.stats_.parallel_fallbacks;
       rel.schema = rel.schema.WithQualifier(derived.alias());
       return rel;
     }
@@ -848,6 +1265,15 @@ Result<Relation> QueryExecutor::HashJoin(
     right_cols.push_back(ri);
   }
 
+  const size_t right_width = right_schema.size();
+  if (opts_.parallelism > 1 && opts_.pool != nullptr &&
+      (left_rows.size() >= opts_.parallel_threshold ||
+       right_rows.size() >= opts_.parallel_threshold)) {
+    return HashJoinParallel(type, std::move(out.schema), left_rows,
+                            right_rows, left_cols, right_cols,
+                            residual_bound.get(), right_width);
+  }
+
   EncodedKeyIndex index;
   index.Reserve(right_rows.size());
   std::string scratch;
@@ -862,7 +1288,6 @@ Result<Relation> QueryExecutor::HashJoin(
   }
 
   ++stats_.hash_joins;
-  const size_t right_width = right_schema.size();
   size_t deadline_check = 0;
   for (const auto& lrow : left_rows) {
     if ((++deadline_check & 0xFF) == 0) {
@@ -908,6 +1333,12 @@ Result<std::vector<std::pair<uint32_t, uint32_t>>> QueryExecutor::HashJoinPairs(
     right_cols.push_back(ri);
   }
 
+  if (opts_.parallelism > 1 && opts_.pool != nullptr &&
+      (left_rows.size() >= opts_.parallel_threshold ||
+       right_rows.size() >= opts_.parallel_threshold)) {
+    return HashJoinPairsParallel(left_rows, right_rows, left_cols, right_cols);
+  }
+
   EncodedKeyIndex index;
   index.Reserve(right_rows.size());
   std::string scratch;
@@ -936,6 +1367,151 @@ Result<std::vector<std::pair<uint32_t, uint32_t>>> QueryExecutor::HashJoinPairs(
     }
   }
   stats_.rows_joined += pairs.size();
+  return pairs;
+}
+
+Result<Relation> QueryExecutor::HashJoinParallel(
+    sql::JoinType type, RelSchema out_schema,
+    const std::vector<Tuple>& left_rows, const std::vector<Tuple>& right_rows,
+    const std::vector<size_t>& left_cols, const std::vector<size_t>& right_cols,
+    const BoundExpr* residual, size_t right_width) {
+  const uint32_t partitions =
+      CeilPow2(static_cast<uint32_t>(opts_.parallelism));
+  PartitionedKeyIndex index(right_rows.size(), partitions);
+  IndexBuildCounters build;
+  SILK_RETURN_IF_ERROR(BuildPartitionedIndex(
+      right_rows, right_cols, opts_.morsel_rows,
+      [this](const char* what, size_t rows,
+             const std::function<Status(size_t, size_t, size_t)>& fn) {
+        return RunMorsels(what, rows, fn);
+      },
+      [this](const char* what, size_t count,
+             const std::function<Status(size_t)>& fn) {
+        return RunTasks(what, count, fn);
+      },
+      &index, &build));
+  stats_.keys_encoded += build.keys;
+  stats_.bytes_encoded += build.bytes;
+
+  ++stats_.hash_joins;
+  const size_t n = left_rows.size();
+  // One output run per probe morsel; concatenating the runs in morsel
+  // order reproduces the serial probe loop's row order exactly (each run
+  // is the serial output for its row range, chains yield right rows in
+  // ascending row order).
+  std::vector<std::vector<Tuple>> runs(MorselCount(n));
+  std::vector<std::array<uint64_t, 2>> probe_counts(runs.size());
+  SILK_RETURN_IF_ERROR(RunMorsels(
+      "join_probe", n, [&](size_t m, size_t begin, size_t end) -> Status {
+        std::vector<Tuple>& out_run = runs[m];
+        std::array<uint64_t, 2>& counts = probe_counts[m];
+        std::string scratch;
+        size_t deadline_check = 0;
+        for (size_t i = begin; i < end; ++i) {
+          if ((++deadline_check & 0xFF) == 0) {
+            SILK_RETURN_IF_ERROR(CheckDeadline());
+          }
+          const Tuple& lrow = left_rows[i];
+          scratch.clear();
+          bool matched = false;
+          if (EncodeJoinKey(lrow, left_cols, &scratch)) {
+            ++counts[0];
+            counts[1] += scratch.size();
+            for (uint32_t r = index.Find(scratch);
+                 r != PartitionedKeyIndex::kNil; r = index.NextRow(r)) {
+              Tuple combined = Tuple::Concat(lrow, right_rows[r]);
+              if (residual != nullptr &&
+                  residual->Test(combined) != Tribool::kTrue) {
+                continue;
+              }
+              matched = true;
+              out_run.push_back(std::move(combined));
+            }
+          }
+          if (!matched && type == sql::JoinType::kLeftOuter) {
+            out_run.push_back(NullPadded(lrow, right_width));
+          }
+        }
+        return Status::OK();
+      }));
+
+  for (const auto& counts : probe_counts) {
+    stats_.keys_encoded += counts[0];
+    stats_.bytes_encoded += counts[1];
+  }
+  Relation out;
+  out.schema = std::move(out_schema);
+  size_t total = 0;
+  for (const auto& run : runs) total += run.size();
+  out.rows.reserve(total);
+  for (auto& run : runs) {
+    for (Tuple& t : run) out.rows.push_back(std::move(t));
+  }
+  stats_.rows_joined += total;
+  return out;
+}
+
+Result<std::vector<std::pair<uint32_t, uint32_t>>>
+QueryExecutor::HashJoinPairsParallel(const std::vector<Tuple>& left_rows,
+                                     const std::vector<Tuple>& right_rows,
+                                     const std::vector<size_t>& left_cols,
+                                     const std::vector<size_t>& right_cols) {
+  const uint32_t partitions =
+      CeilPow2(static_cast<uint32_t>(opts_.parallelism));
+  PartitionedKeyIndex index(right_rows.size(), partitions);
+  IndexBuildCounters build;
+  SILK_RETURN_IF_ERROR(BuildPartitionedIndex(
+      right_rows, right_cols, opts_.morsel_rows,
+      [this](const char* what, size_t rows,
+             const std::function<Status(size_t, size_t, size_t)>& fn) {
+        return RunMorsels(what, rows, fn);
+      },
+      [this](const char* what, size_t count,
+             const std::function<Status(size_t)>& fn) {
+        return RunTasks(what, count, fn);
+      },
+      &index, &build));
+  stats_.keys_encoded += build.keys;
+  stats_.bytes_encoded += build.bytes;
+
+  ++stats_.hash_joins;
+  const size_t n = left_rows.size();
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> runs(MorselCount(n));
+  std::vector<std::array<uint64_t, 2>> probe_counts(runs.size());
+  SILK_RETURN_IF_ERROR(RunMorsels(
+      "join_probe", n, [&](size_t m, size_t begin, size_t end) -> Status {
+        auto& out_run = runs[m];
+        std::array<uint64_t, 2>& counts = probe_counts[m];
+        std::string scratch;
+        size_t deadline_check = 0;
+        for (size_t i = begin; i < end; ++i) {
+          if ((++deadline_check & 0xFF) == 0) {
+            SILK_RETURN_IF_ERROR(CheckDeadline());
+          }
+          scratch.clear();
+          if (!EncodeJoinKey(left_rows[i], left_cols, &scratch)) continue;
+          ++counts[0];
+          counts[1] += scratch.size();
+          for (uint32_t r = index.Find(scratch);
+               r != PartitionedKeyIndex::kNil; r = index.NextRow(r)) {
+            out_run.emplace_back(static_cast<uint32_t>(i), r);
+          }
+        }
+        return Status::OK();
+      }));
+
+  for (const auto& counts : probe_counts) {
+    stats_.keys_encoded += counts[0];
+    stats_.bytes_encoded += counts[1];
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  size_t total = 0;
+  for (const auto& run : runs) total += run.size();
+  pairs.reserve(total);
+  for (const auto& run : runs) {
+    pairs.insert(pairs.end(), run.begin(), run.end());
+  }
+  stats_.rows_joined += total;
   return pairs;
 }
 
@@ -1000,6 +1576,10 @@ Result<Relation> QueryExecutor::DisjunctiveHashJoin(sql::JoinType type,
       return Status::Unimplemented("disjunct has no column equality");
     }
     plans.push_back(std::move(plan));
+  }
+
+  if (UseParallel(left.rows.size()) || UseParallel(right.rows.size())) {
+    ++stats_.parallel_fallbacks;  // disjunctive joins stay serial
   }
 
   // Build one packed-key index per disjunct.
@@ -1081,6 +1661,9 @@ Result<Relation> QueryExecutor::NestedLoopJoin(sql::JoinType type,
   out.schema = RelSchema::Concat(left.schema, right.schema);
   SILK_ASSIGN_OR_RETURN(BoundExprPtr pred, BindExpr(on, out.schema));
   ++stats_.nested_loop_joins;
+  if (UseParallel(left.rows.size()) || UseParallel(right.rows.size())) {
+    ++stats_.parallel_fallbacks;  // nested loops stay serial
+  }
   const size_t right_width = right.schema.size();
   for (const auto& lrow : left.rows) {
     SILK_RETURN_IF_ERROR(CheckDeadline());
@@ -1166,7 +1749,11 @@ Status QueryExecutor::ApplyOrderBy(const sql::Query& query,
       const size_t col = static_cast<size_t>(k.direct_col);
       for (size_t i = 0; i < n && numeric; ++i) {
         const Value& v = src[i].values()[col];
-        if (!(v.is_int64() || v.is_double())) numeric = false;
+        // Tiebreaker-carrying magnitudes (>= 2^53) must take the byte
+        // path: the word alone would order them differently.
+        if (!(v.is_int64() || v.is_double()) || !NumericFitsWord(v)) {
+          numeric = false;
+        }
       }
       if (!numeric) break;
     }
@@ -1177,26 +1764,59 @@ Status QueryExecutor::ApplyOrderBy(const sql::Query& query,
         uint32_t idx;
       };
       std::vector<WordRec> recs(n);
-      for (size_t i = 0; i < n; ++i) {
-        uint64_t words[2] = {0, 0};
-        for (size_t j = 0; j < bound_keys.size(); ++j) {
-          const Key& k = bound_keys[j];
-          const Tuple& row =
-              k.from_preprojection ? preproj_rows[i] : result->rows[i];
-          uint64_t bits = OrderedNumericBits(
-              row.values()[static_cast<size_t>(k.direct_col)]);
-          words[j] = k.ascending ? bits : ~bits;
+      auto encode_word_range = [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          uint64_t words[2] = {0, 0};
+          for (size_t j = 0; j < bound_keys.size(); ++j) {
+            const Key& k = bound_keys[j];
+            const Tuple& row =
+                k.from_preprojection ? preproj_rows[i] : result->rows[i];
+            uint64_t bits = OrderedNumericBits(
+                row.values()[static_cast<size_t>(k.direct_col)]);
+            words[j] = k.ascending ? bits : ~bits;
+          }
+          recs[i] = {words[0], words[1], static_cast<uint32_t>(i)};
         }
-        recs[i] = {words[0], words[1], static_cast<uint32_t>(i)};
+      };
+      auto word_less = [](const WordRec& a, const WordRec& b) {
+        if (a.k0 != b.k0) return a.k0 < b.k0;
+        if (a.k1 != b.k1) return a.k1 < b.k1;
+        return a.idx < b.idx;  // stable order on full ties
+      };
+      if (UseParallel(n)) {
+        SILK_RETURN_IF_ERROR(RunMorsels(
+            "sort_encode", n, [&](size_t, size_t begin, size_t end) -> Status {
+              encode_word_range(begin, end);
+              return Status::OK();
+            }));
+        stats_.keys_encoded += n;
+        stats_.bytes_encoded += n * 8 * bound_keys.size();
+        // word_less is total (idx tiebreak), so the sorted permutation is
+        // unique: run-sort + merge equals the serial sort exactly.
+        SILK_RETURN_IF_ERROR(ParallelSortMerge(
+            &recs, static_cast<size_t>(opts_.parallelism), word_less,
+            [&](size_t count, const std::function<Status(size_t)>& fn) {
+              return RunTasks("sort_runs", count, fn);
+            }));
+        std::vector<Tuple> sorted(n);
+        SILK_RETURN_IF_ERROR(RunMorsels(
+            "sort_gather", n,
+            [&](size_t, size_t begin, size_t end) -> Status {
+              // recs is a permutation: each output slot moves from a
+              // distinct input slot, so morsels never touch the same row.
+              for (size_t i = begin; i < end; ++i) {
+                sorted[i] = std::move(result->rows[recs[i].idx]);
+              }
+              return Status::OK();
+            }));
+        result->rows = std::move(sorted);
+        stats_.rows_sorted += n;
+        return Status::OK();
       }
+      encode_word_range(0, n);
       stats_.keys_encoded += n;
       stats_.bytes_encoded += n * 8 * bound_keys.size();
-      std::sort(recs.begin(), recs.end(),
-                [](const WordRec& a, const WordRec& b) {
-                  if (a.k0 != b.k0) return a.k0 < b.k0;
-                  if (a.k1 != b.k1) return a.k1 < b.k1;
-                  return a.idx < b.idx;  // stable order on full ties
-                });
+      std::sort(recs.begin(), recs.end(), word_less);
       std::vector<Tuple> sorted;
       sorted.reserve(n);
       for (const WordRec& r : recs) {
@@ -1214,29 +1834,73 @@ Status QueryExecutor::ApplyOrderBy(const sql::Query& query,
   // no variant dispatch in the comparator. Keys are packed back-to-back
   // in one flat buffer; `ends[i]` marks where row i's key stops.
   std::string buf;
-  buf.reserve(n * 9 * bound_keys.size());  // a numeric segment is 9 bytes
   std::vector<size_t> ends(n + 1, 0);
-  for (size_t i = 0; i < n; ++i) {
+  auto encode_key = [&](size_t i, std::string* out) {
     for (const auto& k : bound_keys) {
       const Tuple& row =
           k.from_preprojection ? preproj_rows[i] : result->rows[i];
       if (k.direct_col >= 0) {
         const Value& v = row.values()[static_cast<size_t>(k.direct_col)];
         if (k.ascending) {
-          EncodeValue(v, &buf);
+          EncodeValue(v, out);
         } else {
-          EncodeValueDescending(v, &buf);
+          EncodeValueDescending(v, out);
         }
         continue;
       }
       Value v = k.expr->Eval(row);
       if (k.ascending) {
-        EncodeValue(v, &buf);
+        EncodeValue(v, out);
       } else {
-        EncodeValueDescending(v, &buf);
+        EncodeValueDescending(v, out);
       }
     }
-    ends[i + 1] = buf.size();
+  };
+  if (UseParallel(n)) {
+    // Encode into per-morsel buffers, then stitch them into the flat key
+    // buffer at prefix-summed bases — byte-identical to the serial
+    // append-in-row-order buffer.
+    const size_t morsel = opts_.morsel_rows > 0 ? opts_.morsel_rows : 1;
+    struct KeyBuf {
+      std::string buf;
+      std::vector<uint32_t> local_ends;
+    };
+    std::vector<KeyBuf> kbufs(MorselCount(n));
+    SILK_RETURN_IF_ERROR(RunMorsels(
+        "sort_encode", n, [&](size_t m, size_t begin, size_t end) -> Status {
+          KeyBuf& kb = kbufs[m];
+          kb.local_ends.reserve(end - begin);
+          for (size_t i = begin; i < end; ++i) {
+            encode_key(i, &kb.buf);
+            kb.local_ends.push_back(static_cast<uint32_t>(kb.buf.size()));
+          }
+          return Status::OK();
+        }));
+    std::vector<size_t> bases(kbufs.size());
+    size_t total = 0;
+    for (size_t m = 0; m < kbufs.size(); ++m) {
+      bases[m] = total;
+      total += kbufs[m].buf.size();
+    }
+    buf.resize(total);
+    SILK_RETURN_IF_ERROR(RunTasks(
+        "sort_concat", kbufs.size(), [&](size_t m) -> Status {
+          const KeyBuf& kb = kbufs[m];
+          if (!kb.buf.empty()) {
+            std::memcpy(buf.data() + bases[m], kb.buf.data(), kb.buf.size());
+          }
+          const size_t begin = m * morsel;
+          for (size_t local = 0; local < kb.local_ends.size(); ++local) {
+            ends[begin + local + 1] = bases[m] + kb.local_ends[local];
+          }
+          return Status::OK();
+        }));
+  } else {
+    buf.reserve(n * 9 * bound_keys.size());  // a numeric segment is 9 bytes
+    for (size_t i = 0; i < n; ++i) {
+      encode_key(i, &buf);
+      ends[i + 1] = buf.size();
+    }
   }
   stats_.keys_encoded += n;
   stats_.bytes_encoded += buf.size();
@@ -1252,30 +1916,56 @@ Status QueryExecutor::ApplyOrderBy(const sql::Query& query,
     uint32_t idx;
   };
   std::vector<SortRec> recs(n);
-  for (size_t i = 0; i < n; ++i) {
-    const size_t off = ends[i];
-    const size_t len = ends[i + 1] - off;
-    const auto* p = reinterpret_cast<const unsigned char*>(base + off);
-    const size_t m = len < 8 ? len : 8;
-    uint64_t prefix = 0;
-    for (size_t b = 0; b < m; ++b) prefix = (prefix << 8) | p[b];
-    prefix <<= 8 * (8 - m);
-    recs[i] = {prefix, off, static_cast<uint32_t>(len),
-               static_cast<uint32_t>(i)};
+  auto build_recs = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const size_t off = ends[i];
+      const size_t len = ends[i + 1] - off;
+      const auto* p = reinterpret_cast<const unsigned char*>(base + off);
+      const size_t m = len < 8 ? len : 8;
+      uint64_t prefix = 0;
+      for (size_t b = 0; b < m; ++b) prefix = (prefix << 8) | p[b];
+      prefix <<= 8 * (8 - m);
+      recs[i] = {prefix, off, static_cast<uint32_t>(len),
+                 static_cast<uint32_t>(i)};
+    }
+  };
+  auto rec_less = [base](const SortRec& a, const SortRec& b) {
+    if (a.prefix != b.prefix) return a.prefix < b.prefix;
+    if (a.len > 8 && b.len > 8) {
+      const size_t m = (a.len < b.len ? a.len : b.len) - 8;
+      const int c = std::memcmp(base + a.off + 8, base + b.off + 8, m);
+      if (c != 0) return c < 0;
+    }
+    if (a.len != b.len) return a.len < b.len;
+    // Index tiebreak keeps equal-key rows in input order — the
+    // same result stable_sort gave, without its merge buffer.
+    return a.idx < b.idx;
+  };
+  if (UseParallel(n)) {
+    SILK_RETURN_IF_ERROR(RunMorsels(
+        "sort_prefix", n, [&](size_t, size_t begin, size_t end) -> Status {
+          build_recs(begin, end);
+          return Status::OK();
+        }));
+    SILK_RETURN_IF_ERROR(ParallelSortMerge(
+        &recs, static_cast<size_t>(opts_.parallelism), rec_less,
+        [&](size_t count, const std::function<Status(size_t)>& fn) {
+          return RunTasks("sort_runs", count, fn);
+        }));
+    std::vector<Tuple> sorted(n);
+    SILK_RETURN_IF_ERROR(RunMorsels(
+        "sort_gather", n, [&](size_t, size_t begin, size_t end) -> Status {
+          for (size_t i = begin; i < end; ++i) {
+            sorted[i] = std::move(result->rows[recs[i].idx]);
+          }
+          return Status::OK();
+        }));
+    result->rows = std::move(sorted);
+    stats_.rows_sorted += n;
+    return Status::OK();
   }
-  std::sort(recs.begin(), recs.end(),
-            [base](const SortRec& a, const SortRec& b) {
-              if (a.prefix != b.prefix) return a.prefix < b.prefix;
-              if (a.len > 8 && b.len > 8) {
-                const size_t m = (a.len < b.len ? a.len : b.len) - 8;
-                const int c = std::memcmp(base + a.off + 8, base + b.off + 8, m);
-                if (c != 0) return c < 0;
-              }
-              if (a.len != b.len) return a.len < b.len;
-              // Index tiebreak keeps equal-key rows in input order — the
-              // same result stable_sort gave, without its merge buffer.
-              return a.idx < b.idx;
-            });
+  build_recs(0, n);
+  std::sort(recs.begin(), recs.end(), rec_less);
   std::vector<Tuple> sorted;
   sorted.reserve(n);
   for (const SortRec& r : recs) {
@@ -1284,6 +1974,52 @@ Status QueryExecutor::ApplyOrderBy(const sql::Query& query,
   result->rows = std::move(sorted);
   stats_.rows_sorted += n;
   return Status::OK();
+}
+
+DatabaseExecutor::DatabaseExecutor(const Database* db) : db_(db) {}
+
+DatabaseExecutor::~DatabaseExecutor() = default;
+
+void DatabaseExecutor::set_parallelism(int parallelism) {
+  exec_options_.parallelism = parallelism < 1 ? 1 : parallelism;
+  if (exec_options_.parallelism > 1) {
+    // parallelism-1 workers: the dispatching thread claims morsels too.
+    if (pool_ == nullptr ||
+        pool_->workers() != exec_options_.parallelism - 1) {
+      pool_ = std::make_unique<MorselPool>(exec_options_.parallelism - 1);
+    }
+    exec_options_.pool = pool_.get();
+  } else {
+    exec_options_.pool = nullptr;
+    pool_.reset();
+  }
+  ResolveCounters();
+}
+
+void DatabaseExecutor::ResolveCounters() {
+  if (registry_ == nullptr) {
+    keys_encoded_counter_ = nullptr;
+    key_bytes_counter_ = nullptr;
+    morsels_counter_ = nullptr;
+    fallbacks_counter_ = nullptr;
+    return;
+  }
+  keys_encoded_counter_ =
+      registry_->counter("silkroute_engine_keys_encoded_total");
+  key_bytes_counter_ =
+      registry_->counter("silkroute_engine_key_bytes_encoded_total");
+  // Morsel metrics register only when this connection can actually run
+  // parallel plans, so serial deployments expose exactly the metric set
+  // they did before parallelism existed.
+  if (exec_options_.parallelism > 1) {
+    morsels_counter_ =
+        registry_->counter("silkroute_engine_morsels_dispatched_total");
+    fallbacks_counter_ =
+        registry_->counter("silkroute_engine_parallel_fallbacks_total");
+  } else {
+    morsels_counter_ = nullptr;
+    fallbacks_counter_ = nullptr;
+  }
 }
 
 }  // namespace silkroute::engine

@@ -33,6 +33,37 @@ void AppendBigEndian(uint64_t u, std::string* out) {
   out->append(buf, 8);
 }
 
+// 2^53: the first magnitude where distinct int64s share a double image, so
+// the 8-byte image alone stops being order-exact for integers.
+constexpr double kExactIntLimit = 9007199254740992.0;
+
+// Whether a numeric segment with image `d` carries the 8-byte integer
+// tiebreaker. The predicate is a pure function of the image: two segments
+// with equal image bytes always have equal lengths, which keeps composite
+// keys self-delimiting (the first differing byte between two keys still
+// falls inside the differing segment).
+bool ImageNeedsTie(double d) {
+  return d >= kExactIntLimit || d <= -kExactIntLimit;
+}
+
+// Offset-binary image of an int64: unsigned order equals signed order.
+uint64_t Int64TieBits(int64_t v) {
+  return static_cast<uint64_t>(v) ^ 0x8000000000000000ULL;
+}
+
+// Tiebreaker for a double in the tie regime. Every such double is an
+// integer; clamping into int64 orders it exactly like the integers that
+// share its image. At or beyond ±2^63 the image is unique among doubles
+// (and ties with the saturated int64 extremes, matching Value::Compare's
+// via-double verdict there), so saturation never mis-orders anything —
+// it only avoids an out-of-range cast.
+uint64_t DoubleTieBits(double d) {
+  if (!(d == d)) return 0;                       // NaN: defensive only
+  if (d >= 9223372036854775808.0) return ~0ULL;  // >= 2^63
+  if (d < -9223372036854775808.0) return 0;      // < -2^63
+  return Int64TieBits(static_cast<int64_t>(d));
+}
+
 void AppendNumber(double d, std::string* out) {
   out->push_back(kTagNumber);
   AppendBigEndian(OrderedDoubleBits(d), out);
@@ -67,9 +98,14 @@ void EncodeValue(const Value& v, std::string* out) {
   if (v.is_null()) {
     out->push_back(kTagNull);
   } else if (v.is_int64()) {
-    AppendNumber(static_cast<double>(v.AsInt64()), out);
+    const int64_t i = v.AsInt64();
+    const double image = static_cast<double>(i);
+    AppendNumber(image, out);
+    if (ImageNeedsTie(image)) AppendBigEndian(Int64TieBits(i), out);
   } else if (v.is_double()) {
-    AppendNumber(v.AsDouble(), out);
+    const double d = v.AsDouble();
+    AppendNumber(d, out);
+    if (ImageNeedsTie(d)) AppendBigEndian(DoubleTieBits(d), out);
   } else {
     AppendString(v.AsString(), out);
   }
@@ -100,6 +136,11 @@ void EncodeRowKey(const Tuple& row, std::string* out) {
 uint64_t OrderedNumericBits(const Value& v) {
   return OrderedDoubleBits(v.is_int64() ? static_cast<double>(v.AsInt64())
                                         : v.AsDouble());
+}
+
+bool NumericFitsWord(const Value& v) {
+  return !ImageNeedsTie(v.is_int64() ? static_cast<double>(v.AsInt64())
+                                     : v.AsDouble());
 }
 
 std::string_view KeyArena::Intern(std::string_view bytes) {

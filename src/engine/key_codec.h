@@ -12,20 +12,29 @@
 //            an unsigned big-endian integer whose order matches numeric
 //            order (int64 and double widen to this common form, so 3 and
 //            3.0 encode identically — exactly Value::Compare / Value::Hash
-//            cross-type semantics)
+//            cross-type semantics). When the image magnitude reaches 2^53
+//            — the first point where distinct int64s collapse onto one
+//            double — the segment appends 8 more bytes: the value's exact
+//            int64 in offset-binary (doubles clamp into int64, saturating
+//            beyond ±2^63). Tie presence is a pure function of the image,
+//            so equal-image segments have equal lengths and composite keys
+//            stay self-delimiting.
 //   string   0x02 + body with 0x00 escaped as {0x00 0xFF} + {0x00 0x00}
 //            terminator (prefixes order correctly; no segment is a strict
 //            prefix of a different one)
 //
 // Tag order 0x00 < 0x01 < 0x02 reproduces NULL < numerics < strings.
 //
-// Caveat (documented, matches Value::Hash): int64 values beyond ±2^53
-// encode through their double image, so two distinct giant ints with the
-// same image compare equal here even though int64-vs-int64 Value::Compare
-// resolves them exactly. Value::Compare is itself not transitive in that
-// regime (each such int compares equal to the shared double), so no byte
-// encoding can agree with it everywhere; keys in that range degrade to a
-// stable tie, never to a wrong NULL/type ordering.
+// With the tiebreaker, memcmp order matches int64-vs-int64 Value::Compare
+// exactly over the whole domain (INT64_MIN..INT64_MAX), where the image
+// alone used to collapse ±2^53-and-beyond neighbours into one key. The
+// remaining (unavoidable) divergence is mixed-type: Value::Compare widens
+// an int64 beyond 2^53 to its inexact double image and calls it equal to
+// that double, a relation that is not transitive (2^53 == 2^53.0 ==
+// 2^53+1 but 2^53 < 2^53+1), so no byte encoding can agree with it
+// everywhere. Here such cross-type near-ties resolve to a stable order by
+// exact integer value; an int64 and a double still encode byte-equal iff
+// the double is exactly that integer.
 #ifndef SILKROUTE_ENGINE_KEY_CODEC_H_
 #define SILKROUTE_ENGINE_KEY_CODEC_H_
 
@@ -69,6 +78,13 @@ void EncodeRowKey(const Tuple& row, std::string* out);
 /// skip the byte buffer entirely. Precondition: v.is_int64() or
 /// v.is_double().
 uint64_t OrderedNumericBits(const Value& v);
+
+/// True when OrderedNumericBits alone is order-exact for `v` among
+/// numerics — i.e. the encoded segment carries no tiebreaker. False at
+/// image magnitudes >= 2^53; word-packed sort keys must fall back to the
+/// byte path there so the two paths order giant keys identically.
+/// Precondition: v.is_int64() or v.is_double().
+bool NumericFitsWord(const Value& v);
 
 /// Bump-pointer arena giving encoded keys stable, contiguous storage for
 /// the duration of one query operator. Interned keys are returned as

@@ -1,0 +1,100 @@
+#include "engine/morsel.h"
+
+#include <algorithm>
+
+namespace silkroute::engine {
+
+MorselPool::MorselPool(int workers) {
+  threads_.reserve(workers > 0 ? static_cast<size_t>(workers) : 0);
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+MorselPool::~MorselPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void MorselPool::RunSome(Batch* batch) {
+  for (;;) {
+    const size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch->n) return;
+    Status s = (*batch->fn)(i);
+    if (!s.ok()) {
+      std::lock_guard<std::mutex> lock(batch->mu);
+      if (batch->first_error.ok() || i < batch->first_error_index) {
+        batch->first_error = std::move(s);
+        batch->first_error_index = i;
+      }
+    }
+    if (batch->done.fetch_add(1, std::memory_order_acq_rel) + 1 == batch->n) {
+      // Last task: wake the submitter. The lock pairs with the submitter's
+      // predicate check so the notify cannot slip between its test and its
+      // wait.
+      std::lock_guard<std::mutex> lock(batch->mu);
+      batch->cv.notify_all();
+    }
+  }
+}
+
+void MorselPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_) return;  // active batches drain through their callers
+      batch = queue_.front();
+      if (batch->next.load(std::memory_order_relaxed) >= batch->n) {
+        // Fully claimed; still running on other threads, but there is
+        // nothing left to pick up.
+        queue_.pop_front();
+        continue;
+      }
+    }
+    RunSome(batch.get());
+  }
+}
+
+Status MorselPool::ParallelFor(size_t n,
+                               const std::function<Status(size_t)>& fn) {
+  if (n == 0) return Status::OK();
+  if (threads_.empty() || n == 1) {
+    // Degenerate batch: run inline, keeping first-error-by-index.
+    for (size_t i = 0; i < n; ++i) {
+      Status s = fn(i);
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->fn = &fn;
+  batch->n = n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(batch);
+  }
+  cv_.notify_all();
+  RunSome(batch.get());  // the caller is a lane too: the batch never starves
+  {
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->cv.wait(lock, [&batch] {
+      return batch->done.load(std::memory_order_acquire) == batch->n;
+    });
+  }
+  {
+    // The batch may already have been popped by a worker that saw it fully
+    // claimed; erase is a no-op then.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = std::find(queue_.begin(), queue_.end(), batch);
+    if (it != queue_.end()) queue_.erase(it);
+  }
+  return std::move(batch->first_error);
+}
+
+}  // namespace silkroute::engine

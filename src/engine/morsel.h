@@ -1,0 +1,91 @@
+// MorselPool: the engine-owned thread pool behind intra-query parallelism
+// (DESIGN.md §11). Operators split their input into fixed-size row ranges
+// ("morsels", Leis et al.) and run them as one batch of independent tasks.
+//
+// The pool is deliberately NOT service::WorkerPool:
+//
+//  - The service pool's invariant is that tasks never block on other pool
+//    tasks. Component queries *run on* service workers; if they fanned
+//    their morsels into the same pool and waited, every worker could end
+//    up waiting on tasks that no free worker remains to run.
+//  - Here the submitting thread participates: ParallelFor claims and runs
+//    tasks on the caller too, so a batch always drains even with zero
+//    workers, under shutdown, or when every worker is busy with another
+//    executor's batch. Calling it from inside a service worker is safe by
+//    construction — the "blocked" caller is itself executing morsels.
+//
+// Determinism contract: ParallelFor guarantees nothing about which thread
+// runs which task or in what order — callers own determinism by writing
+// task outputs into per-task slots and concatenating them in task order
+// (see the executor's parallel operators).
+#ifndef SILKROUTE_ENGINE_MORSEL_H_
+#define SILKROUTE_ENGINE_MORSEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+
+namespace silkroute::engine {
+
+class MorselPool {
+ public:
+  /// Spawns `workers` threads (>= 0). A query running at parallelism P
+  /// wants P-1 workers: the P-th lane is the calling thread.
+  explicit MorselPool(int workers);
+  ~MorselPool();
+
+  MorselPool(const MorselPool&) = delete;
+  MorselPool& operator=(const MorselPool&) = delete;
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Runs fn(i) once for every i in [0, n), on the workers and the calling
+  /// thread, and returns when all n tasks finished. Tasks must not block
+  /// on other tasks of any batch. On task failure every remaining task
+  /// still runs (tasks observe deadlines themselves); the returned Status
+  /// is the failure with the lowest task index, so concurrent failures
+  /// resolve to the same error the serial loop would have hit first.
+  /// Multiple threads may call ParallelFor concurrently on one pool.
+  Status ParallelFor(size_t n, const std::function<Status(size_t)>& fn);
+
+ private:
+  struct Batch {
+    const std::function<Status(size_t)>* fn;
+    size_t n;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;  // signaled when done reaches n
+    Status first_error;          // guarded by mu
+    size_t first_error_index = 0;
+  };
+
+  /// Claims and runs tasks of `batch` until none are left to claim.
+  static void RunSome(Batch* batch);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  // Batches with unclaimed tasks. shared_ptr, not raw: a worker can still
+  // hold a batch it just popped when the submitter's wait completes and
+  // ParallelFor returns; the shared_ptr keeps the Batch alive until that
+  // worker's claim attempt sees next >= n and lets go. `fn` itself is
+  // never dereferenced after completion — done == n implies every index
+  // below n was already claimed, so late claims bail out on the bound
+  // check before touching it.
+  std::deque<std::shared_ptr<Batch>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace silkroute::engine
+
+#endif  // SILKROUTE_ENGINE_MORSEL_H_

@@ -135,6 +135,11 @@ class SpanHandle {
   /// True when this handle records to a sink (tracing enabled and open).
   bool recording() const { return state_ != nullptr; }
 
+  /// The tracer that created this handle (null when inert). Lets code
+  /// holding only a parent handle start children via Tracer::Child from
+  /// other threads (the engine's per-morsel spans).
+  Tracer* tracer() const { return tracer_; }
+
   /// The span id ("" when inert). Stable from creation.
   const std::string& id() const {
     static const std::string kEmpty;

@@ -111,17 +111,71 @@ TEST(KeyCodecTest, CrossTypeNumericTieEncodesIdentically) {
   EXPECT_EQ(Enc(Value::Double(0.0)), Enc(Value::Double(-0.0)));
 }
 
-// The documented caveat: int64s beyond ±2^53 go through their double
-// image, so distinct giant ints sharing an image degrade to a stable tie —
-// never to a wrong type/NULL ordering.
-TEST(KeyCodecTest, GiantInt64sDegradeToStableTie) {
-  const Value a = Value::Int64(std::numeric_limits<int64_t>::max());
-  const Value b = Value::Int64(std::numeric_limits<int64_t>::max() - 1);
-  ASSERT_NE(a.Compare(b), 0);  // exact int compare resolves them...
-  EXPECT_EQ(Enc(a), Enc(b));   // ...the encoding ties them
-  // Still strictly above every in-range numeric and below every string.
-  EXPECT_GT(ByteCompare(Enc(a), Enc(Value::Int64(int64_t{1} << 53))), 0);
-  EXPECT_LT(ByteCompare(Enc(a), Enc(Value::String(""))), 0);
+// Int64s beyond ±2^53 share a double image with their neighbours; the
+// segment's integer tiebreaker must keep memcmp order exact anyway —
+// this used to degrade to a stable tie (equal encodings for distinct
+// giants), which broke ORDER BY / DISTINCT / join keys on giant ids.
+TEST(KeyCodecTest, GiantInt64sKeepExactOrder) {
+  constexpr int64_t kExact = int64_t{1} << 53;
+  const int64_t kMax = std::numeric_limits<int64_t>::max();
+  const int64_t kMin = std::numeric_limits<int64_t>::min();
+  // Every regression magnitude: the 2^53 boundary on both sides, its
+  // immediate neighbours, and the extremes where the image saturates.
+  const std::vector<int64_t> giants = {
+      kMin,        kMin + 1,    -kMax,       -kExact - 2, -kExact - 1,
+      -kExact,     -kExact + 1, kExact - 1,  kExact,      kExact + 1,
+      kExact + 2,  kMax - 1,    kMax,
+  };
+  for (size_t i = 0; i < giants.size(); ++i) {
+    const Value a = Value::Int64(giants[i]);
+    for (size_t j = 0; j < giants.size(); ++j) {
+      const Value b = Value::Int64(giants[j]);
+      EXPECT_EQ(ByteCompare(Enc(a), Enc(b)), Sign(a.Compare(b)))
+          << giants[i] << " vs " << giants[j];
+      EXPECT_EQ(ByteCompare(EncDesc(a), EncDesc(b)), -Sign(a.Compare(b)))
+          << "DESC " << giants[i] << " vs " << giants[j];
+    }
+    // Type ordering is intact: small numerics sort by sign, strings above.
+    const Value small = Value::Int64(kExact - 2);
+    EXPECT_EQ(ByteCompare(Enc(a), Enc(small)), Sign(a.Compare(small)))
+        << giants[i];
+    EXPECT_LT(ByteCompare(Enc(a), Enc(Value::String(""))), 0) << giants[i];
+  }
+}
+
+// Tie presence is a pure function of the image, so composite keys with a
+// giant segment stay self-delimiting: the next column still decides when
+// the giant segments are byte-equal.
+TEST(KeyCodecTest, GiantSegmentsStaySelfDelimitingInCompositeKeys) {
+  const int64_t giant = (int64_t{1} << 53) + 1;
+  Tuple a{Value::Int64(giant), Value::String("a")};
+  Tuple b{Value::Int64(giant), Value::String("b")};
+  Tuple c{Value::Int64(giant + 1), Value::String("a")};
+  std::string ea, eb, ec;
+  EncodeRowKey(a, &ea);
+  EncodeRowKey(b, &eb);
+  EncodeRowKey(c, &ec);
+  EXPECT_LT(ByteCompare(ea, eb), 0);  // equal giants: second column decides
+  EXPECT_LT(ByteCompare(ea, ec), 0);  // tiebreaker decides before column 2
+}
+
+// A giant int64 and the double that is exactly its value still encode
+// byte-equal (both carry the same tiebreaker); the double one image above
+// sorts strictly after.
+TEST(KeyCodecTest, GiantCrossTypeExactTiesEncodeIdentically) {
+  constexpr int64_t kExact = int64_t{1} << 53;
+  EXPECT_EQ(Enc(Value::Int64(kExact)),
+            Enc(Value::Double(static_cast<double>(kExact))));
+  EXPECT_GT(ByteCompare(Enc(Value::Double(9007199254742016.0)),
+                        Enc(Value::Int64(kExact))),
+            0);
+  // NumericFitsWord flags exactly the tiebreaker-carrying magnitudes, so
+  // the word-packed sort fast path excludes them.
+  EXPECT_TRUE(NumericFitsWord(Value::Int64(kExact - 1)));
+  EXPECT_FALSE(NumericFitsWord(Value::Int64(kExact)));
+  EXPECT_FALSE(NumericFitsWord(Value::Int64(-kExact)));
+  EXPECT_TRUE(NumericFitsWord(Value::Double(1e15)));
+  EXPECT_FALSE(NumericFitsWord(Value::Double(1e300)));
 }
 
 TEST(KeyCodecTest, JoinKeyEqualityMatchesSqlEquals) {

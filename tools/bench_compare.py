@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Perf-regression guard over the BENCH_*.json reports.
+
+Usage: bench_compare.py BASELINE_DIR CANDIDATE_DIR [--tolerance 0.25]
+
+Compares every BENCH_*.json present in BASELINE_DIR against the same file
+in CANDIDATE_DIR. Two formats are understood:
+
+  - google-benchmark JSON ({"benchmarks": [{"name", "real_time", ...}]}),
+    written by bench_engine_micro;
+  - BenchReport JSON ({"bench": ..., "rows": [{"name", "values": {...}}]}),
+    written by the experiment benches (bench_greedy_plans etc.).
+
+Absolute wall times are not comparable across machines (the checked-in
+baseline comes from a different box than the CI runner), so timings are
+*anchor-normalized*: the first row common to both files is the anchor, and
+each row's figure is its time divided by the anchor's time in the same
+file. A row regresses when its candidate ratio exceeds its baseline ratio
+by more than the tolerance — i.e. it got slower *relative to the same
+serial anchor workload on the same machine*. Only slower is flagged;
+getting faster is never an error.
+
+Deterministic counters (rows, wire_bytes, streams, ...) must stay within
+the tolerance band of the baseline absolutely: the workloads are seeded,
+so a drifting counter means the engine changed behavior, not the machine.
+Machine-dependent series (throughput, shed rates) are skipped.
+
+A row present in the baseline but missing from the candidate fails: a
+deleted benchmark silently retires its regression coverage.
+
+Exit status: 0 clean, 1 regression or structural mismatch.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# BenchReport value keys that vary run-to-run / machine-to-machine and
+# carry no regression signal of their own.
+NONDETERMINISTIC_KEYS = {
+    "throughput_rps",
+    "shed",
+    "completed",
+    "timed_out",
+    "failed",
+    "breaker_trips",
+    "breaker_fast_fails",
+}
+
+
+def load_rows(path):
+    """Returns (ordered row names, {name: {key: value}}, {name: time})."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    names, values, times = [], {}, {}
+    if "benchmarks" in doc:  # google-benchmark schema
+        for row in doc["benchmarks"]:
+            if row.get("run_type") == "aggregate":
+                continue
+            name = row["name"]
+            names.append(name)
+            values[name] = {}
+            times[name] = float(row["real_time"])
+    else:  # BenchReport schema
+        for row in doc.get("rows", []):
+            name = row["name"]
+            names.append(name)
+            vals = dict(row.get("values", {}))
+            # *_ms keys are timings; everything else is a counter.
+            times[name] = sum(
+                v for k, v in vals.items() if k.endswith("_ms")
+            )
+            values[name] = {
+                k: float(v)
+                for k, v in vals.items()
+                if not k.endswith("_ms") and k not in NONDETERMINISTIC_KEYS
+            }
+    return names, values, times
+
+
+def compare_file(name, base_path, cand_path, tolerance):
+    base_names, base_values, base_times = load_rows(base_path)
+    _, cand_values, cand_times = load_rows(cand_path)
+
+    failures = []
+    missing = [n for n in base_names if n not in cand_times]
+    for n in missing:
+        failures.append(f"{name}: row '{n}' missing from candidate")
+    common = [n for n in base_names if n in cand_times]
+    if not common:
+        failures.append(f"{name}: no rows in common with baseline")
+        return failures
+
+    # Anchor = first common row (the serial baseline by bench convention).
+    anchor = common[0]
+    base_anchor, cand_anchor = base_times[anchor], cand_times[anchor]
+
+    for n in common:
+        if base_anchor > 0 and cand_anchor > 0 and base_times[n] > 0:
+            base_ratio = base_times[n] / base_anchor
+            cand_ratio = cand_times[n] / cand_anchor
+            if base_ratio > 0 and cand_ratio > base_ratio * (1 + tolerance):
+                failures.append(
+                    f"{name}: '{n}' slowed {cand_ratio / base_ratio:.2f}x "
+                    f"vs anchor '{anchor}' "
+                    f"(baseline ratio {base_ratio:.3f}, "
+                    f"candidate ratio {cand_ratio:.3f})"
+                )
+        for key, base_val in base_values[n].items():
+            cand_val = cand_values.get(n, {}).get(key)
+            if cand_val is None:
+                failures.append(f"{name}: '{n}' lost counter '{key}'")
+                continue
+            band = abs(base_val) * tolerance
+            if abs(cand_val - base_val) > band:
+                failures.append(
+                    f"{name}: '{n}' counter '{key}' drifted "
+                    f"{base_val:.6g} -> {cand_val:.6g} "
+                    f"(> {tolerance:.0%} band)"
+                )
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline_dir")
+    parser.add_argument("candidate_dir")
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    args = parser.parse_args()
+
+    base_files = sorted(
+        f
+        for f in os.listdir(args.baseline_dir)
+        if f.startswith("BENCH_") and f.endswith(".json")
+    )
+    if not base_files:
+        print(f"bench_compare: no BENCH_*.json in {args.baseline_dir}",
+              file=sys.stderr)
+        return 1
+
+    failures = []
+    compared = 0
+    for f in base_files:
+        cand_path = os.path.join(args.candidate_dir, f)
+        if not os.path.exists(cand_path):
+            print(f"bench_compare: {f}: not produced by candidate, skipped")
+            continue
+        failures += compare_file(
+            f, os.path.join(args.baseline_dir, f), cand_path, args.tolerance
+        )
+        compared += 1
+
+    if compared == 0:
+        print("bench_compare: no common report files", file=sys.stderr)
+        return 1
+    for failure in failures:
+        print(f"REGRESSION {failure}", file=sys.stderr)
+    print(
+        f"bench_compare: {compared} file(s), "
+        f"{len(failures)} regression(s), tolerance {args.tolerance:.0%}"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

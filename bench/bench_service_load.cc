@@ -18,6 +18,8 @@
 #include "bench/bench_util.h"
 #include "common/timer.h"
 #include "engine/fault_injection.h"
+#include "net/remote_executor.h"
+#include "net/server.h"
 #include "service/publishing_service.h"
 #include "silkroute/queries.h"
 
@@ -134,5 +136,27 @@ int main() {
   std::printf("sick table: %s\n", sick.c_str());
   Report("sick-table", RunLoad(db.get(), &faulty, requests), requests,
          &report);
+
+  // Remote backend: the same queries through an in-process EngineServer
+  // over a real loopback socket — the full wire cost (frame encode/decode,
+  // payload hash, connection pooling) relative to the in-process healthy
+  // run. Loopback RTT varies across machines, so baselines compare with a
+  // loose tolerance.
+  net::EngineServerOptions server_options;
+  server_options.workers = static_cast<size_t>(EnvInt("SILK_SERVICE_WORKERS", 8));
+  server_options.engine_threads = EnvInt("SILK_ENGINE_THREADS", 1);
+  net::EngineServer server(db.get(), server_options);
+  auto started = server.Start();
+  if (!started.ok()) {
+    std::printf("remote scenario skipped: %s\n",
+                std::string(started.message()).c_str());
+    return 0;
+  }
+  net::RemoteExecutorOptions remote_options;
+  remote_options.port = server.port();
+  net::RemoteSqlExecutor remote(remote_options);
+  Report("remote", RunLoad(db.get(), &remote, requests), requests, &report);
+  remote.Shutdown();
+  server.Shutdown();
   return 0;
 }

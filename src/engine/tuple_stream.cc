@@ -67,13 +67,21 @@ void SerializeTuple(const Tuple& tuple, std::string* out) {
 Result<Tuple> DeserializeTuple(const std::string& buffer, size_t* offset) {
   uint32_t n;
   if (!GetU32(buffer, offset, &n)) {
-    return Status::OutOfRange("truncated tuple header");
+    return Status::InvalidArgument("truncated tuple header");
+  }
+  // Hostile count check before reserve: every value costs at least its
+  // 1-byte tag, so a count beyond the remaining bytes is forged — reject
+  // it instead of attempting a multi-gigabyte allocation.
+  if (n > buffer.size() - *offset) {
+    return Status::InvalidArgument(
+        "tuple claims " + std::to_string(n) + " values but only " +
+        std::to_string(buffer.size() - *offset) + " byte(s) remain");
   }
   Tuple tuple;
   tuple.mutable_values().reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
     if (*offset >= buffer.size()) {
-      return Status::OutOfRange("truncated tuple field tag");
+      return Status::InvalidArgument("truncated tuple field tag");
     }
     uint8_t tag = static_cast<uint8_t>(buffer[*offset]);
     ++*offset;
@@ -84,7 +92,7 @@ Result<Tuple> DeserializeTuple(const std::string& buffer, size_t* offset) {
       case kTagInt64: {
         uint64_t bits;
         if (!GetU64(buffer, offset, &bits)) {
-          return Status::OutOfRange("truncated int64 field");
+          return Status::InvalidArgument("truncated int64 field");
         }
         tuple.Append(Value::Int64(static_cast<int64_t>(bits)));
         break;
@@ -92,7 +100,7 @@ Result<Tuple> DeserializeTuple(const std::string& buffer, size_t* offset) {
       case kTagDouble: {
         uint64_t bits;
         if (!GetU64(buffer, offset, &bits)) {
-          return Status::OutOfRange("truncated double field");
+          return Status::InvalidArgument("truncated double field");
         }
         double d;
         std::memcpy(&d, &bits, 8);
@@ -102,17 +110,20 @@ Result<Tuple> DeserializeTuple(const std::string& buffer, size_t* offset) {
       case kTagString: {
         uint32_t len;
         if (!GetU32(buffer, offset, &len)) {
-          return Status::OutOfRange("truncated string length");
+          return Status::InvalidArgument("truncated string length");
         }
-        if (*offset + len > buffer.size()) {
-          return Status::OutOfRange("truncated string payload");
+        // Overflow-safe form of `*offset + len > buffer.size()`: a hostile
+        // len near UINT32_MAX must not wrap the left-hand side.
+        if (len > buffer.size() - *offset) {
+          return Status::InvalidArgument("truncated string payload (wants " +
+                                         std::to_string(len) + " byte(s))");
         }
         tuple.Append(Value::String(buffer.substr(*offset, len)));
         *offset += len;
         break;
       }
       default:
-        return Status::ParseError("bad field tag " + std::to_string(tag));
+        return Status::InvalidArgument("bad field tag " + std::to_string(tag));
     }
   }
   return tuple;

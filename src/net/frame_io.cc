@@ -1,0 +1,39 @@
+#include "net/frame_io.h"
+
+namespace silkroute::net {
+
+Result<Frame> ReadFrame(Socket* socket, const IoOptions& io,
+                        uint32_t max_payload) {
+  char header_bytes[kFrameHeaderSize];
+  SILK_RETURN_IF_ERROR(socket->ReadFull(header_bytes, kFrameHeaderSize, io));
+  auto header = DecodeFrameHeader(
+      std::string_view(header_bytes, kFrameHeaderSize), max_payload);
+  SILK_RETURN_IF_ERROR(header.status());
+  Frame frame;
+  frame.header = *header;
+  if (frame.header.payload_len > 0) {
+    frame.payload.resize(frame.header.payload_len);
+    SILK_RETURN_IF_ERROR(
+        socket->ReadFull(frame.payload.data(), frame.payload.size(), io));
+  }
+  // End-to-end integrity: corruption anywhere in the header tail or payload
+  // that slipped past the field checks is caught here, before any byte is
+  // interpreted as data.
+  if (FrameHash(frame.header, frame.payload) != frame.header.payload_hash) {
+    return Status::InvalidArgument("frame payload hash mismatch");
+  }
+  return frame;
+}
+
+Status WriteFrame(Socket* socket, FrameHeader header, std::string_view payload,
+                  const IoOptions& io) {
+  header.payload_len = static_cast<uint32_t>(payload.size());
+  header.payload_hash = FrameHash(header, payload);
+  std::string bytes;
+  bytes.reserve(kFrameHeaderSize + payload.size());
+  EncodeFrameHeader(header, &bytes);
+  bytes.append(payload);
+  return socket->WriteFull(bytes.data(), bytes.size(), io);
+}
+
+}  // namespace silkroute::net

@@ -1,0 +1,32 @@
+// Frame-level socket I/O shared by EngineServer, RemoteSqlExecutor, and
+// the tests: one call reads (header + payload) or writes a whole frame
+// under the socket layer's deadline/cancel discipline.
+#ifndef SILKROUTE_NET_FRAME_IO_H_
+#define SILKROUTE_NET_FRAME_IO_H_
+
+#include <string>
+
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace silkroute::net {
+
+struct Frame {
+  FrameHeader header;
+  std::string payload;
+};
+
+/// Reads one frame. Transport failures keep the socket layer's codes
+/// (kUnavailable / kTimeout); a malformed header is kInvalidArgument from
+/// the strict decoder — the caller decides whether to treat that as a
+/// broken peer.
+Result<Frame> ReadFrame(Socket* socket, const IoOptions& io,
+                        uint32_t max_payload = kMaxFramePayload);
+
+/// Writes header + payload. `header.payload_len` is filled from `payload`.
+Status WriteFrame(Socket* socket, FrameHeader header,
+                  std::string_view payload, const IoOptions& io);
+
+}  // namespace silkroute::net
+
+#endif  // SILKROUTE_NET_FRAME_IO_H_

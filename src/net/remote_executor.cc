@@ -1,0 +1,280 @@
+#include "net/remote_executor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "net/frame_io.h"
+
+namespace silkroute::net {
+
+RemoteSqlExecutor::RemoteSqlExecutor(RemoteExecutorOptions options)
+    : options_(std::move(options)), jitter_(options_.jitter_seed) {
+  if (options_.metrics != nullptr) {
+    auto labeled = [&](const char* base) {
+      return options_.metrics->counter(
+          obs::LabeledName(base, {{"backend", options_.backend}}));
+    };
+    m_reconnects_ = labeled("silkroute_net_reconnects_total");
+    m_decode_errors_ = labeled("silkroute_net_decode_errors_total");
+    m_frames_in_ = labeled("silkroute_net_frames_in_total");
+    m_frames_out_ = labeled("silkroute_net_frames_out_total");
+  }
+}
+
+RemoteSqlExecutor::~RemoteSqlExecutor() { Shutdown(); }
+
+void RemoteSqlExecutor::Shutdown() {
+  shutdown_.Cancel();
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  idle_.clear();
+}
+
+size_t RemoteSqlExecutor::pooled_connections() const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  return idle_.size();
+}
+
+Result<Socket> RemoteSqlExecutor::AcquireConnection(const IoOptions& io,
+                                                    bool* from_pool) {
+  *from_pool = false;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (!idle_.empty()) {
+      Socket socket = std::move(idle_.back());
+      idle_.pop_back();
+      *from_pool = true;
+      return socket;
+    }
+  }
+  return DialWithBackoff(io);
+}
+
+Result<Socket> RemoteSqlExecutor::DialWithBackoff(const IoOptions& io) {
+  // Dial with exponential backoff + jitter; every wait is bounded by the
+  // call deadline and interruptible through both cancel tokens.
+  double backoff_ms = options_.backoff_initial_ms;
+  Status last = Status::Unavailable("no dial attempt made");
+  for (int attempt = 0; attempt < std::max(1, options_.connect_attempts);
+       ++attempt) {
+    if (shutdown_.cancelled() ||
+        (options_.cancel != nullptr && options_.cancel->cancelled())) {
+      return Status::Unavailable("remote executor cancelled while dialing");
+    }
+    if (io.has_deadline && std::chrono::steady_clock::now() >= io.deadline) {
+      return Status::Timeout("deadline exceeded while dialing " +
+                             options_.host);
+    }
+    if (attempt > 0) {
+      reconnects_.fetch_add(1);
+      if (m_reconnects_ != nullptr) m_reconnects_->Add(1);
+      // Full jitter: sleep uniform in [0, backoff], through the shutdown
+      // token so Shutdown() cuts the wait short.
+      double sleep_ms = jitter_.NextDouble() * backoff_ms;
+      if (io.has_deadline) {
+        double remaining_ms =
+            std::chrono::duration<double, std::milli>(
+                io.deadline - std::chrono::steady_clock::now())
+                .count();
+        sleep_ms = std::min(sleep_ms, std::max(0.0, remaining_ms));
+      }
+      if (!shutdown_.SleepFor(sleep_ms)) {
+        return Status::Unavailable("remote executor cancelled while dialing");
+      }
+      backoff_ms = std::min(backoff_ms * options_.backoff_multiplier,
+                            options_.backoff_max_ms);
+    }
+    IoOptions dial_io = io;
+    if (options_.dial_timeout_ms > 0) {
+      auto dial_deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double, std::milli>(
+                  options_.dial_timeout_ms));
+      if (!dial_io.has_deadline || dial_deadline < dial_io.deadline) {
+        dial_io.has_deadline = true;
+        dial_io.deadline = dial_deadline;
+      }
+    }
+    auto socket = Dial(options_.host, options_.port, dial_io);
+    if (socket.ok()) return std::move(*socket);
+    last = socket.status();
+  }
+  return Status::Unavailable("dialing " + options_.host + " failed after " +
+                             std::to_string(options_.connect_attempts) +
+                             " attempts: " + last.message());
+}
+
+void RemoteSqlExecutor::ReleaseConnection(Socket socket) {
+  if (shutdown_.cancelled()) return;
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (idle_.size() < options_.max_pooled_connections) {
+    idle_.push_back(std::move(socket));
+  }
+}
+
+Result<engine::Relation> RemoteSqlExecutor::ExecuteSqlWithDeadline(
+    std::string_view sql, double timeout_ms) {
+  if (shutdown_.cancelled()) {
+    return Status::Unavailable("remote executor is shut down");
+  }
+  IoOptions io;
+  io.cancel = &shutdown_;
+  io.cancel2 = options_.cancel;
+  io.poll_interval_ms = options_.poll_interval_ms;
+  bool has_deadline = timeout_ms > 0;
+  auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(timeout_ms));
+  if (has_deadline) {
+    io.has_deadline = true;
+    io.deadline = deadline;
+  }
+
+  bool from_pool = false;
+  auto socket = AcquireConnection(io, &from_pool);
+  SILK_RETURN_IF_ERROR(socket.status());
+  auto result = Exchange(&*socket, sql, io, has_deadline, deadline);
+  if (!result.ok() && from_pool &&
+      result.status().code() == StatusCode::kUnavailable) {
+    // The parked connection died while idle (server restart, half-open
+    // TCP). Its siblings in the pool are as old or older — drop them all —
+    // and retry once on a fresh dial. Queries are read-only, so the
+    // re-send cannot double-apply; without this, the first call after a
+    // server restart is a guaranteed spurious backend failure.
+    {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      idle_.clear();
+    }
+    auto fresh = DialWithBackoff(io);
+    SILK_RETURN_IF_ERROR(fresh.status());
+    socket = std::move(fresh);
+    result = Exchange(&*socket, sql, io, has_deadline, deadline);
+  }
+  if (result.ok()) {
+    // Only a connection that completed a full exchange is safe to reuse:
+    // after any failure the stream offset is unknown.
+    ReleaseConnection(std::move(*socket));
+  }
+  return result;
+}
+
+Result<engine::Relation> RemoteSqlExecutor::Exchange(
+    Socket* socket, std::string_view sql, const IoOptions& io,
+    bool has_deadline, std::chrono::steady_clock::time_point deadline) {
+  // Sample the remaining budget immediately before the send, so queue/dial
+  // time already spent is subtracted from what the server sees.
+  uint64_t budget_us = 0;
+  if (has_deadline) {
+    auto remaining = std::chrono::duration_cast<std::chrono::microseconds>(
+                         deadline - std::chrono::steady_clock::now())
+                         .count();
+    if (remaining <= 0) {
+      return Status::Timeout("deadline exceeded before request send");
+    }
+    budget_us = static_cast<uint64_t>(remaining);
+  }
+  uint64_t request_id = next_request_id_.fetch_add(1);
+
+  FrameHeader header;
+  header.type = FrameType::kRequest;
+  header.request_id = request_id;
+  header.budget_us = budget_us;
+  std::string payload;
+  EncodeRequestPayload(sql, &payload);
+  SILK_RETURN_IF_ERROR(WriteFrame(socket, header, payload, io));
+  requests_sent_.fetch_add(1);
+  if (m_frames_out_ != nullptr) m_frames_out_->Add(1);
+
+  // Collect kChunk frames until kEnd (success) or kError. Decode failures
+  // and protocol violations are kUnavailable: a peer speaking garbage is a
+  // broken peer.
+  std::string relation_bytes;
+  while (true) {
+    auto frame = ReadFrame(socket, io, options_.max_payload);
+    if (!frame.ok()) {
+      if (frame.status().code() == StatusCode::kInvalidArgument) {
+        decode_errors_.fetch_add(1);
+        if (m_decode_errors_ != nullptr) m_decode_errors_->Add(1);
+        return Status::Unavailable("malformed frame from " + options_.host +
+                                   ": " + frame.status().message());
+      }
+      return frame.status();
+    }
+    if (m_frames_in_ != nullptr) m_frames_in_->Add(1);
+    if (frame->header.request_id != request_id) {
+      decode_errors_.fetch_add(1);
+      if (m_decode_errors_ != nullptr) m_decode_errors_->Add(1);
+      return Status::Unavailable(
+          "response request_id mismatch (got " +
+          std::to_string(frame->header.request_id) + ", want " +
+          std::to_string(request_id) + ")");
+    }
+    switch (frame->header.type) {
+      case FrameType::kChunk: {
+        if (relation_bytes.size() + frame->payload.size() >
+            static_cast<size_t>(options_.max_payload)) {
+          decode_errors_.fetch_add(1);
+          if (m_decode_errors_ != nullptr) m_decode_errors_->Add(1);
+          return Status::Unavailable("response relation exceeds max payload");
+        }
+        relation_bytes.append(frame->payload);
+        break;
+      }
+      case FrameType::kEnd: {
+        auto end = DecodeEndPayload(frame->payload);
+        if (!end.ok()) {
+          decode_errors_.fetch_add(1);
+          if (m_decode_errors_ != nullptr) m_decode_errors_->Add(1);
+          return Status::Unavailable("malformed end payload: " +
+                                     end.status().message());
+        }
+        if (end->relation_bytes != relation_bytes.size()) {
+          decode_errors_.fetch_add(1);
+          if (m_decode_errors_ != nullptr) m_decode_errors_->Add(1);
+          return Status::Unavailable(
+              "relation byte count mismatch (got " +
+              std::to_string(relation_bytes.size()) + ", end frame says " +
+              std::to_string(end->relation_bytes) + ")");
+        }
+        auto relation = DeserializeRelation(relation_bytes);
+        if (!relation.ok()) {
+          decode_errors_.fetch_add(1);
+          if (m_decode_errors_ != nullptr) m_decode_errors_->Add(1);
+          return Status::Unavailable("malformed relation from " +
+                                     options_.host + ": " +
+                                     relation.status().message());
+        }
+        if (relation->rows.size() != end->rows) {
+          decode_errors_.fetch_add(1);
+          if (m_decode_errors_ != nullptr) m_decode_errors_->Add(1);
+          return Status::Unavailable(
+              "relation row count mismatch (got " +
+              std::to_string(relation->rows.size()) + ", end frame says " +
+              std::to_string(end->rows) + ")");
+        }
+        return relation;
+      }
+      case FrameType::kError: {
+        Status carried = Status::OK();
+        Status decode = DecodeErrorPayload(frame->payload, &carried);
+        if (!decode.ok()) {
+          decode_errors_.fetch_add(1);
+          if (m_decode_errors_ != nullptr) m_decode_errors_->Add(1);
+          return Status::Unavailable("malformed error payload: " +
+                                     decode.message());
+        }
+        // The server's status passes through verbatim (kTimeout stays
+        // kTimeout so deadline semantics survive the wire).
+        return carried;
+      }
+      case FrameType::kRequest: {
+        decode_errors_.fetch_add(1);
+        if (m_decode_errors_ != nullptr) m_decode_errors_->Add(1);
+        return Status::Unavailable("unexpected request frame from server");
+      }
+    }
+  }
+}
+
+}  // namespace silkroute::net

@@ -1,0 +1,134 @@
+// RemoteSqlExecutor: a SqlExecutor whose backend is an EngineServer across
+// the wire — the paper's actual middle-ware setting, where the XML
+// publisher does not own the RDBMS it queries.
+//
+//  - connection pooling: completed calls park their connection for reuse
+//    (bounded); concurrent callers each draw their own, so the executor is
+//    safe to share across service workers via ExecuteSqlWithDeadline;
+//  - reconnect with exponential backoff + jitter when dialing fails, capped
+//    by the call's deadline and interruptible through the cancel tokens;
+//  - deadline propagation: the remaining budget is sampled immediately
+//    before the request frame is sent, so the server sees the true
+//    remaining time, not the stale per-call timeout;
+//  - poll-based reads (socket.h): Shutdown() — or the borrowed service
+//    CancelToken — unblocks a thread stuck on a dead server within one
+//    poll interval (the regression test for ISSUE 6's cancellation
+//    satellite);
+//  - strict decode: any malformed response frame counts a decode error,
+//    poisons the connection, and surfaces as kUnavailable — the retryable
+//    class, because a corrupt stream and a dead peer are the same event
+//    from the client's side.
+//
+// One request never silently re-executes, with a single exception: a
+// transport failure on a *pooled* connection retries once on a fresh dial.
+// A parked connection may have died while idle (server restart, half-open
+// TCP), and the engine serves read-only queries, so the re-send cannot
+// double-apply anything — without it, the first call after a server
+// restart always fails and (worse) counts as a backend failure against the
+// federation's circuit breaker. Beyond that, once the request frame is on
+// the wire any failure is returned to the caller (the ResilientExecutor /
+// FederatedExecutor above decide about retries and failover).
+#ifndef SILKROUTE_NET_REMOTE_EXECUTOR_H_
+#define SILKROUTE_NET_REMOTE_EXECUTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "engine/executor.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+
+namespace silkroute::net {
+
+struct RemoteExecutorOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Idle connections kept for reuse (concurrent calls may open more).
+  size_t max_pooled_connections = 8;
+  /// Dial attempts per call, with exponential backoff + jitter between.
+  int connect_attempts = 3;
+  double dial_timeout_ms = 1000;
+  double backoff_initial_ms = 10;
+  double backoff_multiplier = 2;
+  double backoff_max_ms = 200;
+  uint64_t jitter_seed = 0xC0FFEE;
+  /// Cancel/deadline check granularity for blocking reads.
+  double poll_interval_ms = 10;
+  uint32_t max_payload = kMaxFramePayload;
+  /// Borrowed service-wide token (e.g. PublishingService's); null = none.
+  /// The executor's own Shutdown() token is always honored in addition.
+  CancelToken* cancel = nullptr;
+  /// Label for this backend's metric series and span annotations.
+  std::string backend = "remote";
+  /// silkroute_net_*_total{backend="..."} series (borrowed, may be null).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+class RemoteSqlExecutor : public engine::SqlExecutor {
+ public:
+  explicit RemoteSqlExecutor(RemoteExecutorOptions options);
+  ~RemoteSqlExecutor() override;
+
+  Result<engine::Relation> ExecuteSql(std::string_view sql) override {
+    return ExecuteSqlWithDeadline(sql, timeout_ms_);
+  }
+  /// Thread-safe (the service's shared-executor contract).
+  Result<engine::Relation> ExecuteSqlWithDeadline(std::string_view sql,
+                                                  double timeout_ms) override;
+  void set_timeout_ms(double timeout_ms) override { timeout_ms_ = timeout_ms; }
+
+  const std::string& backend() const { return options_.backend; }
+
+  /// Cancels every in-flight read/connect and fails all future calls with
+  /// kUnavailable. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  uint64_t reconnects() const { return reconnects_.load(); }
+  uint64_t decode_errors() const { return decode_errors_.load(); }
+  uint64_t requests_sent() const { return requests_sent_.load(); }
+  size_t pooled_connections() const;
+
+ private:
+  /// Pops an idle connection (`*from_pool` = true) or dials with backoff;
+  /// kUnavailable when every attempt failed or the deadline/cancel cut the
+  /// loop short.
+  Result<Socket> AcquireConnection(const IoOptions& io, bool* from_pool);
+  /// Dials a fresh connection with backoff, never touching the pool.
+  Result<Socket> DialWithBackoff(const IoOptions& io);
+  void ReleaseConnection(Socket socket);
+  /// One request/response exchange on an open connection.
+  Result<engine::Relation> Exchange(Socket* socket, std::string_view sql,
+                                    const IoOptions& io, bool has_deadline,
+                                    std::chrono::steady_clock::time_point
+                                        deadline);
+
+  RemoteExecutorOptions options_;
+  double timeout_ms_ = 0;
+  CancelToken shutdown_;
+  Random jitter_;
+  std::atomic<uint64_t> next_request_id_{1};
+
+  mutable std::mutex pool_mu_;
+  std::vector<Socket> idle_;
+
+  std::atomic<uint64_t> reconnects_{0};
+  std::atomic<uint64_t> decode_errors_{0};
+  std::atomic<uint64_t> requests_sent_{0};
+
+  // Registry mirrors (null when metrics are disabled).
+  obs::Counter* m_reconnects_ = nullptr;
+  obs::Counter* m_decode_errors_ = nullptr;
+  obs::Counter* m_frames_in_ = nullptr;
+  obs::Counter* m_frames_out_ = nullptr;
+};
+
+}  // namespace silkroute::net
+
+#endif  // SILKROUTE_NET_REMOTE_EXECUTOR_H_

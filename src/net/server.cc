@@ -1,0 +1,280 @@
+#include "net/server.h"
+
+#include <condition_variable>
+#include <csignal>
+#include <mutex>
+#include <utility>
+
+#include "net/frame_io.h"
+
+namespace silkroute::net {
+
+namespace {
+
+/// Writing to a peer that already reset would raise SIGPIPE and kill the
+/// process — exactly the failure mode a fault-tolerant server must absorb.
+/// MSG_NOSIGNAL covers send(); this covers any straggler write path.
+void IgnoreSigpipeOnce() {
+  static const bool done = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace
+
+EngineServer::EngineServer(const Database* db, EngineServerOptions options)
+    : db_(db),
+      options_(std::move(options)),
+      executor_(db),
+      pool_(options_.workers, options_.metrics) {
+  executor_.set_parallelism(options_.engine_threads);
+  executor_.set_metrics_registry(options_.metrics);
+  if (options_.metrics != nullptr) {
+    m_requests_ = options_.metrics->counter("silkroute_server_requests_total");
+    m_errors_ = options_.metrics->counter("silkroute_server_errors_total");
+    m_frames_in_ =
+        options_.metrics->counter("silkroute_server_frames_in_total");
+    m_frames_out_ =
+        options_.metrics->counter("silkroute_server_frames_out_total");
+    m_connections_ = options_.metrics->gauge("silkroute_server_connections");
+  }
+}
+
+EngineServer::~EngineServer() { Shutdown(); }
+
+Status EngineServer::Start() {
+  IgnoreSigpipeOnce();
+  auto listener = Listener::Bind(options_.host, options_.port);
+  SILK_RETURN_IF_ERROR(listener.status());
+  listener_ = std::move(listener).value();
+  port_ = listener_.port();
+  started_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void EngineServer::AcceptLoop() {
+  IoOptions io;
+  io.cancel = &cancel_;
+  io.poll_interval_ms = 50;
+  while (!stopping_.load()) {
+    auto accepted = listener_.Accept(io);
+    if (!accepted.ok()) {
+      if (stopping_.load() || cancel_.cancelled()) break;
+      // Transient accept failure: keep serving.
+      continue;
+    }
+    connections_accepted_.fetch_add(1);
+    if (m_connections_ != nullptr) m_connections_->Add(1);
+    ReapConnections(/*all=*/false);
+    auto slot = std::make_unique<ConnectionSlot>();
+    ConnectionSlot* raw = slot.get();
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      connections_.push_back(std::move(slot));
+    }
+    raw->thread =
+        std::thread([this, raw, sock = std::move(*accepted)]() mutable {
+          ServeConnection(std::move(sock));
+          if (m_connections_ != nullptr) m_connections_->Add(-1);
+          raw->done.store(true);
+        });
+  }
+}
+
+void EngineServer::ReapConnections(bool all) {
+  std::vector<std::unique_ptr<ConnectionSlot>> finished;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if (all || (*it)->done.load()) {
+        finished.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& slot : finished) {
+    if (slot->thread.joinable()) slot->thread.join();
+  }
+}
+
+void EngineServer::ServeConnection(Socket socket) {
+  IoOptions io;
+  io.cancel = &cancel_;
+  while (!stopping_.load()) {
+    auto frame = ReadFrame(&socket, io, options_.max_payload);
+    if (!frame.ok()) {
+      // EOF between requests is the normal end of a pooled connection;
+      // garbage (kInvalidArgument) means the stream offset is lost — either
+      // way the connection is done.
+      return;
+    }
+    if (m_frames_in_ != nullptr) m_frames_in_->Add(1);
+    if (!ServeRequest(&socket, *frame)) return;
+  }
+}
+
+bool EngineServer::ServeRequest(Socket* socket, const Frame& request) {
+  IoOptions io;
+  io.cancel = &cancel_;
+
+  auto send_error = [&](const Status& status) {
+    requests_failed_.fetch_add(1);
+    if (m_errors_ != nullptr) m_errors_->Add(1);
+    std::string payload;
+    EncodeErrorPayload(status, &payload);
+    FrameHeader header;
+    header.type = FrameType::kError;
+    header.request_id = request.header.request_id;
+    if (m_frames_out_ != nullptr) m_frames_out_->Add(1);
+    return WriteFrame(socket, header, payload, io).ok();
+  };
+
+  if (request.header.type != FrameType::kRequest) {
+    // A client speaking the protocol wrong gets one error, then the
+    // connection closes (the stream can no longer be trusted).
+    send_error(Status::InvalidArgument(
+        std::string("unexpected ") + FrameTypeToString(request.header.type) +
+        " frame from client"));
+    return false;
+  }
+  auto sql = DecodeRequestPayload(request.payload);
+  if (!sql.ok()) {
+    send_error(sql.status());
+    return false;
+  }
+
+  // Deadline propagation: re-anchor the client's remaining budget on this
+  // host's clock. Work that cannot finish in time is aborted here — first
+  // by the pre-execution check, then by the executor's own kTimeout.
+  double budget_ms =
+      static_cast<double>(request.header.budget_us) / 1000.0;
+  bool has_deadline = request.header.budget_us > 0;
+  auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(budget_ms));
+  if (has_deadline && budget_ms <= 0) {
+    deadline_rejects_.fetch_add(1);
+    return send_error(Status::Timeout("deadline expired before execution"));
+  }
+
+  // Execute on the shared pool; this thread only waits and streams.
+  struct Slot {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Result<engine::Relation> result = Status::Internal("request not run");
+  };
+  auto slot = std::make_shared<Slot>();
+  bool submitted = pool_.Submit([this, slot, sql = std::move(*sql),
+                                 has_deadline, deadline, budget_ms] {
+    Result<engine::Relation> result = [&]() -> Result<engine::Relation> {
+      if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+        return Status::Timeout("deadline expired in server queue");
+      }
+      double remaining_ms = budget_ms;
+      if (has_deadline) {
+        remaining_ms = std::chrono::duration<double, std::milli>(
+                           deadline - std::chrono::steady_clock::now())
+                           .count();
+        if (remaining_ms <= 0) {
+          return Status::Timeout("deadline expired in server queue");
+        }
+      }
+      return executor_.ExecuteSqlWithDeadline(sql,
+                                              has_deadline ? remaining_ms : 0);
+    }();
+    {
+      std::lock_guard<std::mutex> lock(slot->mu);
+      slot->result = std::move(result);
+      slot->done = true;
+    }
+    slot->cv.notify_all();
+  });
+  if (!submitted) {
+    return send_error(Status::Unavailable("server is shutting down"));
+  }
+  Result<engine::Relation> result = [&] {
+    std::unique_lock<std::mutex> lock(slot->mu);
+    slot->cv.wait(lock, [&] { return slot->done; });
+    return std::move(slot->result);
+  }();
+
+  if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+    deadline_rejects_.fetch_add(1);
+    return send_error(Status::Timeout("deadline expired during execution"));
+  }
+  if (!result.ok()) return send_error(result.status());
+
+  // Stream the relation: kChunk* then kEnd carrying the row/byte counts the
+  // client cross-checks.
+  std::string bytes;
+  SerializeRelation(*result, &bytes);
+  EndPayload end;
+  end.rows = result->rows.size();
+  end.relation_bytes = bytes.size();
+  size_t offset = 0;
+  do {
+    size_t len = std::min(options_.chunk_bytes, bytes.size() - offset);
+    FrameHeader chunk;
+    chunk.type = FrameType::kChunk;
+    chunk.request_id = request.header.request_id;
+    if (m_frames_out_ != nullptr) m_frames_out_->Add(1);
+    IoOptions write_io = io;
+    // A dead or stalled client must not hold this connection thread past
+    // the request's own deadline (plus slack for the response transfer).
+    if (has_deadline) {
+      write_io.has_deadline = true;
+      write_io.deadline = deadline + std::chrono::seconds(5);
+    }
+    if (!WriteFrame(socket, chunk,
+                    std::string_view(bytes).substr(offset, len), write_io)
+             .ok()) {
+      requests_failed_.fetch_add(1);
+      return false;
+    }
+    offset += len;
+  } while (offset < bytes.size());
+  std::string end_payload;
+  EncodeEndPayload(end, &end_payload);
+  FrameHeader end_header;
+  end_header.type = FrameType::kEnd;
+  end_header.request_id = request.header.request_id;
+  if (m_frames_out_ != nullptr) m_frames_out_->Add(1);
+  if (!WriteFrame(socket, end_header, end_payload, io).ok()) {
+    requests_failed_.fetch_add(1);
+    return false;
+  }
+  requests_served_.fetch_add(1);
+  if (m_requests_ != nullptr) m_requests_->Add(1);
+  return true;
+}
+
+void EngineServer::Shutdown() {
+  if (!started_.exchange(false)) {
+    // Never started (or already shut down): still make Shutdown idempotent
+    // for a Start that failed after partial setup.
+    stopping_.store(true);
+    cancel_.Cancel();
+    if (accept_thread_.joinable()) accept_thread_.join();
+    ReapConnections(/*all=*/true);
+    pool_.Shutdown();
+    return;
+  }
+  stopping_.store(true);
+  cancel_.Cancel();
+  // The cancel token unblocks Accept's poll within one interval; close the
+  // listener only after the accept thread is joined — closing while it
+  // still polls the fd is a race (and the fd number could be reused).
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  ReapConnections(/*all=*/true);
+  pool_.Shutdown();
+}
+
+}  // namespace silkroute::net

@@ -1,0 +1,268 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace silkroute::net {
+
+namespace {
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal(std::string("fcntl: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+bool Cancelled(const IoOptions& io) {
+  return (io.cancel != nullptr && io.cancel->cancelled()) ||
+         (io.cancel2 != nullptr && io.cancel2->cancelled());
+}
+
+/// Milliseconds until the deadline; negative when already past.
+double DeadlineRemainingMs(const IoOptions& io) {
+  return std::chrono::duration<double, std::milli>(
+             io.deadline - std::chrono::steady_clock::now())
+      .count();
+}
+
+/// One bounded poll step. Returns:
+///  - OK with *ready=true when the fd is ready for `events`,
+///  - OK with *ready=false when the poll interval elapsed uneventfully,
+///  - kTimeout / kUnavailable("...cancelled") on deadline / cancellation,
+///  - kUnavailable when the peer hung up or errored.
+Status PollStep(int fd, short events, const IoOptions& io, bool* ready) {
+  *ready = false;
+  if (Cancelled(io)) return Status::Unavailable("socket wait cancelled");
+  double wait_ms = io.poll_interval_ms;
+  if (io.has_deadline) {
+    double remaining = DeadlineRemainingMs(io);
+    if (remaining <= 0) return Status::Timeout("socket deadline exceeded");
+    wait_ms = std::min(wait_ms, remaining);
+  }
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  int rc = poll(&pfd, 1, std::max(1, static_cast<int>(wait_ms)));
+  if (rc < 0) {
+    if (errno == EINTR) return Status::OK();
+    return Status::Unavailable(std::string("poll: ") + std::strerror(errno));
+  }
+  if (rc == 0) return Status::OK();
+  if ((pfd.revents & POLLNVAL) != 0) {
+    return Status::Unavailable("socket closed under poll");
+  }
+  // POLLERR/POLLHUP still allow a final read to drain buffered bytes (and
+  // observe the EOF/reset); report ready and let read()/write() decide.
+  *ready = true;
+  return Status::OK();
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Status Socket::ReadSome(void* buf, size_t n, size_t* got, const IoOptions& io) {
+  *got = 0;
+  for (;;) {
+    if (fd_ < 0) return Status::Unavailable("socket closed");
+    bool ready = false;
+    SILK_RETURN_IF_ERROR(PollStep(fd_, POLLIN, io, &ready));
+    if (!ready) continue;
+    ssize_t rc = ::read(fd_, buf, n);
+    if (rc >= 0) {
+      *got = static_cast<size_t>(rc);
+      return Status::OK();
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+    return Status::Unavailable(std::string("read: ") + std::strerror(errno));
+  }
+}
+
+Status Socket::ReadFull(void* buf, size_t n, const IoOptions& io) {
+  char* p = static_cast<char*>(buf);
+  size_t got = 0;
+  while (got < n) {
+    if (fd_ < 0) return Status::Unavailable("socket closed");
+    bool ready = false;
+    SILK_RETURN_IF_ERROR(PollStep(fd_, POLLIN, io, &ready));
+    if (!ready) continue;
+    ssize_t rc = ::read(fd_, p + got, n - got);
+    if (rc > 0) {
+      got += static_cast<size_t>(rc);
+      continue;
+    }
+    if (rc == 0) {
+      return Status::Unavailable("connection closed after " +
+                                 std::to_string(got) + " of " +
+                                 std::to_string(n) + " byte(s)");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+    return Status::Unavailable(std::string("read: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status Socket::WriteFull(const void* buf, size_t n, const IoOptions& io) {
+  const char* p = static_cast<const char*>(buf);
+  size_t sent = 0;
+  while (sent < n) {
+    if (fd_ < 0) return Status::Unavailable("socket closed");
+    bool ready = false;
+    SILK_RETURN_IF_ERROR(PollStep(fd_, POLLOUT, io, &ready));
+    if (!ready) continue;
+#ifdef MSG_NOSIGNAL
+    ssize_t rc = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+#else
+    ssize_t rc = ::write(fd_, p + sent, n - sent);
+#endif
+    if (rc > 0) {
+      sent += static_cast<size_t>(rc);
+      continue;
+    }
+    if (rc < 0 &&
+        (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      continue;
+    }
+    return Status::Unavailable(std::string("write: ") +
+                               std::strerror(rc < 0 ? errno : EPIPE));
+  }
+  return Status::OK();
+}
+
+Result<Socket> Dial(const std::string& host, uint16_t port,
+                    const IoOptions& io) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host address '" + host + "'");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable(std::string("socket: ") + std::strerror(errno));
+  }
+  Socket sock(fd);
+  SILK_RETURN_IF_ERROR(SetNonBlocking(fd));
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  int rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    return Status::Unavailable(std::string("connect to ") + host + ":" +
+                               std::to_string(port) + ": " +
+                               std::strerror(errno));
+  }
+  if (rc != 0) {
+    // Wait for the non-blocking connect to resolve.
+    for (;;) {
+      bool ready = false;
+      SILK_RETURN_IF_ERROR(PollStep(fd, POLLOUT, io, &ready));
+      if (ready) break;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      return Status::Unavailable(std::string("connect to ") + host + ":" +
+                                 std::to_string(port) + ": " +
+                                 std::strerror(err != 0 ? err : errno));
+    }
+  }
+  return sock;
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Listener> Listener::Bind(const std::string& host, uint16_t port) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host address '" + host + "'");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable(std::string("socket: ") + std::strerror(errno));
+  }
+  Listener listener;
+  listener.fd_ = fd;
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  SILK_RETURN_IF_ERROR(SetNonBlocking(fd));
+  if (bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Status::Unavailable(std::string("bind ") + host + ":" +
+                               std::to_string(port) + ": " +
+                               std::strerror(errno));
+  }
+  if (listen(fd, 64) != 0) {
+    return Status::Unavailable(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) != 0) {
+    return Status::Internal(std::string("getsockname: ") +
+                            std::strerror(errno));
+  }
+  listener.port_ = ntohs(addr.sin_port);
+  return listener;
+}
+
+Result<Socket> Listener::Accept(const IoOptions& io) {
+  for (;;) {
+    if (fd_ < 0) return Status::Unavailable("listener closed");
+    bool ready = false;
+    SILK_RETURN_IF_ERROR(PollStep(fd_, POLLIN, io, &ready));
+    if (!ready) continue;
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      Socket sock(fd);
+      Status nb = SetNonBlocking(fd);
+      if (!nb.ok()) return nb;
+      int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return sock;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED) {
+      continue;
+    }
+    return Status::Unavailable(std::string("accept: ") + std::strerror(errno));
+  }
+}
+
+}  // namespace silkroute::net

@@ -1,0 +1,128 @@
+// Thin RAII wrappers over POSIX loopback/TCP sockets with the blocking
+// discipline the federation layer needs: every read and write is a
+// poll-with-short-timeout loop that re-checks an absolute deadline and up
+// to two CancelTokens between polls, so a service Shutdown (or an executor
+// Shutdown) unblocks a thread stuck on a dead peer within one poll
+// interval instead of hanging forever.
+//
+// Error mapping: connection-level failures (refused, reset, EOF mid-read)
+// are kUnavailable — the transient, retryable class the resilience stack
+// routes around; deadline expiry is kTimeout; cancellation surfaces as
+// kUnavailable with a "cancelled" message (the caller is shutting down and
+// drains the error anyway).
+#ifndef SILKROUTE_NET_SOCKET_H_
+#define SILKROUTE_NET_SOCKET_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/cancel.h"
+#include "common/result.h"
+
+namespace silkroute::net {
+
+/// Knobs for one blocking I/O call.
+struct IoOptions {
+  /// Absolute deadline; reads/writes past it fail with kTimeout.
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+  /// Checked between polls; either token cancelling aborts the wait.
+  /// Borrowed, may be null.
+  CancelToken* cancel = nullptr;
+  CancelToken* cancel2 = nullptr;
+  /// Poll granularity: the worst-case latency of a cancel/deadline check.
+  double poll_interval_ms = 20;
+
+  /// Convenience: deadline `timeout_ms` from now (0 = none).
+  static IoOptions WithTimeout(double timeout_ms) {
+    IoOptions io;
+    if (timeout_ms > 0) {
+      io.has_deadline = true;
+      io.deadline = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double, std::milli>(timeout_ms));
+    }
+    return io;
+  }
+};
+
+/// A connected stream socket (move-only; closes on destruction).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket() { Close(); }
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+  /// Half-closes both directions without invalidating the fd — safe to call
+  /// from another thread to wake a concurrent ReadFull/ReadSome with EOF
+  /// (Close would race fd reuse; shutdown does not).
+  void ShutdownBoth();
+
+  /// Reads exactly `n` bytes. kUnavailable on EOF/reset, kTimeout past the
+  /// deadline, kUnavailable("...cancelled") on token cancellation.
+  Status ReadFull(void* buf, size_t n, const IoOptions& io);
+  /// Reads 1..n bytes (whatever is available), blocking until data, EOF, a
+  /// deadline, or cancellation. EOF is OK with *got == 0 — the proxy pump's
+  /// "peer finished" signal, not an error.
+  Status ReadSome(void* buf, size_t n, size_t* got, const IoOptions& io);
+  /// Writes exactly `n` bytes, same error discipline.
+  Status WriteFull(const void* buf, size_t n, const IoOptions& io);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Dials host:port. The whole connect (including the non-blocking connect
+/// wait) honors `io`.
+Result<Socket> Dial(const std::string& host, uint16_t port,
+                    const IoOptions& io);
+
+/// A listening socket bound to host:port (port 0 = ephemeral).
+class Listener {
+ public:
+  Listener() = default;
+  Listener(Listener&& other) noexcept
+      : fd_(other.fd_), port_(other.port_) {
+    other.fd_ = -1;
+  }
+  Listener& operator=(Listener&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      port_ = other.port_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  ~Listener() { Close(); }
+
+  static Result<Listener> Bind(const std::string& host, uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  /// The bound port (resolved after Bind, also for port 0).
+  uint16_t port() const { return port_; }
+  void Close();
+
+  /// Accepts one connection; polls so `io` cancellation/deadline unblocks
+  /// the accept loop.
+  Result<Socket> Accept(const IoOptions& io);
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace silkroute::net
+
+#endif  // SILKROUTE_NET_SOCKET_H_

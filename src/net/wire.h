@@ -1,0 +1,130 @@
+// Wire protocol for the networked federation layer (DESIGN.md §12): a
+// versioned, length-prefixed binary framing that carries component queries
+// from a RemoteSqlExecutor to an EngineServer and result relations back.
+//
+// Frame layout (all integers little-endian, fixed width):
+//
+//   offset  size  field
+//        0     4  magic        0x53524B31 ("SRK1")
+//        4     1  version      kWireVersion (1)
+//        5     1  type         FrameType
+//        6     2  flags        reserved, must be 0
+//        8     8  request_id   echoed verbatim in every response frame
+//       16     8  budget_us    remaining deadline budget at send time, in
+//                              microseconds (0 = no deadline). The client
+//                              re-computes the budget immediately before
+//                              sending; the server derives its own absolute
+//                              deadline on receipt and aborts work past it.
+//       24     4  payload_len  bytes of payload following the header
+//       28     8  payload_hash FNV-1a 64 over the first 28 header bytes and
+//                              the payload. Random corruption of either the
+//                              header tail or the payload can otherwise
+//                              decode as plausible-but-wrong data (a flipped
+//                              byte inside a string value survives every
+//                              count cross-check); the hash turns all of it
+//                              into a clean decode failure.
+//
+// Frame types:
+//   kRequest  client -> server   payload: u32 sql_len + sql bytes
+//   kChunk    server -> client   payload: a slice of the serialized relation
+//   kEnd      server -> client   payload: u64 row count + u64 total relation
+//                                bytes — a cross-check that every chunk
+//                                arrived intact
+//   kError    server -> client   payload: u32 status code + u32 msg_len + msg
+//
+// Decoding is strict and bounds-checked everywhere: a bad magic, unknown
+// version or type, non-zero flags, an oversized length prefix, or any
+// truncation yields kInvalidArgument — never UB, never a partial value.
+// Transport layers map decode failures to kUnavailable (a corrupt stream is
+// indistinguishable from a broken peer), but the codec itself reports
+// exactly what was wrong.
+#ifndef SILKROUTE_NET_WIRE_H_
+#define SILKROUTE_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "engine/executor.h"
+
+namespace silkroute::net {
+
+inline constexpr uint32_t kWireMagic = 0x53524B31;  // "SRK1"
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 36;
+/// Hard cap on any single frame payload; a length prefix above this is
+/// hostile (or garbage) and is rejected before any allocation.
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+enum class FrameType : uint8_t {
+  kRequest = 1,
+  kChunk = 2,
+  kEnd = 3,
+  kError = 4,
+};
+
+const char* FrameTypeToString(FrameType type);
+
+struct FrameHeader {
+  uint8_t version = kWireVersion;
+  FrameType type = FrameType::kRequest;
+  uint16_t flags = 0;
+  uint64_t request_id = 0;
+  uint64_t budget_us = 0;
+  uint32_t payload_len = 0;
+  uint64_t payload_hash = 0;
+};
+
+/// FNV-1a 64 over the first 28 encoded header bytes (everything before the
+/// hash field) followed by the payload. Frame I/O stamps this into
+/// `payload_hash` on write and verifies it on read.
+uint64_t FrameHash(const FrameHeader& header, std::string_view payload);
+
+/// Appends the 36-byte encoded header to `out`.
+void EncodeFrameHeader(const FrameHeader& header, std::string* out);
+
+/// Decodes a header from exactly the first kFrameHeaderSize bytes of
+/// `bytes`. `max_payload` caps payload_len (pass kMaxFramePayload or a
+/// tighter bound). Strict: every defect is a distinct kInvalidArgument.
+Result<FrameHeader> DecodeFrameHeader(std::string_view bytes,
+                                      uint32_t max_payload = kMaxFramePayload);
+
+// --- Request payload -------------------------------------------------------
+
+void EncodeRequestPayload(std::string_view sql, std::string* out);
+Result<std::string> DecodeRequestPayload(std::string_view payload);
+
+// --- Error payload ---------------------------------------------------------
+
+/// Encodes a non-OK status (code + message).
+void EncodeErrorPayload(const Status& status, std::string* out);
+/// Decodes the carried status into `*carried`. The return value is about
+/// the payload itself: a code outside the StatusCode enum or a truncated
+/// message is kInvalidArgument (and `*carried` is untouched).
+Status DecodeErrorPayload(std::string_view payload, Status* carried);
+
+// --- End payload -----------------------------------------------------------
+
+struct EndPayload {
+  uint64_t rows = 0;
+  uint64_t relation_bytes = 0;  // total serialized relation size
+};
+
+void EncodeEndPayload(const EndPayload& end, std::string* out);
+Result<EndPayload> DecodeEndPayload(std::string_view payload);
+
+// --- Relation codec --------------------------------------------------------
+// Schema (column qualifiers/names) followed by row count and the rows in
+// TupleStream's serialization format — the same bytes a TupleStream would
+// hold, so the binding cost the paper measures is paid exactly once.
+
+void SerializeRelation(const engine::Relation& relation, std::string* out);
+
+/// Strict whole-buffer decode: trailing bytes after the last row, any
+/// truncation, or hostile counts are kInvalidArgument.
+Result<engine::Relation> DeserializeRelation(std::string_view bytes);
+
+}  // namespace silkroute::net
+
+#endif  // SILKROUTE_NET_WIRE_H_

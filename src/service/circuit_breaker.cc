@@ -24,7 +24,7 @@ CircuitBreaker::CircuitBreaker(std::string key, CircuitBreakerOptions options)
   if (options_.metrics != nullptr) {
     obs::MetricsRegistry* reg = options_.metrics;
     auto name = [&](std::string_view base) {
-      return obs::LabeledName(base, {{"table", key_}});
+      return obs::LabeledName(base, {{options_.label_key, key_}});
     };
     m_trips_ = reg->counter(name("silkroute_breaker_trips_total"));
     m_fast_fails_ = reg->counter(name("silkroute_breaker_fast_fails_total"));

@@ -44,10 +44,13 @@ struct CircuitBreakerOptions {
   int half_open_successes = 1;
   /// Injectable monotonic clock in milliseconds (tests); null = steady_clock.
   std::function<double()> now_ms;
-  /// Mirrors every breaker's counters and state into per-table labeled
-  /// series (silkroute_breaker_*_total{table="..."}), superseding bespoke
-  /// map snapshots as the export path. Borrowed; null = disabled.
+  /// Mirrors every breaker's counters and state into per-key labeled
+  /// series (silkroute_breaker_*_total{<label_key>="..."}), superseding
+  /// bespoke map snapshots as the export path. Borrowed; null = disabled.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Metric label naming the breaker dimension: "table" for the service's
+  /// per-table registry, "backend" for the federation's per-backend one.
+  std::string label_key = "table";
 };
 
 enum class BreakerState { kClosed, kOpen, kHalfOpen };

@@ -1,0 +1,121 @@
+// FederatedExecutor: routes a plan's component queries across multiple
+// SqlExecutor backends — the paper's middle-ware deployed over data that
+// lives in more than one place. Each remote backend owns a set of tables;
+// a component query referencing an owned table routes to that backend,
+// everything else runs on the local executor.
+//
+// Fault tolerance (DESIGN.md §12, failover state machine):
+//
+//            breaker CLOSED                  breaker OPEN
+//   query ──► remote backend ── source ──► RecordFailure ─► (threshold)
+//                │ ok             failure        │
+//                ▼                               ▼
+//             result                    failover: local executor
+//                                       (remaining deadline only)
+//
+//  - every remote backend has its own CircuitBreaker (key = backend name,
+//    metric label `backend=` — the same state machine the service uses per
+//    table, reused at the federation layer);
+//  - a breaker fast-fail skips the remote entirely and runs the query on
+//    the local fallback — XML output stays byte-identical because both
+//    backends serve the same logical schema;
+//  - a *source* failure from the remote (kUnavailable, kTimeout with
+//    budget left) records against the breaker and fails over with the
+//    remaining deadline; non-source errors (bad SQL) do not fail over —
+//    they are deterministic and would fail locally too;
+//  - once the breaker re-closes (half-open probe succeeds), traffic
+//    returns to the remote: recovery is observable in the breaker state
+//    and the silkroute_federation_* counters.
+//
+// Thread-safe: routing is read-only state, breakers and metrics are
+// internally synchronized, and backends are required to be thread-safe
+// SqlExecutors (DatabaseExecutor and RemoteSqlExecutor both are).
+#ifndef SILKROUTE_SERVICE_FEDERATED_EXECUTOR_H_
+#define SILKROUTE_SERVICE_FEDERATED_EXECUTOR_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/executor.h"
+#include "obs/metrics.h"
+#include "service/circuit_breaker.h"
+
+namespace silkroute::service {
+
+/// True when `sql` references `table` as a whole identifier (not as a
+/// substring of a longer identifier). Exposed for the routing tests.
+bool SqlReferencesTable(std::string_view sql, std::string_view table);
+
+struct FederatedBackendSpec {
+  /// Breaker key and `backend=` metric/span label. Must be unique.
+  std::string name;
+  /// Borrowed; must outlive the FederatedExecutor and be thread-safe.
+  engine::SqlExecutor* executor = nullptr;
+  /// Tables this backend owns; a query referencing any of them routes
+  /// here. Empty = matches every query (a catch-all remote).
+  std::vector<std::string> tables;
+};
+
+struct FederatedExecutorOptions {
+  /// The local fallback (and the home of unclaimed tables). Borrowed.
+  engine::SqlExecutor* local = nullptr;
+  std::vector<FederatedBackendSpec> remotes;
+  /// Per-backend breaker tuning; label_key is forced to "backend".
+  CircuitBreakerOptions breaker;
+  /// When false, a sick remote fails the query instead of falling back —
+  /// for deployments where local execution is not equivalent.
+  bool failover_to_local = true;
+  /// silkroute_federation_* counters (borrowed, may be null).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+class FederatedExecutor : public engine::SqlExecutor {
+ public:
+  explicit FederatedExecutor(FederatedExecutorOptions options);
+
+  Result<engine::Relation> ExecuteSql(std::string_view sql) override {
+    return ExecuteSqlWithDeadline(sql, timeout_ms_);
+  }
+  Result<engine::Relation> ExecuteSqlWithDeadline(std::string_view sql,
+                                                  double timeout_ms) override;
+  void set_timeout_ms(double timeout_ms) override { timeout_ms_ = timeout_ms; }
+
+  /// The backend name `sql` routes to ("local" when no remote claims it).
+  std::string RouteFor(std::string_view sql) const;
+
+  CircuitBreakerRegistry* breakers() { return breakers_.get(); }
+
+  uint64_t remote_queries() const { return remote_queries_.load(); }
+  uint64_t local_queries() const { return local_queries_.load(); }
+  uint64_t failovers() const { return failovers_.load(); }
+  uint64_t fast_fail_failovers() const { return fast_fail_failovers_.load(); }
+
+ private:
+  struct Backend {
+    FederatedBackendSpec spec;
+    obs::Counter* m_failovers = nullptr;
+    obs::Counter* m_fast_fails = nullptr;
+  };
+
+  const Backend* Route(std::string_view sql) const;
+  Result<engine::Relation> RunLocal(std::string_view sql, bool has_deadline,
+                                    std::chrono::steady_clock::time_point
+                                        deadline);
+
+  FederatedExecutorOptions options_;
+  double timeout_ms_ = 0;
+  std::vector<Backend> backends_;
+  std::unique_ptr<CircuitBreakerRegistry> breakers_;
+
+  std::atomic<uint64_t> remote_queries_{0};
+  std::atomic<uint64_t> local_queries_{0};
+  std::atomic<uint64_t> failovers_{0};
+  std::atomic<uint64_t> fast_fail_failovers_{0};
+};
+
+}  // namespace silkroute::service
+
+#endif  // SILKROUTE_SERVICE_FEDERATED_EXECUTOR_H_

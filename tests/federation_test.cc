@@ -1,0 +1,261 @@
+// FederatedExecutor tests: table-keyed routing, breaker-gated failover to
+// the local backend with byte-identical XML, recovery after the remote
+// heals (injected breaker clock), and the full PublishingService running
+// over a federated execution stack.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/fault_injection.h"
+#include "service/federated_executor.h"
+#include "service/publishing_service.h"
+#include "silkroute/publisher.h"
+#include "silkroute/queries.h"
+#include "sql/ddl.h"
+#include "tests/test_util.h"
+
+namespace silkroute::service {
+namespace {
+
+using core::PlanStrategy;
+using core::Publisher;
+using core::PublishOptions;
+
+TEST(SqlReferencesTableTest, MatchesWholeIdentifiersOnly) {
+  EXPECT_TRUE(SqlReferencesTable("select * from Orders o", "Orders"));
+  EXPECT_TRUE(SqlReferencesTable("from Orders", "Orders"));
+  EXPECT_TRUE(SqlReferencesTable("join Orders on x", "Orders"));
+  // Substrings of longer identifiers must not match.
+  EXPECT_FALSE(SqlReferencesTable("select * from OrdersArchive", "Orders"));
+  EXPECT_FALSE(SqlReferencesTable("select o.BackOrders from T o", "Orders"));
+  EXPECT_FALSE(SqlReferencesTable("", "Orders"));
+  EXPECT_FALSE(SqlReferencesTable("select 1", ""));
+}
+
+// ---------------------------------------------------------------------------
+// A controllable fake backend: counts calls, fails on demand.
+
+class FakeExecutor : public engine::SqlExecutor {
+ public:
+  explicit FakeExecutor(engine::SqlExecutor* inner) : inner_(inner) {}
+
+  Result<engine::Relation> ExecuteSql(std::string_view sql) override {
+    return ExecuteSqlWithDeadline(sql, 0);
+  }
+  Result<engine::Relation> ExecuteSqlWithDeadline(std::string_view sql,
+                                                  double timeout_ms) override {
+    calls.fetch_add(1);
+    if (fail_with.load() != StatusCode::kOk) {
+      return Status(fail_with.load(), "injected backend failure");
+    }
+    return inner_->ExecuteSqlWithDeadline(sql, timeout_ms);
+  }
+  void set_timeout_ms(double) override {}
+
+  std::atomic<int> calls{0};
+  std::atomic<StatusCode> fail_with{StatusCode::kOk};
+
+ private:
+  engine::SqlExecutor* inner_;
+};
+
+struct FederationFixture {
+  std::unique_ptr<Database> db;
+  engine::DatabaseExecutor local;
+  engine::DatabaseExecutor remote_inner;
+  FakeExecutor remote;
+  double now = 0;
+
+  FederationFixture()
+      : db(core::testutil::MakeTinyTpch(0.002)),
+        local(db.get()),
+        remote_inner(db.get()),
+        remote(&remote_inner) {}
+
+  FederatedExecutorOptions Options(std::vector<std::string> remote_tables) {
+    FederatedExecutorOptions options;
+    options.local = &local;
+    options.remotes.push_back({"east", &remote, std::move(remote_tables)});
+    options.breaker.failure_threshold = 2;
+    options.breaker.open_ms = 100;
+    options.breaker.now_ms = [this] { return now; };
+    return options;
+  }
+};
+
+TEST(FederatedExecutorTest, RoutesByTableOwnership) {
+  FederationFixture f;
+  FederatedExecutor fed(f.Options({"Supplier", "PartSupp"}));
+  EXPECT_EQ(fed.RouteFor("select * from Supplier s"), "east");
+  EXPECT_EQ(fed.RouteFor("select * from PartSupp ps"), "east");
+  EXPECT_EQ(fed.RouteFor("select * from Orders o"), "local");
+  EXPECT_EQ(fed.RouteFor("select * from SupplierX"), "local");
+
+  auto remote_result = fed.ExecuteSql("select suppkey from Supplier");
+  ASSERT_TRUE(remote_result.ok()) << remote_result.status();
+  EXPECT_EQ(f.remote.calls.load(), 1);
+  EXPECT_EQ(fed.remote_queries(), 1u);
+
+  auto local_result = fed.ExecuteSql("select orderkey from Orders");
+  ASSERT_TRUE(local_result.ok()) << local_result.status();
+  EXPECT_EQ(f.remote.calls.load(), 1);  // untouched
+  EXPECT_EQ(fed.local_queries(), 1u);
+}
+
+TEST(FederatedExecutorTest, CatchAllRemoteClaimsEverything) {
+  FederationFixture f;
+  FederatedExecutor fed(f.Options({}));  // empty table list = catch-all
+  EXPECT_EQ(fed.RouteFor("select * from Orders"), "east");
+}
+
+TEST(FederatedExecutorTest, SourceFailureFailsOverAndIsIdentical) {
+  FederationFixture f;
+  FederatedExecutor fed(f.Options({"Supplier"}));
+  const std::string sql_fixed =
+      "select suppkey from Supplier order by suppkey";
+
+  auto healthy = fed.ExecuteSql(sql_fixed);
+  ASSERT_TRUE(healthy.ok()) << healthy.status();
+
+  f.remote.fail_with.store(StatusCode::kUnavailable);
+  auto failed_over = fed.ExecuteSql(sql_fixed);
+  ASSERT_TRUE(failed_over.ok()) << failed_over.status();
+  EXPECT_EQ(fed.failovers(), 1u);
+  // Both backends serve the same logical data: identical relations.
+  ASSERT_EQ(failed_over->rows.size(), healthy->rows.size());
+  for (size_t i = 0; i < healthy->rows.size(); ++i) {
+    EXPECT_EQ(failed_over->rows[i], healthy->rows[i]);
+  }
+}
+
+TEST(FederatedExecutorTest, BreakerTripsThenFastFailsWithoutTouchingRemote) {
+  FederationFixture f;
+  FederatedExecutor fed(f.Options({"Supplier"}));
+  f.remote.fail_with.store(StatusCode::kUnavailable);
+  const std::string sql = "select suppkey from Supplier";
+
+  // failure_threshold = 2: two source failures trip the breaker.
+  ASSERT_TRUE(fed.ExecuteSql(sql).ok());  // failover each time
+  ASSERT_TRUE(fed.ExecuteSql(sql).ok());
+  EXPECT_EQ(f.remote.calls.load(), 2);
+  EXPECT_EQ(fed.breakers()->Get("east")->state(), BreakerState::kOpen);
+
+  // While open, the remote is not touched at all: pure fast-fail failover.
+  ASSERT_TRUE(fed.ExecuteSql(sql).ok());
+  ASSERT_TRUE(fed.ExecuteSql(sql).ok());
+  EXPECT_EQ(f.remote.calls.load(), 2);
+  EXPECT_EQ(fed.fast_fail_failovers(), 2u);
+  EXPECT_EQ(fed.failovers(), 4u);
+}
+
+TEST(FederatedExecutorTest, RemoteRecoveryRestoresRemoteRouting) {
+  FederationFixture f;
+  FederatedExecutor fed(f.Options({"Supplier"}));
+  const std::string sql = "select suppkey from Supplier";
+
+  f.remote.fail_with.store(StatusCode::kUnavailable);
+  ASSERT_TRUE(fed.ExecuteSql(sql).ok());
+  ASSERT_TRUE(fed.ExecuteSql(sql).ok());
+  ASSERT_EQ(fed.breakers()->Get("east")->state(), BreakerState::kOpen);
+
+  // The remote heals; after open_ms the breaker admits a probe, the probe
+  // succeeds, and traffic returns to the remote.
+  f.remote.fail_with.store(StatusCode::kOk);
+  f.now += 150;  // past open_ms = 100
+  int calls_before = f.remote.calls.load();
+  ASSERT_TRUE(fed.ExecuteSql(sql).ok());
+  EXPECT_EQ(f.remote.calls.load(), calls_before + 1);  // the probe ran remote
+  EXPECT_EQ(fed.breakers()->Get("east")->state(), BreakerState::kClosed);
+  ASSERT_TRUE(fed.ExecuteSql(sql).ok());
+  EXPECT_EQ(f.remote.calls.load(), calls_before + 2);
+}
+
+TEST(FederatedExecutorTest, NonSourceErrorDoesNotFailOverOrTrip) {
+  FederationFixture f;
+  FederatedExecutor fed(f.Options({"Supplier"}));
+  f.remote.fail_with.store(StatusCode::kInternal);
+  auto result = fed.ExecuteSql("select suppkey from Supplier");
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(fed.failovers(), 0u);
+  EXPECT_EQ(fed.breakers()->Get("east")->state(), BreakerState::kClosed);
+}
+
+TEST(FederatedExecutorTest, FailoverDisabledSurfacesTheRemoteError) {
+  FederationFixture f;
+  auto options = f.Options({"Supplier"});
+  options.failover_to_local = false;
+  FederatedExecutor fed(std::move(options));
+  f.remote.fail_with.store(StatusCode::kUnavailable);
+  auto result = fed.ExecuteSql("select suppkey from Supplier");
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(fed.failovers(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Service integration: the PublishingService running over a federated
+// executor produces byte-identical XML whether the remote is healthy,
+// failing over, or fast-failing on an open breaker.
+
+std::string SerialReference(const Database* db) {
+  Publisher publisher(db);
+  PublishOptions options;
+  options.strategy = PlanStrategy::kFullyPartitioned;
+  std::ostringstream out;
+  auto result = publisher.Publish(core::Query1Rxl(), options, &out);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return out.str();
+}
+
+TEST(FederatedServiceTest, ByteIdenticalXmlAcrossFailoverStates) {
+  FederationFixture f;
+  std::string reference = SerialReference(f.db.get());
+  FederatedExecutor fed(f.Options({"Supplier", "PartSupp"}));
+
+  ServiceOptions service_options;
+  service_options.workers = 4;
+  service_options.executor = &fed;
+  service_options.retry.max_attempts = 1;
+  PublishingService service(f.db.get(), service_options);
+
+  ServiceRequest request;
+  request.rxl = core::Query1Rxl();
+  request.options.strategy = PlanStrategy::kFullyPartitioned;
+
+  // Healthy: remote serves its tables.
+  ServiceResponse healthy = service.Publish(request);
+  ASSERT_TRUE(healthy.status.ok()) << healthy.status;
+  EXPECT_EQ(healthy.xml, reference);
+  EXPECT_GT(fed.remote_queries(), 0u);
+
+  // Remote down: every component falls back to local, same bytes.
+  f.remote.fail_with.store(StatusCode::kUnavailable);
+  ServiceResponse degraded = service.Publish(request);
+  ASSERT_TRUE(degraded.status.ok()) << degraded.status;
+  EXPECT_EQ(degraded.xml, reference);
+  EXPECT_GT(fed.failovers(), 0u);
+
+  // Breaker now open: fast-fail failover, still the same bytes.
+  ASSERT_EQ(fed.breakers()->Get("east")->state(), BreakerState::kOpen);
+  int remote_calls = f.remote.calls.load();
+  ServiceResponse fast_failed = service.Publish(request);
+  ASSERT_TRUE(fast_failed.status.ok()) << fast_failed.status;
+  EXPECT_EQ(fast_failed.xml, reference);
+  EXPECT_EQ(f.remote.calls.load(), remote_calls);  // remote untouched
+
+  // Recovery: remote heals, breaker re-closes, remote serves again.
+  f.remote.fail_with.store(StatusCode::kOk);
+  f.now += 150;
+  uint64_t remote_before = fed.remote_queries();
+  ServiceResponse recovered = service.Publish(request);
+  ASSERT_TRUE(recovered.status.ok()) << recovered.status;
+  EXPECT_EQ(recovered.xml, reference);
+  EXPECT_GT(fed.remote_queries(), remote_before);
+  EXPECT_EQ(fed.breakers()->Get("east")->state(), BreakerState::kClosed);
+}
+
+}  // namespace
+}  // namespace silkroute::service

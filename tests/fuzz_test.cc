@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "engine/tuple_stream.h"
+#include "net/wire.h"
 #include "rxl/parser.h"
 #include "silkroute/queries.h"
 #include "silkroute/subview.h"
@@ -99,6 +101,111 @@ TEST(FuzzTest, SubviewPathParserNeverCrashes) {
   FuzzParser(106,
              [](const std::string& s) { (void)core::ParseSubviewPath(s); },
              "/supplier[nation='FRANCE'][x=42]/part/order[orderkey=7]");
+}
+
+// --- Binary decoders (the wire protocol's hostile-input surface) ----------
+// These see bytes straight off a network socket, so unlike the text parsers
+// above they are fuzzed with binary corruption of *valid* encodings: every
+// truncation, and seeded byte flips — the exact damage FlakyProxy inflicts.
+
+std::string MutateBinary(Random* rng, std::string_view base) {
+  std::string s(base);
+  int edits = static_cast<int>(rng->Uniform(1, 8));
+  for (int i = 0; i < edits && !s.empty(); ++i) {
+    size_t pos = static_cast<size_t>(
+        rng->Uniform(0, static_cast<int64_t>(s.size()) - 1));
+    switch (rng->Uniform(0, 2)) {
+      case 0:
+        s[pos] = static_cast<char>(rng->Next() & 0xFF);
+        break;
+      case 1:
+        s.erase(pos, 1);
+        break;
+      default:
+        s.insert(pos, 1, static_cast<char>(rng->Next() & 0xFF));
+    }
+  }
+  return s;
+}
+
+template <typename Decoder>
+void FuzzBinaryDecoder(uint64_t seed, Decoder decode,
+                       const std::string& valid) {
+  // Every prefix truncation of a valid encoding must fail cleanly.
+  for (size_t cut = 0; cut < valid.size(); ++cut) {
+    decode(valid.substr(0, cut));
+  }
+  Random rng(seed);
+  for (int i = 0; i < 2000; ++i) {
+    decode(RandomBytes(&rng, 256));
+    decode(MutateBinary(&rng, valid));
+  }
+  decode(valid);  // and the pristine encoding still decodes after all that
+}
+
+TEST(FuzzTest, WireFrameHeaderDecoderNeverCrashes) {
+  net::FrameHeader header;
+  header.type = net::FrameType::kRequest;
+  header.request_id = 7;
+  header.budget_us = 1234567;
+  header.payload_len = 42;
+  std::string valid;
+  net::EncodeFrameHeader(header, &valid);
+  FuzzBinaryDecoder(
+      201, [](const std::string& s) { (void)net::DecodeFrameHeader(s); },
+      valid);
+}
+
+TEST(FuzzTest, WireRelationDecoderNeverCrashes) {
+  engine::Relation relation;
+  relation.schema.Add({"s", "suppkey"});
+  relation.schema.Add({"s", "name"});
+  relation.schema.Add({"s", "balance"});
+  for (int i = 0; i < 5; ++i) {
+    relation.rows.push_back(Tuple{
+        Value::Int64(i), Value::String("supplier-" +
+                                                        std::to_string(i)),
+        i % 2 == 0 ? Value::Double(i * 1.5) : Value::Null()});
+  }
+  std::string valid;
+  net::SerializeRelation(relation, &valid);
+  FuzzBinaryDecoder(
+      202, [](const std::string& s) { (void)net::DeserializeRelation(s); },
+      valid);
+}
+
+TEST(FuzzTest, WireErrorAndEndPayloadDecodersNeverCrash) {
+  std::string valid_error;
+  net::EncodeErrorPayload(Status::Timeout("deadline exceeded"), &valid_error);
+  FuzzBinaryDecoder(203,
+                    [](const std::string& s) {
+                      Status carried = Status::OK();
+                      (void)net::DecodeErrorPayload(s, &carried);
+                    },
+                    valid_error);
+  std::string valid_end;
+  net::EncodeEndPayload({12, 3456}, &valid_end);
+  FuzzBinaryDecoder(
+      204, [](const std::string& s) { (void)net::DecodeEndPayload(s); },
+      valid_end);
+  std::string valid_request;
+  net::EncodeRequestPayload("select 1 from Supplier", &valid_request);
+  FuzzBinaryDecoder(
+      205, [](const std::string& s) { (void)net::DecodeRequestPayload(s); },
+      valid_request);
+}
+
+TEST(FuzzTest, TupleDecoderNeverCrashes) {
+  Tuple t{Value::Int64(-7), Value::Double(3.25),
+                  Value::String("héllo"), Value::Null()};
+  std::string valid;
+  engine::SerializeTuple(t, &valid);
+  FuzzBinaryDecoder(206,
+                    [](const std::string& s) {
+                      size_t offset = 0;
+                      (void)engine::DeserializeTuple(s, &offset);
+                    },
+                    valid);
 }
 
 TEST(FuzzTest, RoundTripSurvivorsStillRoundTrip) {

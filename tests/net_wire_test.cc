@@ -1,0 +1,263 @@
+// Wire protocol codec tests: byte-exact header layout, round-trips for
+// every payload kind, exhaustive prefix truncation, and hostile inputs
+// (forged magic/version/type/flags/lengths) — all must yield
+// kInvalidArgument, never UB or a partial value.
+#include <gtest/gtest.h>
+
+#include "net/wire.h"
+
+namespace silkroute::net {
+namespace {
+
+FrameHeader MakeHeader() {
+  FrameHeader header;
+  header.type = FrameType::kChunk;
+  header.request_id = 0x1122334455667788ull;
+  header.budget_us = 2'500'000;
+  header.payload_len = 64;
+  header.payload_hash = 0xA0A1A2A3A4A5A6A7ull;
+  return header;
+}
+
+TEST(NetWireTest, HeaderLayoutIsByteExact) {
+  std::string bytes;
+  EncodeFrameHeader(MakeHeader(), &bytes);
+  ASSERT_EQ(bytes.size(), kFrameHeaderSize);
+  // Magic "SRK1" little-endian: 0x53524B31 -> 31 4B 52 53.
+  EXPECT_EQ(static_cast<uint8_t>(bytes[0]), 0x31);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[1]), 0x4B);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[2]), 0x52);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[3]), 0x53);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[4]), kWireVersion);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[5]),
+            static_cast<uint8_t>(FrameType::kChunk));
+  EXPECT_EQ(static_cast<uint8_t>(bytes[6]), 0);  // flags
+  EXPECT_EQ(static_cast<uint8_t>(bytes[7]), 0);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[8]), 0x88);   // request_id LE
+  EXPECT_EQ(static_cast<uint8_t>(bytes[15]), 0x11);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[24]), 64);    // payload_len LE
+  EXPECT_EQ(static_cast<uint8_t>(bytes[28]), 0xA7);  // payload_hash LE
+  EXPECT_EQ(static_cast<uint8_t>(bytes[35]), 0xA0);
+}
+
+TEST(NetWireTest, HeaderRoundTrips) {
+  std::string bytes;
+  EncodeFrameHeader(MakeHeader(), &bytes);
+  auto back = DecodeFrameHeader(bytes);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->version, kWireVersion);
+  EXPECT_EQ(back->type, FrameType::kChunk);
+  EXPECT_EQ(back->flags, 0);
+  EXPECT_EQ(back->request_id, 0x1122334455667788ull);
+  EXPECT_EQ(back->budget_us, 2'500'000u);
+  EXPECT_EQ(back->payload_len, 64u);
+  EXPECT_EQ(back->payload_hash, 0xA0A1A2A3A4A5A6A7ull);
+}
+
+TEST(NetWireTest, FrameHashCoversHeaderAndPayload) {
+  FrameHeader header = MakeHeader();
+  uint64_t base = FrameHash(header, "payload");
+  EXPECT_EQ(FrameHash(header, "payload"), base);  // deterministic
+  // Any single change to the payload or a covered header field moves it.
+  EXPECT_NE(FrameHash(header, "paxload"), base);
+  EXPECT_NE(FrameHash(header, "payloa"), base);
+  FrameHeader other = header;
+  other.request_id ^= 1;
+  EXPECT_NE(FrameHash(other, "payload"), base);
+  other = header;
+  other.budget_us ^= 1;
+  EXPECT_NE(FrameHash(other, "payload"), base);
+  other = header;
+  other.type = FrameType::kEnd;
+  EXPECT_NE(FrameHash(other, "payload"), base);
+  // The hash field itself is not covered (it cannot hash itself).
+  other = header;
+  other.payload_hash ^= 0xFFFF;
+  EXPECT_EQ(FrameHash(other, "payload"), base);
+}
+
+TEST(NetWireTest, EveryHeaderTruncationRejected) {
+  std::string bytes;
+  EncodeFrameHeader(MakeHeader(), &bytes);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    auto result = DecodeFrameHeader(bytes.substr(0, cut));
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument) << cut;
+  }
+}
+
+TEST(NetWireTest, HostileHeaderFieldsRejected) {
+  std::string good;
+  EncodeFrameHeader(MakeHeader(), &good);
+
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  EXPECT_EQ(DecodeFrameHeader(bad_magic).status().code(),
+            StatusCode::kInvalidArgument);
+
+  std::string bad_version = good;
+  bad_version[4] = 9;
+  EXPECT_EQ(DecodeFrameHeader(bad_version).status().code(),
+            StatusCode::kInvalidArgument);
+
+  std::string bad_type = good;
+  bad_type[5] = 0;
+  EXPECT_EQ(DecodeFrameHeader(bad_type).status().code(),
+            StatusCode::kInvalidArgument);
+  bad_type[5] = 5;
+  EXPECT_EQ(DecodeFrameHeader(bad_type).status().code(),
+            StatusCode::kInvalidArgument);
+
+  std::string bad_flags = good;
+  bad_flags[6] = 1;
+  EXPECT_EQ(DecodeFrameHeader(bad_flags).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // An oversized length prefix — the torn/garbage-length case — must be
+  // rejected before any allocation happens.
+  std::string bad_len = good;
+  bad_len[24] = '\xFF';
+  bad_len[25] = '\xFF';
+  bad_len[26] = '\xFF';
+  bad_len[27] = '\xFF';
+  EXPECT_EQ(DecodeFrameHeader(bad_len).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // The same length under a tightened per-call cap.
+  std::string capped = good;  // payload_len = 64
+  EXPECT_EQ(DecodeFrameHeader(capped, /*max_payload=*/16).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(DecodeFrameHeader(capped, /*max_payload=*/64).ok());
+}
+
+TEST(NetWireTest, RequestPayloadRoundTrips) {
+  std::string payload;
+  EncodeRequestPayload("select s.suppkey from Supplier s", &payload);
+  auto back = DecodeRequestPayload(payload);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, "select s.suppkey from Supplier s");
+
+  // Trailing junk after the declared SQL is a framing bug — rejected.
+  payload.push_back('x');
+  EXPECT_EQ(DecodeRequestPayload(payload).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NetWireTest, ErrorPayloadRoundTripsEveryCode) {
+  for (auto code : {StatusCode::kTimeout, StatusCode::kUnavailable,
+                    StatusCode::kInvalidArgument, StatusCode::kInternal}) {
+    std::string payload;
+    EncodeErrorPayload(Status(code, "the message"), &payload);
+    Status carried = Status::OK();
+    ASSERT_TRUE(DecodeErrorPayload(payload, &carried).ok());
+    EXPECT_EQ(carried.code(), code);
+    EXPECT_EQ(carried.message(), "the message");
+  }
+}
+
+TEST(NetWireTest, HostileErrorPayloadRejected) {
+  Status carried = Status::OK();
+  // Status code 0 (OK) or far out of range cannot be carried as an error.
+  std::string zero("\0\0\0\0\0\0\0\0", 8);
+  EXPECT_EQ(DecodeErrorPayload(zero, &carried).code(),
+            StatusCode::kInvalidArgument);
+  std::string huge("\xFF\xFF\xFF\xFF\0\0\0\0", 8);
+  EXPECT_EQ(DecodeErrorPayload(huge, &carried).code(),
+            StatusCode::kInvalidArgument);
+  // Message length prefix longer than the payload.
+  std::string torn;
+  EncodeErrorPayload(Status::Timeout("abcdef"), &torn);
+  torn.resize(torn.size() - 3);
+  EXPECT_EQ(DecodeErrorPayload(torn, &carried).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NetWireTest, EndPayloadRoundTripsAndRejectsWrongSize) {
+  std::string payload;
+  EncodeEndPayload({123, 45678}, &payload);
+  auto back = DecodeEndPayload(payload);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->rows, 123u);
+  EXPECT_EQ(back->relation_bytes, 45678u);
+  EXPECT_EQ(DecodeEndPayload(payload.substr(0, 15)).status().code(),
+            StatusCode::kInvalidArgument);
+  payload.push_back('\0');
+  EXPECT_EQ(DecodeEndPayload(payload).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+engine::Relation MakeRelation() {
+  engine::Relation relation;
+  relation.schema.Add({"s", "suppkey"});
+  relation.schema.Add({"", "name"});
+  relation.rows.push_back(Tuple{Value::Int64(1),
+                                        Value::String("alpha")});
+  relation.rows.push_back(Tuple{Value::Int64(2),
+                                        Value::Null()});
+  relation.rows.push_back(Tuple{Value::Int64(3),
+                                        Value::String("")});
+  return relation;
+}
+
+TEST(NetWireTest, RelationRoundTrips) {
+  engine::Relation relation = MakeRelation();
+  std::string bytes;
+  SerializeRelation(relation, &bytes);
+  auto back = DeserializeRelation(bytes);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->schema.size(), relation.schema.size());
+  EXPECT_EQ(back->schema.column(0).qualifier, "s");
+  EXPECT_EQ(back->schema.column(0).name, "suppkey");
+  EXPECT_EQ(back->schema.column(1).name, "name");
+  ASSERT_EQ(back->rows.size(), relation.rows.size());
+  for (size_t i = 0; i < relation.rows.size(); ++i) {
+    EXPECT_EQ(back->rows[i], relation.rows[i]) << i;
+  }
+}
+
+TEST(NetWireTest, EmptyRelationRoundTrips) {
+  engine::Relation relation;
+  std::string bytes;
+  SerializeRelation(relation, &bytes);
+  auto back = DeserializeRelation(bytes);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->schema.size(), 0u);
+  EXPECT_TRUE(back->rows.empty());
+}
+
+TEST(NetWireTest, EveryRelationTruncationRejected) {
+  std::string bytes;
+  SerializeRelation(MakeRelation(), &bytes);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    auto result = DeserializeRelation(bytes.substr(0, cut));
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument) << cut;
+  }
+  // And trailing bytes after the last row are rejected too.
+  bytes.push_back('\0');
+  EXPECT_EQ(DeserializeRelation(bytes).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NetWireTest, HostileRelationCountsRejected) {
+  // Forged column count with nothing behind it.
+  std::string cols("\xFF\xFF\xFF\x7F", 4);
+  EXPECT_EQ(DeserializeRelation(cols).status().code(),
+            StatusCode::kInvalidArgument);
+  // Valid empty schema, forged row count.
+  std::string rows("\0\0\0\0\xFF\xFF\xFF\xFF\xFF\xFF\xFF\x7F", 12);
+  EXPECT_EQ(DeserializeRelation(rows).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NetWireTest, RowColumnCountMismatchRejected) {
+  // A row whose value count disagrees with the schema is a protocol
+  // violation even when the bytes decode cleanly as a tuple.
+  engine::Relation relation = MakeRelation();
+  relation.rows[1] = Tuple{Value::Int64(9)};
+  std::string bytes;
+  SerializeRelation(relation, &bytes);
+  EXPECT_EQ(DeserializeRelation(bytes).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace silkroute::net

@@ -418,6 +418,24 @@ TEST(ExportTest, PrometheusTextMatchesGoldenFile) {
       .counter(LabeledName("silkroute_breaker_trips_total",
                            {{"table", "PartSupp"}}))
       ->Add(1);
+  // The federation's per-backend dimension: breaker series keyed by
+  // backend instead of table, plus the wire-level client counters.
+  registry
+      .counter(LabeledName("silkroute_breaker_trips_total",
+                           {{"backend", "east"}}))
+      ->Add(1);
+  registry
+      .counter(LabeledName("silkroute_federation_failovers_total",
+                           {{"backend", "east"}}))
+      ->Add(2);
+  registry
+      .counter(LabeledName("silkroute_net_reconnects_total",
+                           {{"backend", "east"}}))
+      ->Add(3);
+  registry
+      .counter(LabeledName("silkroute_net_decode_errors_total",
+                           {{"backend", "east"}}))
+      ->Add(1);
   registry.gauge("silkroute_pool_queue_depth")->Set(3);
   Histogram* h = registry.histogram("silkroute_request_us");
   for (uint64_t v : {0u, 1u, 2u, 3u, 5u, 8u, 100u, 1000u, 4096u}) {

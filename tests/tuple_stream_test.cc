@@ -53,7 +53,31 @@ TEST(TupleStreamTest, BadTagIsError) {
   wire[4] = 99;  // corrupt the field tag
   size_t offset = 0;
   EXPECT_EQ(DeserializeTuple(wire, &offset).status().code(),
-            StatusCode::kParseError);
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TupleStreamTest, HostileValueCountRejectedBeforeAllocation) {
+  // A forged header claiming 4 billion values must fail fast (the real
+  // buffer has almost no bytes), not attempt a giant reserve.
+  std::string wire("\xFF\xFF\xFF\xFF", 4);
+  wire.push_back('\0');  // one stray byte after the forged count
+  size_t offset = 0;
+  auto result = DeserializeTuple(wire, &offset);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TupleStreamTest, HostileStringLengthRejected) {
+  // A string length near UINT32_MAX must not wrap the bounds check.
+  std::string wire;
+  SerializeTuple(Tuple{Value::String("abc")}, &wire);
+  // Value count (4 bytes) + tag (1) puts the length prefix at offset 5.
+  wire[5] = '\xFC';
+  wire[6] = '\xFF';
+  wire[7] = '\xFF';
+  wire[8] = '\xFF';
+  size_t offset = 0;
+  auto result = DeserializeTuple(wire, &offset);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(TupleStreamTest, StreamYieldsAllTuplesInOrder) {

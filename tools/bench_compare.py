@@ -36,6 +36,14 @@ import json
 import os
 import sys
 
+# Per-file tolerance floors. The service-load report includes a remote
+# scenario over a real loopback socket; kernel scheduling and RTT variance
+# there dwarf the compiled-code noise the default band is sized for. The
+# effective tolerance for a file is max(--tolerance, this floor).
+FILE_TOLERANCE = {
+    "BENCH_service_load.json": 0.6,
+}
+
 # BenchReport value keys that vary run-to-run / machine-to-machine and
 # carry no regression signal of their own.
 NONDETERMINISTIC_KEYS = {
@@ -146,8 +154,9 @@ def main():
         if not os.path.exists(cand_path):
             print(f"bench_compare: {f}: not produced by candidate, skipped")
             continue
+        tolerance = max(args.tolerance, FILE_TOLERANCE.get(f, 0.0))
         failures += compare_file(
-            f, os.path.join(args.baseline_dir, f), cand_path, args.tolerance
+            f, os.path.join(args.baseline_dir, f), cand_path, tolerance
         )
         compared += 1
 

@@ -1,0 +1,39 @@
+#!/bin/sh
+# End-to-end smoke of the networked federation CLI: start an engine server
+# on an ephemeral port, publish the demo view through --connect (remote
+# executor) and --connect --federate all (failover router), and require
+# both documents to be byte-identical to the local publish.
+#
+#   serve_smoke.sh CLI_BINARY SCHEMA VIEW WORKDIR
+set -e
+CLI="$1"
+SCHEMA="$2"
+VIEW="$3"
+WORK="$4"
+
+PORTFILE="$WORK/serve_port.txt"
+rm -f "$PORTFILE"
+"$CLI" --schema "$SCHEMA" --serve 0 --port-file "$PORTFILE" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true; wait "$SERVER_PID" 2>/dev/null || true' EXIT
+
+i=0
+while [ "$i" -lt 100 ]; do
+  [ -s "$PORTFILE" ] && break
+  i=$((i + 1))
+  sleep 0.1
+done
+[ -s "$PORTFILE" ] || { echo "server never wrote the port file" >&2; exit 1; }
+PORT=$(cat "$PORTFILE")
+
+"$CLI" --schema "$SCHEMA" --view "$VIEW" --root league \
+  --output "$WORK/serve_smoke_local.xml"
+"$CLI" --schema "$SCHEMA" --view "$VIEW" --root league \
+  --connect "127.0.0.1:$PORT" --output "$WORK/serve_smoke_remote.xml"
+"$CLI" --schema "$SCHEMA" --view "$VIEW" --root league \
+  --connect "127.0.0.1:$PORT" --federate all --concurrency 4 \
+  --output "$WORK/serve_smoke_federated.xml"
+
+cmp "$WORK/serve_smoke_local.xml" "$WORK/serve_smoke_remote.xml"
+cmp "$WORK/serve_smoke_local.xml" "$WORK/serve_smoke_federated.xml"
+echo "serve smoke OK (port $PORT)"

@@ -26,17 +26,35 @@
 //   --trace FILE       write the span trace as JSONL (see tools/trace_check)
 //   --prom FILE        write metrics in Prometheus text exposition format
 //   --stats            print the metrics summary table on stderr
+//
+// Networked federation (DESIGN.md §12):
+//   --serve PORT       run as an engine server: load schema+data, answer
+//                      wire-protocol SQL requests until SIGINT/SIGTERM
+//                      (PORT 0 = ephemeral; no --view needed)
+//   --port-file FILE   with --serve: write the bound port to FILE once
+//                      listening (how scripts find an ephemeral port)
+//   --connect H:P      execute component SQL on the engine server at H:P
+//                      instead of the local engine
+//   --federate LIST    with --connect: route only the comma-separated
+//                      tables to the remote ("all" = every table), fall
+//                      back to the locally loaded data when it is down
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
+#include <thread>
 
 #include "common/timer.h"
+#include "net/remote_executor.h"
+#include "net/server.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "relational/csv.h"
+#include "service/federated_executor.h"
 #include "service/publishing_service.h"
 #include "silkroute/dtdgen.h"
 #include "silkroute/partition.h"
@@ -69,7 +87,14 @@ struct Args {
   std::string trace;        // JSONL span trace output path
   std::string prom;         // Prometheus text output path
   bool stats = false;       // metrics table on stderr
+  int serve = -1;           // >=0: run as an engine server on this port
+  std::string port_file;    // with --serve: write the bound port here
+  std::string connect;      // host:port of a remote engine server
+  std::string federate;     // comma-separated remote tables, or "all"
 };
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleStopSignal(int) { g_stop = 1; }
 
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
@@ -78,7 +103,9 @@ int Usage(const char* argv0) {
                "partitioned|outer-union] [--subview path] [--explain] "
                "[--dtd] [--pretty] [--no-reduce] [--concurrency N] "
                "[--engine-threads N] [--deadline-ms D] [--requests N] "
-               "[--trace file] [--prom file] [--stats]\n";
+               "[--trace file] [--prom file] [--stats] "
+               "[--serve port [--port-file file]] [--connect host:port "
+               "[--federate table,...|all]]\n";
   return 2;
 }
 
@@ -152,12 +179,27 @@ int main(int argc, char** argv) {
       if (args.prom.empty()) return Usage(argv[0]);
     } else if (flag == "--stats") {
       args.stats = true;
+    } else if (flag == "--serve") {
+      args.serve = next() ? std::atoi(argv[i]) : -1;
+      if (args.serve < 0 || args.serve > 65535) return Usage(argv[0]);
+    } else if (flag == "--port-file") {
+      args.port_file = next() ? argv[i] : "";
+      if (args.port_file.empty()) return Usage(argv[0]);
+    } else if (flag == "--connect") {
+      args.connect = next() ? argv[i] : "";
+      if (args.connect.find(':') == std::string::npos) return Usage(argv[0]);
+    } else if (flag == "--federate") {
+      args.federate = next() ? argv[i] : "";
+      if (args.federate.empty()) return Usage(argv[0]);
     } else {
       std::cerr << "unknown flag '" << flag << "'\n";
       return Usage(argv[0]);
     }
   }
-  if (args.schema.empty() || args.view.empty()) return Usage(argv[0]);
+  // A server answers SQL; it never compiles a view of its own.
+  if (args.schema.empty()) return Usage(argv[0]);
+  if (args.view.empty() && args.serve < 0) return Usage(argv[0]);
+  if (!args.federate.empty() && args.connect.empty()) return Usage(argv[0]);
 
   // 1. Schema.
   Database db;
@@ -189,6 +231,42 @@ int main(int argc, char** argv) {
   const double load_ms = load_timer.ElapsedMillis();
   std::cerr << "loaded " << total_rows << " row(s), "
             << db.TotalByteSize() << " bytes in " << load_ms << " ms\n";
+
+  // Server mode: answer wire-protocol SQL requests over the loaded data
+  // until a stop signal. The publisher side of the federation runs
+  // elsewhere with --connect.
+  if (args.serve >= 0) {
+    std::signal(SIGINT, HandleStopSignal);
+    std::signal(SIGTERM, HandleStopSignal);
+    net::EngineServerOptions server_options;
+    server_options.port = static_cast<uint16_t>(args.serve);
+    server_options.workers =
+        args.concurrency > 0 ? static_cast<size_t>(args.concurrency) : 4;
+    server_options.engine_threads = args.engine_threads;
+    net::EngineServer server(&db, server_options);
+    auto started = server.Start();
+    if (!started.ok()) {
+      std::cerr << "error: " << started << "\n";
+      return 1;
+    }
+    if (!args.port_file.empty()) {
+      std::ofstream port_out(args.port_file);
+      if (!port_out.is_open()) {
+        std::cerr << "error: cannot write '" << args.port_file << "'\n";
+        return 1;
+      }
+      port_out << server.port() << "\n";
+    }
+    std::cerr << "serving on port " << server.port() << "\n";
+    while (g_stop == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    server.Shutdown();
+    std::cerr << "served " << server.requests_served() << " request(s), "
+              << server.requests_failed() << " failed, "
+              << server.connections_accepted() << " connection(s)\n";
+    return 0;
+  }
 
   // 3. View.
   auto view_text = ReadFile(args.view);
@@ -313,6 +391,45 @@ int main(int argc, char** argv) {
     return true;
   };
 
+  // Federation: component SQL goes to a remote engine server, optionally
+  // split by table ownership with the local engine as failover target.
+  std::unique_ptr<net::RemoteSqlExecutor> remote_executor;
+  std::unique_ptr<engine::DatabaseExecutor> local_executor;
+  std::unique_ptr<service::FederatedExecutor> federated_executor;
+  engine::SqlExecutor* executor = nullptr;
+  if (!args.connect.empty()) {
+    size_t colon = args.connect.find_last_of(':');
+    net::RemoteExecutorOptions remote_options;
+    remote_options.host = args.connect.substr(0, colon);
+    remote_options.port =
+        static_cast<uint16_t>(std::atoi(args.connect.c_str() + colon + 1));
+    remote_options.metrics = registry_ptr;
+    remote_executor =
+        std::make_unique<net::RemoteSqlExecutor>(remote_options);
+    if (!args.federate.empty()) {
+      local_executor = std::make_unique<engine::DatabaseExecutor>(&db);
+      service::FederatedBackendSpec spec;
+      spec.name = "remote";
+      spec.executor = remote_executor.get();
+      if (args.federate != "all") {
+        std::istringstream tables(args.federate);
+        std::string table;
+        while (std::getline(tables, table, ',')) {
+          if (!table.empty()) spec.tables.push_back(table);
+        }
+      }
+      service::FederatedExecutorOptions federated_options;
+      federated_options.local = local_executor.get();
+      federated_options.remotes.push_back(std::move(spec));
+      federated_options.metrics = registry_ptr;
+      federated_executor = std::make_unique<service::FederatedExecutor>(
+          std::move(federated_options));
+      executor = federated_executor.get();
+    } else {
+      executor = remote_executor.get();
+    }
+  }
+
   // Service mode: publish through the concurrent PublishingService with a
   // worker pool, admission control, circuit breakers, and deadlines.
   if (args.concurrency > 0 || args.requests > 1 || args.deadline_ms > 0) {
@@ -321,6 +438,7 @@ int main(int argc, char** argv) {
         args.concurrency > 0 ? static_cast<size_t>(args.concurrency) : 4;
     service_options.default_deadline_ms = args.deadline_ms;
     service_options.engine_threads = args.engine_threads;
+    service_options.executor = executor;  // null = built-in local engine
     service_options.tracer = tracer_ptr;
     service_options.metrics_registry = registry_ptr;
     service::PublishingService service(&db, service_options);
@@ -364,6 +482,7 @@ int main(int argc, char** argv) {
   }
 
   options.engine_threads = args.engine_threads;
+  options.executor = executor;  // null = built-in local engine
   options.tracer = tracer_ptr;
   options.metrics_registry = registry_ptr;
   auto result = publisher.Publish(rxl, options, out);

@@ -19,6 +19,7 @@
 #include "common/timer.h"
 #include "engine/fault_injection.h"
 #include "net/remote_executor.h"
+#include "net/replica_set.h"
 #include "net/server.h"
 #include "service/publishing_service.h"
 #include "silkroute/queries.h"
@@ -157,6 +158,35 @@ int main() {
   net::RemoteSqlExecutor remote(remote_options);
   Report("remote", RunLoad(db.get(), &remote, requests), requests, &report);
   remote.Shutdown();
+
+  // Replica set: the same load across three in-process replicas behind
+  // health-aware power-of-two-choices routing with hedging enabled. The
+  // interesting delta is against the single "remote" row: routing spreads
+  // in-flight work, so wall time should not regress despite the extra
+  // bookkeeping. Like "remote", compared with a loose tolerance.
+  net::EngineServer replica_b(db.get(), server_options);
+  net::EngineServer replica_c(db.get(), server_options);
+  if (replica_b.Start().ok() && replica_c.Start().ok()) {
+    net::ReplicaSetOptions set_options;
+    set_options.backend = "bench";
+    set_options.remote.port = 0;  // per-endpoint ports below
+    for (net::EngineServer* s : {&server, &replica_b, &replica_c}) {
+      net::ReplicaEndpoint endpoint;
+      endpoint.name = "r" + std::to_string(set_options.endpoints.size());
+      endpoint.host = "127.0.0.1";
+      endpoint.port = s->port();
+      set_options.endpoints.push_back(endpoint);
+    }
+    net::ReplicaSet set(set_options);
+    Report("replicas", RunLoad(db.get(), &set, requests), requests, &report);
+    std::printf("             hedges fired %zu  won %zu  ejections %zu\n",
+                set.hedges_fired(), set.hedges_won(), set.ejections());
+    set.Shutdown();
+  } else {
+    std::printf("replicas scenario skipped: extra replicas failed to start\n");
+  }
+  replica_b.Shutdown();
+  replica_c.Shutdown();
   server.Shutdown();
   return 0;
 }

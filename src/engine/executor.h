@@ -19,6 +19,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/result.h"
 #include "engine/rel_schema.h"
 #include "obs/metrics.h"
@@ -105,6 +106,26 @@ class SqlExecutor {
     set_timeout_ms(timeout_ms);
     return ExecuteSql(sql);
   }
+
+  /// Executes with a per-call deadline and a cooperative per-call cancel
+  /// token: cancelling it abandons *this call only*, leaving the executor
+  /// usable — how a hedged race cancels its loser (net/replica_set.h). The
+  /// default ignores the token, which is correct for executors whose calls
+  /// are short and local; transports that can block on a dead peer
+  /// override it.
+  virtual Result<Relation> ExecuteSqlCancellable(std::string_view sql,
+                                                 double timeout_ms,
+                                                 CancelToken* cancel) {
+    (void)cancel;
+    return ExecuteSqlWithDeadline(sql, timeout_ms);
+  }
+
+  /// Load/health hint for routers above: false means the executor knows a
+  /// call would fail fast right now (e.g. every replica of a replica set
+  /// is ejected), so the caller may skip it without charging the failure
+  /// to its own breakers. Must be cheap and side-effect-free; the default
+  /// is always-healthy.
+  virtual bool Healthy() const { return true; }
 };
 
 class QueryExecutor : public SqlExecutor {

@@ -59,11 +59,16 @@ FaultPlan FlakyProxy::PlanFor(uint64_t index) const {
 
   FaultPlan plan;
   if (!rng.Bernoulli(options_.fault_probability)) return plan;
-  switch (rng.Uniform(0, 3)) {
-    case 0: plan.kind = FaultKind::kRefuse; break;
-    case 1: plan.kind = FaultKind::kReset; break;
-    case 2: plan.kind = FaultKind::kGarbage; break;
-    default: plan.kind = FaultKind::kStall; break;
+  if (!options_.allowed_kinds.empty()) {
+    plan.kind = options_.allowed_kinds[static_cast<size_t>(rng.Uniform(
+        0, static_cast<int64_t>(options_.allowed_kinds.size()) - 1))];
+  } else {
+    switch (rng.Uniform(0, 3)) {
+      case 0: plan.kind = FaultKind::kRefuse; break;
+      case 1: plan.kind = FaultKind::kReset; break;
+      case 2: plan.kind = FaultKind::kGarbage; break;
+      default: plan.kind = FaultKind::kStall; break;
+    }
   }
   // Bias the trigger offset toward the start of the stream (squared uniform)
   // so frame headers and length prefixes are hit disproportionately often —

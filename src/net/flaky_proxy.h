@@ -64,6 +64,11 @@ struct FlakyProxyOptions {
   /// Faults trigger within the first `fault_window_bytes` of a stream —
   /// biased low so length prefixes and headers get hit often.
   uint64_t fault_window_bytes = 4096;
+  /// When non-empty, faulted connections draw their kind only from this
+  /// list (uniformly). Lets a chaos test cast a proxy in a role — a
+  /// stall-only "slow replica", a reset-biased "flapping replica" —
+  /// while keeping every draw on the same seeded stream.
+  std::vector<FaultKind> allowed_kinds;
 };
 
 class FlakyProxy {

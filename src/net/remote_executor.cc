@@ -18,6 +18,7 @@ RemoteSqlExecutor::RemoteSqlExecutor(RemoteExecutorOptions options)
     m_decode_errors_ = labeled("silkroute_net_decode_errors_total");
     m_frames_in_ = labeled("silkroute_net_frames_in_total");
     m_frames_out_ = labeled("silkroute_net_frames_out_total");
+    m_pool_pruned_ = labeled("silkroute_net_pool_pruned_total");
   }
 }
 
@@ -34,13 +35,32 @@ size_t RemoteSqlExecutor::pooled_connections() const {
   return idle_.size();
 }
 
+void RemoteSqlExecutor::PruneIdleLocked(
+    std::chrono::steady_clock::time_point now) {
+  if (options_.pool_idle_ttl_ms <= 0) return;
+  auto ttl = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(options_.pool_idle_ttl_ms));
+  size_t before = idle_.size();
+  // Connections park in LIFO order, so expired entries cluster at the
+  // front (oldest parked first).
+  auto it = idle_.begin();
+  while (it != idle_.end() && now - it->parked_at > ttl) ++it;
+  idle_.erase(idle_.begin(), it);
+  size_t pruned = before - idle_.size();
+  if (pruned > 0) {
+    pool_pruned_.fetch_add(pruned);
+    if (m_pool_pruned_ != nullptr) m_pool_pruned_->Add(pruned);
+  }
+}
+
 Result<Socket> RemoteSqlExecutor::AcquireConnection(const IoOptions& io,
                                                     bool* from_pool) {
   *from_pool = false;
   {
     std::lock_guard<std::mutex> lock(pool_mu_);
+    PruneIdleLocked(std::chrono::steady_clock::now());
     if (!idle_.empty()) {
-      Socket socket = std::move(idle_.back());
+      Socket socket = std::move(idle_.back().socket);
       idle_.pop_back();
       *from_pool = true;
       return socket;
@@ -57,7 +77,8 @@ Result<Socket> RemoteSqlExecutor::DialWithBackoff(const IoOptions& io) {
   for (int attempt = 0; attempt < std::max(1, options_.connect_attempts);
        ++attempt) {
     if (shutdown_.cancelled() ||
-        (options_.cancel != nullptr && options_.cancel->cancelled())) {
+        (options_.cancel != nullptr && options_.cancel->cancelled()) ||
+        (io.cancel3 != nullptr && io.cancel3->cancelled())) {
       return Status::Unavailable("remote executor cancelled while dialing");
     }
     if (io.has_deadline && std::chrono::steady_clock::now() >= io.deadline) {
@@ -106,20 +127,26 @@ Result<Socket> RemoteSqlExecutor::DialWithBackoff(const IoOptions& io) {
 
 void RemoteSqlExecutor::ReleaseConnection(Socket socket) {
   if (shutdown_.cancelled()) return;
+  auto now = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lock(pool_mu_);
+  PruneIdleLocked(now);
   if (idle_.size() < options_.max_pooled_connections) {
-    idle_.push_back(std::move(socket));
+    idle_.push_back(PooledConnection{std::move(socket), now});
   }
 }
 
-Result<engine::Relation> RemoteSqlExecutor::ExecuteSqlWithDeadline(
-    std::string_view sql, double timeout_ms) {
+Result<engine::Relation> RemoteSqlExecutor::ExecuteSqlCancellable(
+    std::string_view sql, double timeout_ms, CancelToken* cancel) {
   if (shutdown_.cancelled()) {
     return Status::Unavailable("remote executor is shut down");
+  }
+  if (cancel != nullptr && cancel->cancelled()) {
+    return Status::Unavailable("call cancelled");
   }
   IoOptions io;
   io.cancel = &shutdown_;
   io.cancel2 = options_.cancel;
+  io.cancel3 = cancel;
   io.poll_interval_ms = options_.poll_interval_ms;
   bool has_deadline = timeout_ms > 0;
   auto deadline =

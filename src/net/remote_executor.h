@@ -52,6 +52,12 @@ struct RemoteExecutorOptions {
   uint16_t port = 0;
   /// Idle connections kept for reuse (concurrent calls may open more).
   size_t max_pooled_connections = 8;
+  /// Idle connections parked longer than this are closed instead of
+  /// reused (and swept opportunistically on every park/acquire), so a
+  /// replica recovering from an outage is not greeted by a burst of stale
+  /// fds that each cost a failed exchange before the pool self-heals.
+  /// 0 disables the TTL.
+  double pool_idle_ttl_ms = 30000;
   /// Dial attempts per call, with exponential backoff + jitter between.
   int connect_attempts = 3;
   double dial_timeout_ms = 1000;
@@ -80,8 +86,15 @@ class RemoteSqlExecutor : public engine::SqlExecutor {
     return ExecuteSqlWithDeadline(sql, timeout_ms_);
   }
   /// Thread-safe (the service's shared-executor contract).
-  Result<engine::Relation> ExecuteSqlWithDeadline(std::string_view sql,
-                                                  double timeout_ms) override;
+  Result<engine::Relation> ExecuteSqlWithDeadline(
+      std::string_view sql, double timeout_ms) override {
+    return ExecuteSqlCancellable(sql, timeout_ms, nullptr);
+  }
+  /// Thread-safe; `cancel` aborts this call's dials/reads within one poll
+  /// interval without touching the executor (the hedged-race loser path).
+  Result<engine::Relation> ExecuteSqlCancellable(std::string_view sql,
+                                                 double timeout_ms,
+                                                 CancelToken* cancel) override;
   void set_timeout_ms(double timeout_ms) override { timeout_ms_ = timeout_ms; }
 
   const std::string& backend() const { return options_.backend; }
@@ -93,6 +106,7 @@ class RemoteSqlExecutor : public engine::SqlExecutor {
   uint64_t reconnects() const { return reconnects_.load(); }
   uint64_t decode_errors() const { return decode_errors_.load(); }
   uint64_t requests_sent() const { return requests_sent_.load(); }
+  uint64_t pool_pruned() const { return pool_pruned_.load(); }
   size_t pooled_connections() const;
 
  private:
@@ -109,6 +123,15 @@ class RemoteSqlExecutor : public engine::SqlExecutor {
                                     std::chrono::steady_clock::time_point
                                         deadline);
 
+  /// An idle connection plus the instant it was parked, for TTL pruning.
+  struct PooledConnection {
+    Socket socket;
+    std::chrono::steady_clock::time_point parked_at;
+  };
+
+  /// Drops idle connections older than the TTL. Requires pool_mu_.
+  void PruneIdleLocked(std::chrono::steady_clock::time_point now);
+
   RemoteExecutorOptions options_;
   double timeout_ms_ = 0;
   CancelToken shutdown_;
@@ -116,17 +139,19 @@ class RemoteSqlExecutor : public engine::SqlExecutor {
   std::atomic<uint64_t> next_request_id_{1};
 
   mutable std::mutex pool_mu_;
-  std::vector<Socket> idle_;
+  std::vector<PooledConnection> idle_;
 
   std::atomic<uint64_t> reconnects_{0};
   std::atomic<uint64_t> decode_errors_{0};
   std::atomic<uint64_t> requests_sent_{0};
+  std::atomic<uint64_t> pool_pruned_{0};
 
   // Registry mirrors (null when metrics are disabled).
   obs::Counter* m_reconnects_ = nullptr;
   obs::Counter* m_decode_errors_ = nullptr;
   obs::Counter* m_frames_in_ = nullptr;
   obs::Counter* m_frames_out_ = nullptr;
+  obs::Counter* m_pool_pruned_ = nullptr;
 };
 
 }  // namespace silkroute::net

@@ -1,0 +1,275 @@
+// ReplicaSet: a SqlExecutor that fans one logical backend across N
+// interchangeable replicas — the piece that turns the federation's
+// "remote + local fallback" into an actually redundant system. One slow
+// or dead replica is no longer a backend outage; it is a routing event.
+//
+// Four mechanisms, each independently bounded (DESIGN.md §13):
+//
+//  - Health tracking. Every replica carries an EWMA of its successful
+//    call latencies, a live in-flight count, and its own CircuitBreaker
+//    (label "replica"): consecutive source failures eject it (breaker
+//    OPEN), a jittered cool-down later the breaker admits a half-open
+//    probe — one real query — whose outcome re-admits or re-ejects.
+//    Cancelled hedge losers never count against a replica's breaker: the
+//    cancellation was our choice, not its failure.
+//
+//  - Load-aware choice. Power-of-two-choices: draw two distinct replicas
+//    from the admittable set, route to the one with fewer in-flight calls
+//    (EWMA latency as the tiebreak). P2C needs no global coordination yet
+//    provably avoids the herd a "pick the least loaded" scan creates when
+//    every router sees the same stale minimum.
+//
+//  - Tail-latency hedging. If the primary has not answered after the
+//    backend's tracked p95 latency (ring buffer of recent successes;
+//    a fixed initial delay until warmed up), fire the same query at a
+//    second replica. First successful response wins; the loser is
+//    cancelled through its per-call CancelToken and unblocks within one
+//    poll interval. Hedges spend from a token bucket refilled at
+//    hedge_budget_ratio (default 5%) per request, so hedging can never
+//    multiply load during a slowdown — exactly when it is most tempting.
+//
+//  - Retry budget. A failed attempt may fail over to another replica, but
+//    each retry spends from a second token bucket refilled at
+//    retry_budget_ratio per request. During a partial outage the set
+//    degrades to one attempt per call instead of amplifying client load
+//    by the replica count — the classic retry-storm guard.
+//
+// The set is itself a SqlExecutor, so it slots under FederatedExecutor as
+// a backend: replica failover happens *inside* one backend call, and the
+// backend breaker above only sees a failure when the whole set is
+// exhausted. Healthy() reports whether any replica would currently be
+// admitted, letting the router skip a fully ejected set without charging
+// the skip to the backend breaker.
+//
+// Thread-safe; shared across service workers like every other executor.
+#ifndef SILKROUTE_NET_REPLICA_SET_H_
+#define SILKROUTE_NET_REPLICA_SET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "engine/executor.h"
+#include "net/remote_executor.h"
+#include "obs/metrics.h"
+#include "service/circuit_breaker.h"
+
+namespace silkroute::net {
+
+/// A remote endpoint the set should own a RemoteSqlExecutor for.
+struct ReplicaEndpoint {
+  /// Metric label (`replica="..."`); must be unique within the set.
+  std::string name;
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+/// A caller-owned executor enrolled as a replica (tests, heterogeneous
+/// backends). Must be thread-safe and outlive the set.
+struct BorrowedReplica {
+  std::string name;
+  engine::SqlExecutor* executor = nullptr;
+};
+
+struct ReplicaSetOptions {
+  /// Backend label for metric series and span annotations.
+  std::string backend = "remote";
+  /// Endpoints the set dials itself (one owned RemoteSqlExecutor each,
+  /// configured from `remote` with host/port/backend overridden)...
+  std::vector<ReplicaEndpoint> endpoints;
+  /// ...and/or externally owned replicas. The set routes across the union.
+  std::vector<BorrowedReplica> replicas;
+  /// Template for owned RemoteSqlExecutors (pool sizes, dial backoff...).
+  RemoteExecutorOptions remote;
+  /// Per-replica ejection breaker. label_key is forced to "replica";
+  /// metrics stay off here (the set exports its own labeled series).
+  /// open_jitter_ms defaults to open_ms/2 when left at 0 so replicas
+  /// ejected by one incident don't re-probe in lockstep.
+  service::CircuitBreakerOptions breaker;
+  /// Weight of the newest latency sample in the per-replica EWMA.
+  double ewma_alpha = 0.3;
+
+  /// Tail-latency hedging. The delay tracks the p95 of the last
+  /// `latency_window` successful calls, clamped to [hedge_min_delay_ms,
+  /// hedge_max_delay_ms]; until `hedge_warmup` samples exist the fixed
+  /// hedge_initial_delay_ms applies.
+  bool hedging = true;
+  double hedge_initial_delay_ms = 30;
+  double hedge_min_delay_ms = 1;
+  double hedge_max_delay_ms = 1000;
+  size_t hedge_warmup = 16;
+  size_t latency_window = 128;
+  /// Hedge token bucket: refilled by `hedge_budget_ratio` per request,
+  /// capped at `hedge_budget_cap`; each hedge spends one token. The ratio
+  /// is the hard ceiling on hedges as a fraction of traffic.
+  double hedge_budget_ratio = 0.05;
+  double hedge_budget_cap = 8;
+
+  /// Retry (replica failover) token bucket, same mechanics.
+  double retry_budget_ratio = 0.1;
+  double retry_budget_cap = 10;
+  /// Attempts per call including the first (each with its own hedge
+  /// race); clamped to the replica count.
+  int max_attempts = 3;
+
+  /// Granularity of the hedge-wait loop's cancel/deadline checks.
+  double poll_interval_ms = 10;
+  /// Seed for the P2C draw RNG.
+  uint64_t seed = 0x5EEDCAFEull;
+  /// Borrowed service-wide token; cancelling it aborts in-flight calls.
+  CancelToken* cancel = nullptr;
+  /// silkroute_replica_*{backend=,replica=} series (borrowed, may be null).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Point-in-time view of one replica, for tests and debugging.
+struct ReplicaStats {
+  std::string name;
+  int in_flight = 0;
+  double ewma_ms = 0;
+  uint64_t successes = 0;
+  uint64_t failures = 0;
+  uint64_t ejections = 0;
+  service::BreakerState state = service::BreakerState::kClosed;
+};
+
+class ReplicaSet : public engine::SqlExecutor {
+ public:
+  explicit ReplicaSet(ReplicaSetOptions options);
+  ~ReplicaSet() override;
+
+  ReplicaSet(const ReplicaSet&) = delete;
+  ReplicaSet& operator=(const ReplicaSet&) = delete;
+
+  Result<engine::Relation> ExecuteSql(std::string_view sql) override {
+    return ExecuteSqlCancellable(sql, timeout_ms_, nullptr);
+  }
+  Result<engine::Relation> ExecuteSqlWithDeadline(
+      std::string_view sql, double timeout_ms) override {
+    return ExecuteSqlCancellable(sql, timeout_ms, nullptr);
+  }
+  Result<engine::Relation> ExecuteSqlCancellable(std::string_view sql,
+                                                 double timeout_ms,
+                                                 CancelToken* cancel) override;
+  void set_timeout_ms(double timeout_ms) override { timeout_ms_ = timeout_ms; }
+
+  /// True while at least one replica's breaker would admit a call.
+  bool Healthy() const override;
+
+  /// Cancels in-flight calls and shuts down owned remote executors.
+  /// Idempotent; the destructor calls it.
+  void Shutdown();
+
+  const std::string& backend() const { return options_.backend; }
+  size_t replica_count() const { return replicas_.size(); }
+  ReplicaStats replica_stats(size_t index) const;
+  /// The replica's ejection breaker (tests drive its injected clock
+  /// through ReplicaSetOptions::breaker::now_ms).
+  service::CircuitBreaker* replica_breaker(size_t index);
+
+  /// The hedge delay a call issued now would use.
+  double CurrentHedgeDelayMs() const;
+
+  uint64_t requests() const { return requests_.load(); }
+  uint64_t hedges_fired() const { return hedges_fired_.load(); }
+  uint64_t hedges_won() const { return hedges_won_.load(); }
+  uint64_t hedges_cancelled() const { return hedges_cancelled_.load(); }
+  uint64_t hedges_suppressed() const { return hedges_suppressed_.load(); }
+  uint64_t retries() const { return retries_.load(); }
+  uint64_t retry_budget_exhausted() const {
+    return retry_budget_exhausted_.load();
+  }
+  uint64_t ejections() const { return ejections_.load(); }
+
+ private:
+  struct Replica;
+  struct Attempt;
+
+  /// Power-of-two-choices over replicas whose breaker admits a call,
+  /// skipping indices marked true in `exclude` (failed earlier in this
+  /// call, or the primary when choosing a hedge). Returns false when
+  /// every eligible replica fast-fails.
+  bool ChooseReplica(const std::vector<bool>& exclude, size_t* index,
+                     service::CircuitBreaker::Decision* decision);
+  /// (in_flight, ewma) ordering: fewer in-flight wins, EWMA breaks ties.
+  bool BetterLoaded(const Replica& a, const Replica& b) const;
+
+  /// One replica call on a worker thread, racing at most one sibling.
+  void RunAttempt(Attempt* attempt, std::string_view sql, double timeout_ms);
+  /// Applies a finished attempt's outcome to its replica: breaker record,
+  /// EWMA + latency-window update, ejection accounting. Cancelled losers
+  /// release their admission without recording an outcome.
+  void SettleAttempt(Attempt* attempt);
+
+  /// One primary (+ optional hedge) race against the deadline. Returns
+  /// the winner's result; failed_any_replica marks replicas that genuinely
+  /// failed (for the caller's exclude set).
+  Result<engine::Relation> RunHedged(
+      size_t primary, service::CircuitBreaker::Decision primary_decision,
+      std::string_view sql, bool has_deadline,
+      std::chrono::steady_clock::time_point deadline, CancelToken* cancel,
+      std::vector<bool>* failed_replicas);
+
+  void RecordLatencySample(double ms);
+
+  /// Mutex-guarded token bucket (double tokens, deposits capped).
+  class TokenBucket {
+   public:
+    TokenBucket(double ratio, double cap) : ratio_(ratio), cap_(cap) {}
+    /// One request arrived: deposit `ratio` tokens, saturating at cap.
+    void Deposit() {
+      std::lock_guard<std::mutex> lock(mu_);
+      tokens_ = std::min(cap_, tokens_ + ratio_);
+    }
+    /// Spends one token if available.
+    bool TryTake() {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (tokens_ < 1.0) return false;
+      tokens_ -= 1.0;
+      return true;
+    }
+
+   private:
+    const double ratio_;
+    const double cap_;
+    std::mutex mu_;
+    double tokens_ = 0;
+  };
+
+  ReplicaSetOptions options_;
+  double timeout_ms_ = 0;
+  CancelToken shutdown_;
+  Random rng_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  TokenBucket hedge_budget_;
+  TokenBucket retry_budget_;
+
+  /// Ring buffer of recent successful-call latencies; p95 over it is the
+  /// hedge delay.
+  mutable std::mutex latency_mu_;
+  std::vector<double> latency_ring_;
+  size_t latency_next_ = 0;
+  size_t latency_count_ = 0;
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> hedges_fired_{0};
+  std::atomic<uint64_t> hedges_won_{0};
+  std::atomic<uint64_t> hedges_cancelled_{0};
+  std::atomic<uint64_t> hedges_suppressed_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> retry_budget_exhausted_{0};
+  std::atomic<uint64_t> ejections_{0};
+
+  // Set-level registry mirrors (null when metrics are disabled).
+  obs::Counter* m_retry_exhausted_ = nullptr;
+};
+
+}  // namespace silkroute::net
+
+#endif  // SILKROUTE_NET_REPLICA_SET_H_

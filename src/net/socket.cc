@@ -26,7 +26,8 @@ Status SetNonBlocking(int fd) {
 
 bool Cancelled(const IoOptions& io) {
   return (io.cancel != nullptr && io.cancel->cancelled()) ||
-         (io.cancel2 != nullptr && io.cancel2->cancelled());
+         (io.cancel2 != nullptr && io.cancel2->cancelled()) ||
+         (io.cancel3 != nullptr && io.cancel3->cancelled());
 }
 
 /// Milliseconds until the deadline; negative when already past.

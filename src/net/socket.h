@@ -27,10 +27,13 @@ struct IoOptions {
   /// Absolute deadline; reads/writes past it fail with kTimeout.
   bool has_deadline = false;
   std::chrono::steady_clock::time_point deadline{};
-  /// Checked between polls; either token cancelling aborts the wait.
-  /// Borrowed, may be null.
+  /// Checked between polls; any token cancelling aborts the wait.
+  /// Borrowed, may be null. Convention: cancel = the owning executor's
+  /// shutdown token, cancel2 = the borrowed service-wide token, cancel3 =
+  /// a per-call token (hedged-race loser cancellation).
   CancelToken* cancel = nullptr;
   CancelToken* cancel2 = nullptr;
+  CancelToken* cancel3 = nullptr;
   /// Poll granularity: the worst-case latency of a cancel/deadline check.
   double poll_interval_ms = 20;
 

@@ -19,8 +19,25 @@ const char* BreakerStateToString(BreakerState state) {
   return "unknown";
 }
 
+namespace {
+
+/// FNV-1a 64 over the breaker key, so sibling breakers created from one
+/// options struct (same base seed) still draw independent jitter streams.
+uint64_t HashKey(const std::string& key) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
 CircuitBreaker::CircuitBreaker(std::string key, CircuitBreakerOptions options)
-    : key_(std::move(key)), options_(std::move(options)) {
+    : key_(std::move(key)),
+      options_(std::move(options)),
+      jitter_(options_.jitter_seed ^ HashKey(key_)) {
   if (options_.metrics != nullptr) {
     obs::MetricsRegistry* reg = options_.metrics;
     auto name = [&](std::string_view base) {
@@ -44,7 +61,10 @@ double CircuitBreaker::NowMs() const {
 
 void CircuitBreaker::TripOpenLocked() {
   state_ = BreakerState::kOpen;
-  open_until_ms_ = NowMs() + options_.open_ms;
+  double jitter_ms = options_.open_jitter_ms > 0
+                         ? jitter_.NextDouble() * options_.open_jitter_ms
+                         : 0;
+  open_until_ms_ = NowMs() + options_.open_ms + jitter_ms;
   consecutive_failures_ = 0;
   probe_successes_ = 0;
   probe_in_flight_ = false;
@@ -144,6 +164,19 @@ void CircuitBreaker::AbandonProbe(Decision admitted) {
 BreakerState CircuitBreaker::state() const {
   std::lock_guard<std::mutex> lock(mu_);
   return state_;
+}
+
+bool CircuitBreaker::WouldFastFail() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return false;
+    case BreakerState::kOpen:
+      return NowMs() < open_until_ms_;
+    case BreakerState::kHalfOpen:
+      return probe_in_flight_;
+  }
+  return true;
 }
 
 BreakerCounters CircuitBreaker::counters() const {

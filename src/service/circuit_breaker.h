@@ -31,6 +31,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/random.h"
 #include "obs/metrics.h"
 
 namespace silkroute::service {
@@ -40,6 +41,15 @@ struct CircuitBreakerOptions {
   int failure_threshold = 3;
   /// Time a tripped breaker stays open before admitting a probe.
   double open_ms = 100;
+  /// Extra uniform-random cool-down in [0, open_jitter_ms) added to every
+  /// trip, drawn from a per-breaker RNG seeded by the breaker key. When
+  /// one incident ejects many replicas at once, jitter desynchronizes
+  /// their half-open probes so a recovering server sees a trickle instead
+  /// of a synchronized probe herd. 0 disables (fully deterministic
+  /// cool-downs, the pre-jitter behavior).
+  double open_jitter_ms = 0;
+  /// Base seed for the per-breaker jitter RNG (mixed with the key hash).
+  uint64_t jitter_seed = 0x9E3779B97F4A7C15ull;
   /// Consecutive probe successes that close a half-open breaker.
   int half_open_successes = 1;
   /// Injectable monotonic clock in milliseconds (tests); null = steady_clock.
@@ -90,12 +100,19 @@ class CircuitBreaker {
   BreakerState state() const;
   BreakerCounters counters() const;
 
+  /// True when Admit() would return kFastFail right now: open with the
+  /// cool-down still running, or half-open with the probe slot taken.
+  /// Side-effect-free (no counters, no state change) — the health-check
+  /// path routers poll without consuming a probe admission.
+  bool WouldFastFail() const;
+
  private:
   double NowMs() const;
   void TripOpenLocked();
 
   const std::string key_;
   const CircuitBreakerOptions options_;
+  Random jitter_;
 
   mutable std::mutex mu_;
   BreakerState state_ = BreakerState::kClosed;

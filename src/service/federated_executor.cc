@@ -49,6 +49,9 @@ FederatedExecutor::FederatedExecutor(FederatedExecutorOptions options)
       backend.m_fast_fails = options_.metrics->counter(obs::LabeledName(
           "silkroute_federation_fast_fail_failovers_total",
           {{"backend", spec.name}}));
+      backend.m_health_skips = options_.metrics->counter(obs::LabeledName(
+          "silkroute_federation_health_skips_total",
+          {{"backend", spec.name}}));
     }
     backends_.push_back(std::move(backend));
   }
@@ -72,7 +75,7 @@ std::string FederatedExecutor::RouteFor(std::string_view sql) const {
 
 Result<engine::Relation> FederatedExecutor::RunLocal(
     std::string_view sql, bool has_deadline,
-    std::chrono::steady_clock::time_point deadline) {
+    std::chrono::steady_clock::time_point deadline, CancelToken* cancel) {
   local_queries_.fetch_add(1);
   double remaining_ms = 0;
   if (has_deadline) {
@@ -83,11 +86,11 @@ Result<engine::Relation> FederatedExecutor::RunLocal(
       return Status::Timeout("deadline exceeded before local execution");
     }
   }
-  return options_.local->ExecuteSqlWithDeadline(sql, remaining_ms);
+  return options_.local->ExecuteSqlCancellable(sql, remaining_ms, cancel);
 }
 
-Result<engine::Relation> FederatedExecutor::ExecuteSqlWithDeadline(
-    std::string_view sql, double timeout_ms) {
+Result<engine::Relation> FederatedExecutor::ExecuteSqlCancellable(
+    std::string_view sql, double timeout_ms, CancelToken* cancel) {
   bool has_deadline = timeout_ms > 0;
   auto deadline =
       std::chrono::steady_clock::now() +
@@ -101,7 +104,7 @@ Result<engine::Relation> FederatedExecutor::ExecuteSqlWithDeadline(
           "no backend claims this query and no local executor is configured");
     }
     obs::AnnotateCurrent("backend", "local");
-    return RunLocal(sql, has_deadline, deadline);
+    return RunLocal(sql, has_deadline, deadline, cancel);
   }
 
   obs::AnnotateCurrent("backend", backend->spec.name);
@@ -120,11 +123,32 @@ Result<engine::Relation> FederatedExecutor::ExecuteSqlWithDeadline(
     if (backend->m_failovers != nullptr) backend->m_failovers->Add(1);
     obs::AnnotateCurrent("backend.failover", "breaker_open");
     obs::AnnotateCurrent("backend", "local");
-    return RunLocal(sql, has_deadline, deadline);
+    return RunLocal(sql, has_deadline, deadline, cancel);
+  }
+
+  if (!backend->spec.executor->Healthy()) {
+    // The executor itself says nothing would admit this call (a fully
+    // ejected replica set). Route around it without recording a breaker
+    // outcome: the skip is not evidence about the backend, and Healthy()
+    // turns true again by itself once a replica cool-down elapses — which
+    // is what lets probe traffic resume and recovery actually happen.
+    breaker->AbandonProbe(decision);
+    if (!options_.failover_to_local || options_.local == nullptr) {
+      return Status::Unavailable("backend '" + backend->spec.name +
+                                 "' reports unhealthy (all replicas ejected)");
+    }
+    health_skip_failovers_.fetch_add(1);
+    failovers_.fetch_add(1);
+    if (backend->m_health_skips != nullptr) backend->m_health_skips->Add(1);
+    if (backend->m_failovers != nullptr) backend->m_failovers->Add(1);
+    obs::AnnotateCurrent("backend.failover", "unhealthy");
+    obs::AnnotateCurrent("backend", "local");
+    return RunLocal(sql, has_deadline, deadline, cancel);
   }
 
   remote_queries_.fetch_add(1);
-  auto result = backend->spec.executor->ExecuteSqlWithDeadline(sql, timeout_ms);
+  auto result =
+      backend->spec.executor->ExecuteSqlCancellable(sql, timeout_ms, cancel);
   if (result.ok()) {
     breaker->RecordSuccess(decision);
     return result;
@@ -150,7 +174,7 @@ Result<engine::Relation> FederatedExecutor::ExecuteSqlWithDeadline(
   obs::AnnotateCurrent("backend.failover", StatusCodeToString(
                                                result.status().code()));
   obs::AnnotateCurrent("backend", "local");
-  return RunLocal(sql, has_deadline, deadline);
+  return RunLocal(sql, has_deadline, deadline, cancel);
 }
 
 }  // namespace silkroute::service

@@ -27,6 +27,18 @@
 //    returns to the remote: recovery is observable in the breaker state
 //    and the silkroute_federation_* counters.
 //
+// Replica-set backends (DESIGN.md §13): a backend executor may itself be a
+// net::ReplicaSet fanning the call across N replicas. The federation layer
+// stays oblivious to replicas except for one hint: before dispatching it
+// consults the executor's Healthy() — a side-effect-free "would anything
+// admit this call" poll. A backend reporting unhealthy (every replica
+// ejected) is skipped straight to local fallback *without* recording a
+// backend-breaker failure: the skip is a routing decision, not evidence,
+// and charging it would wedge the backend open after the replicas recover.
+// Healthy() flips back true on its own once a replica's cool-down elapses,
+// so traffic (and with it the half-open probes that drive real recovery)
+// resumes without any federation-side state.
+//
 // Thread-safe: routing is read-only state, breakers and metrics are
 // internally synchronized, and backends are required to be thread-safe
 // SqlExecutors (DatabaseExecutor and RemoteSqlExecutor both are).
@@ -77,10 +89,15 @@ class FederatedExecutor : public engine::SqlExecutor {
   explicit FederatedExecutor(FederatedExecutorOptions options);
 
   Result<engine::Relation> ExecuteSql(std::string_view sql) override {
-    return ExecuteSqlWithDeadline(sql, timeout_ms_);
+    return ExecuteSqlCancellable(sql, timeout_ms_, nullptr);
   }
-  Result<engine::Relation> ExecuteSqlWithDeadline(std::string_view sql,
-                                                  double timeout_ms) override;
+  Result<engine::Relation> ExecuteSqlWithDeadline(
+      std::string_view sql, double timeout_ms) override {
+    return ExecuteSqlCancellable(sql, timeout_ms, nullptr);
+  }
+  Result<engine::Relation> ExecuteSqlCancellable(std::string_view sql,
+                                                 double timeout_ms,
+                                                 CancelToken* cancel) override;
   void set_timeout_ms(double timeout_ms) override { timeout_ms_ = timeout_ms; }
 
   /// The backend name `sql` routes to ("local" when no remote claims it).
@@ -92,18 +109,24 @@ class FederatedExecutor : public engine::SqlExecutor {
   uint64_t local_queries() const { return local_queries_.load(); }
   uint64_t failovers() const { return failovers_.load(); }
   uint64_t fast_fail_failovers() const { return fast_fail_failovers_.load(); }
+  /// Failovers taken because the backend executor reported Healthy()==false
+  /// (e.g. a fully ejected replica set) — routed around, breaker untouched.
+  uint64_t health_skip_failovers() const {
+    return health_skip_failovers_.load();
+  }
 
  private:
   struct Backend {
     FederatedBackendSpec spec;
     obs::Counter* m_failovers = nullptr;
     obs::Counter* m_fast_fails = nullptr;
+    obs::Counter* m_health_skips = nullptr;
   };
 
   const Backend* Route(std::string_view sql) const;
   Result<engine::Relation> RunLocal(std::string_view sql, bool has_deadline,
                                     std::chrono::steady_clock::time_point
-                                        deadline);
+                                        deadline, CancelToken* cancel);
 
   FederatedExecutorOptions options_;
   double timeout_ms_ = 0;
@@ -114,6 +137,7 @@ class FederatedExecutor : public engine::SqlExecutor {
   std::atomic<uint64_t> local_queries_{0};
   std::atomic<uint64_t> failovers_{0};
   std::atomic<uint64_t> fast_fail_failovers_{0};
+  std::atomic<uint64_t> health_skip_failovers_{0};
 };
 
 }  // namespace silkroute::service

@@ -184,6 +184,47 @@ TEST(FederatedExecutorTest, NonSourceErrorDoesNotFailOverOrTrip) {
   EXPECT_EQ(fed.breakers()->Get("east")->state(), BreakerState::kClosed);
 }
 
+TEST(FederatedExecutorTest, UnhealthyBackendIsSkippedWithoutBreakerEvidence) {
+  // A backend whose executor reports Healthy()==false (a fully ejected
+  // replica set) is routed around: local fallback serves, the backend
+  // breaker records nothing (the skip is routing, not evidence), and when
+  // the health hint flips back the backend serves again with no
+  // federation-side state to unwind.
+  class UnhealthyToggle : public FakeExecutor {
+   public:
+    using FakeExecutor::FakeExecutor;
+    bool Healthy() const override { return healthy.load(); }
+    std::atomic<bool> healthy{true};
+  };
+
+  FederationFixture f;
+  UnhealthyToggle remote(&f.remote_inner);
+  FederatedExecutorOptions options;
+  options.local = &f.local;
+  options.remotes.push_back({"east", &remote, {"Supplier"}});
+  options.breaker.failure_threshold = 2;
+  FederatedExecutor fed(std::move(options));
+  const std::string sql = "select suppkey from Supplier order by suppkey";
+
+  ASSERT_TRUE(fed.ExecuteSql(sql).ok());
+  ASSERT_EQ(remote.calls.load(), 1);
+
+  remote.healthy.store(false);
+  auto skipped = fed.ExecuteSql(sql);
+  ASSERT_TRUE(skipped.ok()) << skipped.status();
+  EXPECT_EQ(remote.calls.load(), 1);  // untouched
+  EXPECT_EQ(fed.health_skip_failovers(), 1u);
+  EXPECT_EQ(fed.failovers(), 1u);
+  auto counters = fed.breakers()->Get("east")->counters();
+  EXPECT_EQ(counters.failures, 0u);
+  EXPECT_EQ(counters.state, BreakerState::kClosed);
+
+  // Health returns: traffic resumes immediately — nothing was tripped.
+  remote.healthy.store(true);
+  ASSERT_TRUE(fed.ExecuteSql(sql).ok());
+  EXPECT_EQ(remote.calls.load(), 2);
+}
+
 TEST(FederatedExecutorTest, FailoverDisabledSurfacesTheRemoteError) {
   FederationFixture f;
   auto options = f.Options({"Supplier"});

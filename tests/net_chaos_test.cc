@@ -3,7 +3,10 @@
 // frame header, cancellation of blocked reads, 1-vs-8 service concurrency
 // determinism through a socket pair, the seeded FlakyProxy chaos loop
 // (torn frames, truncated/oversized lengths, resets, stalls, refusals),
-// and end-to-end failover when the remote server is killed and restarted.
+// end-to-end failover when the remote server is killed and restarted,
+// connection-pool TTL hygiene, and the replica-set chaos suite: 200
+// seeded schedules of dead/slow/flapping/reset replicas plus the
+// kill-one-of-three recovery story (DESIGN.md §13).
 #include <gtest/gtest.h>
 
 #include <chrono>
@@ -15,6 +18,7 @@
 
 #include "net/flaky_proxy.h"
 #include "net/remote_executor.h"
+#include "net/replica_set.h"
 #include "net/server.h"
 #include "service/federated_executor.h"
 #include "service/publishing_service.h"
@@ -370,6 +374,254 @@ TEST_F(NetFixture, FailoverEndToEndAcrossServerKillAndRestart) {
   EXPECT_GT(fed.remote_queries(), remote_before);
   EXPECT_EQ(fed.breakers()->Get("east")->state(),
             service::BreakerState::kClosed);
+}
+
+// ---------------------------------------------------------------------------
+// Connection-pool hygiene: idle connections older than the TTL are pruned
+// (a fresh dial replaces the stale fd), and max_pooled_connections caps
+// what gets parked at all.
+
+TEST_F(NetFixture, PoolPrunesIdleConnectionsPastTtlAndCapsSize) {
+  auto options = RemoteOpts(server_->port());
+  options.pool_idle_ttl_ms = 50;
+  RemoteSqlExecutor remote(options);
+  const std::string sql = "select suppkey from Supplier order by suppkey";
+  ASSERT_TRUE(remote.ExecuteSql(sql).ok());
+  EXPECT_EQ(remote.pooled_connections(), 1u);
+
+  // Let the parked connection outlive its TTL: the next call must prune
+  // it and dial fresh rather than risk a stale fd.
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  ASSERT_TRUE(remote.ExecuteSql(sql).ok());
+  EXPECT_GE(remote.pool_pruned(), 1u);
+  EXPECT_EQ(server_->connections_accepted(), 2u);
+  EXPECT_EQ(remote.pooled_connections(), 1u);
+
+  // A zero-size pool parks nothing.
+  auto capped_options = RemoteOpts(server_->port());
+  capped_options.max_pooled_connections = 0;
+  RemoteSqlExecutor capped(capped_options);
+  ASSERT_TRUE(capped.ExecuteSql(sql).ok());
+  EXPECT_EQ(capped.pooled_connections(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Replica-level chaos: >= 200 seeded schedules, each casting three
+// replicas of one backend into hashed roles — healthy, dead (closed
+// port), slow (stall-only proxy), flapping (any fault, high probability),
+// reset (reset-only proxy) — at service concurrency 1 and 8, alternating
+// a bare ReplicaSet with a ReplicaSet under the federation router. Every
+// request must end before its deadline with byte-identical XML or a clean
+// error, and the hedge budget must hold on every schedule.
+
+TEST_F(NetFixture, ReplicaChaosScheduleSweepTerminatesCleanly) {
+  constexpr int kSchedules = 200;
+  constexpr double kDeadlineMs = 15000;
+  engine::DatabaseExecutor local(db_.get());
+  int ok_count = 0;
+  int clean_errors = 0;
+  uint64_t ejections_total = 0;
+  uint64_t hedges_total = 0;
+
+  enum class Role { kHealthy, kDead, kSlow, kFlapping, kReset };
+  auto role_hash = [](int schedule, int replica) {
+    uint64_t z = 0xC4A05EEDull + 0x9E3779B97F4A7C15ull *
+                                     (static_cast<uint64_t>(schedule) * 3 +
+                                      static_cast<uint64_t>(replica) + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  };
+
+  for (int schedule = 0; schedule < kSchedules; ++schedule) {
+    std::vector<std::unique_ptr<FlakyProxy>> proxies;
+    ReplicaSetOptions set_options;
+    set_options.backend = "east";
+    set_options.remote = RemoteOpts(0);  // per-endpoint port overrides
+    set_options.breaker.failure_threshold = 2;
+    set_options.breaker.open_ms = 150;  // ejected replicas re-probe in-test
+    set_options.hedge_initial_delay_ms = 20;
+    set_options.hedge_warmup = 1000;  // chaos latencies are not a p95 signal
+    set_options.hedge_budget_ratio = 0.3;
+    set_options.hedge_budget_cap = 2;
+    set_options.retry_budget_ratio = 0.5;
+    set_options.retry_budget_cap = 4;
+    set_options.seed = 0xF1EE7000u + static_cast<uint64_t>(schedule);
+
+    for (int replica = 0; replica < 3; ++replica) {
+      Role role = static_cast<Role>(role_hash(schedule, replica) % 5);
+      uint16_t port = 0;
+      if (role == Role::kHealthy) {
+        port = server_->port();
+      } else if (role == Role::kDead) {
+        auto dead = std::move(Listener::Bind("127.0.0.1", 0)).value();
+        port = dead.port();
+        dead.Close();  // nothing listens here now
+      } else {
+        FlakyProxyOptions proxy_options;
+        proxy_options.upstream_port = server_->port();
+        proxy_options.seed = role_hash(schedule, replica);
+        proxy_options.max_stall_ms = 100;
+        if (role == Role::kSlow) {
+          proxy_options.allowed_kinds = {FaultKind::kStall};
+          proxy_options.fault_probability = 0.9;
+        } else if (role == Role::kReset) {
+          proxy_options.allowed_kinds = {FaultKind::kReset};
+          proxy_options.fault_probability = 0.9;
+        } else {
+          proxy_options.fault_probability = 0.85;  // flapping: anything goes
+        }
+        auto proxy = std::make_unique<FlakyProxy>(std::move(proxy_options));
+        ASSERT_TRUE(proxy->Start().ok());
+        port = proxy->port();
+        proxies.push_back(std::move(proxy));
+      }
+      set_options.endpoints.push_back(
+          {"r" + std::to_string(replica), "127.0.0.1", port});
+    }
+    ReplicaSet set(std::move(set_options));
+
+    const bool federated = schedule % 2 == 1;
+    const size_t workers = (schedule / 2) % 2 == 0 ? 1 : 8;
+    std::unique_ptr<FederatedExecutor> fed;
+    ServiceOptions service_options;
+    service_options.workers = workers;
+    service_options.retry.max_attempts = 1;
+    if (federated) {
+      FederatedExecutorOptions fed_options;
+      fed_options.local = &local;
+      fed_options.remotes.push_back({"east", &set, {}});  // catch-all
+      fed_options.breaker.failure_threshold = 2;
+      fed = std::make_unique<FederatedExecutor>(std::move(fed_options));
+      service_options.executor = fed.get();
+    } else {
+      service_options.executor = &set;
+    }
+    PublishingService service(db_.get(), service_options);
+
+    ServiceRequest request;
+    request.rxl = core::Query1Rxl();
+    request.options = PublishOpts();
+    request.deadline_ms = kDeadlineMs;
+
+    auto t0 = std::chrono::steady_clock::now();
+    ServiceResponse response = service.Publish(request);
+    double elapsed_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    ASSERT_LT(elapsed_ms, kDeadlineMs + 10000)
+        << "replica schedule " << schedule << " hung";
+
+    if (response.status.ok() && !response.result.metrics.timed_out &&
+        !response.xml.empty()) {
+      ASSERT_EQ(response.xml, reference_) << "replica schedule " << schedule;
+      ++ok_count;
+    } else {
+      ++clean_errors;
+      if (federated) {
+        EXPECT_TRUE(response.result.metrics.timed_out ||
+                    !response.status.ok())
+            << "replica schedule " << schedule << ": " << response.status;
+      }
+    }
+    // The hedge budget is a hard per-set invariant on every schedule:
+    // fired hedges never exceed ratio * requests + cap.
+    ASSERT_LE(set.hedges_fired(),
+              static_cast<uint64_t>(0.3 * static_cast<double>(set.requests())) +
+                  2)
+        << "replica schedule " << schedule << " blew the hedge budget";
+    ejections_total += set.ejections();
+    hedges_total += set.hedges_fired();
+    service.Shutdown();
+    set.Shutdown();
+    for (auto& proxy : proxies) proxy->Shutdown();
+  }
+
+  // The sweep exercised both outcomes and the replica machinery for real.
+  EXPECT_GT(ok_count, 0);
+  EXPECT_GT(clean_errors, 0);
+  EXPECT_GT(ejections_total, 0u);
+  EXPECT_GT(server_->requests_served(), 0u);
+  (void)hedges_total;  // informational; bounded per-schedule above
+}
+
+// ---------------------------------------------------------------------------
+// The headline replica story: kill one replica of three under load. The
+// set ejects it and reroutes; throughput recovers on the survivors; the
+// *backend* breaker above never trips and the local fallback is never
+// used — replica failure stays a routing event inside the backend.
+
+TEST_F(NetFixture, KillOneReplicaOfThreeRecoversWithoutBackendBreakerTrip) {
+  engine::DatabaseExecutor local(db_.get());
+  auto extra1 = std::make_unique<EngineServer>(db_.get(),
+                                               EngineServerOptions{});
+  auto extra2 = std::make_unique<EngineServer>(db_.get(),
+                                               EngineServerOptions{});
+  ASSERT_TRUE(extra1->Start().ok());
+  ASSERT_TRUE(extra2->Start().ok());
+
+  ReplicaSetOptions set_options;
+  set_options.backend = "east";
+  set_options.remote = RemoteOpts(0);
+  set_options.endpoints = {{"r0", "127.0.0.1", server_->port()},
+                           {"r1", "127.0.0.1", extra1->port()},
+                           {"r2", "127.0.0.1", extra2->port()}};
+  set_options.breaker.failure_threshold = 2;
+  set_options.breaker.open_ms = 60000;  // no mid-test re-probe of the corpse
+  // Generous retry budget: this test is about health routing absorbing a
+  // replica death; budget limits have their own tests.
+  set_options.retry_budget_ratio = 1.0;
+  set_options.retry_budget_cap = 100;
+  ReplicaSet set(std::move(set_options));
+
+  FederatedExecutorOptions fed_options;
+  fed_options.local = &local;
+  fed_options.remotes.push_back({"east", &set, {}});
+  fed_options.breaker.failure_threshold = 3;
+  FederatedExecutor fed(std::move(fed_options));
+
+  ServiceOptions service_options;
+  service_options.workers = 4;
+  service_options.executor = &fed;
+  service_options.retry.max_attempts = 1;
+  PublishingService service(db_.get(), service_options);
+  ServiceRequest request;
+  request.rxl = core::Query1Rxl();
+  request.options = PublishOpts();
+  request.deadline_ms = 15000;
+
+  // Warm-up: all three replicas serve.
+  for (int i = 0; i < 4; ++i) {
+    ServiceResponse response = service.Publish(request);
+    ASSERT_TRUE(response.status.ok()) << response.status;
+    ASSERT_EQ(response.xml, reference_);
+  }
+
+  // Kill replica r2 and keep publishing: every request still succeeds
+  // with identical bytes — the set absorbs the death internally.
+  extra2->Shutdown();
+  extra2.reset();
+  for (int i = 0; i < 6; ++i) {
+    ServiceResponse response = service.Publish(request);
+    ASSERT_TRUE(response.status.ok()) << "post-kill publish " << i << ": "
+                                      << response.status;
+    ASSERT_EQ(response.xml, reference_) << "post-kill publish " << i;
+  }
+
+  // The death was a replica-level event: ejected below, invisible above.
+  EXPECT_GE(set.ejections(), 1u);
+  EXPECT_EQ(set.replica_stats(2).state, service::BreakerState::kOpen);
+  EXPECT_TRUE(set.Healthy());
+  EXPECT_EQ(fed.failovers(), 0u) << "local fallback should never be needed";
+  EXPECT_EQ(fed.breakers()->Get("east")->state(),
+            service::BreakerState::kClosed);
+  // Throughput recovered onto the survivors.
+  EXPECT_GT(set.replica_stats(0).successes + set.replica_stats(1).successes,
+            0u);
+
+  service.Shutdown();
+  set.Shutdown();
+  extra1->Shutdown();
 }
 
 }  // namespace

@@ -436,6 +436,36 @@ TEST(ExportTest, PrometheusTextMatchesGoldenFile) {
       .counter(LabeledName("silkroute_net_decode_errors_total",
                            {{"backend", "east"}}))
       ->Add(1);
+  // The replica dimension (DESIGN.md §13): two-label series keyed
+  // (backend, replica), plus the per-backend retry-budget counter.
+  registry
+      .gauge(LabeledName("silkroute_replica_in_flight",
+                         {{"backend", "east"}, {"replica", "r0"}}))
+      ->Set(2);
+  registry
+      .gauge(LabeledName("silkroute_replica_ewma_ms",
+                         {{"backend", "east"}, {"replica", "r0"}}))
+      ->Set(12);
+  registry
+      .counter(LabeledName("silkroute_replica_ejections_total",
+                           {{"backend", "east"}, {"replica", "r1"}}))
+      ->Add(1);
+  registry
+      .counter(LabeledName("silkroute_replica_hedges_fired_total",
+                           {{"backend", "east"}, {"replica", "r1"}}))
+      ->Add(4);
+  registry
+      .counter(LabeledName("silkroute_replica_hedges_won_total",
+                           {{"backend", "east"}, {"replica", "r1"}}))
+      ->Add(3);
+  registry
+      .counter(LabeledName("silkroute_replica_hedges_cancelled_total",
+                           {{"backend", "east"}, {"replica", "r0"}}))
+      ->Add(3);
+  registry
+      .counter(LabeledName("silkroute_replica_retry_budget_exhausted_total",
+                           {{"backend", "east"}}))
+      ->Add(2);
   registry.gauge("silkroute_pool_queue_depth")->Set(3);
   Histogram* h = registry.histogram("silkroute_request_us");
   for (uint64_t v : {0u, 1u, 2u, 3u, 5u, 8u, 100u, 1000u, 4096u}) {

@@ -1,0 +1,391 @@
+// ReplicaSet unit tests: P2C routing spreads load, failing replicas get
+// ejected and recover through jittered half-open probes (injected breaker
+// clock), hedges fire after the tracked p95 and stay inside the hedge
+// budget, the retry budget stops retry storms, hedged races are
+// deterministic in content regardless of which replica answers first, and
+// shutdown/ejection edge cases fail cleanly.
+#include "net/replica_set.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/circuit_breaker.h"
+#include "sql/ddl.h"
+#include "tests/test_util.h"
+
+namespace silkroute::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A scripted replica: configurable latency (cancellable), failure injection,
+// call/cancellation counting. Wraps a real DatabaseExecutor so successful
+// calls return real relations.
+
+class ScriptedReplica : public engine::SqlExecutor {
+ public:
+  explicit ScriptedReplica(engine::SqlExecutor* inner) : inner_(inner) {}
+
+  Result<engine::Relation> ExecuteSql(std::string_view sql) override {
+    return ExecuteSqlCancellable(sql, 0, nullptr);
+  }
+  Result<engine::Relation> ExecuteSqlWithDeadline(std::string_view sql,
+                                                  double timeout_ms) override {
+    return ExecuteSqlCancellable(sql, timeout_ms, nullptr);
+  }
+  Result<engine::Relation> ExecuteSqlCancellable(std::string_view sql,
+                                                 double timeout_ms,
+                                                 CancelToken* cancel) override {
+    calls.fetch_add(1);
+    double ms = delay_ms.load();
+    if (ms > 0) {
+      if (cancel != nullptr) {
+        if (!cancel->SleepFor(ms)) {
+          cancellations.fetch_add(1);
+          return Status::Unavailable("replica call cancelled");
+        }
+      } else {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(ms));
+      }
+    }
+    StatusCode code = fail_with.load();
+    if (code != StatusCode::kOk) {
+      return Status(code, "injected replica failure");
+    }
+    return inner_->ExecuteSqlWithDeadline(sql, timeout_ms);
+  }
+  void set_timeout_ms(double) override {}
+
+  std::atomic<int> calls{0};
+  std::atomic<int> cancellations{0};
+  std::atomic<double> delay_ms{0};
+  std::atomic<StatusCode> fail_with{StatusCode::kOk};
+
+ private:
+  engine::SqlExecutor* inner_;
+};
+
+constexpr const char* kSql = "select suppkey from Supplier order by suppkey";
+
+struct ReplicaFixture {
+  std::unique_ptr<Database> db;
+  engine::DatabaseExecutor inner;
+  std::vector<std::unique_ptr<ScriptedReplica>> replicas;
+  double now = 0;  // injected breaker clock
+
+  explicit ReplicaFixture(size_t n = 3)
+      : db(core::testutil::MakeTinyTpch(0.002)), inner(db.get()) {
+    for (size_t i = 0; i < n; ++i) {
+      replicas.push_back(std::make_unique<ScriptedReplica>(&inner));
+    }
+  }
+
+  ReplicaSetOptions Options() {
+    ReplicaSetOptions options;
+    options.backend = "east";
+    for (size_t i = 0; i < replicas.size(); ++i) {
+      options.replicas.push_back(
+          {"r" + std::to_string(i), replicas[i].get()});
+    }
+    options.breaker.failure_threshold = 2;
+    options.breaker.open_ms = 100;
+    options.breaker.now_ms = [this] { return now; };
+    options.poll_interval_ms = 2;
+    return options;
+  }
+
+  engine::Relation Reference() {
+    auto reference = inner.ExecuteSql(kSql);
+    EXPECT_TRUE(reference.ok()) << reference.status();
+    return *reference;
+  }
+};
+
+TEST(ReplicaSetTest, SpreadsLoadAcrossHealthyReplicas) {
+  ReplicaFixture f(3);
+  ReplicaSet set(f.Options());
+  engine::Relation reference = f.Reference();
+  for (int i = 0; i < 60; ++i) {
+    auto result = set.ExecuteSql(kSql);
+    ASSERT_TRUE(result.ok()) << result.status();
+    ASSERT_EQ(result->rows, reference.rows);
+  }
+  EXPECT_EQ(set.requests(), 60u);
+  // P2C with identical load ends up touching every replica.
+  for (const auto& replica : f.replicas) {
+    EXPECT_GT(replica->calls.load(), 0) << "a replica never saw traffic";
+  }
+  EXPECT_EQ(set.ejections(), 0u);
+}
+
+TEST(ReplicaSetTest, EjectsFailingReplicaThenRecoversViaProbe) {
+  ReplicaFixture f(3);
+  auto options = f.Options();
+  // This test is about ejection/recovery, not budgets: give retries ample
+  // headroom so every failed primary attempt can fail over.
+  options.retry_budget_ratio = 1.0;
+  options.retry_budget_cap = 100;
+  ReplicaSet set(std::move(options));
+  f.replicas[0]->fail_with.store(StatusCode::kUnavailable);
+
+  // Every call still succeeds (replica failover); replica 0 accumulates
+  // failures until its breaker trips.
+  for (int i = 0; i < 40; ++i) {
+    auto result = set.ExecuteSql(kSql);
+    ASSERT_TRUE(result.ok()) << result.status();
+  }
+  EXPECT_GE(set.ejections(), 1u);
+  EXPECT_EQ(set.replica_stats(0).state, service::BreakerState::kOpen);
+  EXPECT_TRUE(set.Healthy());  // two replicas remain admittable
+
+  // While ejected, replica 0 sees no traffic.
+  int ejected_calls = f.replicas[0]->calls.load();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(set.ExecuteSql(kSql).ok());
+  }
+  EXPECT_EQ(f.replicas[0]->calls.load(), ejected_calls);
+
+  // Heal and advance past the cool-down (open_ms + worst-case jitter =
+  // open_ms/2): the next calls admit a probe, the probe succeeds, and the
+  // replica rejoins the rotation.
+  f.replicas[0]->fail_with.store(StatusCode::kOk);
+  f.now += 100 + 50 + 1;
+  for (int i = 0; i < 40 && f.replicas[0]->calls.load() == ejected_calls;
+       ++i) {
+    ASSERT_TRUE(set.ExecuteSql(kSql).ok());
+  }
+  EXPECT_GT(f.replicas[0]->calls.load(), ejected_calls);
+  EXPECT_EQ(set.replica_stats(0).state, service::BreakerState::kClosed);
+}
+
+TEST(ReplicaSetTest, HedgeRescuesSlowPrimaryWithinBudget) {
+  ReplicaFixture f(2);
+  auto options = f.Options();
+  options.hedge_initial_delay_ms = 10;
+  options.hedge_warmup = 10000;  // pin the delay to the initial value
+  options.hedge_budget_ratio = 1.0;  // this test is about firing, not caps
+  options.hedge_budget_cap = 100;
+  ReplicaSet set(std::move(options));
+  engine::Relation reference = f.Reference();
+
+  // Replica 0 stalls far past the hedge delay; replica 1 is instant. Every
+  // call where 0 is primary must be rescued by a hedge to 1, and the
+  // stalled loser must be cancelled promptly (not waited out).
+  f.replicas[0]->delay_ms.store(2000);
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 20; ++i) {
+    auto result = set.ExecuteSql(kSql);
+    ASSERT_TRUE(result.ok()) << result.status();
+    ASSERT_EQ(result->rows, reference.rows);
+  }
+  double elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  EXPECT_LT(elapsed_ms, 10000) << "losers were waited out, not cancelled";
+  EXPECT_GT(set.hedges_fired(), 0u);
+  EXPECT_GT(set.hedges_won(), 0u);
+  EXPECT_GT(set.hedges_cancelled(), 0u);
+  EXPECT_GT(f.replicas[0]->cancellations.load(), 0);
+}
+
+TEST(ReplicaSetTest, HedgeBudgetCapsHedgeTraffic) {
+  ReplicaFixture f(3);
+  auto options = f.Options();
+  options.hedge_initial_delay_ms = 5;
+  options.hedge_warmup = 10000;
+  options.hedge_budget_ratio = 0.05;
+  options.hedge_budget_cap = 2;
+  ReplicaSet set(std::move(options));
+
+  // Every replica is slow enough that every call *wants* a hedge; the
+  // budget must hold hedges to ratio * requests + cap regardless.
+  for (auto& replica : f.replicas) replica->delay_ms.store(20);
+  const int kRequests = 100;
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(set.ExecuteSql(kSql).ok());
+  }
+  EXPECT_LE(set.hedges_fired(),
+            static_cast<uint64_t>(0.05 * kRequests) + 2);
+  EXPECT_GT(set.hedges_suppressed(), 0u);
+}
+
+TEST(ReplicaSetTest, RetryBudgetStopsRetryStorms) {
+  ReplicaFixture f(3);
+  auto options = f.Options();
+  options.breaker.failure_threshold = 1000;  // isolate the budget, no ejection
+  options.hedging = false;
+  options.retry_budget_ratio = 0.1;
+  options.retry_budget_cap = 1;
+  ReplicaSet set(std::move(options));
+  for (auto& replica : f.replicas) {
+    replica->fail_with.store(StatusCode::kUnavailable);
+  }
+
+  const int kRequests = 50;
+  for (int i = 0; i < kRequests; ++i) {
+    auto result = set.ExecuteSql(kSql);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  }
+  // Without the budget this would be kRequests * (max_attempts - 1)
+  // retries; with it, at most ratio * requests + cap.
+  EXPECT_LE(set.retries(), static_cast<uint64_t>(0.1 * kRequests) + 1);
+  EXPECT_GT(set.retry_budget_exhausted(), 0u);
+  int total_calls = 0;
+  for (auto& replica : f.replicas) total_calls += replica->calls.load();
+  EXPECT_LE(total_calls, kRequests + static_cast<int>(set.retries()));
+}
+
+TEST(ReplicaSetTest, HedgedRaceIsDeterministicInContent) {
+  // Satellite: whichever side of a hedged race answers first, the returned
+  // relation is identical — the race decides *latency*, never *content*.
+  // Roles alternate so both primary-wins and hedge-wins occur.
+  ReplicaFixture f(2);
+  auto options = f.Options();
+  options.hedge_initial_delay_ms = 5;
+  options.hedge_warmup = 10000;
+  options.hedge_budget_ratio = 1.0;
+  options.hedge_budget_cap = 1000;
+  options.seed = 0xD1CE5EED;
+  ReplicaSet set(std::move(options));
+  engine::Relation reference = f.Reference();
+
+  const int kTrials = 40;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    f.replicas[trial % 2]->delay_ms.store(40);
+    f.replicas[(trial + 1) % 2]->delay_ms.store(0);
+    auto result = set.ExecuteSql(kSql);
+    ASSERT_TRUE(result.ok()) << "trial " << trial << ": " << result.status();
+    ASSERT_EQ(result->rows, reference.rows) << "trial " << trial;
+  }
+  // Both outcomes actually happened: some races were won by the hedge,
+  // some by the primary.
+  EXPECT_GT(set.hedges_won(), 0u);
+  EXPECT_LT(set.hedges_won(), static_cast<uint64_t>(kTrials));
+}
+
+TEST(ReplicaSetTest, AllReplicasEjectedFailsCleanAndRecovers) {
+  ReplicaFixture f(2);
+  auto options = f.Options();
+  options.hedging = false;
+  options.retry_budget_ratio = 1.0;
+  options.retry_budget_cap = 100;
+  ReplicaSet set(std::move(options));
+  for (auto& replica : f.replicas) {
+    replica->fail_with.store(StatusCode::kUnavailable);
+  }
+
+  // Drive both breakers open.
+  for (int i = 0; i < 10; ++i) (void)set.ExecuteSql(kSql);
+  ASSERT_EQ(set.replica_stats(0).state, service::BreakerState::kOpen);
+  ASSERT_EQ(set.replica_stats(1).state, service::BreakerState::kOpen);
+  EXPECT_FALSE(set.Healthy());
+
+  // Fully ejected: calls fail fast without touching any replica.
+  int calls_before =
+      f.replicas[0]->calls.load() + f.replicas[1]->calls.load();
+  auto result = set.ExecuteSql(kSql);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(f.replicas[0]->calls.load() + f.replicas[1]->calls.load(),
+            calls_before);
+
+  // Cool-down elapses: Healthy() flips back on its own (this is what lets
+  // a router resume sending probe traffic), and a healed replica closes.
+  for (auto& replica : f.replicas) replica->fail_with.store(StatusCode::kOk);
+  f.now += 100 + 50 + 1;
+  EXPECT_TRUE(set.Healthy());
+  auto recovered = set.ExecuteSql(kSql);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+}
+
+TEST(ReplicaSetTest, NonSourceErrorReturnsImmediatelyWithoutFailover) {
+  ReplicaFixture f(3);
+  auto options = f.Options();
+  options.hedging = false;
+  ReplicaSet set(std::move(options));
+  for (auto& replica : f.replicas) {
+    replica->fail_with.store(StatusCode::kInternal);
+  }
+  auto result = set.ExecuteSql(kSql);
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(set.retries(), 0u);
+  EXPECT_EQ(set.ejections(), 0u);
+  int total_calls = 0;
+  for (auto& replica : f.replicas) total_calls += replica->calls.load();
+  EXPECT_EQ(total_calls, 1);  // deterministic errors never fan out
+}
+
+TEST(ReplicaSetTest, ShutdownUnblocksInFlightCalls) {
+  ReplicaFixture f(2);
+  auto options = f.Options();
+  options.hedging = false;
+  ReplicaSet set(std::move(options));
+  for (auto& replica : f.replicas) replica->delay_ms.store(30000);
+
+  std::atomic<bool> returned{false};
+  Status status = Status::OK();
+  std::thread caller([&] {
+    auto result = set.ExecuteSql(kSql);
+    status = result.status();
+    returned.store(true);
+  });
+  // Give the call time to get in flight, then pull the plug.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  auto t0 = std::chrono::steady_clock::now();
+  set.Shutdown();
+  caller.join();
+  double unblock_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  EXPECT_TRUE(returned.load());
+  EXPECT_FALSE(status.ok());
+  EXPECT_LT(unblock_ms, 5000) << "shutdown did not unblock the call";
+
+  auto after = set.ExecuteSql(kSql);
+  EXPECT_EQ(after.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ReplicaSetTest, DeadlineProducesCleanTimeout) {
+  ReplicaFixture f(2);
+  auto options = f.Options();
+  options.hedging = false;
+  ReplicaSet set(std::move(options));
+  for (auto& replica : f.replicas) replica->delay_ms.store(10000);
+  auto t0 = std::chrono::steady_clock::now();
+  auto result = set.ExecuteSqlWithDeadline(kSql, 50);
+  double elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+  EXPECT_LT(elapsed_ms, 5000);
+}
+
+TEST(ReplicaSetTest, HedgeDelayTracksObservedLatencies) {
+  ReplicaFixture f(2);
+  auto options = f.Options();
+  options.hedge_initial_delay_ms = 123;
+  options.hedge_warmup = 4;
+  options.hedge_min_delay_ms = 1;
+  options.hedge_max_delay_ms = 1000;
+  options.hedging = false;  // sample collection only, no races
+  ReplicaSet set(std::move(options));
+
+  EXPECT_DOUBLE_EQ(set.CurrentHedgeDelayMs(), 123);  // cold: initial delay
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(set.ExecuteSql(kSql).ok());
+  }
+  // Warmed up: the delay now reflects the (fast) observed p95, clamped to
+  // the configured floor — far below the initial guess.
+  EXPECT_LT(set.CurrentHedgeDelayMs(), 123);
+  EXPECT_GE(set.CurrentHedgeDelayMs(), 1);
+}
+
+}  // namespace
+}  // namespace silkroute::net

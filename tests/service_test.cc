@@ -131,6 +131,72 @@ TEST(CircuitBreakerTest, AbandonedProbeFreesTheSlot) {
   EXPECT_EQ(f.breaker.Admit(), CircuitBreaker::Decision::kProbe);
 }
 
+TEST(CircuitBreakerTest, OpenJitterDesynchronizesSiblingCooldowns) {
+  // Two breakers built from the same options struct (same base seed) but
+  // different keys draw independent jitter streams: tripped by the same
+  // incident, their cool-downs end at different times, so a recovering
+  // server sees a trickle of probes instead of a synchronized herd.
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.open_ms = 100;
+  options.open_jitter_ms = 100;
+  double now = 0;
+  options.now_ms = [&now] { return now; };
+  CircuitBreaker a("replica-a", options);
+  CircuitBreaker b("replica-b", options);
+  auto da = a.Admit();
+  a.RecordFailure(da);
+  auto db = b.Admit();
+  b.RecordFailure(db);
+  ASSERT_TRUE(a.WouldFastFail());
+  ASSERT_TRUE(b.WouldFastFail());
+
+  // Scan the jitter window: there must be a moment where exactly one of
+  // the two would admit a probe.
+  bool diverged = false;
+  for (now = 100; now <= 200 && !diverged; now += 1) {
+    diverged = a.WouldFastFail() != b.WouldFastFail();
+  }
+  EXPECT_TRUE(diverged) << "sibling breakers re-opened in lockstep";
+  // Past the worst-case jitter both have cooled down.
+  now = 201;
+  EXPECT_FALSE(a.WouldFastFail());
+  EXPECT_FALSE(b.WouldFastFail());
+}
+
+TEST(CircuitBreakerTest, ZeroJitterKeepsCooldownDeterministic) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.open_ms = 100;
+  options.open_jitter_ms = 0;  // the pre-jitter behavior, bit for bit
+  BreakerFixture f(options);
+  auto d = f.breaker.Admit();
+  f.breaker.RecordFailure(d);
+  f.now = 99;
+  EXPECT_TRUE(f.breaker.WouldFastFail());
+  f.now = 100;
+  EXPECT_FALSE(f.breaker.WouldFastFail());
+}
+
+TEST(CircuitBreakerTest, WouldFastFailIsSideEffectFree) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.open_ms = 100;
+  BreakerFixture f(options);
+  auto d = f.breaker.Admit();
+  f.breaker.RecordFailure(d);
+  ASSERT_EQ(f.breaker.state(), BreakerState::kOpen);
+  // Polling health must not consume probe admissions or count fast-fails
+  // — it is the router's look-before-you-leap check.
+  size_t fast_fails = f.breaker.counters().fast_fails;
+  for (int i = 0; i < 100; ++i) (void)f.breaker.WouldFastFail();
+  EXPECT_EQ(f.breaker.counters().fast_fails, fast_fails);
+  f.now = 101;
+  EXPECT_FALSE(f.breaker.WouldFastFail());
+  EXPECT_EQ(f.breaker.state(), BreakerState::kOpen);  // still no transition
+  EXPECT_EQ(f.breaker.Admit(), CircuitBreaker::Decision::kProbe);
+}
+
 TEST(CircuitBreakerTest, RegistryCreatesPerKeyAndAggregates) {
   CircuitBreakerOptions options;
   options.failure_threshold = 1;

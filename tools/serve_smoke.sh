@@ -1,8 +1,9 @@
 #!/bin/sh
-# End-to-end smoke of the networked federation CLI: start an engine server
-# on an ephemeral port, publish the demo view through --connect (remote
-# executor) and --connect --federate all (failover router), and require
-# both documents to be byte-identical to the local publish.
+# End-to-end smoke of the networked federation CLI: start two engine
+# servers on ephemeral ports, publish the demo view through --connect
+# (remote executor), --connect --federate all (failover router), and a
+# two-replica --connect host:p1,host:p2 (replica set), and require every
+# document to be byte-identical to the local publish.
 #
 #   serve_smoke.sh CLI_BINARY SCHEMA VIEW WORKDIR
 set -e
@@ -12,19 +13,25 @@ VIEW="$3"
 WORK="$4"
 
 PORTFILE="$WORK/serve_port.txt"
-rm -f "$PORTFILE"
+PORTFILE2="$WORK/serve_port2.txt"
+rm -f "$PORTFILE" "$PORTFILE2"
 "$CLI" --schema "$SCHEMA" --serve 0 --port-file "$PORTFILE" &
 SERVER_PID=$!
-trap 'kill "$SERVER_PID" 2>/dev/null || true; wait "$SERVER_PID" 2>/dev/null || true' EXIT
+"$CLI" --schema "$SCHEMA" --serve 0 --port-file "$PORTFILE2" &
+SERVER2_PID=$!
+trap 'kill "$SERVER_PID" "$SERVER2_PID" 2>/dev/null || true; \
+     wait "$SERVER_PID" "$SERVER2_PID" 2>/dev/null || true' EXIT
 
 i=0
 while [ "$i" -lt 100 ]; do
-  [ -s "$PORTFILE" ] && break
+  [ -s "$PORTFILE" ] && [ -s "$PORTFILE2" ] && break
   i=$((i + 1))
   sleep 0.1
 done
 [ -s "$PORTFILE" ] || { echo "server never wrote the port file" >&2; exit 1; }
+[ -s "$PORTFILE2" ] || { echo "replica never wrote the port file" >&2; exit 1; }
 PORT=$(cat "$PORTFILE")
+PORT2=$(cat "$PORTFILE2")
 
 "$CLI" --schema "$SCHEMA" --view "$VIEW" --root league \
   --output "$WORK/serve_smoke_local.xml"
@@ -33,7 +40,11 @@ PORT=$(cat "$PORTFILE")
 "$CLI" --schema "$SCHEMA" --view "$VIEW" --root league \
   --connect "127.0.0.1:$PORT" --federate all --concurrency 4 \
   --output "$WORK/serve_smoke_federated.xml"
+"$CLI" --schema "$SCHEMA" --view "$VIEW" --root league \
+  --connect "127.0.0.1:$PORT,127.0.0.1:$PORT2" \
+  --output "$WORK/serve_smoke_replicas.xml"
 
 cmp "$WORK/serve_smoke_local.xml" "$WORK/serve_smoke_remote.xml"
 cmp "$WORK/serve_smoke_local.xml" "$WORK/serve_smoke_federated.xml"
-echo "serve smoke OK (port $PORT)"
+cmp "$WORK/serve_smoke_local.xml" "$WORK/serve_smoke_replicas.xml"
+echo "serve smoke OK (ports $PORT,$PORT2)"

@@ -33,8 +33,11 @@
 //                      (PORT 0 = ephemeral; no --view needed)
 //   --port-file FILE   with --serve: write the bound port to FILE once
 //                      listening (how scripts find an ephemeral port)
-//   --connect H:P      execute component SQL on the engine server at H:P
-//                      instead of the local engine
+//   --connect LIST     execute component SQL on the engine server(s) at
+//                      the comma-separated host:port list instead of the
+//                      local engine; two or more endpoints form a replica
+//                      set (health-aware routing + hedged requests,
+//                      DESIGN.md §13)
 //   --federate LIST    with --connect: route only the comma-separated
 //                      tables to the remote ("all" = every table), fall
 //                      back to the locally loaded data when it is down
@@ -49,6 +52,7 @@
 
 #include "common/timer.h"
 #include "net/remote_executor.h"
+#include "net/replica_set.h"
 #include "net/server.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -104,8 +108,8 @@ int Usage(const char* argv0) {
                "[--dtd] [--pretty] [--no-reduce] [--concurrency N] "
                "[--engine-threads N] [--deadline-ms D] [--requests N] "
                "[--trace file] [--prom file] [--stats] "
-               "[--serve port [--port-file file]] [--connect host:port "
-               "[--federate table,...|all]]\n";
+               "[--serve port [--port-file file]] [--connect host:port"
+               "[,host:port...] [--federate table,...|all]]\n";
   return 2;
 }
 
@@ -391,26 +395,53 @@ int main(int argc, char** argv) {
     return true;
   };
 
-  // Federation: component SQL goes to a remote engine server, optionally
-  // split by table ownership with the local engine as failover target.
+  // Federation: component SQL goes to one remote engine server — or a
+  // replica set of them when --connect lists several endpoints —
+  // optionally split by table ownership with the local engine as
+  // failover target.
   std::unique_ptr<net::RemoteSqlExecutor> remote_executor;
+  std::unique_ptr<net::ReplicaSet> replica_set;
   std::unique_ptr<engine::DatabaseExecutor> local_executor;
   std::unique_ptr<service::FederatedExecutor> federated_executor;
   engine::SqlExecutor* executor = nullptr;
   if (!args.connect.empty()) {
-    size_t colon = args.connect.find_last_of(':');
-    net::RemoteExecutorOptions remote_options;
-    remote_options.host = args.connect.substr(0, colon);
-    remote_options.port =
-        static_cast<uint16_t>(std::atoi(args.connect.c_str() + colon + 1));
-    remote_options.metrics = registry_ptr;
-    remote_executor =
-        std::make_unique<net::RemoteSqlExecutor>(remote_options);
+    std::vector<net::ReplicaEndpoint> endpoints;
+    std::istringstream connect_list(args.connect);
+    std::string hostport;
+    while (std::getline(connect_list, hostport, ',')) {
+      if (hostport.empty()) continue;
+      size_t colon = hostport.find_last_of(':');
+      if (colon == std::string::npos) return Usage(argv[0]);
+      net::ReplicaEndpoint endpoint;
+      endpoint.name = "r" + std::to_string(endpoints.size());
+      endpoint.host = hostport.substr(0, colon);
+      endpoint.port =
+          static_cast<uint16_t>(std::atoi(hostport.c_str() + colon + 1));
+      endpoints.push_back(std::move(endpoint));
+    }
+    if (endpoints.empty()) return Usage(argv[0]);
+    engine::SqlExecutor* remote = nullptr;
+    if (endpoints.size() == 1) {
+      net::RemoteExecutorOptions remote_options;
+      remote_options.host = endpoints[0].host;
+      remote_options.port = endpoints[0].port;
+      remote_options.metrics = registry_ptr;
+      remote_executor =
+          std::make_unique<net::RemoteSqlExecutor>(remote_options);
+      remote = remote_executor.get();
+    } else {
+      net::ReplicaSetOptions set_options;
+      set_options.backend = "remote";
+      set_options.endpoints = std::move(endpoints);
+      set_options.metrics = registry_ptr;
+      replica_set = std::make_unique<net::ReplicaSet>(std::move(set_options));
+      remote = replica_set.get();
+    }
     if (!args.federate.empty()) {
       local_executor = std::make_unique<engine::DatabaseExecutor>(&db);
       service::FederatedBackendSpec spec;
       spec.name = "remote";
-      spec.executor = remote_executor.get();
+      spec.executor = remote;
       if (args.federate != "all") {
         std::istringstream tables(args.federate);
         std::string table;
@@ -426,7 +457,7 @@ int main(int argc, char** argv) {
           std::move(federated_options));
       executor = federated_executor.get();
     } else {
-      executor = remote_executor.get();
+      executor = remote;
     }
   }
 

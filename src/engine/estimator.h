@@ -39,14 +39,24 @@ struct QueryEstimate {
   double data_size() const { return rows * width_bytes; }
 };
 
-class CostEstimator {
+/// The planner-facing oracle abstraction: anything that can price a SQL
+/// text. The synthetic CostEstimator below is the paper's oracle; the
+/// MeasuredCostOracle (measured_oracle.h) overlays observed workload costs
+/// on top of a synthetic base so genPlan re-runs price plans by reality.
+class CostOracle {
+ public:
+  virtual ~CostOracle() = default;
+  virtual Result<QueryEstimate> EstimateSql(std::string_view sql) = 0;
+};
+
+class CostEstimator : public CostOracle {
  public:
   CostEstimator(const Catalog* catalog, const DatabaseStats* stats)
       : catalog_(catalog), stats_(stats) {}
 
   /// Parses and estimates; increments the request counter (the quantity the
   /// paper reports in Sec. 5.1).
-  Result<QueryEstimate> EstimateSql(std::string_view sql);
+  Result<QueryEstimate> EstimateSql(std::string_view sql) override;
 
   Result<QueryEstimate> Estimate(const sql::Query& query);
 

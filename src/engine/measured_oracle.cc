@@ -1,0 +1,30 @@
+#include "engine/measured_oracle.h"
+
+#include <algorithm>
+
+namespace silkroute::engine {
+
+Result<QueryEstimate> MeasuredCostOracle::EstimateSql(std::string_view sql) {
+  // The synthetic estimate is always computed: it keeps the request
+  // accounting of the paper's Sec. 5.1 comparable across runs, and it is
+  // the fallback for anything the workload has not measured yet.
+  SILK_ASSIGN_OR_RETURN(QueryEstimate est, synthetic_->EstimateSql(sql));
+  if (profile_ == nullptr) return est;
+  auto observed = profile_->Lookup(sql);
+  if (!observed.has_value() ||
+      observed->query.count < options_.min_samples) {
+    return est;
+  }
+  ++overlay_hits_;
+  double measured_ms = observed->query.ewma_ms + observed->bind.ewma_ms +
+                       observed->tag.ewma_ms;
+  est.cost = measured_ms * options_.cost_units_per_ms;
+  est.rows = observed->rows_ewma;
+  // Preserve data_size() == observed wire bytes: width = bytes / rows.
+  est.width_bytes = observed->rows_ewma > 0
+                        ? observed->wire_bytes_ewma / observed->rows_ewma
+                        : observed->wire_bytes_ewma;
+  return est;
+}
+
+}  // namespace silkroute::engine

@@ -1,0 +1,55 @@
+// MeasuredCostOracle: overlays an observed-cost workload profile
+// (obs::WorkloadProfile) on a synthetic CostOracle. For a SQL text the
+// profile has seen at least `min_samples` times, the estimate is priced
+// from measurement — EWMA query+bind+tag milliseconds scaled into the
+// synthetic oracle's abstract cost units, observed row and wire-byte EWMAs
+// replacing the cardinality model — so genPlan's relative-cost comparisons
+// rank component merges by what they actually cost on this workload.
+// Unseen queries (every newly merged candidate the greedy search probes)
+// fall through to the synthetic oracle, keeping the search total: the
+// overlay never makes the planner blind, only better informed.
+#ifndef SILKROUTE_ENGINE_MEASURED_ORACLE_H_
+#define SILKROUTE_ENGINE_MEASURED_ORACLE_H_
+
+#include <cstdint>
+
+#include "engine/estimator.h"
+#include "obs/profile.h"
+
+namespace silkroute::engine {
+
+class MeasuredCostOracle : public CostOracle {
+ public:
+  struct Options {
+    /// Overlay only once the profile holds this many query samples for the
+    /// text; below it the synthetic estimate stands.
+    uint64_t min_samples = 1;
+    /// Conversion from observed milliseconds to the synthetic oracle's
+    /// abstract cost units, so measured and synthetic plan costs stay on
+    /// one scale during a partially-profiled search.
+    double cost_units_per_ms = 1000.0;
+  };
+
+  /// Neither pointer is owned; both must outlive the oracle. A null
+  /// profile degrades to a pure passthrough.
+  MeasuredCostOracle(CostOracle* synthetic, const obs::WorkloadProfile* profile,
+                     Options options)
+      : synthetic_(synthetic), profile_(profile), options_(options) {}
+  MeasuredCostOracle(CostOracle* synthetic, const obs::WorkloadProfile* profile)
+      : MeasuredCostOracle(synthetic, profile, Options()) {}
+
+  Result<QueryEstimate> EstimateSql(std::string_view sql) override;
+
+  /// How many estimates were served from measurement (diagnostics).
+  uint64_t overlay_hits() const { return overlay_hits_; }
+
+ private:
+  CostOracle* const synthetic_;
+  const obs::WorkloadProfile* const profile_;
+  const Options options_;
+  uint64_t overlay_hits_ = 0;
+};
+
+}  // namespace silkroute::engine
+
+#endif  // SILKROUTE_ENGINE_MEASURED_ORACLE_H_

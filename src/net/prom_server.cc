@@ -1,0 +1,79 @@
+#include "net/prom_server.h"
+
+#include <sstream>
+#include <utility>
+
+#include "obs/export.h"
+
+namespace silkroute::net {
+
+PromServer::PromServer(const obs::MetricsRegistry* registry, std::string host,
+                       uint16_t port)
+    : registry_(registry), host_(std::move(host)), port_(port) {}
+
+PromServer::~PromServer() { Shutdown(); }
+
+Status PromServer::Start() {
+  auto listener = Listener::Bind(host_, port_);
+  SILK_RETURN_IF_ERROR(listener.status());
+  listener_ = std::move(*listener);
+  port_ = listener_.port();
+  started_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void PromServer::AcceptLoop() {
+  IoOptions io;
+  io.cancel = &cancel_;
+  while (!stopping_.load()) {
+    auto socket = listener_.Accept(io);
+    if (!socket.ok()) {
+      if (stopping_.load()) return;
+      continue;  // transient accept failure; keep serving scrapes
+    }
+    ServeOne(std::move(*socket));
+  }
+}
+
+void PromServer::ServeOne(Socket socket) {
+  // Drain the request head until the blank line (or 4 KiB — scrape
+  // requests are tiny; anything bigger is garbage we answer anyway).
+  IoOptions io = IoOptions::WithTimeout(2000);
+  io.cancel = &cancel_;
+  std::string head;
+  char buf[512];
+  while (head.size() < 4096 &&
+         head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos) {
+    size_t got = 0;
+    Status status = socket.ReadSome(buf, sizeof(buf), &got, io);
+    if (!status.ok() || got == 0) break;
+    head.append(buf, got);
+  }
+
+  std::ostringstream body;
+  obs::WritePrometheusText(body, registry_->Snapshot());
+  std::string text = body.str();
+  std::ostringstream reply;
+  reply << "HTTP/1.0 200 OK\r\n"
+        << "Content-Type: text/plain; version=0.0.4\r\n"
+        << "Content-Length: " << text.size() << "\r\n"
+        << "Connection: close\r\n\r\n"
+        << text;
+  std::string wire = reply.str();
+  if (socket.WriteFull(wire.data(), wire.size(), io).ok()) {
+    scrapes_served_.fetch_add(1);
+  }
+  // Socket closes on scope exit: HTTP/1.0 close-per-request.
+}
+
+void PromServer::Shutdown() {
+  stopping_.store(true);
+  cancel_.Cancel();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  started_.store(false);
+}
+
+}  // namespace silkroute::net

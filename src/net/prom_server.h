@@ -1,0 +1,67 @@
+// PromServer: a minimal HTTP scrape endpoint exposing a MetricsRegistry in
+// Prometheus text exposition format (DESIGN.md §14). Long-running processes
+// (`silkroute serve`, the publishing service under `--prom-port`) run one of
+// these next to their real listener so a `curl`/Prometheus scrape sees live
+// counters while requests are in flight.
+//
+// Deliberately tiny: one accept thread, one connection served at a time,
+// HTTP/1.0 close-per-request semantics. The request line is read and
+// discarded (any path scrapes — this is an internal diagnostics port, not a
+// router); the reply is always `200 OK` with
+// `Content-Type: text/plain; version=0.0.4` and a WritePrometheusText body
+// snapshotted at scrape time. Scrapes are rare and cheap relative to query
+// traffic, so serial handling keeps the code free of connection tracking.
+#ifndef SILKROUTE_NET_PROM_SERVER_H_
+#define SILKROUTE_NET_PROM_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/cancel.h"
+#include "common/result.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+
+namespace silkroute::net {
+
+class PromServer {
+ public:
+  /// The registry is borrowed and must outlive the server.
+  PromServer(const obs::MetricsRegistry* registry, std::string host,
+             uint16_t port);
+  ~PromServer();
+
+  PromServer(const PromServer&) = delete;
+  PromServer& operator=(const PromServer&) = delete;
+
+  /// Binds and starts the accept thread. Port 0 binds an ephemeral port,
+  /// available from port() afterwards.
+  Status Start();
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, cancels an in-flight serve, joins. Idempotent.
+  void Shutdown();
+
+  /// Scrapes served since Start (for tests and the stats table).
+  uint64_t scrapes_served() const { return scrapes_served_.load(); }
+
+ private:
+  void AcceptLoop();
+  void ServeOne(Socket socket);
+
+  const obs::MetricsRegistry* registry_;
+  const std::string host_;
+  uint16_t port_;
+  Listener listener_;
+  CancelToken cancel_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::atomic<uint64_t> scrapes_served_{0};
+};
+
+}  // namespace silkroute::net
+
+#endif  // SILKROUTE_NET_PROM_SERVER_H_

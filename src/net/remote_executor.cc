@@ -2,10 +2,39 @@
 
 #include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "net/frame_io.h"
 
 namespace silkroute::net {
+
+namespace {
+
+/// Converts a wire trace block back into obs spans and stitches them under
+/// `attempt` (the client-side attempt span), re-based at `offset_ns` on the
+/// client tracer's clock.
+void StitchServerSpans(obs::SpanHandle* attempt, obs::Tracer* tracer,
+                       std::vector<WireSpan> wire_spans, uint64_t offset_ns) {
+  std::vector<obs::Span> spans;
+  spans.reserve(wire_spans.size());
+  for (WireSpan& ws : wire_spans) {
+    obs::Span span;
+    span.id = std::move(ws.id);
+    span.parent_id = std::move(ws.parent_id);
+    span.name = std::move(ws.name);
+    span.start_ns = ws.start_ns;
+    span.end_ns = ws.end_ns;
+    span.annotations.reserve(ws.annotations.size());
+    for (auto& kv : ws.annotations) {
+      span.annotations.push_back(
+          obs::Annotation{std::move(kv.first), std::move(kv.second)});
+    }
+    spans.push_back(std::move(span));
+  }
+  tracer->StitchSubtree(attempt, std::move(spans), offset_ns);
+}
+
+}  // namespace
 
 RemoteSqlExecutor::RemoteSqlExecutor(RemoteExecutorOptions options)
     : options_(std::move(options)), jitter_(options_.jitter_seed) {
@@ -158,10 +187,16 @@ Result<engine::Relation> RemoteSqlExecutor::ExecuteSqlCancellable(
     io.deadline = deadline;
   }
 
+  // Trace only when the caller installed a recording span AND the peer is
+  // not known-legacy; a legacy peer closes the connection on any v2 frame.
+  obs::SpanHandle* current = obs::CurrentSpan();
+  bool traced = current != nullptr && current->recording() &&
+                current->tracer() != nullptr && peer_version_.load() != 1;
+
   bool from_pool = false;
   auto socket = AcquireConnection(io, &from_pool);
   SILK_RETURN_IF_ERROR(socket.status());
-  auto result = Exchange(&*socket, sql, io, has_deadline, deadline);
+  auto result = Exchange(&*socket, sql, io, has_deadline, deadline, traced);
   if (!result.ok() && from_pool &&
       result.status().code() == StatusCode::kUnavailable) {
     // The parked connection died while idle (server restart, half-open
@@ -176,7 +211,30 @@ Result<engine::Relation> RemoteSqlExecutor::ExecuteSqlCancellable(
     auto fresh = DialWithBackoff(io);
     SILK_RETURN_IF_ERROR(fresh.status());
     socket = std::move(fresh);
-    result = Exchange(&*socket, sql, io, has_deadline, deadline);
+    result = Exchange(&*socket, sql, io, has_deadline, deadline, traced);
+  }
+  if (!result.ok() && traced && peer_version_.load() == 0 &&
+      result.status().code() == StatusCode::kUnavailable &&
+      !shutdown_.cancelled() &&
+      (cancel == nullptr || !cancel->cancelled())) {
+    // Version negotiation, the downgrade half (DESIGN.md §14): a legacy
+    // peer rejects the v2 header at decode — before executing anything —
+    // and closes, so the untraced re-send on a fresh connection cannot
+    // double-apply. If it succeeds, remember the peer is legacy and stop
+    // sending v2 for the lifetime of this executor.
+    auto fresh = DialWithBackoff(io);
+    if (fresh.ok()) {
+      auto retried =
+          Exchange(&*fresh, sql, io, has_deadline, deadline, /*traced=*/false);
+      if (retried.ok()) {
+        peer_version_.store(1);
+        if (current != nullptr) {
+          current->Annotate("wire_downgrade", "legacy peer, trace dropped");
+        }
+        socket = std::move(fresh);
+        result = std::move(retried);
+      }
+    }
   }
   if (result.ok()) {
     // Only a connection that completed a full exchange is safe to reuse:
@@ -188,7 +246,14 @@ Result<engine::Relation> RemoteSqlExecutor::ExecuteSqlCancellable(
 
 Result<engine::Relation> RemoteSqlExecutor::Exchange(
     Socket* socket, std::string_view sql, const IoOptions& io,
-    bool has_deadline, std::chrono::steady_clock::time_point deadline) {
+    bool has_deadline, std::chrono::steady_clock::time_point deadline,
+    bool traced) {
+  obs::SpanHandle* attempt = traced ? obs::CurrentSpan() : nullptr;
+  obs::Tracer* tracer = attempt != nullptr ? attempt->tracer() : nullptr;
+  if (attempt == nullptr || !attempt->recording() || tracer == nullptr) {
+    traced = false;
+  }
+
   // Sample the remaining budget immediately before the send, so queue/dial
   // time already spent is subtracted from what the server sees.
   uint64_t budget_us = 0;
@@ -208,7 +273,24 @@ Result<engine::Relation> RemoteSqlExecutor::Exchange(
   header.request_id = request_id;
   header.budget_us = budget_us;
   std::string payload;
-  EncodeRequestPayload(sql, &payload);
+  uint64_t send_ns = 0;
+  if (traced) {
+    // Trace context rides the request as a v2 frame: trace id (the client
+    // root's ordinal) plus this attempt span's id, under which the server's
+    // subtree is stitched when its kEnd comes back.
+    header.version = kWireVersion;
+    header.flags = kFlagTrace;
+    WireTraceContext context;
+    const std::string& span_id = attempt->id();
+    auto dot = span_id.find('.');
+    context.trace_id =
+        dot == std::string::npos ? span_id : span_id.substr(0, dot);
+    context.parent_span_id = span_id;
+    EncodeTracedRequestPayload(sql, context, &payload);
+    send_ns = tracer->NowNs();
+  } else {
+    EncodeRequestPayload(sql, &payload);
+  }
   SILK_RETURN_IF_ERROR(WriteFrame(socket, header, payload, io));
   requests_sent_.fetch_add(1);
   if (m_frames_out_ != nullptr) m_frames_out_->Add(1);
@@ -220,6 +302,15 @@ Result<engine::Relation> RemoteSqlExecutor::Exchange(
   while (true) {
     auto frame = ReadFrame(socket, io, options_.max_payload);
     if (!frame.ok()) {
+      if (traced && io.cancel3 != nullptr && io.cancel3->cancelled() &&
+          !shutdown_.cancelled() && options_.trace_drain_ms > 0) {
+        // A hedged-race loser: the per-call token aborted this read, but
+        // the server is still finishing and its kEnd carries the trace
+        // block. Salvage it within a small bounded window so cancelled
+        // attempts still show their server-side phase spans, then return
+        // the original cancelled status unchanged.
+        DrainTraceBlock(socket, request_id, attempt, tracer, send_ns);
+      }
       if (frame.status().code() == StatusCode::kInvalidArgument) {
         decode_errors_.fetch_add(1);
         if (m_decode_errors_ != nullptr) m_decode_errors_->Add(1);
@@ -249,12 +340,29 @@ Result<engine::Relation> RemoteSqlExecutor::Exchange(
         break;
       }
       case FrameType::kEnd: {
-        auto end = DecodeEndPayload(frame->payload);
+        const bool end_traced = frame->header.version >= 2 &&
+                                (frame->header.flags & kFlagTrace) != 0;
+        std::vector<WireSpan> server_spans;
+        Result<EndPayload> end = [&]() -> Result<EndPayload> {
+          if (end_traced) {
+            auto decoded = DecodeTracedEndPayload(frame->payload);
+            if (!decoded.ok()) return decoded.status();
+            server_spans = std::move(decoded->spans);
+            return decoded->end;
+          }
+          return DecodeEndPayload(frame->payload);
+        }();
         if (!end.ok()) {
           decode_errors_.fetch_add(1);
           if (m_decode_errors_ != nullptr) m_decode_errors_->Add(1);
           return Status::Unavailable("malformed end payload: " +
                                      end.status().message());
+        }
+        if (end_traced) peer_version_.store(2);
+        if (traced && !server_spans.empty()) {
+          trace_stitches_.fetch_add(1);
+          StitchServerSpans(attempt, tracer, std::move(server_spans),
+                            send_ns);
         }
         if (end->relation_bytes != relation_bytes.size()) {
           decode_errors_.fetch_add(1);
@@ -295,13 +403,82 @@ Result<engine::Relation> RemoteSqlExecutor::Exchange(
         // kTimeout so deadline semantics survive the wire).
         return carried;
       }
-      case FrameType::kRequest: {
+      case FrameType::kRequest:
+      case FrameType::kStats: {
         decode_errors_.fetch_add(1);
         if (m_decode_errors_ != nullptr) m_decode_errors_->Add(1);
-        return Status::Unavailable("unexpected request frame from server");
+        return Status::Unavailable(
+            std::string("unexpected ") +
+            FrameTypeToString(frame->header.type) + " frame from server");
       }
     }
   }
+}
+
+void RemoteSqlExecutor::DrainTraceBlock(Socket* socket, uint64_t request_id,
+                                        obs::SpanHandle* attempt,
+                                        obs::Tracer* tracer,
+                                        uint64_t send_ns) {
+  // Fresh IoOptions: the per-call cancel token already fired, so only the
+  // shutdown tokens and a small absolute deadline bound this salvage read.
+  IoOptions drain = IoOptions::WithTimeout(options_.trace_drain_ms);
+  drain.cancel = &shutdown_;
+  drain.cancel2 = options_.cancel;
+  drain.poll_interval_ms = options_.poll_interval_ms;
+  while (true) {
+    auto frame = ReadFrame(socket, drain, options_.max_payload);
+    if (!frame.ok()) return;
+    if (m_frames_in_ != nullptr) m_frames_in_->Add(1);
+    if (frame->header.request_id != request_id) return;
+    if (frame->header.type == FrameType::kChunk) continue;
+    if (frame->header.type == FrameType::kEnd &&
+        frame->header.version >= 2 &&
+        (frame->header.flags & kFlagTrace) != 0) {
+      auto decoded = DecodeTracedEndPayload(frame->payload);
+      if (decoded.ok() && !decoded->spans.empty()) {
+        peer_version_.store(2);
+        trace_drains_.fetch_add(1);
+        trace_stitches_.fetch_add(1);
+        if (attempt != nullptr) attempt->Annotate("trace_drained", "true");
+        StitchServerSpans(attempt, tracer, std::move(decoded->spans),
+                          send_ns);
+      }
+    }
+    return;  // kEnd/kError either way: the exchange is over
+  }
+}
+
+Result<std::string> FetchServerStats(const std::string& host, uint16_t port,
+                                     double timeout_ms) {
+  IoOptions io = IoOptions::WithTimeout(timeout_ms);
+  auto socket = Dial(host, port, io);
+  SILK_RETURN_IF_ERROR(socket.status());
+  FrameHeader header;
+  header.version = kWireVersion;  // kStats exists only on the v2 wire
+  header.type = FrameType::kStats;
+  header.request_id = 1;
+  SILK_RETURN_IF_ERROR(WriteFrame(&*socket, header, "", io));
+  auto reply = ReadFrame(&*socket, io, kMaxFramePayload);
+  if (!reply.ok()) {
+    if (reply.status().code() == StatusCode::kUnavailable) {
+      return Status::Unavailable(
+          "stats scrape failed (legacy pre-v2 server, or server down): " +
+          reply.status().message());
+    }
+    return reply.status();
+  }
+  if (reply->header.type == FrameType::kError) {
+    Status carried = Status::OK();
+    SILK_RETURN_IF_ERROR(DecodeErrorPayload(reply->payload, &carried));
+    if (!carried.ok()) return carried;
+    return Status::Unavailable("error frame carrying an OK status");
+  }
+  if (reply->header.type != FrameType::kStats) {
+    return Status::Unavailable(
+        std::string("unexpected ") + FrameTypeToString(reply->header.type) +
+        " frame in reply to stats request");
+  }
+  return reply->payload;
 }
 
 }  // namespace silkroute::net

@@ -44,6 +44,7 @@
 #include "net/socket.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace silkroute::net {
 
@@ -75,6 +76,11 @@ struct RemoteExecutorOptions {
   std::string backend = "remote";
   /// silkroute_net_*_total{backend="..."} series (borrowed, may be null).
   obs::MetricsRegistry* metrics = nullptr;
+  /// When a traced call is cancelled mid-read (a hedged-race loser), keep
+  /// reading the doomed connection for up to this long to salvage the
+  /// server's trace block from its kEnd frame, so cancelled attempts still
+  /// show their server-side phase spans. 0 disables the drain.
+  double trace_drain_ms = 250;
 };
 
 class RemoteSqlExecutor : public engine::SqlExecutor {
@@ -107,6 +113,12 @@ class RemoteSqlExecutor : public engine::SqlExecutor {
   uint64_t decode_errors() const { return decode_errors_.load(); }
   uint64_t requests_sent() const { return requests_sent_.load(); }
   uint64_t pool_pruned() const { return pool_pruned_.load(); }
+  /// Server trace subtrees stitched under a client span (incl. drained).
+  uint64_t trace_stitches() const { return trace_stitches_.load(); }
+  /// Cancelled calls whose trace block was salvaged by the bounded drain.
+  uint64_t trace_drains() const { return trace_drains_.load(); }
+  /// Negotiated peer wire version: 0 = unknown, 1 = legacy, 2 = v2.
+  int peer_version() const { return peer_version_.load(); }
   size_t pooled_connections() const;
 
  private:
@@ -117,11 +129,20 @@ class RemoteSqlExecutor : public engine::SqlExecutor {
   /// Dials a fresh connection with backoff, never touching the pool.
   Result<Socket> DialWithBackoff(const IoOptions& io);
   void ReleaseConnection(Socket socket);
-  /// One request/response exchange on an open connection.
+  /// One request/response exchange on an open connection. With `traced`,
+  /// the request carries the current span's trace context (wire v2 +
+  /// kFlagTrace) and a traced kEnd's span subtree is stitched under the
+  /// current span.
   Result<engine::Relation> Exchange(Socket* socket, std::string_view sql,
                                     const IoOptions& io, bool has_deadline,
                                     std::chrono::steady_clock::time_point
-                                        deadline);
+                                        deadline,
+                                    bool traced);
+  /// Best-effort bounded read of the doomed connection after a cancelled
+  /// traced call, to salvage the trace block from the server's kEnd.
+  void DrainTraceBlock(Socket* socket, uint64_t request_id,
+                       obs::SpanHandle* attempt, obs::Tracer* tracer,
+                       uint64_t send_ns);
 
   /// An idle connection plus the instant it was parked, for TTL pruning.
   struct PooledConnection {
@@ -137,6 +158,11 @@ class RemoteSqlExecutor : public engine::SqlExecutor {
   CancelToken shutdown_;
   Random jitter_;
   std::atomic<uint64_t> next_request_id_{1};
+  /// Wire version negotiation (DESIGN.md §14): 0 = unknown (send v2 when
+  /// tracing), 1 = legacy peer (never send v2 again), 2 = confirmed v2.
+  /// Set to 1 after a v2 exchange dies unanswered and an untraced retry
+  /// succeeds; set to 2 the first time a traced kEnd arrives.
+  std::atomic<int> peer_version_{0};
 
   mutable std::mutex pool_mu_;
   std::vector<PooledConnection> idle_;
@@ -145,6 +171,8 @@ class RemoteSqlExecutor : public engine::SqlExecutor {
   std::atomic<uint64_t> decode_errors_{0};
   std::atomic<uint64_t> requests_sent_{0};
   std::atomic<uint64_t> pool_pruned_{0};
+  std::atomic<uint64_t> trace_stitches_{0};
+  std::atomic<uint64_t> trace_drains_{0};
 
   // Registry mirrors (null when metrics are disabled).
   obs::Counter* m_reconnects_ = nullptr;
@@ -153,6 +181,12 @@ class RemoteSqlExecutor : public engine::SqlExecutor {
   obs::Counter* m_frames_out_ = nullptr;
   obs::Counter* m_pool_pruned_ = nullptr;
 };
+
+/// Dials an EngineServer and asks for its live metrics snapshot via a v2
+/// kStats frame (the CLI's `--scrape` mode). Returns the Prometheus text
+/// exposition body; kUnavailable against a legacy (pre-v2) server.
+Result<std::string> FetchServerStats(const std::string& host, uint16_t port,
+                                     double timeout_ms);
 
 }  // namespace silkroute::net
 

@@ -61,6 +61,11 @@ struct ReplicaSet::Attempt {
   CancelToken cancel;
   std::atomic<bool> cancelled_by_us{false};
   std::thread thread;
+  /// Child of the coordinator's current span; installed as the attempt
+  /// thread's current span so the remote executor sends its id as trace
+  /// context and stitches the server's subtree under it — hedge losers
+  /// included. Ended by the coordinator after SettleAttempt.
+  obs::SpanHandle span;
 
   // Completion state, guarded by the race mutex.
   std::mutex* race_mu = nullptr;
@@ -261,6 +266,10 @@ double ReplicaSet::CurrentHedgeDelayMs() const {
 void ReplicaSet::RunAttempt(Attempt* attempt, std::string_view sql,
                             double timeout_ms) {
   auto t0 = std::chrono::steady_clock::now();
+  // The attempt span becomes this thread's current span: a traced remote
+  // executor underneath sends its id over the wire and stitches the
+  // server's phase spans back under it.
+  obs::ScopedCurrentSpan scope(&attempt->span);
   auto result = attempt->replica->executor->ExecuteSqlCancellable(
       sql, timeout_ms, &attempt->cancel);
   double elapsed_ms = std::chrono::duration<double, std::milli>(
@@ -343,6 +352,14 @@ Result<engine::Relation> ReplicaSet::RunHedged(
     attempt->decision = decision;
     attempt->is_hedge = is_hedge;
     attempt->launched = true;
+    obs::SpanHandle* parent = obs::CurrentSpan();
+    if (parent != nullptr && parent->recording() &&
+        parent->tracer() != nullptr) {
+      attempt->span =
+          obs::Tracer::Child(parent->tracer(), parent, "replica_attempt");
+      attempt->span.Annotate("replica", attempt->replica->name);
+      if (is_hedge) attempt->span.Annotate("hedge", "true");
+    }
     attempt->replica->in_flight.fetch_add(1);
     if (attempt->replica->m_in_flight != nullptr) {
       attempt->replica->m_in_flight->Add(1);
@@ -458,6 +475,23 @@ Result<engine::Relation> ReplicaSet::RunHedged(
   }
   for (Attempt& attempt : attempts) {
     if (attempt.launched) SettleAttempt(&attempt);
+  }
+  for (Attempt& attempt : attempts) {
+    // End attempt spans only after joins: any drained hedge-loser subtree
+    // has been stitched by now, so the span's duration covers the whole
+    // attempt including the salvage read.
+    if (!attempt.launched) continue;
+    if (attempt.span.recording()) {
+      attempt.span.AnnotateMs("ms", attempt.elapsed_ms);
+      attempt.span.Annotate(
+          "status", StatusCodeToString(attempt.result.ok()
+                                           ? StatusCode::kOk
+                                           : attempt.result.status().code()));
+      if (attempt.cancelled_by_us.load()) {
+        attempt.span.Annotate("cancelled_by_us", "true");
+      }
+    }
+    attempt.span.End();
   }
   for (Attempt& attempt : attempts) {
     // Genuine failures feed the caller's exclude set so a retry tries a

@@ -1,11 +1,15 @@
 #include "net/server.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <csignal>
 #include <mutex>
+#include <sstream>
 #include <utility>
 
 #include "net/frame_io.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 
 namespace silkroute::net {
 
@@ -113,6 +117,13 @@ void EngineServer::ServeConnection(Socket socket) {
       // way the connection is done.
       return;
     }
+    if (options_.emulate_legacy &&
+        frame->header.version != kWireVersionLegacy) {
+      // A pre-v2 server rejects the unknown version at header decode and
+      // closes without an error frame; reproduce that byte-for-byte so the
+      // client-side downgrade path is tested against the real symptom.
+      return;
+    }
     if (m_frames_in_ != nullptr) m_frames_in_->Add(1);
     if (!ServeRequest(&socket, *frame)) return;
   }
@@ -134,6 +145,21 @@ bool EngineServer::ServeRequest(Socket* socket, const Frame& request) {
     return WriteFrame(socket, header, payload, io).ok();
   };
 
+  if (request.header.type == FrameType::kStats) {
+    // Live scrape over the wire: reply with a point-in-time Prometheus
+    // snapshot of the server's registry (empty body when metrics are off).
+    std::ostringstream text;
+    if (options_.metrics != nullptr) {
+      obs::WritePrometheusText(text, options_.metrics->Snapshot());
+    }
+    FrameHeader stats;
+    stats.version = kWireVersion;
+    stats.type = FrameType::kStats;
+    stats.request_id = request.header.request_id;
+    if (m_frames_out_ != nullptr) m_frames_out_->Add(1);
+    return WriteFrame(socket, stats, text.str(), io).ok();
+  }
+
   if (request.header.type != FrameType::kRequest) {
     // A client speaking the protocol wrong gets one error, then the
     // connection closes (the stream can no longer be trusted).
@@ -142,10 +168,25 @@ bool EngineServer::ServeRequest(Socket* socket, const Frame& request) {
         " frame from client"));
     return false;
   }
-  auto sql = DecodeRequestPayload(request.payload);
-  if (!sql.ok()) {
-    send_error(sql.status());
-    return false;
+  const bool traced = request.header.version >= 2 &&
+                      (request.header.flags & kFlagTrace) != 0;
+  std::string sql_text;
+  WireTraceContext trace_context;
+  if (traced) {
+    auto decoded = DecodeTracedRequestPayload(request.payload);
+    if (!decoded.ok()) {
+      send_error(decoded.status());
+      return false;
+    }
+    sql_text = std::move(decoded->sql);
+    trace_context = std::move(decoded->trace);
+  } else {
+    auto sql = DecodeRequestPayload(request.payload);
+    if (!sql.ok()) {
+      send_error(sql.status());
+      return false;
+    }
+    sql_text = std::move(*sql);
   }
 
   // Deadline propagation: re-anchor the client's remaining budget on this
@@ -163,6 +204,20 @@ bool EngineServer::ServeRequest(Socket* socket, const Frame& request) {
     return send_error(Status::Timeout("deadline expired before execution"));
   }
 
+  // Per-request tracer: queue-wait / execute / serialize phase spans hang
+  // under one "server" root whose finished subtree ships back in the kEnd
+  // frame for the client to stitch under its attempt span. The sink and
+  // tracer live on this stack; the pool task finishes every span it owns
+  // before fulfilling the slot, and this thread waits on the slot before
+  // leaving the frame, so no span outlives its tracer.
+  obs::CollectingSink trace_sink;
+  obs::Tracer tracer(traced ? &trace_sink : nullptr);
+  obs::SpanHandle server_span = obs::Tracer::Root(&tracer, "server");
+  server_span.Annotate("sql", sql_text);
+  if (!trace_context.trace_id.empty()) {
+    server_span.Annotate("trace_id", trace_context.trace_id);
+  }
+
   // Execute on the shared pool; this thread only waits and streams.
   struct Slot {
     std::mutex mu;
@@ -171,8 +226,21 @@ bool EngineServer::ServeRequest(Socket* socket, const Frame& request) {
     Result<engine::Relation> result = Status::Internal("request not run");
   };
   auto slot = std::make_shared<Slot>();
-  bool submitted = pool_.Submit([this, slot, sql = std::move(*sql),
-                                 has_deadline, deadline, budget_ms] {
+  auto queue_span = std::make_shared<obs::SpanHandle>(
+      obs::Tracer::Child(&tracer, &server_span, "phase:queue_wait"));
+  auto queue_start = std::chrono::steady_clock::now();
+  bool submitted = pool_.Submit([this, slot, sql = std::move(sql_text),
+                                 has_deadline, deadline, budget_ms, queue_span,
+                                 queue_start, tracer_ptr = &tracer,
+                                 server_ptr = &server_span] {
+    queue_span->AnnotateMs(
+        "ms", std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - queue_start)
+                  .count());
+    queue_span->End();
+    obs::SpanHandle execute_span =
+        obs::Tracer::Child(tracer_ptr, server_ptr, "phase:execute");
+    auto execute_start = std::chrono::steady_clock::now();
     Result<engine::Relation> result = [&]() -> Result<engine::Relation> {
       if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
         return Status::Timeout("deadline expired in server queue");
@@ -189,6 +257,13 @@ bool EngineServer::ServeRequest(Socket* socket, const Frame& request) {
       return executor_.ExecuteSqlWithDeadline(sql,
                                               has_deadline ? remaining_ms : 0);
     }();
+    execute_span.AnnotateMs(
+        "ms", std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - execute_start)
+                  .count());
+    execute_span.Annotate("status",
+                          StatusCodeToString(result.status().code()));
+    execute_span.End();
     {
       std::lock_guard<std::mutex> lock(slot->mu);
       slot->result = std::move(result);
@@ -212,7 +287,12 @@ bool EngineServer::ServeRequest(Socket* socket, const Frame& request) {
   if (!result.ok()) return send_error(result.status());
 
   // Stream the relation: kChunk* then kEnd carrying the row/byte counts the
-  // client cross-checks.
+  // client cross-checks. The serialize span covers both the encode and the
+  // chunk writes onto the wire, and ends before the kEnd payload is built
+  // so the shipped subtree is complete.
+  obs::SpanHandle serialize_span =
+      obs::Tracer::Child(&tracer, &server_span, "phase:serialize");
+  auto serialize_start = std::chrono::steady_clock::now();
   std::string bytes;
   SerializeRelation(*result, &bytes);
   EndPayload end;
@@ -240,11 +320,40 @@ bool EngineServer::ServeRequest(Socket* socket, const Frame& request) {
     }
     offset += len;
   } while (offset < bytes.size());
+  serialize_span.AnnotateMs(
+      "ms", std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - serialize_start)
+                .count());
+  serialize_span.Annotate("bytes", std::to_string(bytes.size()));
+  serialize_span.End();
   std::string end_payload;
-  EncodeEndPayload(end, &end_payload);
   FrameHeader end_header;
   end_header.type = FrameType::kEnd;
   end_header.request_id = request.header.request_id;
+  if (traced) {
+    // Finish the server root, then ship the whole recorded subtree back in
+    // a v2 kEnd so the client can stitch it under its attempt span.
+    server_span.Annotate("rows", std::to_string(result->rows.size()));
+    server_span.End();
+    std::vector<WireSpan> wire_spans;
+    for (const obs::Span& span : trace_sink.spans()) {
+      WireSpan ws;
+      ws.id = span.id;
+      ws.parent_id = span.parent_id;
+      ws.name = span.name;
+      ws.start_ns = span.start_ns;
+      ws.end_ns = span.end_ns;
+      for (const obs::Annotation& kv : span.annotations) {
+        ws.annotations.emplace_back(kv.key, kv.value);
+      }
+      wire_spans.push_back(std::move(ws));
+    }
+    EncodeTracedEndPayload(end, wire_spans, &end_payload);
+    end_header.version = kWireVersion;
+    end_header.flags = kFlagTrace;
+  } else {
+    EncodeEndPayload(end, &end_payload);
+  }
   if (m_frames_out_ != nullptr) m_frames_out_->Add(1);
   if (!WriteFrame(socket, end_header, end_payload, io).ok()) {
     requests_failed_.fetch_add(1);

@@ -57,6 +57,10 @@ struct EngineServerOptions {
   uint32_t max_payload = kMaxFramePayload;
   /// Per-series counters under silkroute_server_* (borrowed, may be null).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Behave like a wire-v1 peer: any v2 frame (traced request, kStats)
+  /// closes the connection at header decode, exactly as a pre-v2 server
+  /// would. For the version-negotiation interop tests (DESIGN.md §14).
+  bool emulate_legacy = false;
 };
 
 class EngineServer {

@@ -108,6 +108,7 @@ const char* FrameTypeToString(FrameType type) {
     case FrameType::kChunk: return "chunk";
     case FrameType::kEnd: return "end";
     case FrameType::kError: return "error";
+    case FrameType::kStats: return "stats";
   }
   return "unknown";
 }
@@ -164,18 +165,23 @@ Result<FrameHeader> DecodeFrameHeader(std::string_view bytes,
   }
   FrameHeader header;
   header.version = static_cast<uint8_t>(p[4]);
-  if (header.version != kWireVersion) {
+  if (header.version != kWireVersion && header.version != kWireVersionLegacy) {
     return Status::InvalidArgument("unsupported wire version " +
                                    std::to_string(header.version));
   }
   uint8_t type = static_cast<uint8_t>(p[5]);
-  if (type < static_cast<uint8_t>(FrameType::kRequest) ||
-      type > static_cast<uint8_t>(FrameType::kError)) {
+  uint8_t max_type = header.version >= 2
+                         ? static_cast<uint8_t>(FrameType::kStats)
+                         : static_cast<uint8_t>(FrameType::kError);
+  if (type < static_cast<uint8_t>(FrameType::kRequest) || type > max_type) {
     return Status::InvalidArgument("bad frame type " + std::to_string(type));
   }
   header.type = static_cast<FrameType>(type);
   header.flags = GetU16(p + 6);
-  if (header.flags != 0) {
+  // v1 keeps the original strictness (all flags reserved); v2 defines
+  // kFlagTrace and reserves the rest.
+  uint16_t allowed = header.version >= 2 ? kFlagTrace : 0;
+  if ((header.flags & ~allowed) != 0) {
     return Status::InvalidArgument("nonzero reserved frame flags " +
                                    std::to_string(header.flags));
   }
@@ -249,6 +255,146 @@ Result<EndPayload> DecodeEndPayload(std::string_view payload) {
   end.rows = GetU64(payload.data());
   end.relation_bytes = GetU64(payload.data() + 8);
   return end;
+}
+
+namespace {
+
+void PutLengthPrefixed(std::string_view bytes, std::string* out) {
+  PutU32(static_cast<uint32_t>(bytes.size()), out);
+  out->append(bytes);
+}
+
+/// Decodes one trace block from `reader`; must consume it exactly.
+Result<std::vector<WireSpan>> DecodeTraceBlockFrom(Reader& reader) {
+  auto count = reader.U32("trace span count");
+  SILK_RETURN_IF_ERROR(count.status());
+  if (*count > kMaxTraceSpans) {
+    return Status::InvalidArgument("hostile trace span count " +
+                                   std::to_string(*count));
+  }
+  // Each span needs at least three length prefixes, two timestamps, and an
+  // annotation count (32 bytes); reject counts the payload cannot hold
+  // before any allocation sized from them.
+  if (*count > reader.remaining() / 32) {
+    return Status::InvalidArgument("hostile trace span count " +
+                                   std::to_string(*count));
+  }
+  std::vector<WireSpan> spans;
+  spans.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    WireSpan span;
+    auto id = reader.LengthPrefixed("trace span id");
+    SILK_RETURN_IF_ERROR(id.status());
+    span.id = std::string(*id);
+    auto parent = reader.LengthPrefixed("trace span parent id");
+    SILK_RETURN_IF_ERROR(parent.status());
+    span.parent_id = std::string(*parent);
+    auto name = reader.LengthPrefixed("trace span name");
+    SILK_RETURN_IF_ERROR(name.status());
+    span.name = std::string(*name);
+    auto start_ns = reader.U64("trace span start_ns");
+    SILK_RETURN_IF_ERROR(start_ns.status());
+    span.start_ns = *start_ns;
+    auto end_ns = reader.U64("trace span end_ns");
+    SILK_RETURN_IF_ERROR(end_ns.status());
+    span.end_ns = *end_ns;
+    auto n_annotations = reader.U32("trace annotation count");
+    SILK_RETURN_IF_ERROR(n_annotations.status());
+    // Each annotation needs at least its two length prefixes.
+    if (*n_annotations > reader.remaining() / 8) {
+      return Status::InvalidArgument("hostile trace annotation count " +
+                                     std::to_string(*n_annotations));
+    }
+    span.annotations.reserve(*n_annotations);
+    for (uint32_t j = 0; j < *n_annotations; ++j) {
+      auto key = reader.LengthPrefixed("trace annotation key");
+      SILK_RETURN_IF_ERROR(key.status());
+      auto value = reader.LengthPrefixed("trace annotation value");
+      SILK_RETURN_IF_ERROR(value.status());
+      span.annotations.emplace_back(std::string(*key), std::string(*value));
+    }
+    spans.push_back(std::move(span));
+  }
+  if (!reader.done()) {
+    return Status::InvalidArgument(
+        "trailing bytes after trace block: " +
+        std::to_string(reader.remaining()));
+  }
+  return spans;
+}
+
+}  // namespace
+
+void EncodeTracedRequestPayload(std::string_view sql,
+                                const WireTraceContext& trace,
+                                std::string* out) {
+  EncodeRequestPayload(sql, out);
+  PutLengthPrefixed(trace.trace_id, out);
+  PutLengthPrefixed(trace.parent_span_id, out);
+}
+
+Result<TracedRequest> DecodeTracedRequestPayload(std::string_view payload) {
+  Reader reader(payload);
+  auto sql = reader.LengthPrefixed("request sql");
+  SILK_RETURN_IF_ERROR(sql.status());
+  auto trace_id = reader.LengthPrefixed("trace id");
+  SILK_RETURN_IF_ERROR(trace_id.status());
+  auto parent = reader.LengthPrefixed("parent span id");
+  SILK_RETURN_IF_ERROR(parent.status());
+  if (!reader.done()) {
+    return Status::InvalidArgument(
+        "trailing bytes after trace context: " +
+        std::to_string(reader.remaining()));
+  }
+  TracedRequest request;
+  request.sql = std::string(*sql);
+  request.trace.trace_id = std::string(*trace_id);
+  request.trace.parent_span_id = std::string(*parent);
+  return request;
+}
+
+void EncodeTraceBlock(const std::vector<WireSpan>& spans, std::string* out) {
+  PutU32(static_cast<uint32_t>(spans.size()), out);
+  for (const auto& span : spans) {
+    PutLengthPrefixed(span.id, out);
+    PutLengthPrefixed(span.parent_id, out);
+    PutLengthPrefixed(span.name, out);
+    PutU64(span.start_ns, out);
+    PutU64(span.end_ns, out);
+    PutU32(static_cast<uint32_t>(span.annotations.size()), out);
+    for (const auto& [key, value] : span.annotations) {
+      PutLengthPrefixed(key, out);
+      PutLengthPrefixed(value, out);
+    }
+  }
+}
+
+Result<std::vector<WireSpan>> DecodeTraceBlock(std::string_view bytes) {
+  Reader reader(bytes);
+  return DecodeTraceBlockFrom(reader);
+}
+
+void EncodeTracedEndPayload(const EndPayload& end,
+                            const std::vector<WireSpan>& spans,
+                            std::string* out) {
+  EncodeEndPayload(end, out);
+  EncodeTraceBlock(spans, out);
+}
+
+Result<TracedEnd> DecodeTracedEndPayload(std::string_view payload) {
+  if (payload.size() < 16) {
+    return Status::InvalidArgument(
+        "traced end payload must start with the 16-byte base, got " +
+        std::to_string(payload.size()));
+  }
+  TracedEnd traced;
+  traced.end.rows = GetU64(payload.data());
+  traced.end.relation_bytes = GetU64(payload.data() + 8);
+  Reader reader(payload.substr(16));
+  auto spans = DecodeTraceBlockFrom(reader);
+  SILK_RETURN_IF_ERROR(spans.status());
+  traced.spans = std::move(spans).value();
+  return traced;
 }
 
 void SerializeRelation(const engine::Relation& relation, std::string* out) {

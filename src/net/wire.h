@@ -6,9 +6,11 @@
 //
 //   offset  size  field
 //        0     4  magic        0x53524B31 ("SRK1")
-//        4     1  version      kWireVersion (1)
+//        4     1  version      kWireVersion (2) or kWireVersionLegacy (1)
 //        5     1  type         FrameType
-//        6     2  flags        reserved, must be 0
+//        6     2  flags        v1: reserved, must be 0
+//                              v2: kFlagTrace marks traced payload variants;
+//                                  all other bits must be 0
 //        8     8  request_id   echoed verbatim in every response frame
 //       16     8  budget_us    remaining deadline budget at send time, in
 //                              microseconds (0 = no deadline). The client
@@ -25,12 +27,24 @@
 //                              into a clean decode failure.
 //
 // Frame types:
-//   kRequest  client -> server   payload: u32 sql_len + sql bytes
+//   kRequest  client -> server   payload: u32 sql_len + sql bytes; with
+//                                kFlagTrace, followed by len-prefixed trace id
+//                                and parent span id (distributed trace context)
 //   kChunk    server -> client   payload: a slice of the serialized relation
 //   kEnd      server -> client   payload: u64 row count + u64 total relation
 //                                bytes — a cross-check that every chunk
-//                                arrived intact
+//                                arrived intact; with kFlagTrace, followed by
+//                                the server-side span subtree (trace block)
 //   kError    server -> client   payload: u32 status code + u32 msg_len + msg
+//   kStats    both directions    request: empty payload; response: Prometheus
+//                                text-exposition snapshot of the server's
+//                                metrics registry (live scrape over the wire)
+//
+// Version negotiation: v2 frames are only emitted when they carry v2-only
+// content (trace context / kStats); plain query traffic stays v1, so a
+// current client and a legacy server interoperate untraced. A legacy peer
+// that receives a v2 frame rejects it at header decode — before executing
+// anything — and the client downgrades that connection to v1 (DESIGN.md §14).
 //
 // Decoding is strict and bounds-checked everywhere: a bad magic, unknown
 // version or type, non-zero flags, an oversized length prefix, or any
@@ -44,6 +58,8 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/result.h"
 #include "engine/executor.h"
@@ -51,23 +67,34 @@
 namespace silkroute::net {
 
 inline constexpr uint32_t kWireMagic = 0x53524B31;  // "SRK1"
-inline constexpr uint8_t kWireVersion = 1;
+/// Current protocol version. Emitted only on frames that carry v2-only
+/// content (trace context, kStats); everything else stays on
+/// kWireVersionLegacy so old peers keep decoding plain traffic.
+inline constexpr uint8_t kWireVersion = 2;
+inline constexpr uint8_t kWireVersionLegacy = 1;
 inline constexpr size_t kFrameHeaderSize = 36;
 /// Hard cap on any single frame payload; a length prefix above this is
 /// hostile (or garbage) and is rejected before any allocation.
 inline constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+/// v2 flag: the payload carries the traced variant (trace context on
+/// kRequest, a span-subtree trace block on kEnd). Illegal on v1 frames.
+inline constexpr uint16_t kFlagTrace = 0x1;
 
 enum class FrameType : uint8_t {
   kRequest = 1,
   kChunk = 2,
   kEnd = 3,
   kError = 4,
+  kStats = 5,  // v2 only: live metrics scrape over the wire
 };
 
 const char* FrameTypeToString(FrameType type);
 
 struct FrameHeader {
-  uint8_t version = kWireVersion;
+  // Plain traffic defaults to the legacy version; senders bump to
+  // kWireVersion explicitly on frames that carry v2-only content.
+  uint8_t version = kWireVersionLegacy;
   FrameType type = FrameType::kRequest;
   uint16_t flags = 0;
   uint64_t request_id = 0;
@@ -95,6 +122,25 @@ Result<FrameHeader> DecodeFrameHeader(std::string_view bytes,
 void EncodeRequestPayload(std::string_view sql, std::string* out);
 Result<std::string> DecodeRequestPayload(std::string_view payload);
 
+/// Distributed trace context carried on a traced kRequest (after the sql
+/// block): the client's trace id and the span the server subtree should be
+/// stitched under. Both are opaque strings to the wire.
+struct WireTraceContext {
+  std::string trace_id;
+  std::string parent_span_id;
+};
+
+void EncodeTracedRequestPayload(std::string_view sql,
+                                const WireTraceContext& trace,
+                                std::string* out);
+
+struct TracedRequest {
+  std::string sql;
+  WireTraceContext trace;
+};
+
+Result<TracedRequest> DecodeTracedRequestPayload(std::string_view payload);
+
 // --- Error payload ---------------------------------------------------------
 
 /// Encodes a non-OK status (code + message).
@@ -113,6 +159,41 @@ struct EndPayload {
 
 void EncodeEndPayload(const EndPayload& end, std::string* out);
 Result<EndPayload> DecodeEndPayload(std::string_view payload);
+
+// --- Trace block -----------------------------------------------------------
+// A finished server-side span subtree shipped back on a traced kEnd frame:
+// u32 span count, then per span len-prefixed id / parent id / name, u64
+// start_ns / end_ns (server-local monotonic), u32 annotation count, and
+// len-prefixed key/value pairs. Ids are the server Tracer's hierarchical ids;
+// the client rewrites them into its own id space when stitching.
+
+struct WireSpan {
+  std::string id;
+  std::string parent_id;  // empty on the subtree root
+  std::string name;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  std::vector<std::pair<std::string, std::string>> annotations;
+};
+
+/// Hard cap on spans per trace block; a count above this is hostile.
+inline constexpr uint32_t kMaxTraceSpans = 4096;
+
+void EncodeTraceBlock(const std::vector<WireSpan>& spans, std::string* out);
+/// Strict whole-buffer decode with hostile-count guards.
+Result<std::vector<WireSpan>> DecodeTraceBlock(std::string_view bytes);
+
+/// Traced kEnd payload: the 16-byte base followed by a trace block.
+void EncodeTracedEndPayload(const EndPayload& end,
+                            const std::vector<WireSpan>& spans,
+                            std::string* out);
+
+struct TracedEnd {
+  EndPayload end;
+  std::vector<WireSpan> spans;
+};
+
+Result<TracedEnd> DecodeTracedEndPayload(std::string_view payload);
 
 // --- Relation codec --------------------------------------------------------
 // Schema (column qualifiers/names) followed by row count and the rows in

@@ -58,10 +58,54 @@ uint64_t BucketUpperBound(size_t idx) {
 
 }  // namespace
 
+namespace {
+
+// Length of the well-formed UTF-8 sequence starting at in[pos], or 0 when
+// the lead byte / continuations are invalid (overlong C0/C1 and out-of-range
+// F5..FF leads included). ASCII is handled by the caller.
+size_t Utf8SequenceLength(std::string_view in, size_t pos) {
+  unsigned char lead = static_cast<unsigned char>(in[pos]);
+  size_t len;
+  if (lead >= 0xC2 && lead <= 0xDF) {
+    len = 2;
+  } else if (lead >= 0xE0 && lead <= 0xEF) {
+    len = 3;
+  } else if (lead >= 0xF0 && lead <= 0xF4) {
+    len = 4;
+  } else {
+    return 0;  // bare continuation byte or invalid lead
+  }
+  if (pos + len > in.size()) return 0;
+  for (size_t i = 1; i < len; ++i) {
+    unsigned char c = static_cast<unsigned char>(in[pos + i]);
+    if (c < 0x80 || c > 0xBF) return 0;
+  }
+  return len;
+}
+
+}  // namespace
+
 std::string JsonEscape(std::string_view in) {
   std::string out;
   out.reserve(in.size());
-  for (char c : in) {
+  for (size_t pos = 0; pos < in.size();) {
+    char c = in[pos];
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (uc >= 0x80) {
+      // Annotations carry raw SQL shipped over the wire; a torn or hostile
+      // string must still produce valid JSON. Well-formed UTF-8 sequences
+      // pass through; every invalid byte becomes U+FFFD.
+      size_t len = Utf8SequenceLength(in, pos);
+      if (len == 0) {
+        out += "\\ufffd";
+        ++pos;
+      } else {
+        out.append(in.substr(pos, len));
+        pos += len;
+      }
+      continue;
+    }
+    ++pos;
     switch (c) {
       case '"':
         out += "\\\"";
@@ -79,10 +123,9 @@ std::string JsonEscape(std::string_view in) {
         out += "\\t";
         break;
       default:
-        if (static_cast<unsigned char>(c) < 0x20) {
+        if (uc < 0x20) {
           char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
-                        static_cast<unsigned char>(c));
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", uc);
           out += buffer;
         } else {
           out += c;

@@ -115,6 +115,28 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   return snap;
 }
 
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+      case '\r':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 std::string LabeledName(
     std::string_view base,
     std::initializer_list<std::pair<std::string_view, std::string_view>>
@@ -128,15 +150,7 @@ std::string LabeledName(
     first = false;
     name += key;
     name += "=\"";
-    // Escape per Prometheus label-value rules.
-    for (char c : value) {
-      if (c == '\\' || c == '"') name += '\\';
-      if (c == '\n') {
-        name += "\\n";
-        continue;
-      }
-      name += c;
-    }
+    name += EscapeLabelValue(value);
     name += '"';
   }
   name += '}';

@@ -127,9 +127,15 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
+/// Escapes a label value per the Prometheus exposition format: `\` -> `\\`,
+/// `"` -> `\"`, newline -> `\n` (carriage return is folded into `\n` too —
+/// the format has no escape for it and a raw CR would tear the line).
+std::string EscapeLabelValue(std::string_view value);
+
 /// Folds labels into a metric name, Prometheus-style:
 /// LabeledName("silkroute_breaker_trips_total", {{"table", "Orders"}})
 ///   -> `silkroute_breaker_trips_total{table="Orders"}`.
+/// Label values are escaped with EscapeLabelValue.
 std::string LabeledName(
     std::string_view base,
     std::initializer_list<std::pair<std::string_view, std::string_view>>

@@ -1,0 +1,492 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace silkroute::obs {
+
+namespace {
+
+// Mirrors metrics.cc's log2 bucketing, capped at PhaseProfile::kNumBuckets.
+size_t BucketIndex(uint64_t value) {
+  if (value == 0) return 0;
+  size_t idx = static_cast<size_t>(std::bit_width(value));
+  return std::min(idx, PhaseProfile::kNumBuckets - 1);
+}
+
+std::string FormatDouble(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", v);
+  return buffer;
+}
+
+// --- Minimal JSON reader ----------------------------------------------------
+// Just enough JSON for the profile schema: objects, arrays, strings with
+// the common escapes, numbers, true/false/null. Strict: trailing garbage,
+// truncation, or a type mismatch is a load error, never a partial profile.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue value;
+    SILK_RETURN_IF_ERROR(ParseValue(&value));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("profile JSON: trailing garbage at byte " +
+                                     std::to_string(pos_));
+    }
+    return value;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status Fail(const std::string& what) {
+    return Status::InvalidArgument("profile JSON: " + what + " at byte " +
+                                   std::to_string(pos_));
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("truncated value");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->str);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      out->b = true;
+      pos_ += 4;
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      pos_ += 5;
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return Status::OK();
+    }
+    return ParseNumber(out);
+  }
+
+  Status ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      SILK_RETURN_IF_ERROR(ParseString(&key));
+      if (!Consume(':')) return Fail("expected ':'");
+      JsonValue value;
+      SILK_RETURN_IF_ERROR(ParseValue(&value));
+      out->object.emplace_back(std::move(key), std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue value;
+      SILK_RETURN_IF_ERROR(ParseValue(&value));
+      out->array.push_back(std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_ + i];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("bad \\u escape");
+            }
+          }
+          pos_ += 4;
+          // UTF-8 encode the BMP code point (the writer only emits \u00xx).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("bad escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected value");
+    out->kind = JsonValue::Kind::kNumber;
+    try {
+      out->number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (...) {
+      return Fail("bad number");
+    }
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Result<double> NumberField(const JsonValue& object, std::string_view key) {
+  const JsonValue* v = object.Find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) {
+    return Status::InvalidArgument("profile JSON: missing numeric field '" +
+                                   std::string(key) + "'");
+  }
+  return v->number;
+}
+
+Status LoadPhase(const JsonValue& object, std::string_view key,
+                 PhaseProfile* out) {
+  const JsonValue* phase = object.Find(key);
+  if (phase == nullptr || phase->kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("profile JSON: missing phase object '" +
+                                   std::string(key) + "'");
+  }
+  SILK_ASSIGN_OR_RETURN(out->ewma_ms, NumberField(*phase, "ewma_ms"));
+  SILK_ASSIGN_OR_RETURN(out->total_ms, NumberField(*phase, "total_ms"));
+  SILK_ASSIGN_OR_RETURN(double count, NumberField(*phase, "count"));
+  if (count < 0) {
+    return Status::InvalidArgument("profile JSON: negative phase count");
+  }
+  out->count = static_cast<uint64_t>(count);
+  const JsonValue* hist = phase->Find("hist");
+  if (hist == nullptr || hist->kind != JsonValue::Kind::kArray ||
+      hist->array.size() != PhaseProfile::kNumBuckets) {
+    return Status::InvalidArgument(
+        "profile JSON: phase 'hist' must be an array of " +
+        std::to_string(PhaseProfile::kNumBuckets));
+  }
+  for (size_t i = 0; i < PhaseProfile::kNumBuckets; ++i) {
+    const JsonValue& bucket = hist->array[i];
+    if (bucket.kind != JsonValue::Kind::kNumber || bucket.number < 0) {
+      return Status::InvalidArgument("profile JSON: bad histogram bucket");
+    }
+    out->hist[i] = static_cast<uint64_t>(bucket.number);
+  }
+  return Status::OK();
+}
+
+void WritePhase(std::ostream& out, std::string_view key,
+                const PhaseProfile& phase) {
+  out << '"' << key << "\":{\"ewma_ms\":" << FormatDouble(phase.ewma_ms)
+      << ",\"total_ms\":" << FormatDouble(phase.total_ms)
+      << ",\"count\":" << phase.count << ",\"hist\":[";
+  for (size_t i = 0; i < phase.hist.size(); ++i) {
+    if (i != 0) out << ',';
+    out << phase.hist[i];
+  }
+  out << "]}";
+}
+
+// JSON-escapes a profile key (normalized SQL): quotes, backslashes,
+// control characters.
+std::string EscapeKey(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (uc < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x", uc);
+      out += buffer;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string NormalizeSql(std::string_view sql) {
+  std::string out;
+  out.reserve(sql.size());
+  bool pending_space = false;
+  for (char c : sql) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+void PhaseProfile::Record(double ms, double alpha) {
+  if (ms < 0) ms = 0;
+  ewma_ms = count == 0 ? ms : alpha * ms + (1 - alpha) * ewma_ms;
+  total_ms += ms;
+  ++count;
+  ++hist[BucketIndex(static_cast<uint64_t>(ms * 1000.0 + 0.5))];
+}
+
+WorkloadProfile::WorkloadProfile(double alpha, MetricsRegistry* registry)
+    : alpha_(alpha), registry_(registry) {
+  if (registry_ != nullptr) {
+    records_total_ = registry_->counter("silkroute_profile_records_total");
+    keys_ = registry_->gauge("silkroute_profile_keys");
+  }
+}
+
+void WorkloadProfile::Bump() {
+  ++records_;
+  if (records_total_ != nullptr) records_total_->Add(1);
+  if (keys_ != nullptr) keys_->Set(static_cast<int64_t>(components_.size()));
+}
+
+void WorkloadProfile::RecordQuery(std::string_view sql, double ms,
+                                  uint64_t rows, uint64_t wire_bytes) {
+  std::string key = NormalizeSql(sql);
+  std::lock_guard<std::mutex> lock(mu_);
+  ComponentProfile& component = components_[key];
+  bool first = component.query.count == 0;
+  component.query.Record(ms, alpha_);
+  double a = first ? 1.0 : alpha_;
+  component.rows_ewma =
+      a * static_cast<double>(rows) + (1 - a) * component.rows_ewma;
+  component.wire_bytes_ewma =
+      a * static_cast<double>(wire_bytes) + (1 - a) * component.wire_bytes_ewma;
+  Bump();
+}
+
+void WorkloadProfile::RecordBind(std::string_view sql, double ms) {
+  std::string key = NormalizeSql(sql);
+  std::lock_guard<std::mutex> lock(mu_);
+  components_[key].bind.Record(ms, alpha_);
+  Bump();
+}
+
+void WorkloadProfile::RecordTag(std::string_view sql, double ms) {
+  std::string key = NormalizeSql(sql);
+  std::lock_guard<std::mutex> lock(mu_);
+  components_[key].tag.Record(ms, alpha_);
+  Bump();
+}
+
+std::optional<ComponentProfile> WorkloadProfile::Lookup(
+    std::string_view sql) const {
+  std::string key = NormalizeSql(sql);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = components_.find(key);
+  if (it == components_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t WorkloadProfile::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return components_.size();
+}
+
+uint64_t WorkloadProfile::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+std::string WorkloadProfile::ToJson() const {
+  std::ostringstream out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "{\"version\":1,\"alpha\":" << FormatDouble(alpha_)
+      << ",\"records\":" << records_ << ",\"components\":[";
+  bool first = true;
+  for (const auto& [sql, component] : components_) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"sql\":\"" << EscapeKey(sql)
+        << "\",\"rows_ewma\":" << FormatDouble(component.rows_ewma)
+        << ",\"wire_bytes_ewma\":" << FormatDouble(component.wire_bytes_ewma)
+        << ',';
+    WritePhase(out, "query", component.query);
+    out << ',';
+    WritePhase(out, "bind", component.bind);
+    out << ',';
+    WritePhase(out, "tag", component.tag);
+    out << '}';
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+Status WorkloadProfile::FromJson(std::string_view json) {
+  JsonParser parser(json);
+  auto parsed = parser.Parse();
+  SILK_RETURN_IF_ERROR(parsed.status());
+  const JsonValue& root = *parsed;
+  if (root.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("profile JSON: root must be an object");
+  }
+  SILK_ASSIGN_OR_RETURN(double version, NumberField(root, "version"));
+  if (version != 1) {
+    return Status::InvalidArgument("profile JSON: unsupported version " +
+                                   FormatDouble(version));
+  }
+  const JsonValue* components = root.Find("components");
+  if (components == nullptr ||
+      components->kind != JsonValue::Kind::kArray) {
+    return Status::InvalidArgument(
+        "profile JSON: missing 'components' array");
+  }
+  std::map<std::string, ComponentProfile> loaded;
+  uint64_t records = 0;
+  SILK_ASSIGN_OR_RETURN(double records_field, NumberField(root, "records"));
+  if (records_field < 0) {
+    return Status::InvalidArgument("profile JSON: negative record count");
+  }
+  records = static_cast<uint64_t>(records_field);
+  for (const JsonValue& entry : components->array) {
+    if (entry.kind != JsonValue::Kind::kObject) {
+      return Status::InvalidArgument(
+          "profile JSON: component must be an object");
+    }
+    const JsonValue* sql = entry.Find("sql");
+    if (sql == nullptr || sql->kind != JsonValue::Kind::kString) {
+      return Status::InvalidArgument(
+          "profile JSON: component missing 'sql' string");
+    }
+    ComponentProfile component;
+    SILK_ASSIGN_OR_RETURN(component.rows_ewma,
+                          NumberField(entry, "rows_ewma"));
+    SILK_ASSIGN_OR_RETURN(component.wire_bytes_ewma,
+                          NumberField(entry, "wire_bytes_ewma"));
+    SILK_RETURN_IF_ERROR(LoadPhase(entry, "query", &component.query));
+    SILK_RETURN_IF_ERROR(LoadPhase(entry, "bind", &component.bind));
+    SILK_RETURN_IF_ERROR(LoadPhase(entry, "tag", &component.tag));
+    loaded[NormalizeSql(sql->str)] = std::move(component);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  components_ = std::move(loaded);
+  records_ = records;
+  if (keys_ != nullptr) keys_->Set(static_cast<int64_t>(components_.size()));
+  return Status::OK();
+}
+
+Status WorkloadProfile::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot open profile file for write: " + path);
+  }
+  out << ToJson();
+  out.flush();
+  if (!out) return Status::Internal("short write to profile file: " + path);
+  return Status::OK();
+}
+
+Status WorkloadProfile::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open profile file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return FromJson(buffer.str());
+}
+
+}  // namespace silkroute::obs

@@ -1,0 +1,107 @@
+// Observed-cost workload profile (DESIGN.md §14): measured per-component
+// query / bind / tag cost, keyed by normalized SQL text, persisted across
+// runs as JSON. This is the measurement half of the self-tuning planner:
+// the publishing layers record real phase timings here, `--profile-out`
+// persists them, and a later `--profile-in` run overlays them on the
+// synthetic cost oracle (engine::MeasuredCostOracle) so genPlan re-runs
+// price plans by what the workload actually cost.
+//
+// Per key the profile keeps, for each phase, an EWMA of the cost in
+// milliseconds (alpha-weighted toward recent runs), a total, a sample
+// count, and a log2 histogram over microseconds — enough to both overlay
+// a point estimate on the oracle and inspect the distribution. Row and
+// wire-byte EWMAs ride along on the query phase for cardinality overlays.
+//
+// Thread-safe: the publishing service records from many workers. All
+// methods take one mutex; recording is a map lookup plus a handful of
+// arithmetic ops, far off the per-tuple hot path.
+#ifndef SILKROUTE_OBS_PROFILE_H_
+#define SILKROUTE_OBS_PROFILE_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+
+namespace silkroute::obs {
+
+/// Canonical form of a SQL text for profile keying: whitespace runs
+/// collapse to one space, leading/trailing whitespace dropped. Formatting
+/// differences between plan re-runs must not split a component's history.
+std::string NormalizeSql(std::string_view sql);
+
+/// Per-phase cost statistics. Histogram buckets are log2 over integer
+/// microseconds: bucket 0 holds 0, bucket i holds [2^(i-1), 2^i) us.
+struct PhaseProfile {
+  static constexpr size_t kNumBuckets = 32;
+
+  double ewma_ms = 0;
+  double total_ms = 0;
+  uint64_t count = 0;
+  std::array<uint64_t, kNumBuckets> hist{};
+
+  void Record(double ms, double alpha);
+};
+
+struct ComponentProfile {
+  PhaseProfile query;
+  PhaseProfile bind;
+  PhaseProfile tag;  // tag cost apportioned to this component by row share
+  double rows_ewma = 0;
+  double wire_bytes_ewma = 0;
+};
+
+class WorkloadProfile {
+ public:
+  /// `alpha` weights the EWMAs toward recent samples. An optional registry
+  /// receives live `silkroute_profile_*` series (records counter, keys
+  /// gauge) so the scrape endpoints can watch the profile fill.
+  explicit WorkloadProfile(double alpha = 0.3,
+                           MetricsRegistry* registry = nullptr);
+
+  WorkloadProfile(const WorkloadProfile&) = delete;
+  WorkloadProfile& operator=(const WorkloadProfile&) = delete;
+
+  void RecordQuery(std::string_view sql, double ms, uint64_t rows,
+                   uint64_t wire_bytes);
+  void RecordBind(std::string_view sql, double ms);
+  void RecordTag(std::string_view sql, double ms);
+
+  /// Profile for a component query, if any samples exist (normalizes `sql`
+  /// before lookup). A point-in-time copy.
+  std::optional<ComponentProfile> Lookup(std::string_view sql) const;
+
+  size_t size() const;
+  uint64_t records() const;
+  double alpha() const { return alpha_; }
+
+  /// JSON round-trip. The schema is documented in DESIGN.md §14; Load/
+  /// FromJson replace the current contents and reject structural defects
+  /// with kInvalidArgument rather than half-loading.
+  std::string ToJson() const;
+  Status FromJson(std::string_view json);
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
+
+ private:
+  void Bump();  // registry mirrors; callers hold mu_
+
+  const double alpha_;
+  MetricsRegistry* const registry_;
+  Counter* records_total_ = nullptr;
+  Gauge* keys_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::map<std::string, ComponentProfile> components_;
+  uint64_t records_ = 0;
+};
+
+}  // namespace silkroute::obs
+
+#endif  // SILKROUTE_OBS_PROFILE_H_

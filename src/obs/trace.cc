@@ -1,6 +1,8 @@
 #include "obs/trace.h"
 
 #include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
 
 namespace silkroute::obs {
 
@@ -50,6 +52,75 @@ SpanHandle Tracer::StartChild(SpanHandle* parent, std::string_view name) {
   handle.state_->span.name = std::string(name);
   handle.state_->span.start_ns = NowNs();
   return handle;
+}
+
+void Tracer::StitchSubtree(SpanHandle* parent, std::vector<Span> spans,
+                           uint64_t offset_ns) {
+  if (!enabled() || parent == nullptr || !parent->recording() || spans.empty())
+    return;
+  std::unordered_set<std::string> present;
+  present.reserve(spans.size());
+  for (const Span& span : spans) present.insert(span.id);
+
+  // Subtree roots take fresh child ordinals from `parent`, in batch order,
+  // so stitching is deterministic for a deterministic batch.
+  struct Prefix {
+    std::string old_root;
+    std::string fresh;
+  };
+  std::vector<Prefix> prefixes;
+  for (const Span& span : spans) {
+    if (span.parent_id.empty() || present.count(span.parent_id) == 0) {
+      uint32_t ordinal = parent->state_->next_child.fetch_add(
+                             1, std::memory_order_relaxed) +
+                         1;
+      prefixes.push_back(
+          Prefix{span.id, parent->state_->span.id + "." +
+                              std::to_string(ordinal)});
+    }
+  }
+
+  // Rewrite every id under its longest matching root prefix; ids that fall
+  // under no root (a malformed batch) are dropped below.
+  std::unordered_map<std::string, std::string> rewritten;
+  rewritten.reserve(spans.size());
+  for (const Span& span : spans) {
+    const Prefix* best = nullptr;
+    for (const Prefix& prefix : prefixes) {
+      bool matches = span.id == prefix.old_root ||
+                     (span.id.size() > prefix.old_root.size() &&
+                      span.id.compare(0, prefix.old_root.size(),
+                                      prefix.old_root) == 0 &&
+                      span.id[prefix.old_root.size()] == '.');
+      if (matches &&
+          (best == nullptr || prefix.old_root.size() > best->old_root.size())) {
+        best = &prefix;
+      }
+    }
+    if (best == nullptr) continue;
+    rewritten.emplace(span.id,
+                      best->fresh + span.id.substr(best->old_root.size()));
+  }
+
+  const std::string parent_id = parent->state_->span.id;
+  for (Span& span : spans) {
+    auto id_it = rewritten.find(span.id);
+    if (id_it == rewritten.end()) continue;
+    std::string new_parent;
+    if (span.parent_id.empty() || present.count(span.parent_id) == 0) {
+      new_parent = parent_id;
+    } else {
+      auto parent_it = rewritten.find(span.parent_id);
+      if (parent_it == rewritten.end()) continue;  // never emit dangling
+      new_parent = parent_it->second;
+    }
+    Span out = std::move(span);
+    out.id = id_it->second;
+    out.parent_id = std::move(new_parent);
+    out.start_ns += offset_ns;
+    out.end_ns += offset_ns;
+    Emit(std::move(out));
+  }
 }
 
 SpanHandle* CurrentSpan() { return g_current_span; }

@@ -209,6 +209,19 @@ class Tracer {
     return tracer->StartChild(parent, name);
   }
 
+  /// Grafts a *finished* span subtree recorded by another tracer (typically
+  /// a remote EngineServer) under `parent`. Each subtree root — a span whose
+  /// parent id is empty or absent from the batch — takes a fresh child
+  /// ordinal from `parent`, every descendant id is rewritten under the new
+  /// prefix (preserving the one-ordinal-per-level structure trace_check
+  /// requires), and all timestamps shift forward by `offset_ns` — the
+  /// caller's clock value for when the remote work began (its send time) —
+  /// so a stitched child never starts before its new parent. Spans whose
+  /// rewritten parent cannot be resolved (a malformed batch) are dropped
+  /// rather than emitted dangling. No-op when disabled or `parent` is inert.
+  void StitchSubtree(SpanHandle* parent, std::vector<Span> spans,
+                     uint64_t offset_ns);
+
  private:
   friend class SpanHandle;
   void Emit(Span span) { sink_->OnSpan(std::move(span)); }

@@ -357,6 +357,10 @@ void PublishingService::PooledExecution::ExecuteOne(
     auto stream = std::make_unique<engine::TupleStream>(std::move(rel));
     double bind_elapsed = bind_timer.ElapsedMillis();
     size_t bytes = stream->wire_bytes();
+    if (options.profile != nullptr) {
+      options.profile->RecordQuery(spec.sql, query_elapsed, rel_rows, bytes);
+      options.profile->RecordBind(spec.sql, bind_elapsed);
+    }
     // The buffered-tuple budget: requests whose streams would blow the
     // global memory bound are shed (kResourceExhausted), not OOM-killed.
     Status reserved = service_->admission_.ReserveBytes(bytes);
@@ -587,6 +591,8 @@ void PublishingService::RunRequest(ServiceRequest request,
     opts.tracer = options_.tracer;
     opts.parent_span = &request_span;
     opts.metrics_registry = options_.metrics_registry;
+    opts.profile = options_.profile;
+    opts.plan_oracle = options_.plan_oracle;
     std::ostringstream out;
     auto result = publisher_.Publish(request.rxl, opts, &out);
     if (result.ok()) {

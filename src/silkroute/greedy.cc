@@ -55,7 +55,7 @@ namespace {
 /// a middle-ware system would cache optimizer estimates.
 class CachedOracle {
  public:
-  explicit CachedOracle(engine::CostEstimator* oracle) : oracle_(oracle) {}
+  explicit CachedOracle(engine::CostOracle* oracle) : oracle_(oracle) {}
 
   Result<engine::QueryEstimate> Estimate(const std::string& sql) {
     auto it = cache_.find(sql);
@@ -70,7 +70,7 @@ class CachedOracle {
   size_t requests() const { return requests_; }
 
  private:
-  engine::CostEstimator* oracle_;
+  engine::CostOracle* oracle_;
   std::map<std::string, engine::QueryEstimate> cache_;
   size_t requests_ = 0;
 };
@@ -78,7 +78,7 @@ class CachedOracle {
 }  // namespace
 
 Result<GreedyPlan> GeneratePlanGreedy(const ViewTree& tree,
-                                      engine::CostEstimator* oracle,
+                                      engine::CostOracle* oracle,
                                       const GreedyParams& params) {
   SqlGenerator gen(&tree, params.style, params.reduce);
   CachedOracle cached(oracle);

@@ -55,10 +55,11 @@ struct GreedyPlan {
   std::string ToString(const ViewTree& tree) const;
 };
 
-/// Runs genPlan. The estimator's request counter is used to report
-/// oracle_requests (reset internally).
+/// Runs genPlan against any cost oracle — the synthetic CostEstimator or a
+/// MeasuredCostOracle overlay. Distinct oracle requests are memoized by SQL
+/// text and reported in GreedyPlan::oracle_requests.
 Result<GreedyPlan> GeneratePlanGreedy(const ViewTree& tree,
-                                      engine::CostEstimator* oracle,
+                                      engine::CostOracle* oracle,
                                       const GreedyParams& params);
 
 }  // namespace silkroute::core

@@ -57,8 +57,11 @@ Result<PublishResult> Publisher::Publish(std::string_view rxl_text,
       // The estimator mutates its request counter; concurrent publishers
       // share it, so planning is serialized (execution is not).
       std::lock_guard<std::mutex> lock(plan_mu_);
+      engine::CostOracle* oracle = options.plan_oracle != nullptr
+                                       ? options.plan_oracle
+                                       : &estimator_;
       SILK_ASSIGN_OR_RETURN(result.greedy_plan,
-                            GeneratePlanGreedy(tree, &estimator_, params));
+                            GeneratePlanGreedy(tree, oracle, params));
       mask = result.greedy_plan.FullMask();
       break;
     }
@@ -216,6 +219,12 @@ Result<std::vector<ComponentStream>> SequentialExecution::Run(
       bind_span.AnnotateMs("ms", bind_elapsed);
       bind_span.End();
       metrics->wire_bytes += stream->wire_bytes();
+      if (options.profile != nullptr) {
+        options.profile->RecordQuery(item.spec.sql, query_elapsed,
+                                     stream->num_tuples(),
+                                     stream->wire_bytes());
+        options.profile->RecordBind(item.spec.sql, bind_elapsed);
+      }
       if (item.span != nullptr) {
         item.span->Annotate("status", StatusCodeToString(StatusCode::kOk));
       }
@@ -347,6 +356,23 @@ Result<PlanMetrics> Publisher::ExecutePlan(const ViewTree& tree,
   metrics.xml_bytes = writer.bytes_written();
   metrics.xml_flushes = writer.flushes();
   metrics.tagger = tagger.stats();
+
+  // Tag runs once per plan over the merged streams; apportion its cost to
+  // the component queries by row share so the profile prices each SQL text
+  // with the downstream tagging work its rows cause.
+  if (options.profile != nullptr && !done.empty()) {
+    size_t total_rows = 0;
+    for (const auto& component : done) {
+      total_rows += component.stream->num_tuples();
+    }
+    for (const auto& component : done) {
+      double share =
+          total_rows > 0 ? static_cast<double>(component.stream->num_tuples()) /
+                               static_cast<double>(total_rows)
+                         : 1.0 / static_cast<double>(done.size());
+      options.profile->RecordTag(component.spec.sql, metrics.tag_ms * share);
+    }
+  }
 
   plan_span.AnnotateMs("query_ms", metrics.query_ms);
   plan_span.AnnotateMs("bind_ms", metrics.bind_ms);

@@ -32,6 +32,7 @@
 #include "engine/resilient_executor.h"
 #include "engine/stats.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "relational/database.h"
 #include "rxl/ast.h"
@@ -110,6 +111,16 @@ struct PublishOptions {
   obs::SpanHandle* parent_span = nullptr;
   /// Registry for phase latency histograms and row/byte counters.
   obs::MetricsRegistry* metrics_registry = nullptr;
+  /// Observed-cost workload profile (borrowed). Execution strategies record
+  /// per-component query/bind timings into it keyed by normalized SQL text,
+  /// and the tag phase is apportioned across components by row share —
+  /// the measurement half of the self-tuning planner (DESIGN.md §14).
+  obs::WorkloadProfile* profile = nullptr;
+  /// Overrides the publisher's synthetic estimator for greedy planning —
+  /// typically an engine::MeasuredCostOracle overlaying a loaded profile.
+  /// Null = the built-in CostEstimator. Planning is serialized internally,
+  /// so the oracle needs no thread-safety of its own.
+  engine::CostOracle* plan_oracle = nullptr;
 };
 
 /// Per-component execution outcome (one entry per component query actually

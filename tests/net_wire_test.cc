@@ -28,7 +28,8 @@ TEST(NetWireTest, HeaderLayoutIsByteExact) {
   EXPECT_EQ(static_cast<uint8_t>(bytes[1]), 0x4B);
   EXPECT_EQ(static_cast<uint8_t>(bytes[2]), 0x52);
   EXPECT_EQ(static_cast<uint8_t>(bytes[3]), 0x53);
-  EXPECT_EQ(static_cast<uint8_t>(bytes[4]), kWireVersion);
+  // Plain frames default to the legacy version (v2 is opt-in per frame).
+  EXPECT_EQ(static_cast<uint8_t>(bytes[4]), kWireVersionLegacy);
   EXPECT_EQ(static_cast<uint8_t>(bytes[5]),
             static_cast<uint8_t>(FrameType::kChunk));
   EXPECT_EQ(static_cast<uint8_t>(bytes[6]), 0);  // flags
@@ -45,7 +46,7 @@ TEST(NetWireTest, HeaderRoundTrips) {
   EncodeFrameHeader(MakeHeader(), &bytes);
   auto back = DecodeFrameHeader(bytes);
   ASSERT_TRUE(back.ok()) << back.status();
-  EXPECT_EQ(back->version, kWireVersion);
+  EXPECT_EQ(back->version, kWireVersionLegacy);
   EXPECT_EQ(back->type, FrameType::kChunk);
   EXPECT_EQ(back->flags, 0);
   EXPECT_EQ(back->request_id, 0x1122334455667788ull);
@@ -103,10 +104,12 @@ TEST(NetWireTest, HostileHeaderFieldsRejected) {
   bad_type[5] = 0;
   EXPECT_EQ(DecodeFrameHeader(bad_type).status().code(),
             StatusCode::kInvalidArgument);
+  // kStats (5) is a v2-only type; on a legacy header it is hostile.
   bad_type[5] = 5;
   EXPECT_EQ(DecodeFrameHeader(bad_type).status().code(),
             StatusCode::kInvalidArgument);
 
+  // All flags are reserved on v1 — including kFlagTrace.
   std::string bad_flags = good;
   bad_flags[6] = 1;
   EXPECT_EQ(DecodeFrameHeader(bad_flags).status().code(),
@@ -182,6 +185,198 @@ TEST(NetWireTest, EndPayloadRoundTripsAndRejectsWrongSize) {
             StatusCode::kInvalidArgument);
   payload.push_back('\0');
   EXPECT_EQ(DecodeEndPayload(payload).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Wire v2: version gating, trace context, and trace blocks (DESIGN.md §14).
+
+TEST(NetWireV2Test, V2HeaderCarriesTraceFlagAndStatsType) {
+  FrameHeader header = MakeHeader();
+  header.version = kWireVersion;
+  header.flags = kFlagTrace;
+  std::string bytes;
+  EncodeFrameHeader(header, &bytes);
+  auto back = DecodeFrameHeader(bytes);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->version, kWireVersion);
+  EXPECT_EQ(back->flags, kFlagTrace);
+
+  // kStats decodes only under v2.
+  FrameHeader stats = MakeHeader();
+  stats.version = kWireVersion;
+  stats.type = FrameType::kStats;
+  stats.payload_len = 0;
+  bytes.clear();
+  EncodeFrameHeader(stats, &bytes);
+  auto stats_back = DecodeFrameHeader(bytes);
+  ASSERT_TRUE(stats_back.ok()) << stats_back.status();
+  EXPECT_EQ(stats_back->type, FrameType::kStats);
+}
+
+TEST(NetWireV2Test, V2ReservedFlagsStillRejected) {
+  // v2 defines exactly kFlagTrace; every other bit stays reserved.
+  FrameHeader header = MakeHeader();
+  header.version = kWireVersion;
+  header.flags = kFlagTrace | 0x2;
+  std::string bytes;
+  EncodeFrameHeader(header, &bytes);
+  EXPECT_EQ(DecodeFrameHeader(bytes).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NetWireV2Test, LegacyHeaderRejectsTraceFlagAndStats) {
+  // What a pre-v2 peer would see from a confused sender: trace flag or
+  // kStats on a v1 header. Both die at decode, before any execution.
+  FrameHeader traced = MakeHeader();
+  traced.version = kWireVersionLegacy;
+  traced.flags = kFlagTrace;
+  std::string bytes;
+  EncodeFrameHeader(traced, &bytes);
+  EXPECT_EQ(DecodeFrameHeader(bytes).status().code(),
+            StatusCode::kInvalidArgument);
+
+  FrameHeader stats = MakeHeader();
+  stats.version = kWireVersionLegacy;
+  stats.type = FrameType::kStats;
+  bytes.clear();
+  EncodeFrameHeader(stats, &bytes);
+  EXPECT_EQ(DecodeFrameHeader(bytes).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NetWireV2Test, TracedRequestPayloadRoundTrips) {
+  WireTraceContext trace;
+  trace.trace_id = "7";
+  trace.parent_span_id = "7.2.1.3";
+  std::string payload;
+  EncodeTracedRequestPayload("select * from Supplier", trace, &payload);
+  auto back = DecodeTracedRequestPayload(payload);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->sql, "select * from Supplier");
+  EXPECT_EQ(back->trace.trace_id, "7");
+  EXPECT_EQ(back->trace.parent_span_id, "7.2.1.3");
+
+  // A traced payload is not decodable as a plain request (trailing trace
+  // context), and vice versa (missing trace context) — the flag and the
+  // payload shape must agree.
+  EXPECT_EQ(DecodeRequestPayload(payload).status().code(),
+            StatusCode::kInvalidArgument);
+  std::string plain;
+  EncodeRequestPayload("select 1 from T", &plain);
+  EXPECT_EQ(DecodeTracedRequestPayload(plain).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Trailing junk and every truncation are rejected.
+  std::string junk = payload;
+  junk.push_back('x');
+  EXPECT_EQ(DecodeTracedRequestPayload(junk).status().code(),
+            StatusCode::kInvalidArgument);
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_EQ(DecodeTracedRequestPayload(payload.substr(0, cut))
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument)
+        << cut;
+  }
+}
+
+std::vector<WireSpan> MakeSpans() {
+  WireSpan root;
+  root.id = "1";
+  root.name = "server";
+  root.start_ns = 10;
+  root.end_ns = 900;
+  root.annotations.emplace_back("sql", "select * from Supplier");
+  root.annotations.emplace_back("rows", "3");
+  WireSpan child;
+  child.id = "1.1";
+  child.parent_id = "1";
+  child.name = "phase:execute";
+  child.start_ns = 20;
+  child.end_ns = 800;
+  child.annotations.emplace_back("ms", "0.780");
+  return {root, child};
+}
+
+TEST(NetWireV2Test, TraceBlockRoundTrips) {
+  std::string bytes;
+  EncodeTraceBlock(MakeSpans(), &bytes);
+  auto back = DecodeTraceBlock(bytes);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[0].id, "1");
+  EXPECT_EQ((*back)[0].parent_id, "");
+  EXPECT_EQ((*back)[0].name, "server");
+  EXPECT_EQ((*back)[0].start_ns, 10u);
+  EXPECT_EQ((*back)[0].end_ns, 900u);
+  ASSERT_EQ((*back)[0].annotations.size(), 2u);
+  EXPECT_EQ((*back)[0].annotations[1].second, "3");
+  EXPECT_EQ((*back)[1].parent_id, "1");
+  ASSERT_EQ((*back)[1].annotations.size(), 1u);
+  EXPECT_EQ((*back)[1].annotations[0].first, "ms");
+
+  // An empty block is legal (a server with tracing off mid-negotiation).
+  std::string empty;
+  EncodeTraceBlock({}, &empty);
+  auto empty_back = DecodeTraceBlock(empty);
+  ASSERT_TRUE(empty_back.ok());
+  EXPECT_TRUE(empty_back->empty());
+}
+
+TEST(NetWireV2Test, EveryTraceBlockTruncationRejected) {
+  std::string bytes;
+  EncodeTraceBlock(MakeSpans(), &bytes);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_EQ(DecodeTraceBlock(bytes.substr(0, cut)).status().code(),
+              StatusCode::kInvalidArgument)
+        << cut;
+  }
+  bytes.push_back('\0');
+  EXPECT_EQ(DecodeTraceBlock(bytes).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NetWireV2Test, HostileTraceCountsRejected) {
+  // Span count beyond the hard cap.
+  std::string over("\xFF\xFF\xFF\x7F", 4);
+  EXPECT_EQ(DecodeTraceBlock(over).status().code(),
+            StatusCode::kInvalidArgument);
+  // Span count within the cap but impossible for the bytes present —
+  // rejected before any allocation sized from it.
+  std::string forged("\x00\x10\x00\x00", 4);
+  EXPECT_EQ(DecodeTraceBlock(forged).status().code(),
+            StatusCode::kInvalidArgument);
+  // Forged annotation count inside an otherwise valid single span.
+  std::vector<WireSpan> spans(1);
+  spans[0].id = "1";
+  spans[0].name = "server";
+  std::string bytes;
+  EncodeTraceBlock(spans, &bytes);
+  // The final u32 is the annotation count (0); forge it huge.
+  bytes[bytes.size() - 1] = '\x7F';
+  EXPECT_EQ(DecodeTraceBlock(bytes).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NetWireV2Test, TracedEndPayloadRoundTrips) {
+  std::string payload;
+  EncodeTracedEndPayload({123, 45678}, MakeSpans(), &payload);
+  auto back = DecodeTracedEndPayload(payload);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->end.rows, 123u);
+  EXPECT_EQ(back->end.relation_bytes, 45678u);
+  ASSERT_EQ(back->spans.size(), 2u);
+  EXPECT_EQ(back->spans[1].name, "phase:execute");
+
+  // Shorter than the 16-byte base is rejected outright.
+  EXPECT_EQ(DecodeTracedEndPayload(payload.substr(0, 15)).status().code(),
+            StatusCode::kInvalidArgument);
+  // A plain end payload is not a traced one: the trace block (at least its
+  // span count) must be present when the flag says so.
+  std::string plain;
+  EncodeEndPayload({1, 2}, &plain);
+  EXPECT_EQ(DecodeTracedEndPayload(plain).status().code(),
             StatusCode::kInvalidArgument);
 }
 

@@ -32,6 +32,7 @@ Exit status: 0 clean, 1 regression or structural mismatch.
 """
 
 import argparse
+import io
 import json
 import os
 import sys
@@ -57,10 +58,32 @@ NONDETERMINISTIC_KEYS = {
 }
 
 
+class ReportError(Exception):
+    """A report file that cannot be compared (missing/empty/corrupt)."""
+
+
 def load_rows(path):
-    """Returns (ordered row names, {name: {key: value}}, {name: time})."""
-    with open(path, "r", encoding="utf-8") as f:
-        doc = json.load(f)
+    """Returns (ordered row names, {name: {key: value}}, {name: time}).
+
+    Raises ReportError (not a stack trace) when the file is missing, empty,
+    or not valid JSON — a truncated bench run must fail the comparison with
+    a diagnosable one-liner, not a traceback.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        raise ReportError(f"{path}: unreadable ({e.strerror})") from e
+    if not text.strip():
+        raise ReportError(
+            f"{path}: empty report (bench crashed or was interrupted?)"
+        )
+    try:
+        doc = json.load(io.StringIO(text))
+    except json.JSONDecodeError as e:
+        raise ReportError(f"{path}: invalid JSON at line {e.lineno}: {e.msg}")
+    if not isinstance(doc, dict):
+        raise ReportError(f"{path}: expected a JSON object at top level")
     names, values, times = [], {}, {}
     if "benchmarks" in doc:  # google-benchmark schema
         for row in doc["benchmarks"]:
@@ -152,15 +175,26 @@ def main():
     for f in base_files:
         cand_path = os.path.join(args.candidate_dir, f)
         if not os.path.exists(cand_path):
-            print(f"bench_compare: {f}: not produced by candidate, skipped")
+            # A missing candidate report silently retires its regression
+            # coverage — hard failure, same as a missing row.
+            failures.append(
+                f"{f}: not produced by candidate "
+                f"(expected {cand_path}; did its bench fail to run?)"
+            )
             continue
         tolerance = max(args.tolerance, FILE_TOLERANCE.get(f, 0.0))
-        failures += compare_file(
-            f, os.path.join(args.baseline_dir, f), cand_path, tolerance
-        )
+        print(f"bench_compare: {f}: tolerance {tolerance:.0%}"
+              + (" (per-file floor)" if tolerance > args.tolerance else ""))
+        try:
+            failures += compare_file(
+                f, os.path.join(args.baseline_dir, f), cand_path, tolerance
+            )
+        except ReportError as e:
+            failures.append(str(e))
+            continue
         compared += 1
 
-    if compared == 0:
+    if compared == 0 and not failures:
         print("bench_compare: no common report files", file=sys.stderr)
         return 1
     for failure in failures:

@@ -3,7 +3,10 @@
 # servers on ephemeral ports, publish the demo view through --connect
 # (remote executor), --connect --federate all (failover router), and a
 # two-replica --connect host:p1,host:p2 (replica set), and require every
-# document to be byte-identical to the local publish.
+# document to be byte-identical to the local publish. The first server
+# also exposes its live scrape endpoints (--prom-port HTTP exposition and
+# the kStats wire snapshot behind --scrape); both are scraped after the
+# query traffic and must agree on the stable server counters.
 #
 #   serve_smoke.sh CLI_BINARY SCHEMA VIEW WORKDIR
 set -e
@@ -14,8 +17,10 @@ WORK="$4"
 
 PORTFILE="$WORK/serve_port.txt"
 PORTFILE2="$WORK/serve_port2.txt"
-rm -f "$PORTFILE" "$PORTFILE2"
-"$CLI" --schema "$SCHEMA" --serve 0 --port-file "$PORTFILE" &
+PROMPORTFILE="$WORK/serve_prom_port.txt"
+rm -f "$PORTFILE" "$PORTFILE2" "$PROMPORTFILE"
+"$CLI" --schema "$SCHEMA" --serve 0 --port-file "$PORTFILE" \
+  --prom-port 0 --prom-port-file "$PROMPORTFILE" &
 SERVER_PID=$!
 "$CLI" --schema "$SCHEMA" --serve 0 --port-file "$PORTFILE2" &
 SERVER2_PID=$!
@@ -24,14 +29,16 @@ trap 'kill "$SERVER_PID" "$SERVER2_PID" 2>/dev/null || true; \
 
 i=0
 while [ "$i" -lt 100 ]; do
-  [ -s "$PORTFILE" ] && [ -s "$PORTFILE2" ] && break
+  [ -s "$PORTFILE" ] && [ -s "$PORTFILE2" ] && [ -s "$PROMPORTFILE" ] && break
   i=$((i + 1))
   sleep 0.1
 done
 [ -s "$PORTFILE" ] || { echo "server never wrote the port file" >&2; exit 1; }
 [ -s "$PORTFILE2" ] || { echo "replica never wrote the port file" >&2; exit 1; }
+[ -s "$PROMPORTFILE" ] || { echo "server never wrote the prom port file" >&2; exit 1; }
 PORT=$(cat "$PORTFILE")
 PORT2=$(cat "$PORTFILE2")
+PROMPORT=$(cat "$PROMPORTFILE")
 
 "$CLI" --schema "$SCHEMA" --view "$VIEW" --root league \
   --output "$WORK/serve_smoke_local.xml"
@@ -47,4 +54,23 @@ PORT2=$(cat "$PORTFILE2")
 cmp "$WORK/serve_smoke_local.xml" "$WORK/serve_smoke_remote.xml"
 cmp "$WORK/serve_smoke_local.xml" "$WORK/serve_smoke_federated.xml"
 cmp "$WORK/serve_smoke_local.xml" "$WORK/serve_smoke_replicas.xml"
-echo "serve smoke OK (ports $PORT,$PORT2)"
+
+# Live scrape endpoints, after the query traffic above. The HTTP exposition
+# and the wire snapshot read the same registry, so the stable counters
+# (requests/errors — untouched by the scrapes themselves) must match
+# exactly; the request counter must also reflect that queries ran.
+python3 -c "import urllib.request, sys; \
+  sys.stdout.write(urllib.request.urlopen( \
+    'http://127.0.0.1:$PROMPORT/metrics', timeout=10).read().decode())" \
+  > "$WORK/serve_smoke_prom.txt"
+"$CLI" --scrape "127.0.0.1:$PORT" > "$WORK/serve_smoke_stats.txt"
+grep -E "^silkroute_server_(requests|errors)_total " \
+  "$WORK/serve_smoke_prom.txt" > "$WORK/serve_smoke_prom_subset.txt"
+grep -E "^silkroute_server_(requests|errors)_total " \
+  "$WORK/serve_smoke_stats.txt" > "$WORK/serve_smoke_stats_subset.txt"
+cmp "$WORK/serve_smoke_prom_subset.txt" "$WORK/serve_smoke_stats_subset.txt"
+REQUESTS=$(sed -n 's/^silkroute_server_requests_total \([0-9]*\)$/\1/p' \
+  "$WORK/serve_smoke_stats_subset.txt")
+[ -n "$REQUESTS" ] && [ "$REQUESTS" -gt 0 ] || {
+  echo "scrape shows no served requests (got '$REQUESTS')" >&2; exit 1; }
+echo "serve smoke OK (ports $PORT,$PORT2; prom $PROMPORT; $REQUESTS requests)"

@@ -27,6 +27,22 @@
 //   --prom FILE        write metrics in Prometheus text exposition format
 //   --stats            print the metrics summary table on stderr
 //
+// Live observability (DESIGN.md §14):
+//   --prom-port PORT   serve live Prometheus text exposition over HTTP on
+//                      PORT while running (0 = ephemeral; works in serve,
+//                      service, and plain publish modes)
+//   --prom-port-file F with --prom-port: write the bound scrape port to F
+//   --scrape HOST:PORT fetch a running engine server's metrics snapshot
+//                      via a kStats wire frame, print it, and exit
+//
+// Observed-cost workload profile (DESIGN.md §14):
+//   --profile-out FILE record per-component query/bind/tag costs while
+//                      publishing and save them as JSON to FILE
+//   --profile-in FILE  load a recorded profile and overlay its observed
+//                      costs on the planner's synthetic estimates, so
+//                      genPlan prices component merges by measurement
+//                      (also honored by --explain)
+//
 // Networked federation (DESIGN.md §12):
 //   --serve PORT       run as an engine server: load schema+data, answer
 //                      wire-protocol SQL requests until SIGINT/SIGTERM
@@ -51,11 +67,14 @@
 #include <thread>
 
 #include "common/timer.h"
+#include "engine/measured_oracle.h"
+#include "net/prom_server.h"
 #include "net/remote_executor.h"
 #include "net/replica_set.h"
 #include "net/server.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "relational/csv.h"
 #include "service/federated_executor.h"
@@ -91,6 +110,11 @@ struct Args {
   std::string trace;        // JSONL span trace output path
   std::string prom;         // Prometheus text output path
   bool stats = false;       // metrics table on stderr
+  int prom_port = -1;       // >=0: live HTTP scrape endpoint on this port
+  std::string prom_port_file;  // write the bound scrape port here
+  std::string scrape;       // host:port — print a server's stats and exit
+  std::string profile_out;  // save the observed-cost workload profile here
+  std::string profile_in;   // overlay this profile on the planner's costs
   int serve = -1;           // >=0: run as an engine server on this port
   std::string port_file;    // with --serve: write the bound port here
   std::string connect;      // host:port of a remote engine server
@@ -108,6 +132,9 @@ int Usage(const char* argv0) {
                "[--dtd] [--pretty] [--no-reduce] [--concurrency N] "
                "[--engine-threads N] [--deadline-ms D] [--requests N] "
                "[--trace file] [--prom file] [--stats] "
+               "[--prom-port port [--prom-port-file file]] "
+               "[--scrape host:port] "
+               "[--profile-out file] [--profile-in file] "
                "[--serve port [--port-file file]] [--connect host:port"
                "[,host:port...] [--federate table,...|all]]\n";
   return 2;
@@ -183,6 +210,21 @@ int main(int argc, char** argv) {
       if (args.prom.empty()) return Usage(argv[0]);
     } else if (flag == "--stats") {
       args.stats = true;
+    } else if (flag == "--prom-port") {
+      args.prom_port = next() ? std::atoi(argv[i]) : -1;
+      if (args.prom_port < 0 || args.prom_port > 65535) return Usage(argv[0]);
+    } else if (flag == "--prom-port-file") {
+      args.prom_port_file = next() ? argv[i] : "";
+      if (args.prom_port_file.empty()) return Usage(argv[0]);
+    } else if (flag == "--scrape") {
+      args.scrape = next() ? argv[i] : "";
+      if (args.scrape.find(':') == std::string::npos) return Usage(argv[0]);
+    } else if (flag == "--profile-out") {
+      args.profile_out = next() ? argv[i] : "";
+      if (args.profile_out.empty()) return Usage(argv[0]);
+    } else if (flag == "--profile-in") {
+      args.profile_in = next() ? argv[i] : "";
+      if (args.profile_in.empty()) return Usage(argv[0]);
     } else if (flag == "--serve") {
       args.serve = next() ? std::atoi(argv[i]) : -1;
       if (args.serve < 0 || args.serve > 65535) return Usage(argv[0]);
@@ -200,6 +242,19 @@ int main(int argc, char** argv) {
       return Usage(argv[0]);
     }
   }
+  // Scrape mode: dial a running engine server, print its live metrics
+  // snapshot, exit. Needs no schema or view of its own.
+  if (!args.scrape.empty()) {
+    size_t colon = args.scrape.find_last_of(':');
+    std::string host = args.scrape.substr(0, colon);
+    uint16_t port =
+        static_cast<uint16_t>(std::atoi(args.scrape.c_str() + colon + 1));
+    auto stats = net::FetchServerStats(host, port, /*timeout_ms=*/2000);
+    CLI_CHECK(stats);
+    std::cout << *stats;
+    return 0;
+  }
+
   // A server answers SQL; it never compiles a view of its own.
   if (args.schema.empty()) return Usage(argv[0]);
   if (args.view.empty() && args.serve < 0) return Usage(argv[0]);
@@ -242,16 +297,42 @@ int main(int argc, char** argv) {
   if (args.serve >= 0) {
     std::signal(SIGINT, HandleStopSignal);
     std::signal(SIGTERM, HandleStopSignal);
+    obs::MetricsRegistry serve_registry;
     net::EngineServerOptions server_options;
     server_options.port = static_cast<uint16_t>(args.serve);
     server_options.workers =
         args.concurrency > 0 ? static_cast<size_t>(args.concurrency) : 4;
     server_options.engine_threads = args.engine_threads;
+    server_options.metrics = &serve_registry;
     net::EngineServer server(&db, server_options);
     auto started = server.Start();
     if (!started.ok()) {
       std::cerr << "error: " << started << "\n";
       return 1;
+    }
+    // Live scrape endpoint next to the wire listener: HTTP on --prom-port
+    // for Prometheus, while kStats frames serve the CLI's --scrape.
+    std::unique_ptr<net::PromServer> prom_server;
+    if (args.prom_port >= 0) {
+      prom_server = std::make_unique<net::PromServer>(
+          &serve_registry, server_options.host,
+          static_cast<uint16_t>(args.prom_port));
+      auto prom_started = prom_server->Start();
+      if (!prom_started.ok()) {
+        std::cerr << "error: " << prom_started << "\n";
+        return 1;
+      }
+      if (!args.prom_port_file.empty()) {
+        std::ofstream prom_port_out(args.prom_port_file);
+        if (!prom_port_out.is_open()) {
+          std::cerr << "error: cannot write '" << args.prom_port_file
+                    << "'\n";
+          return 1;
+        }
+        prom_port_out << prom_server->port() << "\n";
+      }
+      std::cerr << "prometheus scrape on port " << prom_server->port()
+                << "\n";
     }
     if (!args.port_file.empty()) {
       std::ofstream port_out(args.port_file);
@@ -265,6 +346,7 @@ int main(int argc, char** argv) {
     while (g_stop == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
+    if (prom_server != nullptr) prom_server->Shutdown();
     server.Shutdown();
     std::cerr << "served " << server.requests_served() << " request(s), "
               << server.requests_failed() << " failed, "
@@ -314,6 +396,66 @@ int main(int argc, char** argv) {
     return Usage(argv[0]);
   }
 
+  // Observability: a collecting tracer when --trace was given, a metrics
+  // registry when --stats/--prom/--prom-port were; null pointers keep the
+  // whole stack in its compiled-in disabled mode.
+  obs::CollectingSink trace_sink;
+  obs::Tracer tracer(&trace_sink);
+  obs::MetricsRegistry registry;
+  obs::Tracer* tracer_ptr = args.trace.empty() ? nullptr : &tracer;
+  obs::MetricsRegistry* registry_ptr =
+      (args.stats || !args.prom.empty() || args.prom_port >= 0) ? &registry
+                                                                : nullptr;
+  if (registry_ptr != nullptr) {
+    // Bulk-load accounting, captured above before the registry existed.
+    registry_ptr->gauge("silkroute_load_ms")
+        ->Set(static_cast<int64_t>(load_ms + 0.5));
+    registry_ptr->counter("silkroute_load_rows_total")->Add(total_rows);
+  }
+  auto export_observability = [&]() -> bool {
+    if (!args.trace.empty()) {
+      std::ofstream trace_out(args.trace);
+      if (!trace_out.is_open()) {
+        std::cerr << "error: cannot write '" << args.trace << "'\n";
+        return false;
+      }
+      obs::WriteTraceJsonl(trace_out, trace_sink.spans());
+      std::cerr << "trace: " << trace_sink.size() << " span(s) -> "
+                << args.trace << "\n";
+    }
+    if (!args.prom.empty()) {
+      std::ofstream prom_out(args.prom);
+      if (!prom_out.is_open()) {
+        std::cerr << "error: cannot write '" << args.prom << "'\n";
+        return false;
+      }
+      obs::WritePrometheusText(prom_out, registry.Snapshot());
+    }
+    if (args.stats) obs::WriteStatsTable(std::cerr, registry.Snapshot());
+    return true;
+  };
+
+  // Observed-cost overlay: a loaded profile prices plan candidates by what
+  // this workload actually cost, falling back to the synthetic estimator
+  // for SQL the profile has never seen (DESIGN.md §14).
+  std::unique_ptr<obs::WorkloadProfile> profile;
+  std::unique_ptr<engine::MeasuredCostOracle> measured_oracle;
+  if (!args.profile_in.empty() || !args.profile_out.empty()) {
+    profile = std::make_unique<obs::WorkloadProfile>(/*alpha=*/0.3,
+                                                     registry_ptr);
+    if (!args.profile_in.empty()) {
+      auto loaded = profile->Load(args.profile_in);
+      if (!loaded.ok()) {
+        std::cerr << "error: " << loaded << "\n";
+        return 1;
+      }
+      std::cerr << "profile: " << profile->size() << " component(s) from "
+                << args.profile_in << "\n";
+      measured_oracle = std::make_unique<engine::MeasuredCostOracle>(
+          publisher.estimator(), profile.get());
+    }
+  }
+
   if (args.explain) {
     std::cout << "view tree:\n" << tree->ToString() << "\n";
     uint64_t mask;
@@ -321,7 +463,11 @@ int main(int argc, char** argv) {
       GreedyParams params = options.greedy;
       params.style = options.style;
       params.reduce = options.reduce;
-      auto plan = GeneratePlanGreedy(*tree, publisher.estimator(), params);
+      engine::CostOracle* oracle = measured_oracle != nullptr
+                                       ? measured_oracle.get()
+                                       : static_cast<engine::CostOracle*>(
+                                             publisher.estimator());
+      auto plan = GeneratePlanGreedy(*tree, oracle, params);
       CLI_CHECK(plan);
       std::cout << "greedy " << plan->ToString(*tree) << "\n";
       mask = plan->FullMask();
@@ -357,41 +503,39 @@ int main(int argc, char** argv) {
     out = &file_out;
   }
 
-  // Observability: a collecting tracer when --trace was given, a metrics
-  // registry when --stats/--prom were; null pointers keep the whole stack
-  // in its compiled-in disabled mode.
-  obs::CollectingSink trace_sink;
-  obs::Tracer tracer(&trace_sink);
-  obs::MetricsRegistry registry;
-  obs::Tracer* tracer_ptr = args.trace.empty() ? nullptr : &tracer;
-  obs::MetricsRegistry* registry_ptr =
-      (args.stats || !args.prom.empty()) ? &registry : nullptr;
-  if (registry_ptr != nullptr) {
-    // Bulk-load accounting, captured above before the registry existed.
-    registry_ptr->gauge("silkroute_load_ms")
-        ->Set(static_cast<int64_t>(load_ms + 0.5));
-    registry_ptr->counter("silkroute_load_rows_total")->Add(total_rows);
+  // Live scrape endpoint for the publishing side: Prometheus HTTP over the
+  // same registry the run records into.
+  std::unique_ptr<net::PromServer> prom_server;
+  if (args.prom_port >= 0) {
+    prom_server = std::make_unique<net::PromServer>(
+        &registry, "127.0.0.1", static_cast<uint16_t>(args.prom_port));
+    auto prom_started = prom_server->Start();
+    if (!prom_started.ok()) {
+      std::cerr << "error: " << prom_started << "\n";
+      return 1;
+    }
+    if (!args.prom_port_file.empty()) {
+      std::ofstream prom_port_out(args.prom_port_file);
+      if (!prom_port_out.is_open()) {
+        std::cerr << "error: cannot write '" << args.prom_port_file << "'\n";
+        return 1;
+      }
+      prom_port_out << prom_server->port() << "\n";
+    }
+    std::cerr << "prometheus scrape on port " << prom_server->port() << "\n";
   }
-  auto export_observability = [&]() -> bool {
-    if (!args.trace.empty()) {
-      std::ofstream trace_out(args.trace);
-      if (!trace_out.is_open()) {
-        std::cerr << "error: cannot write '" << args.trace << "'\n";
-        return false;
-      }
-      obs::WriteTraceJsonl(trace_out, trace_sink.spans());
-      std::cerr << "trace: " << trace_sink.size() << " span(s) -> "
-                << args.trace << "\n";
+
+  // Persist the observed-cost profile (if any) once the run is done.
+  auto export_profile = [&]() -> bool {
+    if (profile == nullptr || args.profile_out.empty()) return true;
+    auto saved = profile->Save(args.profile_out);
+    if (!saved.ok()) {
+      std::cerr << "error: " << saved << "\n";
+      return false;
     }
-    if (!args.prom.empty()) {
-      std::ofstream prom_out(args.prom);
-      if (!prom_out.is_open()) {
-        std::cerr << "error: cannot write '" << args.prom << "'\n";
-        return false;
-      }
-      obs::WritePrometheusText(prom_out, registry.Snapshot());
-    }
-    if (args.stats) obs::WriteStatsTable(std::cerr, registry.Snapshot());
+    std::cerr << "profile: " << profile->size() << " component(s), "
+              << profile->records() << " record(s) -> " << args.profile_out
+              << "\n";
     return true;
   };
 
@@ -472,6 +616,8 @@ int main(int argc, char** argv) {
     service_options.executor = executor;  // null = built-in local engine
     service_options.tracer = tracer_ptr;
     service_options.metrics_registry = registry_ptr;
+    service_options.profile = profile.get();
+    service_options.plan_oracle = measured_oracle.get();
     service::PublishingService service(&db, service_options);
     std::vector<service::ServiceRequest> batch(
         static_cast<size_t>(args.requests));
@@ -509,6 +655,8 @@ int main(int argc, char** argv) {
       }
     }
     if (!export_observability()) return 1;
+    if (!export_profile()) return 1;
+    if (prom_server != nullptr) prom_server->Shutdown();
     return failures == 0 ? 0 : 1;
   }
 
@@ -516,6 +664,8 @@ int main(int argc, char** argv) {
   options.executor = executor;  // null = built-in local engine
   options.tracer = tracer_ptr;
   options.metrics_registry = registry_ptr;
+  options.profile = profile.get();
+  options.plan_oracle = measured_oracle.get();
   auto result = publisher.Publish(rxl, options, out);
   CLI_CHECK(result);
   std::cerr << "published " << result->metrics.xml_bytes << " bytes via "
@@ -523,5 +673,7 @@ int main(int argc, char** argv) {
             << (result->metrics.num_streams == 1 ? "y" : "ies") << " in "
             << result->metrics.total_ms() << " ms\n";
   if (!export_observability()) return 1;
+  if (!export_profile()) return 1;
+  if (prom_server != nullptr) prom_server->Shutdown();
   return 0;
 }

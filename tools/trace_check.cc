@@ -10,7 +10,13 @@
 //  - per plan span, the "ms" annotations of its phase:query / phase:bind /
 //    phase:tag descendants sum to the plan's query_ms / bind_ms / tag_ms
 //    annotations (the trace reproduces the metrics), within 1% plus the
-//    %.3f formatting slack.
+//    %.3f formatting slack;
+//  - per "server" span (a remote subtree stitched under a client attempt
+//    span, DESIGN.md §14), the "ms" annotations of its direct phase:*
+//    children sum to no more than the client-side parent span's duration
+//    within tolerance: server-measured work cannot exceed what the client
+//    observed for the whole exchange, or the stitch re-based timestamps
+//    against the wrong span.
 //
 // Usage: trace_check FILE   (or "-" for stdin)
 //
@@ -317,6 +323,40 @@ int main(int argc, char** argv) {
     ++failures;
   }
 
+  // Cross-process reconciliation: a stitched server subtree's measured
+  // phase work must fit inside the client-side attempt span it hangs
+  // under. 1% + per-span %.3f slack, plus a small absolute allowance for
+  // the server's own span bookkeeping between phases.
+  size_t servers = 0;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRec& span = spans[i];
+    if (span.name != "server") continue;
+    ++servers;
+    if (span.parent.empty()) continue;  // server-side export, unstitched
+    auto it = by_id.find(span.parent);
+    if (it == by_id.end()) continue;  // already flagged as dangling above
+    const SpanRec& attempt = spans[it->second];
+    double sum = 0;
+    size_t n = 0;
+    for (const SpanRec& s : spans) {
+      if (s.parent != span.id) continue;
+      if (s.name.compare(0, 6, "phase:") != 0) continue;
+      const std::string* ms = s.Find("ms");
+      if (ms == nullptr) continue;
+      sum += std::strtod(ms->c_str(), nullptr);
+      ++n;
+    }
+    double tolerance = 0.01 * attempt.duration_ms +
+                       0.001 * static_cast<double>(n + 1) + 0.5;
+    if (sum > attempt.duration_ms + tolerance) {
+      failures += Problem(
+          lines[i], span.id,
+          "server phase spans sum to " + std::to_string(sum) +
+              " ms, exceeding the client attempt span's " +
+              std::to_string(attempt.duration_ms) + " ms");
+    }
+  }
+
   for (size_t i = 0; i < spans.size(); ++i) {
     if (spans[i].name != "plan") continue;
     ++plans;
@@ -337,6 +377,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "trace ok: " << spans.size() << " span(s), " << roots
-            << " root(s), " << plans << " plan(s)\n";
+            << " root(s), " << plans << " plan(s), " << servers
+            << " server subtree(s)\n";
   return 0;
 }

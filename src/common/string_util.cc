@@ -91,4 +91,22 @@ std::string StringPrintf(const char* fmt, ...) {
   return out;
 }
 
+std::string NormalizeSql(std::string_view sql) {
+  std::string out;
+  out.reserve(sql.size());
+  bool pending_space = false;
+  for (char c : sql) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
 }  // namespace silkroute

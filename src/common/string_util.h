@@ -33,6 +33,13 @@ bool EndsWith(std::string_view s, std::string_view suffix);
 std::string StringPrintf(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// Canonical form of a SQL text: whitespace runs collapse to one space,
+/// leading/trailing whitespace dropped. This is the shared keying function
+/// for both the workload profile (obs/profile.h) and the component-result
+/// cache (engine/result_cache.h) — one definition, so measurements and
+/// cache entries for the same query can never key apart on formatting.
+std::string NormalizeSql(std::string_view sql);
+
 }  // namespace silkroute
 
 #endif  // SILKROUTE_COMMON_STRING_UTIL_H_

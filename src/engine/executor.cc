@@ -1980,6 +1980,18 @@ DatabaseExecutor::DatabaseExecutor(const Database* db) : db_(db) {}
 
 DatabaseExecutor::~DatabaseExecutor() = default;
 
+Result<std::vector<std::pair<std::string, uint64_t>>>
+DatabaseExecutor::FetchTableVersions(const std::vector<std::string>& tables) {
+  std::vector<std::pair<std::string, uint64_t>> versions;
+  versions.reserve(tables.size());
+  for (const std::string& name : tables) {
+    SILK_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(name));
+    versions.emplace_back(name, table->version());
+  }
+  std::sort(versions.begin(), versions.end());
+  return versions;
+}
+
 void DatabaseExecutor::set_parallelism(int parallelism) {
   exec_options_.parallelism = parallelism < 1 ? 1 : parallelism;
   if (exec_options_.parallelism > 1) {

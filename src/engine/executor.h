@@ -17,6 +17,8 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/cancel.h"
@@ -126,6 +128,21 @@ class SqlExecutor {
   /// to its own breakers. Must be cheap and side-effect-free; the default
   /// is always-healthy.
   virtual bool Healthy() const { return true; }
+
+  /// Current version counters of `tables` (sorted by name on return) —
+  /// the freshness half of every result-cache key (engine/result_cache.h,
+  /// relational/table.h). The publisher fetches one vector per publish,
+  /// before executing any component query, so a concurrent writer can
+  /// only make entries conservatively stale (a future miss), never
+  /// wrongly fresh. The default declines — an executor that cannot vouch
+  /// for versions (e.g. a legacy remote peer) disables caching rather
+  /// than serving stale documents. Must be thread-safe in executors meant
+  /// to be shared across service workers.
+  virtual Result<std::vector<std::pair<std::string, uint64_t>>>
+  FetchTableVersions(const std::vector<std::string>& tables) {
+    (void)tables;
+    return Status::Unimplemented("table versions not supported");
+  }
 };
 
 class QueryExecutor : public SqlExecutor {
@@ -290,6 +307,11 @@ class DatabaseExecutor : public SqlExecutor {
   }
 
   void set_timeout_ms(double timeout_ms) override { timeout_ms_ = timeout_ms; }
+
+  /// Local tables answer version fetches directly (Table::version() is an
+  /// atomic read; thread-safe against concurrent queries).
+  Result<std::vector<std::pair<std::string, uint64_t>>> FetchTableVersions(
+      const std::vector<std::string>& tables) override;
 
   /// Intra-query parallelism for every query through this connection:
   /// lazily spawns an owned MorselPool with parallelism-1 workers (shared

@@ -87,6 +87,14 @@ class FaultInjectingExecutor : public SqlExecutor {
                                           double timeout_ms) override;
   void set_timeout_ms(double timeout_ms) override { timeout_ms_ = timeout_ms; }
 
+  /// Version fetches pass through un-faulted: fault schedules target
+  /// component queries by SQL text, and a failed fetch merely bypasses the
+  /// cache (not the behaviour under test).
+  Result<std::vector<std::pair<std::string, uint64_t>>> FetchTableVersions(
+      const std::vector<std::string>& tables) override {
+    return inner_->FetchTableVersions(tables);
+  }
+
   FaultStats stats() const {
     std::lock_guard<std::mutex> lock(mu_);
     return stats_;

@@ -153,6 +153,13 @@ class ResilientExecutor : public SqlExecutor {
     options_.query_deadline_ms = timeout_ms;
   }
 
+  /// Version fetches pass straight through (no retries: a failed fetch
+  /// just bypasses the result cache for one publish).
+  Result<std::vector<std::pair<std::string, uint64_t>>> FetchTableVersions(
+      const std::vector<std::string>& tables) override {
+    return inner_->FetchTableVersions(tables);
+  }
+
   const ExecutionReport& report() const { return report_; }
   int budget_used() const {
     return options_.shared_budget != nullptr ? options_.shared_budget->used()

@@ -133,15 +133,17 @@ TupleStream::TupleStream(Relation relation)
     : schema_(std::move(relation.schema)), num_tuples_(relation.rows.size()) {
   // Server-side binding: serialize everything up front. Reserve using an
   // estimate to avoid repeated growth.
+  auto buffer = std::make_shared<std::string>();
   size_t estimate = 0;
   for (const auto& r : relation.rows) estimate += r.ByteSize() + 8;
-  buffer_.reserve(estimate);
-  for (const auto& r : relation.rows) SerializeTuple(r, &buffer_);
+  buffer->reserve(estimate);
+  for (const auto& r : relation.rows) SerializeTuple(r, buffer.get());
+  buffer_ = std::move(buffer);
 }
 
 std::optional<Tuple> TupleStream::Next() {
-  if (offset_ >= buffer_.size()) return std::nullopt;
-  auto t = DeserializeTuple(buffer_, &offset_);
+  if (offset_ >= buffer_->size()) return std::nullopt;
+  auto t = DeserializeTuple(*buffer_, &offset_);
   if (!t.ok()) return std::nullopt;  // corrupt stream treated as EOS
   return std::move(t).value();
 }

@@ -9,8 +9,10 @@
 #define SILKROUTE_ENGINE_TUPLE_STREAM_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -31,6 +33,16 @@ class TupleStream {
   /// (serialization) immediately — the stream then owns only wire bytes.
   explicit TupleStream(Relation relation);
 
+  /// Adopts already-bound wire bytes shared with a cache entry
+  /// (engine/result_cache.h): a cache hit constructs its stream without
+  /// re-executing *or* re-serializing, and without copying the buffer —
+  /// the shared_ptr keeps the bytes alive past eviction.
+  TupleStream(RelSchema schema, std::shared_ptr<const std::string> wire,
+              size_t num_tuples)
+      : schema_(std::move(schema)),
+        buffer_(std::move(wire)),
+        num_tuples_(num_tuples) {}
+
   const RelSchema& schema() const { return schema_; }
 
   /// Client-side fetch: deserializes and returns the next tuple, or
@@ -40,12 +52,17 @@ class TupleStream {
   /// Rewinds to the first tuple (used by tests).
   void Rewind() { offset_ = 0; }
 
-  size_t wire_bytes() const { return buffer_.size(); }
+  size_t wire_bytes() const { return buffer_->size(); }
   size_t num_tuples() const { return num_tuples_; }
+
+  /// The bound wire buffer, shareable with a cache entry at no copy.
+  const std::shared_ptr<const std::string>& shared_wire() const {
+    return buffer_;
+  }
 
  private:
   RelSchema schema_;
-  std::string buffer_;
+  std::shared_ptr<const std::string> buffer_;
   size_t offset_ = 0;
   size_t num_tuples_ = 0;
 };

@@ -448,6 +448,86 @@ void RemoteSqlExecutor::DrainTraceBlock(Socket* socket, uint64_t request_id,
   }
 }
 
+Result<std::vector<std::pair<std::string, uint64_t>>>
+RemoteSqlExecutor::FetchTableVersions(const std::vector<std::string>& tables) {
+  if (shutdown_.cancelled()) {
+    return Status::Unavailable("remote executor is shut down");
+  }
+  if (peer_version_.load() == 1) {
+    // kVersions exists only on the v2 wire; a known-legacy peer would
+    // close the connection. Declining here lets the publisher run uncached
+    // without burning a dial.
+    return Status::Unavailable("legacy peer: no table versions on v1 wire");
+  }
+  IoOptions io;
+  io.cancel = &shutdown_;
+  io.cancel2 = options_.cancel;
+  io.poll_interval_ms = options_.poll_interval_ms;
+  double timeout_ms = timeout_ms_ > 0 ? timeout_ms_ : options_.dial_timeout_ms;
+  if (timeout_ms > 0) {
+    io.has_deadline = true;
+    io.deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(timeout_ms));
+  }
+
+  auto exchange = [&](Socket* socket)
+      -> Result<std::vector<std::pair<std::string, uint64_t>>> {
+    std::string payload;
+    EncodeVersionsRequestPayload(tables, &payload);
+    FrameHeader header;
+    header.version = kWireVersion;
+    header.type = FrameType::kVersions;
+    header.request_id = next_request_id_.fetch_add(1);
+    SILK_RETURN_IF_ERROR(WriteFrame(socket, header, payload, io));
+    requests_sent_.fetch_add(1);
+    if (m_frames_out_ != nullptr) m_frames_out_->Add(1);
+    auto reply = ReadFrame(socket, io, options_.max_payload);
+    SILK_RETURN_IF_ERROR(reply.status());
+    if (m_frames_in_ != nullptr) m_frames_in_->Add(1);
+    if (reply->header.type == FrameType::kError) {
+      Status carried = Status::OK();
+      SILK_RETURN_IF_ERROR(DecodeErrorPayload(reply->payload, &carried));
+      if (!carried.ok()) return carried;
+      return Status::Unavailable("error frame carrying an OK status");
+    }
+    if (reply->header.type != FrameType::kVersions) {
+      return Status::Unavailable(
+          std::string("unexpected ") + FrameTypeToString(reply->header.type) +
+          " frame in reply to versions request");
+    }
+    auto versions = DecodeVersionsResponsePayload(reply->payload);
+    if (!versions.ok()) {
+      decode_errors_.fetch_add(1);
+      if (m_decode_errors_ != nullptr) m_decode_errors_->Add(1);
+      return Status::Unavailable("malformed versions response: " +
+                                 versions.status().message());
+    }
+    peer_version_.store(2);  // a kVersions answer proves a v2 peer
+    return versions;
+  };
+
+  bool from_pool = false;
+  auto socket = AcquireConnection(io, &from_pool);
+  SILK_RETURN_IF_ERROR(socket.status());
+  auto result = exchange(&*socket);
+  if (!result.ok() && from_pool &&
+      result.status().code() == StatusCode::kUnavailable) {
+    // Same idle-death retry as ExecuteSql: the fetch is read-only, so a
+    // one-shot re-send on a fresh dial cannot double-apply anything.
+    {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      idle_.clear();
+    }
+    auto fresh = DialWithBackoff(io);
+    SILK_RETURN_IF_ERROR(fresh.status());
+    socket = std::move(fresh);
+    result = exchange(&*socket);
+  }
+  if (result.ok()) ReleaseConnection(std::move(*socket));
+  return result;
+}
+
 Result<std::string> FetchServerStats(const std::string& host, uint16_t port,
                                      double timeout_ms) {
   IoOptions io = IoOptions::WithTimeout(timeout_ms);

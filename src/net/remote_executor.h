@@ -103,6 +103,13 @@ class RemoteSqlExecutor : public engine::SqlExecutor {
                                                  CancelToken* cancel) override;
   void set_timeout_ms(double timeout_ms) override { timeout_ms_ = timeout_ms; }
 
+  /// Fetches the tables' version counters from the server over a v2
+  /// kVersions exchange (one round-trip per publish). Declines fast with
+  /// kUnavailable against a known-legacy peer — the publisher then runs
+  /// uncached, never keyed on guessed versions. Thread-safe.
+  Result<std::vector<std::pair<std::string, uint64_t>>> FetchTableVersions(
+      const std::vector<std::string>& tables) override;
+
   const std::string& backend() const { return options_.backend; }
 
   /// Cancels every in-flight read/connect and fails all future calls with

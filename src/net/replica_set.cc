@@ -149,6 +149,19 @@ void ReplicaSet::Shutdown() {
   }
 }
 
+Result<std::vector<std::pair<std::string, uint64_t>>>
+ReplicaSet::FetchTableVersions(const std::vector<std::string>& tables) {
+  if (shutdown_.cancelled()) return Status::Unavailable("replica set is shut down");
+  Status last = Status::Unavailable("no replica answered a versions fetch");
+  for (auto& replica : replicas_) {
+    if (replica->breaker->WouldFastFail()) continue;
+    auto versions = replica->executor->FetchTableVersions(tables);
+    if (versions.ok()) return versions;
+    last = versions.status();
+  }
+  return last;
+}
+
 bool ReplicaSet::Healthy() const {
   for (const auto& replica : replicas_) {
     if (!replica->breaker->WouldFastFail()) return true;

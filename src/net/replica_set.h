@@ -159,6 +159,15 @@ class ReplicaSet : public engine::SqlExecutor {
                                                  CancelToken* cancel) override;
   void set_timeout_ms(double timeout_ms) override { timeout_ms_ = timeout_ms; }
 
+  /// Asks replicas in order, skipping ejected ones, and returns the first
+  /// answer. Version vectors from different replicas of one logical store
+  /// are interchangeable for cache keying: a replica that lags serves a
+  /// correspondingly older version vector together with correspondingly
+  /// older data, so key and payload still agree. Failures are not charged
+  /// to replica breakers — a missing fetch only bypasses the cache.
+  Result<std::vector<std::pair<std::string, uint64_t>>> FetchTableVersions(
+      const std::vector<std::string>& tables) override;
+
   /// True while at least one replica's breaker would admit a call.
   bool Healthy() const override;
 

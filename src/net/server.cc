@@ -160,6 +160,31 @@ bool EngineServer::ServeRequest(Socket* socket, const Frame& request) {
     return WriteFrame(socket, stats, text.str(), io).ok();
   }
 
+  if (request.header.type == FrameType::kVersions) {
+    // Table-version fetch for the client's result cache: answer from the
+    // local tables' atomic counters. An unknown table is an error frame —
+    // the client then publishes that plan uncached rather than keying on a
+    // fabricated version.
+    auto tables = DecodeVersionsRequestPayload(request.payload);
+    if (!tables.ok()) {
+      send_error(tables.status());
+      return false;
+    }
+    auto versions = executor_.FetchTableVersions(*tables);
+    if (!versions.ok()) {
+      send_error(versions.status());
+      return true;  // well-formed request, answerable connection
+    }
+    std::string payload;
+    EncodeVersionsResponsePayload(*versions, &payload);
+    FrameHeader reply;
+    reply.version = kWireVersion;
+    reply.type = FrameType::kVersions;
+    reply.request_id = request.header.request_id;
+    if (m_frames_out_ != nullptr) m_frames_out_->Add(1);
+    return WriteFrame(socket, reply, payload, io).ok();
+  }
+
   if (request.header.type != FrameType::kRequest) {
     // A client speaking the protocol wrong gets one error, then the
     // connection closes (the stream can no longer be trusted).

@@ -109,6 +109,7 @@ const char* FrameTypeToString(FrameType type) {
     case FrameType::kEnd: return "end";
     case FrameType::kError: return "error";
     case FrameType::kStats: return "stats";
+    case FrameType::kVersions: return "versions";
   }
   return "unknown";
 }
@@ -171,7 +172,7 @@ Result<FrameHeader> DecodeFrameHeader(std::string_view bytes,
   }
   uint8_t type = static_cast<uint8_t>(p[5]);
   uint8_t max_type = header.version >= 2
-                         ? static_cast<uint8_t>(FrameType::kStats)
+                         ? static_cast<uint8_t>(FrameType::kVersions)
                          : static_cast<uint8_t>(FrameType::kError);
   if (type < static_cast<uint8_t>(FrameType::kRequest) || type > max_type) {
     return Status::InvalidArgument("bad frame type " + std::to_string(type));
@@ -351,6 +352,72 @@ Result<TracedRequest> DecodeTracedRequestPayload(std::string_view payload) {
   request.trace.trace_id = std::string(*trace_id);
   request.trace.parent_span_id = std::string(*parent);
   return request;
+}
+
+void EncodeVersionsRequestPayload(const std::vector<std::string>& tables,
+                                  std::string* out) {
+  PutU32(static_cast<uint32_t>(tables.size()), out);
+  for (const std::string& table : tables) PutLengthPrefixed(table, out);
+}
+
+Result<std::vector<std::string>> DecodeVersionsRequestPayload(
+    std::string_view payload) {
+  Reader reader(payload);
+  auto count = reader.U32("versions table count");
+  SILK_RETURN_IF_ERROR(count.status());
+  if (*count > kMaxVersionTables) {
+    return Status::InvalidArgument("hostile versions table count " +
+                                   std::to_string(*count));
+  }
+  std::vector<std::string> tables;
+  tables.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto name = reader.LengthPrefixed("versions table name");
+    SILK_RETURN_IF_ERROR(name.status());
+    tables.emplace_back(*name);
+  }
+  if (!reader.done()) {
+    return Status::InvalidArgument(
+        "trailing bytes after versions request: " +
+        std::to_string(reader.remaining()));
+  }
+  return tables;
+}
+
+void EncodeVersionsResponsePayload(
+    const std::vector<std::pair<std::string, uint64_t>>& versions,
+    std::string* out) {
+  PutU32(static_cast<uint32_t>(versions.size()), out);
+  for (const auto& [table, version] : versions) {
+    PutLengthPrefixed(table, out);
+    PutU64(version, out);
+  }
+}
+
+Result<std::vector<std::pair<std::string, uint64_t>>>
+DecodeVersionsResponsePayload(std::string_view payload) {
+  Reader reader(payload);
+  auto count = reader.U32("versions entry count");
+  SILK_RETURN_IF_ERROR(count.status());
+  if (*count > kMaxVersionTables) {
+    return Status::InvalidArgument("hostile versions entry count " +
+                                   std::to_string(*count));
+  }
+  std::vector<std::pair<std::string, uint64_t>> versions;
+  versions.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto name = reader.LengthPrefixed("versions table name");
+    SILK_RETURN_IF_ERROR(name.status());
+    auto version = reader.U64("versions counter");
+    SILK_RETURN_IF_ERROR(version.status());
+    versions.emplace_back(std::string(*name), *version);
+  }
+  if (!reader.done()) {
+    return Status::InvalidArgument(
+        "trailing bytes after versions response: " +
+        std::to_string(reader.remaining()));
+  }
+  return versions;
 }
 
 void EncodeTraceBlock(const std::vector<WireSpan>& spans, std::string* out) {

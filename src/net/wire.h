@@ -39,6 +39,13 @@
 //   kStats    both directions    request: empty payload; response: Prometheus
 //                                text-exposition snapshot of the server's
 //                                metrics registry (live scrape over the wire)
+//   kVersions both directions    request: u32 count + len-prefixed table
+//                                names; response: u32 count + per table
+//                                len-prefixed name + u64 version counter.
+//                                Fetched once per publish to key the result
+//                                cache (DESIGN.md §15); a legacy peer
+//                                rejects the v2 frame and the client just
+//                                publishes uncached.
 //
 // Version negotiation: v2 frames are only emitted when they carry v2-only
 // content (trace context / kStats); plain query traffic stays v1, so a
@@ -86,7 +93,8 @@ enum class FrameType : uint8_t {
   kChunk = 2,
   kEnd = 3,
   kError = 4,
-  kStats = 5,  // v2 only: live metrics scrape over the wire
+  kStats = 5,     // v2 only: live metrics scrape over the wire
+  kVersions = 6,  // v2 only: table-version vector fetch (result cache keys)
 };
 
 const char* FrameTypeToString(FrameType type);
@@ -159,6 +167,25 @@ struct EndPayload {
 
 void EncodeEndPayload(const EndPayload& end, std::string* out);
 Result<EndPayload> DecodeEndPayload(std::string_view payload);
+
+// --- Versions payload ------------------------------------------------------
+// Table-version fetch for the result cache (kVersions, v2 only). The
+// request names the tables a plan touches; the response carries each
+// table's monotonic version counter (relational/table.h).
+
+/// Hard cap on tables per versions frame; a count above this is hostile.
+inline constexpr uint32_t kMaxVersionTables = 4096;
+
+void EncodeVersionsRequestPayload(const std::vector<std::string>& tables,
+                                  std::string* out);
+Result<std::vector<std::string>> DecodeVersionsRequestPayload(
+    std::string_view payload);
+
+void EncodeVersionsResponsePayload(
+    const std::vector<std::pair<std::string, uint64_t>>& versions,
+    std::string* out);
+Result<std::vector<std::pair<std::string, uint64_t>>>
+DecodeVersionsResponsePayload(std::string_view payload);
 
 // --- Trace block -----------------------------------------------------------
 // A finished server-side span subtree shipped back on a traced kEnd frame:

@@ -305,24 +305,6 @@ std::string EscapeKey(std::string_view in) {
 
 }  // namespace
 
-std::string NormalizeSql(std::string_view sql) {
-  std::string out;
-  out.reserve(sql.size());
-  bool pending_space = false;
-  for (char c : sql) {
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      pending_space = !out.empty();
-      continue;
-    }
-    if (pending_space) {
-      out.push_back(' ');
-      pending_space = false;
-    }
-    out.push_back(c);
-  }
-  return out;
-}
-
 void PhaseProfile::Record(double ms, double alpha) {
   if (ms < 0) ms = 0;
   ewma_ms = count == 0 ? ms : alpha * ms + (1 - alpha) * ewma_ms;

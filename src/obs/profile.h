@@ -27,6 +27,7 @@
 #include <string_view>
 
 #include "common/result.h"
+#include "common/string_util.h"
 #include "obs/metrics.h"
 
 namespace silkroute::obs {
@@ -34,7 +35,10 @@ namespace silkroute::obs {
 /// Canonical form of a SQL text for profile keying: whitespace runs
 /// collapse to one space, leading/trailing whitespace dropped. Formatting
 /// differences between plan re-runs must not split a component's history.
-std::string NormalizeSql(std::string_view sql);
+/// The one definition lives in common/string_util.h and is shared with the
+/// component-result cache's key (engine/result_cache.h), so profile keys
+/// and cache keys cannot diverge.
+using silkroute::NormalizeSql;
 
 /// Per-phase cost statistics. Histogram buckets are log2 over integer
 /// microseconds: bucket 0 holds 0, bucket i holds [2^(i-1), 2^i) us.

@@ -53,15 +53,21 @@ Status Table::Insert(Tuple row) {
   }
   if (!key_indices_.empty()) {
     Tuple key = ExtractKey(row);
-    if (!key_set_.insert(key).second) {
+    if (key_set_.count(key) != 0) {
       return Status::ConstraintViolation("duplicate primary key " +
                                          key.ToString() + " in table '" +
                                          schema_.name() + "'");
     }
   }
+  CommitRow(std::move(row));
+  return Status::OK();
+}
+
+void Table::CommitRow(Tuple row) {
+  if (!key_indices_.empty()) key_set_.insert(ExtractKey(row));
   rows_.push_back(std::move(row));
   IndexRow(rows_.size() - 1);
-  return Status::OK();
+  version_.fetch_add(1, std::memory_order_release);
 }
 
 Status Table::CreateIndex(const std::string& column) {

@@ -3,7 +3,9 @@
 #ifndef SILKROUTE_RELATIONAL_TABLE_H_
 #define SILKROUTE_RELATIONAL_TABLE_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -28,6 +30,21 @@ class Table {
   const std::vector<Tuple>& rows() const { return rows_; }
   size_t num_rows() const { return rows_.size(); }
 
+  /// Monotonic mutation counter: bumped once per committed row, on every
+  /// insert path (validated and bulk). Since the store is append-only the
+  /// version doubles as the row high-water mark, so the delta since
+  /// version v is exactly rows [v, num_rows()). The result cache keys
+  /// component results on the version vector of the tables a query names
+  /// (engine/result_cache.h); any drift between this counter and the
+  /// actual row/index state would silently serve stale documents, which is
+  /// why every mutation funnels through one CommitRow helper.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
+  /// Rows appended since `version` (the delta a republish must re-read).
+  size_t RowsAppendedSince(uint64_t version) const {
+    return version >= rows_.size() ? 0 : rows_.size() - version;
+  }
+
   /// Builds (or rebuilds) a hash index on one column. Maintained by later
   /// inserts. The executor uses it for literal-equality scans.
   Status CreateIndex(const std::string& column);
@@ -40,11 +57,11 @@ class Table {
   Status Insert(Tuple row);
 
   /// Appends without validation. Used by the bulk loader after generation,
-  /// where rows are constructed schema-correct by code.
-  void InsertUnchecked(Tuple row) {
-    rows_.push_back(std::move(row));
-    IndexRow(rows_.size() - 1);
-  }
+  /// where rows are constructed schema-correct by code. Shares CommitRow
+  /// with Insert, so bulk loads maintain the primary-key set, secondary
+  /// indexes, and the version counter exactly like validated inserts —
+  /// the paths can never drift.
+  void InsertUnchecked(Tuple row) { CommitRow(std::move(row)); }
 
   /// Pre-sizes the row vector, primary-key set, and every index for
   /// `expected_rows` additional rows, so a bulk load pays one allocation
@@ -73,12 +90,21 @@ class Table {
 
   Tuple ExtractKey(const Tuple& row) const;
   void IndexRow(size_t row_position);
+  /// The single mutation commit point: appends the row, records its
+  /// primary key, maintains every secondary index, and bumps the version
+  /// counter — all-or-nothing, so version/index/key state stay in lock
+  /// step on every insert path.
+  void CommitRow(Tuple row);
 
   TableSchema schema_;
   std::vector<Tuple> rows_;
   std::vector<size_t> key_indices_;
   std::unordered_set<Tuple, KeyHash> key_set_;
   std::map<size_t, Index> indexes_;  // column position -> index
+  /// Atomic so a publisher thread can snapshot the version vector while
+  /// another request's writer commits (writers themselves are serialized
+  /// by the caller; the table is not a concurrent structure).
+  std::atomic<uint64_t> version_{0};
 };
 
 }  // namespace silkroute

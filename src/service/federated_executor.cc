@@ -1,5 +1,6 @@
 #include "service/federated_executor.h"
 
+#include <algorithm>
 #include <cctype>
 #include <chrono>
 #include <utility>
@@ -66,6 +67,52 @@ const FederatedExecutor::Backend* FederatedExecutor::Route(
     }
   }
   return nullptr;
+}
+
+Result<std::vector<std::pair<std::string, uint64_t>>>
+FederatedExecutor::FetchTableVersions(const std::vector<std::string>& tables) {
+  // Group the tables by owning backend, same precedence as Route(): first
+  // backend whose table list names it (or a catch-all) wins; unclaimed
+  // tables belong to the local executor.
+  std::vector<std::vector<std::string>> per_backend(backends_.size());
+  std::vector<std::string> local_tables;
+  for (const std::string& table : tables) {
+    size_t owner = backends_.size();
+    for (size_t i = 0; i < backends_.size(); ++i) {
+      const auto& owned = backends_[i].spec.tables;
+      if (owned.empty() ||
+          std::find(owned.begin(), owned.end(), table) != owned.end()) {
+        owner = i;
+        break;
+      }
+    }
+    if (owner < backends_.size()) {
+      per_backend[owner].push_back(table);
+    } else {
+      local_tables.push_back(table);
+    }
+  }
+
+  std::vector<std::pair<std::string, uint64_t>> merged;
+  merged.reserve(tables.size());
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    if (per_backend[i].empty()) continue;
+    SILK_ASSIGN_OR_RETURN(
+        auto versions,
+        backends_[i].spec.executor->FetchTableVersions(per_backend[i]));
+    merged.insert(merged.end(), versions.begin(), versions.end());
+  }
+  if (!local_tables.empty()) {
+    if (options_.local == nullptr) {
+      return Status::Unavailable(
+          "no backend claims some tables and no local executor is configured");
+    }
+    SILK_ASSIGN_OR_RETURN(auto versions,
+                          options_.local->FetchTableVersions(local_tables));
+    merged.insert(merged.end(), versions.begin(), versions.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  return merged;
 }
 
 std::string FederatedExecutor::RouteFor(std::string_view sql) const {

@@ -100,6 +100,15 @@ class FederatedExecutor : public engine::SqlExecutor {
                                                  CancelToken* cancel) override;
   void set_timeout_ms(double timeout_ms) override { timeout_ms_ = timeout_ms; }
 
+  /// Assembles a federation-wide version vector: each table is asked of
+  /// the backend that owns it (same precedence as query routing, including
+  /// catch-alls), unclaimed tables of the local executor. All-or-nothing —
+  /// one backend declining fails the fetch, because a vector with holes
+  /// would key cache entries that can never be invalidated by that
+  /// backend's writes. The publisher treats any failure as "run uncached".
+  Result<std::vector<std::pair<std::string, uint64_t>>> FetchTableVersions(
+      const std::vector<std::string>& tables) override;
+
   /// The backend name `sql` routes to ("local" when no remote claims it).
   std::string RouteFor(std::string_view sql) const;
 

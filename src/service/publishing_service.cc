@@ -116,6 +116,8 @@ class PublishingService::PooledExecution : public core::PlanExecution {
   Status fatal_;
   bool timed_out_ = false;
   size_t breaker_fast_fails_ = 0;
+  size_t cache_hits_ = 0;
+  size_t cache_misses_ = 0;
   size_t rows_ = 0;
   size_t wire_bytes_ = 0;
   double query_ms_ = 0;
@@ -163,6 +165,8 @@ Result<std::vector<ComponentStream>> PublishingService::PooledExecution::Run(
   metrics->retries = metrics->exec_report.total_retries();
   metrics->degraded_components = degraded_origins_.size();
   metrics->breaker_fast_fails = breaker_fast_fails_;
+  metrics->cache_hits = cache_hits_;
+  metrics->cache_misses = cache_misses_;
   metrics->failed_nodes = std::move(failed_nodes_);
   std::sort(metrics->failed_nodes.begin(), metrics->failed_nodes.end());
   if (options.collect_sql) metrics->sql = std::move(sql_log_);
@@ -264,6 +268,43 @@ void PublishingService::PooledExecution::ExecuteOne(
   outcome.tables = tables;
   outcome.queue_wait_ms = queue_wait_ms;
 
+  // Fragment-cache fast path: a hit skips the breaker gates and the
+  // executor entirely (nothing runs, so there is nothing to gate), but the
+  // borrowed wire bytes still count against the buffered-tuple budget —
+  // they live exactly as long as an executed stream's would.
+  engine::ResultCache* cache = options.result_cache;
+  if (cache != nullptr && !spec.cache_key.empty()) {
+    if (auto entry = cache->Lookup(spec.cache_key)) {
+      auto stream = std::make_unique<engine::TupleStream>(
+          entry->schema, entry->bytes, entry->num_tuples);
+      size_t bytes = stream->wire_bytes();
+      Status reserved = service_->admission_.ReserveBytes(bytes);
+      StatusCode final_code = reserved.code();
+      outcome.final_status = final_code;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++cache_hits_;
+        if (!reserved.ok()) {
+          if (fatal_.ok()) fatal_ = reserved;
+        } else {
+          reserved_bytes_ += bytes;
+          rows_ += entry->num_tuples;
+          wire_bytes_ += bytes;
+          done_.push_back(ComponentStream{std::move(spec), std::move(stream)});
+        }
+        components_.push_back(std::move(outcome));
+      }
+      if (span != nullptr) {
+        span->Annotate("cache", "hit");
+        span->Annotate("status", StatusCodeToString(final_code));
+        span->End();
+      }
+      return FinishTask({});
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++cache_misses_;
+  }
+
   // Circuit breakers: one gate per backend table this component touches.
   // Any open breaker fast-fails the query, which then degrades
   // immediately — no execution, no retry budget consumed.
@@ -357,6 +398,13 @@ void PublishingService::PooledExecution::ExecuteOne(
     auto stream = std::make_unique<engine::TupleStream>(std::move(rel));
     double bind_elapsed = bind_timer.ElapsedMillis();
     size_t bytes = stream->wire_bytes();
+    if (cache != nullptr && !spec.cache_key.empty()) {
+      engine::CacheEntry entry;
+      entry.schema = stream->schema();
+      entry.bytes = stream->shared_wire();
+      entry.num_tuples = stream->num_tuples();
+      cache->Insert(spec.cache_key, std::move(entry));
+    }
     if (options.profile != nullptr) {
       options.profile->RecordQuery(spec.sql, query_elapsed, rel_rows, bytes);
       options.profile->RecordBind(spec.sql, bind_elapsed);
@@ -593,6 +641,7 @@ void PublishingService::RunRequest(ServiceRequest request,
     opts.metrics_registry = options_.metrics_registry;
     opts.profile = options_.profile;
     opts.plan_oracle = options_.plan_oracle;
+    opts.result_cache = options_.result_cache;
     std::ostringstream out;
     auto result = publisher_.Publish(request.rxl, opts, &out);
     if (result.ok()) {

@@ -68,6 +68,12 @@ struct ServiceOptions {
   /// `workers`, and service workers never block on it). <= 1 = serial.
   /// Ignored when `executor` is supplied.
   int engine_threads = 1;
+  /// Shared component-result + document cache (borrowed; null = off).
+  /// ResultCache is internally sharded/thread-safe, so all workers across
+  /// all concurrent requests hit one instance; invalidation is structural
+  /// (table versions inside the keys), so no coordination with writers is
+  /// needed (DESIGN.md §15).
+  engine::ResultCache* result_cache = nullptr;
 
   // --- Observability (borrowed; null = disabled, see DESIGN.md §9) ------
   /// Emits one request-rooted span tree per submitted request

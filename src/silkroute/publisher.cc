@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <deque>
 #include <set>
+#include <sstream>
 #include <utility>
 
+#include "common/string_util.h"
 #include "common/timer.h"
 #include "engine/tuple_stream.h"
 #include "rxl/parser.h"
@@ -186,6 +188,28 @@ Result<std::vector<ComponentStream>> SequentialExecution::Run(
     outcome.nodes = item.spec.covered_nodes;
     outcome.tables = ComponentTables(tree, item.spec.covered_nodes);
 
+    // Fragment-cache fast path: a hit hands back the already-bound wire
+    // bytes — no SQL execution, no binding, no retry-budget spend.
+    engine::ResultCache* cache = options.result_cache;
+    if (cache != nullptr && !item.spec.cache_key.empty()) {
+      if (auto entry = cache->Lookup(item.spec.cache_key)) {
+        ++metrics->cache_hits;
+        metrics->rows += entry->num_tuples;
+        auto stream = std::make_unique<engine::TupleStream>(
+            entry->schema, entry->bytes, entry->num_tuples);
+        metrics->wire_bytes += stream->wire_bytes();
+        if (item.span != nullptr) {
+          item.span->Annotate("cache", "hit");
+          item.span->Annotate("status", StatusCodeToString(StatusCode::kOk));
+        }
+        metrics->components.push_back(std::move(outcome));
+        done.push_back(
+            ComponentStream{std::move(item.spec), std::move(stream)});
+        continue;
+      }
+      ++metrics->cache_misses;
+    }
+
     // phase:query under the component span; the resilient layer hangs
     // attempt/backoff spans off it through the thread-local current span.
     obs::SpanHandle query_span =
@@ -219,6 +243,13 @@ Result<std::vector<ComponentStream>> SequentialExecution::Run(
       bind_span.AnnotateMs("ms", bind_elapsed);
       bind_span.End();
       metrics->wire_bytes += stream->wire_bytes();
+      if (cache != nullptr && !item.spec.cache_key.empty()) {
+        engine::CacheEntry entry;
+        entry.schema = stream->schema();
+        entry.bytes = stream->shared_wire();
+        entry.num_tuples = stream->num_tuples();
+        cache->Insert(item.spec.cache_key, std::move(entry));
+      }
       if (options.profile != nullptr) {
         options.profile->RecordQuery(item.spec.sql, query_elapsed,
                                      stream->num_tuples(),
@@ -315,6 +346,90 @@ Result<PlanMetrics> Publisher::ExecutePlan(const ViewTree& tree,
   plan_span.AnnotateCount("mask", mask);
   plan_span.AnnotateCount("num_components", specs.size());
 
+  // Result cache (DESIGN.md §15). The version vector of every table the
+  // plan touches is snapshotted once, BEFORE any query runs: a write that
+  // races the publish can only make an entry conservatively stale (keyed
+  // on versions older than what the queries saw), never wrongly fresh. On
+  // a quiescent database the snapshot matches the data exactly, which is
+  // what makes cached republishes byte-identical to cold ones.
+  engine::ResultCache* cache = options.result_cache;
+  bool cache_live = false;
+  std::string doc_key;
+  if (cache != nullptr) {
+    std::set<std::string> table_set;
+    for (const StreamSpec& spec : specs) {
+      for (std::string& t : ComponentTables(tree, spec.covered_nodes)) {
+        table_set.insert(std::move(t));
+      }
+    }
+    std::vector<std::string> table_list(table_set.begin(), table_set.end());
+    Result<engine::TableVersionVector> fetched =
+        [&]() -> Result<engine::TableVersionVector> {
+      if (options.executor != nullptr) {
+        return options.executor->FetchTableVersions(table_list);
+      }
+      engine::TableVersionVector local;
+      local.reserve(table_list.size());
+      for (const std::string& name : table_list) {
+        SILK_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(name));
+        local.emplace_back(name, table->version());
+      }
+      return local;
+    }();
+    // A failed fetch (legacy remote peer, backend down) leaves every
+    // cache_key empty: this publish just runs uncached.
+    if (fetched.ok()) {
+      cache_live = true;
+      const engine::TableVersionVector& versions = fetched.value();
+      for (StreamSpec& spec : specs) {
+        engine::TableVersionVector sub;
+        for (const std::string& t : ComponentTables(tree, spec.covered_nodes)) {
+          auto it = std::lower_bound(
+              versions.begin(), versions.end(), t,
+              [](const auto& pair, const std::string& name) {
+                return pair.first < name;
+              });
+          if (it != versions.end() && it->first == t) sub.push_back(*it);
+        }
+        spec.cache_key =
+            engine::ResultCache::FragmentKey(NormalizeSql(spec.sql), sub);
+      }
+      // The document fingerprint pins everything that shapes the XML: the
+      // partition, every component's SQL (style/reduce/distinct are all
+      // reflected there), and the tagging options.
+      std::string fingerprint = std::to_string(mask);
+      fingerprint += '|';
+      fingerprint += options.document_element;
+      fingerprint += options.pretty ? "|p" : "|c";
+      for (const StreamSpec& spec : specs) {
+        fingerprint += '|';
+        fingerprint += NormalizeSql(spec.sql);
+      }
+      doc_key = engine::ResultCache::DocumentKey(fingerprint,
+                                                 fetched.value());
+      if (auto doc = cache->Lookup(doc_key)) {
+        // Unchanged view over unchanged tables: stream the finished XML
+        // straight out and rebuild the byte/row totals from the entry.
+        out->write(doc->bytes->data(),
+                   static_cast<std::streamsize>(doc->bytes->size()));
+        metrics.served_from_doc_cache = true;
+        for (const auto& [name, value] : doc->counters) {
+          if (name == "num_streams") metrics.num_streams = value;
+          else if (name == "rows") metrics.rows = value;
+          else if (name == "wire_bytes") metrics.wire_bytes = value;
+          else if (name == "xml_bytes") metrics.xml_bytes = value;
+          else if (name == "xml_flushes") metrics.xml_flushes = value;
+        }
+        plan_span.Annotate("cache", "document_hit");
+        plan_span.End();
+        if (options.metrics_registry != nullptr) {
+          options.metrics_registry->counter("silkroute_plans_total")->Add();
+        }
+        return metrics;
+      }
+    }
+  }
+
   // 1. Produce the component streams through the configured strategy.
   SequentialExecution sequential(db_);
   PlanExecution* execution =
@@ -334,10 +449,14 @@ Result<PlanMetrics> Publisher::ExecutePlan(const ViewTree& tree,
     return a.spec.covered_nodes.front() < b.spec.covered_nodes.front();
   });
 
-  // 2. Merge + tag (client side; Next() also pays the wire decode).
+  // 2. Merge + tag (client side; Next() also pays the wire decode). With a
+  // live cache the document is captured so a clean publish can be admitted
+  // under the document key.
+  std::ostringstream capture;
+  std::ostream* sink = cache_live ? static_cast<std::ostream*>(&capture) : out;
   xml::XmlWriter::Options writer_options;
   writer_options.pretty = options.pretty;
-  xml::XmlWriter writer(out, writer_options);
+  xml::XmlWriter writer(sink, writer_options);
   Tagger tagger(&tree, &writer,
                 Tagger::Options{options.document_element});
   std::vector<Tagger::StreamInput> inputs;
@@ -356,6 +475,33 @@ Result<PlanMetrics> Publisher::ExecutePlan(const ViewTree& tree,
   metrics.xml_bytes = writer.bytes_written();
   metrics.xml_flushes = writer.flushes();
   metrics.tagger = tagger.stats();
+
+  if (cache_live) {
+    std::string xml = std::move(capture).str();
+    out->write(xml.data(), static_cast<std::streamsize>(xml.size()));
+    // Only a clean document is admitted: a best-effort publish (skipped
+    // nodes, degraded components, breaker fast-fails) reflects transient
+    // failures, not the tables' state, and must not be replayed later.
+    bool clean = metrics.failed_nodes.empty() &&
+                 metrics.degraded_components == 0 &&
+                 metrics.breaker_fast_fails == 0;
+    if (clean) {
+      engine::CacheEntry doc;
+      doc.counters = {{"num_streams", metrics.num_streams},
+                      {"rows", metrics.rows},
+                      {"wire_bytes", metrics.wire_bytes},
+                      {"xml_bytes", metrics.xml_bytes},
+                      {"xml_flushes", metrics.xml_flushes}};
+      doc.bytes = std::make_shared<const std::string>(std::move(xml));
+      cache->Insert(doc_key, std::move(doc));
+    }
+    if (metrics.cache_hits > 0) {
+      // Cached fragments merged with fresh ones into this document — the
+      // incremental-maintenance splice path.
+      metrics.cache_splices = metrics.cache_hits;
+      cache->RecordSplices(metrics.cache_splices);
+    }
+  }
 
   // Tag runs once per plan over the merged streams; apportion its cost to
   // the component queries by row share so the profile prices each SQL text

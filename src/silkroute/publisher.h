@@ -30,6 +30,7 @@
 #include "engine/estimator.h"
 #include "engine/executor.h"
 #include "engine/resilient_executor.h"
+#include "engine/result_cache.h"
 #include "engine/stats.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -101,6 +102,19 @@ struct PublishOptions {
   /// the concurrent PublishingService (src/service/) supplies a pooled
   /// strategy with circuit breakers and end-to-end deadlines.
   PlanExecution* execution = nullptr;
+
+  // --- Result cache (DESIGN.md §15; borrowed, null = disabled) ----------
+  /// Component-query result + document cache. Before executing, the
+  /// publisher snapshots the version vector of every table the plan
+  /// touches (one FetchTableVersions on the executor — or straight off the
+  /// local database); the snapshot keys a whole-document lookup and, on a
+  /// document miss, per-component fragment lookups. Any write between the
+  /// snapshot and a query only makes an entry conservatively stale (the
+  /// next publish re-keys), never wrongly fresh, so cached republishes are
+  /// byte-identical to cold ones on a quiescent database. If the version
+  /// fetch fails (legacy remote peer, backend down) the publish silently
+  /// runs uncached.
+  engine::ResultCache* result_cache = nullptr;
 
   // --- Observability (borrowed; null = disabled, see DESIGN.md §9) ------
   /// Emits plan / component / phase spans. Propagated into the resilient
@@ -185,6 +199,20 @@ struct PlanMetrics {
   /// issue order, attributing attempts/retries/fast-fails to the tables
   /// involved.
   std::vector<ComponentOutcome> components;
+
+  // --- Result cache outcome (all 0/false when caching is off) -----------
+  /// Component queries served from fragment cache (no SQL executed, no
+  /// binding paid).
+  size_t cache_hits = 0;
+  /// Cacheable component queries that had to execute (absent or stale).
+  size_t cache_misses = 0;
+  /// Cached fragments the tagger spliced into a republished document
+  /// alongside freshly executed ones (== cache_hits unless the whole
+  /// document was served from cache).
+  size_t cache_splices = 0;
+  /// The entire document came from the cache: no SQL, no tagging; query/
+  /// bind/tag times are 0 and `sql` is empty.
+  bool served_from_doc_cache = false;
 };
 
 /// A produced component stream, ready for the merge/tag phase.

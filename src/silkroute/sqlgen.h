@@ -66,6 +66,11 @@ struct StreamSpec {
   std::string sql;                   // final SQL text, with ORDER BY
   std::vector<int> covered_nodes;    // ascending node ids
   std::vector<InstanceSpec> instances;  // document order
+  /// Result-cache fragment key (publisher, DESIGN.md §15): packed from the
+  /// normalized SQL and the versions of the tables the component names.
+  /// Empty = uncacheable (version fetch failed, cache off, or a degraded
+  /// replacement query minted mid-plan, after the version snapshot).
+  std::string cache_key;
 };
 
 class SqlGenerator {

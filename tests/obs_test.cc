@@ -18,6 +18,7 @@
 
 #include "engine/fault_injection.h"
 #include "engine/measured_oracle.h"
+#include "engine/result_cache.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -481,6 +482,24 @@ TEST(ExportTest, PrometheusTextMatchesGoldenFile) {
   WorkloadProfile profile(0.3, &registry);
   profile.RecordQuery("select s from Supplier", 4.0, 2, 64);
   profile.RecordBind("select s from Supplier", 1.0);
+  // The result-cache dimension (DESIGN.md §15): hit/miss/eviction/splice
+  // counters and residency gauges, written through a real ResultCache so
+  // the mirror path is the one under test. One insert, one hit, one miss,
+  // two recorded splices; all byte values are deterministic (packed key
+  // length + entry payload + fixed overhead).
+  engine::ResultCache cache(engine::ResultCache::Options{
+      /*budget_bytes=*/1 << 20, /*shards=*/1, &registry});
+  engine::CacheEntry cache_entry;
+  cache_entry.bytes = std::make_shared<const std::string>("<x/>");
+  cache_entry.num_tuples = 1;
+  const std::string cache_key = engine::ResultCache::FragmentKey(
+      "select s from Supplier", {{"Supplier", 3}});
+  cache.Insert(cache_key, std::move(cache_entry));
+  ASSERT_NE(cache.Lookup(cache_key), nullptr);
+  ASSERT_EQ(cache.Lookup(engine::ResultCache::FragmentKey(
+                "select s from Supplier", {{"Supplier", 4}})),
+            nullptr);
+  cache.RecordSplices(2);
   Histogram* h = registry.histogram("silkroute_request_us");
   for (uint64_t v : {0u, 1u, 2u, 3u, 5u, 8u, 100u, 1000u, 4096u}) {
     h->Record(v);
@@ -491,6 +510,12 @@ TEST(ExportTest, PrometheusTextMatchesGoldenFile) {
 
   const std::string golden_path =
       std::string(SILK_TEST_SOURCE_DIR) + "/golden/prometheus.txt";
+  if (std::getenv("SILK_REGEN_GOLDEN") != nullptr) {
+    std::ofstream regen(golden_path);
+    ASSERT_TRUE(regen.good()) << "cannot write golden file " << golden_path;
+    regen << rendered.str();
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
   std::ifstream golden_file(golden_path);
   ASSERT_TRUE(golden_file.good()) << "missing golden file " << golden_path;
   std::ostringstream golden;

@@ -43,6 +43,12 @@ import sys
 # effective tolerance for a file is max(--tolerance, this floor).
 FILE_TOLERANCE = {
     "BENCH_service_load.json": 0.6,
+    # The warm-doc row is a single map lookup (sub-millisecond), so its
+    # ratio against the cold anchor is dominated by constant overhead that
+    # varies across machines. A warm republish that stopped hitting the
+    # document cache would blow past even this band (its ratio jumps from
+    # ~0.01 to ~1.0), which is the regression this row exists to catch.
+    "BENCH_cache.json": 1.5,
 }
 
 # BenchReport value keys that vary run-to-run / machine-to-machine and

@@ -27,6 +27,15 @@
 //   --prom FILE        write metrics in Prometheus text exposition format
 //   --stats            print the metrics summary table on stderr
 //
+// Result cache (DESIGN.md §15):
+//   --cache-mb N       cache component-query results and finished documents
+//                      under an N-MB byte budget, keyed by table versions;
+//                      repeated publishes (--requests) of an unchanged view
+//                      are served from cache, byte-identical
+//   --cache-stats      print hit/miss/eviction/splice totals on stderr
+//                      after publishing (enables a 64 MB cache if --cache-mb
+//                      was not given)
+//
 // Live observability (DESIGN.md §14):
 //   --prom-port PORT   serve live Prometheus text exposition over HTTP on
 //                      PORT while running (0 = ephemeral; works in serve,
@@ -68,6 +77,7 @@
 
 #include "common/timer.h"
 #include "engine/measured_oracle.h"
+#include "engine/result_cache.h"
 #include "net/prom_server.h"
 #include "net/remote_executor.h"
 #include "net/replica_set.h"
@@ -110,6 +120,8 @@ struct Args {
   std::string trace;        // JSONL span trace output path
   std::string prom;         // Prometheus text output path
   bool stats = false;       // metrics table on stderr
+  int cache_mb = 0;         // >0: result cache with this byte budget (MB)
+  bool cache_stats = false; // print cache totals on stderr after the run
   int prom_port = -1;       // >=0: live HTTP scrape endpoint on this port
   std::string prom_port_file;  // write the bound scrape port here
   std::string scrape;       // host:port — print a server's stats and exit
@@ -132,6 +144,7 @@ int Usage(const char* argv0) {
                "[--dtd] [--pretty] [--no-reduce] [--concurrency N] "
                "[--engine-threads N] [--deadline-ms D] [--requests N] "
                "[--trace file] [--prom file] [--stats] "
+               "[--cache-mb N] [--cache-stats] "
                "[--prom-port port [--prom-port-file file]] "
                "[--scrape host:port] "
                "[--profile-out file] [--profile-in file] "
@@ -210,6 +223,11 @@ int main(int argc, char** argv) {
       if (args.prom.empty()) return Usage(argv[0]);
     } else if (flag == "--stats") {
       args.stats = true;
+    } else if (flag == "--cache-mb") {
+      args.cache_mb = next() ? std::atoi(argv[i]) : -1;
+      if (args.cache_mb <= 0) return Usage(argv[0]);
+    } else if (flag == "--cache-stats") {
+      args.cache_stats = true;
     } else if (flag == "--prom-port") {
       args.prom_port = next() ? std::atoi(argv[i]) : -1;
       if (args.prom_port < 0 || args.prom_port > 65535) return Usage(argv[0]);
@@ -435,6 +453,26 @@ int main(int argc, char** argv) {
     return true;
   };
 
+  // Result cache (DESIGN.md §15): one instance shared by every publish this
+  // process runs, so repeated --requests serve warm fragments/documents.
+  std::unique_ptr<engine::ResultCache> result_cache;
+  if (args.cache_mb > 0 || args.cache_stats) {
+    engine::ResultCache::Options cache_options;
+    cache_options.budget_bytes =
+        static_cast<size_t>(args.cache_mb > 0 ? args.cache_mb : 64) << 20;
+    cache_options.metrics = registry_ptr;
+    result_cache = std::make_unique<engine::ResultCache>(cache_options);
+  }
+  auto report_cache = [&] {
+    if (result_cache == nullptr || !args.cache_stats) return;
+    auto s = result_cache->stats();
+    std::cerr << "cache: " << s.hits << " hit(s), " << s.misses
+              << " miss(es), " << s.evictions << " eviction(s), " << s.splices
+              << " splice(s), " << s.entries << " entr"
+              << (s.entries == 1 ? "y" : "ies") << ", " << s.resident_bytes
+              << " byte(s) resident\n";
+  };
+
   // Observed-cost overlay: a loaded profile prices plan candidates by what
   // this workload actually cost, falling back to the synthetic estimator
   // for SQL the profile has never seen (DESIGN.md §14).
@@ -618,6 +656,7 @@ int main(int argc, char** argv) {
     service_options.metrics_registry = registry_ptr;
     service_options.profile = profile.get();
     service_options.plan_oracle = measured_oracle.get();
+    service_options.result_cache = result_cache.get();
     service::PublishingService service(&db, service_options);
     std::vector<service::ServiceRequest> batch(
         static_cast<size_t>(args.requests));
@@ -654,6 +693,7 @@ int main(int argc, char** argv) {
         break;
       }
     }
+    report_cache();
     if (!export_observability()) return 1;
     if (!export_profile()) return 1;
     if (prom_server != nullptr) prom_server->Shutdown();
@@ -666,12 +706,14 @@ int main(int argc, char** argv) {
   options.metrics_registry = registry_ptr;
   options.profile = profile.get();
   options.plan_oracle = measured_oracle.get();
+  options.result_cache = result_cache.get();
   auto result = publisher.Publish(rxl, options, out);
   CLI_CHECK(result);
   std::cerr << "published " << result->metrics.xml_bytes << " bytes via "
             << result->metrics.num_streams << " SQL quer"
             << (result->metrics.num_streams == 1 ? "y" : "ies") << " in "
             << result->metrics.total_ms() << " ms\n";
+  report_cache();
   if (!export_observability()) return 1;
   if (!export_profile()) return 1;
   if (prom_server != nullptr) prom_server->Shutdown();

@@ -83,7 +83,7 @@ int main() {
 
   BenchReport report("cache");
 
-  // Cold: no cache at all — the anchor every other row normalizes against.
+  // Cold: no cache at all — the reference the warm rows are read against.
   core::PlanMetrics cold_metrics;
   double cold_ms = 1e300;
   for (int i = 0; i < repeat; ++i) {

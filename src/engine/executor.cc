@@ -9,6 +9,7 @@
 
 #include "engine/expr_eval.h"
 #include "engine/key_codec.h"
+#include "relational/columnar.h"
 #include "engine/morsel.h"
 #include "obs/trace.h"
 #include "sql/parser.h"
@@ -86,6 +87,253 @@ bool AsColumnEquality(const Expr& e, EquiPair* out) {
   out->right = static_cast<const sql::ColumnRefExpr*>(&b.right());
   return true;
 }
+
+// ---------------------------------------------------------------------------
+// Compiled column predicates (DESIGN.md §16). A pushed-down filter of the
+// shape `col <op> literal` (either orientation), `col IS [NOT] NULL`, or a
+// NOT over those compiles into a ColPred: one branch-light comparison
+// against pre-classified literal payloads, evaluated straight off a
+// shard's typed arrays with no BoundExpr dispatch and no Value
+// materialized per row. Semantics replicate BoundExpr::Test over
+// Value::Compare exactly: a NULL cell fails every comparison (three-valued
+// unknown), int64-vs-int64 compares exactly, mixed numerics widen to
+// double, numerics order before strings.
+// ---------------------------------------------------------------------------
+
+enum class ColOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kIsNull,
+  kIsNotNull,
+  kNever,  // comparison against a NULL literal: no row ever passes
+};
+
+struct ColPred {
+  enum class LitKind { kInt, kDouble, kString, kNone };
+
+  size_t col = 0;
+  ColOp op = ColOp::kNever;
+  LitKind lit_kind = LitKind::kNone;
+  int64_t lit_i = 0;     // kInt payload
+  double lit_num = 0.0;  // widened numeric payload (kInt and kDouble)
+  std::string lit_s;     // kString payload
+};
+
+/// `not (col <op> lit)` strengthens to the inverted comparison: for
+/// non-null cells the inversion is exact, and a NULL cell fails both the
+/// original (kUnknown) and the inversion, matching NotBound's kUnknown
+/// pass-through. kNever stays kNever (NOT unknown is unknown).
+ColOp InvertColOp(ColOp op) {
+  switch (op) {
+    case ColOp::kEq: return ColOp::kNe;
+    case ColOp::kNe: return ColOp::kEq;
+    case ColOp::kLt: return ColOp::kGe;
+    case ColOp::kLe: return ColOp::kGt;
+    case ColOp::kGt: return ColOp::kLe;
+    case ColOp::kGe: return ColOp::kLt;
+    case ColOp::kIsNull: return ColOp::kIsNotNull;
+    case ColOp::kIsNotNull: return ColOp::kIsNull;
+    case ColOp::kNever: return ColOp::kNever;
+  }
+  return ColOp::kNever;
+}
+
+bool FillLiteral(const Value& v, ColPred* out) {
+  if (v.is_null()) {
+    // `col <op> NULL` is kUnknown for every row; only kTrue passes.
+    out->op = ColOp::kNever;
+    out->lit_kind = ColPred::LitKind::kNone;
+    return true;
+  }
+  if (v.is_int64()) {
+    out->lit_kind = ColPred::LitKind::kInt;
+    out->lit_i = v.AsInt64();
+    out->lit_num = static_cast<double>(out->lit_i);
+  } else if (v.is_double()) {
+    out->lit_kind = ColPred::LitKind::kDouble;
+    out->lit_num = v.AsDouble();
+  } else {
+    out->lit_kind = ColPred::LitKind::kString;
+    out->lit_s = v.AsString();
+  }
+  return true;
+}
+
+/// Compiles `e` into a single ColPred. Returns false when the expression
+/// is not of a compilable shape (the caller then keeps the whole filter
+/// set on the legacy bound-expression path).
+bool CompileColPred(const Expr& e, const RelSchema& schema, ColPred* out) {
+  switch (e.kind()) {
+    case Expr::Kind::kBinary: {
+      const auto& b = static_cast<const sql::BinaryExpr&>(e);
+      ColOp op;
+      switch (b.op()) {
+        case BinaryOp::kEq: op = ColOp::kEq; break;
+        case BinaryOp::kNe: op = ColOp::kNe; break;
+        case BinaryOp::kLt: op = ColOp::kLt; break;
+        case BinaryOp::kLe: op = ColOp::kLe; break;
+        case BinaryOp::kGt: op = ColOp::kGt; break;
+        case BinaryOp::kGe: op = ColOp::kGe; break;
+        default: return false;  // And/Or arrive pre-split into conjuncts
+      }
+      const sql::ColumnRefExpr* col = nullptr;
+      const sql::LiteralExpr* lit = nullptr;
+      if (b.left().kind() == Expr::Kind::kColumnRef &&
+          b.right().kind() == Expr::Kind::kLiteral) {
+        col = static_cast<const sql::ColumnRefExpr*>(&b.left());
+        lit = static_cast<const sql::LiteralExpr*>(&b.right());
+      } else if (b.right().kind() == Expr::Kind::kColumnRef &&
+                 b.left().kind() == Expr::Kind::kLiteral) {
+        col = static_cast<const sql::ColumnRefExpr*>(&b.right());
+        lit = static_cast<const sql::LiteralExpr*>(&b.left());
+        // lit <op> col reads as col <flipped-op> lit.
+        if (op == ColOp::kLt) op = ColOp::kGt;
+        else if (op == ColOp::kLe) op = ColOp::kGe;
+        else if (op == ColOp::kGt) op = ColOp::kLt;
+        else if (op == ColOp::kGe) op = ColOp::kLe;
+      } else {
+        return false;
+      }
+      auto idx = schema.Resolve(col->qualifier(), col->name());
+      if (!idx.ok()) return false;
+      out->col = *idx;
+      out->op = op;
+      FillLiteral(lit->value(), out);  // may override op to kNever
+      return true;
+    }
+    case Expr::Kind::kIsNull: {
+      const auto& isn = static_cast<const sql::IsNullExpr&>(e);
+      if (isn.operand().kind() != Expr::Kind::kColumnRef) return false;
+      const auto& col =
+          static_cast<const sql::ColumnRefExpr&>(isn.operand());
+      auto idx = schema.Resolve(col.qualifier(), col.name());
+      if (!idx.ok()) return false;
+      out->col = *idx;
+      out->op = isn.negated() ? ColOp::kIsNotNull : ColOp::kIsNull;
+      out->lit_kind = ColPred::LitKind::kNone;
+      return true;
+    }
+    case Expr::Kind::kNot: {
+      const auto& n = static_cast<const sql::NotExpr&>(e);
+      if (!CompileColPred(n.operand(), schema, out)) return false;
+      out->op = InvertColOp(out->op);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+/// All-or-nothing: every filter must compile or none is used, so a scan is
+/// either fully columnar or fully legacy (never a mix with different
+/// short-circuit order).
+bool CompileColumnPreds(const std::vector<const Expr*>& filters,
+                        const RelSchema& schema, std::vector<ColPred>* out) {
+  out->clear();
+  out->reserve(filters.size());
+  for (const Expr* e : filters) {
+    ColPred p;
+    if (!CompileColPred(*e, schema, &p)) return false;
+    out->push_back(std::move(p));
+  }
+  return true;
+}
+
+/// One predicate against cell `pos` of a shard column. Mirrors
+/// BinaryBound::Test over Value::Compare: NULL cells fail comparisons,
+/// pass/fail IS NULL directly.
+bool EvalColPred(const ColumnVector& cv, size_t pos, const ColPred& p) {
+  switch (p.op) {
+    case ColOp::kIsNull: return cv.IsNull(pos);
+    case ColOp::kIsNotNull: return !cv.IsNull(pos);
+    case ColOp::kNever: return false;
+    default: break;
+  }
+  if (cv.IsNull(pos)) return false;
+  int c;
+  if (cv.type() != DataType::kString) {
+    if (p.lit_kind == ColPred::LitKind::kString) {
+      c = -1;  // numerics order before strings
+    } else if (p.lit_kind == ColPred::LitKind::kInt && cv.CellIsInt64(pos)) {
+      const int64_t a = cv.Int64At(pos);
+      c = a < p.lit_i ? -1 : (a > p.lit_i ? 1 : 0);
+    } else {
+      const double a = cv.NumericAt(pos);
+      c = a < p.lit_num ? -1 : (a > p.lit_num ? 1 : 0);
+    }
+  } else {
+    if (p.lit_kind != ColPred::LitKind::kString) {
+      c = 1;  // strings order after numerics
+    } else {
+      const int r = cv.StringAt(pos).compare(p.lit_s);
+      c = r < 0 ? -1 : (r > 0 ? 1 : 0);
+    }
+  }
+  switch (p.op) {
+    case ColOp::kEq: return c == 0;
+    case ColOp::kNe: return c != 0;
+    case ColOp::kLt: return c < 0;
+    case ColOp::kLe: return c <= 0;
+    case ColOp::kGt: return c > 0;
+    case ColOp::kGe: return c >= 0;
+    default: return false;
+  }
+}
+
+/// A literal-equality filter with an index on its column, if any: the index
+/// path beats every flavour of full scan, so both MaterializeBaseTable and
+/// the columnar selection scan consult this first.
+struct IndexProbe {
+  const Table::Index* index = nullptr;
+  const Value* probe = nullptr;
+};
+
+IndexProbe FindIndexProbe(const Table& table,
+                          const std::vector<const Expr*>& filters) {
+  for (const sql::Expr* e : filters) {
+    if (e->kind() != Expr::Kind::kBinary) continue;
+    const auto& b = static_cast<const sql::BinaryExpr&>(*e);
+    if (b.op() != BinaryOp::kEq) continue;
+    const sql::ColumnRefExpr* col = nullptr;
+    const sql::LiteralExpr* lit = nullptr;
+    if (b.left().kind() == Expr::Kind::kColumnRef &&
+        b.right().kind() == Expr::Kind::kLiteral) {
+      col = static_cast<const sql::ColumnRefExpr*>(&b.left());
+      lit = static_cast<const sql::LiteralExpr*>(&b.right());
+    } else if (b.right().kind() == Expr::Kind::kColumnRef &&
+               b.left().kind() == Expr::Kind::kLiteral) {
+      col = static_cast<const sql::ColumnRefExpr*>(&b.right());
+      lit = static_cast<const sql::LiteralExpr*>(&b.left());
+    } else {
+      continue;
+    }
+    const Table::Index* candidate = table.GetIndex(col->name());
+    if (candidate != nullptr && !lit->value().is_null()) {
+      return {candidate, &lit->value()};
+    }
+  }
+  return {};
+}
+
+/// One side of a hash join: the rows plus, when they borrow a base table
+/// whose columnar layout is exact, the table itself — keys then encode
+/// straight from the shard columns (EncodeTableJoinKey), byte-identical
+/// to the row encoding, so chains, probes, and key counters never change.
+struct JoinSide {
+  const std::vector<Tuple>* rows;
+  const Table* table = nullptr;
+
+  size_t size() const { return rows->size(); }
+  bool EncodeKey(size_t i, const std::vector<size_t>& cols,
+                 std::string* out) const {
+    if (table != nullptr) return EncodeTableJoinKey(*table, i, cols, out);
+    return EncodeJoinKey((*rows)[i], cols, out);
+  }
+};
 
 /// Chained hash index over packed join keys (key_codec.h): one map entry
 /// per distinct key, rows with equal keys threaded through `next_` links
@@ -295,14 +543,14 @@ struct IndexBuildCounters {
 /// per partition, inserting that partition's rows in ascending global row
 /// order. `run_morsels` / `run_tasks` are the executor's dispatchers.
 template <typename RunMorselsFn, typename RunTasksFn>
-Status BuildPartitionedIndex(const std::vector<Tuple>& build_rows,
+Status BuildPartitionedIndex(const JoinSide& build,
                              const std::vector<size_t>& cols,
                              size_t morsel_rows,
                              const RunMorselsFn& run_morsels,
                              const RunTasksFn& run_tasks,
                              PartitionedKeyIndex* index,
                              IndexBuildCounters* counters) {
-  const size_t n = build_rows.size();
+  const size_t n = build.size();
   const size_t morsel = morsel_rows > 0 ? morsel_rows : 1;
   const size_t count = (n + morsel - 1) / morsel;
   const uint32_t partitions = index->num_partitions();
@@ -317,7 +565,7 @@ Status BuildPartitionedIndex(const std::vector<Tuple>& build_rows,
           const size_t local = i - begin;
           const uint32_t off = static_cast<uint32_t>(km.buf.size());
           km.offsets[local] = off;
-          if (!EncodeJoinKey(build_rows[i], cols, &km.buf)) {
+          if (!build.EncodeKey(i, cols, &km.buf)) {
             km.buf.resize(off);  // drop the partial NULL-keyed write
             km.lens[local] = KeyMorsel::kNullKey;
             continue;
@@ -481,13 +729,21 @@ Result<Relation> QueryExecutor::Execute(const sql::Query& query) {
 Result<Relation> QueryExecutor::ExecuteCore(const sql::SelectCore& core,
                                             bool allow_fusion) {
   const std::vector<Tuple>* borrowed = nullptr;
+  const Table* borrowed_table = nullptr;
   bool fused = false;
+  scan_selection_active_ = false;
   SILK_ASSIGN_OR_RETURN(
       Relation combined,
       JoinFromList(core, allow_fusion && !core.select_star, &borrowed,
-                   &fused));
-  const std::vector<Tuple>& in_rows =
-      borrowed != nullptr ? *borrowed : combined.rows;
+                   &borrowed_table, &fused));
+  // Selection-borrowed scan (TryColumnarSelectionScan via JoinFromList):
+  // `borrowed` spans the FULL table and `selection` lists the surviving
+  // global row ids in ascending order. Consume the member state here so
+  // recursive cores (derived tables) can never observe it.
+  bool have_selection = scan_selection_active_;
+  std::vector<uint32_t> selection = std::move(scan_selection_);
+  scan_selection_active_ = false;
+  scan_selection_.clear();
 
   if (core.select_star) {
     if (borrowed != nullptr) {
@@ -539,11 +795,59 @@ Result<Relation> QueryExecutor::ExecuteCore(const sql::SelectCore& core,
     direct_cols.push_back(*idx);
   }
 
+  if (have_selection && !all_direct) {
+    // Rare shape behind a selection scan (expression projection):
+    // materialize the survivors so the generic paths below see exactly
+    // the filtered rows — same copies MaterializeBaseTable would have
+    // made, so this never regresses the pre-selection behaviour.
+    combined.rows.reserve(selection.size());
+    for (uint32_t gid : selection) combined.rows.push_back((*borrowed)[gid]);
+    borrowed = nullptr;
+    borrowed_table = nullptr;
+    have_selection = false;
+  }
+  const std::vector<Tuple>& in_rows =
+      borrowed != nullptr ? *borrowed : combined.rows;
+
   Relation out;
   out.schema = std::move(out_schema);
   if (fused) {
     // JoinFromList already produced the projected rows.
     out.rows = std::move(combined.rows);
+  } else if (all_direct && borrowed_table != nullptr) {
+    // Borrowed base scan + pure column projection: gather the selected
+    // cells straight from the table's columnar shards (row_loc maps each
+    // global row to its shard position) instead of walking the row-store
+    // tuples. ValueAt reproduces the stored Value representation exactly
+    // (columnar_exact is a precondition of borrowed_table), so the
+    // projected stream is unchanged. With a selection the gather visits
+    // only the surviving global ids, in order — filter and projection
+    // fuse with no intermediate row copy at all.
+    const Table& t = *borrowed_table;
+    const size_t n = have_selection ? selection.size() : in_rows.size();
+    auto project_range = [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        const Table::RowLoc loc =
+            t.row_loc(have_selection ? selection[i] : i);
+        const ColumnarShard& shard = t.shard(loc.shard);
+        Tuple projected;
+        projected.mutable_values().reserve(direct_cols.size());
+        for (size_t c : direct_cols) {
+          projected.Append(shard.ValueAt(c, loc.pos));
+        }
+        out.rows[i] = std::move(projected);
+      }
+    };
+    out.rows.resize(n);
+    if (UseParallel(n)) {
+      SILK_RETURN_IF_ERROR(RunMorsels(
+          "project", n, [&](size_t, size_t begin, size_t end) -> Status {
+            project_range(begin, end);
+            return Status::OK();
+          }));
+    } else {
+      project_range(0, n);
+    }
   } else if (all_direct) {
     if (UseParallel(in_rows.size())) {
       // Disjoint index ranges write disjoint slots of the preallocated
@@ -665,9 +969,11 @@ Result<Relation> QueryExecutor::ExecuteCore(const sql::SelectCore& core,
     // DISTINCT breaks row alignment; ORDER BY must use the output schema.
     last_preprojection_ = Relation();
     last_preprojection_rows_ = nullptr;
-  } else if (fused) {
-    // Fusion is only allowed when nothing downstream reads the
-    // pre-projection rows (no ORDER BY in the enclosing query).
+  } else if (fused || have_selection) {
+    // Fusion and selection scans are only allowed when nothing downstream
+    // reads the pre-projection rows (no ORDER BY in the enclosing query);
+    // with a selection the borrowed rows span the whole table and are not
+    // aligned with the output.
     last_preprojection_ = Relation();
     last_preprojection_rows_ = nullptr;
   } else if (borrowed != nullptr) {
@@ -683,8 +989,10 @@ Result<Relation> QueryExecutor::ExecuteCore(const sql::SelectCore& core,
 
 Result<Relation> QueryExecutor::JoinFromList(
     const sql::SelectCore& core, bool allow_fusion,
-    const std::vector<Tuple>** borrowed_rows, bool* fused) {
+    const std::vector<Tuple>** borrowed_rows, const Table** borrowed_table,
+    bool* fused) {
   *borrowed_rows = nullptr;
+  *borrowed_table = nullptr;
   *fused = false;
   if (core.from.empty()) {
     // `select <literals>`: one empty source row.
@@ -768,6 +1076,23 @@ Result<Relation> QueryExecutor::JoinFromList(
         stats_.rows_scanned += borrowed[i]->size();
         continue;
       }
+      if (allow_fusion && items.size() == 1 && residual.empty()) {
+        // Single-table filtered scan feeding a pure projection (no joins,
+        // no residual, no ORDER BY behind us — allow_fusion guarantees
+        // nothing downstream reads aligned pre-projection rows): skip row
+        // materialization entirely. The selection scan records surviving
+        // global row ids; the table is borrowed and ExecuteCore's
+        // projection gathers survivor cells straight from the shards, so
+        // full-width survivor tuples are never copied.
+        SILK_ASSIGN_OR_RETURN(
+            const bool selected,
+            TryColumnarSelectionScan(*deferred_base[i], pushdown[i],
+                                     items[i].schema));
+        if (selected) {
+          borrowed[i] = &deferred_base[i]->rows();
+          continue;
+        }
+      }
       SILK_RETURN_IF_ERROR(
           MaterializeBaseTable(*deferred_base[i], pushdown[i], &items[i]));
       continue;
@@ -796,6 +1121,13 @@ Result<Relation> QueryExecutor::JoinFromList(
   auto rows_of = [&](size_t i) -> const std::vector<Tuple>& {
     return borrowed[i] != nullptr ? *borrowed[i] : items[i].rows;
   };
+  // The base table behind a borrowed item, when its columnar layout can
+  // stand in for the rows (join keys then encode from shard columns).
+  auto table_of = [&](size_t i) -> const Table* {
+    return borrowed[i] != nullptr && deferred_base[i]->columnar_exact()
+               ? deferred_base[i]
+               : nullptr;
+  };
 
   // Projection fusion: when every select item is a plain column ref, the
   // final greedy join can emit row-id pairs and project straight off its
@@ -819,6 +1151,7 @@ Result<Relation> QueryExecutor::JoinFromList(
   Relation current;
   current.schema = std::move(items[0].schema);
   const std::vector<Tuple>* current_borrow = borrowed[0];
+  const Table* current_table = table_of(0);
   if (current_borrow == nullptr) current.rows = std::move(items[0].rows);
   auto current_rows = [&]() -> const std::vector<Tuple>& {
     return current_borrow != nullptr ? *current_borrow : current.rows;
@@ -881,6 +1214,7 @@ Result<Relation> QueryExecutor::JoinFromList(
       }
       current = std::move(combined);
       current_borrow = nullptr;
+      current_table = nullptr;
     } else {
       // Gather all usable predicates between the joined set and `cand`.
       std::vector<std::pair<size_t, size_t>> keys;
@@ -911,7 +1245,8 @@ Result<Relation> QueryExecutor::JoinFromList(
         }
         if (resolved) {
           SILK_ASSIGN_OR_RETURN(
-              pairs, HashJoinPairs(current_rows(), rows_of(cand), keys));
+              pairs, HashJoinPairs(current_rows(), rows_of(cand), keys,
+                                   current_table, table_of(cand)));
           have_pairs = true;
           pair_cand = cand;
           joined[cand] = true;
@@ -922,8 +1257,10 @@ Result<Relation> QueryExecutor::JoinFromList(
       SILK_ASSIGN_OR_RETURN(
           current, HashJoin(sql::JoinType::kInner, current.schema,
                             current_rows(), right.schema, rows_of(cand), keys,
-                            /*residual=*/nullptr));
+                            /*residual=*/nullptr, current_table,
+                            table_of(cand)));
       current_borrow = nullptr;
+      current_table = nullptr;
     }
     joined[cand] = true;
     ++num_joined;
@@ -1055,6 +1392,7 @@ Result<Relation> QueryExecutor::JoinFromList(
     current.rows = std::move(kept);
   }
   *borrowed_rows = current_borrow;
+  *borrowed_table = current_borrow != nullptr ? current_table : nullptr;
   return current;
 }
 
@@ -1062,32 +1400,64 @@ Status QueryExecutor::MaterializeBaseTable(
     const Table& table, const std::vector<const sql::Expr*>& filters,
     Relation* out) {
   // Look for a literal-equality filter with an index on its column.
-  const Table::Index* index = nullptr;
-  const Value* probe = nullptr;
-  for (const sql::Expr* e : filters) {
-    if (e->kind() != Expr::Kind::kBinary) continue;
-    const auto& b = static_cast<const sql::BinaryExpr&>(*e);
-    if (b.op() != BinaryOp::kEq) continue;
-    const sql::ColumnRefExpr* col = nullptr;
-    const sql::LiteralExpr* lit = nullptr;
-    if (b.left().kind() == Expr::Kind::kColumnRef &&
-        b.right().kind() == Expr::Kind::kLiteral) {
-      col = static_cast<const sql::ColumnRefExpr*>(&b.left());
-      lit = static_cast<const sql::LiteralExpr*>(&b.right());
-    } else if (b.right().kind() == Expr::Kind::kColumnRef &&
-               b.left().kind() == Expr::Kind::kLiteral) {
-      col = static_cast<const sql::ColumnRefExpr*>(&b.right());
-      lit = static_cast<const sql::LiteralExpr*>(&b.left());
-    } else {
-      continue;
+  const IndexProbe ip = FindIndexProbe(table, filters);
+
+  if (ip.index != nullptr) {
+    std::vector<BoundExprPtr> bound;
+    bound.reserve(filters.size());
+    for (const sql::Expr* e : filters) {
+      SILK_ASSIGN_OR_RETURN(BoundExprPtr b, BindExpr(*e, out->schema));
+      bound.push_back(std::move(b));
     }
-    const Table::Index* candidate = table.GetIndex(col->name());
-    if (candidate != nullptr && !lit->value().is_null()) {
-      index = candidate;
-      probe = &lit->value();
-      break;
+    auto [begin, end] = ip.index->equal_range(*ip.probe);
+    for (auto it = begin; it != end; ++it) {
+      ++stats_.rows_scanned;
+      ++stats_.index_probes;
+      const Tuple& row = table.rows()[it->second];
+      bool pass = true;
+      for (const auto& f : bound) {
+        if (f->Test(row) != Tribool::kTrue) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) out->rows.push_back(row);
     }
+    return Status::OK();
   }
+
+  // Columnar scan: the selection pass evaluates compiled column-vs-literal
+  // predicates over the shards' typed arrays and yields surviving global
+  // row ids in ascending order; materializing rows in that order
+  // reproduces the row-major scan's tuple stream byte for byte at any
+  // shard count.
+  SILK_ASSIGN_OR_RETURN(const bool columnar,
+                        TryColumnarSelectionScan(table, filters, out->schema));
+  if (columnar) {
+    scan_selection_active_ = false;
+    const std::vector<uint32_t> sel = std::move(scan_selection_);
+    scan_selection_.clear();
+    const std::vector<Tuple>& rows = table.rows();
+    const size_t out_base = out->rows.size();
+    if (UseParallel(sel.size())) {
+      // Disjoint selection ranges copy into disjoint output slots; slot
+      // order equals selection order equals global row order.
+      out->rows.resize(out_base + sel.size());
+      SILK_RETURN_IF_ERROR(RunMorsels(
+          "scan_emit", sel.size(),
+          [&](size_t, size_t begin, size_t end) -> Status {
+            for (size_t i = begin; i < end; ++i) {
+              out->rows[out_base + i] = rows[sel[i]];
+            }
+            return Status::OK();
+          }));
+      return Status::OK();
+    }
+    out->rows.reserve(out_base + sel.size());
+    for (uint32_t gid : sel) out->rows.push_back(rows[gid]);
+    return Status::OK();
+  }
+  stats_.rows_scanned += table.num_rows();
 
   std::vector<BoundExprPtr> bound;
   bound.reserve(filters.size());
@@ -1101,18 +1471,6 @@ Status QueryExecutor::MaterializeBaseTable(
     }
     return true;
   };
-
-  if (index != nullptr) {
-    auto [begin, end] = index->equal_range(*probe);
-    for (auto it = begin; it != end; ++it) {
-      ++stats_.rows_scanned;
-      ++stats_.index_probes;
-      const Tuple& row = table.rows()[it->second];
-      if (passes(row)) out->rows.push_back(row);
-    }
-    return Status::OK();
-  }
-  stats_.rows_scanned += table.num_rows();
   if (UseParallel(table.num_rows()) && !bound.empty()) {
     // Scan morsels: each claims a fixed row range, filters into a private
     // run, and the runs concatenate in morsel order == table row order.
@@ -1138,6 +1496,79 @@ Status QueryExecutor::MaterializeBaseTable(
     if (passes(row)) out->rows.push_back(row);
   }
   return Status::OK();
+}
+
+Result<bool> QueryExecutor::TryColumnarSelectionScan(
+    const Table& table, const std::vector<const sql::Expr*>& filters,
+    const RelSchema& schema) {
+  if (!table.columnar_exact()) return false;
+  // An index probe beats any full scan; leave those filters to
+  // MaterializeBaseTable's index path.
+  if (FindIndexProbe(table, filters).index != nullptr) return false;
+  std::vector<ColPred> preds;
+  if (!CompileColumnPreds(filters, schema, &preds)) return false;
+
+  stats_.rows_scanned += table.num_rows();
+  scan_selection_.clear();
+  scan_selection_active_ = true;
+  const size_t n = table.num_rows();
+  if (n == 0) return true;
+  if (std::any_of(preds.begin(), preds.end(), [](const ColPred& p) {
+        return p.op == ColOp::kNever;
+      })) {
+    return true;  // a NULL-literal comparison passes no rows
+  }
+  // Predicate evaluation reads the shard's typed arrays directly — no
+  // bound-expression dispatch and no per-row Value materialization. Shards
+  // are the unit of dispatch: each task owns (shard, chunk) ranges and
+  // writes disjoint slots of a survivor bitmap indexed by table-global row
+  // id, so parallel evaluation shares no mutable state. Walking the bitmap
+  // in ascending global id afterwards yields the same survivor order a
+  // row-major scan would, at any shard count.
+  std::vector<uint8_t> keep(n, 0);
+  struct ShardChunk {
+    uint32_t shard;
+    uint32_t begin;
+    uint32_t end;
+  };
+  const size_t step = opts_.morsel_rows > 0 ? opts_.morsel_rows : 1;
+  std::vector<ShardChunk> chunks;
+  for (uint32_t s = 0; s < table.shard_count(); ++s) {
+    const size_t shard_rows = table.shard(s).size();
+    for (size_t b = 0; b < shard_rows; b += step) {
+      chunks.push_back({s, static_cast<uint32_t>(b),
+                        static_cast<uint32_t>(std::min(shard_rows, b + step))});
+    }
+  }
+  auto eval_chunk = [&](size_t ci) -> Status {
+    const ShardChunk& ch = chunks[ci];
+    const ColumnarShard& shard = table.shard(ch.shard);
+    for (size_t pos = ch.begin; pos < ch.end; ++pos) {
+      bool pass = true;
+      for (const ColPred& p : preds) {
+        if (!EvalColPred(shard.column(p.col), pos, p)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) keep[shard.global_id(pos)] = 1;
+    }
+    return Status::OK();
+  };
+  if (UseParallel(n)) {
+    SILK_RETURN_IF_ERROR(RunTasks("scan_filter", chunks.size(), eval_chunk));
+  } else {
+    for (size_t ci = 0; ci < chunks.size(); ++ci) {
+      SILK_RETURN_IF_ERROR(eval_chunk(ci));
+    }
+  }
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) total += keep[i];
+  scan_selection_.reserve(total);
+  for (size_t i = 0; i < n; ++i) {
+    if (keep[i]) scan_selection_.push_back(static_cast<uint32_t>(i));
+  }
+  return true;
 }
 
 Result<Relation> QueryExecutor::EvalTableRef(const sql::TableRef& ref) {
@@ -1247,7 +1678,8 @@ Result<Relation> QueryExecutor::HashJoin(
     const std::vector<Tuple>& left_rows, const RelSchema& right_schema,
     const std::vector<Tuple>& right_rows,
     const std::vector<std::pair<size_t, size_t>>& keys,
-    const sql::Expr* residual) {
+    const sql::Expr* residual, const Table* left_table,
+    const Table* right_table) {
   Relation out;
   out.schema = RelSchema::Concat(left_schema, right_schema);
 
@@ -1271,17 +1703,20 @@ Result<Relation> QueryExecutor::HashJoin(
        right_rows.size() >= opts_.parallel_threshold)) {
     return HashJoinParallel(type, std::move(out.schema), left_rows,
                             right_rows, left_cols, right_cols,
-                            residual_bound.get(), right_width);
+                            residual_bound.get(), right_width, left_table,
+                            right_table);
   }
 
+  const JoinSide build{&right_rows, right_table};
+  const JoinSide probe{&left_rows, left_table};
   EncodedKeyIndex index;
   index.Reserve(right_rows.size());
   std::string scratch;
   for (size_t r = 0; r < right_rows.size(); ++r) {
     scratch.clear();
-    // EncodeJoinKey returns false on a NULL key column: such rows can
+    // EncodeKey returns false on a NULL key column: such rows can
     // never match, so they are simply not indexed.
-    if (!EncodeJoinKey(right_rows[r], right_cols, &scratch)) continue;
+    if (!build.EncodeKey(r, right_cols, &scratch)) continue;
     ++stats_.keys_encoded;
     stats_.bytes_encoded += scratch.size();
     index.Insert(scratch, static_cast<uint32_t>(r));
@@ -1289,13 +1724,14 @@ Result<Relation> QueryExecutor::HashJoin(
 
   ++stats_.hash_joins;
   size_t deadline_check = 0;
-  for (const auto& lrow : left_rows) {
+  for (size_t l = 0; l < left_rows.size(); ++l) {
+    const Tuple& lrow = left_rows[l];
     if ((++deadline_check & 0xFF) == 0) {
       SILK_RETURN_IF_ERROR(CheckDeadline());
     }
     scratch.clear();
     bool matched = false;
-    if (EncodeJoinKey(lrow, left_cols, &scratch)) {
+    if (probe.EncodeKey(l, left_cols, &scratch)) {
       ++stats_.keys_encoded;
       stats_.bytes_encoded += scratch.size();
       // The chain yields matches in ascending right-row order (rows were
@@ -1323,7 +1759,8 @@ Result<Relation> QueryExecutor::HashJoin(
 
 Result<std::vector<std::pair<uint32_t, uint32_t>>> QueryExecutor::HashJoinPairs(
     const std::vector<Tuple>& left_rows, const std::vector<Tuple>& right_rows,
-    const std::vector<std::pair<size_t, size_t>>& keys) {
+    const std::vector<std::pair<size_t, size_t>>& keys,
+    const Table* left_table, const Table* right_table) {
   std::vector<size_t> left_cols;
   std::vector<size_t> right_cols;
   left_cols.reserve(keys.size());
@@ -1336,15 +1773,18 @@ Result<std::vector<std::pair<uint32_t, uint32_t>>> QueryExecutor::HashJoinPairs(
   if (opts_.parallelism > 1 && opts_.pool != nullptr &&
       (left_rows.size() >= opts_.parallel_threshold ||
        right_rows.size() >= opts_.parallel_threshold)) {
-    return HashJoinPairsParallel(left_rows, right_rows, left_cols, right_cols);
+    return HashJoinPairsParallel(left_rows, right_rows, left_cols, right_cols,
+                                 left_table, right_table);
   }
 
+  const JoinSide build{&right_rows, right_table};
+  const JoinSide probe{&left_rows, left_table};
   EncodedKeyIndex index;
   index.Reserve(right_rows.size());
   std::string scratch;
   for (size_t r = 0; r < right_rows.size(); ++r) {
     scratch.clear();
-    if (!EncodeJoinKey(right_rows[r], right_cols, &scratch)) continue;
+    if (!build.EncodeKey(r, right_cols, &scratch)) continue;
     ++stats_.keys_encoded;
     stats_.bytes_encoded += scratch.size();
     index.Insert(scratch, static_cast<uint32_t>(r));
@@ -1358,7 +1798,7 @@ Result<std::vector<std::pair<uint32_t, uint32_t>>> QueryExecutor::HashJoinPairs(
       SILK_RETURN_IF_ERROR(CheckDeadline());
     }
     scratch.clear();
-    if (!EncodeJoinKey(left_rows[l], left_cols, &scratch)) continue;
+    if (!probe.EncodeKey(l, left_cols, &scratch)) continue;
     ++stats_.keys_encoded;
     stats_.bytes_encoded += scratch.size();
     for (uint32_t r = index.Find(scratch); r != EncodedKeyIndex::kNil;
@@ -1374,13 +1814,14 @@ Result<Relation> QueryExecutor::HashJoinParallel(
     sql::JoinType type, RelSchema out_schema,
     const std::vector<Tuple>& left_rows, const std::vector<Tuple>& right_rows,
     const std::vector<size_t>& left_cols, const std::vector<size_t>& right_cols,
-    const BoundExpr* residual, size_t right_width) {
+    const BoundExpr* residual, size_t right_width, const Table* left_table,
+    const Table* right_table) {
   const uint32_t partitions =
       CeilPow2(static_cast<uint32_t>(opts_.parallelism));
   PartitionedKeyIndex index(right_rows.size(), partitions);
   IndexBuildCounters build;
   SILK_RETURN_IF_ERROR(BuildPartitionedIndex(
-      right_rows, right_cols, opts_.morsel_rows,
+      JoinSide{&right_rows, right_table}, right_cols, opts_.morsel_rows,
       [this](const char* what, size_t rows,
              const std::function<Status(size_t, size_t, size_t)>& fn) {
         return RunMorsels(what, rows, fn);
@@ -1399,6 +1840,7 @@ Result<Relation> QueryExecutor::HashJoinParallel(
   // order reproduces the serial probe loop's row order exactly (each run
   // is the serial output for its row range, chains yield right rows in
   // ascending row order).
+  const JoinSide probe{&left_rows, left_table};
   std::vector<std::vector<Tuple>> runs(MorselCount(n));
   std::vector<std::array<uint64_t, 2>> probe_counts(runs.size());
   SILK_RETURN_IF_ERROR(RunMorsels(
@@ -1414,7 +1856,7 @@ Result<Relation> QueryExecutor::HashJoinParallel(
           const Tuple& lrow = left_rows[i];
           scratch.clear();
           bool matched = false;
-          if (EncodeJoinKey(lrow, left_cols, &scratch)) {
+          if (probe.EncodeKey(i, left_cols, &scratch)) {
             ++counts[0];
             counts[1] += scratch.size();
             for (uint32_t r = index.Find(scratch);
@@ -1455,13 +1897,15 @@ Result<std::vector<std::pair<uint32_t, uint32_t>>>
 QueryExecutor::HashJoinPairsParallel(const std::vector<Tuple>& left_rows,
                                      const std::vector<Tuple>& right_rows,
                                      const std::vector<size_t>& left_cols,
-                                     const std::vector<size_t>& right_cols) {
+                                     const std::vector<size_t>& right_cols,
+                                     const Table* left_table,
+                                     const Table* right_table) {
   const uint32_t partitions =
       CeilPow2(static_cast<uint32_t>(opts_.parallelism));
   PartitionedKeyIndex index(right_rows.size(), partitions);
   IndexBuildCounters build;
   SILK_RETURN_IF_ERROR(BuildPartitionedIndex(
-      right_rows, right_cols, opts_.morsel_rows,
+      JoinSide{&right_rows, right_table}, right_cols, opts_.morsel_rows,
       [this](const char* what, size_t rows,
              const std::function<Status(size_t, size_t, size_t)>& fn) {
         return RunMorsels(what, rows, fn);
@@ -1476,6 +1920,7 @@ QueryExecutor::HashJoinPairsParallel(const std::vector<Tuple>& left_rows,
 
   ++stats_.hash_joins;
   const size_t n = left_rows.size();
+  const JoinSide probe{&left_rows, left_table};
   std::vector<std::vector<std::pair<uint32_t, uint32_t>>> runs(MorselCount(n));
   std::vector<std::array<uint64_t, 2>> probe_counts(runs.size());
   SILK_RETURN_IF_ERROR(RunMorsels(
@@ -1489,7 +1934,7 @@ QueryExecutor::HashJoinPairsParallel(const std::vector<Tuple>& left_rows,
             SILK_RETURN_IF_ERROR(CheckDeadline());
           }
           scratch.clear();
-          if (!EncodeJoinKey(left_rows[i], left_cols, &scratch)) continue;
+          if (!probe.EncodeKey(i, left_cols, &scratch)) continue;
           ++counts[0];
           counts[1] += scratch.size();
           for (uint32_t r = index.Find(scratch);

@@ -177,12 +177,19 @@ class QueryExecutor : public SqlExecutor {
   Result<Relation> EvalJoin(const sql::JoinRef& join);
   Result<Relation> JoinRelations(sql::JoinType type, Relation left,
                                  Relation right, const sql::Expr& on);
+  /// `left_table` / `right_table`, when non-null, are the base tables
+  /// whose rows() the corresponding row span borrows (borrowed scans in
+  /// JoinFromList): join keys for that side are then encoded straight
+  /// from the table's columnar shards (EncodeTableJoinKey), byte-identical
+  /// to the row path, so probes, chains, and stats never change.
   Result<Relation> HashJoin(sql::JoinType type, const RelSchema& left_schema,
                             const std::vector<Tuple>& left_rows,
                             const RelSchema& right_schema,
                             const std::vector<Tuple>& right_rows,
                             const std::vector<std::pair<size_t, size_t>>& keys,
-                            const sql::Expr* residual);
+                            const sql::Expr* residual,
+                            const Table* left_table = nullptr,
+                            const Table* right_table = nullptr);
   Result<Relation> DisjunctiveHashJoin(sql::JoinType type, Relation& left,
                                        Relation& right, const sql::Expr& on);
   Result<Relation> NestedLoopJoin(sql::JoinType type, Relation& left,
@@ -192,7 +199,10 @@ class QueryExecutor : public SqlExecutor {
   /// and `*borrowed_rows` points at the table's own rows instead (stable
   /// for the executor's lifetime — the database outlives the query), so
   /// single-table queries never copy the table. Otherwise `*borrowed_rows`
-  /// is null and the rows are owned as usual.
+  /// is null and the rows are owned as usual. `*borrowed_table` is the
+  /// table behind `*borrowed_rows` when that table's columnar layout is
+  /// exact (Table::columnar_exact) — downstream operators may then read
+  /// cells straight from its shards; null otherwise.
   ///
   /// When `allow_fusion` is set, the select list is all column refs, and no
   /// residual predicate survives the joins, the final greedy join emits
@@ -203,12 +213,13 @@ class QueryExecutor : public SqlExecutor {
   /// expression binding).
   Result<Relation> JoinFromList(const sql::SelectCore& core, bool allow_fusion,
                                 const std::vector<Tuple>** borrowed_rows,
-                                bool* fused);
+                                const Table** borrowed_table, bool* fused);
   /// Inner hash join emitting (left row id, right row id) pairs in the same
   /// order HashJoin would emit rows, without materializing output tuples.
   Result<std::vector<std::pair<uint32_t, uint32_t>>> HashJoinPairs(
       const std::vector<Tuple>& left_rows, const std::vector<Tuple>& right_rows,
-      const std::vector<std::pair<size_t, size_t>>& keys);
+      const std::vector<std::pair<size_t, size_t>>& keys,
+      const Table* left_table = nullptr, const Table* right_table = nullptr);
   /// Morsel-parallel hash join (DESIGN.md §11): partitioned index build,
   /// then probe morsels into per-morsel output runs concatenated in morsel
   /// order — the identical tuple stream to the serial HashJoin.
@@ -218,15 +229,28 @@ class QueryExecutor : public SqlExecutor {
       const std::vector<Tuple>& right_rows,
       const std::vector<size_t>& left_cols,
       const std::vector<size_t>& right_cols, const BoundExpr* residual,
-      size_t right_width);
+      size_t right_width, const Table* left_table, const Table* right_table);
   Result<std::vector<std::pair<uint32_t, uint32_t>>> HashJoinPairsParallel(
       const std::vector<Tuple>& left_rows,
       const std::vector<Tuple>& right_rows,
       const std::vector<size_t>& left_cols,
-      const std::vector<size_t>& right_cols);
+      const std::vector<size_t>& right_cols,
+      const Table* left_table, const Table* right_table);
   Status MaterializeBaseTable(const Table& table,
                               const std::vector<const sql::Expr*>& filters,
                               Relation* out);
+  /// Columnar filtered scan that defers row materialization: when the table's
+  /// columnar layout is exact, no index probe applies, and every filter
+  /// compiles to a column-vs-literal predicate, evaluates the predicates over
+  /// the shards and records the surviving global row ids (ascending) in
+  /// `scan_selection_`, setting `scan_selection_active_`. Returns true when
+  /// the selection path ran; false means the caller must materialize rows
+  /// the usual way. Callers that keep the selection borrow the table's rows
+  /// and let the projection gather survivor cells straight from the shards —
+  /// the full-width survivor tuples are never copied.
+  Result<bool> TryColumnarSelectionScan(
+      const Table& table, const std::vector<const sql::Expr*>& filters,
+      const RelSchema& schema);
   Status ApplyOrderBy(const sql::Query& query,
                       const RelSchema& preproj_schema,
                       const std::vector<Tuple>& preproj_rows,
@@ -265,6 +289,13 @@ class QueryExecutor : public SqlExecutor {
   // when no aligned pre-projection exists.
   Relation last_preprojection_;
   const std::vector<Tuple>* last_preprojection_rows_ = nullptr;
+
+  // Survivor global row ids produced by TryColumnarSelectionScan for the
+  // current core, valid only while scan_selection_active_ is set. ExecuteCore
+  // consumes (moves) the vector immediately after JoinFromList returns, so
+  // recursive cores (derived tables) can never observe a stale selection.
+  std::vector<uint32_t> scan_selection_;
+  bool scan_selection_active_ = false;
 };
 
 /// SqlExecutor over a local Database: a fresh QueryExecutor per call, so

@@ -73,13 +73,14 @@ void AppendNumber(double d, std::string* out) {
 // terminator. A shorter string is always a strict byte-prefix of its
 // extensions up to the terminator, and 0x00 0x00 < 0x00 0xFF < any other
 // continuation, so memcmp order over encodings equals string order — and
-// no encoded segment is a prefix of a different segment.
-void AppendString(const std::string& s, std::string* out) {
+// no encoded segment is a prefix of a different segment. Takes a view so
+// string-pool cells encode without materializing a std::string.
+void AppendString(std::string_view s, std::string* out) {
   out->push_back(kTagString);
   size_t start = 0;
   for (;;) {
     size_t nul = s.find('\0', start);
-    if (nul == std::string::npos) {
+    if (nul == std::string_view::npos) {
       out->append(s, start, s.size() - start);
       break;
     }
@@ -92,20 +93,28 @@ void AppendString(const std::string& s, std::string* out) {
   out->push_back('\x00');
 }
 
+// Shared by the Value path and the column path: the numeric segment for an
+// exact int64 payload.
+void AppendInt64Cell(int64_t i, std::string* out) {
+  const double image = static_cast<double>(i);
+  AppendNumber(image, out);
+  if (ImageNeedsTie(image)) AppendBigEndian(Int64TieBits(i), out);
+}
+
+void AppendDoubleCell(double d, std::string* out) {
+  AppendNumber(d, out);
+  if (ImageNeedsTie(d)) AppendBigEndian(DoubleTieBits(d), out);
+}
+
 }  // namespace
 
 void EncodeValue(const Value& v, std::string* out) {
   if (v.is_null()) {
     out->push_back(kTagNull);
   } else if (v.is_int64()) {
-    const int64_t i = v.AsInt64();
-    const double image = static_cast<double>(i);
-    AppendNumber(image, out);
-    if (ImageNeedsTie(image)) AppendBigEndian(Int64TieBits(i), out);
+    AppendInt64Cell(v.AsInt64(), out);
   } else if (v.is_double()) {
-    const double d = v.AsDouble();
-    AppendNumber(d, out);
-    if (ImageNeedsTie(d)) AppendBigEndian(DoubleTieBits(d), out);
+    AppendDoubleCell(v.AsDouble(), out);
   } else {
     AppendString(v.AsString(), out);
   }
@@ -141,6 +150,40 @@ uint64_t OrderedNumericBits(const Value& v) {
 bool NumericFitsWord(const Value& v) {
   return !ImageNeedsTie(v.is_int64() ? static_cast<double>(v.AsInt64())
                                      : v.AsDouble());
+}
+
+void EncodeShardValue(const ColumnarShard& shard, size_t col, size_t pos,
+                      std::string* out) {
+  const ColumnVector& cv = shard.column(col);
+  if (cv.IsNull(pos)) {
+    out->push_back(kTagNull);
+  } else if (cv.type() == DataType::kString) {
+    AppendString(cv.StringAt(pos), out);
+  } else if (cv.CellIsInt64(pos)) {
+    AppendInt64Cell(cv.Int64At(pos), out);
+  } else {
+    AppendDoubleCell(cv.DoubleAt(pos), out);
+  }
+}
+
+void EncodeShardValueDescending(const ColumnarShard& shard, size_t col,
+                                size_t pos, std::string* out) {
+  const size_t start = out->size();
+  EncodeShardValue(shard, col, pos, out);
+  for (size_t i = start; i < out->size(); ++i) {
+    (*out)[i] = static_cast<char>(~static_cast<unsigned char>((*out)[i]));
+  }
+}
+
+bool EncodeTableJoinKey(const Table& table, size_t row,
+                        const std::vector<size_t>& cols, std::string* out) {
+  const Table::RowLoc loc = table.row_loc(row);
+  const ColumnarShard& shard = table.shard(loc.shard);
+  for (size_t c : cols) {
+    if (shard.column(c).IsNull(loc.pos)) return false;
+    EncodeShardValue(shard, c, loc.pos, out);
+  }
+  return true;
 }
 
 std::string_view KeyArena::Intern(std::string_view bytes) {

@@ -44,6 +44,8 @@
 #include <string_view>
 #include <vector>
 
+#include "relational/columnar.h"
+#include "relational/table.h"
 #include "relational/tuple.h"
 #include "relational/value.h"
 
@@ -71,6 +73,26 @@ bool EncodeJoinKey(const Tuple& row, const std::vector<size_t>& cols,
 /// are byte-equal iff the rows compare equal under Tuple::Compare — the
 /// DISTINCT identity, where NULL == NULL.
 void EncodeRowKey(const Tuple& row, std::string* out);
+
+/// Appends the encoding of shard cell (col, pos) straight from the typed
+/// column arrays — byte-identical to EncodeValue(shard.ValueAt(col, pos))
+/// with no Value materialized (key_codec_test pins the identity over the
+/// full type corpus, tiebreaker regime included).
+void EncodeShardValue(const ColumnarShard& shard, size_t col, size_t pos,
+                      std::string* out);
+
+/// Descending counterpart (every byte complemented), for sort keys
+/// encoded straight from column data. Byte-identical to
+/// EncodeValueDescending on the materialized Value.
+void EncodeShardValueDescending(const ColumnarShard& shard, size_t col,
+                                size_t pos, std::string* out);
+
+/// Join key for table-global row `row` encoded from the table's columnar
+/// shards — byte-identical to EncodeJoinKey on the materialized tuple,
+/// including the false-on-NULL-key contract. Caller guarantees
+/// table.columnar_exact().
+bool EncodeTableJoinKey(const Table& table, size_t row,
+                        const std::vector<size_t>& cols, std::string* out);
 
 /// The 8-byte payload a non-null numeric Value contributes to its encoded
 /// segment, as a host integer: unsigned comparison of two payloads equals

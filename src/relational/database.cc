@@ -5,7 +5,8 @@ namespace silkroute {
 Status Database::CreateTable(TableSchema schema) {
   const std::string name = schema.name();
   SILK_RETURN_IF_ERROR(catalog_.AddTable(schema));
-  tables_.emplace(name, std::make_unique<Table>(std::move(schema)));
+  tables_.emplace(name, std::make_unique<Table>(std::move(schema),
+                                                default_shard_count_));
   return Status::OK();
 }
 

@@ -1,5 +1,13 @@
-// Table: an in-memory row store with schema type-checking and primary-key
-// uniqueness enforcement.
+// Table: an in-memory base relation with schema type-checking and
+// primary-key uniqueness enforcement.
+//
+// Storage is dual-representation (DESIGN.md §16): every committed row
+// lands both in the legacy row vector (`rows()`, which borrowed scans,
+// secondary indexes, and intermediate-result copies read) and in N
+// hash-sharded column-major ColumnarShards keyed on the primary join
+// column (which scan+filter morsels and join-key encoding read). The two
+// views are maintained eagerly inside the single CommitRow commit point,
+// so they can never drift and no query-time state transition exists.
 #ifndef SILKROUTE_RELATIONAL_TABLE_H_
 #define SILKROUTE_RELATIONAL_TABLE_H_
 
@@ -14,6 +22,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "relational/columnar.h"
 #include "relational/schema.h"
 #include "relational/tuple.h"
 
@@ -24,11 +33,32 @@ class Table {
   /// Hash index: value -> row positions.
   using Index = std::unordered_multimap<Value, size_t, ValueHash>;
 
-  explicit Table(TableSchema schema);
+  /// Where a table-global row lives in the sharded columnar view.
+  struct RowLoc {
+    uint32_t shard;
+    uint32_t pos;
+  };
+
+  explicit Table(TableSchema schema, size_t shard_count = 1);
 
   const TableSchema& schema() const { return schema_; }
   const std::vector<Tuple>& rows() const { return rows_; }
   size_t num_rows() const { return rows_.size(); }
+
+  /// The sharded columnar view. Shard routing hashes the first primary-key
+  /// column (column 0 when the schema declares no key); NULL keys pool in
+  /// shard 0. Global ids within each shard ascend in insertion order.
+  size_t shard_count() const { return shards_.size(); }
+  const ColumnarShard& shard(size_t i) const { return shards_[i]; }
+  size_t shard_key_column() const { return shard_key_col_; }
+  RowLoc row_loc(size_t global_row) const { return row_locs_[global_row]; }
+
+  /// True while every committed cell is represented exactly in the
+  /// columnar view. An unrepresentable row (wrong arity or a type outside
+  /// the column's domain, possible only through InsertUnchecked) clears
+  /// this permanently and the executor's columnar fast paths step aside —
+  /// the row store remains authoritative either way.
+  bool columnar_exact() const { return columnar_exact_; }
 
   /// Monotonic mutation counter: bumped once per committed row, on every
   /// insert path (validated and bulk). Since the store is append-only the
@@ -63,11 +93,16 @@ class Table {
   /// the paths can never drift.
   void InsertUnchecked(Tuple row) { CommitRow(std::move(row)); }
 
-  /// Pre-sizes the row vector, primary-key set, and every index for
-  /// `expected_rows` additional rows, so a bulk load pays one allocation
-  /// per container instead of incremental regrowth and rehashing.
+  /// Pre-sizes the row vector, primary-key set, every index, and each
+  /// columnar shard for `expected_rows` additional rows, so a bulk load
+  /// pays one allocation per container instead of incremental regrowth
+  /// and rehashing. Shards split the budget evenly (hash routing keeps
+  /// them balanced to within noise).
   void Reserve(size_t expected_rows) {
     rows_.reserve(rows_.size() + expected_rows);
+    row_locs_.reserve(row_locs_.size() + expected_rows);
+    const size_t per_shard = expected_rows / shards_.size() + 1;
+    for (ColumnarShard& shard : shards_) shard.Reserve(per_shard);
     if (!key_indices_.empty()) {
       key_set_.reserve(key_set_.size() + expected_rows);
     }
@@ -90,14 +125,19 @@ class Table {
 
   Tuple ExtractKey(const Tuple& row) const;
   void IndexRow(size_t row_position);
-  /// The single mutation commit point: appends the row, records its
-  /// primary key, maintains every secondary index, and bumps the version
-  /// counter — all-or-nothing, so version/index/key state stay in lock
-  /// step on every insert path.
+  /// The single mutation commit point: appends the row to the columnar
+  /// shard it hashes into and to the row view, records its primary key,
+  /// maintains every secondary index, and bumps the version counter —
+  /// all-or-nothing, so version/index/key/shard state stay in lock step
+  /// on every insert path.
   void CommitRow(Tuple row);
 
   TableSchema schema_;
   std::vector<Tuple> rows_;
+  std::vector<ColumnarShard> shards_;
+  std::vector<RowLoc> row_locs_;  // global row -> (shard, position)
+  size_t shard_key_col_ = 0;
+  bool columnar_exact_ = true;
   std::vector<size_t> key_indices_;
   std::unordered_set<Tuple, KeyHash> key_set_;
   std::map<size_t, Index> indexes_;  // column position -> index

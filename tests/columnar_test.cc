@@ -1,0 +1,357 @@
+// Tests for the sharded columnar base storage (DESIGN.md §16):
+//
+//  - ColumnVector round-trips: null bitmap + exact Value identity for
+//    every value type a column can hold, including int64 cells inside a
+//    kDouble column, -0.0 vs 0.0 bit patterns, and the ±2^53 tiebreaker
+//    magnitudes;
+//  - string-pool stability under interleaved Reserve/append growth;
+//  - shard routing: equal-comparing representations co-locate, NULL keys
+//    pool in shard 0;
+//  - Table's dual representation: ascending global ids per shard,
+//    row_loc round-trips, exact tuple materialization at any shard count;
+//  - version()/RowsAppendedSince semantics across shards — the result
+//    cache's freshness key must go conservatively stale on every commit,
+//    never wrongly fresh;
+//  - the columnar_exact escape hatch: an InsertUnchecked row the columnar
+//    layout cannot represent drops the table to the row-store path for
+//    good while queries stay correct;
+//  - a seeded mutation-interleaved republish harness over a 16-shard
+//    database (mirror of result_cache_test.cc): warm cached publishes
+//    must stay byte-identical to fresh uncached ones while a writer
+//    appends rows between publishes.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <random>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/executor.h"
+#include "engine/result_cache.h"
+#include "relational/columnar.h"
+#include "relational/database.h"
+#include "relational/schema.h"
+#include "relational/table.h"
+#include "relational/value.h"
+#include "silkroute/publisher.h"
+#include "silkroute/queries.h"
+#include "tests/test_util.h"
+
+namespace silkroute {
+namespace {
+
+/// Exact representation identity (the differential harness's notion):
+/// Int64(3) != Double(3.0), -0.0 != 0.0 bitwise.
+bool ValueIdentical(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return a.is_null() && b.is_null();
+  if (a.is_int64() != b.is_int64() || a.is_double() != b.is_double() ||
+      a.is_string() != b.is_string()) {
+    return false;
+  }
+  if (a.is_int64()) return a.AsInt64() == b.AsInt64();
+  if (a.is_double()) {
+    const double x = a.AsDouble();
+    const double y = b.AsDouble();
+    return std::memcmp(&x, &y, sizeof(x)) == 0;
+  }
+  return a.AsString() == b.AsString();
+}
+
+TEST(ColumnVectorTest, NullBitmapRoundTripsEveryValueType) {
+  // kInt64 column: int64s and NULLs.
+  {
+    ColumnVector cv(DataType::kInt64);
+    const std::vector<Value> corpus = {
+        Value::Int64(0), Value::Null(), Value::Int64(-1),
+        Value::Int64(INT64_MIN), Value::Int64(INT64_MAX), Value::Null(),
+        Value::Int64((int64_t{1} << 53) + 1),
+        Value::Int64(-(int64_t{1} << 53) - 1)};
+    for (const Value& v : corpus) EXPECT_TRUE(cv.Append(v));
+    ASSERT_EQ(cv.size(), corpus.size());
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      EXPECT_EQ(cv.IsNull(i), corpus[i].is_null()) << "cell " << i;
+      EXPECT_TRUE(ValueIdentical(cv.ValueAt(i), corpus[i])) << "cell " << i;
+      if (!corpus[i].is_null()) {
+        EXPECT_TRUE(cv.CellIsInt64(i)) << "cell " << i;
+        EXPECT_EQ(cv.Int64At(i), corpus[i].AsInt64()) << "cell " << i;
+      }
+    }
+  }
+  // kDouble column: doubles, *int64s* (legal per Table::Insert's widened
+  // type check), and NULLs. The exact subtype must survive.
+  {
+    ColumnVector cv(DataType::kDouble);
+    const std::vector<Value> corpus = {
+        Value::Double(-0.0), Value::Double(0.0), Value::Null(),
+        Value::Double(-1e300), Value::Double(9007199254740994.0),
+        Value::Int64(3), Value::Double(3.0), Value::Null(),
+        Value::Int64((int64_t{1} << 53) + 1)};
+    for (const Value& v : corpus) EXPECT_TRUE(cv.Append(v));
+    ASSERT_EQ(cv.size(), corpus.size());
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      EXPECT_EQ(cv.IsNull(i), corpus[i].is_null()) << "cell " << i;
+      EXPECT_TRUE(ValueIdentical(cv.ValueAt(i), corpus[i])) << "cell " << i;
+      if (!corpus[i].is_null()) {
+        EXPECT_EQ(cv.CellIsInt64(i), corpus[i].is_int64()) << "cell " << i;
+      }
+    }
+    // -0.0 and 0.0 are distinct bit patterns in storage.
+    const double neg = cv.DoubleAt(0);
+    const double pos = cv.DoubleAt(1);
+    EXPECT_NE(std::memcmp(&neg, &pos, sizeof(neg)), 0);
+  }
+  // kString column: strings (embedded NULs included) and NULLs. A NULL
+  // string cell and an empty string cell must stay distinguishable.
+  {
+    ColumnVector cv(DataType::kString);
+    const std::vector<Value> corpus = {
+        Value::String(""), Value::Null(), Value::String("abc"),
+        Value::String(std::string("a\0b", 3)), Value::Null(),
+        Value::String(std::string(1000, 'x'))};
+    for (const Value& v : corpus) EXPECT_TRUE(cv.Append(v));
+    ASSERT_EQ(cv.size(), corpus.size());
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      EXPECT_EQ(cv.IsNull(i), corpus[i].is_null()) << "cell " << i;
+      EXPECT_TRUE(ValueIdentical(cv.ValueAt(i), corpus[i])) << "cell " << i;
+    }
+    EXPECT_FALSE(cv.IsNull(0));  // empty string is not NULL
+    EXPECT_TRUE(cv.IsNull(1));
+  }
+}
+
+TEST(ColumnVectorTest, StringPoolStableUnderReserveAndAppendGrowth) {
+  ColumnVector cv(DataType::kString);
+  std::vector<std::string> expected;
+  for (int round = 0; round < 4; ++round) {
+    // Interleave Reserve with appends whose sizes force repeated pool
+    // reallocation; earlier cells must keep reading back exactly.
+    cv.Reserve(100);
+    for (int i = 0; i < 100; ++i) {
+      std::string s = "r" + std::to_string(round) + ":" + std::to_string(i) +
+                      std::string(static_cast<size_t>(i % 37), 'p');
+      expected.push_back(s);
+      ASSERT_TRUE(cv.Append(Value::String(std::move(s))));
+    }
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(cv.StringAt(i), expected[i]) << "cell " << i << " after round "
+                                             << round;
+    }
+  }
+}
+
+TEST(ShardRoutingTest, EqualComparingKeysCoLocateAndNullsPoolInShardZero) {
+  for (size_t shards : {1u, 4u, 16u}) {
+    EXPECT_EQ(ShardOf(Value::Null(), shards), 0u);
+    // 3 and 3.0 compare equal (Value::Compare widening) and must co-locate
+    // so an equality join never needs to look at two shards for one key.
+    EXPECT_EQ(ShardOf(Value::Int64(3), shards),
+              ShardOf(Value::Double(3.0), shards));
+    // The two zeros compare equal; Value::Hash normalizes -0.0.
+    EXPECT_EQ(ShardOf(Value::Double(0.0), shards),
+              ShardOf(Value::Double(-0.0), shards));
+    EXPECT_LT(ShardOf(Value::String("abc"), shards), shards);
+  }
+}
+
+std::unique_ptr<Table> MakeMixedTable(size_t shard_count, size_t rows) {
+  TableSchema schema("t", {{"k", DataType::kInt64, /*nullable=*/true},
+                           {"d", DataType::kDouble, true},
+                           {"s", DataType::kString, true}});
+  auto table = std::make_unique<Table>(std::move(schema), shard_count);
+  std::mt19937 rng(7u + static_cast<uint32_t>(shard_count));
+  for (size_t r = 0; r < rows; ++r) {
+    Tuple row{
+        rng() % 5 == 0 ? Value::Null()
+                       : Value::Int64(static_cast<int64_t>(rng() % 10)),
+        rng() % 4 == 0
+            ? Value::Null()
+            : (rng() % 2 ? Value::Int64(static_cast<int64_t>(rng() % 7))
+                         : Value::Double(static_cast<double>(rng() % 7) - 0.5)),
+        rng() % 3 == 0 ? Value::Null()
+                       : Value::String("s" + std::to_string(rng() % 9)),
+    };
+    EXPECT_TRUE(table->Insert(std::move(row)).ok());
+  }
+  return table;
+}
+
+TEST(ShardedTableTest, GlobalIdsAscendAndMaterializationIsExact) {
+  for (size_t shard_count : {1u, 4u, 16u}) {
+    auto table = MakeMixedTable(shard_count, 300);
+    ASSERT_EQ(table->shard_count(), shard_count);
+    EXPECT_TRUE(table->columnar_exact());
+
+    std::set<uint64_t> seen;
+    size_t total = 0;
+    for (size_t s = 0; s < shard_count; ++s) {
+      const ColumnarShard& shard = table->shard(s);
+      total += shard.size();
+      uint64_t prev = 0;
+      bool first = true;
+      for (size_t pos = 0; pos < shard.size(); ++pos) {
+        const uint64_t gid = shard.global_id(pos);
+        if (!first) {
+          EXPECT_GT(gid, prev) << "shard " << s << " pos " << pos;
+        }
+        first = false;
+        prev = gid;
+        EXPECT_TRUE(seen.insert(gid).second) << "duplicate global id " << gid;
+        // Exact per-cell and whole-tuple round-trips vs the row store.
+        const Tuple& row = table->rows()[gid];
+        const Tuple mat = shard.MaterializeTuple(pos);
+        ASSERT_EQ(mat.size(), row.size());
+        for (size_t c = 0; c < row.size(); ++c) {
+          EXPECT_TRUE(ValueIdentical(shard.ValueAt(c, pos), row.values()[c]))
+              << "shard " << s << " pos " << pos << " col " << c;
+          EXPECT_TRUE(ValueIdentical(mat.values()[c], row.values()[c]));
+        }
+      }
+    }
+    EXPECT_EQ(total, table->num_rows());
+    EXPECT_EQ(seen.size(), table->num_rows());
+    // row_loc is the inverse mapping.
+    for (size_t g = 0; g < table->num_rows(); ++g) {
+      const Table::RowLoc loc = table->row_loc(g);
+      ASSERT_LT(loc.shard, shard_count);
+      ASSERT_LT(loc.pos, table->shard(loc.shard).size());
+      EXPECT_EQ(table->shard(loc.shard).global_id(loc.pos), g);
+    }
+  }
+}
+
+TEST(ShardedTableTest, VersionAndDeltaSemanticsAreShardCountInvariant) {
+  for (size_t shard_count : {1u, 4u, 16u}) {
+    auto table = MakeMixedTable(shard_count, 50);
+    const uint64_t v0 = table->version();
+    EXPECT_EQ(v0, 50u);  // one bump per committed row, any layout
+    EXPECT_EQ(table->RowsAppendedSince(v0), 0u);
+
+    // Every commit path (validated and unchecked) must move the version,
+    // so a cache key snapshotted before the write can only go stale —
+    // never wrongly fresh.
+    Tuple copy = table->rows()[0];
+    table->InsertUnchecked(std::move(copy));
+    EXPECT_EQ(table->version(), v0 + 1);
+    EXPECT_EQ(table->RowsAppendedSince(v0), 1u);
+    ASSERT_TRUE(table
+                    ->Insert(Tuple{Value::Int64(1), Value::Double(2.0),
+                                   Value::String("x")})
+                    .ok());
+    EXPECT_EQ(table->version(), v0 + 2);
+    EXPECT_EQ(table->RowsAppendedSince(v0), 2u);
+    // A snapshot at or past the current high-water mark reads an empty
+    // delta; one from any earlier point reads every later row.
+    EXPECT_EQ(table->RowsAppendedSince(table->version()), 0u);
+    EXPECT_EQ(table->RowsAppendedSince(0), table->num_rows());
+  }
+}
+
+TEST(ShardedTableTest, UnrepresentableRowDropsToRowStoreForGood) {
+  TableSchema schema("t", {{"a", DataType::kInt64, /*nullable=*/true},
+                           {"b", DataType::kString, true}});
+  Database db;
+  db.set_default_shard_count(4);
+  ASSERT_TRUE(db.CreateTable(std::move(schema)).ok());
+  Table* table = *db.GetTable("t");
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(table
+                    ->Insert(Tuple{Value::Int64(i % 5),
+                                   Value::String("v" + std::to_string(i))})
+                    .ok());
+  }
+  ASSERT_TRUE(table->columnar_exact());
+
+  // A wrong-arity row and a type-smuggled row, both only possible through
+  // the unchecked path. Each must clear columnar_exact permanently while
+  // keeping shard positions aligned (placeholder NULL rows).
+  table->InsertUnchecked(Tuple{Value::Int64(99)});  // arity 1 != 2
+  EXPECT_FALSE(table->columnar_exact());
+  table->InsertUnchecked(Tuple{Value::String("not an int"), Value::Int64(7)});
+  EXPECT_FALSE(table->columnar_exact());
+  size_t total = 0;
+  for (size_t s = 0; s < table->shard_count(); ++s) {
+    total += table->shard(s).size();
+  }
+  EXPECT_EQ(total, table->num_rows());
+  for (size_t g = 0; g < table->num_rows(); ++g) {
+    const Table::RowLoc loc = table->row_loc(g);
+    EXPECT_EQ(table->shard(loc.shard).global_id(loc.pos), g);
+  }
+
+  // Queries (scan + filter + projection) must be served correctly from
+  // the authoritative row store now that the columnar paths stepped aside.
+  engine::QueryExecutor executor(&db);
+  auto result = executor.ExecuteSql("SELECT t.a FROM t WHERE t.a = 3");
+  ASSERT_TRUE(result.ok()) << result.status();
+  size_t expected = 0;
+  for (const Tuple& row : table->rows()) {
+    if (row.size() == 2 && row.values()[0].is_int64() &&
+        row.values()[0].AsInt64() == 3) {
+      ++expected;
+    }
+  }
+  EXPECT_EQ(result->rows.size(), expected);
+  EXPECT_GT(expected, 0u);
+}
+
+}  // namespace
+}  // namespace silkroute
+
+// ---------------------------------------------------------------------------
+// End to end: seeded mutation-interleaved republish over a 16-shard
+// database (mirror of result_cache_test.cc's harness, storage-layout
+// edition: every publish reads through the columnar scan/join paths).
+// ---------------------------------------------------------------------------
+
+namespace silkroute::core {
+namespace {
+
+using testutil::MakeTinyTpch;
+
+TEST(ColumnarE2ETest, MutationInterleavedRepublishStaysByteIdentical) {
+  auto db = MakeTinyTpch(0.001, /*shard_count=*/16);
+  Publisher publisher(db.get());
+
+  engine::ResultCache cache(engine::ResultCache::Options{8 << 20, 4, nullptr});
+  PublishOptions base;
+  base.strategy = PlanStrategy::kFullyPartitioned;
+  base.document_element = "suppliers";
+  PublishOptions cached = base;
+  cached.result_cache = &cache;
+
+  auto publish = [&](const PublishOptions& opt) {
+    std::ostringstream out;
+    auto result = publisher.Publish(Query1Rxl(), opt, &out);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return out.str();
+  };
+
+  std::vector<std::string> tables = db->catalog().TableNames();
+  ASSERT_FALSE(tables.empty());
+  std::mt19937 rng(0xC01A7);
+  size_t mutations = 0;
+  for (int i = 0; i < 25; ++i) {
+    if (rng() % 2 == 0) {
+      const std::string& victim = tables[rng() % tables.size()];
+      auto table = db->GetTable(victim);
+      ASSERT_TRUE(table.ok());
+      if ((*table)->num_rows() > 0) {
+        Tuple row = (*table)->rows()[rng() % (*table)->num_rows()];
+        (*table)->InsertUnchecked(std::move(row));
+        ++mutations;
+      }
+    }
+    const std::string warm = publish(cached);
+    const std::string reference = publish(base);
+    ASSERT_EQ(warm, reference) << "iteration " << i;
+  }
+  ASSERT_GT(mutations, 0u);
+  auto stats = cache.stats();
+  EXPECT_GT(stats.hits, 0u);
+}
+
+}  // namespace
+}  // namespace silkroute::core

@@ -1,14 +1,19 @@
 // Differential testing harness for morsel-driven parallelism (DESIGN.md
-// §11): the parallel executor must be *indistinguishable* from the serial
-// one. A seeded generator produces random schemas, NULL-heavy data, and
-// random queries (multi-way joins, left outer joins, filters, DISTINCT,
-// ORDER BY over mixed-type keys); every query runs at parallelism 1, 2,
-// and 8 with tiny morsels/thresholds so even small fixtures cross every
-// parallel operator. The tuple streams must be identical value-for-value
-// (exact type and payload, including -0.0 vs 0.0) and in identical order,
-// and the parallelism-invariant ExecStats must match exactly — same rows
-// scanned/joined/sorted, same packed keys encoded. Failures print the seed
-// and SQL so a reproduction is one copy-paste away.
+// §11) and the sharded columnar storage layout (DESIGN.md §16): neither
+// the worker count nor the shard count may be distinguishable from the
+// single-shard serial reference. A seeded generator produces random
+// schemas, NULL-heavy data, and random queries (multi-way joins, left
+// outer joins, filters, DISTINCT, ORDER BY over mixed-type keys); every
+// query runs over the same logical data stored at shard counts 1, 4, and
+// 16, each at parallelism 1, 2, and 8 with tiny morsels/thresholds so
+// even small fixtures cross every parallel operator and every multi-shard
+// scan path. The tuple streams must be identical value-for-value (exact
+// type and payload, including -0.0 vs 0.0) and in identical order, and
+// the layout-invariant ExecStats must match exactly — same rows
+// scanned/joined/sorted, same packed keys encoded. Failures print the
+// seed, shard count, parallelism, and SQL so a reproduction is one
+// copy-paste away. (XML byte-identity across shard counts is pinned by
+// golden_xml_test.cc against the pre-columnar row-major goldens.)
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -249,9 +254,10 @@ std::string InvariantStats(const ExecStats& s) {
 }
 
 void ExpectIdenticalRuns(const RunOutcome& serial, const RunOutcome& parallel,
-                         int parallelism, uint32_t seed,
+                         int parallelism, size_t shard_count, uint32_t seed,
                          const std::string& sql) {
   const std::string repro = "seed=" + std::to_string(seed) +
+                            " shards=" + std::to_string(shard_count) +
                             " parallelism=" + std::to_string(parallelism) +
                             "\nsql: " + sql;
   ASSERT_EQ(serial.status.ok(), parallel.status.ok())
@@ -280,14 +286,17 @@ void ExpectIdenticalRuns(const RunOutcome& serial, const RunOutcome& parallel,
       << repro;
 }
 
-TEST(DifferentialTest, ParallelExecutionIsIndistinguishableFromSerial) {
-  // 500+ random queries, each at parallelism 1 vs 2 vs 8. Override with
-  // SILK_DIFF_QUERIES for deeper soak runs.
+TEST(DifferentialTest, ParallelAndShardedExecutionIsIndistinguishable) {
+  // 500+ random queries, each over shard counts {1, 4, 16}, each at
+  // parallelism {1, 2, 8}, all compared against the single-shard serial
+  // reference. Override with SILK_DIFF_QUERIES for deeper soak runs.
   int num_queries = 500;
   if (const char* env = std::getenv("SILK_DIFF_QUERIES")) {
     num_queries = std::atoi(env);
   }
   constexpr uint32_t kBaseSeed = 20260805;
+  constexpr size_t kShardCounts[] = {1, 4, 16};
+  constexpr size_t kNumLayouts = 3;
 
   // Shared pools across all queries: batches from successive queries (and
   // from TSan runs of this test) reuse warm worker threads, exercising the
@@ -299,28 +308,44 @@ TEST(DifferentialTest, ParallelExecutionIsIndistinguishableFromSerial) {
   for (int q = 0; q < num_queries; ++q) {
     const uint32_t seed = kBaseSeed + static_cast<uint32_t>(q);
     Rng rng(seed);
-    GenDb gen;
-    {
-      SCOPED_TRACE("seed=" + std::to_string(seed));
+    // One database per shard count, every layout built from the same data
+    // seed, so all three hold identical logical content in different
+    // physical arrangements.
+    GenDb gens[kNumLayouts];
+    for (size_t si = 0; si < kNumLayouts; ++si) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " shards=" + std::to_string(kShardCounts[si]));
+      gens[si].db.set_default_shard_count(kShardCounts[si]);
       Rng db_rng(seed * 2654435761u);
-      BuildDatabaseInto(db_rng, &gen);
-      ASSERT_GT(gen.num_tables, 0u);  // builder ASSERT fired if zero
+      BuildDatabaseInto(db_rng, &gens[si]);
+      ASSERT_GT(gens[si].num_tables, 0u);  // builder ASSERT fired if zero
     }
-    const std::string sql = GenerateSql(rng, gen.num_tables);
+    const std::string sql = GenerateSql(rng, gens[0].num_tables);
 
-    const RunOutcome serial = RunQuery(gen.db, sql, 1, nullptr);
-    const RunOutcome two = RunQuery(gen.db, sql, 2, &pool_one);
-    const RunOutcome eight = RunQuery(gen.db, sql, 8, &pool_seven);
-    ExpectIdenticalRuns(serial, two, 2, seed, sql);
-    if (::testing::Test::HasFatalFailure()) return;
-    ExpectIdenticalRuns(serial, eight, 8, seed, sql);
-    if (::testing::Test::HasFatalFailure()) return;
+    // Reference: one shard, fully serial — the row-major-equivalent run.
+    const RunOutcome reference = RunQuery(gens[0].db, sql, 1, nullptr);
 
-    // The harness must actually exercise the parallel paths: at least one
-    // run per query dispatched morsels or recorded a deliberate fallback.
-    EXPECT_GT(eight.stats.morsels_dispatched + eight.stats.parallel_fallbacks,
-              0u)
-        << "seed=" << seed << "\nsql: " << sql;
+    for (size_t si = 0; si < kNumLayouts; ++si) {
+      const size_t shards = kShardCounts[si];
+      if (si != 0) {
+        const RunOutcome serial = RunQuery(gens[si].db, sql, 1, nullptr);
+        ExpectIdenticalRuns(reference, serial, 1, shards, seed, sql);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+      const RunOutcome two = RunQuery(gens[si].db, sql, 2, &pool_one);
+      const RunOutcome eight = RunQuery(gens[si].db, sql, 8, &pool_seven);
+      ExpectIdenticalRuns(reference, two, 2, shards, seed, sql);
+      if (::testing::Test::HasFatalFailure()) return;
+      ExpectIdenticalRuns(reference, eight, 8, shards, seed, sql);
+      if (::testing::Test::HasFatalFailure()) return;
+
+      // The harness must actually exercise the parallel paths: at least
+      // one run per layout dispatched morsels or recorded a deliberate
+      // fallback.
+      EXPECT_GT(
+          eight.stats.morsels_dispatched + eight.stats.parallel_fallbacks, 0u)
+          << "seed=" << seed << " shards=" << shards << "\nsql: " << sql;
+    }
     ++executed;
   }
   EXPECT_EQ(executed, num_queries);

@@ -3,9 +3,14 @@
 // later trips an internal invariant.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <sstream>
+
 #include "common/random.h"
 #include "engine/tuple_stream.h"
 #include "net/wire.h"
+#include "relational/csv.h"
+#include "relational/database.h"
 #include "rxl/parser.h"
 #include "silkroute/queries.h"
 #include "silkroute/subview.h"
@@ -206,6 +211,108 @@ TEST(FuzzTest, TupleDecoderNeverCrashes) {
                       (void)engine::DeserializeTuple(s, &offset);
                     },
                     valid);
+}
+
+// --- CSV bulk load into sharded columnar storage --------------------------
+// The loader is the one path where external bytes become column cells, so
+// corruption must surface as a Status before any shard invariant can bend:
+// a partial load (rows before the bad line) must leave the table with its
+// dual representation intact and columnar_exact still true.
+
+std::unique_ptr<Database> MakeCsvTarget() {
+  auto db = std::make_unique<Database>();
+  db->set_default_shard_count(4);
+  TableSchema schema("Part", {{"partkey", DataType::kInt64, false},
+                              {"weight", DataType::kDouble, true},
+                              {"name", DataType::kString, true}});
+  EXPECT_TRUE(schema.SetPrimaryKey({"partkey"}).ok());
+  EXPECT_TRUE(db->CreateTable(std::move(schema)).ok());
+  return db;
+}
+
+/// Attempts the load and checks that however it ended, the table's shard
+/// decomposition still tiles the row store exactly.
+void LoadAndCheckInvariants(const std::string& csv) {
+  auto db = MakeCsvTarget();
+  std::istringstream in(csv);
+  auto loaded = LoadCsv(&in, CsvLoadOptions{}, "Part", db.get());
+  Table* table = *db->GetTable("Part");
+  if (loaded.ok()) {
+    ASSERT_EQ(*loaded, table->num_rows());
+  }
+  ASSERT_TRUE(table->columnar_exact());  // validated inserts only
+  size_t total = 0;
+  for (size_t s = 0; s < table->shard_count(); ++s) {
+    total += table->shard(s).size();
+  }
+  ASSERT_EQ(total, table->num_rows());
+  for (size_t g = 0; g < table->num_rows(); ++g) {
+    const Table::RowLoc loc = table->row_loc(g);
+    ASSERT_EQ(table->shard(loc.shard).global_id(loc.pos), g);
+  }
+}
+
+TEST(FuzzTest, CsvColumnarLoaderRejectsCorruptionClasses) {
+  const std::string valid =
+      "partkey,weight,name\n"
+      "1,1.5,widget\n"
+      "2,,\"a,b\"\n"
+      "3,2.25,\"he said \"\"hi\"\"\"\n";
+  {  // pristine input loads fully
+    auto db = MakeCsvTarget();
+    std::istringstream in(valid);
+    auto loaded = LoadCsv(&in, CsvLoadOptions{}, "Part", db.get());
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    EXPECT_EQ(*loaded, 3u);
+  }
+  auto must_reject = [](const std::string& csv) {
+    auto db = MakeCsvTarget();
+    std::istringstream in(csv);
+    auto loaded = LoadCsv(&in, CsvLoadOptions{}, "Part", db.get());
+    EXPECT_FALSE(loaded.ok()) << "accepted: " << csv;
+  };
+  // Torn row: the stream ends mid-record, leaving too few fields.
+  must_reject("partkey,weight,name\n1,1.5,widget\n2,0");
+  // Wrong arity, both directions.
+  must_reject("partkey,weight,name\n1,1.5\n");
+  must_reject("partkey,weight,name\n1,1.5,widget,extra\n");
+  // Non-numeric bytes in numeric columns (including trailing garbage that
+  // a bare strtoll/strtod prefix parse would silently swallow).
+  must_reject("partkey,weight,name\nabc,1.5,widget\n");
+  must_reject("partkey,weight,name\n12x,1.5,widget\n");
+  must_reject("partkey,weight,name\n1,1.5.5,widget\n");
+  // NULL into a non-nullable key column.
+  must_reject("partkey,weight,name\n,1.5,widget\n");
+  // Overlong string fields are data, not corruption: they must load and
+  // round-trip through the shard string pool.
+  {
+    auto db = MakeCsvTarget();
+    const std::string big(1 << 20, 'x');
+    std::istringstream in("partkey,weight,name\n1,0.5," + big + "\n");
+    auto loaded = LoadCsv(&in, CsvLoadOptions{}, "Part", db.get());
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    Table* table = *db->GetTable("Part");
+    const Table::RowLoc loc = table->row_loc(0);
+    EXPECT_EQ(table->shard(loc.shard).ValueAt(2, loc.pos).AsString(), big);
+  }
+}
+
+TEST(FuzzTest, CsvColumnarLoaderNeverCrashesOnMutatedInput) {
+  const std::string valid =
+      "partkey,weight,name\n"
+      "1,1.5,widget\n"
+      "2,,\"a,b\"\n"
+      "3,2.25,\"he said \"\"hi\"\"\"\n"
+      "4,-0.0,\n";
+  // Every prefix truncation (torn mid-byte anywhere, not just row ends).
+  for (size_t cut = 0; cut < valid.size(); ++cut) {
+    LoadAndCheckInvariants(valid.substr(0, cut));
+  }
+  Random rng(302);
+  for (int i = 0; i < 500; ++i) {
+    LoadAndCheckInvariants(MutateBinary(&rng, valid));
+    LoadAndCheckInvariants(RandomBytes(&rng, 200));
+  }
 }
 
 TEST(FuzzTest, RoundTripSurvivorsStillRoundTrip) {

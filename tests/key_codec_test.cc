@@ -10,9 +10,11 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "relational/table.h"
 #include "relational/tuple.h"
 #include "relational/value.h"
 
@@ -254,6 +256,97 @@ TEST(KeyCodecTest, OrderedNumericBitsMatchesCompare) {
       EXPECT_EQ((ba < bb) ? -1 : (ba > bb ? 1 : 0), want);
       // Complemented bits reverse the order (DESC sort keys).
       EXPECT_EQ((~ba < ~bb) ? -1 : (~ba > ~bb ? 1 : 0), -want);
+    }
+  }
+}
+
+// --- Column-array encoding (the shard fast path) --------------------------
+// EncodeShardValue reads cells straight out of ColumnVector storage instead
+// of materializing a Value; the executor mixes both paths freely inside one
+// hash join (row-store probe vs columnar build), so the two encoders must be
+// byte-identical over the full type corpus — including int64 cells smuggled
+// into kDouble columns and the ±2^53 tiebreaker regime.
+
+/// A 3-column table whose rows sweep every corpus value through the column
+/// type that can hold it (ints also pass through the kDouble column, where
+/// the exact subtype must survive encoding).
+std::unique_ptr<Table> MakeCorpusTable(size_t shard_count) {
+  constexpr int64_t kExact = int64_t{1} << 53;
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<Value> ints = {
+      Value::Null(),          Value::Int64(std::numeric_limits<int64_t>::min()),
+      Value::Int64(-kExact - 1), Value::Int64(-kExact), Value::Int64(-1),
+      Value::Int64(0),        Value::Int64(3),          Value::Int64(kExact),
+      Value::Int64(kExact + 1),
+      Value::Int64(std::numeric_limits<int64_t>::max())};
+  const std::vector<Value> nums = {
+      Value::Null(),         Value::Double(-inf),  Value::Double(-1e300),
+      Value::Double(-0.5),   Value::Double(-0.0),  Value::Double(0.0),
+      Value::Double(3.0),    Value::Double(9007199254740994.0),
+      Value::Double(inf),    Value::Int64(3),      Value::Int64(kExact + 1),
+      Value::Int64(-kExact - 2)};
+  const std::vector<Value> strs = {
+      Value::Null(),       Value::String(""), Value::String(std::string("\0", 1)),
+      Value::String("a"),  Value::String(std::string("a\0b", 3)),
+      Value::String("a\xff"), Value::String("\xff")};
+  TableSchema schema("corpus", {{"i", DataType::kInt64, /*nullable=*/true},
+                                {"d", DataType::kDouble, true},
+                                {"s", DataType::kString, true}});
+  auto table = std::make_unique<Table>(std::move(schema), shard_count);
+  const size_t n = ints.size() * nums.size() * strs.size() / 7;
+  for (size_t r = 0; r < n; ++r) {
+    EXPECT_TRUE(table
+                    ->Insert(Tuple{ints[r % ints.size()],
+                                   nums[(r * 5) % nums.size()],
+                                   strs[(r * 3) % strs.size()]})
+                    .ok());
+  }
+  EXPECT_TRUE(table->columnar_exact());
+  return table;
+}
+
+TEST(KeyCodecTest, ShardEncodingIsByteIdenticalToValueEncoding) {
+  for (size_t shard_count : {1u, 4u, 16u}) {
+    auto table = MakeCorpusTable(shard_count);
+    for (size_t g = 0; g < table->num_rows(); ++g) {
+      const Table::RowLoc loc = table->row_loc(g);
+      const ColumnarShard& shard = table->shard(loc.shard);
+      for (size_t c = 0; c < 3; ++c) {
+        const Value& v = table->rows()[g].values()[c];
+        std::string from_value, from_column;
+        EncodeValue(v, &from_value);
+        EncodeShardValue(shard, c, loc.pos, &from_column);
+        EXPECT_EQ(from_column, from_value)
+            << "shards=" << shard_count << " row " << g << " col " << c
+            << " value " << v;
+        std::string desc_value, desc_column;
+        EncodeValueDescending(v, &desc_value);
+        EncodeShardValueDescending(shard, c, loc.pos, &desc_column);
+        EXPECT_EQ(desc_column, desc_value)
+            << "DESC shards=" << shard_count << " row " << g << " col " << c;
+      }
+    }
+  }
+}
+
+TEST(KeyCodecTest, TableJoinKeyMatchesTupleJoinKeyIncludingNullRefusal) {
+  const std::vector<std::vector<size_t>> col_sets = {{0}, {1}, {2}, {0, 1, 2},
+                                                     {2, 0}};
+  for (size_t shard_count : {1u, 4u, 16u}) {
+    auto table = MakeCorpusTable(shard_count);
+    for (size_t g = 0; g < table->num_rows(); ++g) {
+      for (const auto& cols : col_sets) {
+        std::string from_tuple, from_table;
+        const bool ok_tuple = EncodeJoinKey(table->rows()[g], cols,
+                                            &from_tuple);
+        const bool ok_table = EncodeTableJoinKey(*table, g, cols, &from_table);
+        ASSERT_EQ(ok_table, ok_tuple) << "shards=" << shard_count << " row "
+                                      << g;
+        if (ok_tuple) {
+          EXPECT_EQ(from_table, from_tuple)
+              << "shards=" << shard_count << " row " << g;
+        }
+      }
     }
   }
 }

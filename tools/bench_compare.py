@@ -13,11 +13,14 @@ in CANDIDATE_DIR. Two formats are understood:
 
 Absolute wall times are not comparable across machines (the checked-in
 baseline comes from a different box than the CI runner), so timings are
-*anchor-normalized*: the first row common to both files is the anchor, and
-each row's figure is its time divided by the anchor's time in the same
-file. A row regresses when its candidate ratio exceeds its baseline ratio
-by more than the tolerance — i.e. it got slower *relative to the same
-serial anchor workload on the same machine*. Only slower is flagged;
+normalized by a per-file *machine-speed factor*: the median of the
+candidate/baseline time ratios across all common rows. A row regresses
+when its candidate time exceeds its baseline time scaled by that factor
+by more than the tolerance — i.e. it got slower *relative to how the rest
+of the file moved on this machine*. The median is robust where a single
+anchor row is not: one row speeding up (or jittering — fast rows swing
+±15% at CI's short --benchmark_min_time) neither masks nor invents
+regressions in every other row of its file. Only slower is flagged;
 getting faster is never an error.
 
 Deterministic counters (rows, wire_bytes, streams, ...) must stay within
@@ -61,6 +64,11 @@ NONDETERMINISTIC_KEYS = {
     "failed",
     "breaker_trips",
     "breaker_fast_fails",
+    # Rank positions within a sort of 512 plans by *measured* wall time:
+    # plans with near-identical cost reshuffle freely run to run, so a
+    # rank is scheduling noise, not an engine-behavior counter.
+    "worst_rank",
+    "in_top_2x",
 }
 
 
@@ -129,20 +137,24 @@ def compare_file(name, base_path, cand_path, tolerance):
         failures.append(f"{name}: no rows in common with baseline")
         return failures
 
-    # Anchor = first common row (the serial baseline by bench convention).
-    anchor = common[0]
-    base_anchor, cand_anchor = base_times[anchor], cand_times[anchor]
+    # Machine-speed factor: median candidate/baseline time ratio over the
+    # file's rows. Robust to any single row legitimately changing speed.
+    ratios = sorted(
+        cand_times[n] / base_times[n]
+        for n in common
+        if base_times[n] > 0 and cand_times[n] > 0
+    )
+    scale = ratios[len(ratios) // 2] if ratios else 1.0
 
     for n in common:
-        if base_anchor > 0 and cand_anchor > 0 and base_times[n] > 0:
-            base_ratio = base_times[n] / base_anchor
-            cand_ratio = cand_times[n] / cand_anchor
-            if base_ratio > 0 and cand_ratio > base_ratio * (1 + tolerance):
+        if base_times[n] > 0 and cand_times[n] > 0 and scale > 0:
+            rel = cand_times[n] / (base_times[n] * scale)
+            if rel > 1 + tolerance:
                 failures.append(
-                    f"{name}: '{n}' slowed {cand_ratio / base_ratio:.2f}x "
-                    f"vs anchor '{anchor}' "
-                    f"(baseline ratio {base_ratio:.3f}, "
-                    f"candidate ratio {cand_ratio:.3f})"
+                    f"{name}: '{n}' slowed {rel:.2f}x "
+                    f"vs the file's median speed factor {scale:.3f} "
+                    f"(baseline {base_times[n]:.0f}, "
+                    f"candidate {cand_times[n]:.0f})"
                 )
         for key, base_val in base_values[n].items():
             cand_val = cand_values.get(n, {}).get(key)
